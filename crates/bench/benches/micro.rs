@@ -1,0 +1,165 @@
+//! Criterion micro-benchmarks of the *real* implementation (in-process
+//! cluster): wire codec, flash unit, CORFU append/read, stream sync,
+//! Tango object operations, and the transaction commit path.
+//!
+//! These complement the figure binaries (which model the paper's testbed):
+//! absolute numbers here reflect one laptop-class machine with an
+//! in-memory transport, not the paper's cluster.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use tango_wire::{decode_from_slice, encode_to_vec};
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    let record = tango::LogRecord::Commit {
+        txid: tango::TxId { client: 7, seq: 9 },
+        reads: (0..3)
+            .map(|i| tango::ReadKey { oid: 1, key: Some(i), version: i * 10 })
+            .collect(),
+        updates: (0..3)
+            .map(|i| tango::UpdateRecord {
+                oid: 1,
+                key: Some(i),
+                data: Bytes::from(vec![0u8; 64]),
+            })
+            .collect(),
+        speculative: vec![],
+        needs_decision: false,
+    };
+    let encoded = encode_to_vec(&record);
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_commit_record", |b| {
+        b.iter(|| encode_to_vec(std::hint::black_box(&record)))
+    });
+    group.bench_function("decode_commit_record", |b| {
+        b.iter(|| decode_from_slice::<tango::LogRecord>(std::hint::black_box(&encoded)).unwrap())
+    });
+    group.bench_function("crc32c_4k", |b| {
+        let buf = vec![0xA5u8; 4096];
+        b.iter(|| tango_wire::crc32c(std::hint::black_box(&buf)))
+    });
+    group.finish();
+}
+
+fn bench_flash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flash");
+    group.bench_function("write_64_4k_pages", |b| {
+        let payload = vec![7u8; 4096];
+        b.iter_batched(
+            || tango_flash::FlashUnit::in_memory(4096),
+            |mut unit| {
+                for addr in 0..64 {
+                    unit.write(addr, &payload).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("read_4k_page", |b| {
+        let mut unit = tango_flash::FlashUnit::in_memory(4096);
+        unit.write(0, &vec![7u8; 4096]).unwrap();
+        b.iter(|| unit.read(0).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_corfu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corfu");
+    let cluster = corfu::cluster::LocalCluster::new(corfu::cluster::ClusterConfig::default());
+    let client = cluster.client().unwrap();
+    let payload = Bytes::from(vec![1u8; 512]);
+    group.bench_function("append", |b| {
+        b.iter(|| client.append(payload.clone()).unwrap())
+    });
+    let off = client.append(payload.clone()).unwrap();
+    group.bench_function("read", |b| b.iter(|| client.read(off).unwrap()));
+    group.bench_function("check_tail_fast", |b| b.iter(|| client.check_tail_fast().unwrap()));
+    group.finish();
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream");
+    group.sample_size(20);
+    group.bench_function("sync_and_drain_100", |b| {
+        let cluster =
+            corfu::cluster::LocalCluster::new(corfu::cluster::ClusterConfig::default());
+        let writer = corfu_stream::StreamClient::new(cluster.client().unwrap());
+        b.iter_batched(
+            || {
+                for i in 0..100u64 {
+                    writer
+                        .multiappend(&[1], Bytes::from(i.to_le_bytes().to_vec()))
+                        .unwrap();
+                }
+                let reader = corfu_stream::StreamClient::new(cluster.client().unwrap());
+                reader.open(1);
+                reader
+            },
+            |reader| {
+                reader.sync(&[1]).unwrap();
+                let mut n = 0;
+                while reader.readnext(1).unwrap().is_some() {
+                    n += 1;
+                }
+                assert!(n >= 100);
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+fn bench_tango(c: &mut Criterion) {
+    use tango::TangoRuntime;
+    use tango_objects::TangoMap;
+
+    let mut group = c.benchmark_group("tango");
+    let cluster = corfu::cluster::LocalCluster::new(corfu::cluster::ClusterConfig::default());
+    let rt = TangoRuntime::new(cluster.client().unwrap()).unwrap();
+    let map: TangoMap<u64, u64> = TangoMap::open(&rt, "bench-map").unwrap();
+
+    group.bench_function("map_put", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            map.put(&k, &k).unwrap()
+        })
+    });
+    group.bench_function("map_get_linearizable", |b| {
+        map.put(&1, &1).unwrap();
+        b.iter(|| map.get(&1).unwrap())
+    });
+    group.bench_function("tx_commit_single_object", |b| {
+        let mut k = 1_000_000u64;
+        b.iter(|| {
+            k += 1;
+            rt.begin_tx().unwrap();
+            let _ = map.get(&1).unwrap();
+            map.put(&k, &k).unwrap();
+            rt.end_tx().unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+    let zipf = workload::Zipf::new(1_000_000, 0.99);
+    let mut rng = workload::SplitMix64::new(1);
+    group.bench_function("zipf_sample", |b| b.iter(|| zipf.sample(&mut rng)));
+    let mix = workload::TxMix::paper(workload::KeyDist::zipf_ycsb(1_000_000));
+    group.bench_function("txmix_sample", |b| b.iter(|| mix.sample(&mut rng)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wire,
+    bench_flash,
+    bench_corfu,
+    bench_stream,
+    bench_tango,
+    bench_workload
+);
+criterion_main!(benches);

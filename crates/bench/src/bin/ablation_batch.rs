@@ -1,0 +1,16 @@
+//! Ablation: commit-record batching (the paper batches 4 records per 4KB
+//! entry). Batching amortizes sequencer tokens, chain writes, and playback
+//! fetches across records; this sweep shows how much of the Figure 9
+//! throughput depends on it.
+
+use simcluster::experiments::fig9_with_batch;
+use tango_bench::FigureOutput;
+
+fn main() {
+    let mut out = FigureOutput::new("ablation_batch", "batch,ks_txes_per_sec,ks_goodput");
+    for batch in [1usize, 2, 4, 8] {
+        let (tput, goodput) = fig9_with_batch(4, 100_000, batch, 42);
+        out.row(format!("{batch},{tput:.1},{goodput:.1}"));
+    }
+    out.save();
+}

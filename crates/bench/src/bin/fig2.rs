@@ -1,0 +1,24 @@
+//! Figure 2: sequencer throughput vs number of clients.
+//!
+//! Paper: "as we add clients to the system, sequencer throughput increases
+//! until it plateaus at around 570K requests/sec … with a batch size of 4
+//! the sequencer can run at over 2M requests/sec."
+
+use simcluster::experiments::fig2_sequencer;
+use tango_bench::FigureOutput;
+
+fn main() {
+    let quick = tango_bench::quick();
+    let mut out = FigureOutput::new("fig2_sequencer", "clients,ks_requests_per_sec,ks_batched4");
+    let client_counts: Vec<usize> = if quick {
+        vec![1, 4, 16, 36]
+    } else {
+        vec![1, 2, 4, 6, 8, 10, 12, 16, 20, 24, 28, 32, 36, 40]
+    };
+    for &clients in &client_counts {
+        let plain = fig2_sequencer(clients, 8, 1, 42);
+        let batched = fig2_sequencer(clients, 8, 4, 42);
+        out.row(format!("{clients},{plain:.1},{batched:.1}"));
+    }
+    out.save();
+}

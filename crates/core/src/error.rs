@@ -1,0 +1,91 @@
+use std::fmt;
+
+use crate::{LogOffset, Oid, TxId};
+
+/// Errors surfaced by the Tango runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TangoError {
+    /// The underlying shared log failed.
+    Log(corfu::CorfuError),
+    /// An object id is not registered with this runtime.
+    UnknownObject {
+        /// The unregistered oid.
+        oid: Oid,
+    },
+    /// An object id is already registered with this runtime.
+    AlreadyRegistered {
+        /// The duplicate oid.
+        oid: Oid,
+    },
+    /// A malformed log record was encountered.
+    Codec(String),
+    /// A transaction was begun while another was active on this thread.
+    NestedTransaction,
+    /// `end_tx`/`abort_tx` was called with no active transaction.
+    NoActiveTransaction,
+    /// A transactional operation was issued against a different runtime
+    /// than the one that began the transaction.
+    CrossRuntimeTransaction,
+    /// The transaction's outcome could not be determined before the
+    /// deadline (no decision record arrived and offline resolution failed).
+    DecisionTimeout {
+        /// The transaction in question.
+        txid: TxId,
+        /// Its commit record's position.
+        commit_pos: LogOffset,
+    },
+    /// The object does not support checkpoints.
+    CheckpointUnsupported {
+        /// The offending oid.
+        oid: Oid,
+    },
+    /// A directory operation failed (e.g. name already bound to another
+    /// oid after concurrent registration).
+    Directory(String),
+    /// Offline conflict resolution exceeded its recursion budget.
+    ResolutionDepthExceeded,
+}
+
+impl fmt::Display for TangoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TangoError::Log(e) => write!(f, "shared log error: {e}"),
+            TangoError::UnknownObject { oid } => write!(f, "object {oid} is not registered"),
+            TangoError::AlreadyRegistered { oid } => {
+                write!(f, "object {oid} is already registered")
+            }
+            TangoError::Codec(e) => write!(f, "malformed log record: {e}"),
+            TangoError::NestedTransaction => {
+                write!(f, "a transaction is already active on this thread")
+            }
+            TangoError::NoActiveTransaction => write!(f, "no active transaction on this thread"),
+            TangoError::CrossRuntimeTransaction => {
+                write!(f, "transactional operation crossed runtime instances")
+            }
+            TangoError::DecisionTimeout { txid, commit_pos } => {
+                write!(f, "no decision for {txid:?} (commit at {commit_pos}) before deadline")
+            }
+            TangoError::CheckpointUnsupported { oid } => {
+                write!(f, "object {oid} does not support checkpoints")
+            }
+            TangoError::Directory(e) => write!(f, "directory error: {e}"),
+            TangoError::ResolutionDepthExceeded => {
+                write!(f, "offline conflict resolution exceeded recursion budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TangoError {}
+
+impl From<corfu::CorfuError> for TangoError {
+    fn from(e: corfu::CorfuError) -> Self {
+        TangoError::Log(e)
+    }
+}
+
+impl From<tango_wire::WireError> for TangoError {
+    fn from(e: tango_wire::WireError) -> Self {
+        TangoError::Codec(e.to_string())
+    }
+}

@@ -1,0 +1,87 @@
+#![warn(missing_docs)]
+//! Tango: distributed data structures over a shared log (SOSP 2013).
+//!
+//! A *Tango object* is a replicated in-memory data structure whose state
+//! exists in two forms: a **history** — the ordered sequence of its updates,
+//! stored durably in the shared log — and any number of **views** — soft
+//! in-memory copies on clients, reconstructed by playing the history
+//! forward. The shared log *is* the object. Mutators append update records;
+//! accessors synchronize the local view with the log's tail before reading,
+//! which yields linearizability. Persistence, high availability, history
+//! (time travel) and elasticity all fall out of the log (§3).
+//!
+//! This crate is the runtime:
+//!
+//! * [`StateMachine`] / [`ObjectView`] — the object model. User code
+//!   implements `apply` (the upcall) and calls [`ObjectView::update`] /
+//!   [`ObjectView::query`], mirroring the paper's `update_helper` /
+//!   `query_helper` API (Figure 3).
+//! * [`TangoRuntime`] — registration, merged multi-stream playback in global
+//!   log order, version tracking, checkpoints, the object directory, and
+//!   garbage collection via `forget`.
+//! * Transactions (§3.2, §4) — optimistic concurrency control with
+//!   speculative commit records: [`TangoRuntime::begin_tx`] /
+//!   [`TangoRuntime::end_tx`], read-only and write-only fast paths,
+//!   fine-grained (per-key) conflict detection, cross-partition transactions
+//!   via multi-stream commit records, and decision records for consumers
+//!   that do not host the read set.
+//!
+//! ```no_run
+//! use tango::{TangoRuntime, StateMachine, ApplyMeta};
+//!
+//! /// The paper's TangoRegister (Figure 3), in Rust.
+//! #[derive(Default)]
+//! struct Register(i64);
+//! impl StateMachine for Register {
+//!     fn apply(&mut self, data: &[u8], _meta: &ApplyMeta) {
+//!         self.0 = i64::from_le_bytes(data.try_into().unwrap());
+//!     }
+//!     fn restore(&mut self, data: &[u8]) {
+//!         self.apply(data, &ApplyMeta::synthetic());
+//!     }
+//!     fn checkpoint(&self) -> Option<Vec<u8>> {
+//!         Some(self.0.to_le_bytes().to_vec())
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let corfu_client: corfu::CorfuClient = unimplemented!();
+//! let runtime = TangoRuntime::new(corfu_client)?;
+//! let oid = runtime.create_or_open("my-register")?;
+//! let reg = runtime.register_object(oid, Register::default(), Default::default())?;
+//! reg.update(None, 42i64.to_le_bytes().to_vec())?;        // writeRegister
+//! let value = reg.query(None, |r| r.0)?;                  // readRegister
+//! # Ok(()) }
+//! ```
+
+mod directory;
+mod error;
+mod object;
+mod record;
+mod runtime;
+mod tx;
+pub mod versions;
+
+pub use directory::DirectoryState;
+pub use error::TangoError;
+pub use object::{ApplyMeta, ObjectOptions, ObjectView, StateMachine};
+pub use record::{LogRecord, ReadKey, TxId, UpdateRecord};
+pub use runtime::{RuntimeOptions, TangoRuntime};
+pub use tx::{TxOptions, TxStatus};
+pub use versions::ConflictTable;
+
+/// An object identifier: 1:1 with its stream id on the shared log.
+pub type Oid = corfu::StreamId;
+
+/// A fine-grained versioning key within an object (§3.2 "Versioning"):
+/// objects hash the sub-region they touch into this.
+pub type KeyHash = u64;
+
+/// A position in the shared log.
+pub type LogOffset = corfu::LogOffset;
+
+/// The object directory's hard-coded OID (§3.2 "Naming").
+pub const DIRECTORY_OID: Oid = 0;
+
+/// Convenience alias for Tango results.
+pub type Result<T> = std::result::Result<T, TangoError>;

@@ -1,0 +1,958 @@
+//! The Tango runtime: merged multi-stream playback, version tracking,
+//! transactions, checkpoints, and the object directory.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use corfu::{CorfuClient, StreamId};
+use corfu_stream::StreamClient;
+use parking_lot::Mutex;
+use tango_wire::{decode_from_slice, encode_to_vec};
+
+use crate::directory::{DirectoryOp, DirectoryState};
+use crate::object::{ApplyMeta, ApplySink, ObjectOptions, ObjectView, SinkFor, StateMachine};
+use crate::record::{LogRecord, ReadKey, TxId, UpdateRecord};
+use crate::tx::{self, TxContext, TxOptions, TxStatus};
+use crate::versions::ConflictTable;
+use crate::{KeyHash, LogOffset, Oid, Result, TangoError, DIRECTORY_OID};
+
+/// Tuning knobs for a runtime instance.
+#[derive(Debug, Clone)]
+pub struct RuntimeOptions {
+    /// This runtime's client id (half of every [`TxId`] it generates).
+    /// Defaults to a process-unique value.
+    pub client_id: u64,
+    /// How long to wait for a decision record before resolving a remote-read
+    /// transaction offline (§4.1 failure handling).
+    pub decision_timeout: Duration,
+    /// Write sets up to this many bytes ride inline in the commit record;
+    /// larger ones spill into speculative entries first (§3.2).
+    pub inline_update_limit: usize,
+    /// If set, playback stops at this log position: the view is a snapshot
+    /// of history (§3.1 "History" — time travel / coordinated rollback).
+    pub play_limit: Option<LogOffset>,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        let pid = std::process::id() as u64;
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        Self {
+            client_id: (pid << 32) | n,
+            decision_timeout: Duration::from_millis(100),
+            inline_update_limit: 3 * 1024,
+            play_limit: None,
+        }
+    }
+}
+
+struct RegisteredObject {
+    sink: Box<dyn ApplySink>,
+    needs_decision: bool,
+}
+
+struct Playback {
+    objects: HashMap<Oid, RegisteredObject>,
+    versions: ConflictTable,
+    /// Transaction outcomes this runtime knows (own evaluations, decision
+    /// records, offline resolutions).
+    decided: HashMap<TxId, bool>,
+    /// Buffered speculative updates awaiting their commit record.
+    speculative: HashMap<TxId, BTreeMap<LogOffset, Vec<UpdateRecord>>>,
+    /// All entries with offset < position have been processed.
+    position: LogOffset,
+    /// Latest checkpoint record seen per object.
+    last_checkpoint: HashMap<Oid, LogOffset>,
+}
+
+/// The Tango runtime (§3): one per client process. All views it hosts are
+/// kept consistent by playing their streams forward in global log order.
+pub struct TangoRuntime {
+    stream: StreamClient,
+    opts: RuntimeOptions,
+    tx_seq: AtomicU64,
+    play: Mutex<Playback>,
+    dir_state: Arc<Mutex<DirectoryState>>,
+}
+
+impl TangoRuntime {
+    /// Creates a runtime over a CORFU client with default options. The
+    /// object directory (OID 0) is registered automatically.
+    pub fn new(corfu: CorfuClient) -> Result<Arc<Self>> {
+        Self::with_options(corfu, RuntimeOptions::default())
+    }
+
+    /// Creates a runtime with explicit options.
+    pub fn with_options(corfu: CorfuClient, opts: RuntimeOptions) -> Result<Arc<Self>> {
+        let stream = StreamClient::new(corfu);
+        let dir_state = Arc::new(Mutex::new(DirectoryState::new()));
+        let mut objects: HashMap<Oid, RegisteredObject> = HashMap::new();
+        objects.insert(
+            DIRECTORY_OID,
+            RegisteredObject {
+                sink: Box::new(SinkFor { state: Arc::clone(&dir_state) }),
+                needs_decision: false,
+            },
+        );
+        stream.open(DIRECTORY_OID);
+        let runtime = Arc::new(Self {
+            stream,
+            opts,
+            tx_seq: AtomicU64::new(1),
+            play: Mutex::new(Playback {
+                objects,
+                versions: ConflictTable::new(),
+                decided: HashMap::new(),
+                speculative: HashMap::new(),
+                position: 0,
+                last_checkpoint: HashMap::new(),
+            }),
+            dir_state,
+        });
+        // If the log prefix was compacted, the directory's early records
+        // are gone; restore its view from its latest checkpoint.
+        runtime.restore_directory_checkpoint()?;
+        Ok(runtime)
+    }
+
+    /// Finds the newest directory checkpoint and restores from it, skipping
+    /// the (possibly trimmed) prefix it captures.
+    fn restore_directory_checkpoint(&self) -> Result<()> {
+        self.stream.sync(&[DIRECTORY_OID])?;
+        let offsets = self.stream.known_offsets(DIRECTORY_OID);
+        for &off in offsets.iter().rev() {
+            if self.opts.play_limit.map(|l| off >= l).unwrap_or(false) {
+                continue;
+            }
+            let Some(entry) = self.stream.read_at(off)? else { continue };
+            if let Ok(LogRecord::Checkpoint { oid, data, as_of }) =
+                decode_from_slice::<LogRecord>(&entry.payload)
+            {
+                if oid == DIRECTORY_OID {
+                    self.dir_state.lock().restore(&data);
+                    self.stream.seek(DIRECTORY_OID, as_of);
+                    let mut play = self.play.lock();
+                    play.versions.record_write(DIRECTORY_OID, None, off);
+                    play.last_checkpoint.insert(DIRECTORY_OID, off);
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The options in effect.
+    pub fn options(&self) -> &RuntimeOptions {
+        &self.opts
+    }
+
+    /// The stream client (for advanced use and tests).
+    pub fn stream(&self) -> &StreamClient {
+        &self.stream
+    }
+
+    /// The underlying CORFU client.
+    pub fn corfu(&self) -> &CorfuClient {
+        self.stream.corfu()
+    }
+
+    fn runtime_id(&self) -> usize {
+        self as *const TangoRuntime as usize
+    }
+
+    // ------------------------------------------------------------------
+    // Object registration
+    // ------------------------------------------------------------------
+
+    /// Hosts a view of object `oid`, playing its stream from the beginning
+    /// (or from the latest checkpoint, see
+    /// [`TangoRuntime::register_object_from_checkpoint`]).
+    pub fn register_object<S: StateMachine>(
+        self: &Arc<Self>,
+        oid: Oid,
+        state: S,
+        options: ObjectOptions,
+    ) -> Result<ObjectView<S>> {
+        let state = Arc::new(Mutex::new(state));
+        let mut play = self.play.lock();
+        if play.objects.contains_key(&oid) {
+            return Err(TangoError::AlreadyRegistered { oid });
+        }
+        self.stream.open(oid);
+        play.objects.insert(
+            oid,
+            RegisteredObject {
+                sink: Box::new(SinkFor { state: Arc::clone(&state) }),
+                needs_decision: options.needs_decision,
+            },
+        );
+        drop(play);
+        Ok(ObjectView::new(Arc::clone(self), oid, state))
+    }
+
+    /// Hosts a view of `oid`, restoring from its latest checkpoint record
+    /// if one exists and replaying only the suffix. Falls back to a full
+    /// replay when the object has never checkpointed.
+    pub fn register_object_from_checkpoint<S: StateMachine>(
+        self: &Arc<Self>,
+        oid: Oid,
+        mut state: S,
+        options: ObjectOptions,
+    ) -> Result<ObjectView<S>> {
+        self.stream.open(oid);
+        self.stream.sync(&[oid])?;
+        let offsets = self.stream.known_offsets(oid);
+        let mut restore_point = None;
+        for &off in offsets.iter().rev() {
+            if self.opts.play_limit.map(|l| off >= l).unwrap_or(false) {
+                continue;
+            }
+            let Some(entry) = self.stream.read_at(off)? else { continue };
+            if let Ok(LogRecord::Checkpoint { oid: o, data, as_of }) =
+                decode_from_slice::<LogRecord>(&entry.payload)
+            {
+                if o == oid {
+                    state.restore(&data);
+                    restore_point = Some((off, as_of));
+                    break;
+                }
+            }
+        }
+        let view = self.register_object(oid, state, options)?;
+        if let Some((ckpt_off, as_of)) = restore_point {
+            // Skip everything the checkpoint already captured.
+            self.stream.seek(oid, as_of);
+            let mut play = self.play.lock();
+            // Conservative versioning: anything restored counts as modified
+            // at the checkpoint record's position.
+            play.versions.record_write(oid, None, ckpt_off);
+            play.last_checkpoint.insert(oid, ckpt_off);
+        }
+        Ok(view)
+    }
+
+    // ------------------------------------------------------------------
+    // The helpers (Figure 3)
+    // ------------------------------------------------------------------
+
+    /// The paper's `update_helper`: append an opaque update to the object's
+    /// stream, or buffer it when a transaction is active on this thread.
+    pub(crate) fn update_helper(
+        &self,
+        oid: Oid,
+        key: Option<KeyHash>,
+        data: Vec<u8>,
+    ) -> Result<()> {
+        let update = UpdateRecord { oid, key, data: Bytes::from(data) };
+        let buffered = tx::with_active(self.runtime_id(), |ctx| {
+            ctx.record_write(update.clone());
+        });
+        match buffered {
+            Some(()) => Ok(()),
+            None => {
+                let record = LogRecord::Update(update);
+                self.stream.multiappend(&[oid], Bytes::from(encode_to_vec(&record)))?;
+                Ok(())
+            }
+        }
+    }
+
+    /// The paper's `query_helper`: outside a transaction, play the log
+    /// forward to its tail; inside one, record the read (oid, key, version)
+    /// without syncing.
+    pub(crate) fn query_helper(&self, oid: Oid, key: Option<KeyHash>) -> Result<()> {
+        if tx::is_active(self.runtime_id()) {
+            self.record_tx_read_if_active(oid, key)
+        } else {
+            self.sync()?;
+            Ok(())
+        }
+    }
+
+    /// Writes to an object *without* hosting a view of it (a "remote
+    /// write", §4.1 case A). Outside a transaction this appends a plain
+    /// update record; inside one the write joins the transaction's write
+    /// set and commits atomically with the rest.
+    pub fn update_remote(&self, oid: Oid, key: Option<KeyHash>, data: Vec<u8>) -> Result<()> {
+        self.update_helper(oid, key, data)
+    }
+
+    /// Adds (oid, key, current version) to the active transaction's read
+    /// set, if one exists on this thread.
+    pub(crate) fn record_tx_read_if_active(&self, oid: Oid, key: Option<KeyHash>) -> Result<()> {
+        if !tx::is_active(self.runtime_id()) {
+            return Ok(());
+        }
+        let version = self.play.lock().versions.version_for_read(oid, key);
+        tx::with_active(self.runtime_id(), |ctx| {
+            ctx.record_read(oid, key, version);
+        });
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Playback
+    // ------------------------------------------------------------------
+
+    /// Synchronizes every hosted stream with the log tail and plays all new
+    /// entries in global order. Returns the position played to.
+    pub fn sync(&self) -> Result<LogOffset> {
+        let hosted = self.hosted_streams();
+        let tail = self.stream.sync(&hosted)?;
+        let target = self.opts.play_limit.map(|l| l.min(tail)).unwrap_or(tail);
+        self.play_to(target)?;
+        Ok(target)
+    }
+
+    /// The playback position: all entries below it have been processed.
+    pub fn position(&self) -> LogOffset {
+        self.play.lock().position
+    }
+
+    fn hosted_streams(&self) -> Vec<StreamId> {
+        let play = self.play.lock();
+        let mut v: Vec<StreamId> = play.objects.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn play_to(&self, target: LogOffset) -> Result<()> {
+        let mut play = self.play.lock();
+        self.play_to_locked(&mut play, target)
+    }
+
+    /// Processes entries of all hosted streams, in global offset order,
+    /// up to (but excluding) `target`.
+    fn play_to_locked(&self, play: &mut Playback, target: LogOffset) -> Result<()> {
+        loop {
+            // The next entry in the merged order: the minimum cursor head.
+            let mut min_off: Option<LogOffset> = None;
+            for &oid in play.objects.keys() {
+                if let Some(off) = self.stream.peek(oid) {
+                    if off < target && min_off.map(|m| off < m).unwrap_or(true) {
+                        min_off = Some(off);
+                    }
+                }
+            }
+            let Some(off) = min_off else { break };
+            if let Some(entry) = self.stream.read_at(off)? {
+                match decode_from_slice::<LogRecord>(&entry.payload) {
+                    Ok(record) => self.process_record(play, record, off)?,
+                    // A payload this runtime cannot parse (foreign writer):
+                    // skip it rather than wedging playback.
+                    Err(_) => {}
+                }
+            }
+            // Advance every hosted cursor sitting on this offset.
+            let on_this: Vec<Oid> = play
+                .objects
+                .keys()
+                .filter(|&&oid| self.stream.peek(oid) == Some(off))
+                .copied()
+                .collect();
+            for oid in on_this {
+                self.stream.seek(oid, off + 1);
+            }
+            play.position = play.position.max(off + 1);
+        }
+        play.position = play.position.max(target);
+        Ok(())
+    }
+
+    fn process_record(
+        &self,
+        play: &mut Playback,
+        record: LogRecord,
+        off: LogOffset,
+    ) -> Result<()> {
+        match record {
+            LogRecord::Update(u) => {
+                // Apply only if this object's cursor is delivering this
+                // entry now (idempotence across late registrations).
+                if play.objects.contains_key(&u.oid) && self.stream.peek(u.oid) == Some(off) {
+                    play.versions.record_write(u.oid, u.key, off);
+                    let meta = ApplyMeta { offset: off, oid: u.oid, key: u.key, txid: None };
+                    if let Some(obj) = play.objects.get(&u.oid) {
+                        obj.sink.apply(&u.data, &meta);
+                    }
+                }
+            }
+            LogRecord::Speculative { txid, updates } => {
+                play.speculative.entry(txid).or_default().insert(off, updates);
+            }
+            LogRecord::Checkpoint { oid, .. } => {
+                let slot = play.last_checkpoint.entry(oid).or_insert(0);
+                *slot = (*slot).max(off);
+            }
+            LogRecord::Decision { txid, committed, .. } => {
+                play.decided.entry(txid).or_insert(committed);
+            }
+            LogRecord::Commit { txid, reads, updates, speculative, needs_decision } => {
+                let committed = match self.eval_commit(play, txid, &reads) {
+                    Some(c) => c,
+                    None => {
+                        self.await_decision(play, txid, off, &reads, needs_decision)?
+                    }
+                };
+                self.finish_commit(play, txid, off, &updates, &speculative, committed)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Tries to decide a commit record locally: either we already know the
+    /// outcome, or we host every object in the read set and can validate
+    /// versions directly.
+    fn eval_commit(&self, play: &Playback, txid: TxId, reads: &[ReadKey]) -> Option<bool> {
+        if let Some(&d) = play.decided.get(&txid) {
+            return Some(d);
+        }
+        if reads.iter().all(|r| play.objects.contains_key(&r.oid)) {
+            Some(reads.iter().all(|r| !play.versions.is_stale(r)))
+        } else {
+            None
+        }
+    }
+
+    /// Blocks until the generating client's decision record for `txid`
+    /// arrives on one of our hosted streams; after `decision_timeout`,
+    /// resolves the transaction offline from the log (§4.1 failure
+    /// handling) and publishes a decision record for everyone else.
+    fn await_decision(
+        &self,
+        play: &mut Playback,
+        txid: TxId,
+        commit_off: LogOffset,
+        reads: &[ReadKey],
+        needs_decision: bool,
+    ) -> Result<bool> {
+        // If the generator did not mark the transaction, no decision record
+        // will ever arrive; resolve offline immediately.
+        let deadline = if needs_decision {
+            Instant::now() + self.opts.decision_timeout
+        } else {
+            Instant::now()
+        };
+        let hosted = {
+            let mut v: Vec<StreamId> = play.objects.keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        loop {
+            // Scan ahead on hosted streams for the decision record.
+            for &oid in &hosted {
+                for off in self.stream.known_offsets(oid) {
+                    if off <= commit_off {
+                        continue;
+                    }
+                    let Some(entry) = self.stream.read_at(off)? else { continue };
+                    if let Ok(LogRecord::Decision { txid: t, committed, .. }) =
+                        decode_from_slice::<LogRecord>(&entry.payload)
+                    {
+                        if t == txid {
+                            return Ok(committed);
+                        }
+                    }
+                }
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            self.stream.sync(&hosted)?;
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Offline resolution: reconstruct read-set versions from the log.
+        let committed = self.decide_offline(play, reads, commit_off)?;
+        // Publish so other consumers stop waiting (any client may do this).
+        let streams = self.commit_streams_hint(reads, commit_off)?;
+        if !streams.is_empty() {
+            let record = LogRecord::Decision { txid, commit_pos: commit_off, committed };
+            let _ = self.stream.multiappend(&streams, Bytes::from(encode_to_vec(&record)));
+        }
+        play.decided.insert(txid, committed);
+        Ok(committed)
+    }
+
+    /// The streams a substitute decision record should go to: the streams
+    /// of the original commit entry.
+    fn commit_streams_hint(
+        &self,
+        _reads: &[ReadKey],
+        commit_off: LogOffset,
+    ) -> Result<Vec<StreamId>> {
+        match self.stream.read_at(commit_off)? {
+            Some(entry) => Ok(entry.headers.iter().map(|h| h.stream).collect()),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// Applies a decided commit: on commit, replay its inline and
+    /// speculative updates into every hosted object whose cursor is
+    /// delivering this entry.
+    fn finish_commit(
+        &self,
+        play: &mut Playback,
+        txid: TxId,
+        off: LogOffset,
+        inline: &[UpdateRecord],
+        spec_offsets: &[LogOffset],
+        committed: bool,
+    ) -> Result<()> {
+        play.decided.insert(txid, committed);
+        let buffered = play.speculative.remove(&txid).unwrap_or_default();
+        if !committed {
+            return Ok(());
+        }
+        let mut all_updates: Vec<UpdateRecord> = Vec::new();
+        for &spec_off in spec_offsets {
+            if let Some(updates) = buffered.get(&spec_off) {
+                all_updates.extend(updates.iter().cloned());
+                continue;
+            }
+            // Not buffered (e.g. we registered this object late): fetch.
+            let Some(entry) = self.stream.read_at(spec_off)? else { continue };
+            if let Ok(LogRecord::Speculative { txid: t, updates }) =
+                decode_from_slice::<LogRecord>(&entry.payload)
+            {
+                if t == txid {
+                    all_updates.extend(updates);
+                }
+            }
+        }
+        all_updates.extend(inline.iter().cloned());
+        for u in all_updates {
+            let hosted_now = play.objects.contains_key(&u.oid)
+                && self.stream.peek(u.oid) == Some(off);
+            if hosted_now {
+                play.versions.record_write(u.oid, u.key, off);
+                let meta = ApplyMeta { offset: off, oid: u.oid, key: u.key, txid: Some(txid) };
+                if let Some(obj) = play.objects.get(&u.oid) {
+                    obj.sink.apply(&u.data, &meta);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Offline conflict resolution (§4.1 failure handling)
+    // ------------------------------------------------------------------
+
+    /// Decides a commit record whose read set we do not host, by replaying
+    /// the read-set streams' *metadata* (not their object state: conflict
+    /// checks only need versions) up to the commit position. Nested
+    /// commits on those streams are decided recursively with memoization.
+    fn decide_offline(
+        &self,
+        play: &mut Playback,
+        reads: &[ReadKey],
+        commit_off: LogOffset,
+    ) -> Result<bool> {
+        let mut memo = play.decided.clone();
+        for r in reads {
+            let version = if play.objects.contains_key(&r.oid) {
+                // Hosted: our live table is exact as of the commit position
+                // (playback has processed everything below it).
+                play.versions.version_for_read(r.oid, r.key)
+            } else {
+                self.version_at(r.oid, r.key, commit_off, &mut memo, 0)?
+            };
+            if version > r.version {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Computes the version of `(oid, key)` as of log position `upto`
+    /// (exclusive) by replaying the object's stream metadata.
+    fn version_at(
+        &self,
+        oid: Oid,
+        key: Option<KeyHash>,
+        upto: LogOffset,
+        memo: &mut HashMap<TxId, bool>,
+        depth: u32,
+    ) -> Result<u64> {
+        if depth > 32 {
+            return Err(TangoError::ResolutionDepthExceeded);
+        }
+        self.stream.open(oid);
+        self.stream.sync(&[oid])?;
+        let offsets = self.stream.known_offsets(oid);
+        // First pass: harvest decision records anywhere on this stream.
+        for &off in &offsets {
+            let Some(entry) = self.stream.read_at(off)? else { continue };
+            if let Ok(LogRecord::Decision { txid, committed, .. }) =
+                decode_from_slice::<LogRecord>(&entry.payload)
+            {
+                memo.entry(txid).or_insert(committed);
+            }
+        }
+        // Second pass: replay version metadata below `upto`.
+        let mut table = ConflictTable::new();
+        let mut spec: HashMap<TxId, Vec<UpdateRecord>> = HashMap::new();
+        for &off in offsets.iter().filter(|&&o| o < upto) {
+            let Some(entry) = self.stream.read_at(off)? else { continue };
+            let Ok(record) = decode_from_slice::<LogRecord>(&entry.payload) else { continue };
+            match record {
+                LogRecord::Update(u) if u.oid == oid => {
+                    table.record_write(oid, u.key, off);
+                }
+                LogRecord::Speculative { txid, updates } => {
+                    spec.entry(txid)
+                        .or_default()
+                        .extend(updates.into_iter().filter(|u| u.oid == oid));
+                }
+                LogRecord::Commit { txid, reads, updates, .. } => {
+                    let committed = match memo.get(&txid) {
+                        Some(&c) => c,
+                        None => {
+                            let mut ok = true;
+                            for r2 in &reads {
+                                let v2 = if r2.oid == oid {
+                                    table.version_for_read(oid, r2.key)
+                                } else {
+                                    self.version_at(r2.oid, r2.key, off, memo, depth + 1)?
+                                };
+                                if v2 > r2.version {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            memo.insert(txid, ok);
+                            ok
+                        }
+                    };
+                    if committed {
+                        for u in updates.iter().filter(|u| u.oid == oid) {
+                            table.record_write(oid, u.key, off);
+                        }
+                        if let Some(buffered) = spec.remove(&txid) {
+                            for u in buffered {
+                                table.record_write(oid, u.key, off);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(table.version_for_read(oid, key))
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions (§3.2, §4)
+    // ------------------------------------------------------------------
+
+    /// Begins a transaction on the current thread (the paper's `BeginTX`).
+    pub fn begin_tx(&self) -> Result<()> {
+        self.begin_tx_with(TxOptions::default())
+    }
+
+    /// Begins a transaction with options.
+    pub fn begin_tx_with(&self, options: TxOptions) -> Result<()> {
+        tx::begin(TxContext::new(self.runtime_id(), options))
+    }
+
+    /// Abandons the current transaction without touching the log.
+    pub fn abort_tx(&self) -> Result<()> {
+        tx::take(self.runtime_id()).map(|_| ()).ok_or(TangoError::NoActiveTransaction)
+    }
+
+    /// Ends the current transaction (the paper's `EndTX`): appends a
+    /// speculative commit record to every write-set stream, plays the log
+    /// to the commit point, and decides by validating the read set.
+    ///
+    /// Fast paths: read-only transactions append nothing (they validate
+    /// against the tail, or locally with [`TxOptions::stale_reads`]);
+    /// write-only transactions commit without playing the log forward.
+    pub fn end_tx(&self) -> Result<TxStatus> {
+        let ctx = tx::take(self.runtime_id()).ok_or(TangoError::NoActiveTransaction)?;
+        if ctx.writes.is_empty() {
+            return self.end_read_only(ctx);
+        }
+        let txid = TxId {
+            client: self.opts.client_id,
+            seq: self.tx_seq.fetch_add(1, Ordering::Relaxed),
+        };
+        let write_streams: Vec<StreamId> = ctx.write_oids.iter().copied().collect();
+        let needs_decision = if ctx.reads.is_empty() {
+            false
+        } else {
+            let play = self.play.lock();
+            ctx.write_oids.iter().any(|oid| {
+                play.objects
+                    .get(oid)
+                    .map(|o| o.needs_decision)
+                    // Remote write to an object we do not host: we cannot
+                    // know who hosts it; be conservative.
+                    .unwrap_or(true)
+            })
+        };
+
+        // Spill large write sets as speculative entries (§3.2).
+        let total: usize = ctx.writes.iter().map(|u| u.data.len() + 24).sum();
+        let mut inline = ctx.writes;
+        let mut spec_offsets = Vec::new();
+        if total > self.opts.inline_update_limit {
+            for chunk in chunk_updates(std::mem::take(&mut inline), self.opts.inline_update_limit)
+            {
+                let record = LogRecord::Speculative { txid, updates: chunk };
+                let off = self
+                    .stream
+                    .multiappend(&write_streams, Bytes::from(encode_to_vec(&record)))?;
+                spec_offsets.push(off);
+            }
+        }
+
+        // Write-only transactions: append and commit immediately.
+        if ctx.reads.is_empty() {
+            let record = LogRecord::Commit {
+                txid,
+                reads: Vec::new(),
+                updates: inline,
+                speculative: spec_offsets,
+                needs_decision: false,
+            };
+            self.play.lock().decided.insert(txid, true);
+            self.stream.multiappend(&write_streams, Bytes::from(encode_to_vec(&record)))?;
+            return Ok(TxStatus::Committed);
+        }
+
+        let record = LogRecord::Commit {
+            txid,
+            reads: ctx.reads.clone(),
+            updates: inline,
+            speculative: spec_offsets,
+            needs_decision,
+        };
+        let commit_off =
+            self.stream.multiappend(&write_streams, Bytes::from(encode_to_vec(&record)))?;
+
+        // Play the conflict window, then validate.
+        let hosted = self.hosted_streams();
+        self.stream.sync(&hosted)?;
+        let committed = {
+            let mut play = self.play.lock();
+            self.play_to_locked(&mut play, commit_off)?;
+            let committed = ctx.reads.iter().all(|r| !play.versions.is_stale(r));
+            play.decided.insert(txid, committed);
+            committed
+        };
+        if needs_decision {
+            let record = LogRecord::Decision { txid, commit_pos: commit_off, committed };
+            self.stream.multiappend(&write_streams, Bytes::from(encode_to_vec(&record)))?;
+        }
+        // Process our own commit record (applies the writes to hosted
+        // views through the uniform path).
+        self.play_to(commit_off + 1)?;
+        Ok(if committed { TxStatus::Committed } else { TxStatus::Aborted })
+    }
+
+    fn end_read_only(&self, ctx: TxContext) -> Result<TxStatus> {
+        if ctx.reads.is_empty() {
+            return Ok(TxStatus::Committed);
+        }
+        if !ctx.options.stale_reads {
+            self.sync()?;
+        }
+        let play = self.play.lock();
+        let ok = ctx.reads.iter().all(|r| !play.versions.is_stale(r));
+        Ok(if ok { TxStatus::Committed } else { TxStatus::Aborted })
+    }
+
+    /// Runs `body` inside a transaction, retrying on aborts up to
+    /// `max_retries` times. Returns the body's value from the committing
+    /// attempt.
+    pub fn run_tx<R>(
+        &self,
+        max_retries: u32,
+        mut body: impl FnMut() -> Result<R>,
+    ) -> Result<(TxStatus, Option<R>)> {
+        for _ in 0..=max_retries {
+            self.begin_tx()?;
+            match body() {
+                Ok(value) => match self.end_tx()? {
+                    TxStatus::Committed => return Ok((TxStatus::Committed, Some(value))),
+                    TxStatus::Aborted => continue,
+                },
+                Err(e) => {
+                    let _ = self.abort_tx();
+                    return Err(e);
+                }
+            }
+        }
+        Ok((TxStatus::Aborted, None))
+    }
+
+    /// Aborts an orphaned transaction left by a crashed client: appends a
+    /// dummy decision record designed to abort (§3.2 "Failure Handling").
+    /// Safe to call even if the transaction later turns out fine — the
+    /// first record in the log wins, and decisions are idempotent via the
+    /// `decided` map.
+    pub fn abort_orphan(&self, txid: TxId, commit_pos: LogOffset) -> Result<()> {
+        let streams = self.commit_streams_hint(&[], commit_pos)?;
+        let record = LogRecord::Decision { txid, commit_pos, committed: false };
+        let target: Vec<StreamId> =
+            if streams.is_empty() { vec![DIRECTORY_OID] } else { streams };
+        self.stream.multiappend(&target, Bytes::from(encode_to_vec(&record)))?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoints, history, garbage collection (§3.1, §3.2)
+    // ------------------------------------------------------------------
+
+    /// Writes a checkpoint record for `oid` capturing its current view.
+    pub fn checkpoint(&self, oid: Oid) -> Result<LogOffset> {
+        let play = self.play.lock();
+        let obj = play.objects.get(&oid).ok_or(TangoError::UnknownObject { oid })?;
+        let data = obj.sink.checkpoint().ok_or(TangoError::CheckpointUnsupported { oid })?;
+        let as_of = play.position;
+        let record = LogRecord::Checkpoint { oid, data: Bytes::from(data), as_of };
+        let off = self.stream.multiappend(&[oid], Bytes::from(encode_to_vec(&record)))?;
+        drop(play);
+        self.play.lock().last_checkpoint.insert(oid, off);
+        Ok(off)
+    }
+
+    /// Declares that `oid` no longer needs its history below `offset`
+    /// (typically the offset returned by [`TangoRuntime::checkpoint`]).
+    /// The log is only physically reclaimed once *every* object has
+    /// forgotten a prefix — see [`TangoRuntime::compact`].
+    pub fn forget(&self, oid: Oid, offset: LogOffset) -> Result<()> {
+        let op = DirectoryOp::SetForget { oid, offset };
+        self.update_helper(DIRECTORY_OID, None, encode_to_vec(&op))
+    }
+
+    /// Trims the shared log below the minimum forget offset across all
+    /// objects in the directory, returning the horizon used.
+    pub fn compact(&self) -> Result<LogOffset> {
+        self.sync()?;
+        let horizon = self.dir_state.lock().trim_horizon();
+        if horizon > 0 {
+            self.corfu().trim_prefix(horizon)?;
+            for oid in self.hosted_streams() {
+                self.stream.forget_below(oid, horizon);
+            }
+        }
+        Ok(horizon)
+    }
+
+    // ------------------------------------------------------------------
+    // The directory (§3.2 "Naming")
+    // ------------------------------------------------------------------
+
+    /// Resolves `name` to its oid, if registered (linearizable read).
+    pub fn resolve(&self, name: &str) -> Result<Option<Oid>> {
+        if !tx::is_active(self.runtime_id()) {
+            self.sync()?;
+        }
+        self.record_tx_read_if_active(DIRECTORY_OID, None)?;
+        Ok(self.dir_state.lock().resolve(name))
+    }
+
+    /// Returns the oid bound to `name`, allocating a fresh one through a
+    /// directory transaction if needed. Concurrent registrations of the
+    /// same name converge on one oid.
+    pub fn create_or_open(&self, name: &str) -> Result<Oid> {
+        for _ in 0..64 {
+            self.sync()?;
+            self.begin_tx()?;
+            self.record_tx_read_if_active(DIRECTORY_OID, None)?;
+            let (existing, candidate) = {
+                let dir = self.dir_state.lock();
+                (dir.resolve(name), dir.next_oid())
+            };
+            if let Some(oid) = existing {
+                self.abort_tx()?;
+                return Ok(oid);
+            }
+            let op = DirectoryOp::Register { name: name.to_owned(), oid: candidate };
+            self.update_helper(DIRECTORY_OID, None, encode_to_vec(&op))?;
+            if self.end_tx()?.is_committed() {
+                return Ok(candidate);
+            }
+        }
+        Err(TangoError::Directory(format!("registration of '{name}' kept conflicting")))
+    }
+
+    /// A snapshot of the directory contents.
+    pub fn directory_snapshot(&self) -> Result<DirectoryState> {
+        self.sync()?;
+        Ok(self.dir_state.lock().clone())
+    }
+
+    /// Reads the update records stored in the log entry at `offset`
+    /// (supports views that store offsets instead of values and resolve
+    /// them lazily — §3.1 "Durability").
+    pub fn read_updates_at(&self, offset: LogOffset) -> Result<Vec<UpdateRecord>> {
+        let Some(entry) = self.stream.read_at(offset)? else {
+            return Ok(Vec::new());
+        };
+        match decode_from_slice::<LogRecord>(&entry.payload) {
+            Ok(LogRecord::Update(u)) => Ok(vec![u]),
+            Ok(LogRecord::Commit { updates, speculative, .. }) => {
+                let mut all = Vec::new();
+                for off in speculative {
+                    if let Some(e) = self.stream.read_at(off)? {
+                        if let Ok(LogRecord::Speculative { updates, .. }) =
+                            decode_from_slice::<LogRecord>(&e.payload)
+                        {
+                            all.extend(updates);
+                        }
+                    }
+                }
+                all.extend(updates);
+                Ok(all)
+            }
+            Ok(LogRecord::Speculative { updates, .. }) => Ok(updates),
+            Ok(_) => Ok(Vec::new()),
+            Err(e) => Err(TangoError::Codec(e.to_string())),
+        }
+    }
+}
+
+/// Splits updates into chunks whose encoded size stays near `limit`.
+fn chunk_updates(updates: Vec<UpdateRecord>, limit: usize) -> Vec<Vec<UpdateRecord>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut size = 0usize;
+    for u in updates {
+        let u_size = u.data.len() + 24;
+        if !current.is_empty() && size + u_size > limit {
+            chunks.push(std::mem::take(&mut current));
+            size = 0;
+        }
+        size += u_size;
+        current.push(u);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_respects_limit() {
+        let updates: Vec<UpdateRecord> = (0..10)
+            .map(|i| UpdateRecord { oid: 1, key: None, data: Bytes::from(vec![i as u8; 100]) })
+            .collect();
+        let chunks = chunk_updates(updates.clone(), 300);
+        assert!(chunks.len() > 1);
+        let flattened: Vec<UpdateRecord> = chunks.into_iter().flatten().collect();
+        assert_eq!(flattened, updates);
+        // A single oversized update still fits in its own chunk.
+        let big = vec![UpdateRecord { oid: 1, key: None, data: Bytes::from(vec![0u8; 5000]) }];
+        assert_eq!(chunk_updates(big, 100).len(), 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! Thread-local transaction contexts (§3.2).
+//!
+//! `BeginTX` creates a context in thread-local storage; while it is active,
+//! the runtime substitutes different implementations of the update/query
+//! helpers: updates are buffered instead of appended, and queries record
+//! `(oid, key, version)` into the read set instead of playing the log
+//! forward. Object code needs no modification to run transactionally.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+
+use crate::record::{ReadKey, UpdateRecord};
+use crate::{KeyHash, Oid};
+
+/// Outcome of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxStatus {
+    /// The read set was still current at the commit point; writes applied.
+    Committed,
+    /// A conflicting write landed in the conflict window; nothing applied.
+    Aborted,
+}
+
+impl TxStatus {
+    /// True if committed.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, TxStatus::Committed)
+    }
+}
+
+/// Options for a transaction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TxOptions {
+    /// Read-only transactions: decide locally against the current (possibly
+    /// stale) snapshot without checking the log tail (§3.2 "Read-only
+    /// transactions" fast path). No effect on read-write transactions.
+    pub stale_reads: bool,
+}
+
+/// The per-thread transaction state.
+#[derive(Debug)]
+pub(crate) struct TxContext {
+    /// Identity of the runtime that began the transaction (Arc pointer).
+    pub runtime_id: usize,
+    /// Options the transaction was begun with.
+    pub options: TxOptions,
+    /// The read set: first-observed version per (oid, key).
+    pub reads: Vec<ReadKey>,
+    /// Buffered writes, in program order.
+    pub writes: Vec<UpdateRecord>,
+    /// Oids present in `writes` (sorted, deduplicated).
+    pub write_oids: BTreeSet<Oid>,
+}
+
+impl TxContext {
+    pub fn new(runtime_id: usize, options: TxOptions) -> Self {
+        Self {
+            runtime_id,
+            options,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            write_oids: BTreeSet::new(),
+        }
+    }
+
+    /// Records a read, keeping the first-observed version for a given
+    /// (oid, key) — the strictest constraint.
+    pub fn record_read(&mut self, oid: Oid, key: Option<KeyHash>, version: u64) {
+        if !self.reads.iter().any(|r| r.oid == oid && r.key == key) {
+            self.reads.push(ReadKey { oid, key, version });
+        }
+    }
+
+    /// Buffers a write.
+    pub fn record_write(&mut self, update: UpdateRecord) {
+        self.write_oids.insert(update.oid);
+        self.writes.push(update);
+    }
+}
+
+thread_local! {
+    /// Active contexts on this thread, keyed by runtime identity. One
+    /// context per runtime: a process that (unusually) drives several
+    /// runtimes from one thread gets independent transactions per runtime,
+    /// matching the "one runtime per client" model of the paper.
+    static ACTIVE_TX: RefCell<std::collections::HashMap<usize, TxContext>> =
+        RefCell::new(std::collections::HashMap::new());
+}
+
+/// Installs a fresh context for the context's runtime; fails if that
+/// runtime already has one active on this thread.
+pub(crate) fn begin(ctx: TxContext) -> Result<(), crate::TangoError> {
+    ACTIVE_TX.with(|slot| {
+        let mut map = slot.borrow_mut();
+        if map.contains_key(&ctx.runtime_id) {
+            return Err(crate::TangoError::NestedTransaction);
+        }
+        map.insert(ctx.runtime_id, ctx);
+        Ok(())
+    })
+}
+
+/// Removes and returns the active context for `runtime_id`.
+pub(crate) fn take(runtime_id: usize) -> Option<TxContext> {
+    ACTIVE_TX.with(|slot| slot.borrow_mut().remove(&runtime_id))
+}
+
+/// Runs `f` against the active context for `runtime_id`, if any.
+pub(crate) fn with_active<R>(
+    runtime_id: usize,
+    f: impl FnOnce(&mut TxContext) -> R,
+) -> Option<R> {
+    ACTIVE_TX.with(|slot| slot.borrow_mut().get_mut(&runtime_id).map(f))
+}
+
+/// True if `runtime_id` has a transaction active on this thread.
+pub(crate) fn is_active(runtime_id: usize) -> bool {
+    ACTIVE_TX.with(|slot| slot.borrow().contains_key(&runtime_id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn read_set_keeps_first_version() {
+        let mut ctx = TxContext::new(0, TxOptions::default());
+        ctx.record_read(1, None, 5);
+        ctx.record_read(1, None, 9); // later observation ignored
+        ctx.record_read(1, Some(2), 7);
+        assert_eq!(ctx.reads.len(), 2);
+        assert_eq!(ctx.reads[0].version, 5);
+    }
+
+    #[test]
+    fn write_oids_deduplicate() {
+        let mut ctx = TxContext::new(0, TxOptions::default());
+        for oid in [3, 1, 3, 2] {
+            ctx.record_write(UpdateRecord { oid, key: None, data: Bytes::new() });
+        }
+        let oids: Vec<Oid> = ctx.write_oids.iter().copied().collect();
+        assert_eq!(oids, vec![1, 2, 3]);
+        assert_eq!(ctx.writes.len(), 4);
+    }
+
+    #[test]
+    fn nesting_rejected_per_runtime() {
+        begin(TxContext::new(7, TxOptions::default())).unwrap();
+        assert!(begin(TxContext::new(7, TxOptions::default())).is_err());
+        // A different runtime on the same thread is independent.
+        begin(TxContext::new(8, TxOptions::default())).unwrap();
+        assert!(take(7).is_some());
+        assert!(take(7).is_none());
+        assert!(take(8).is_some());
+    }
+}

@@ -1,0 +1,443 @@
+//! End-to-end tests of the Tango runtime over an in-process CORFU cluster:
+//! single-object linearizability, transactions, decision records, history,
+//! checkpoints, and garbage collection.
+
+use std::sync::Arc;
+
+use corfu::cluster::{ClusterConfig, LocalCluster};
+use tango::{
+    ApplyMeta, ObjectOptions, RuntimeOptions, StateMachine, TangoRuntime, TxOptions, TxStatus,
+};
+
+/// The paper's TangoRegister (Figure 3).
+#[derive(Default)]
+struct Register(i64);
+
+impl StateMachine for Register {
+    fn apply(&mut self, data: &[u8], _meta: &ApplyMeta) {
+        if let Ok(bytes) = <[u8; 8]>::try_from(data) {
+            self.0 = i64::from_le_bytes(bytes);
+        }
+    }
+
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        Some(self.0.to_le_bytes().to_vec())
+    }
+
+    fn restore(&mut self, data: &[u8]) {
+        if let Ok(bytes) = <[u8; 8]>::try_from(data) {
+            self.0 = i64::from_le_bytes(bytes);
+        }
+    }
+}
+
+/// A keyed map used to exercise fine-grained versioning. Update format:
+/// key u64 | value i64.
+#[derive(Default)]
+struct MiniMap(std::collections::HashMap<u64, i64>);
+
+impl StateMachine for MiniMap {
+    fn apply(&mut self, data: &[u8], _meta: &ApplyMeta) {
+        if data.len() == 16 {
+            let k = u64::from_le_bytes(data[0..8].try_into().unwrap());
+            let v = i64::from_le_bytes(data[8..16].try_into().unwrap());
+            self.0.insert(k, v);
+        }
+    }
+}
+
+fn mini_put(view: &tango::ObjectView<MiniMap>, k: u64, v: i64) -> tango::Result<()> {
+    let mut buf = Vec::with_capacity(16);
+    buf.extend_from_slice(&k.to_le_bytes());
+    buf.extend_from_slice(&v.to_le_bytes());
+    view.update(Some(k), buf)
+}
+
+fn mini_get(view: &tango::ObjectView<MiniMap>, k: u64) -> tango::Result<Option<i64>> {
+    view.query(Some(k), |m| m.0.get(&k).copied())
+}
+
+fn cluster() -> LocalCluster {
+    LocalCluster::new(ClusterConfig::default())
+}
+
+fn runtime(cluster: &LocalCluster) -> Arc<TangoRuntime> {
+    TangoRuntime::new(cluster.client().unwrap()).unwrap()
+}
+
+#[test]
+fn register_semantics_single_view() {
+    let cluster = cluster();
+    let rt = runtime(&cluster);
+    let oid = rt.create_or_open("reg").unwrap();
+    let reg = rt.register_object(oid, Register::default(), ObjectOptions::default()).unwrap();
+    assert_eq!(reg.query(None, |r| r.0).unwrap(), 0);
+    reg.update(None, 42i64.to_le_bytes().to_vec()).unwrap();
+    assert_eq!(reg.query(None, |r| r.0).unwrap(), 42);
+    reg.update(None, 7i64.to_le_bytes().to_vec()).unwrap();
+    assert_eq!(reg.query(None, |r| r.0).unwrap(), 7);
+}
+
+#[test]
+fn two_views_observe_each_other() {
+    let cluster = cluster();
+    let rt_a = runtime(&cluster);
+    let rt_b = runtime(&cluster);
+    let oid = rt_a.create_or_open("shared-reg").unwrap();
+    assert_eq!(rt_b.create_or_open("shared-reg").unwrap(), oid);
+    let reg_a = rt_a.register_object(oid, Register::default(), ObjectOptions::default()).unwrap();
+    let reg_b = rt_b.register_object(oid, Register::default(), ObjectOptions::default()).unwrap();
+    reg_a.update(None, 10i64.to_le_bytes().to_vec()).unwrap();
+    // B's accessor syncs with the log and sees A's write (linearizable).
+    assert_eq!(reg_b.query(None, |r| r.0).unwrap(), 10);
+    reg_b.update(None, 20i64.to_le_bytes().to_vec()).unwrap();
+    assert_eq!(reg_a.query(None, |r| r.0).unwrap(), 20);
+}
+
+#[test]
+fn crash_recovery_replays_history() {
+    let cluster = cluster();
+    let oid;
+    {
+        let rt = runtime(&cluster);
+        oid = rt.create_or_open("durable").unwrap();
+        let reg =
+            rt.register_object(oid, Register::default(), ObjectOptions::default()).unwrap();
+        for v in [5i64, 15, 25] {
+            reg.update(None, v.to_le_bytes().to_vec()).unwrap();
+        }
+        // The runtime is dropped: the "client" crashes.
+    }
+    let rt2 = runtime(&cluster);
+    let reg2 = rt2.register_object(oid, Register::default(), ObjectOptions::default()).unwrap();
+    assert_eq!(reg2.query(None, |r| r.0).unwrap(), 25);
+}
+
+#[test]
+fn single_object_tx_commit_and_conflict() {
+    let cluster = cluster();
+    let rt_a = runtime(&cluster);
+    let rt_b = runtime(&cluster);
+    let oid = rt_a.create_or_open("tx-reg").unwrap();
+    let reg_a = rt_a.register_object(oid, Register::default(), ObjectOptions::default()).unwrap();
+    let reg_b = rt_b.register_object(oid, Register::default(), ObjectOptions::default()).unwrap();
+
+    // A transactional increment on A commits cleanly.
+    rt_a.begin_tx().unwrap();
+    let v = reg_a.query(None, |r| r.0).unwrap();
+    reg_a.update(None, (v + 1).to_le_bytes().to_vec()).unwrap();
+    assert_eq!(rt_a.end_tx().unwrap(), TxStatus::Committed);
+    assert_eq!(reg_a.query(None, |r| r.0).unwrap(), 1);
+
+    // Now a conflicting pair: both read, then both write.
+    rt_a.begin_tx().unwrap();
+    let va = reg_a.query(None, |r| r.0).unwrap();
+    reg_a.update(None, (va + 10).to_le_bytes().to_vec()).unwrap();
+
+    rt_b.begin_tx().unwrap();
+    let vb = reg_b.query(None, |r| r.0).unwrap();
+    reg_b.update(None, (vb + 100).to_le_bytes().to_vec()).unwrap();
+
+    // A commits first; B must abort (its read of version 1 is stale).
+    assert_eq!(rt_a.end_tx().unwrap(), TxStatus::Committed);
+    assert_eq!(rt_b.end_tx().unwrap(), TxStatus::Aborted);
+    assert_eq!(reg_b.query(None, |r| r.0).unwrap(), 11);
+}
+
+#[test]
+fn fine_grained_keys_avoid_false_conflicts() {
+    let cluster = cluster();
+    let rt_a = runtime(&cluster);
+    let rt_b = runtime(&cluster);
+    let oid = rt_a.create_or_open("mini-map").unwrap();
+    let map_a = rt_a.register_object(oid, MiniMap::default(), ObjectOptions::default()).unwrap();
+    let map_b = rt_b.register_object(oid, MiniMap::default(), ObjectOptions::default()).unwrap();
+    mini_put(&map_a, 1, 10).unwrap();
+    mini_put(&map_a, 2, 20).unwrap();
+    // Sync both views before transacting (a continuously playing client).
+    map_a.query(None, |_| ()).unwrap();
+    map_b.query(None, |_| ()).unwrap();
+
+    // A touches key 1, B touches key 2: disjoint sub-regions, no conflict.
+    rt_a.begin_tx().unwrap();
+    let v1 = mini_get(&map_a, 1).unwrap().unwrap();
+    mini_put(&map_a, 1, v1 + 1).unwrap();
+
+    rt_b.begin_tx().unwrap();
+    let v2 = mini_get(&map_b, 2).unwrap().unwrap();
+    mini_put(&map_b, 2, v2 + 1).unwrap();
+
+    assert_eq!(rt_a.end_tx().unwrap(), TxStatus::Committed);
+    assert_eq!(rt_b.end_tx().unwrap(), TxStatus::Committed);
+    assert_eq!(mini_get(&map_a, 2).unwrap(), Some(21));
+    assert_eq!(mini_get(&map_b, 1).unwrap(), Some(11));
+
+    // Same key: conflict.
+    rt_a.begin_tx().unwrap();
+    let v1 = mini_get(&map_a, 1).unwrap().unwrap();
+    mini_put(&map_a, 1, v1 + 1).unwrap();
+    rt_b.begin_tx().unwrap();
+    let v1b = mini_get(&map_b, 1).unwrap().unwrap();
+    mini_put(&map_b, 1, v1b + 1).unwrap();
+    assert_eq!(rt_a.end_tx().unwrap(), TxStatus::Committed);
+    assert_eq!(rt_b.end_tx().unwrap(), TxStatus::Aborted);
+}
+
+#[test]
+fn cross_object_tx_is_atomic() {
+    let cluster = cluster();
+    let rt = runtime(&cluster);
+    let free = rt.create_or_open("free-list").unwrap();
+    let alloc = rt.create_or_open("alloc-table").unwrap();
+    let free_v = rt.register_object(free, Register::default(), ObjectOptions::default()).unwrap();
+    let alloc_v =
+        rt.register_object(alloc, Register::default(), ObjectOptions::default()).unwrap();
+    free_v.update(None, 5i64.to_le_bytes().to_vec()).unwrap();
+    // Bring the local views up to date before transacting.
+    free_v.query(None, |_| ()).unwrap();
+
+    // Move a node from the free list to the allocation table.
+    rt.begin_tx().unwrap();
+    let n = free_v.query(None, |r| r.0).unwrap();
+    free_v.update(None, (n - 1).to_le_bytes().to_vec()).unwrap();
+    let a = alloc_v.query(None, |r| r.0).unwrap();
+    alloc_v.update(None, (a + 1).to_le_bytes().to_vec()).unwrap();
+    assert_eq!(rt.end_tx().unwrap(), TxStatus::Committed);
+
+    // Another runtime hosting both sees both effects.
+    let rt2 = runtime(&cluster);
+    let free2 = rt2.register_object(free, Register::default(), ObjectOptions::default()).unwrap();
+    let alloc2 =
+        rt2.register_object(alloc, Register::default(), ObjectOptions::default()).unwrap();
+    assert_eq!(free2.query(None, |r| r.0).unwrap(), 4);
+    assert_eq!(alloc2.query(None, |r| r.0).unwrap(), 1);
+}
+
+#[test]
+fn remote_write_tx_updates_unhosted_object() {
+    // §4.1 case A/B: the producer writes to a queue it does not host.
+    let cluster = cluster();
+    let rt_producer = runtime(&cluster);
+    let rt_consumer = runtime(&cluster);
+    let local = rt_producer.create_or_open("producer-state").unwrap();
+    let queue = rt_producer.create_or_open("queue").unwrap();
+    let local_v = rt_producer
+        .register_object(local, Register::default(), ObjectOptions::default())
+        .unwrap();
+    let queue_v = rt_consumer
+        .register_object(queue, Register::default(), ObjectOptions::default())
+        .unwrap();
+
+    // Producer: reads its local object, writes both local and remote.
+    rt_producer.begin_tx().unwrap();
+    let n = local_v.query(None, |r| r.0).unwrap();
+    local_v.update(None, (n + 1).to_le_bytes().to_vec()).unwrap();
+    // Remote write: no local view of `queue` exists on the producer.
+    rt_producer
+        .update_remote(queue, None, 99i64.to_le_bytes().to_vec())
+        .unwrap();
+    assert_eq!(rt_producer.end_tx().unwrap(), TxStatus::Committed);
+
+    // The consumer, which hosts only the queue, sees the write. Because it
+    // does not host the producer's read set, the decision record path runs.
+    assert_eq!(queue_v.query(None, |r| r.0).unwrap(), 99);
+}
+
+#[test]
+fn read_only_tx_fast_paths() {
+    let cluster = cluster();
+    let rt = runtime(&cluster);
+    let oid = rt.create_or_open("ro").unwrap();
+    let reg = rt.register_object(oid, Register::default(), ObjectOptions::default()).unwrap();
+    reg.update(None, 1i64.to_le_bytes().to_vec()).unwrap();
+    reg.query(None, |_| ()).unwrap();
+
+    // Read-only transaction with no concurrent writers commits.
+    rt.begin_tx().unwrap();
+    let v = reg.query(None, |r| r.0).unwrap();
+    assert_eq!(v, 1);
+    assert_eq!(rt.end_tx().unwrap(), TxStatus::Committed);
+
+    // Stale-snapshot read-only transaction never touches the log.
+    rt.begin_tx_with(TxOptions { stale_reads: true }).unwrap();
+    reg.query_dirty(None, |r| r.0).unwrap();
+    assert_eq!(rt.end_tx().unwrap(), TxStatus::Committed);
+
+    // A read-only tx whose read was invalidated by another client aborts.
+    let rt2 = runtime(&cluster);
+    let reg2 = rt2.register_object(oid, Register::default(), ObjectOptions::default()).unwrap();
+    rt.begin_tx().unwrap();
+    reg.query_dirty(None, |r| r.0).unwrap();
+    reg2.update(None, 2i64.to_le_bytes().to_vec()).unwrap();
+    assert_eq!(rt.end_tx().unwrap(), TxStatus::Aborted);
+}
+
+#[test]
+fn write_only_tx_commits_without_playing() {
+    let cluster = cluster();
+    let rt = runtime(&cluster);
+    let oid = rt.create_or_open("wo").unwrap();
+    let reg = rt.register_object(oid, Register::default(), ObjectOptions::default()).unwrap();
+    rt.begin_tx().unwrap();
+    reg.update(None, 123i64.to_le_bytes().to_vec()).unwrap();
+    assert_eq!(rt.end_tx().unwrap(), TxStatus::Committed);
+    assert_eq!(reg.query(None, |r| r.0).unwrap(), 123);
+}
+
+#[test]
+fn large_write_set_spills_speculatively() {
+    let cluster = cluster();
+    let rt = TangoRuntime::with_options(
+        cluster.client().unwrap(),
+        RuntimeOptions { inline_update_limit: 64, ..RuntimeOptions::default() },
+    )
+    .unwrap();
+    let oid = rt.create_or_open("spill").unwrap();
+    let map = rt.register_object(oid, MiniMap::default(), ObjectOptions::default()).unwrap();
+    rt.begin_tx().unwrap();
+    for k in 0..50u64 {
+        mini_put(&map, k, k as i64).unwrap();
+    }
+    assert_eq!(rt.end_tx().unwrap(), TxStatus::Committed);
+    // All fifty writes are visible here and on a fresh runtime.
+    assert_eq!(map.query(None, |m| m.0.len()).unwrap(), 50);
+    let rt2 = runtime(&cluster);
+    let map2 = rt2.register_object(oid, MiniMap::default(), ObjectOptions::default()).unwrap();
+    assert_eq!(map2.query(None, |m| m.0.len()).unwrap(), 50);
+    assert_eq!(mini_get(&map2, 49).unwrap(), Some(49));
+}
+
+#[test]
+fn history_rollback_via_play_limit() {
+    let cluster = cluster();
+    let rt = runtime(&cluster);
+    let oid = rt.create_or_open("hist").unwrap();
+    let reg = rt.register_object(oid, Register::default(), ObjectOptions::default()).unwrap();
+    reg.update(None, 1i64.to_le_bytes().to_vec()).unwrap();
+    reg.query(None, |_| ()).unwrap();
+    let snapshot_pos = rt.position();
+    reg.update(None, 2i64.to_le_bytes().to_vec()).unwrap();
+    reg.update(None, 3i64.to_le_bytes().to_vec()).unwrap();
+    assert_eq!(reg.query(None, |r| r.0).unwrap(), 3);
+
+    // A time-travel runtime synced only to the snapshot prefix.
+    let rt_old = TangoRuntime::with_options(
+        cluster.client().unwrap(),
+        RuntimeOptions { play_limit: Some(snapshot_pos), ..RuntimeOptions::default() },
+    )
+    .unwrap();
+    let reg_old =
+        rt_old.register_object(oid, Register::default(), ObjectOptions::default()).unwrap();
+    assert_eq!(reg_old.query(None, |r| r.0).unwrap(), 1);
+}
+
+#[test]
+fn checkpoint_restore_and_compact() {
+    let cluster = cluster();
+    let rt = runtime(&cluster);
+    let oid = rt.create_or_open("ckpt").unwrap();
+    let reg = rt.register_object(oid, Register::default(), ObjectOptions::default()).unwrap();
+    for v in 1..=10i64 {
+        reg.update(None, v.to_le_bytes().to_vec()).unwrap();
+    }
+    reg.query(None, |_| ()).unwrap();
+    let ckpt_off = rt.checkpoint(oid).unwrap();
+    reg.update(None, 11i64.to_le_bytes().to_vec()).unwrap();
+    reg.query(None, |_| ()).unwrap();
+
+    // A fresh runtime restores from the checkpoint and replays the suffix.
+    let rt2 = runtime(&cluster);
+    let reg2 = rt2
+        .register_object_from_checkpoint(oid, Register::default(), ObjectOptions::default())
+        .unwrap();
+    assert_eq!(reg2.query(None, |r| r.0).unwrap(), 11);
+
+    // Forget + compact: the checkpointed prefix is physically trimmed once
+    // every object (here: the directory too) has forgotten it.
+    rt.forget(oid, ckpt_off).unwrap();
+    rt.checkpoint(tango::DIRECTORY_OID).unwrap();
+    let dir_pos = rt.position();
+    rt.forget(tango::DIRECTORY_OID, dir_pos.min(ckpt_off)).unwrap();
+    let horizon = rt.compact().unwrap();
+    assert!(horizon > 0, "expected a positive trim horizon");
+    // Trimmed prefix is gone at the log level.
+    assert_eq!(
+        cluster.client().unwrap().read(0).unwrap(),
+        corfu::ReadOutcome::Trimmed
+    );
+    // New runtimes still reconstruct from the checkpoint.
+    let rt3 = runtime(&cluster);
+    let reg3 = rt3
+        .register_object_from_checkpoint(oid, Register::default(), ObjectOptions::default())
+        .unwrap();
+    assert_eq!(reg3.query(None, |r| r.0).unwrap(), 11);
+}
+
+#[test]
+fn directory_allocates_unique_oids_under_contention() {
+    let cluster = cluster();
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let client = cluster.client().unwrap();
+        handles.push(std::thread::spawn(move || {
+            let rt = TangoRuntime::new(client).unwrap();
+            (0..5u32)
+                .map(|i| {
+                    let name = format!("obj-{t}-{i}");
+                    rt.create_or_open(&name).unwrap()
+                })
+                .collect::<Vec<_>>()
+        }));
+    }
+    let mut all: Vec<u32> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+    let before = all.len();
+    all.sort_unstable();
+    all.dedup();
+    assert_eq!(all.len(), before, "oids must be unique");
+
+    // Same name resolves to the same oid everywhere.
+    let rt = runtime(&cluster);
+    let a = rt.create_or_open("obj-0-0").unwrap();
+    let b = rt.create_or_open("obj-0-0").unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn orphaned_commit_is_aborted_by_peer() {
+    // A client crashes between appending speculative entries and the commit
+    // record; a peer cleans up with a dummy abort decision (§3.2).
+    let cluster = cluster();
+    let rt_a = runtime(&cluster);
+    let rt_b = runtime(&cluster);
+    let oid = rt_a.create_or_open("orphan").unwrap();
+    let reg_a = rt_a.register_object(oid, Register::default(), ObjectOptions::default()).unwrap();
+    let reg_b = rt_b.register_object(oid, Register::default(), ObjectOptions::default()).unwrap();
+    reg_a.update(None, 1i64.to_le_bytes().to_vec()).unwrap();
+
+    // Simulate the orphan: append a commit record by hand whose generator
+    // never wrote a decision, reading an object B does not host.
+    use tango::{LogRecord, ReadKey, TxId, UpdateRecord};
+    let fake_oid = 9999; // B hosts nothing with this id.
+    let txid = TxId { client: 424242, seq: 1 };
+    let record = LogRecord::Commit {
+        txid,
+        reads: vec![ReadKey { oid: fake_oid, key: None, version: 0 }],
+        updates: vec![UpdateRecord {
+            oid,
+            key: None,
+            data: bytes::Bytes::copy_from_slice(&777i64.to_le_bytes()),
+        }],
+        speculative: vec![],
+        needs_decision: true,
+    };
+    rt_b.stream()
+        .multiappend(&[oid], bytes::Bytes::from(tango_wire::encode_to_vec(&record)))
+        .unwrap();
+
+    // B's next accessor hits the undecided commit, times out waiting for
+    // the decision, resolves it offline (the fake object was never
+    // modified, so version 0 is still current -> COMMIT), and proceeds.
+    assert_eq!(reg_b.query(None, |r| r.0).unwrap(), 777);
+    // A sees the same outcome (deterministic decisions).
+    assert_eq!(reg_a.query(None, |r| r.0).unwrap(), 777);
+}

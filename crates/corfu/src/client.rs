@@ -1,0 +1,622 @@
+//! The CORFU client library (§2.2).
+//!
+//! Appends acquire a token from the sequencer, then write the entry to the
+//! offset's replica chain head-to-tail (client-driven chain replication
+//! [45]); reads go to the chain tail and *repair* half-written chains by
+//! propagating the head's value forward. Write-once storage arbitrates all
+//! races: if another client (usually a hole-filler) consumed our token's
+//! slot, the append retries with a fresh token. Every request is epoch-
+//! stamped; on `ErrSealed` the client refreshes its projection from the
+//! layout service and retries.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use tango_rpc::ClientConn;
+use tango_wire::{decode_from_slice, encode_to_vec};
+
+use crate::entry::{EntryEnvelope, StreamHeader};
+use crate::layout::LayoutClient;
+use crate::proto::{
+    SequencerRequest, SequencerResponse, StorageRequest, StorageResponse, WriteKind,
+};
+use crate::{CorfuError, Epoch, LogOffset, NodeId, NodeInfo, Projection, Result, StreamId};
+
+/// Creates connections to nodes named by the projection's address book.
+pub trait ConnFactory: Send + Sync {
+    /// Opens (or reuses) a connection to `node`.
+    fn connect(&self, node: &NodeInfo) -> Arc<dyn ClientConn>;
+}
+
+impl<F> ConnFactory for F
+where
+    F: Fn(&NodeInfo) -> Arc<dyn ClientConn> + Send + Sync,
+{
+    fn connect(&self, node: &NodeInfo) -> Arc<dyn ClientConn> {
+        self(node)
+    }
+}
+
+/// Tuning knobs for the client.
+#[derive(Debug, Clone)]
+pub struct ClientOptions {
+    /// How long a reader waits on an unwritten offset before patching it
+    /// with junk (the paper's default is 100ms).
+    pub hole_fill_timeout: Duration,
+    /// Poll interval while waiting on an unwritten offset.
+    pub hole_poll_interval: Duration,
+    /// How many times an operation retries across epoch changes before
+    /// giving up.
+    pub max_epoch_retries: u32,
+    /// How many times an append retries lost tokens before giving up.
+    pub max_token_retries: u32,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        Self {
+            hole_fill_timeout: Duration::from_millis(100),
+            hole_poll_interval: Duration::from_millis(1),
+            max_epoch_retries: 32,
+            max_token_retries: 64,
+        }
+    }
+}
+
+/// A reserved log position plus per-stream backpointers (§5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The reserved global offset.
+    pub offset: LogOffset,
+    /// For each stream in the request, the previous K offsets of that
+    /// stream (most recent first).
+    pub backpointers: Vec<Vec<LogOffset>>,
+}
+
+/// The value found at a log offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// A completed entry.
+    Data(Bytes),
+    /// A junk fill (hole patched by some client).
+    Junk,
+    /// Nothing written yet.
+    Unwritten,
+    /// Garbage collected.
+    Trimmed,
+}
+
+/// What happened to an append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendOutcome {
+    /// The entry was written at this offset.
+    Written(LogOffset),
+}
+
+struct ClientState {
+    proj: Projection,
+    conns: HashMap<NodeId, Arc<dyn ClientConn>>,
+}
+
+/// A CORFU client handle. Cheap to clone; safe to share across threads.
+#[derive(Clone)]
+pub struct CorfuClient {
+    layout: LayoutClient,
+    factory: Arc<dyn ConnFactory>,
+    state: Arc<RwLock<ClientState>>,
+    opts: ClientOptions,
+}
+
+impl CorfuClient {
+    /// Creates a client: fetches the projection from `layout` and connects
+    /// to nodes via `factory`.
+    pub fn new(layout: LayoutClient, factory: Arc<dyn ConnFactory>) -> Result<Self> {
+        Self::with_options(layout, factory, ClientOptions::default())
+    }
+
+    /// Creates a client with explicit options.
+    pub fn with_options(
+        layout: LayoutClient,
+        factory: Arc<dyn ConnFactory>,
+        opts: ClientOptions,
+    ) -> Result<Self> {
+        let proj = layout.get()?;
+        let state = ClientState { proj, conns: HashMap::new() };
+        Ok(Self { layout, factory, state: Arc::new(RwLock::new(state)), opts })
+    }
+
+    /// The client's current view of the projection.
+    pub fn projection(&self) -> Projection {
+        self.state.read().proj.clone()
+    }
+
+    /// The epoch the client is operating at.
+    pub fn epoch(&self) -> Epoch {
+        self.state.read().proj.epoch
+    }
+
+    /// Re-fetches the projection from the layout service. Returns the new
+    /// epoch.
+    pub fn refresh_layout(&self) -> Result<Epoch> {
+        let fresh = self.layout.get()?;
+        let mut state = self.state.write();
+        if fresh.epoch > state.proj.epoch {
+            // Addresses may have changed; drop stale connections lazily by
+            // keeping only ids still present.
+            state.conns.retain(|id, _| fresh.addr_of(*id).is_some());
+            state.proj = fresh;
+        }
+        Ok(state.proj.epoch)
+    }
+
+    fn conn(&self, node: NodeId) -> Result<Arc<dyn ClientConn>> {
+        {
+            let state = self.state.read();
+            if let Some(c) = state.conns.get(&node) {
+                return Ok(Arc::clone(c));
+            }
+        }
+        let mut state = self.state.write();
+        if let Some(c) = state.conns.get(&node) {
+            return Ok(Arc::clone(c));
+        }
+        let info = state
+            .proj
+            .nodes
+            .iter()
+            .find(|n| n.id == node)
+            .ok_or_else(|| CorfuError::Layout(format!("node {node} not in projection")))?
+            .clone();
+        let conn = self.factory.connect(&info);
+        state.conns.insert(node, Arc::clone(&conn));
+        Ok(conn)
+    }
+
+    pub(crate) fn storage_call(&self, node: NodeId, req: &StorageRequest) -> Result<StorageResponse> {
+        let conn = self.conn(node)?;
+        let resp = conn.call(&encode_to_vec(req))?;
+        Ok(decode_from_slice(&resp)?)
+    }
+
+    /// Sends a raw sequencer request at the client's current epoch
+    /// (used by reconfiguration tooling).
+    pub(crate) fn sequencer_call_pub(&self, req: &SequencerRequest) -> Result<SequencerResponse> {
+        self.sequencer_call(req)
+    }
+
+    fn sequencer_call(&self, req: &SequencerRequest) -> Result<SequencerResponse> {
+        let seq = self.state.read().proj.sequencer;
+        let conn = self.conn(seq)?;
+        let resp = conn.call(&encode_to_vec(req))?;
+        Ok(decode_from_slice(&resp)?)
+    }
+
+    /// Runs `op` with automatic projection refresh on `ErrSealed`.
+    fn with_epoch_retry<T>(&self, what: &'static str, op: impl FnMut() -> Result<T>) -> Result<T> {
+        self.with_retry(what, false, op)
+    }
+
+    /// Like [`CorfuClient::with_epoch_retry`], but also refreshes and
+    /// retries on transport failures. Used for sequencer operations: a dead
+    /// sequencer is expected to be replaced by reconfiguration, so clients
+    /// re-fetch the projection instead of giving up (§5 reports replacing a
+    /// failed sequencer within 10ms).
+    fn with_sequencer_retry<T>(&self, what: &'static str, op: impl FnMut() -> Result<T>) -> Result<T> {
+        self.with_retry(what, true, op)
+    }
+
+    fn with_retry<T>(
+        &self,
+        what: &'static str,
+        retry_rpc: bool,
+        mut op: impl FnMut() -> Result<T>,
+    ) -> Result<T> {
+        let mut last_rpc_error = None;
+        for attempt in 0..self.opts.max_epoch_retries {
+            match op() {
+                Err(CorfuError::Sealed { .. }) => {
+                    // Reconfiguration in progress: pick up the new
+                    // projection; back off briefly if it has not landed yet.
+                    let before = self.epoch();
+                    let after = self.refresh_layout()?;
+                    if after == before && attempt > 0 {
+                        std::thread::sleep(Duration::from_millis(1 << attempt.min(6)));
+                    }
+                }
+                Err(CorfuError::Rpc(e)) if retry_rpc => {
+                    last_rpc_error = Some(CorfuError::Rpc(e));
+                    let before = self.epoch();
+                    let after = self.refresh_layout()?;
+                    if after == before && attempt > 0 {
+                        std::thread::sleep(Duration::from_millis(1 << attempt.min(6)));
+                    }
+                    // A new projection may name a new sequencer; drop the
+                    // cached connection so the next attempt reconnects.
+                    let seq = self.state.read().proj.sequencer;
+                    self.state.write().conns.remove(&seq);
+                }
+                other => return other,
+            }
+        }
+        Err(last_rpc_error.unwrap_or(CorfuError::RetriesExhausted { what }))
+    }
+
+    /// Reserves the next log offset; `streams` become members of the entry
+    /// and their backpointers are returned.
+    pub fn token(&self, streams: &[StreamId]) -> Result<Token> {
+        self.with_sequencer_retry("token", || {
+            let epoch = self.epoch();
+            match self.sequencer_call(&SequencerRequest::Next {
+                epoch,
+                streams: streams.to_vec(),
+            })? {
+                SequencerResponse::Token { offset, backpointers } => {
+                    Ok(Token { offset, backpointers })
+                }
+                SequencerResponse::ErrSealed { epoch } => {
+                    Err(CorfuError::Sealed { server_epoch: epoch })
+                }
+                other => Err(CorfuError::Codec(format!("unexpected token response {other:?}"))),
+            }
+        })
+    }
+
+    /// Queries the log tail and last-K offsets for `streams` without
+    /// reserving anything — the fast check (§2.2) and the stream-sync
+    /// primitive (§5).
+    pub fn tail_info(&self, streams: &[StreamId]) -> Result<(LogOffset, Vec<Vec<LogOffset>>)> {
+        self.with_sequencer_retry("tail_info", || {
+            let epoch = self.epoch();
+            match self.sequencer_call(&SequencerRequest::Query {
+                epoch,
+                streams: streams.to_vec(),
+            })? {
+                SequencerResponse::TailInfo { tail, backpointers } => Ok((tail, backpointers)),
+                SequencerResponse::ErrSealed { epoch } => {
+                    Err(CorfuError::Sealed { server_epoch: epoch })
+                }
+                other => Err(CorfuError::Codec(format!("unexpected query response {other:?}"))),
+            }
+        })
+    }
+
+    /// The fast tail check: one round trip to the sequencer.
+    pub fn check_tail_fast(&self) -> Result<LogOffset> {
+        Ok(self.tail_info(&[])?.0)
+    }
+
+    /// The slow tail check: query every storage node's local tail and invert
+    /// the mapping (used when the sequencer is unavailable).
+    pub fn check_tail_slow(&self) -> Result<LogOffset> {
+        self.with_epoch_retry("check_tail_slow", || {
+            let proj = self.projection();
+            let epoch = proj.epoch;
+            let mut local_tails = vec![0u64; proj.replica_sets.len()];
+            for (set_idx, set) in proj.replica_sets.iter().enumerate() {
+                for &node in set {
+                    match self.storage_call(node, &StorageRequest::LocalTail { epoch })? {
+                        StorageResponse::Tail(t) => {
+                            local_tails[set_idx] = local_tails[set_idx].max(t)
+                        }
+                        StorageResponse::ErrSealed { epoch } => {
+                            return Err(CorfuError::Sealed { server_epoch: epoch })
+                        }
+                        other => {
+                            return Err(CorfuError::Codec(format!(
+                                "unexpected local-tail response {other:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+            Ok(proj.global_tail_from_local(&local_tails))
+        })
+    }
+
+    /// Writes pre-encoded entry bytes at a reserved offset via chain
+    /// replication. Fails with [`CorfuError::TokenLost`] if another client
+    /// consumed the slot.
+    pub fn write_at(&self, offset: LogOffset, body: &[u8]) -> Result<()> {
+        self.with_epoch_retry("write_at", || {
+            let proj = self.projection();
+            let epoch = proj.epoch;
+            let (_, local) = proj.map(offset);
+            let chain = proj.chain_for(offset).to_vec();
+            for (pos, node) in chain.iter().enumerate() {
+                let req = StorageRequest::Write {
+                    epoch,
+                    addr: local,
+                    kind: WriteKind::Data,
+                    payload: Bytes::copy_from_slice(body),
+                };
+                match self.storage_call(*node, &req)? {
+                    StorageResponse::Ok => {}
+                    StorageResponse::ErrAlreadyWritten if pos == 0 => {
+                        // The head arbitrates: someone else (a hole filler)
+                        // owns this offset now.
+                        return Err(CorfuError::TokenLost { offset });
+                    }
+                    StorageResponse::ErrAlreadyWritten => {
+                        // A repairing reader raced us past the head; the
+                        // value is ours either way (head-first ordering).
+                    }
+                    StorageResponse::ErrSealed { epoch } => {
+                        return Err(CorfuError::Sealed { server_epoch: epoch })
+                    }
+                    StorageResponse::ErrTrimmed => return Err(CorfuError::Trimmed { offset }),
+                    StorageResponse::ErrTooLarge => {
+                        return Err(CorfuError::EntryTooLarge { len: body.len(), max: 0 })
+                    }
+                    other => {
+                        return Err(CorfuError::Storage(format!(
+                            "write at {offset} failed: {other:?}"
+                        )))
+                    }
+                }
+            }
+            Ok(())
+        })
+    }
+
+    /// Appends a raw payload (no stream membership) and returns its offset.
+    pub fn append(&self, payload: Bytes) -> Result<LogOffset> {
+        self.append_streams(&[], payload).map(|(off, _)| off)
+    }
+
+    /// Appends a payload to `streams` (the `multiappend` of §4): acquires a
+    /// token, builds the entry envelope with backpointer headers, and chain-
+    /// writes it. Retries with a fresh token if the slot was stolen by a
+    /// hole fill.
+    pub fn append_streams(
+        &self,
+        streams: &[StreamId],
+        payload: Bytes,
+    ) -> Result<(LogOffset, EntryEnvelope)> {
+        for _ in 0..self.opts.max_token_retries {
+            let token = self.token(streams)?;
+            let headers = streams
+                .iter()
+                .zip(token.backpointers.iter())
+                .map(|(&stream, backs)| StreamHeader { stream, backpointers: backs.clone() })
+                .collect();
+            let envelope = EntryEnvelope { headers, payload: payload.clone() };
+            let body = envelope.encode(token.offset)?;
+            match self.write_at(token.offset, &body) {
+                Ok(()) => return Ok((token.offset, envelope)),
+                Err(CorfuError::TokenLost { .. }) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(CorfuError::RetriesExhausted { what: "append" })
+    }
+
+    /// Reads the value at `offset` from the chain tail, repairing
+    /// half-completed chain writes by propagating the head's value forward.
+    pub fn read(&self, offset: LogOffset) -> Result<ReadOutcome> {
+        self.with_epoch_retry("read", || {
+            let proj = self.projection();
+            self.read_with(&proj, offset)
+        })
+    }
+
+    /// Reads `offset` using an explicit projection (and thus epoch) instead
+    /// of the client's installed one. Reconfiguration uses this to scan the
+    /// log at the new epoch before the projection is published.
+    pub(crate) fn read_with(&self, proj: &Projection, offset: LogOffset) -> Result<ReadOutcome> {
+        let epoch = proj.epoch;
+        let (_, local) = proj.map(offset);
+        let chain = proj.chain_for(offset).to_vec();
+        let tail = *chain.last().expect("non-empty chain");
+        match self.storage_call(tail, &StorageRequest::Read { epoch, addr: local })? {
+            StorageResponse::Data(b) => Ok(ReadOutcome::Data(b)),
+            StorageResponse::Junk => Ok(ReadOutcome::Junk),
+            StorageResponse::Trimmed => Ok(ReadOutcome::Trimmed),
+            StorageResponse::Unwritten => {
+                if chain.len() == 1 {
+                    Ok(ReadOutcome::Unwritten)
+                } else {
+                    self.repair_chain(proj, offset)
+                }
+            }
+            StorageResponse::ErrSealed { epoch } => Err(CorfuError::Sealed { server_epoch: epoch }),
+            other => Err(CorfuError::Storage(format!("read at {offset} failed: {other:?}"))),
+        }
+    }
+
+    /// Reads and decodes the entry envelope at `offset`.
+    pub fn read_entry(&self, offset: LogOffset) -> Result<EntryEnvelope> {
+        match self.read(offset)? {
+            ReadOutcome::Data(bytes) => EntryEnvelope::decode(&bytes, offset),
+            ReadOutcome::Junk => Err(CorfuError::Storage(format!("offset {offset} holds junk"))),
+            ReadOutcome::Unwritten => Err(CorfuError::Unwritten { offset }),
+            ReadOutcome::Trimmed => Err(CorfuError::Trimmed { offset }),
+        }
+    }
+
+    /// Completes a chain whose tail is missing the value: reads the head
+    /// and pushes its value (data or junk) down the chain. Returns the
+    /// authoritative value, or `Unwritten` if the head has nothing.
+    fn repair_chain(&self, proj: &Projection, offset: LogOffset) -> Result<ReadOutcome> {
+        let epoch = proj.epoch;
+        let (_, local) = proj.map(offset);
+        let chain = proj.chain_for(offset);
+        let head = chain[0];
+        let (kind, value) =
+            match self.storage_call(head, &StorageRequest::Read { epoch, addr: local })? {
+                StorageResponse::Data(b) => (WriteKind::Data, b),
+                StorageResponse::Junk => (WriteKind::Junk, Bytes::new()),
+                StorageResponse::Unwritten => return Ok(ReadOutcome::Unwritten),
+                StorageResponse::Trimmed => return Ok(ReadOutcome::Trimmed),
+                StorageResponse::ErrSealed { epoch } => {
+                    return Err(CorfuError::Sealed { server_epoch: epoch })
+                }
+                other => {
+                    return Err(CorfuError::Storage(format!(
+                        "repair read at {offset} failed: {other:?}"
+                    )))
+                }
+            };
+        for &node in &chain[1..] {
+            let req = StorageRequest::Write { epoch, addr: local, kind, payload: value.clone() };
+            match self.storage_call(node, &req)? {
+                StorageResponse::Ok | StorageResponse::ErrAlreadyWritten => {}
+                StorageResponse::ErrSealed { epoch } => {
+                    return Err(CorfuError::Sealed { server_epoch: epoch })
+                }
+                other => {
+                    return Err(CorfuError::Storage(format!(
+                        "repair write at {offset} failed: {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(match kind {
+            WriteKind::Data => ReadOutcome::Data(value),
+            WriteKind::Junk => ReadOutcome::Junk,
+        })
+    }
+
+    /// Patches the hole at `offset` with junk (§3.2). If a writer got there
+    /// first, completes and returns the existing value instead.
+    pub fn fill(&self, offset: LogOffset) -> Result<ReadOutcome> {
+        self.with_epoch_retry("fill", || {
+            let proj = self.projection();
+            let epoch = proj.epoch;
+            let (_, local) = proj.map(offset);
+            let chain = proj.chain_for(offset).to_vec();
+            let head = chain[0];
+            let req = StorageRequest::Write {
+                epoch,
+                addr: local,
+                kind: WriteKind::Junk,
+                payload: Bytes::new(),
+            };
+            match self.storage_call(head, &req)? {
+                StorageResponse::Ok => {
+                    for &node in &chain[1..] {
+                        let req = StorageRequest::Write {
+                            epoch,
+                            addr: local,
+                            kind: WriteKind::Junk,
+                            payload: Bytes::new(),
+                        };
+                        match self.storage_call(node, &req)? {
+                            StorageResponse::Ok | StorageResponse::ErrAlreadyWritten => {}
+                            StorageResponse::ErrSealed { epoch } => {
+                                return Err(CorfuError::Sealed { server_epoch: epoch })
+                            }
+                            other => {
+                                return Err(CorfuError::Storage(format!(
+                                    "fill at {offset} failed: {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                    Ok(ReadOutcome::Junk)
+                }
+                StorageResponse::ErrAlreadyWritten => {
+                    // A writer won; complete its chain and return the value.
+                    if chain.len() == 1 {
+                        self.read(offset)
+                    } else {
+                        self.repair_chain(&proj, offset)
+                    }
+                }
+                StorageResponse::ErrTrimmed => Ok(ReadOutcome::Trimmed),
+                StorageResponse::ErrSealed { epoch } => {
+                    Err(CorfuError::Sealed { server_epoch: epoch })
+                }
+                other => {
+                    Err(CorfuError::Storage(format!("fill at {offset} failed: {other:?}")))
+                }
+            }
+        })
+    }
+
+    /// Reads `offset`, waiting for an in-flight writer and finally patching
+    /// the hole with junk after `hole_fill_timeout` (§3.2). Never returns
+    /// `Unwritten`.
+    pub fn wait_read(&self, offset: LogOffset) -> Result<ReadOutcome> {
+        let deadline = Instant::now() + self.opts.hole_fill_timeout;
+        loop {
+            match self.read(offset)? {
+                ReadOutcome::Unwritten => {
+                    if Instant::now() >= deadline {
+                        return self.fill(offset);
+                    }
+                    std::thread::sleep(self.opts.hole_poll_interval);
+                }
+                done => return Ok(done),
+            }
+        }
+    }
+
+    /// Trims a single offset, marking it garbage-collectable.
+    pub fn trim(&self, offset: LogOffset) -> Result<()> {
+        self.with_epoch_retry("trim", || {
+            let proj = self.projection();
+            let epoch = proj.epoch;
+            let (_, local) = proj.map(offset);
+            for &node in proj.chain_for(offset) {
+                match self.storage_call(node, &StorageRequest::Trim { epoch, addr: local })? {
+                    StorageResponse::Ok => {}
+                    StorageResponse::ErrSealed { epoch } => {
+                        return Err(CorfuError::Sealed { server_epoch: epoch })
+                    }
+                    other => {
+                        return Err(CorfuError::Storage(format!(
+                            "trim at {offset} failed: {other:?}"
+                        )))
+                    }
+                }
+            }
+            Ok(())
+        })
+    }
+
+    /// Trims every offset below `horizon` (sequential trim across the whole
+    /// cluster).
+    pub fn trim_prefix(&self, horizon: LogOffset) -> Result<()> {
+        self.with_epoch_retry("trim_prefix", || {
+            let proj = self.projection();
+            let epoch = proj.epoch;
+            for (set_idx, set) in proj.replica_sets.iter().enumerate() {
+                let local_horizon = proj.local_trim_horizon(set_idx, horizon);
+                for &node in set {
+                    let req = StorageRequest::TrimPrefix { epoch, horizon: local_horizon };
+                    match self.storage_call(node, &req)? {
+                        StorageResponse::Ok => {}
+                        StorageResponse::ErrSealed { epoch } => {
+                            return Err(CorfuError::Sealed { server_epoch: epoch })
+                        }
+                        other => {
+                            return Err(CorfuError::Storage(format!(
+                                "trim_prefix failed: {other:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })
+    }
+
+    /// The layout client, for reconfiguration tooling.
+    pub fn layout(&self) -> &LayoutClient {
+        &self.layout
+    }
+
+    /// The connection factory (used by reconfiguration to reach nodes that
+    /// are not yet part of the installed projection).
+    pub(crate) fn factory(&self) -> &Arc<dyn ConnFactory> {
+        &self.factory
+    }
+
+    /// The client options in effect.
+    pub fn options(&self) -> &ClientOptions {
+        &self.opts
+    }
+}

@@ -1,0 +1,280 @@
+//! Cluster harnesses: spin up a full CORFU deployment in one process (for
+//! tests, examples and benchmarks) or over real TCP sockets.
+//!
+//! The in-process harness routes RPCs through the same wire encoding as the
+//! TCP transport, and supports failure injection: any node can be "killed"
+//! (its connections start failing) and replacement sequencers can be
+//! registered for reconfiguration tests.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use tango_flash::FlashUnit;
+use tango_rpc::{ClientConn, RpcError, RpcHandler, TcpConn, TcpServer};
+
+use crate::client::{ClientOptions, ConnFactory, CorfuClient};
+use crate::layout::{LayoutClient, LayoutServer};
+use crate::sequencer::SequencerServer;
+use crate::storage::StorageServer;
+use crate::{NodeId, NodeInfo, Projection, Result};
+
+/// Geometry and tuning for a cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of replica sets the address space stripes over.
+    pub num_sets: usize,
+    /// Replicas per set (chain length).
+    pub replication: usize,
+    /// Fixed log entry (page) size in bytes.
+    pub page_size: usize,
+    /// Backpointers maintained per stream (K in §5).
+    pub k_backpointers: usize,
+    /// Client options handed to [`LocalCluster::client`].
+    pub client_options: ClientOptions,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            num_sets: 3,
+            replication: 2,
+            page_size: 4096,
+            k_backpointers: 4,
+            client_options: ClientOptions::default(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A tiny 1x1 cluster for unit tests.
+    pub fn tiny() -> Self {
+        Self { num_sets: 1, replication: 1, ..Self::default() }
+    }
+
+    /// The paper's evaluation deployment: 18 nodes in a 9x2 configuration.
+    pub fn paper_testbed() -> Self {
+        Self { num_sets: 9, replication: 2, ..Self::default() }
+    }
+}
+
+/// Shared registry mapping node addresses to in-process handlers. Removing
+/// an address simulates a node crash: subsequent calls fail with
+/// `Disconnected`.
+#[derive(Clone, Default)]
+pub struct HandlerRegistry {
+    inner: Arc<RwLock<HashMap<String, Arc<dyn RpcHandler>>>>,
+}
+
+impl HandlerRegistry {
+    /// Registers (or replaces) the handler at `addr`.
+    pub fn register(&self, addr: impl Into<String>, handler: Arc<dyn RpcHandler>) {
+        self.inner.write().insert(addr.into(), handler);
+    }
+
+    /// Removes the handler at `addr`, simulating a crash.
+    pub fn kill(&self, addr: &str) {
+        self.inner.write().remove(addr);
+    }
+
+    fn lookup(&self, addr: &str) -> Option<Arc<dyn RpcHandler>> {
+        self.inner.read().get(addr).cloned()
+    }
+}
+
+/// A connection that resolves its target in the registry on every call, so
+/// kills and restarts take effect immediately.
+struct RegistryConn {
+    registry: HandlerRegistry,
+    addr: String,
+}
+
+impl ClientConn for RegistryConn {
+    fn call(&self, request: &[u8]) -> tango_rpc::Result<Vec<u8>> {
+        match self.registry.lookup(&self.addr) {
+            Some(handler) => Ok(handler.handle(request)),
+            None => Err(RpcError::Disconnected),
+        }
+    }
+}
+
+struct RegistryFactory {
+    registry: HandlerRegistry,
+}
+
+impl ConnFactory for RegistryFactory {
+    fn connect(&self, node: &NodeInfo) -> Arc<dyn ClientConn> {
+        Arc::new(RegistryConn { registry: self.registry.clone(), addr: node.addr.clone() })
+    }
+}
+
+/// A complete in-process CORFU deployment.
+pub struct LocalCluster {
+    config: ClusterConfig,
+    registry: HandlerRegistry,
+    layout_server: Arc<LayoutServer>,
+    sequencer: Arc<SequencerServer>,
+    storage: Vec<Arc<StorageServer>>,
+    sequencer_generation: std::sync::atomic::AtomicU32,
+}
+
+/// Node id assigned to the first sequencer; replacements count up from it.
+pub const SEQUENCER_BASE_ID: NodeId = 10_000;
+
+/// Symbolic address of the layout service in the registry.
+pub const LAYOUT_ADDR: &str = "layout";
+
+impl LocalCluster {
+    /// Builds and wires up a cluster per `config`, with in-memory flash.
+    pub fn new(config: ClusterConfig) -> Self {
+        let registry = HandlerRegistry::default();
+        let mut storage = Vec::new();
+        let mut replica_sets = Vec::new();
+        let mut nodes = Vec::new();
+        let mut next_id: NodeId = 0;
+        for _ in 0..config.num_sets {
+            let mut set = Vec::new();
+            for _ in 0..config.replication {
+                let server =
+                    Arc::new(StorageServer::new(FlashUnit::in_memory(config.page_size)));
+                let addr = format!("storage-{next_id}");
+                registry.register(addr.clone(), Arc::clone(&server) as Arc<dyn RpcHandler>);
+                storage.push(server);
+                nodes.push(NodeInfo { id: next_id, addr });
+                set.push(next_id);
+                next_id += 1;
+            }
+            replica_sets.push(set);
+        }
+        let sequencer = Arc::new(SequencerServer::new(config.k_backpointers));
+        let seq_addr = format!("sequencer-{SEQUENCER_BASE_ID}");
+        registry.register(seq_addr.clone(), Arc::clone(&sequencer) as Arc<dyn RpcHandler>);
+        nodes.push(NodeInfo { id: SEQUENCER_BASE_ID, addr: seq_addr });
+
+        let projection =
+            Projection { epoch: 0, replica_sets, sequencer: SEQUENCER_BASE_ID, nodes };
+        let layout_server = Arc::new(LayoutServer::new(projection));
+        registry.register(LAYOUT_ADDR, Arc::clone(&layout_server) as Arc<dyn RpcHandler>);
+
+        Self {
+            config,
+            registry,
+            layout_server,
+            sequencer,
+            storage,
+            sequencer_generation: std::sync::atomic::AtomicU32::new(1),
+        }
+    }
+
+    /// The cluster's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The handler registry (for failure injection).
+    pub fn registry(&self) -> &HandlerRegistry {
+        &self.registry
+    }
+
+    /// Creates a new client connected to the cluster.
+    pub fn client(&self) -> Result<CorfuClient> {
+        let layout = LayoutClient::new(Arc::new(RegistryConn {
+            registry: self.registry.clone(),
+            addr: LAYOUT_ADDR.to_owned(),
+        }));
+        let factory: Arc<dyn ConnFactory> =
+            Arc::new(RegistryFactory { registry: self.registry.clone() });
+        CorfuClient::with_options(layout, factory, self.config.client_options.clone())
+    }
+
+    /// Direct access to the current sequencer server (for assertions).
+    pub fn sequencer(&self) -> &Arc<SequencerServer> {
+        &self.sequencer
+    }
+
+    /// Direct access to the storage servers, indexed by node id.
+    pub fn storage(&self) -> &[Arc<StorageServer>] {
+        &self.storage
+    }
+
+    /// Kills the current sequencer (its address stops resolving).
+    pub fn kill_sequencer(&self) {
+        let proj = self.layout_server.process(crate::proto::LayoutRequest::Get);
+        if let crate::proto::LayoutResponse::Current(p) = proj {
+            if let Some(addr) = p.addr_of(p.sequencer) {
+                self.registry.kill(addr);
+            }
+        }
+    }
+
+    /// Registers a fresh, empty sequencer server and returns its node info,
+    /// ready to be handed to [`crate::reconfig::replace_sequencer`].
+    pub fn spawn_replacement_sequencer(&self) -> (NodeInfo, Arc<SequencerServer>) {
+        let gen =
+            self.sequencer_generation.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        let id = SEQUENCER_BASE_ID + gen;
+        let addr = format!("sequencer-{id}");
+        let server = Arc::new(SequencerServer::new(self.config.k_backpointers));
+        self.registry.register(addr.clone(), Arc::clone(&server) as Arc<dyn RpcHandler>);
+        (NodeInfo { id, addr }, server)
+    }
+}
+
+/// A CORFU deployment over real TCP sockets on localhost: the same servers,
+/// each behind a [`TcpServer`]. Useful for end-to-end integration tests.
+pub struct TcpCluster {
+    /// Keep servers alive; dropping shuts them down.
+    _servers: Vec<TcpServer>,
+    layout_addr: String,
+}
+
+impl TcpCluster {
+    /// Spawns storage nodes, a sequencer, and a layout service on ephemeral
+    /// localhost ports.
+    pub fn spawn(config: ClusterConfig) -> Result<Self> {
+        let mut servers = Vec::new();
+        let mut replica_sets = Vec::new();
+        let mut nodes = Vec::new();
+        let mut next_id: NodeId = 0;
+        for _ in 0..config.num_sets {
+            let mut set = Vec::new();
+            for _ in 0..config.replication {
+                let handler: Arc<dyn RpcHandler> =
+                    Arc::new(StorageServer::new(FlashUnit::in_memory(config.page_size)));
+                let server = TcpServer::spawn("127.0.0.1:0", handler)
+                    .map_err(|e| crate::CorfuError::Rpc(e.to_string()))?;
+                nodes.push(NodeInfo { id: next_id, addr: server.local_addr().to_string() });
+                servers.push(server);
+                set.push(next_id);
+                next_id += 1;
+            }
+            replica_sets.push(set);
+        }
+        let seq_handler: Arc<dyn RpcHandler> =
+            Arc::new(SequencerServer::new(config.k_backpointers));
+        let seq_server = TcpServer::spawn("127.0.0.1:0", seq_handler)
+            .map_err(|e| crate::CorfuError::Rpc(e.to_string()))?;
+        nodes.push(NodeInfo { id: SEQUENCER_BASE_ID, addr: seq_server.local_addr().to_string() });
+        servers.push(seq_server);
+
+        let projection =
+            Projection { epoch: 0, replica_sets, sequencer: SEQUENCER_BASE_ID, nodes };
+        let layout_handler: Arc<dyn RpcHandler> = Arc::new(LayoutServer::new(projection));
+        let layout_server = TcpServer::spawn("127.0.0.1:0", layout_handler)
+            .map_err(|e| crate::CorfuError::Rpc(e.to_string()))?;
+        let layout_addr = layout_server.local_addr().to_string();
+        servers.push(layout_server);
+
+        Ok(Self { _servers: servers, layout_addr })
+    }
+
+    /// Creates a client that talks to the cluster over TCP.
+    pub fn client(&self) -> Result<CorfuClient> {
+        let layout = LayoutClient::new(Arc::new(TcpConn::new(self.layout_addr.clone())));
+        let factory: Arc<dyn ConnFactory> =
+            Arc::new(|node: &NodeInfo| -> Arc<dyn ClientConn> {
+                Arc::new(TcpConn::new(node.addr.clone()))
+            });
+        CorfuClient::new(layout, factory)
+    }
+}

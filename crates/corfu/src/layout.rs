@@ -1,0 +1,130 @@
+//! The layout (auxiliary) service: stores the current projection and
+//! arbitrates reconfiguration races with an epoch CAS.
+//!
+//! The paper's CORFU uses an auxiliary for membership; a single-node
+//! CAS service captures its role here. (Making the auxiliary itself
+//! replicated is orthogonal to Tango and out of scope.)
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tango_rpc::{ClientConn, RpcHandler};
+use tango_wire::{decode_from_slice, encode_to_vec};
+
+use crate::proto::{LayoutRequest, LayoutResponse};
+use crate::{CorfuError, Projection, Result};
+
+/// The layout server: holds the current projection.
+pub struct LayoutServer {
+    current: Mutex<Projection>,
+}
+
+impl LayoutServer {
+    /// Creates a layout service seeded with the bootstrap projection.
+    pub fn new(initial: Projection) -> Self {
+        Self { current: Mutex::new(initial) }
+    }
+
+    /// Processes a decoded request.
+    pub fn process(&self, req: LayoutRequest) -> LayoutResponse {
+        match req {
+            LayoutRequest::Get => LayoutResponse::Current(self.current.lock().clone()),
+            LayoutRequest::Propose(p) => {
+                let mut cur = self.current.lock();
+                if p.epoch == cur.epoch + 1 {
+                    *cur = p;
+                    LayoutResponse::Installed
+                } else {
+                    LayoutResponse::Conflict(cur.clone())
+                }
+            }
+        }
+    }
+}
+
+impl RpcHandler for LayoutServer {
+    fn handle(&self, request: &[u8]) -> Vec<u8> {
+        let response = match decode_from_slice::<LayoutRequest>(request) {
+            Ok(req) => self.process(req),
+            Err(_) => LayoutResponse::Conflict(self.current.lock().clone()),
+        };
+        encode_to_vec(&response)
+    }
+}
+
+/// Client stub for the layout service.
+#[derive(Clone)]
+pub struct LayoutClient {
+    conn: Arc<dyn ClientConn>,
+}
+
+impl LayoutClient {
+    /// Wraps a connection to the layout service.
+    pub fn new(conn: Arc<dyn ClientConn>) -> Self {
+        Self { conn }
+    }
+
+    fn call(&self, req: &LayoutRequest) -> Result<LayoutResponse> {
+        let resp = self.conn.call(&encode_to_vec(req))?;
+        Ok(decode_from_slice(&resp)?)
+    }
+
+    /// Fetches the current projection.
+    pub fn get(&self) -> Result<Projection> {
+        match self.call(&LayoutRequest::Get)? {
+            LayoutResponse::Current(p) => Ok(p),
+            other => Err(CorfuError::Layout(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Proposes `p` (whose epoch must be current + 1). On a lost race,
+    /// returns the winning projection as `Err`-free `Ok(Err(winner))`-style
+    /// result: `Ok(None)` means installed, `Ok(Some(winner))` means lost.
+    pub fn propose(&self, p: Projection) -> Result<Option<Projection>> {
+        match self.call(&LayoutRequest::Propose(p))? {
+            LayoutResponse::Installed => Ok(None),
+            LayoutResponse::Conflict(winner) => Ok(Some(winner)),
+            other => Err(CorfuError::Layout(format!("unexpected response {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeInfo;
+    use tango_rpc::LocalConn;
+
+    fn proj(epoch: u64) -> Projection {
+        Projection {
+            epoch,
+            replica_sets: vec![vec![0]],
+            sequencer: 1,
+            nodes: vec![
+                NodeInfo { id: 0, addr: "s0".into() },
+                NodeInfo { id: 1, addr: "seq".into() },
+            ],
+        }
+    }
+
+    #[test]
+    fn get_and_propose() {
+        let server = Arc::new(LayoutServer::new(proj(0)));
+        let client = LayoutClient::new(Arc::new(LocalConn::new(server)));
+        assert_eq!(client.get().unwrap().epoch, 0);
+        assert_eq!(client.propose(proj(1)).unwrap(), None);
+        assert_eq!(client.get().unwrap().epoch, 1);
+    }
+
+    #[test]
+    fn cas_rejects_stale_and_skipping_proposals() {
+        let server = Arc::new(LayoutServer::new(proj(5)));
+        let client = LayoutClient::new(Arc::new(LocalConn::new(server)));
+        // Same epoch: conflict.
+        assert_eq!(client.propose(proj(5)).unwrap().unwrap().epoch, 5);
+        // Skipping ahead: conflict.
+        assert_eq!(client.propose(proj(7)).unwrap().unwrap().epoch, 5);
+        // Exactly +1: installed.
+        assert_eq!(client.propose(proj(6)).unwrap(), None);
+    }
+}

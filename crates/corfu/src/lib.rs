@@ -1,0 +1,74 @@
+#![warn(missing_docs)]
+//! CORFU: a shared log over a cluster of write-once flash units (§2.2, §5).
+//!
+//! The log's global 64-bit address space is striped round-robin across
+//! disjoint replica sets of storage nodes; a dedicated sequencer hands out
+//! tail offsets. Appends acquire a token from the sequencer and then write
+//! the entry to the replica set with client-driven chain replication; reads
+//! go directly to the replicas. The sequencer is an optimization, not a
+//! source of truth: write-once storage arbitrates races, holes left by
+//! crashed clients are patched with junk fills, and the whole cluster can be
+//! resealed into a new epoch to replace a failed sequencer.
+//!
+//! This crate provides:
+//!
+//! * [`Projection`] — the epoch-stamped cluster layout (replica sets +
+//!   sequencer) and the deterministic offset→replica-set mapping.
+//! * [`StorageServer`] / [`SequencerServer`] / [`LayoutServer`] — the three
+//!   services, each an [`tango_rpc::RpcHandler`] usable over the in-process
+//!   or TCP transport.
+//! * [`CorfuClient`] — the client library: `append`, `read`, `check` (fast
+//!   and slow), `fill`, `trim`, plus the token/raw-write split used by the
+//!   streaming layer.
+//! * [`EntryEnvelope`] — the on-log entry format, including the per-stream
+//!   backpointer headers of §5 (they live here because the sequencer issues
+//!   them and sequencer recovery must parse them).
+//! * [`reconfig`] — seal-based reconfiguration: replacing a failed
+//!   sequencer and rebuilding its tail + backpointer state from the log.
+//! * [`cluster`] — an in-process or TCP cluster harness for tests, examples
+//!   and benchmarks.
+
+pub mod cluster;
+mod client;
+mod entry;
+mod error;
+mod layout;
+mod projection;
+pub mod proto;
+pub mod reconfig;
+mod sequencer;
+mod storage;
+
+pub use client::{AppendOutcome, ClientOptions, CorfuClient, ReadOutcome, Token};
+pub use entry::{EntryEnvelope, StreamHeader};
+pub use error::CorfuError;
+pub use layout::{LayoutClient, LayoutServer};
+pub use projection::{NodeInfo, Projection};
+pub use sequencer::{SequencerServer, SequencerState};
+pub use storage::StorageServer;
+
+/// A reconfiguration epoch. All requests are epoch-stamped; sealed servers
+/// reject stale epochs.
+pub type Epoch = u64;
+
+/// A position in the shared log's global address space.
+pub type LogOffset = u64;
+
+/// Identifies a storage or sequencer node within a projection.
+pub type NodeId = u32;
+
+/// A 31-bit stream identifier (§5). The high bit of the wire encoding is
+/// reserved for the backpointer format flag.
+pub type StreamId = u32;
+
+/// Maximum legal stream id (31 bits).
+pub const MAX_STREAM_ID: StreamId = (1 << 31) - 1;
+
+/// Reserved stream carrying sequencer-state checkpoints (the optimization
+/// §5 leaves as future work: "we plan on expediting this by having the
+/// sequencer store periodic checkpoints in the log"). Applications must
+/// not use this id.
+pub const SEQUENCER_CHECKPOINT_STREAM: StreamId = MAX_STREAM_ID;
+
+/// Convenience alias for CORFU results.
+pub type Result<T> = std::result::Result<T, CorfuError>;

@@ -1,0 +1,215 @@
+use tango_wire::{Decode, Encode, Reader, Writer};
+
+use crate::{Epoch, LogOffset, NodeId};
+
+/// Connection information for one node in the cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// The node's identifier within the projection.
+    pub id: NodeId,
+    /// The node's transport address (`host:port` for TCP deployments; a
+    /// symbolic name for in-process clusters).
+    pub addr: String,
+}
+
+impl Encode for NodeInfo {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.id);
+        w.put_str(&self.addr);
+    }
+}
+
+impl Decode for NodeInfo {
+    fn decode(r: &mut Reader<'_>) -> tango_wire::Result<Self> {
+        Ok(Self { id: r.get_u32()?, addr: r.get_str()?.to_owned() })
+    }
+}
+
+/// The epoch-stamped cluster layout (§2.2): disjoint replica sets of storage
+/// nodes, the sequencer, and the deterministic mapping from global log
+/// offsets to (replica set, local page address).
+///
+/// Offset `o` maps to replica set `o % num_sets` at local address
+/// `o / num_sets` — the round-robin striping described in the paper ("offset
+/// 0 might be mapped to A:0, offset 1 to B:0, and so on until the function
+/// wraps back to A:1").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Projection {
+    /// The configuration epoch. Servers sealed at a newer epoch reject
+    /// requests stamped with this one.
+    pub epoch: Epoch,
+    /// Replica sets; each inner vector is a chain (head first).
+    pub replica_sets: Vec<Vec<NodeId>>,
+    /// The current sequencer node.
+    pub sequencer: NodeId,
+    /// Address book for every node referenced above.
+    pub nodes: Vec<NodeInfo>,
+}
+
+impl Projection {
+    /// The number of replica sets the address space stripes over.
+    pub fn num_sets(&self) -> u64 {
+        self.replica_sets.len() as u64
+    }
+
+    /// Maps a global offset to its replica set index and local page address.
+    pub fn map(&self, offset: LogOffset) -> (usize, u64) {
+        let sets = self.num_sets();
+        ((offset % sets) as usize, offset / sets)
+    }
+
+    /// The chain (head-first node ids) responsible for `offset`.
+    pub fn chain_for(&self, offset: LogOffset) -> &[NodeId] {
+        &self.replica_sets[self.map(offset).0]
+    }
+
+    /// Inverse of [`Projection::map`]: the global offset stored by replica
+    /// set `set` at local address `local`.
+    pub fn unmap(&self, set: usize, local: u64) -> LogOffset {
+        local * self.num_sets() + set as u64
+    }
+
+    /// Given each set's local tail (next free local address), computes the
+    /// global tail: one past the highest consumed global offset. This is the
+    /// "slow check" inversion (§2.2).
+    pub fn global_tail_from_local(&self, local_tails: &[u64]) -> LogOffset {
+        let mut tail = 0;
+        for (set, &lt) in local_tails.iter().enumerate() {
+            if lt > 0 {
+                tail = tail.max(self.unmap(set, lt - 1) + 1);
+            }
+        }
+        tail
+    }
+
+    /// For a prefix trim of all global offsets below `horizon`, the local
+    /// horizon (first local address to keep) for replica set `set`.
+    pub fn local_trim_horizon(&self, set: usize, horizon: LogOffset) -> u64 {
+        if horizon == 0 {
+            return 0;
+        }
+        let sets = self.num_sets();
+        let set = set as u64;
+        // Count global offsets o < horizon with o % sets == set.
+        if horizon <= set {
+            0
+        } else {
+            (horizon - 1 - set) / sets + 1
+        }
+    }
+
+    /// Looks up the address of a node.
+    pub fn addr_of(&self, id: NodeId) -> Option<&str> {
+        self.nodes.iter().find(|n| n.id == id).map(|n| n.addr.as_str())
+    }
+
+    /// All distinct storage node ids (excluding the sequencer).
+    pub fn storage_nodes(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self.replica_sets.iter().flatten().copied().collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl Encode for Projection {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.epoch);
+        w.put_varint(self.replica_sets.len() as u64);
+        for set in &self.replica_sets {
+            w.put_varint(set.len() as u64);
+            for &node in set {
+                w.put_u32(node);
+            }
+        }
+        w.put_u32(self.sequencer);
+        self.nodes.encode(w);
+    }
+}
+
+impl Decode for Projection {
+    fn decode(r: &mut Reader<'_>) -> tango_wire::Result<Self> {
+        let epoch = r.get_u64()?;
+        let nsets = r.get_len(1 << 16)?;
+        let mut replica_sets = Vec::with_capacity(nsets);
+        for _ in 0..nsets {
+            let len = r.get_len(1 << 8)?;
+            let mut set = Vec::with_capacity(len);
+            for _ in 0..len {
+                set.push(r.get_u32()?);
+            }
+            replica_sets.push(set);
+        }
+        let sequencer = r.get_u32()?;
+        let nodes = Vec::<NodeInfo>::decode(r)?;
+        Ok(Self { epoch, replica_sets, sequencer, nodes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proj(nsets: usize, repl: usize) -> Projection {
+        let mut replica_sets = Vec::new();
+        let mut nodes = Vec::new();
+        let mut next = 0u32;
+        for _ in 0..nsets {
+            let mut set = Vec::new();
+            for _ in 0..repl {
+                set.push(next);
+                nodes.push(NodeInfo { id: next, addr: format!("node-{next}") });
+                next += 1;
+            }
+            replica_sets.push(set);
+        }
+        nodes.push(NodeInfo { id: 1000, addr: "seq".into() });
+        Projection { epoch: 1, replica_sets, sequencer: 1000, nodes }
+    }
+
+    #[test]
+    fn round_robin_mapping() {
+        let p = proj(3, 2);
+        assert_eq!(p.map(0), (0, 0));
+        assert_eq!(p.map(1), (1, 0));
+        assert_eq!(p.map(2), (2, 0));
+        assert_eq!(p.map(3), (0, 1));
+        assert_eq!(p.map(7), (1, 2));
+        for o in 0..100 {
+            let (s, l) = p.map(o);
+            assert_eq!(p.unmap(s, l), o);
+        }
+    }
+
+    #[test]
+    fn slow_check_inversion() {
+        let p = proj(3, 2);
+        // Sets have consumed local slots: set0 -> 2 (offsets 0,3), set1 -> 1
+        // (offset 1), set2 -> 0.
+        assert_eq!(p.global_tail_from_local(&[2, 1, 0]), 4);
+        assert_eq!(p.global_tail_from_local(&[0, 0, 0]), 0);
+        // Highest consumed is offset 5 (set2, local 1) -> tail 6.
+        assert_eq!(p.global_tail_from_local(&[1, 1, 2]), 6);
+    }
+
+    #[test]
+    fn trim_horizons() {
+        let p = proj(3, 1);
+        // horizon 7: offsets 0..6. set0 holds 0,3,6 -> keep from local 3;
+        // set1 holds 1,4 -> 2; set2 holds 2,5 -> 2.
+        assert_eq!(p.local_trim_horizon(0, 7), 3);
+        assert_eq!(p.local_trim_horizon(1, 7), 2);
+        assert_eq!(p.local_trim_horizon(2, 7), 2);
+        assert_eq!(p.local_trim_horizon(0, 0), 0);
+        assert_eq!(p.local_trim_horizon(2, 2), 0);
+        assert_eq!(p.local_trim_horizon(2, 3), 1);
+    }
+
+    #[test]
+    fn encode_roundtrip() {
+        let p = proj(4, 3);
+        let bytes = tango_wire::encode_to_vec(&p);
+        let back: Projection = tango_wire::decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,601 @@
+//! Wire messages for the three CORFU services.
+
+use bytes::Bytes;
+use tango_wire::{Decode, Encode, Reader, Writer, WireError};
+
+use crate::projection::Projection;
+use crate::{Epoch, LogOffset, StreamId};
+
+/// Whether a page write carries data or a junk fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteKind {
+    /// Application payload.
+    Data,
+    /// Junk fill (hole patching).
+    Junk,
+}
+
+/// Requests accepted by a storage node. Addresses are *local* page
+/// addresses; the client performs the global→local mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageRequest {
+    /// Write-once put at `addr`.
+    Write {
+        /// The client's epoch.
+        epoch: Epoch,
+        /// Local page address.
+        addr: u64,
+        /// Data or junk.
+        kind: WriteKind,
+        /// Payload (empty for junk).
+        payload: Bytes,
+    },
+    /// Read the page at `addr`.
+    Read {
+        /// The client's epoch.
+        epoch: Epoch,
+        /// Local page address.
+        addr: u64,
+    },
+    /// Trim a single address.
+    Trim {
+        /// The client's epoch.
+        epoch: Epoch,
+        /// Local page address.
+        addr: u64,
+    },
+    /// Trim every address below `horizon`.
+    TrimPrefix {
+        /// The client's epoch.
+        epoch: Epoch,
+        /// First local address to keep.
+        horizon: u64,
+    },
+    /// Seal the node at `epoch`; returns the local tail.
+    Seal {
+        /// The new epoch.
+        epoch: Epoch,
+    },
+    /// Query the local tail (highest consumed address + 1).
+    LocalTail {
+        /// The client's epoch.
+        epoch: Epoch,
+    },
+}
+
+/// Responses from a storage node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageResponse {
+    /// The operation succeeded.
+    Ok,
+    /// A tail or seal result.
+    Tail(u64),
+    /// The page holds this payload.
+    Data(Bytes),
+    /// The page holds junk.
+    Junk,
+    /// The page has never been written.
+    Unwritten,
+    /// The page is trimmed.
+    Trimmed,
+    /// Write-once violation.
+    ErrAlreadyWritten,
+    /// Below the trim horizon.
+    ErrTrimmed,
+    /// The node is sealed at a newer epoch.
+    ErrSealed {
+        /// The node's current epoch.
+        epoch: Epoch,
+    },
+    /// Payload exceeded the page size.
+    ErrTooLarge,
+    /// An internal storage fault.
+    ErrStorage(String),
+}
+
+/// Requests accepted by the sequencer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SequencerRequest {
+    /// Reserve the next offset; `streams` lists the streams the entry will
+    /// belong to, so the response can carry their backpointers.
+    Next {
+        /// The client's epoch.
+        epoch: Epoch,
+        /// Streams the new entry joins.
+        streams: Vec<StreamId>,
+    },
+    /// Read the tail and per-stream backpointers without incrementing
+    /// (the "fast check" / stream-sync primitive).
+    Query {
+        /// The client's epoch.
+        epoch: Epoch,
+        /// Streams of interest.
+        streams: Vec<StreamId>,
+    },
+    /// Seal the sequencer at `epoch`; it stops issuing tokens for older
+    /// epochs.
+    Seal {
+        /// The new epoch.
+        epoch: Epoch,
+    },
+    /// Dump the full soft state (tail + all per-stream backpointers), used
+    /// to write sequencer-state checkpoints into the log.
+    Dump {
+        /// The client's epoch.
+        epoch: Epoch,
+    },
+    /// Install recovered state into a fresh sequencer (reconfiguration).
+    Bootstrap {
+        /// The epoch this state corresponds to.
+        epoch: Epoch,
+        /// The global tail to resume from.
+        tail: LogOffset,
+        /// Per-stream last-K issued offsets (most recent first).
+        streams: Vec<(StreamId, Vec<LogOffset>)>,
+    },
+}
+
+/// Responses from the sequencer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SequencerResponse {
+    /// A token: the reserved offset plus, for each requested stream, the
+    /// previous K offsets (most recent first, excluding the new offset).
+    Token {
+        /// The reserved global offset.
+        offset: LogOffset,
+        /// Backpointers per requested stream, in request order.
+        backpointers: Vec<Vec<LogOffset>>,
+    },
+    /// A query result: the current tail (next offset to be issued) plus the
+    /// last K offsets of each requested stream.
+    TailInfo {
+        /// The next offset that will be issued.
+        tail: LogOffset,
+        /// Last-K issued offsets per requested stream, most recent first.
+        backpointers: Vec<Vec<LogOffset>>,
+    },
+    /// The operation succeeded.
+    Ok,
+    /// A full state dump.
+    State {
+        /// The next offset to be issued.
+        tail: LogOffset,
+        /// Per-stream last-K issued offsets, most recent first.
+        streams: Vec<(StreamId, Vec<LogOffset>)>,
+    },
+    /// The sequencer is sealed at a newer epoch.
+    ErrSealed {
+        /// Its current epoch.
+        epoch: Epoch,
+    },
+}
+
+/// Requests accepted by the layout (auxiliary) service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutRequest {
+    /// Fetch the current projection.
+    Get,
+    /// Install a new projection; its epoch must be exactly current + 1.
+    Propose(Projection),
+}
+
+/// Responses from the layout service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutResponse {
+    /// The current projection.
+    Current(Projection),
+    /// The proposal was installed.
+    Installed,
+    /// The proposal lost a race; here is the winning projection.
+    Conflict(Projection),
+}
+
+impl Encode for WriteKind {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            WriteKind::Data => 0,
+            WriteKind::Junk => 1,
+        });
+    }
+}
+
+impl Decode for WriteKind {
+    fn decode(r: &mut Reader<'_>) -> tango_wire::Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(WriteKind::Data),
+            1 => Ok(WriteKind::Junk),
+            tag => Err(WireError::InvalidTag { what: "WriteKind", tag: tag as u64 }),
+        }
+    }
+}
+
+impl Encode for StorageRequest {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            StorageRequest::Write { epoch, addr, kind, payload } => {
+                w.put_u8(0);
+                w.put_u64(*epoch);
+                w.put_u64(*addr);
+                kind.encode(w);
+                w.put_bytes(payload);
+            }
+            StorageRequest::Read { epoch, addr } => {
+                w.put_u8(1);
+                w.put_u64(*epoch);
+                w.put_u64(*addr);
+            }
+            StorageRequest::Trim { epoch, addr } => {
+                w.put_u8(2);
+                w.put_u64(*epoch);
+                w.put_u64(*addr);
+            }
+            StorageRequest::TrimPrefix { epoch, horizon } => {
+                w.put_u8(3);
+                w.put_u64(*epoch);
+                w.put_u64(*horizon);
+            }
+            StorageRequest::Seal { epoch } => {
+                w.put_u8(4);
+                w.put_u64(*epoch);
+            }
+            StorageRequest::LocalTail { epoch } => {
+                w.put_u8(5);
+                w.put_u64(*epoch);
+            }
+        }
+    }
+}
+
+impl Decode for StorageRequest {
+    fn decode(r: &mut Reader<'_>) -> tango_wire::Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(StorageRequest::Write {
+                epoch: r.get_u64()?,
+                addr: r.get_u64()?,
+                kind: WriteKind::decode(r)?,
+                payload: Bytes::decode(r)?,
+            }),
+            1 => Ok(StorageRequest::Read { epoch: r.get_u64()?, addr: r.get_u64()? }),
+            2 => Ok(StorageRequest::Trim { epoch: r.get_u64()?, addr: r.get_u64()? }),
+            3 => Ok(StorageRequest::TrimPrefix { epoch: r.get_u64()?, horizon: r.get_u64()? }),
+            4 => Ok(StorageRequest::Seal { epoch: r.get_u64()? }),
+            5 => Ok(StorageRequest::LocalTail { epoch: r.get_u64()? }),
+            tag => Err(WireError::InvalidTag { what: "StorageRequest", tag: tag as u64 }),
+        }
+    }
+}
+
+impl Encode for StorageResponse {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            StorageResponse::Ok => w.put_u8(0),
+            StorageResponse::Tail(t) => {
+                w.put_u8(1);
+                w.put_u64(*t);
+            }
+            StorageResponse::Data(b) => {
+                w.put_u8(2);
+                w.put_bytes(b);
+            }
+            StorageResponse::Junk => w.put_u8(3),
+            StorageResponse::Unwritten => w.put_u8(4),
+            StorageResponse::Trimmed => w.put_u8(5),
+            StorageResponse::ErrAlreadyWritten => w.put_u8(6),
+            StorageResponse::ErrTrimmed => w.put_u8(7),
+            StorageResponse::ErrSealed { epoch } => {
+                w.put_u8(8);
+                w.put_u64(*epoch);
+            }
+            StorageResponse::ErrTooLarge => w.put_u8(9),
+            StorageResponse::ErrStorage(msg) => {
+                w.put_u8(10);
+                w.put_str(msg);
+            }
+        }
+    }
+}
+
+impl Decode for StorageResponse {
+    fn decode(r: &mut Reader<'_>) -> tango_wire::Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(StorageResponse::Ok),
+            1 => Ok(StorageResponse::Tail(r.get_u64()?)),
+            2 => Ok(StorageResponse::Data(Bytes::decode(r)?)),
+            3 => Ok(StorageResponse::Junk),
+            4 => Ok(StorageResponse::Unwritten),
+            5 => Ok(StorageResponse::Trimmed),
+            6 => Ok(StorageResponse::ErrAlreadyWritten),
+            7 => Ok(StorageResponse::ErrTrimmed),
+            8 => Ok(StorageResponse::ErrSealed { epoch: r.get_u64()? }),
+            9 => Ok(StorageResponse::ErrTooLarge),
+            10 => Ok(StorageResponse::ErrStorage(r.get_str()?.to_owned())),
+            tag => Err(WireError::InvalidTag { what: "StorageResponse", tag: tag as u64 }),
+        }
+    }
+}
+
+fn put_offsets(w: &mut Writer, offs: &[LogOffset]) {
+    w.put_varint(offs.len() as u64);
+    for &o in offs {
+        w.put_u64(o);
+    }
+}
+
+fn get_offsets(r: &mut Reader<'_>) -> tango_wire::Result<Vec<LogOffset>> {
+    let len = r.get_len(1 << 20)?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(r.get_u64()?);
+    }
+    Ok(out)
+}
+
+fn put_streams(w: &mut Writer, streams: &[StreamId]) {
+    w.put_varint(streams.len() as u64);
+    for &s in streams {
+        w.put_u32(s);
+    }
+}
+
+fn get_streams(r: &mut Reader<'_>) -> tango_wire::Result<Vec<StreamId>> {
+    let len = r.get_len(1 << 16)?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(r.get_u32()?);
+    }
+    Ok(out)
+}
+
+impl Encode for SequencerRequest {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            SequencerRequest::Next { epoch, streams } => {
+                w.put_u8(0);
+                w.put_u64(*epoch);
+                put_streams(w, streams);
+            }
+            SequencerRequest::Query { epoch, streams } => {
+                w.put_u8(1);
+                w.put_u64(*epoch);
+                put_streams(w, streams);
+            }
+            SequencerRequest::Seal { epoch } => {
+                w.put_u8(2);
+                w.put_u64(*epoch);
+            }
+            SequencerRequest::Dump { epoch } => {
+                w.put_u8(4);
+                w.put_u64(*epoch);
+            }
+            SequencerRequest::Bootstrap { epoch, tail, streams } => {
+                w.put_u8(3);
+                w.put_u64(*epoch);
+                w.put_u64(*tail);
+                w.put_varint(streams.len() as u64);
+                for (id, offs) in streams {
+                    w.put_u32(*id);
+                    put_offsets(w, offs);
+                }
+            }
+        }
+    }
+}
+
+impl Decode for SequencerRequest {
+    fn decode(r: &mut Reader<'_>) -> tango_wire::Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(SequencerRequest::Next { epoch: r.get_u64()?, streams: get_streams(r)? }),
+            1 => Ok(SequencerRequest::Query { epoch: r.get_u64()?, streams: get_streams(r)? }),
+            2 => Ok(SequencerRequest::Seal { epoch: r.get_u64()? }),
+            3 => {
+                let epoch = r.get_u64()?;
+                let tail = r.get_u64()?;
+                let len = r.get_len(1 << 20)?;
+                let mut streams = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let id = r.get_u32()?;
+                    streams.push((id, get_offsets(r)?));
+                }
+                Ok(SequencerRequest::Bootstrap { epoch, tail, streams })
+            }
+            4 => Ok(SequencerRequest::Dump { epoch: r.get_u64()? }),
+            tag => Err(WireError::InvalidTag { what: "SequencerRequest", tag: tag as u64 }),
+        }
+    }
+}
+
+impl Encode for SequencerResponse {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            SequencerResponse::Token { offset, backpointers } => {
+                w.put_u8(0);
+                w.put_u64(*offset);
+                w.put_varint(backpointers.len() as u64);
+                for b in backpointers {
+                    put_offsets(w, b);
+                }
+            }
+            SequencerResponse::TailInfo { tail, backpointers } => {
+                w.put_u8(1);
+                w.put_u64(*tail);
+                w.put_varint(backpointers.len() as u64);
+                for b in backpointers {
+                    put_offsets(w, b);
+                }
+            }
+            SequencerResponse::Ok => w.put_u8(2),
+            SequencerResponse::ErrSealed { epoch } => {
+                w.put_u8(3);
+                w.put_u64(*epoch);
+            }
+            SequencerResponse::State { tail, streams } => {
+                w.put_u8(4);
+                w.put_u64(*tail);
+                w.put_varint(streams.len() as u64);
+                for (id, offs) in streams {
+                    w.put_u32(*id);
+                    put_offsets(w, offs);
+                }
+            }
+        }
+    }
+}
+
+impl Decode for SequencerResponse {
+    fn decode(r: &mut Reader<'_>) -> tango_wire::Result<Self> {
+        fn get_backs(r: &mut Reader<'_>) -> tango_wire::Result<Vec<Vec<LogOffset>>> {
+            let len = r.get_len(1 << 16)?;
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(get_offsets(r)?);
+            }
+            Ok(out)
+        }
+        match r.get_u8()? {
+            0 => Ok(SequencerResponse::Token { offset: r.get_u64()?, backpointers: get_backs(r)? }),
+            1 => {
+                Ok(SequencerResponse::TailInfo { tail: r.get_u64()?, backpointers: get_backs(r)? })
+            }
+            2 => Ok(SequencerResponse::Ok),
+            3 => Ok(SequencerResponse::ErrSealed { epoch: r.get_u64()? }),
+            4 => {
+                let tail = r.get_u64()?;
+                let len = r.get_len(1 << 20)?;
+                let mut streams = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let id = r.get_u32()?;
+                    streams.push((id, get_offsets(r)?));
+                }
+                Ok(SequencerResponse::State { tail, streams })
+            }
+            tag => Err(WireError::InvalidTag { what: "SequencerResponse", tag: tag as u64 }),
+        }
+    }
+}
+
+impl Encode for LayoutRequest {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            LayoutRequest::Get => w.put_u8(0),
+            LayoutRequest::Propose(p) => {
+                w.put_u8(1);
+                p.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for LayoutRequest {
+    fn decode(r: &mut Reader<'_>) -> tango_wire::Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(LayoutRequest::Get),
+            1 => Ok(LayoutRequest::Propose(Projection::decode(r)?)),
+            tag => Err(WireError::InvalidTag { what: "LayoutRequest", tag: tag as u64 }),
+        }
+    }
+}
+
+impl Encode for LayoutResponse {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            LayoutResponse::Current(p) => {
+                w.put_u8(0);
+                p.encode(w);
+            }
+            LayoutResponse::Installed => w.put_u8(1),
+            LayoutResponse::Conflict(p) => {
+                w.put_u8(2);
+                p.encode(w);
+            }
+        }
+    }
+}
+
+impl Decode for LayoutResponse {
+    fn decode(r: &mut Reader<'_>) -> tango_wire::Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(LayoutResponse::Current(Projection::decode(r)?)),
+            1 => Ok(LayoutResponse::Installed),
+            2 => Ok(LayoutResponse::Conflict(Projection::decode(r)?)),
+            tag => Err(WireError::InvalidTag { what: "LayoutResponse", tag: tag as u64 }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_wire::{decode_from_slice, encode_to_vec};
+
+    #[test]
+    fn storage_messages_roundtrip() {
+        let msgs = vec![
+            StorageRequest::Write {
+                epoch: 3,
+                addr: 9,
+                kind: WriteKind::Data,
+                payload: Bytes::from_static(b"abc"),
+            },
+            StorageRequest::Write {
+                epoch: 0,
+                addr: 0,
+                kind: WriteKind::Junk,
+                payload: Bytes::new(),
+            },
+            StorageRequest::Read { epoch: 1, addr: 2 },
+            StorageRequest::Trim { epoch: 1, addr: 2 },
+            StorageRequest::TrimPrefix { epoch: 1, horizon: 100 },
+            StorageRequest::Seal { epoch: 7 },
+            StorageRequest::LocalTail { epoch: 7 },
+        ];
+        for m in msgs {
+            let bytes = encode_to_vec(&m);
+            assert_eq!(decode_from_slice::<StorageRequest>(&bytes).unwrap(), m);
+        }
+        let resps = vec![
+            StorageResponse::Ok,
+            StorageResponse::Tail(55),
+            StorageResponse::Data(Bytes::from_static(b"xyz")),
+            StorageResponse::Junk,
+            StorageResponse::Unwritten,
+            StorageResponse::Trimmed,
+            StorageResponse::ErrAlreadyWritten,
+            StorageResponse::ErrTrimmed,
+            StorageResponse::ErrSealed { epoch: 9 },
+            StorageResponse::ErrTooLarge,
+            StorageResponse::ErrStorage("boom".into()),
+        ];
+        for m in resps {
+            let bytes = encode_to_vec(&m);
+            assert_eq!(decode_from_slice::<StorageResponse>(&bytes).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn sequencer_messages_roundtrip() {
+        let msgs = vec![
+            SequencerRequest::Next { epoch: 1, streams: vec![1, 2, 3] },
+            SequencerRequest::Query { epoch: 1, streams: vec![] },
+            SequencerRequest::Seal { epoch: 4 },
+            SequencerRequest::Bootstrap {
+                epoch: 4,
+                tail: 77,
+                streams: vec![(1, vec![70, 60]), (9, vec![])],
+            },
+        ];
+        for m in msgs {
+            let bytes = encode_to_vec(&m);
+            assert_eq!(decode_from_slice::<SequencerRequest>(&bytes).unwrap(), m);
+        }
+        let resps = vec![
+            SequencerResponse::Token { offset: 5, backpointers: vec![vec![4, 2], vec![]] },
+            SequencerResponse::TailInfo { tail: 6, backpointers: vec![vec![5]] },
+            SequencerResponse::Ok,
+            SequencerResponse::ErrSealed { epoch: 2 },
+        ];
+        for m in resps {
+            let bytes = encode_to_vec(&m);
+            assert_eq!(decode_from_slice::<SequencerResponse>(&bytes).unwrap(), m);
+        }
+    }
+}

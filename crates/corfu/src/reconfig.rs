@@ -1,0 +1,285 @@
+//! Seal-based reconfiguration (§5, "Failure Handling").
+//!
+//! The streaming extension makes the sequencer a first-class member of the
+//! projection: because it is the single source of backpointers, the system
+//! can no longer tolerate multiple live sequencers, so a failed sequencer is
+//! replaced by moving the whole cluster to a new epoch:
+//!
+//! 1. seal every storage node at the new epoch (this fences all tokens
+//!    issued by the old sequencer: stale-epoch writes are rejected) and
+//!    collect local tails;
+//! 2. invert the mapping to recover the global tail (the slow check);
+//! 3. rebuild the per-stream backpointer state by scanning the log backward
+//!    from the tail, decoding entry envelopes (junk entries contribute
+//!    nothing, exactly as in the paper);
+//! 4. bootstrap the replacement sequencer with the recovered state;
+//! 5. propose the new projection to the layout service (epoch CAS — a
+//!    concurrent reconfigurer loses cleanly).
+//!
+//! Clients racing the reconfiguration observe `ErrSealed`, refresh their
+//! projection, and retry.
+
+use std::collections::HashMap;
+
+use tango_wire::{decode_from_slice, encode_to_vec};
+
+use crate::client::{CorfuClient, ReadOutcome};
+use crate::entry::EntryEnvelope;
+use crate::proto::{SequencerRequest, SequencerResponse, StorageRequest, StorageResponse};
+use crate::sequencer::SequencerState;
+use crate::{CorfuError, Epoch, LogOffset, NodeInfo, Projection, Result, StreamId};
+
+/// What a completed reconfiguration produced.
+#[derive(Debug, Clone)]
+pub struct ReconfigOutcome {
+    /// The newly installed projection.
+    pub projection: Projection,
+    /// The global tail recovered from the sealed storage nodes.
+    pub recovered_tail: LogOffset,
+    /// Number of log entries scanned to rebuild backpointer state.
+    pub entries_scanned: u64,
+}
+
+/// Replaces the cluster's sequencer with `new_seq` (which must be a fresh
+/// [`crate::SequencerServer`] reachable through the client's connection
+/// factory). `k` is the deployment's backpointer count per stream.
+///
+/// On a lost CAS race the error is [`CorfuError::Layout`]; the caller can
+/// simply refresh, since someone else completed a reconfiguration.
+pub fn replace_sequencer(
+    client: &CorfuClient,
+    new_seq: NodeInfo,
+    k: usize,
+) -> Result<ReconfigOutcome> {
+    let old = client.layout().get()?;
+    let new_epoch = old.epoch + 1;
+
+    // Build the new projection: same replica sets, new sequencer.
+    let mut nodes: Vec<NodeInfo> =
+        old.nodes.iter().filter(|n| n.id != old.sequencer).cloned().collect();
+    if nodes.iter().all(|n| n.id != new_seq.id) {
+        nodes.push(new_seq.clone());
+    }
+    let new_proj = Projection {
+        epoch: new_epoch,
+        replica_sets: old.replica_sets.clone(),
+        sequencer: new_seq.id,
+        nodes,
+    };
+
+    // 1. Seal storage nodes, collecting local tails (max across replicas).
+    let mut local_tails = vec![0u64; old.replica_sets.len()];
+    for (set_idx, set) in old.replica_sets.iter().enumerate() {
+        for &node in set {
+            match client.storage_call(node, &StorageRequest::Seal { epoch: new_epoch })? {
+                StorageResponse::Tail(t) => local_tails[set_idx] = local_tails[set_idx].max(t),
+                StorageResponse::ErrSealed { epoch } if epoch >= new_epoch => {
+                    // Another reconfigurer got here first; bail out and let
+                    // the layout CAS pick the winner.
+                    return Err(CorfuError::Layout(format!(
+                        "node {node} already sealed at epoch {epoch}"
+                    )));
+                }
+                other => {
+                    return Err(CorfuError::Storage(format!("seal of node {node}: {other:?}")))
+                }
+            }
+        }
+    }
+
+    // 2. Seal the old sequencer, best effort (it may be the failed node).
+    if let Some(addr) = old.addr_of(old.sequencer) {
+        let conn = client
+            .factory()
+            .connect(&NodeInfo { id: old.sequencer, addr: addr.to_owned() });
+        let _ = conn.call(&encode_to_vec(&SequencerRequest::Seal { epoch: new_epoch }));
+    }
+
+    let recovered_tail = old.global_tail_from_local(&local_tails);
+
+    // 3. Rebuild backpointer state by backward scan at the new epoch.
+    let (stream_state, entries_scanned) = rebuild_stream_state(client, &new_proj, recovered_tail, k)?;
+
+    // 4. Bootstrap the replacement sequencer.
+    let conn = client.factory().connect(&new_seq);
+    let req = SequencerRequest::Bootstrap {
+        epoch: new_epoch,
+        tail: recovered_tail,
+        streams: stream_state.streams,
+    };
+    let resp = conn.call(&encode_to_vec(&req))?;
+    match decode_from_slice::<SequencerResponse>(&resp)? {
+        SequencerResponse::Ok => {}
+        other => {
+            return Err(CorfuError::Layout(format!("sequencer bootstrap failed: {other:?}")))
+        }
+    }
+
+    // 5. Publish the projection.
+    match client.layout().propose(new_proj.clone())? {
+        None => {}
+        Some(winner) => {
+            return Err(CorfuError::Layout(format!(
+                "lost reconfiguration race to epoch {}",
+                winner.epoch
+            )))
+        }
+    }
+    client.refresh_layout()?;
+    Ok(ReconfigOutcome { projection: new_proj, recovered_tail, entries_scanned })
+}
+
+/// Scans the log backward from `tail`, decoding entry envelopes to recover
+/// the last `k` issued-and-written offsets of every stream. Junk entries
+/// (filled holes) and undecodable entries contribute nothing. The scan
+/// stops early at the trim horizon — or at a sequencer-state checkpoint
+/// (see [`checkpoint_sequencer_state`]): entries below a checkpoint's
+/// captured tail are already reflected in it, so only the suffix is
+/// scanned and the checkpoint is merged in underneath.
+fn rebuild_stream_state(
+    client: &CorfuClient,
+    proj: &Projection,
+    tail: LogOffset,
+    k: usize,
+) -> Result<(SequencerState, u64)> {
+    let mut per_stream: HashMap<StreamId, Vec<LogOffset>> = HashMap::new();
+    let mut scanned = 0u64;
+    let mut floor = 0u64;
+    let mut seed: Option<SequencerState> = None;
+    let mut offset = tail;
+    while offset > floor {
+        offset -= 1;
+        match client.read_with(proj, offset)? {
+            ReadOutcome::Data(bytes) => {
+                scanned += 1;
+                if let Ok(envelope) = EntryEnvelope::decode(&bytes, offset) {
+                    if seed.is_none()
+                        && envelope.belongs_to(crate::SEQUENCER_CHECKPOINT_STREAM)
+                    {
+                        if let Ok(state) =
+                            tango_wire::decode_from_slice::<SequencerState>(&envelope.payload)
+                        {
+                            // Everything below the checkpoint's captured
+                            // tail is already in it.
+                            floor = state.tail;
+                            seed = Some(state);
+                            continue;
+                        }
+                    }
+                    for header in &envelope.headers {
+                        let entry = per_stream.entry(header.stream).or_default();
+                        if entry.len() < k {
+                            entry.push(offset);
+                        }
+                    }
+                }
+            }
+            ReadOutcome::Junk => {
+                scanned += 1;
+            }
+            ReadOutcome::Unwritten => {
+                // A hole below the tail: a client crashed mid-append. The
+                // scan cannot wait; patch it so playback never stalls on it.
+                let _ = client_fill_at(client, proj, offset);
+                scanned += 1;
+            }
+            ReadOutcome::Trimmed => break,
+        }
+    }
+    // Merge the checkpoint underneath the scanned suffix: scanned offsets
+    // are all newer than anything the checkpoint captured.
+    if let Some(seed) = seed {
+        for (id, older) in seed.streams {
+            let entry = per_stream.entry(id).or_default();
+            for off in older {
+                if entry.len() >= k {
+                    break;
+                }
+                entry.push(off);
+            }
+        }
+    }
+    let mut streams: Vec<(StreamId, Vec<LogOffset>)> = per_stream.into_iter().collect();
+    streams.sort_by_key(|(id, _)| *id);
+    Ok((SequencerState { tail, streams }, scanned))
+}
+
+/// Writes the sequencer's full soft state into the log on the reserved
+/// [`crate::SEQUENCER_CHECKPOINT_STREAM`], bounding the backward scan a
+/// future [`replace_sequencer`] must perform. Call periodically from an
+/// operational task.
+pub fn checkpoint_sequencer_state(client: &CorfuClient) -> Result<LogOffset> {
+    let epoch = client.epoch();
+    let state = match client.sequencer_call_pub(&SequencerRequest::Dump { epoch })? {
+        SequencerResponse::State { tail, streams } => SequencerState { tail, streams },
+        SequencerResponse::ErrSealed { epoch } => {
+            return Err(CorfuError::Sealed { server_epoch: epoch })
+        }
+        other => return Err(CorfuError::Codec(format!("unexpected dump response {other:?}"))),
+    };
+    let payload = bytes::Bytes::from(tango_wire::encode_to_vec(&state));
+    let (offset, _) =
+        client.append_streams(&[crate::SEQUENCER_CHECKPOINT_STREAM], payload)?;
+    Ok(offset)
+}
+
+/// Fills a hole found during recovery, at the recovery epoch.
+fn client_fill_at(client: &CorfuClient, proj: &Projection, offset: LogOffset) -> Result<()> {
+    use crate::proto::WriteKind;
+    let (_, local) = proj.map(offset);
+    for &node in proj.chain_for(offset) {
+        let req = StorageRequest::Write {
+            epoch: proj.epoch,
+            addr: local,
+            kind: WriteKind::Junk,
+            payload: bytes::Bytes::new(),
+        };
+        match client.storage_call(node, &req)? {
+            StorageResponse::Ok | StorageResponse::ErrAlreadyWritten => {}
+            other => return Err(CorfuError::Storage(format!("recovery fill: {other:?}"))),
+        }
+    }
+    Ok(())
+}
+
+/// Moves the whole cluster (storage nodes, sequencer, projection) to the
+/// next epoch without changing membership. The live sequencer keeps its
+/// tail and backpointer state across the seal. Useful as a fencing barrier:
+/// after `bump_epoch` returns, no operation stamped with the old epoch can
+/// take effect anywhere.
+pub fn bump_epoch(client: &CorfuClient) -> Result<(Epoch, LogOffset)> {
+    let old = client.layout().get()?;
+    let new_epoch = old.epoch + 1;
+    let mut local_tails = vec![0u64; old.replica_sets.len()];
+    for (set_idx, set) in old.replica_sets.iter().enumerate() {
+        for &node in set {
+            match client.storage_call(node, &StorageRequest::Seal { epoch: new_epoch })? {
+                StorageResponse::Tail(t) => local_tails[set_idx] = local_tails[set_idx].max(t),
+                other => {
+                    return Err(CorfuError::Storage(format!("seal of node {node}: {other:?}")))
+                }
+            }
+        }
+    }
+    // The sequencer keeps its soft state; sealing only bumps its epoch.
+    let addr = old
+        .addr_of(old.sequencer)
+        .ok_or_else(|| CorfuError::Layout("sequencer missing from projection".into()))?;
+    let conn =
+        client.factory().connect(&NodeInfo { id: old.sequencer, addr: addr.to_owned() });
+    let resp = conn.call(&encode_to_vec(&SequencerRequest::Seal { epoch: new_epoch }))?;
+    match decode_from_slice::<SequencerResponse>(&resp)? {
+        SequencerResponse::Ok => {}
+        other => return Err(CorfuError::Layout(format!("sequencer seal failed: {other:?}"))),
+    }
+    let mut new_proj = old.clone();
+    new_proj.epoch = new_epoch;
+    if let Some(winner) = client.layout().propose(new_proj)? {
+        return Err(CorfuError::Layout(format!(
+            "lost epoch-bump race to epoch {}",
+            winner.epoch
+        )));
+    }
+    client.refresh_layout()?;
+    Ok((new_epoch, old.global_tail_from_local(&local_tails)))
+}

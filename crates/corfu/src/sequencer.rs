@@ -1,0 +1,274 @@
+//! The sequencer: a networked counter with per-stream backpointer state (§5).
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+use tango_rpc::RpcHandler;
+use tango_wire::{decode_from_slice, encode_to_vec, Decode, Encode, Reader, Writer};
+
+use crate::proto::{SequencerRequest, SequencerResponse};
+use crate::{Epoch, LogOffset, StreamId};
+
+/// Snapshot of sequencer state, used by reconfiguration to bootstrap a
+/// replacement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequencerState {
+    /// The next offset to be issued.
+    pub tail: LogOffset,
+    /// Last-K issued offsets per stream, most recent first.
+    pub streams: Vec<(StreamId, Vec<LogOffset>)>,
+}
+
+impl Encode for SequencerState {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.tail);
+        w.put_varint(self.streams.len() as u64);
+        for (id, offs) in &self.streams {
+            w.put_u32(*id);
+            w.put_varint(offs.len() as u64);
+            for &o in offs {
+                w.put_u64(o);
+            }
+        }
+    }
+}
+
+impl Decode for SequencerState {
+    fn decode(r: &mut Reader<'_>) -> tango_wire::Result<Self> {
+        let tail = r.get_u64()?;
+        let n = r.get_len(1 << 24)?;
+        let mut streams = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = r.get_u32()?;
+            let m = r.get_len(1 << 16)?;
+            let mut offs = Vec::with_capacity(m);
+            for _ in 0..m {
+                offs.push(r.get_u64()?);
+            }
+            streams.push((id, offs));
+        }
+        Ok(Self { tail, streams })
+    }
+}
+
+/// The CORFU sequencer.
+///
+/// Holds a single 64-bit tail counter plus, for the streaming extension,
+/// the last `K` offsets *issued* for each stream id (issued, not written:
+/// a token holder may crash before writing, which is why stream playback
+/// must tolerate junk at the end of a backpointer chain). The state is soft;
+/// a replacement sequencer recovers it from the log (see [`crate::reconfig`]).
+pub struct SequencerServer {
+    inner: Mutex<Inner>,
+    k: usize,
+}
+
+struct Inner {
+    epoch: Epoch,
+    tail: LogOffset,
+    streams: HashMap<StreamId, VecDeque<LogOffset>>,
+    tokens_issued: u64,
+}
+
+impl SequencerServer {
+    /// Creates a fresh sequencer at epoch 0 with `k` backpointers per stream.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "at least one backpointer per stream is required");
+        Self {
+            inner: Mutex::new(Inner {
+                epoch: 0,
+                tail: 0,
+                streams: HashMap::new(),
+                tokens_issued: 0,
+            }),
+            k,
+        }
+    }
+
+    /// The number of backpointers maintained per stream.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total tokens issued (for tests and benchmarks).
+    pub fn tokens_issued(&self) -> u64 {
+        self.inner.lock().tokens_issued
+    }
+
+    /// Processes a decoded request (also used directly by unit tests).
+    pub fn process(&self, req: SequencerRequest) -> SequencerResponse {
+        let mut inner = self.inner.lock();
+        match req {
+            SequencerRequest::Next { epoch, streams } => {
+                if epoch != inner.epoch {
+                    return SequencerResponse::ErrSealed { epoch: inner.epoch };
+                }
+                let offset = inner.tail;
+                inner.tail += 1;
+                inner.tokens_issued += 1;
+                let mut backpointers = Vec::with_capacity(streams.len());
+                for stream in streams {
+                    let entry = inner.streams.entry(stream).or_default();
+                    backpointers.push(entry.iter().copied().collect());
+                    entry.push_front(offset);
+                    entry.truncate(self.k);
+                }
+                SequencerResponse::Token { offset, backpointers }
+            }
+            SequencerRequest::Query { epoch, streams } => {
+                if epoch != inner.epoch {
+                    return SequencerResponse::ErrSealed { epoch: inner.epoch };
+                }
+                let backpointers = streams
+                    .iter()
+                    .map(|s| {
+                        inner.streams.get(s).map(|d| d.iter().copied().collect()).unwrap_or_default()
+                    })
+                    .collect();
+                SequencerResponse::TailInfo { tail: inner.tail, backpointers }
+            }
+            SequencerRequest::Seal { epoch } => {
+                if epoch <= inner.epoch {
+                    return SequencerResponse::ErrSealed { epoch: inner.epoch };
+                }
+                inner.epoch = epoch;
+                SequencerResponse::Ok
+            }
+            SequencerRequest::Dump { epoch } => {
+                if epoch != inner.epoch {
+                    return SequencerResponse::ErrSealed { epoch: inner.epoch };
+                }
+                let mut streams: Vec<(StreamId, Vec<LogOffset>)> = inner
+                    .streams
+                    .iter()
+                    .map(|(&id, offs)| (id, offs.iter().copied().collect()))
+                    .collect();
+                streams.sort_by_key(|(id, _)| *id);
+                SequencerResponse::State { tail: inner.tail, streams }
+            }
+            SequencerRequest::Bootstrap { epoch, tail, streams } => {
+                if epoch < inner.epoch {
+                    return SequencerResponse::ErrSealed { epoch: inner.epoch };
+                }
+                inner.epoch = epoch;
+                inner.tail = tail;
+                inner.streams = streams
+                    .into_iter()
+                    .map(|(id, offs)| (id, offs.into_iter().take(self.k).collect()))
+                    .collect();
+                SequencerResponse::Ok
+            }
+        }
+    }
+
+    /// Exports the current state (for tests; reconfiguration rebuilds state
+    /// from the log instead, because a failed sequencer cannot be asked).
+    pub fn state(&self) -> SequencerState {
+        let inner = self.inner.lock();
+        let mut streams: Vec<(StreamId, Vec<LogOffset>)> = inner
+            .streams
+            .iter()
+            .map(|(&id, offs)| (id, offs.iter().copied().collect()))
+            .collect();
+        streams.sort_by_key(|(id, _)| *id);
+        SequencerState { tail: inner.tail, streams }
+    }
+}
+
+impl RpcHandler for SequencerServer {
+    fn handle(&self, request: &[u8]) -> Vec<u8> {
+        let response = match decode_from_slice::<SequencerRequest>(request) {
+            Ok(req) => self.process(req),
+            Err(_) => SequencerResponse::ErrSealed { epoch: u64::MAX },
+        };
+        encode_to_vec(&response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn issues_monotonic_offsets() {
+        let s = SequencerServer::new(4);
+        for expect in 0..10 {
+            match s.process(SequencerRequest::Next { epoch: 0, streams: vec![] }) {
+                SequencerResponse::Token { offset, .. } => assert_eq!(offset, expect),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(s.tokens_issued(), 10);
+    }
+
+    #[test]
+    fn stream_backpointers_track_last_k() {
+        let s = SequencerServer::new(2);
+        let mut offsets = Vec::new();
+        for _ in 0..4 {
+            match s.process(SequencerRequest::Next { epoch: 0, streams: vec![7] }) {
+                SequencerResponse::Token { offset, backpointers } => {
+                    // Backpointers exclude the new offset and are most
+                    // recent first, capped at K=2.
+                    let expected: Vec<u64> = offsets.iter().rev().take(2).copied().collect();
+                    assert_eq!(backpointers, vec![expected]);
+                    offsets.push(offset);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn query_does_not_increment() {
+        let s = SequencerServer::new(4);
+        s.process(SequencerRequest::Next { epoch: 0, streams: vec![1] });
+        let q = s.process(SequencerRequest::Query { epoch: 0, streams: vec![1, 2] });
+        match q {
+            SequencerResponse::TailInfo { tail, backpointers } => {
+                assert_eq!(tail, 1);
+                assert_eq!(backpointers, vec![vec![0], vec![]]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Tail unchanged by the query.
+        match s.process(SequencerRequest::Next { epoch: 0, streams: vec![] }) {
+            SequencerResponse::Token { offset, .. } => assert_eq!(offset, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seal_stops_token_issue() {
+        let s = SequencerServer::new(4);
+        assert_eq!(s.process(SequencerRequest::Seal { epoch: 3 }), SequencerResponse::Ok);
+        assert_eq!(
+            s.process(SequencerRequest::Next { epoch: 0, streams: vec![] }),
+            SequencerResponse::ErrSealed { epoch: 3 }
+        );
+        assert_eq!(
+            s.process(SequencerRequest::Next { epoch: 3, streams: vec![] }),
+            SequencerResponse::Token { offset: 0, backpointers: vec![] }
+        );
+    }
+
+    #[test]
+    fn bootstrap_installs_state() {
+        let s = SequencerServer::new(4);
+        let resp = s.process(SequencerRequest::Bootstrap {
+            epoch: 2,
+            tail: 100,
+            streams: vec![(5, vec![99, 97, 90, 80, 70])],
+        });
+        assert_eq!(resp, SequencerResponse::Ok);
+        match s.process(SequencerRequest::Next { epoch: 2, streams: vec![5] }) {
+            SequencerResponse::Token { offset, backpointers } => {
+                assert_eq!(offset, 100);
+                // Truncated to K=4.
+                assert_eq!(backpointers, vec![vec![99, 97, 90, 80]]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! The storage server: an epoch gate in front of a [`FlashUnit`].
+
+use parking_lot::Mutex;
+use tango_flash::{FlashError, FlashUnit, PageRead};
+use tango_rpc::RpcHandler;
+use tango_wire::{decode_from_slice, encode_to_vec};
+
+use crate::proto::{StorageRequest, StorageResponse, WriteKind};
+use crate::Epoch;
+
+/// A CORFU storage node: a write-once flash unit behind an RPC interface,
+/// with epoch-based sealing (§5 failure handling).
+///
+/// Requests stamped with an epoch older than the node's current epoch are
+/// rejected with `ErrSealed`, which forces clients racing a reconfiguration
+/// to fetch the new projection. Requests stamped with a *newer* epoch are
+/// also rejected: the node only advances its epoch through an explicit
+/// `Seal`, which is how reconfiguration fences in-flight operations.
+pub struct StorageServer {
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    unit: FlashUnit,
+    epoch: Epoch,
+}
+
+impl StorageServer {
+    /// Wraps a flash unit. The server adopts the unit's persisted epoch.
+    pub fn new(unit: FlashUnit) -> Self {
+        let epoch = unit.epoch();
+        Self { inner: Mutex::new(Inner { unit, epoch }) }
+    }
+
+    /// Creates an in-memory node with the given page size, for tests and the
+    /// in-process cluster.
+    pub fn in_memory(page_size: usize) -> Self {
+        Self::new(FlashUnit::in_memory(page_size))
+    }
+
+    /// The node's current epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.inner.lock().epoch
+    }
+
+    /// Wear statistics from the underlying unit.
+    pub fn stats(&self) -> tango_flash::WearStats {
+        self.inner.lock().unit.stats()
+    }
+
+    /// Processes a decoded request (also used directly by unit tests).
+    pub fn process(&self, req: StorageRequest) -> StorageResponse {
+        let mut inner = self.inner.lock();
+        match req {
+            StorageRequest::Write { epoch, addr, kind, payload } => {
+                if let Err(resp) = inner.check_epoch(epoch) {
+                    return resp;
+                }
+                let result = match kind {
+                    WriteKind::Data => inner.unit.write(addr, &payload),
+                    WriteKind::Junk => inner.unit.fill(addr),
+                };
+                match result {
+                    Ok(()) => StorageResponse::Ok,
+                    Err(e) => Inner::flash_error(e),
+                }
+            }
+            StorageRequest::Read { epoch, addr } => {
+                if let Err(resp) = inner.check_epoch(epoch) {
+                    return resp;
+                }
+                match inner.unit.read(addr) {
+                    Ok(PageRead::Data(bytes)) => StorageResponse::Data(bytes),
+                    Ok(PageRead::Junk) => StorageResponse::Junk,
+                    Ok(PageRead::Unwritten) => StorageResponse::Unwritten,
+                    Ok(PageRead::Trimmed) => StorageResponse::Trimmed,
+                    Err(e) => Inner::flash_error(e),
+                }
+            }
+            StorageRequest::Trim { epoch, addr } => {
+                if let Err(resp) = inner.check_epoch(epoch) {
+                    return resp;
+                }
+                match inner.unit.trim(addr) {
+                    Ok(()) => StorageResponse::Ok,
+                    Err(e) => Inner::flash_error(e),
+                }
+            }
+            StorageRequest::TrimPrefix { epoch, horizon } => {
+                if let Err(resp) = inner.check_epoch(epoch) {
+                    return resp;
+                }
+                match inner.unit.trim_prefix(horizon) {
+                    Ok(()) => StorageResponse::Ok,
+                    Err(e) => Inner::flash_error(e),
+                }
+            }
+            StorageRequest::Seal { epoch } => {
+                if epoch <= inner.epoch {
+                    return StorageResponse::ErrSealed { epoch: inner.epoch };
+                }
+                match inner.unit.seal(epoch) {
+                    Ok(tail) => {
+                        inner.epoch = epoch;
+                        StorageResponse::Tail(tail)
+                    }
+                    Err(e) => Inner::flash_error(e),
+                }
+            }
+            StorageRequest::LocalTail { epoch } => {
+                if let Err(resp) = inner.check_epoch(epoch) {
+                    return resp;
+                }
+                StorageResponse::Tail(inner.unit.local_tail())
+            }
+        }
+    }
+}
+
+impl Inner {
+    fn check_epoch(&self, epoch: Epoch) -> Result<(), StorageResponse> {
+        if epoch != self.epoch {
+            Err(StorageResponse::ErrSealed { epoch: self.epoch })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn flash_error(e: FlashError) -> StorageResponse {
+        match e {
+            FlashError::AlreadyWritten { .. } => StorageResponse::ErrAlreadyWritten,
+            FlashError::Trimmed { .. } => StorageResponse::ErrTrimmed,
+            FlashError::Sealed { current_epoch } => {
+                StorageResponse::ErrSealed { epoch: current_epoch }
+            }
+            FlashError::PageTooLarge { .. } => StorageResponse::ErrTooLarge,
+            FlashError::Io(msg) | FlashError::Corrupt(msg) => StorageResponse::ErrStorage(msg),
+        }
+    }
+}
+
+impl RpcHandler for StorageServer {
+    fn handle(&self, request: &[u8]) -> Vec<u8> {
+        let response = match decode_from_slice::<StorageRequest>(request) {
+            Ok(req) => self.process(req),
+            Err(e) => StorageResponse::ErrStorage(format!("bad request: {e}")),
+        };
+        encode_to_vec(&response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn server() -> StorageServer {
+        StorageServer::in_memory(4096)
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let s = server();
+        let w = StorageRequest::Write {
+            epoch: 0,
+            addr: 3,
+            kind: WriteKind::Data,
+            payload: Bytes::from_static(b"entry"),
+        };
+        assert_eq!(s.process(w), StorageResponse::Ok);
+        assert_eq!(
+            s.process(StorageRequest::Read { epoch: 0, addr: 3 }),
+            StorageResponse::Data(Bytes::from_static(b"entry"))
+        );
+        assert_eq!(
+            s.process(StorageRequest::Read { epoch: 0, addr: 4 }),
+            StorageResponse::Unwritten
+        );
+    }
+
+    #[test]
+    fn epoch_gate() {
+        let s = server();
+        assert_eq!(s.process(StorageRequest::Seal { epoch: 2 }), StorageResponse::Tail(0));
+        // Old epoch rejected.
+        assert_eq!(
+            s.process(StorageRequest::Read { epoch: 0, addr: 0 }),
+            StorageResponse::ErrSealed { epoch: 2 }
+        );
+        // Future epoch rejected too: only Seal advances the epoch.
+        assert_eq!(
+            s.process(StorageRequest::Read { epoch: 5, addr: 0 }),
+            StorageResponse::ErrSealed { epoch: 2 }
+        );
+        // Current epoch accepted.
+        assert_eq!(
+            s.process(StorageRequest::Read { epoch: 2, addr: 0 }),
+            StorageResponse::Unwritten
+        );
+        // Re-sealing at the same epoch fails.
+        assert_eq!(
+            s.process(StorageRequest::Seal { epoch: 2 }),
+            StorageResponse::ErrSealed { epoch: 2 }
+        );
+    }
+
+    #[test]
+    fn write_once_arbitration_via_rpc() {
+        let s = server();
+        let write = |payload: &'static [u8]| StorageRequest::Write {
+            epoch: 0,
+            addr: 0,
+            kind: WriteKind::Data,
+            payload: Bytes::from_static(payload),
+        };
+        assert_eq!(s.process(write(b"first")), StorageResponse::Ok);
+        assert_eq!(s.process(write(b"second")), StorageResponse::ErrAlreadyWritten);
+        let fill = StorageRequest::Write {
+            epoch: 0,
+            addr: 0,
+            kind: WriteKind::Junk,
+            payload: Bytes::new(),
+        };
+        assert_eq!(s.process(fill), StorageResponse::ErrAlreadyWritten);
+    }
+
+    #[test]
+    fn seal_returns_local_tail() {
+        let s = server();
+        for addr in 0..5 {
+            let w = StorageRequest::Write {
+                epoch: 0,
+                addr,
+                kind: WriteKind::Data,
+                payload: Bytes::from_static(b"x"),
+            };
+            assert_eq!(s.process(w), StorageResponse::Ok);
+        }
+        assert_eq!(s.process(StorageRequest::Seal { epoch: 1 }), StorageResponse::Tail(5));
+    }
+
+    #[test]
+    fn handles_garbage_request_bytes() {
+        let s = server();
+        let resp = s.handle(&[0xFF, 0x00, 0x13]);
+        let decoded: StorageResponse = decode_from_slice(&resp).unwrap();
+        assert!(matches!(decoded, StorageResponse::ErrStorage(_)));
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! Write-once flash storage for CORFU storage nodes.
+//!
+//! The paper (§2.2) describes a CORFU storage node as "an SSD with a custom
+//! interface (i.e., a write-once, 64-bit address space instead of a
+//! conventional LBA, where space is freed by explicit trims rather than
+//! overwrites)". This crate implements that device:
+//!
+//! * [`FlashUnit`] — the write-once 64-bit page address space with
+//!   `write`/`read`/`trim`/`trim_prefix`/`seal` and wear accounting. Pages can
+//!   hold data or *junk* (the fill value used to patch holes left by crashed
+//!   clients).
+//! * [`PageStore`] — the persistence backend trait, with two implementations:
+//!   [`MemStore`] (RAM, used by tests and the in-process cluster) and
+//!   [`FileStore`] (segmented slot files with CRC-checked headers and
+//!   crash recovery by scanning).
+//!
+//! We do not have the paper's Intel X25-V SSDs; `FileStore` over a local
+//! filesystem is the substitution. It preserves the semantics that matter to
+//! CORFU — write-once pages, explicit trim, sealing, persistence across
+//! restarts — while the performance characteristics of the original cluster
+//! are modeled separately in `simcluster` (see DESIGN.md).
+
+mod error;
+mod file;
+mod mem;
+mod store;
+mod unit;
+
+pub use error::FlashError;
+pub use file::FileStore;
+pub use mem::MemStore;
+pub use store::{PageKind, PageRead, PageStore, ScannedPage};
+pub use unit::{FlashUnit, WearStats};
+
+/// A page address in the unit's 64-bit write-once address space.
+pub type PageAddr = u64;
+
+/// Convenience alias for flash results.
+pub type Result<T> = std::result::Result<T, FlashError>;

@@ -1,0 +1,84 @@
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+
+use crate::store::{PageKind, PageStore, ScannedPage, ScannedState};
+use crate::{PageAddr, Result};
+
+/// An in-memory [`PageStore`], used by tests and the in-process cluster.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    slots: BTreeMap<PageAddr, Slot>,
+    meta: Option<(u64, PageAddr)>,
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Data(Bytes),
+    Junk,
+    Trimmed,
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the number of live (non-trimmed) slots, for tests.
+    pub fn live_pages(&self) -> usize {
+        self.slots.values().filter(|s| !matches!(s, Slot::Trimmed)).count()
+    }
+}
+
+impl PageStore for MemStore {
+    fn put(&mut self, addr: PageAddr, kind: PageKind, data: &[u8]) -> Result<()> {
+        let slot = match kind {
+            PageKind::Data => Slot::Data(Bytes::copy_from_slice(data)),
+            PageKind::Junk => Slot::Junk,
+        };
+        self.slots.insert(addr, slot);
+        Ok(())
+    }
+
+    fn get(&self, addr: PageAddr) -> Result<Option<(PageKind, Bytes)>> {
+        Ok(match self.slots.get(&addr) {
+            Some(Slot::Data(b)) => Some((PageKind::Data, b.clone())),
+            Some(Slot::Junk) => Some((PageKind::Junk, Bytes::new())),
+            Some(Slot::Trimmed) | None => None,
+        })
+    }
+
+    fn mark_trimmed(&mut self, addr: PageAddr) -> Result<()> {
+        self.slots.insert(addr, Slot::Trimmed);
+        Ok(())
+    }
+
+    fn put_meta(&mut self, epoch: u64, prefix_trim: PageAddr) -> Result<()> {
+        self.meta = Some((epoch, prefix_trim));
+        Ok(())
+    }
+
+    fn get_meta(&self) -> Result<Option<(u64, PageAddr)>> {
+        Ok(self.meta)
+    }
+
+    fn scan(&self) -> Result<Vec<ScannedPage>> {
+        Ok(self
+            .slots
+            .iter()
+            .map(|(&addr, slot)| ScannedPage {
+                addr,
+                state: match slot {
+                    Slot::Data(_) => ScannedState::Data,
+                    Slot::Junk => ScannedState::Junk,
+                    Slot::Trimmed => ScannedState::Trimmed,
+                },
+            })
+            .collect())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+}

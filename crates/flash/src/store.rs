@@ -1,0 +1,85 @@
+use bytes::Bytes;
+
+use crate::{PageAddr, Result};
+
+/// What a written page holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageKind {
+    /// An application payload.
+    Data,
+    /// The junk fill value used to patch holes (§3.2 of the paper); junk
+    /// pages carry no payload.
+    Junk,
+}
+
+/// The outcome of reading a page address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageRead {
+    /// The page holds application data.
+    Data(Bytes),
+    /// The page was filled with junk.
+    Junk,
+    /// The page has never been written.
+    Unwritten,
+    /// The page has been trimmed (garbage collected).
+    Trimmed,
+}
+
+impl PageRead {
+    /// Returns true if the address has been consumed (written, filled, or
+    /// trimmed) and can never accept a write.
+    pub fn is_consumed(&self) -> bool {
+        !matches!(self, PageRead::Unwritten)
+    }
+}
+
+/// A page discovered while scanning a store during recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScannedPage {
+    /// The page address.
+    pub addr: PageAddr,
+    /// Whether the slot holds data, junk, or a trim marker.
+    pub state: ScannedState,
+}
+
+/// The state of a scanned slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScannedState {
+    /// Slot holds a valid data payload.
+    Data,
+    /// Slot holds a junk fill.
+    Junk,
+    /// Slot was explicitly trimmed.
+    Trimmed,
+}
+
+/// Persistence backend for a [`crate::FlashUnit`].
+///
+/// The store is a dumb slot device: write-once enforcement, sealing, and trim
+/// bookkeeping live in the unit. Implementations must persist page payloads,
+/// trim markers, and the unit metadata (epoch, prefix-trim horizon).
+pub trait PageStore: Send {
+    /// Persists a page payload (data or junk) at `addr`.
+    ///
+    /// The unit guarantees it calls this at most once per live address, so
+    /// implementations may overwrite the slot unconditionally.
+    fn put(&mut self, addr: PageAddr, kind: PageKind, data: &[u8]) -> Result<()>;
+
+    /// Reads the slot at `addr`, or `None` if nothing was ever persisted.
+    fn get(&self, addr: PageAddr) -> Result<Option<(PageKind, Bytes)>>;
+
+    /// Persists a trim marker at `addr` and releases the payload.
+    fn mark_trimmed(&mut self, addr: PageAddr) -> Result<()>;
+
+    /// Persists unit metadata: the seal epoch and the prefix-trim horizon.
+    fn put_meta(&mut self, epoch: u64, prefix_trim: PageAddr) -> Result<()>;
+
+    /// Loads unit metadata, or `None` on a fresh store.
+    fn get_meta(&self) -> Result<Option<(u64, PageAddr)>>;
+
+    /// Enumerates every persisted slot for crash recovery.
+    fn scan(&self) -> Result<Vec<ScannedPage>>;
+
+    /// Flushes buffered state to stable storage.
+    fn sync(&mut self) -> Result<()>;
+}

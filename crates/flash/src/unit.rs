@@ -1,0 +1,312 @@
+use std::collections::BTreeMap;
+
+use crate::store::{PageKind, PageRead, PageStore, ScannedState};
+use crate::{FlashError, PageAddr, Result};
+
+/// Wear and usage accounting for a flash unit.
+///
+/// The paper notes (§2.2) that "the flash lifetime of a CORFU node depends on
+/// the workload; sequential trims result in substantially less wear on the
+/// flash than random trims" — so the unit distinguishes the two.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WearStats {
+    /// Data pages written.
+    pub data_writes: u64,
+    /// Junk fills written.
+    pub junk_writes: u64,
+    /// Bytes of payload written.
+    pub bytes_written: u64,
+    /// Pages read.
+    pub reads: u64,
+    /// Random (per-address) trims.
+    pub random_trims: u64,
+    /// Pages reclaimed by sequential prefix trims.
+    pub prefix_trimmed_pages: u64,
+    /// Writes rejected because the address was already consumed.
+    pub rejected_writes: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    Data,
+    Junk,
+    Trimmed,
+}
+
+/// A write-once, 64-bit page address space: the storage device under a CORFU
+/// storage server (§2.2).
+///
+/// Invariants:
+///
+/// * Every address accepts at most one write (data or junk) over its
+///   lifetime, even across trims: a trimmed address stays consumed. This is
+///   what makes client-driven chain replication safe.
+/// * `seal` is monotone: the epoch only increases.
+pub struct FlashUnit {
+    store: Box<dyn PageStore>,
+    /// Live index: address -> state. Addresses below `prefix_trim` are
+    /// implicitly trimmed and absent.
+    index: BTreeMap<PageAddr, SlotState>,
+    /// All addresses strictly below this are trimmed.
+    prefix_trim: PageAddr,
+    /// The highest consumed address + 1 (never decreases, even on trim).
+    local_tail: PageAddr,
+    epoch: u64,
+    page_size: usize,
+    stats: WearStats,
+}
+
+impl FlashUnit {
+    /// Creates a unit over a fresh or previously used store, recovering the
+    /// index, epoch, and trim horizon by scanning.
+    pub fn open(store: Box<dyn PageStore>, page_size: usize) -> Result<Self> {
+        let (epoch, prefix_trim) = store.get_meta()?.unwrap_or((0, 0));
+        let mut index = BTreeMap::new();
+        let mut local_tail = prefix_trim;
+        for page in store.scan()? {
+            let state = match page.state {
+                ScannedState::Data => SlotState::Data,
+                ScannedState::Junk => SlotState::Junk,
+                ScannedState::Trimmed => SlotState::Trimmed,
+            };
+            local_tail = local_tail.max(page.addr + 1);
+            if page.addr >= prefix_trim {
+                index.insert(page.addr, state);
+            }
+        }
+        Ok(Self { store, index, prefix_trim, local_tail, epoch, page_size, stats: WearStats::default() })
+    }
+
+    /// Creates an in-memory unit, for tests and the in-process cluster.
+    pub fn in_memory(page_size: usize) -> Self {
+        Self::open(Box::new(crate::MemStore::new()), page_size).expect("MemStore::open is infallible")
+    }
+
+    /// The fixed page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// The unit's current seal epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The highest consumed address + 1. This is the "local tail" used by
+    /// the slow check and by sequencer recovery.
+    pub fn local_tail(&self) -> PageAddr {
+        self.local_tail
+    }
+
+    /// Usage counters.
+    pub fn stats(&self) -> WearStats {
+        self.stats
+    }
+
+    fn check_writable(&mut self, addr: PageAddr) -> Result<()> {
+        if addr < self.prefix_trim {
+            return Err(FlashError::Trimmed { addr });
+        }
+        if self.index.contains_key(&addr) {
+            self.stats.rejected_writes += 1;
+            return Err(FlashError::AlreadyWritten { addr });
+        }
+        Ok(())
+    }
+
+    /// Writes a data page. Fails with [`FlashError::AlreadyWritten`] if the
+    /// address was ever consumed, or [`FlashError::Trimmed`] below the trim
+    /// horizon.
+    pub fn write(&mut self, addr: PageAddr, data: &[u8]) -> Result<()> {
+        if data.len() > self.page_size {
+            return Err(FlashError::PageTooLarge { len: data.len(), page_size: self.page_size });
+        }
+        self.check_writable(addr)?;
+        self.store.put(addr, PageKind::Data, data)?;
+        self.index.insert(addr, SlotState::Data);
+        self.local_tail = self.local_tail.max(addr + 1);
+        self.stats.data_writes += 1;
+        self.stats.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    /// Fills a page with junk (the hole-patching primitive, §3.2). Subject to
+    /// the same write-once rules as [`FlashUnit::write`].
+    pub fn fill(&mut self, addr: PageAddr) -> Result<()> {
+        self.check_writable(addr)?;
+        self.store.put(addr, PageKind::Junk, &[])?;
+        self.index.insert(addr, SlotState::Junk);
+        self.local_tail = self.local_tail.max(addr + 1);
+        self.stats.junk_writes += 1;
+        Ok(())
+    }
+
+    /// Reads the page at `addr`.
+    pub fn read(&mut self, addr: PageAddr) -> Result<PageRead> {
+        self.stats.reads += 1;
+        if addr < self.prefix_trim {
+            return Ok(PageRead::Trimmed);
+        }
+        match self.index.get(&addr) {
+            None => Ok(PageRead::Unwritten),
+            Some(SlotState::Trimmed) => Ok(PageRead::Trimmed),
+            Some(SlotState::Junk) => Ok(PageRead::Junk),
+            Some(SlotState::Data) => match self.store.get(addr)? {
+                Some((PageKind::Data, bytes)) => Ok(PageRead::Data(bytes)),
+                // The index said data was here; the store losing it is
+                // corruption, not a hole.
+                _ => Err(FlashError::Corrupt(format!("indexed data page {addr} missing"))),
+            },
+        }
+    }
+
+    /// Trims a single address, releasing its payload. The address remains
+    /// consumed: it will never accept a write again.
+    pub fn trim(&mut self, addr: PageAddr) -> Result<()> {
+        if addr < self.prefix_trim {
+            return Ok(());
+        }
+        self.store.mark_trimmed(addr)?;
+        self.index.insert(addr, SlotState::Trimmed);
+        self.local_tail = self.local_tail.max(addr + 1);
+        self.stats.random_trims += 1;
+        Ok(())
+    }
+
+    /// Trims every address strictly below `horizon` (sequential trim, the
+    /// cheap kind). Idempotent; a lower horizon than the current one is a
+    /// no-op.
+    pub fn trim_prefix(&mut self, horizon: PageAddr) -> Result<()> {
+        if horizon <= self.prefix_trim {
+            return Ok(());
+        }
+        let removed: Vec<PageAddr> =
+            self.index.range(..horizon).map(|(&addr, _)| addr).collect();
+        for addr in &removed {
+            self.store.mark_trimmed(*addr)?;
+        }
+        self.stats.prefix_trimmed_pages += removed.len() as u64;
+        for addr in removed {
+            self.index.remove(&addr);
+        }
+        self.prefix_trim = horizon;
+        self.local_tail = self.local_tail.max(horizon);
+        self.store.put_meta(self.epoch, self.prefix_trim)?;
+        Ok(())
+    }
+
+    /// Seals the unit at `epoch`, returning the local tail. Requests carrying
+    /// an older epoch must be rejected by the storage server above. Sealing
+    /// at an epoch not greater than the current one fails.
+    pub fn seal(&mut self, epoch: u64) -> Result<PageAddr> {
+        if epoch <= self.epoch {
+            return Err(FlashError::Sealed { current_epoch: self.epoch });
+        }
+        self.epoch = epoch;
+        self.store.put_meta(self.epoch, self.prefix_trim)?;
+        Ok(self.local_tail)
+    }
+
+    /// Flushes the backing store.
+    pub fn sync(&mut self) -> Result<()> {
+        self.store.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStore;
+
+    fn unit() -> FlashUnit {
+        FlashUnit::in_memory(4096)
+    }
+
+    #[test]
+    fn write_once_enforced() {
+        let mut u = unit();
+        u.write(7, b"abc").unwrap();
+        assert_eq!(u.write(7, b"xyz"), Err(FlashError::AlreadyWritten { addr: 7 }));
+        assert_eq!(u.fill(7), Err(FlashError::AlreadyWritten { addr: 7 }));
+        assert_eq!(u.read(7).unwrap(), PageRead::Data(bytes::Bytes::from_static(b"abc")));
+    }
+
+    #[test]
+    fn fill_then_write_rejected() {
+        let mut u = unit();
+        u.fill(3).unwrap();
+        assert_eq!(u.write(3, b"late"), Err(FlashError::AlreadyWritten { addr: 3 }));
+        assert_eq!(u.read(3).unwrap(), PageRead::Junk);
+    }
+
+    #[test]
+    fn unwritten_reads_and_tail() {
+        let mut u = unit();
+        assert_eq!(u.read(0).unwrap(), PageRead::Unwritten);
+        assert_eq!(u.local_tail(), 0);
+        u.write(5, b"sparse").unwrap();
+        assert_eq!(u.local_tail(), 6);
+        assert_eq!(u.read(2).unwrap(), PageRead::Unwritten);
+    }
+
+    #[test]
+    fn trim_keeps_address_consumed() {
+        let mut u = unit();
+        u.write(1, b"v").unwrap();
+        u.trim(1).unwrap();
+        assert_eq!(u.read(1).unwrap(), PageRead::Trimmed);
+        assert_eq!(u.write(1, b"again"), Err(FlashError::AlreadyWritten { addr: 1 }));
+        assert_eq!(u.stats().random_trims, 1);
+    }
+
+    #[test]
+    fn prefix_trim_reclaims_and_rejects() {
+        let mut u = unit();
+        for addr in 0..10 {
+            u.write(addr, b"x").unwrap();
+        }
+        u.trim_prefix(5).unwrap();
+        for addr in 0..5 {
+            assert_eq!(u.read(addr).unwrap(), PageRead::Trimmed);
+            assert_eq!(u.write(addr, b"y"), Err(FlashError::Trimmed { addr }));
+        }
+        assert_eq!(u.read(5).unwrap(), PageRead::Data(bytes::Bytes::from_static(b"x")));
+        assert_eq!(u.stats().prefix_trimmed_pages, 5);
+        // Lower horizon is a no-op.
+        u.trim_prefix(2).unwrap();
+        assert_eq!(u.local_tail(), 10);
+    }
+
+    #[test]
+    fn seal_is_monotone() {
+        let mut u = unit();
+        u.write(0, b"a").unwrap();
+        assert_eq!(u.seal(1).unwrap(), 1);
+        assert_eq!(u.seal(1), Err(FlashError::Sealed { current_epoch: 1 }));
+        assert_eq!(u.seal(5).unwrap(), 1);
+        assert_eq!(u.epoch(), 5);
+    }
+
+    #[test]
+    fn recovery_from_store_scan() {
+        let mut store = MemStore::new();
+        store.put(0, PageKind::Data, b"zero").unwrap();
+        store.put(4, PageKind::Junk, &[]).unwrap();
+        store.mark_trimmed(2).unwrap();
+        store.put_meta(9, 0).unwrap();
+        let mut u = FlashUnit::open(Box::new(store), 4096).unwrap();
+        assert_eq!(u.epoch(), 9);
+        assert_eq!(u.local_tail(), 5);
+        assert_eq!(u.read(0).unwrap(), PageRead::Data(bytes::Bytes::from_static(b"zero")));
+        assert_eq!(u.read(4).unwrap(), PageRead::Junk);
+        assert_eq!(u.read(2).unwrap(), PageRead::Trimmed);
+        assert_eq!(u.write(2, b"no"), Err(FlashError::AlreadyWritten { addr: 2 }));
+    }
+
+    #[test]
+    fn page_size_enforced() {
+        let mut u = FlashUnit::in_memory(8);
+        assert!(matches!(u.write(0, &[0u8; 9]), Err(FlashError::PageTooLarge { .. })));
+        u.write(0, &[0u8; 8]).unwrap();
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests for the write-once invariant under arbitrary operation
+//! interleavings, and for file-store recovery equivalence.
+
+use proptest::prelude::*;
+use tango_flash::{FileStore, FlashError, FlashUnit, PageRead};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u64, Vec<u8>),
+    Fill(u64),
+    Trim(u64),
+    TrimPrefix(u64),
+    Read(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..32, proptest::collection::vec(any::<u8>(), 0..16)).prop_map(|(a, d)| Op::Write(a, d)),
+        (0u64..32).prop_map(Op::Fill),
+        (0u64..32).prop_map(Op::Trim),
+        (0u64..32).prop_map(Op::TrimPrefix),
+        (0u64..32).prop_map(Op::Read),
+    ]
+}
+
+/// A trivially correct model of the write-once address space.
+#[derive(Default)]
+struct Model {
+    slots: std::collections::HashMap<u64, Option<Vec<u8>>>, // None = junk
+    consumed: std::collections::HashSet<u64>,
+    trimmed: std::collections::HashSet<u64>,
+    prefix: u64,
+}
+
+impl Model {
+    fn read(&self, addr: u64) -> PageRead {
+        if addr < self.prefix || self.trimmed.contains(&addr) {
+            PageRead::Trimmed
+        } else if let Some(slot) = self.slots.get(&addr) {
+            match slot {
+                Some(d) => PageRead::Data(bytes::Bytes::copy_from_slice(d)),
+                None => PageRead::Junk,
+            }
+        } else {
+            PageRead::Unwritten
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn unit_matches_model(ops in proptest::collection::vec(op_strategy(), 1..128)) {
+        let mut unit = FlashUnit::in_memory(64);
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                Op::Write(addr, data) => {
+                    let res = unit.write(addr, &data);
+                    if addr < model.prefix || model.trimmed.contains(&addr) {
+                        let rejected = matches!(res,
+                            Err(FlashError::Trimmed { .. }) | Err(FlashError::AlreadyWritten { .. }));
+                        prop_assert!(rejected);
+                    } else if model.consumed.contains(&addr) {
+                        prop_assert_eq!(res, Err(FlashError::AlreadyWritten { addr }));
+                    } else {
+                        prop_assert!(res.is_ok());
+                        model.slots.insert(addr, Some(data));
+                        model.consumed.insert(addr);
+                    }
+                }
+                Op::Fill(addr) => {
+                    let res = unit.fill(addr);
+                    if addr < model.prefix || model.trimmed.contains(&addr) {
+                        let rejected = matches!(res,
+                            Err(FlashError::Trimmed { .. }) | Err(FlashError::AlreadyWritten { .. }));
+                        prop_assert!(rejected);
+                    } else if model.consumed.contains(&addr) {
+                        prop_assert_eq!(res, Err(FlashError::AlreadyWritten { addr }));
+                    } else {
+                        prop_assert!(res.is_ok());
+                        model.slots.insert(addr, None);
+                        model.consumed.insert(addr);
+                    }
+                }
+                Op::Trim(addr) => {
+                    unit.trim(addr).unwrap();
+                    if addr >= model.prefix {
+                        model.trimmed.insert(addr);
+                        model.consumed.insert(addr);
+                        model.slots.remove(&addr);
+                    }
+                }
+                Op::TrimPrefix(horizon) => {
+                    unit.trim_prefix(horizon).unwrap();
+                    if horizon > model.prefix {
+                        model.prefix = horizon;
+                        model.slots.retain(|&a, _| a >= horizon);
+                        model.trimmed.retain(|&a| a >= horizon);
+                        for a in 0..horizon {
+                            model.consumed.insert(a);
+                        }
+                    }
+                }
+                Op::Read(addr) => {
+                    prop_assert_eq!(unit.read(addr).unwrap(), model.read(addr));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn file_store_recovery_preserves_state(
+        writes in proptest::collection::vec((0u64..64, proptest::collection::vec(any::<u8>(), 0..32)), 1..24),
+        fills in proptest::collection::vec(0u64..64, 0..8),
+        trims in proptest::collection::vec(0u64..64, 0..8),
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "tango-flash-prop-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+        ));
+        let mut expectations = Vec::new();
+        {
+            let store = FileStore::open(&dir, 64, 8).unwrap();
+            let mut unit = FlashUnit::open(Box::new(store), 64).unwrap();
+            for (addr, data) in &writes {
+                let _ = unit.write(*addr, data);
+            }
+            for addr in &fills {
+                let _ = unit.fill(*addr);
+            }
+            for addr in &trims {
+                let _ = unit.trim(*addr);
+            }
+            for addr in 0u64..64 {
+                expectations.push(unit.read(addr).unwrap());
+            }
+            unit.sync().unwrap();
+        }
+        // Reopen and compare every address.
+        let store = FileStore::open(&dir, 64, 8).unwrap();
+        let mut unit = FlashUnit::open(Box::new(store), 64).unwrap();
+        for (addr, expected) in (0u64..64).zip(expectations) {
+            prop_assert_eq!(unit.read(addr).unwrap(), expected);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

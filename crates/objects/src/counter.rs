@@ -1,0 +1,120 @@
+//! A distributed 64-bit counter (e.g. the job-id allocator of §4's job
+//! scheduler example).
+
+use std::sync::Arc;
+
+use tango::{ApplyMeta, ObjectOptions, ObjectView, StateMachine, TangoRuntime, TxStatus};
+use tango_wire::{decode_from_slice, encode_to_vec, Decode, Encode, Reader, Writer, WireError};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CounterOp {
+    /// Add a (possibly negative) delta.
+    Add(i64),
+    /// Overwrite the value.
+    Set(i64),
+}
+
+impl Encode for CounterOp {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            CounterOp::Add(d) => {
+                w.put_u8(0);
+                w.put_i64(*d);
+            }
+            CounterOp::Set(v) => {
+                w.put_u8(1);
+                w.put_i64(*v);
+            }
+        }
+    }
+}
+
+impl Decode for CounterOp {
+    fn decode(r: &mut Reader<'_>) -> tango_wire::Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(CounterOp::Add(r.get_i64()?)),
+            1 => Ok(CounterOp::Set(r.get_i64()?)),
+            tag => Err(WireError::InvalidTag { what: "CounterOp", tag: tag as u64 }),
+        }
+    }
+}
+
+/// Internal view state.
+#[derive(Default)]
+pub struct CounterState {
+    value: i64,
+}
+
+impl StateMachine for CounterState {
+    fn apply(&mut self, data: &[u8], _meta: &ApplyMeta) {
+        match decode_from_slice::<CounterOp>(data) {
+            Ok(CounterOp::Add(d)) => self.value = self.value.wrapping_add(d),
+            Ok(CounterOp::Set(v)) => self.value = v,
+            Err(_) => {}
+        }
+    }
+
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        Some(self.value.to_le_bytes().to_vec())
+    }
+
+    fn restore(&mut self, data: &[u8]) {
+        if let Ok(bytes) = <[u8; 8]>::try_from(data) {
+            self.value = i64::from_le_bytes(bytes);
+        }
+    }
+}
+
+/// A persistent, linearizable counter. `add` commutes, so blind increments
+/// never conflict; `fetch_add` provides the transactional read-modify-write
+/// variant when the caller needs the pre-increment value.
+#[derive(Clone)]
+pub struct TangoCounter {
+    view: ObjectView<CounterState>,
+}
+
+impl TangoCounter {
+    /// Opens (creating if needed) the counter named `name`.
+    pub fn open(runtime: &Arc<TangoRuntime>, name: &str) -> tango::Result<Self> {
+        let oid = runtime.create_or_open(name)?;
+        let view =
+            runtime.register_object(oid, CounterState::default(), ObjectOptions::default())?;
+        Ok(Self { view })
+    }
+
+    /// The object id.
+    pub fn oid(&self) -> tango::Oid {
+        self.view.oid()
+    }
+
+    /// Adds `delta` without reading (commutative: never aborts).
+    pub fn add(&self, delta: i64) -> tango::Result<()> {
+        self.view.update(None, encode_to_vec(&CounterOp::Add(delta)))
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, value: i64) -> tango::Result<()> {
+        self.view.update(None, encode_to_vec(&CounterOp::Set(value)))
+    }
+
+    /// Reads the current value (linearizable).
+    pub fn get(&self) -> tango::Result<i64> {
+        self.view.query(None, |s| s.value)
+    }
+
+    /// Atomically reads the value and adds `delta`, returning the
+    /// pre-increment value. Retries internally on conflict.
+    pub fn fetch_add(&self, delta: i64) -> tango::Result<i64> {
+        let runtime = self.view.runtime().clone();
+        loop {
+            // Refresh, then transact against the fresh snapshot.
+            self.view.query(None, |_| ())?;
+            runtime.begin_tx()?;
+            let before = self.view.query_dirty(None, |s| s.value)?;
+            self.view.update(None, encode_to_vec(&CounterOp::Set(before + delta)))?;
+            if runtime.end_tx()? == TxStatus::Committed {
+                return Ok(before);
+            }
+        }
+    }
+}

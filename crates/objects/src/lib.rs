@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+//! The standard Tango object library.
+//!
+//! The paper argues that developers should not be forced to funnel all
+//! state through one data structure (§2): "imagine if the C++ STL provided
+//! just a hash map, or Java Collections came with just a TreeSet!". This
+//! crate is the equivalent of those collection libraries over a shared
+//! log — every structure here is persistent, strongly consistent, highly
+//! available, and transactional, in a few hundred lines each:
+//!
+//! * [`TangoRegister`] — the paper's Figure 3 example, typed.
+//! * [`TangoCounter`] — a 64-bit counter with atomic add.
+//! * [`TangoMap`] — a hash map with fine-grained per-key conflict
+//!   detection.
+//! * [`TangoOffsetMap`] — a map whose view stores *log offsets* instead of
+//!   values, acting as an index over log-structured storage (§3.1).
+//! * [`TangoTreeMap`] / [`TangoTreeSet`] — ordered structures with range
+//!   queries, first/last extraction (the membership-service workloads of
+//!   §2).
+//! * [`TangoList`] — a sequence with positional access.
+//! * [`TangoQueue`] — a multi-producer multi-consumer queue whose dequeue
+//!   is a transaction.
+//! * [`zk::TangoZK`] — the ZooKeeper interface over Tango (§6.3):
+//!   hierarchical namespace, versioned znodes, sequential nodes, watches,
+//!   and multi-ops; supports cross-namespace moves that ZooKeeper itself
+//!   cannot express.
+//! * [`bk::TangoBK`] — the BookKeeper single-writer ledger abstraction
+//!   over Tango (§6.3), with fencing.
+
+pub mod bk;
+mod counter;
+mod list;
+mod map;
+mod offset_map;
+mod queue;
+mod register;
+mod set;
+mod treemap;
+pub mod util;
+pub mod zk;
+
+pub use counter::TangoCounter;
+pub use list::TangoList;
+pub use map::TangoMap;
+pub use offset_map::TangoOffsetMap;
+pub use queue::TangoQueue;
+pub use register::TangoRegister;
+pub use set::TangoTreeSet;
+pub use treemap::TangoTreeMap;

@@ -1,0 +1,216 @@
+//! A replicated sequence with positional access.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use tango::{ApplyMeta, ObjectOptions, ObjectView, StateMachine, TangoRuntime, TxStatus};
+use tango_wire::{decode_from_slice, encode_to_vec, Decode, Encode, Reader, Writer, WireError};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ListOp<T> {
+    PushBack(T),
+    PushFront(T),
+    Insert(u64, T),
+    RemoveAt(u64),
+    Set(u64, T),
+    Clear,
+}
+
+impl<T: Encode> Encode for ListOp<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ListOp::PushBack(v) => {
+                w.put_u8(0);
+                v.encode(w);
+            }
+            ListOp::PushFront(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+            ListOp::Insert(i, v) => {
+                w.put_u8(2);
+                w.put_varint(*i);
+                v.encode(w);
+            }
+            ListOp::RemoveAt(i) => {
+                w.put_u8(3);
+                w.put_varint(*i);
+            }
+            ListOp::Set(i, v) => {
+                w.put_u8(4);
+                w.put_varint(*i);
+                v.encode(w);
+            }
+            ListOp::Clear => w.put_u8(5),
+        }
+    }
+}
+
+impl<T: Decode> Decode for ListOp<T> {
+    fn decode(r: &mut Reader<'_>) -> tango_wire::Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(ListOp::PushBack(T::decode(r)?)),
+            1 => Ok(ListOp::PushFront(T::decode(r)?)),
+            2 => Ok(ListOp::Insert(r.get_varint()?, T::decode(r)?)),
+            3 => Ok(ListOp::RemoveAt(r.get_varint()?)),
+            4 => Ok(ListOp::Set(r.get_varint()?, T::decode(r)?)),
+            5 => Ok(ListOp::Clear),
+            tag => Err(WireError::InvalidTag { what: "ListOp", tag: tag as u64 }),
+        }
+    }
+}
+
+/// Internal view state.
+pub struct ListState<T> {
+    items: Vec<T>,
+}
+
+impl<T> Default for ListState<T> {
+    fn default() -> Self {
+        Self { items: Vec::new() }
+    }
+}
+
+impl<T> StateMachine for ListState<T>
+where
+    T: Encode + Decode + Send + 'static,
+{
+    fn apply(&mut self, data: &[u8], _meta: &ApplyMeta) {
+        match decode_from_slice::<ListOp<T>>(data) {
+            Ok(ListOp::PushBack(v)) => self.items.push(v),
+            Ok(ListOp::PushFront(v)) => self.items.insert(0, v),
+            Ok(ListOp::Insert(i, v)) => {
+                let i = (i as usize).min(self.items.len());
+                self.items.insert(i, v);
+            }
+            Ok(ListOp::RemoveAt(i)) => {
+                if (i as usize) < self.items.len() {
+                    self.items.remove(i as usize);
+                }
+            }
+            Ok(ListOp::Set(i, v)) => {
+                if let Some(slot) = self.items.get_mut(i as usize) {
+                    *slot = v;
+                }
+            }
+            Ok(ListOp::Clear) => self.items.clear(),
+            Err(_) => {}
+        }
+    }
+
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        let mut w = Writer::new();
+        w.put_varint(self.items.len() as u64);
+        for item in &self.items {
+            item.encode(&mut w);
+        }
+        Some(w.into_vec())
+    }
+
+    fn restore(&mut self, data: &[u8]) {
+        let mut r = Reader::new(data);
+        let mut fresh = Vec::new();
+        let parse = (|| -> tango_wire::Result<()> {
+            let n = r.get_len(1 << 28)?;
+            for _ in 0..n {
+                fresh.push(T::decode(&mut r)?);
+            }
+            Ok(())
+        })();
+        if parse.is_ok() {
+            self.items = fresh;
+        }
+    }
+}
+
+/// A persistent, linearizable, transactional list.
+///
+/// Positional operations use whole-object versioning: index semantics
+/// depend on the entire sequence, so any concurrent structural change is a
+/// genuine conflict.
+pub struct TangoList<T> {
+    view: ObjectView<ListState<T>>,
+    _marker: PhantomData<T>,
+}
+
+impl<T> Clone for TangoList<T> {
+    fn clone(&self) -> Self {
+        Self { view: self.view.clone(), _marker: PhantomData }
+    }
+}
+
+impl<T> TangoList<T>
+where
+    T: Encode + Decode + Clone + Send + 'static,
+{
+    /// Opens (creating if needed) the list named `name`.
+    pub fn open(runtime: &Arc<TangoRuntime>, name: &str) -> tango::Result<Self> {
+        let oid = runtime.create_or_open(name)?;
+        let view = runtime.register_object(oid, ListState::default(), ObjectOptions::default())?;
+        Ok(Self { view, _marker: PhantomData })
+    }
+
+    /// The object id.
+    pub fn oid(&self) -> tango::Oid {
+        self.view.oid()
+    }
+
+    /// Appends at the back.
+    pub fn push_back(&self, value: &T) -> tango::Result<()> {
+        self.view.update(None, encode_to_vec(&ListOp::PushBack(value.clone())))
+    }
+
+    /// Prepends at the front.
+    pub fn push_front(&self, value: &T) -> tango::Result<()> {
+        self.view.update(None, encode_to_vec(&ListOp::PushFront(value.clone())))
+    }
+
+    /// Inserts at `index` (clamped to the length).
+    pub fn insert(&self, index: usize, value: &T) -> tango::Result<()> {
+        self.view.update(None, encode_to_vec(&ListOp::Insert(index as u64, value.clone())))
+    }
+
+    /// Removes the item at `index` transactionally, returning it (or `None`
+    /// if the index is out of bounds at commit time).
+    pub fn remove(&self, index: usize) -> tango::Result<Option<T>> {
+        let runtime = self.view.runtime().clone();
+        loop {
+            self.view.query(None, |_| ())?;
+            runtime.begin_tx()?;
+            let current = self.view.query_dirty(None, |s| s.items.get(index).cloned())?;
+            if current.is_none() {
+                runtime.abort_tx()?;
+                return Ok(None);
+            }
+            self.view.update(None, encode_to_vec(&ListOp::<T>::RemoveAt(index as u64)))?;
+            if runtime.end_tx()? == TxStatus::Committed {
+                return Ok(current);
+            }
+        }
+    }
+
+    /// Overwrites the item at `index` (no-op if out of bounds).
+    pub fn set(&self, index: usize, value: &T) -> tango::Result<()> {
+        self.view.update(None, encode_to_vec(&ListOp::Set(index as u64, value.clone())))
+    }
+
+    /// Reads the item at `index`.
+    pub fn get(&self, index: usize) -> tango::Result<Option<T>> {
+        self.view.query(None, |s| s.items.get(index).cloned())
+    }
+
+    /// The number of items.
+    pub fn len(&self) -> tango::Result<usize> {
+        self.view.query(None, |s| s.items.len())
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> tango::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// A point-in-time snapshot of the whole sequence.
+    pub fn snapshot(&self) -> tango::Result<Vec<T>> {
+        self.view.query(None, |s| s.items.clone())
+    }
+}

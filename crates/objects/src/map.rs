@@ -1,0 +1,206 @@
+//! A hash map over the shared log with fine-grained per-key conflict
+//! detection (§3.2 "Versioning"): transactions touching disjoint keys
+//! commit concurrently.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use tango::{ApplyMeta, ObjectOptions, ObjectView, StateMachine, TangoRuntime};
+use tango_wire::{decode_from_slice, encode_to_vec, Decode, Encode, Reader, Writer, WireError};
+
+use crate::util::key_hash;
+
+/// Map mutations, shared by [`crate::TangoMap`], [`crate::TangoTreeMap`]
+/// and [`crate::TangoOffsetMap`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum MapOp<K, V> {
+    Put { key: K, value: V },
+    Remove { key: K },
+    Clear,
+}
+
+impl<K: Encode, V: Encode> Encode for MapOp<K, V> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            MapOp::Put { key, value } => {
+                w.put_u8(0);
+                key.encode(w);
+                value.encode(w);
+            }
+            MapOp::Remove { key } => {
+                w.put_u8(1);
+                key.encode(w);
+            }
+            MapOp::Clear => w.put_u8(2),
+        }
+    }
+}
+
+impl<K: Decode, V: Decode> Decode for MapOp<K, V> {
+    fn decode(r: &mut Reader<'_>) -> tango_wire::Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(MapOp::Put { key: K::decode(r)?, value: V::decode(r)? }),
+            1 => Ok(MapOp::Remove { key: K::decode(r)? }),
+            2 => Ok(MapOp::Clear),
+            tag => Err(WireError::InvalidTag { what: "MapOp", tag: tag as u64 }),
+        }
+    }
+}
+
+/// Internal view state.
+pub struct MapState<K, V> {
+    entries: HashMap<K, V>,
+}
+
+impl<K, V> Default for MapState<K, V> {
+    fn default() -> Self {
+        Self { entries: HashMap::new() }
+    }
+}
+
+impl<K, V> StateMachine for MapState<K, V>
+where
+    K: Encode + Decode + Hash + Eq + Send + 'static,
+    V: Encode + Decode + Send + 'static,
+{
+    fn apply(&mut self, data: &[u8], _meta: &ApplyMeta) {
+        match decode_from_slice::<MapOp<K, V>>(data) {
+            Ok(MapOp::Put { key, value }) => {
+                self.entries.insert(key, value);
+            }
+            Ok(MapOp::Remove { key }) => {
+                self.entries.remove(&key);
+            }
+            Ok(MapOp::Clear) => self.entries.clear(),
+            Err(_) => {}
+        }
+    }
+
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        let mut w = Writer::new();
+        w.put_varint(self.entries.len() as u64);
+        for (k, v) in &self.entries {
+            k.encode(&mut w);
+            v.encode(&mut w);
+        }
+        Some(w.into_vec())
+    }
+
+    fn restore(&mut self, data: &[u8]) {
+        let mut r = Reader::new(data);
+        let mut fresh = HashMap::new();
+        let parse = (|| -> tango_wire::Result<()> {
+            let n = r.get_len(1 << 28)?;
+            for _ in 0..n {
+                let k = K::decode(&mut r)?;
+                let v = V::decode(&mut r)?;
+                fresh.insert(k, v);
+            }
+            Ok(())
+        })();
+        if parse.is_ok() {
+            self.entries = fresh;
+        }
+    }
+}
+
+/// A persistent, linearizable, transactional hash map (the paper's
+/// `TangoMap`).
+pub struct TangoMap<K, V> {
+    view: ObjectView<MapState<K, V>>,
+    _marker: PhantomData<(K, V)>,
+}
+
+impl<K, V> Clone for TangoMap<K, V> {
+    fn clone(&self) -> Self {
+        Self { view: self.view.clone(), _marker: PhantomData }
+    }
+}
+
+impl<K, V> TangoMap<K, V>
+where
+    K: Encode + Decode + Hash + Eq + Clone + Send + 'static,
+    V: Encode + Decode + Clone + Send + 'static,
+{
+    /// Opens (creating if needed) the map named `name`.
+    pub fn open(runtime: &Arc<TangoRuntime>, name: &str) -> tango::Result<Self> {
+        Self::open_with(runtime, name, ObjectOptions::default())
+    }
+
+    /// Opens with explicit object options (e.g. `needs_decision` for maps
+    /// written remotely by partitioned writers).
+    pub fn open_with(
+        runtime: &Arc<TangoRuntime>,
+        name: &str,
+        options: ObjectOptions,
+    ) -> tango::Result<Self> {
+        let oid = runtime.create_or_open(name)?;
+        let view = runtime.register_object(oid, MapState::default(), options)?;
+        Ok(Self { view, _marker: PhantomData })
+    }
+
+    /// Opens the map, restoring from its latest checkpoint record (if any)
+    /// instead of replaying the whole stream; required after the history
+    /// below the checkpoint has been compacted away.
+    pub fn open_from_checkpoint(runtime: &Arc<TangoRuntime>, name: &str) -> tango::Result<Self> {
+        let oid = runtime.create_or_open(name)?;
+        let view = runtime.register_object_from_checkpoint(
+            oid,
+            MapState::default(),
+            ObjectOptions::default(),
+        )?;
+        Ok(Self { view, _marker: PhantomData })
+    }
+
+    /// The object id.
+    pub fn oid(&self) -> tango::Oid {
+        self.view.oid()
+    }
+
+    /// Inserts or replaces a key (fine-grained conflict footprint: this
+    /// key only).
+    pub fn put(&self, key: &K, value: &V) -> tango::Result<()> {
+        let op: MapOp<&K, &V> = MapOp::Put { key, value };
+        self.view.update(Some(key_hash(key)), encode_to_vec(&op))
+    }
+
+    /// Removes a key.
+    pub fn remove(&self, key: &K) -> tango::Result<()> {
+        let op: MapOp<&K, &V> = MapOp::Remove { key };
+        self.view.update(Some(key_hash(key)), encode_to_vec(&op))
+    }
+
+    /// Removes every key (whole-object write: conflicts with everything).
+    pub fn clear(&self) -> tango::Result<()> {
+        let op: MapOp<K, V> = MapOp::Clear;
+        self.view.update(None, encode_to_vec(&op))
+    }
+
+    /// Looks up a key (linearizable; fine-grained read footprint).
+    pub fn get(&self, key: &K) -> tango::Result<Option<V>> {
+        self.view.query(Some(key_hash(key)), |s| s.entries.get(key).cloned())
+    }
+
+    /// True if the key is present.
+    pub fn contains_key(&self, key: &K) -> tango::Result<bool> {
+        self.view.query(Some(key_hash(key)), |s| s.entries.contains_key(key))
+    }
+
+    /// Number of entries (whole-object read footprint).
+    pub fn len(&self) -> tango::Result<usize> {
+        self.view.query(None, |s| s.entries.len())
+    }
+
+    /// True if the map is empty.
+    pub fn is_empty(&self) -> tango::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// A point-in-time snapshot of all entries (whole-object read).
+    pub fn snapshot(&self) -> tango::Result<Vec<(K, V)>> {
+        self.view
+            .query(None, |s| s.entries.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+    }
+}

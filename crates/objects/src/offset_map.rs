@@ -1,0 +1,132 @@
+//! A map whose view is an *index over log-structured storage* (§3.1
+//! "Durability"): the in-memory state holds only `key -> log offset`, and
+//! `get` issues a random read to the shared log to fetch the value. This
+//! keeps the view small for large values at the cost of one log read per
+//! lookup.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use tango::{ApplyMeta, ObjectOptions, ObjectView, StateMachine, TangoRuntime};
+use tango_wire::{decode_from_slice, encode_to_vec, Decode, Encode};
+
+use crate::map::MapOp;
+use crate::util::key_hash;
+
+/// Internal view state: keys map to the log offset of the entry that last
+/// set them.
+pub struct OffsetMapState<K> {
+    offsets: HashMap<K, u64>,
+}
+
+impl<K> Default for OffsetMapState<K> {
+    fn default() -> Self {
+        Self { offsets: HashMap::new() }
+    }
+}
+
+/// The apply upcall decodes only the key and records `meta.offset`,
+/// discarding the value bytes — that is the whole point.
+impl<K> StateMachine for OffsetMapState<K>
+where
+    K: Encode + Decode + Hash + Eq + Send + 'static,
+{
+    fn apply(&mut self, data: &[u8], meta: &ApplyMeta) {
+        match decode_from_slice::<MapOp<K, bytes::Bytes>>(data) {
+            Ok(MapOp::Put { key, .. }) => {
+                self.offsets.insert(key, meta.offset);
+            }
+            Ok(MapOp::Remove { key }) => {
+                self.offsets.remove(&key);
+            }
+            Ok(MapOp::Clear) => self.offsets.clear(),
+            Err(_) => {}
+        }
+    }
+}
+
+/// A persistent map that stores values in the log and only offsets in RAM.
+pub struct TangoOffsetMap<K, V> {
+    view: ObjectView<OffsetMapState<K>>,
+    oid: tango::Oid,
+    _marker: PhantomData<(K, V)>,
+}
+
+impl<K, V> Clone for TangoOffsetMap<K, V> {
+    fn clone(&self) -> Self {
+        Self { view: self.view.clone(), oid: self.oid, _marker: PhantomData }
+    }
+}
+
+impl<K, V> TangoOffsetMap<K, V>
+where
+    K: Encode + Decode + Hash + Eq + Clone + Send + 'static,
+    V: Encode + Decode + Clone + Send + 'static,
+{
+    /// Opens (creating if needed) the offset map named `name`.
+    pub fn open(runtime: &Arc<TangoRuntime>, name: &str) -> tango::Result<Self> {
+        let oid = runtime.create_or_open(name)?;
+        let view =
+            runtime.register_object(oid, OffsetMapState::default(), ObjectOptions::default())?;
+        Ok(Self { view, oid, _marker: PhantomData })
+    }
+
+    /// The object id.
+    pub fn oid(&self) -> tango::Oid {
+        self.oid
+    }
+
+    /// Inserts or replaces a key. The value travels in the update record
+    /// and stays in the log.
+    pub fn put(&self, key: &K, value: &V) -> tango::Result<()> {
+        let op: MapOp<&K, bytes::Bytes> =
+            MapOp::Put { key, value: bytes::Bytes::from(encode_to_vec(value)) };
+        self.view.update(Some(key_hash(key)), encode_to_vec(&op))
+    }
+
+    /// Removes a key.
+    pub fn remove(&self, key: &K) -> tango::Result<()> {
+        let op: MapOp<&K, bytes::Bytes> = MapOp::Remove { key };
+        self.view.update(Some(key_hash(key)), encode_to_vec(&op))
+    }
+
+    /// Looks up a key: consults the in-memory offset index, then issues a
+    /// random read to the shared log for the value.
+    pub fn get(&self, key: &K) -> tango::Result<Option<V>> {
+        let offset = self.view.query(Some(key_hash(key)), |s| s.offsets.get(key).copied())?;
+        let Some(offset) = offset else { return Ok(None) };
+        let runtime = self.view.runtime();
+        for update in runtime.read_updates_at(offset)? {
+            if update.oid != self.oid {
+                continue;
+            }
+            if let Ok(MapOp::Put { key: k, value }) =
+                decode_from_slice::<MapOp<K, bytes::Bytes>>(&update.data)
+            {
+                if &k == key {
+                    return Ok(Some(decode_from_slice::<V>(&value).map_err(|e| {
+                        tango::TangoError::Codec(format!("offset-map value: {e}"))
+                    })?));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// The log offset currently indexed for `key` (for tests and tooling).
+    pub fn offset_of(&self, key: &K) -> tango::Result<Option<u64>> {
+        self.view.query(Some(key_hash(key)), |s| s.offsets.get(key).copied())
+    }
+
+    /// Number of indexed keys.
+    pub fn len(&self) -> tango::Result<usize> {
+        self.view.query(None, |s| s.offsets.len())
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> tango::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}

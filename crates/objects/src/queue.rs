@@ -1,0 +1,180 @@
+//! A multi-producer multi-consumer queue: the producer-consumer use case
+//! of §4.1, where producers can enqueue with remote-write transactions
+//! without hosting (or playing) the queue at all.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use tango::{ApplyMeta, ObjectOptions, ObjectView, StateMachine, TangoRuntime, TxStatus};
+use tango_wire::{decode_from_slice, encode_to_vec, Decode, Encode, Reader, Writer, WireError};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum QueueOp<T> {
+    Enqueue(T),
+    /// Pop the front; deterministic across all views.
+    Dequeue,
+}
+
+impl<T: Encode> Encode for QueueOp<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            QueueOp::Enqueue(v) => {
+                w.put_u8(0);
+                v.encode(w);
+            }
+            QueueOp::Dequeue => w.put_u8(1),
+        }
+    }
+}
+
+impl<T: Decode> Decode for QueueOp<T> {
+    fn decode(r: &mut Reader<'_>) -> tango_wire::Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(QueueOp::Enqueue(T::decode(r)?)),
+            1 => Ok(QueueOp::Dequeue),
+            tag => Err(WireError::InvalidTag { what: "QueueOp", tag: tag as u64 }),
+        }
+    }
+}
+
+/// Internal view state.
+pub struct QueueState<T> {
+    items: VecDeque<T>,
+}
+
+impl<T> Default for QueueState<T> {
+    fn default() -> Self {
+        Self { items: VecDeque::new() }
+    }
+}
+
+impl<T> StateMachine for QueueState<T>
+where
+    T: Encode + Decode + Send + 'static,
+{
+    fn apply(&mut self, data: &[u8], _meta: &ApplyMeta) {
+        match decode_from_slice::<QueueOp<T>>(data) {
+            Ok(QueueOp::Enqueue(v)) => self.items.push_back(v),
+            Ok(QueueOp::Dequeue) => {
+                self.items.pop_front();
+            }
+            Err(_) => {}
+        }
+    }
+
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        let mut w = Writer::new();
+        w.put_varint(self.items.len() as u64);
+        for item in &self.items {
+            item.encode(&mut w);
+        }
+        Some(w.into_vec())
+    }
+
+    fn restore(&mut self, data: &[u8]) {
+        let mut r = Reader::new(data);
+        let mut fresh = VecDeque::new();
+        let parse = (|| -> tango_wire::Result<()> {
+            let n = r.get_len(1 << 28)?;
+            for _ in 0..n {
+                fresh.push_back(T::decode(&mut r)?);
+            }
+            Ok(())
+        })();
+        if parse.is_ok() {
+            self.items = fresh;
+        }
+    }
+}
+
+/// A persistent, linearizable FIFO queue. `dequeue` is a transaction:
+/// concurrent consumers never receive the same item.
+pub struct TangoQueue<T> {
+    view: ObjectView<QueueState<T>>,
+    _marker: PhantomData<T>,
+}
+
+impl<T> Clone for TangoQueue<T> {
+    fn clone(&self) -> Self {
+        Self { view: self.view.clone(), _marker: PhantomData }
+    }
+}
+
+impl<T> TangoQueue<T>
+where
+    T: Encode + Decode + Clone + Send + 'static,
+{
+    /// Opens (creating if needed) the queue named `name`.
+    pub fn open(runtime: &Arc<TangoRuntime>, name: &str) -> tango::Result<Self> {
+        Self::open_with(runtime, name, ObjectOptions::default())
+    }
+
+    /// Opens with explicit object options. Queues fed by remote-write
+    /// producers should set `needs_decision`.
+    pub fn open_with(
+        runtime: &Arc<TangoRuntime>,
+        name: &str,
+        options: ObjectOptions,
+    ) -> tango::Result<Self> {
+        let oid = runtime.create_or_open(name)?;
+        let view = runtime.register_object(oid, QueueState::default(), options)?;
+        Ok(Self { view, _marker: PhantomData })
+    }
+
+    /// The object id.
+    pub fn oid(&self) -> tango::Oid {
+        self.view.oid()
+    }
+
+    /// Encodes an enqueue op for remote producers (used with
+    /// [`TangoRuntime::update_remote`]).
+    pub fn encode_enqueue(value: &T) -> Vec<u8> {
+        encode_to_vec(&QueueOp::Enqueue(value.clone()))
+    }
+
+    /// Appends an item to the back.
+    pub fn enqueue(&self, value: &T) -> tango::Result<()> {
+        self.view.update(None, Self::encode_enqueue(value))
+    }
+
+    /// Transactionally removes and returns the front item, or `None` when
+    /// the queue is empty. Retries internally on consumer races.
+    pub fn dequeue(&self) -> tango::Result<Option<T>> {
+        let runtime = self.view.runtime().clone();
+        loop {
+            self.view.query(None, |_| ())?;
+            runtime.begin_tx()?;
+            let front = self.view.query_dirty(None, |s| s.items.front().cloned())?;
+            if front.is_none() {
+                runtime.abort_tx()?;
+                // Validate emptiness against the tail: another producer may
+                // have raced us.
+                let still_empty = self.view.query(None, |s| s.items.is_empty())?;
+                if still_empty {
+                    return Ok(None);
+                }
+                continue;
+            }
+            self.view.update(None, encode_to_vec(&QueueOp::<T>::Dequeue))?;
+            if runtime.end_tx()? == TxStatus::Committed {
+                return Ok(front);
+            }
+        }
+    }
+
+    /// Reads the front item without removing it.
+    pub fn peek(&self) -> tango::Result<Option<T>> {
+        self.view.query(None, |s| s.items.front().cloned())
+    }
+
+    /// The number of queued items.
+    pub fn len(&self) -> tango::Result<usize> {
+        self.view.query(None, |s| s.items.len())
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> tango::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}

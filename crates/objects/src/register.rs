@@ -1,0 +1,109 @@
+//! A typed register: the paper's Figure 3 example, generalized.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use tango::{ApplyMeta, ObjectOptions, ObjectView, StateMachine, TangoRuntime, TxStatus};
+use tango_wire::{decode_from_slice, encode_to_vec, Decode, Encode};
+
+/// Internal view state: the last written value.
+pub struct RegisterState<T> {
+    value: Option<T>,
+}
+
+impl<T> Default for RegisterState<T> {
+    fn default() -> Self {
+        Self { value: None }
+    }
+}
+
+impl<T: Encode + Decode + Send + 'static> StateMachine for RegisterState<T> {
+    fn apply(&mut self, data: &[u8], _meta: &ApplyMeta) {
+        if let Ok(v) = decode_from_slice::<T>(data) {
+            self.value = Some(v);
+        }
+    }
+
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        Some(match &self.value {
+            Some(v) => {
+                let mut out = vec![1u8];
+                out.extend_from_slice(&encode_to_vec(v));
+                out
+            }
+            None => vec![0u8],
+        })
+    }
+
+    fn restore(&mut self, data: &[u8]) {
+        self.value = match data.split_first() {
+            Some((1, rest)) => decode_from_slice::<T>(rest).ok(),
+            _ => None,
+        };
+    }
+}
+
+/// A linearizable, highly available, persistent register (the paper's
+/// `TangoRegister`, Figure 3).
+pub struct TangoRegister<T> {
+    view: ObjectView<RegisterState<T>>,
+    _marker: PhantomData<T>,
+}
+
+impl<T> Clone for TangoRegister<T> {
+    fn clone(&self) -> Self {
+        Self { view: self.view.clone(), _marker: PhantomData }
+    }
+}
+
+impl<T: Encode + Decode + Clone + Send + 'static> TangoRegister<T> {
+    /// Opens (creating if needed) the register named `name`.
+    pub fn open(runtime: &Arc<TangoRuntime>, name: &str) -> tango::Result<Self> {
+        let oid = runtime.create_or_open(name)?;
+        let view = runtime.register_object(oid, RegisterState::default(), ObjectOptions::default())?;
+        Ok(Self { view, _marker: PhantomData })
+    }
+
+    /// Opens an existing oid directly (for tests and advanced wiring).
+    pub fn at(runtime: &Arc<TangoRuntime>, oid: tango::Oid) -> tango::Result<Self> {
+        let view = runtime.register_object(oid, RegisterState::default(), ObjectOptions::default())?;
+        Ok(Self { view, _marker: PhantomData })
+    }
+
+    /// The object id.
+    pub fn oid(&self) -> tango::Oid {
+        self.view.oid()
+    }
+
+    /// Writes a new value (the mutator: an append to the shared log).
+    pub fn write(&self, value: &T) -> tango::Result<()> {
+        self.view.update(None, encode_to_vec(value))
+    }
+
+    /// Reads the current value (the accessor: syncs with the log tail).
+    pub fn read(&self) -> tango::Result<Option<T>> {
+        self.view.query(None, |s| s.value.clone())
+    }
+
+    /// Compare-and-swap via a transaction: writes `new` iff the current
+    /// value equals `expected`. Returns true on success.
+    pub fn compare_and_swap(&self, expected: Option<&T>, new: &T) -> tango::Result<bool>
+    where
+        T: PartialEq,
+    {
+        let runtime = self.view.runtime().clone();
+        runtime.begin_tx()?;
+        let current = self.view.query_dirty(None, |s| s.value.clone())?;
+        let matches = match (expected, &current) {
+            (None, None) => true,
+            (Some(e), Some(c)) => e == c,
+            _ => false,
+        };
+        if !matches {
+            runtime.abort_tx()?;
+            return Ok(false);
+        }
+        self.view.update(None, encode_to_vec(new))?;
+        Ok(runtime.end_tx()? == TxStatus::Committed)
+    }
+}

@@ -1,0 +1,167 @@
+//! An ordered set (the Java-Collections `TreeSet` of §1).
+
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+use std::ops::RangeBounds;
+use std::sync::Arc;
+
+use tango::{ApplyMeta, ObjectOptions, ObjectView, StateMachine, TangoRuntime};
+use tango_wire::{decode_from_slice, encode_to_vec, Decode, Encode, Reader, Writer, WireError};
+
+use crate::util::key_hash;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SetOp<T> {
+    Insert(T),
+    Remove(T),
+    Clear,
+}
+
+impl<T: Encode> Encode for SetOp<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            SetOp::Insert(v) => {
+                w.put_u8(0);
+                v.encode(w);
+            }
+            SetOp::Remove(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+            SetOp::Clear => w.put_u8(2),
+        }
+    }
+}
+
+impl<T: Decode> Decode for SetOp<T> {
+    fn decode(r: &mut Reader<'_>) -> tango_wire::Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(SetOp::Insert(T::decode(r)?)),
+            1 => Ok(SetOp::Remove(T::decode(r)?)),
+            2 => Ok(SetOp::Clear),
+            tag => Err(WireError::InvalidTag { what: "SetOp", tag: tag as u64 }),
+        }
+    }
+}
+
+/// Internal view state.
+pub struct SetState<T> {
+    items: BTreeSet<T>,
+}
+
+impl<T> Default for SetState<T> {
+    fn default() -> Self {
+        Self { items: BTreeSet::new() }
+    }
+}
+
+impl<T> StateMachine for SetState<T>
+where
+    T: Encode + Decode + Ord + Send + 'static,
+{
+    fn apply(&mut self, data: &[u8], _meta: &ApplyMeta) {
+        match decode_from_slice::<SetOp<T>>(data) {
+            Ok(SetOp::Insert(v)) => {
+                self.items.insert(v);
+            }
+            Ok(SetOp::Remove(v)) => {
+                self.items.remove(&v);
+            }
+            Ok(SetOp::Clear) => self.items.clear(),
+            Err(_) => {}
+        }
+    }
+
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        let mut w = Writer::new();
+        w.put_varint(self.items.len() as u64);
+        for item in &self.items {
+            item.encode(&mut w);
+        }
+        Some(w.into_vec())
+    }
+
+    fn restore(&mut self, data: &[u8]) {
+        let mut r = Reader::new(data);
+        let mut fresh = BTreeSet::new();
+        let parse = (|| -> tango_wire::Result<()> {
+            let n = r.get_len(1 << 28)?;
+            for _ in 0..n {
+                fresh.insert(T::decode(&mut r)?);
+            }
+            Ok(())
+        })();
+        if parse.is_ok() {
+            self.items = fresh;
+        }
+    }
+}
+
+/// A persistent, linearizable, transactional ordered set.
+pub struct TangoTreeSet<T> {
+    view: ObjectView<SetState<T>>,
+    _marker: PhantomData<T>,
+}
+
+impl<T> Clone for TangoTreeSet<T> {
+    fn clone(&self) -> Self {
+        Self { view: self.view.clone(), _marker: PhantomData }
+    }
+}
+
+impl<T> TangoTreeSet<T>
+where
+    T: Encode + Decode + Ord + Clone + Send + 'static,
+{
+    /// Opens (creating if needed) the set named `name`.
+    pub fn open(runtime: &Arc<TangoRuntime>, name: &str) -> tango::Result<Self> {
+        let oid = runtime.create_or_open(name)?;
+        let view = runtime.register_object(oid, SetState::default(), ObjectOptions::default())?;
+        Ok(Self { view, _marker: PhantomData })
+    }
+
+    /// The object id.
+    pub fn oid(&self) -> tango::Oid {
+        self.view.oid()
+    }
+
+    /// Inserts an item.
+    pub fn insert(&self, item: &T) -> tango::Result<()> {
+        self.view.update(Some(key_hash(item)), encode_to_vec(&SetOp::Insert(item.clone())))
+    }
+
+    /// Removes an item.
+    pub fn remove(&self, item: &T) -> tango::Result<()> {
+        self.view.update(Some(key_hash(item)), encode_to_vec(&SetOp::Remove(item.clone())))
+    }
+
+    /// Membership test.
+    pub fn contains(&self, item: &T) -> tango::Result<bool> {
+        self.view.query(Some(key_hash(item)), |s| s.items.contains(item))
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> tango::Result<usize> {
+        self.view.query(None, |s| s.items.len())
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> tango::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// The smallest item.
+    pub fn first(&self) -> tango::Result<Option<T>> {
+        self.view.query(None, |s| s.items.iter().next().cloned())
+    }
+
+    /// The largest item.
+    pub fn last(&self) -> tango::Result<Option<T>> {
+        self.view.query(None, |s| s.items.iter().next_back().cloned())
+    }
+
+    /// All items within `range`, in order.
+    pub fn range<R: RangeBounds<T>>(&self, range: R) -> tango::Result<Vec<T>> {
+        self.view.query(None, |s| s.items.range(range).cloned().collect())
+    }
+}

@@ -1,0 +1,148 @@
+//! An ordered map with range queries — the kind of workload-tuned
+//! structure §2 argues coordination services cannot offer ("searching the
+//! namespace on some index, extracting the oldest/newest inserted name").
+
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::ops::RangeBounds;
+use std::sync::Arc;
+
+use tango::{ApplyMeta, ObjectOptions, ObjectView, StateMachine, TangoRuntime};
+use tango_wire::{decode_from_slice, encode_to_vec, Decode, Encode, Reader, Writer};
+
+use crate::map::MapOp;
+use crate::util::key_hash;
+
+/// Internal view state.
+pub struct TreeMapState<K, V> {
+    entries: BTreeMap<K, V>,
+}
+
+impl<K, V> Default for TreeMapState<K, V> {
+    fn default() -> Self {
+        Self { entries: BTreeMap::new() }
+    }
+}
+
+impl<K, V> StateMachine for TreeMapState<K, V>
+where
+    K: Encode + Decode + Ord + Send + 'static,
+    V: Encode + Decode + Send + 'static,
+{
+    fn apply(&mut self, data: &[u8], _meta: &ApplyMeta) {
+        match decode_from_slice::<MapOp<K, V>>(data) {
+            Ok(MapOp::Put { key, value }) => {
+                self.entries.insert(key, value);
+            }
+            Ok(MapOp::Remove { key }) => {
+                self.entries.remove(&key);
+            }
+            Ok(MapOp::Clear) => self.entries.clear(),
+            Err(_) => {}
+        }
+    }
+
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        let mut w = Writer::new();
+        w.put_varint(self.entries.len() as u64);
+        for (k, v) in &self.entries {
+            k.encode(&mut w);
+            v.encode(&mut w);
+        }
+        Some(w.into_vec())
+    }
+
+    fn restore(&mut self, data: &[u8]) {
+        let mut r = Reader::new(data);
+        let mut fresh = BTreeMap::new();
+        let parse = (|| -> tango_wire::Result<()> {
+            let n = r.get_len(1 << 28)?;
+            for _ in 0..n {
+                let k = K::decode(&mut r)?;
+                let v = V::decode(&mut r)?;
+                fresh.insert(k, v);
+            }
+            Ok(())
+        })();
+        if parse.is_ok() {
+            self.entries = fresh;
+        }
+    }
+}
+
+/// A persistent, linearizable, transactional ordered map.
+pub struct TangoTreeMap<K, V> {
+    view: ObjectView<TreeMapState<K, V>>,
+    _marker: PhantomData<(K, V)>,
+}
+
+impl<K, V> Clone for TangoTreeMap<K, V> {
+    fn clone(&self) -> Self {
+        Self { view: self.view.clone(), _marker: PhantomData }
+    }
+}
+
+impl<K, V> TangoTreeMap<K, V>
+where
+    K: Encode + Decode + Ord + Clone + Send + 'static,
+    V: Encode + Decode + Clone + Send + 'static,
+{
+    /// Opens (creating if needed) the tree map named `name`.
+    pub fn open(runtime: &Arc<TangoRuntime>, name: &str) -> tango::Result<Self> {
+        let oid = runtime.create_or_open(name)?;
+        let view =
+            runtime.register_object(oid, TreeMapState::default(), ObjectOptions::default())?;
+        Ok(Self { view, _marker: PhantomData })
+    }
+
+    /// The object id.
+    pub fn oid(&self) -> tango::Oid {
+        self.view.oid()
+    }
+
+    /// Inserts or replaces a key.
+    pub fn put(&self, key: &K, value: &V) -> tango::Result<()> {
+        let op: MapOp<&K, &V> = MapOp::Put { key, value };
+        self.view.update(Some(key_hash(key)), encode_to_vec(&op))
+    }
+
+    /// Removes a key.
+    pub fn remove(&self, key: &K) -> tango::Result<()> {
+        let op: MapOp<&K, &V> = MapOp::Remove { key };
+        self.view.update(Some(key_hash(key)), encode_to_vec(&op))
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &K) -> tango::Result<Option<V>> {
+        self.view.query(Some(key_hash(key)), |s| s.entries.get(key).cloned())
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> tango::Result<usize> {
+        self.view.query(None, |s| s.entries.len())
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> tango::Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// The smallest key and its value.
+    pub fn first(&self) -> tango::Result<Option<(K, V)>> {
+        self.view.query(None, |s| s.entries.iter().next().map(|(k, v)| (k.clone(), v.clone())))
+    }
+
+    /// The largest key and its value.
+    pub fn last(&self) -> tango::Result<Option<(K, V)>> {
+        self.view
+            .query(None, |s| s.entries.iter().next_back().map(|(k, v)| (k.clone(), v.clone())))
+    }
+
+    /// All entries within `range`, in key order ("list all files starting
+    /// with the letter B", §3.1).
+    pub fn range<R: RangeBounds<K>>(&self, range: R) -> tango::Result<Vec<(K, V)>> {
+        self.view.query(None, |s| {
+            s.entries.range(range).map(|(k, v)| (k.clone(), v.clone())).collect()
+        })
+    }
+}

@@ -1,0 +1,41 @@
+//! Shared helpers for the object library.
+
+use tango_wire::{encode_to_vec, Encode};
+
+/// FNV-1a hash of a byte string, used to derive fine-grained versioning
+/// keys (§3.2 "Versioning") from encoded map/tree keys.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The fine-grained versioning key for an encodable map key.
+pub fn key_hash<K: Encode + ?Sized>(key: &K) -> u64 {
+    fnv1a(&encode_to_vec(key))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn distinct_keys_distinct_hashes() {
+        let a = key_hash("alpha");
+        let b = key_hash("beta");
+        assert_ne!(a, b);
+        // Stable across calls.
+        assert_eq!(a, key_hash("alpha"));
+    }
+}

@@ -1,0 +1,719 @@
+//! TangoZK: the ZooKeeper interface over Tango (§6.3).
+//!
+//! A hierarchical namespace of versioned znodes with create/delete/
+//! set-data/get-data/exists/get-children, sequential nodes, watches, and
+//! multi-ops — in a few hundred lines instead of ZooKeeper's 13K, because
+//! consistency, persistence and high availability come from the shared
+//! log. Unlike ZooKeeper, several TangoZK instances can partition a
+//! namespace *and* move nodes between partitions transactionally (the
+//! cross-namespace move measured in the paper's evaluation); see
+//! [`move_node`].
+//!
+//! Differences from Apache ZooKeeper, by design: sessions and ephemeral
+//! nodes are out of scope (they need liveness tracking, orthogonal to the
+//! paper), watches are persistent rather than one-shot, and ACLs are
+//! omitted (the paper's line count excludes them too).
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use tango::{ApplyMeta, ObjectOptions, ObjectView, StateMachine, TangoRuntime, TxStatus};
+use tango_wire::{decode_from_slice, encode_to_vec, Decode, Encode, Reader, Writer, WireError};
+
+use crate::util::fnv1a;
+
+/// ZooKeeper-style errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ZkError {
+    /// The node (or its parent) does not exist.
+    NoNode,
+    /// A node already exists at the path.
+    NodeExists,
+    /// Delete of a node that still has children.
+    NotEmpty,
+    /// A conditional operation's expected version did not match.
+    BadVersion,
+    /// The path is syntactically invalid.
+    BadPath(String),
+    /// The underlying runtime failed.
+    Tango(tango::TangoError),
+}
+
+impl fmt::Display for ZkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZkError::NoNode => write!(f, "no such node"),
+            ZkError::NodeExists => write!(f, "node already exists"),
+            ZkError::NotEmpty => write!(f, "node has children"),
+            ZkError::BadVersion => write!(f, "version mismatch"),
+            ZkError::BadPath(p) => write!(f, "bad path: {p}"),
+            ZkError::Tango(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ZkError {}
+
+impl From<tango::TangoError> for ZkError {
+    fn from(e: tango::TangoError) -> Self {
+        ZkError::Tango(e)
+    }
+}
+
+/// Convenience alias.
+pub type ZkResult<T> = Result<T, ZkError>;
+
+/// Node metadata, in the spirit of ZooKeeper's `Stat`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stat {
+    /// Data version: bumped by each `set_data`.
+    pub version: i64,
+    /// Log offset of the entry that created the node.
+    pub czxid: u64,
+    /// Log offset of the entry that last modified the node's data.
+    pub mzxid: u64,
+    /// Number of children.
+    pub num_children: usize,
+}
+
+/// Creation modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CreateMode {
+    /// A plain persistent node.
+    Persistent,
+    /// A persistent node whose name gets a monotonically increasing
+    /// 10-digit suffix allocated under the parent.
+    PersistentSequential,
+}
+
+/// Events delivered to watchers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WatchEvent {
+    /// The node was created.
+    Created(String),
+    /// The node's data changed.
+    DataChanged(String),
+    /// The node was deleted.
+    Deleted(String),
+    /// The node's child list changed.
+    ChildrenChanged(String),
+}
+
+#[derive(Debug, Clone)]
+struct Znode {
+    data: Bytes,
+    version: i64,
+    czxid: u64,
+    mzxid: u64,
+    children: BTreeSet<String>,
+    seq_counter: u64,
+}
+
+impl Znode {
+    fn new(data: Bytes, zxid: u64) -> Self {
+        Self {
+            data,
+            version: 0,
+            czxid: zxid,
+            mzxid: zxid,
+            children: BTreeSet::new(),
+            seq_counter: 0,
+        }
+    }
+}
+
+/// Log-record vocabulary. Preconditions are validated inside the
+/// transaction that emits these, so applies are unconditional.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ZkRecord {
+    PutNode { path: String, data: Bytes },
+    RemoveNode { path: String },
+    AddChild { parent: String, name: String, bump_seq: bool },
+    RemoveChild { parent: String, name: String },
+    SetData { path: String, data: Bytes },
+}
+
+impl Encode for ZkRecord {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ZkRecord::PutNode { path, data } => {
+                w.put_u8(0);
+                w.put_str(path);
+                w.put_bytes(data);
+            }
+            ZkRecord::RemoveNode { path } => {
+                w.put_u8(1);
+                w.put_str(path);
+            }
+            ZkRecord::AddChild { parent, name, bump_seq } => {
+                w.put_u8(2);
+                w.put_str(parent);
+                w.put_str(name);
+                w.put_bool(*bump_seq);
+            }
+            ZkRecord::RemoveChild { parent, name } => {
+                w.put_u8(3);
+                w.put_str(parent);
+                w.put_str(name);
+            }
+            ZkRecord::SetData { path, data } => {
+                w.put_u8(4);
+                w.put_str(path);
+                w.put_bytes(data);
+            }
+        }
+    }
+}
+
+impl Decode for ZkRecord {
+    fn decode(r: &mut Reader<'_>) -> tango_wire::Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(ZkRecord::PutNode {
+                path: r.get_str()?.to_owned(),
+                data: Bytes::copy_from_slice(r.get_bytes()?),
+            }),
+            1 => Ok(ZkRecord::RemoveNode { path: r.get_str()?.to_owned() }),
+            2 => Ok(ZkRecord::AddChild {
+                parent: r.get_str()?.to_owned(),
+                name: r.get_str()?.to_owned(),
+                bump_seq: r.get_bool()?,
+            }),
+            3 => Ok(ZkRecord::RemoveChild {
+                parent: r.get_str()?.to_owned(),
+                name: r.get_str()?.to_owned(),
+            }),
+            4 => Ok(ZkRecord::SetData {
+                path: r.get_str()?.to_owned(),
+                data: Bytes::copy_from_slice(r.get_bytes()?),
+            }),
+            tag => Err(WireError::InvalidTag { what: "ZkRecord", tag: tag as u64 }),
+        }
+    }
+}
+
+/// The namespace view.
+pub struct ZkState {
+    nodes: HashMap<String, Znode>,
+    data_watches: HashMap<String, Vec<Sender<WatchEvent>>>,
+    child_watches: HashMap<String, Vec<Sender<WatchEvent>>>,
+}
+
+impl Default for ZkState {
+    fn default() -> Self {
+        let mut nodes = HashMap::new();
+        nodes.insert("/".to_owned(), Znode::new(Bytes::new(), 0));
+        Self { nodes, data_watches: HashMap::new(), child_watches: HashMap::new() }
+    }
+}
+
+impl ZkState {
+    fn fire_data(&self, path: &str, event: WatchEvent) {
+        if let Some(watchers) = self.data_watches.get(path) {
+            for w in watchers {
+                let _ = w.send(event.clone());
+            }
+        }
+    }
+
+    fn fire_children(&self, path: &str, event: WatchEvent) {
+        if let Some(watchers) = self.child_watches.get(path) {
+            for w in watchers {
+                let _ = w.send(event.clone());
+            }
+        }
+    }
+}
+
+impl StateMachine for ZkState {
+    fn apply(&mut self, data: &[u8], meta: &ApplyMeta) {
+        let Ok(record) = decode_from_slice::<ZkRecord>(data) else { return };
+        match record {
+            ZkRecord::PutNode { path, data } => {
+                self.nodes.insert(path.clone(), Znode::new(data, meta.offset));
+                self.fire_data(&path, WatchEvent::Created(path.clone()));
+            }
+            ZkRecord::RemoveNode { path } => {
+                self.nodes.remove(&path);
+                self.fire_data(&path, WatchEvent::Deleted(path.clone()));
+            }
+            ZkRecord::AddChild { parent, name, bump_seq } => {
+                if let Some(node) = self.nodes.get_mut(&parent) {
+                    node.children.insert(name);
+                    if bump_seq {
+                        node.seq_counter += 1;
+                    }
+                }
+                self.fire_children(&parent, WatchEvent::ChildrenChanged(parent.clone()));
+            }
+            ZkRecord::RemoveChild { parent, name } => {
+                if let Some(node) = self.nodes.get_mut(&parent) {
+                    node.children.remove(&name);
+                }
+                self.fire_children(&parent, WatchEvent::ChildrenChanged(parent.clone()));
+            }
+            ZkRecord::SetData { path, data } => {
+                if let Some(node) = self.nodes.get_mut(&path) {
+                    node.data = data;
+                    node.version += 1;
+                    node.mzxid = meta.offset;
+                }
+                self.fire_data(&path, WatchEvent::DataChanged(path.clone()));
+            }
+        }
+    }
+
+    fn checkpoint(&self) -> Option<Vec<u8>> {
+        let mut w = Writer::new();
+        let mut paths: Vec<&String> = self.nodes.keys().collect();
+        paths.sort();
+        w.put_varint(paths.len() as u64);
+        for path in paths {
+            let node = &self.nodes[path];
+            w.put_str(path);
+            w.put_bytes(&node.data);
+            w.put_i64(node.version);
+            w.put_u64(node.czxid);
+            w.put_u64(node.mzxid);
+            w.put_u64(node.seq_counter);
+            w.put_varint(node.children.len() as u64);
+            for child in &node.children {
+                w.put_str(child);
+            }
+        }
+        Some(w.into_vec())
+    }
+
+    fn restore(&mut self, data: &[u8]) {
+        let mut r = Reader::new(data);
+        let mut fresh: HashMap<String, Znode> = HashMap::new();
+        let parse = (|| -> tango_wire::Result<()> {
+            let n = r.get_len(1 << 24)?;
+            for _ in 0..n {
+                let path = r.get_str()?.to_owned();
+                let data = Bytes::copy_from_slice(r.get_bytes()?);
+                let version = r.get_i64()?;
+                let czxid = r.get_u64()?;
+                let mzxid = r.get_u64()?;
+                let seq_counter = r.get_u64()?;
+                let nchildren = r.get_len(1 << 24)?;
+                let mut children = BTreeSet::new();
+                for _ in 0..nchildren {
+                    children.insert(r.get_str()?.to_owned());
+                }
+                fresh.insert(
+                    path,
+                    Znode { data, version, czxid, mzxid, children, seq_counter },
+                );
+            }
+            Ok(())
+        })();
+        if parse.is_ok() {
+            self.nodes = fresh;
+        }
+    }
+}
+
+/// One operation of a `multi` batch (ZooKeeper's multi-op, §6.3).
+#[derive(Debug, Clone)]
+pub enum ZkOp {
+    /// Create a node.
+    Create {
+        /// Absolute path.
+        path: String,
+        /// Initial data.
+        data: Bytes,
+        /// Plain or sequential.
+        mode: CreateMode,
+    },
+    /// Delete a node, optionally at an expected version.
+    Delete {
+        /// Absolute path.
+        path: String,
+        /// Expected data version, or `None` for unconditional.
+        version: Option<i64>,
+    },
+    /// Overwrite a node's data, optionally at an expected version.
+    SetData {
+        /// Absolute path.
+        path: String,
+        /// New data.
+        data: Bytes,
+        /// Expected data version, or `None` for unconditional.
+        version: Option<i64>,
+    },
+    /// Assert a node's version without modifying it.
+    Check {
+        /// Absolute path.
+        path: String,
+        /// Expected data version.
+        version: i64,
+    },
+}
+
+/// A ZooKeeper-style namespace backed by the shared log.
+#[derive(Clone)]
+pub struct TangoZK {
+    view: ObjectView<ZkState>,
+}
+
+fn validate(path: &str) -> ZkResult<()> {
+    if path == "/" {
+        return Ok(());
+    }
+    if !path.starts_with('/') || path.ends_with('/') || path.contains("//") {
+        return Err(ZkError::BadPath(path.to_owned()));
+    }
+    Ok(())
+}
+
+fn parent_of(path: &str) -> ZkResult<(String, String)> {
+    let idx = path.rfind('/').ok_or_else(|| ZkError::BadPath(path.to_owned()))?;
+    let parent = if idx == 0 { "/".to_owned() } else { path[..idx].to_owned() };
+    let name = path[idx + 1..].to_owned();
+    if name.is_empty() {
+        return Err(ZkError::BadPath(path.to_owned()));
+    }
+    Ok((parent, name))
+}
+
+fn node_key(path: &str) -> u64 {
+    fnv1a(format!("n:{path}").as_bytes())
+}
+
+fn children_key(path: &str) -> u64 {
+    fnv1a(format!("c:{path}").as_bytes())
+}
+
+impl TangoZK {
+    /// Opens (creating if needed) the namespace named `name`.
+    pub fn open(runtime: &Arc<TangoRuntime>, name: &str) -> tango::Result<Self> {
+        Self::open_with(runtime, name, ObjectOptions::default())
+    }
+
+    /// Opens with explicit object options (partitioned namespaces written
+    /// across clients should set `needs_decision`).
+    pub fn open_with(
+        runtime: &Arc<TangoRuntime>,
+        name: &str,
+        options: ObjectOptions,
+    ) -> tango::Result<Self> {
+        let oid = runtime.create_or_open(name)?;
+        let view = runtime.register_object(oid, ZkState::default(), options)?;
+        Ok(Self { view })
+    }
+
+    /// The object id.
+    pub fn oid(&self) -> tango::Oid {
+        self.view.oid()
+    }
+
+    /// The runtime this namespace lives on.
+    pub fn runtime(&self) -> &Arc<TangoRuntime> {
+        self.view.runtime()
+    }
+
+    // --------------------------------------------------------------
+    // Accessors
+    // --------------------------------------------------------------
+
+    /// True if a node exists at `path` (linearizable).
+    pub fn exists(&self, path: &str) -> ZkResult<bool> {
+        validate(path)?;
+        Ok(self.view.query(Some(node_key(path)), |s| s.nodes.contains_key(path))?)
+    }
+
+    /// Reads a node's data and stat.
+    pub fn get_data(&self, path: &str) -> ZkResult<(Bytes, Stat)> {
+        validate(path)?;
+        self.view
+            .query(Some(node_key(path)), |s| {
+                s.nodes.get(path).map(|n| {
+                    (
+                        n.data.clone(),
+                        Stat {
+                            version: n.version,
+                            czxid: n.czxid,
+                            mzxid: n.mzxid,
+                            num_children: n.children.len(),
+                        },
+                    )
+                })
+            })?
+            .ok_or(ZkError::NoNode)
+    }
+
+    /// Lists a node's children (sorted).
+    pub fn get_children(&self, path: &str) -> ZkResult<Vec<String>> {
+        validate(path)?;
+        self.view
+            .query(Some(children_key(path)), |s| {
+                s.nodes.get(path).map(|n| n.children.iter().cloned().collect())
+            })?
+            .ok_or(ZkError::NoNode)
+    }
+
+    /// Registers a persistent watch on a node's data (created / changed /
+    /// deleted events).
+    pub fn watch_data(&self, path: &str) -> ZkResult<Receiver<WatchEvent>> {
+        validate(path)?;
+        let (tx, rx) = unbounded();
+        self.install_watch(path, tx, WatchKind::Data)?;
+        Ok(rx)
+    }
+
+    /// Registers a persistent watch on a node's child list.
+    pub fn watch_children(&self, path: &str) -> ZkResult<Receiver<WatchEvent>> {
+        validate(path)?;
+        let (tx, rx) = unbounded();
+        self.install_watch(path, tx, WatchKind::Children)?;
+        Ok(rx)
+    }
+
+    fn install_watch(
+        &self,
+        path: &str,
+        tx: Sender<WatchEvent>,
+        kind: WatchKind,
+    ) -> ZkResult<()> {
+        // Watch installation is local-only state; it does not go through
+        // the log.
+        self.with_state_mut(|s| match kind {
+            WatchKind::Data => s.data_watches.entry(path.to_owned()).or_default().push(tx),
+            WatchKind::Children => {
+                s.child_watches.entry(path.to_owned()).or_default().push(tx)
+            }
+        });
+        Ok(())
+    }
+
+    /// Local mutable access for watch registration only — watches are
+    /// local callbacks, not replicated state.
+    fn with_state_mut(&self, f: impl FnOnce(&mut ZkState)) {
+        f(&mut self.view.local_state().lock());
+    }
+
+    // --------------------------------------------------------------
+    // Mutators (each is a transaction with internal retry)
+    // --------------------------------------------------------------
+
+    /// Creates a node, returning its actual path (which differs from the
+    /// requested one for sequential nodes).
+    pub fn create(&self, path: &str, data: &[u8], mode: CreateMode) -> ZkResult<String> {
+        self.retry_tx(|zk| zk.create_in_tx(path, data, mode))
+    }
+
+    /// Deletes a node; `version` of `None` deletes unconditionally.
+    pub fn delete(&self, path: &str, version: Option<i64>) -> ZkResult<()> {
+        self.retry_tx(|zk| zk.delete_in_tx(path, version))
+    }
+
+    /// Overwrites a node's data, returning the new version.
+    pub fn set_data(&self, path: &str, data: &[u8], version: Option<i64>) -> ZkResult<i64> {
+        self.retry_tx(|zk| zk.set_data_in_tx(path, data, version))
+    }
+
+    /// Executes a batch of operations atomically (ZooKeeper's `multi`).
+    /// Either all succeed or none do. Returns created paths for `Create`
+    /// ops (empty strings for the others).
+    pub fn multi(&self, ops: &[ZkOp]) -> ZkResult<Vec<String>> {
+        self.retry_tx(|zk| {
+            let mut results = Vec::with_capacity(ops.len());
+            for op in ops {
+                match op {
+                    ZkOp::Create { path, data, mode } => {
+                        results.push(zk.create_in_tx(path, data, *mode)?);
+                    }
+                    ZkOp::Delete { path, version } => {
+                        zk.delete_in_tx(path, *version)?;
+                        results.push(String::new());
+                    }
+                    ZkOp::SetData { path, data, version } => {
+                        zk.set_data_in_tx(path, data, *version)?;
+                        results.push(String::new());
+                    }
+                    ZkOp::Check { path, version } => {
+                        zk.check_in_tx(path, *version)?;
+                        results.push(String::new());
+                    }
+                }
+            }
+            Ok(results)
+        })
+    }
+
+    /// Runs `body` in a transaction, retrying on OCC aborts; precondition
+    /// failures (`ZkError`) abort the transaction and surface immediately.
+    fn retry_tx<R>(&self, body: impl Fn(&Self) -> ZkResult<R>) -> ZkResult<R> {
+        let runtime = self.view.runtime().clone();
+        loop {
+            // Refresh the view so the snapshot is current.
+            self.view.query(None, |_| ())?;
+            runtime.begin_tx().map_err(ZkError::Tango)?;
+            match body(self) {
+                Ok(value) => match runtime.end_tx().map_err(ZkError::Tango)? {
+                    TxStatus::Committed => return Ok(value),
+                    TxStatus::Aborted => continue,
+                },
+                Err(e) => {
+                    let _ = runtime.abort_tx();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Create inside an active transaction (used by `create`, `multi`, and
+    /// cross-namespace moves).
+    pub fn create_in_tx(&self, path: &str, data: &[u8], mode: CreateMode) -> ZkResult<String> {
+        validate(path)?;
+        let (parent, name) = parent_of(path)?;
+        // Read the parent (its child list / sequence counter region).
+        let parent_info = self.view.query_dirty(Some(children_key(&parent)), |s| {
+            s.nodes.get(&parent).map(|n| n.seq_counter)
+        })?;
+        let Some(seq) = parent_info else { return Err(ZkError::NoNode) };
+        let (actual_path, actual_name, bump_seq) = match mode {
+            CreateMode::Persistent => (path.to_owned(), name, false),
+            CreateMode::PersistentSequential => {
+                let seq_name = format!("{name}{seq:010}");
+                (format!("{}/{seq_name}", if parent == "/" { "" } else { &parent }), seq_name, true)
+            }
+        };
+        // The target path must be free.
+        let exists = self
+            .view
+            .query_dirty(Some(node_key(&actual_path)), |s| s.nodes.contains_key(&actual_path))?;
+        if exists {
+            return Err(ZkError::NodeExists);
+        }
+        self.view.update(
+            Some(node_key(&actual_path)),
+            encode_to_vec(&ZkRecord::PutNode {
+                path: actual_path.clone(),
+                data: Bytes::copy_from_slice(data),
+            }),
+        )?;
+        self.view.update(
+            Some(children_key(&parent)),
+            encode_to_vec(&ZkRecord::AddChild { parent, name: actual_name, bump_seq }),
+        )?;
+        Ok(actual_path)
+    }
+
+    /// Delete inside an active transaction.
+    pub fn delete_in_tx(&self, path: &str, version: Option<i64>) -> ZkResult<()> {
+        validate(path)?;
+        if path == "/" {
+            return Err(ZkError::BadPath("/".to_owned()));
+        }
+        let (parent, name) = parent_of(path)?;
+        let info = self.view.query_dirty(Some(node_key(path)), |s| {
+            s.nodes.get(path).map(|n| (n.version, n.children.len()))
+        })?;
+        let Some((node_version, nchildren)) = info else { return Err(ZkError::NoNode) };
+        if let Some(expected) = version {
+            if expected != node_version {
+                return Err(ZkError::BadVersion);
+            }
+        }
+        if nchildren > 0 {
+            return Err(ZkError::NotEmpty);
+        }
+        self.view.update(
+            Some(node_key(path)),
+            encode_to_vec(&ZkRecord::RemoveNode { path: path.to_owned() }),
+        )?;
+        self.view.update(
+            Some(children_key(&parent)),
+            encode_to_vec(&ZkRecord::RemoveChild { parent, name }),
+        )?;
+        Ok(())
+    }
+
+    /// Set-data inside an active transaction; returns the new version.
+    pub fn set_data_in_tx(
+        &self,
+        path: &str,
+        data: &[u8],
+        version: Option<i64>,
+    ) -> ZkResult<i64> {
+        validate(path)?;
+        let current = self
+            .view
+            .query_dirty(Some(node_key(path)), |s| s.nodes.get(path).map(|n| n.version))?;
+        let Some(current) = current else { return Err(ZkError::NoNode) };
+        if let Some(expected) = version {
+            if expected != current {
+                return Err(ZkError::BadVersion);
+            }
+        }
+        self.view.update(
+            Some(node_key(path)),
+            encode_to_vec(&ZkRecord::SetData {
+                path: path.to_owned(),
+                data: Bytes::copy_from_slice(data),
+            }),
+        )?;
+        Ok(current + 1)
+    }
+
+    /// Version check inside an active transaction.
+    pub fn check_in_tx(&self, path: &str, version: i64) -> ZkResult<()> {
+        validate(path)?;
+        let current = self
+            .view
+            .query_dirty(Some(node_key(path)), |s| s.nodes.get(path).map(|n| n.version))?;
+        match current {
+            None => Err(ZkError::NoNode),
+            Some(v) if v == version => Ok(()),
+            Some(_) => Err(ZkError::BadVersion),
+        }
+    }
+
+    /// Reads data inside an active transaction (dirty read + read-set
+    /// registration), for composing with cross-namespace moves.
+    pub fn get_data_in_tx(&self, path: &str) -> ZkResult<Bytes> {
+        validate(path)?;
+        self.view
+            .query_dirty(Some(node_key(path)), |s| s.nodes.get(path).map(|n| n.data.clone()))?
+            .ok_or(ZkError::NoNode)
+    }
+}
+
+enum WatchKind {
+    Data,
+    Children,
+}
+
+/// Transactionally moves a node from one namespace to another — the
+/// capability the paper highlights as impossible in ZooKeeper itself
+/// (§6.3: "atomically move a file from one namespace to another").
+/// Both namespaces must be hosted by the same runtime.
+pub fn move_node(src: &TangoZK, dst: &TangoZK, src_path: &str, dst_path: &str) -> ZkResult<()> {
+    let runtime = src.runtime().clone();
+    loop {
+        // Refresh both views before transacting.
+        src.exists(src_path)?;
+        dst.exists(dst_path)?;
+        runtime.begin_tx().map_err(ZkError::Tango)?;
+        let result = (|| -> ZkResult<()> {
+            let data = src.get_data_in_tx(src_path)?;
+            src.delete_in_tx(src_path, None)?;
+            dst.create_in_tx(dst_path, &data, CreateMode::Persistent)?;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => match runtime.end_tx().map_err(ZkError::Tango)? {
+                TxStatus::Committed => return Ok(()),
+                TxStatus::Aborted => continue,
+            },
+            Err(e) => {
+                let _ = runtime.abort_tx();
+                return Err(e);
+            }
+        }
+    }
+}

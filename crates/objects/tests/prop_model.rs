@@ -1,0 +1,132 @@
+//! Model-based property tests: each Tango structure, driven by an
+//! arbitrary operation sequence interleaved across two client runtimes,
+//! must behave exactly like its `std` counterpart — and a third, fresh
+//! runtime must reconstruct the same state from the log.
+
+use std::sync::Arc;
+
+use corfu::cluster::{ClusterConfig, LocalCluster};
+use proptest::prelude::*;
+use tango::TangoRuntime;
+use tango_objects::{TangoList, TangoMap, TangoTreeSet};
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    Put(u8, i64),
+    Remove(u8),
+    Get(u8),
+    Len,
+}
+
+fn map_op() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        (any::<u8>(), any::<i64>()).prop_map(|(k, v)| MapOp::Put(k, v)),
+        any::<u8>().prop_map(MapOp::Remove),
+        any::<u8>().prop_map(MapOp::Get),
+        Just(MapOp::Len),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn map_matches_std_hashmap(ops in proptest::collection::vec((map_op(), any::<bool>()), 1..60)) {
+        let cluster = LocalCluster::new(ClusterConfig::tiny());
+        let rt1 = TangoRuntime::new(cluster.client().unwrap()).unwrap();
+        let rt2 = TangoRuntime::new(cluster.client().unwrap()).unwrap();
+        let m1: TangoMap<u8, i64> = TangoMap::open(&rt1, "m").unwrap();
+        let m2: TangoMap<u8, i64> = TangoMap::open(&rt2, "m").unwrap();
+        let mut model = std::collections::HashMap::new();
+        for (op, use_second) in ops {
+            let m = if use_second { &m2 } else { &m1 };
+            match op {
+                MapOp::Put(k, v) => {
+                    m.put(&k, &v).unwrap();
+                    model.insert(k, v);
+                }
+                MapOp::Remove(k) => {
+                    m.remove(&k).unwrap();
+                    model.remove(&k);
+                }
+                MapOp::Get(k) => {
+                    prop_assert_eq!(m.get(&k).unwrap(), model.get(&k).copied());
+                }
+                MapOp::Len => {
+                    prop_assert_eq!(m.len().unwrap(), model.len());
+                }
+            }
+        }
+        // A fresh client reconstructs the same state from the log.
+        let rt3 = TangoRuntime::new(cluster.client().unwrap()).unwrap();
+        let m3: TangoMap<u8, i64> = TangoMap::open(&rt3, "m").unwrap();
+        let mut snap = m3.snapshot().unwrap();
+        snap.sort();
+        let mut expected: Vec<(u8, i64)> = model.into_iter().collect();
+        expected.sort();
+        prop_assert_eq!(snap, expected);
+    }
+
+    #[test]
+    fn treeset_matches_std_btreeset(ops in proptest::collection::vec((0u8..3, any::<u8>()), 1..60)) {
+        let cluster = LocalCluster::new(ClusterConfig::tiny());
+        let rt = TangoRuntime::new(cluster.client().unwrap()).unwrap();
+        let set: TangoTreeSet<u8> = TangoTreeSet::open(&rt, "s").unwrap();
+        let mut model = std::collections::BTreeSet::new();
+        for (kind, v) in ops {
+            match kind {
+                0 => {
+                    set.insert(&v).unwrap();
+                    model.insert(v);
+                }
+                1 => {
+                    set.remove(&v).unwrap();
+                    model.remove(&v);
+                }
+                _ => {
+                    prop_assert_eq!(set.contains(&v).unwrap(), model.contains(&v));
+                    prop_assert_eq!(set.first().unwrap(), model.iter().next().copied());
+                    prop_assert_eq!(set.last().unwrap(), model.iter().next_back().copied());
+                }
+            }
+        }
+        prop_assert_eq!(set.len().unwrap(), model.len());
+        prop_assert_eq!(
+            set.range(..).unwrap(),
+            model.iter().copied().collect::<Vec<u8>>()
+        );
+    }
+
+    #[test]
+    fn list_matches_std_vec(ops in proptest::collection::vec((0u8..5, any::<u8>(), 0usize..12), 1..40)) {
+        let cluster = LocalCluster::new(ClusterConfig::tiny());
+        let rt = TangoRuntime::new(cluster.client().unwrap()).unwrap();
+        let list: TangoList<u8> = TangoList::open(&rt, "l").unwrap();
+        let mut model: Vec<u8> = Vec::new();
+        for (kind, v, idx) in ops {
+            match kind {
+                0 => {
+                    list.push_back(&v).unwrap();
+                    model.push(v);
+                }
+                1 => {
+                    list.push_front(&v).unwrap();
+                    model.insert(0, v);
+                }
+                2 => {
+                    list.insert(idx, &v).unwrap();
+                    model.insert(idx.min(model.len()), v);
+                }
+                3 => {
+                    let got = list.remove(idx).unwrap();
+                    let expected = if idx < model.len() { Some(model.remove(idx)) } else { None };
+                    prop_assert_eq!(got, expected);
+                }
+                _ => {
+                    prop_assert_eq!(list.get(idx).unwrap(), model.get(idx).copied());
+                }
+            }
+        }
+        prop_assert_eq!(list.snapshot().unwrap(), model);
+    }
+}

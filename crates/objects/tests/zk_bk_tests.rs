@@ -1,0 +1,234 @@
+//! Fidelity tests for TangoZK and TangoBK (§6.3). The paper validated its
+//! implementations by running the HDFS namenode over them; we substitute an
+//! edit-log/namespace workload exercising the same interfaces, including
+//! failover to a backup "namenode" (a second client).
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use corfu::cluster::{ClusterConfig, LocalCluster};
+use tango::TangoRuntime;
+use tango_objects::bk::{BkError, TangoBK};
+use tango_objects::zk::{move_node, CreateMode, TangoZK, WatchEvent, ZkError, ZkOp};
+
+fn setup() -> (LocalCluster, Arc<TangoRuntime>) {
+    let cluster = LocalCluster::new(ClusterConfig::default());
+    let rt = TangoRuntime::new(cluster.client().unwrap()).unwrap();
+    (cluster, rt)
+}
+
+#[test]
+fn zk_create_get_set_delete() {
+    let (_c, rt) = setup();
+    let zk = TangoZK::open(&rt, "zk").unwrap();
+    assert_eq!(zk.create("/app", b"root", CreateMode::Persistent).unwrap(), "/app");
+    assert_eq!(zk.create("/app/config", b"v1", CreateMode::Persistent).unwrap(), "/app/config");
+    let (data, stat) = zk.get_data("/app/config").unwrap();
+    assert_eq!(data, Bytes::from_static(b"v1"));
+    assert_eq!(stat.version, 0);
+
+    let v = zk.set_data("/app/config", b"v2", Some(0)).unwrap();
+    assert_eq!(v, 1);
+    assert_eq!(zk.set_data("/app/config", b"v3", Some(0)), Err(ZkError::BadVersion));
+    assert_eq!(zk.get_data("/app/config").unwrap().0, Bytes::from_static(b"v2"));
+
+    assert_eq!(zk.delete("/app", None), Err(ZkError::NotEmpty));
+    zk.delete("/app/config", Some(1)).unwrap();
+    zk.delete("/app", None).unwrap();
+    assert!(!zk.exists("/app").unwrap());
+}
+
+#[test]
+fn zk_error_cases() {
+    let (_c, rt) = setup();
+    let zk = TangoZK::open(&rt, "zk").unwrap();
+    assert_eq!(zk.create("/a/b", b"", CreateMode::Persistent), Err(ZkError::NoNode));
+    zk.create("/a", b"", CreateMode::Persistent).unwrap();
+    assert_eq!(zk.create("/a", b"", CreateMode::Persistent), Err(ZkError::NodeExists));
+    assert_eq!(zk.get_data("/missing"), Err(ZkError::NoNode));
+    assert_eq!(zk.delete("/missing", None), Err(ZkError::NoNode));
+    assert!(matches!(zk.create("bad-path", b"", CreateMode::Persistent), Err(ZkError::BadPath(_))));
+    assert!(matches!(zk.create("/trailing/", b"", CreateMode::Persistent), Err(ZkError::BadPath(_))));
+}
+
+#[test]
+fn zk_sequential_nodes() {
+    let (_c, rt) = setup();
+    let zk = TangoZK::open(&rt, "zk").unwrap();
+    zk.create("/locks", b"", CreateMode::Persistent).unwrap();
+    let p1 = zk.create("/locks/lock-", b"", CreateMode::PersistentSequential).unwrap();
+    let p2 = zk.create("/locks/lock-", b"", CreateMode::PersistentSequential).unwrap();
+    let p3 = zk.create("/locks/lock-", b"", CreateMode::PersistentSequential).unwrap();
+    assert_eq!(p1, "/locks/lock-0000000000");
+    assert_eq!(p2, "/locks/lock-0000000001");
+    assert_eq!(p3, "/locks/lock-0000000002");
+    let children = zk.get_children("/locks").unwrap();
+    assert_eq!(children.len(), 3);
+    assert_eq!(children[0], "lock-0000000000");
+}
+
+#[test]
+fn zk_children_and_watches() {
+    let (cluster, rt) = setup();
+    let zk = TangoZK::open(&rt, "zk").unwrap();
+    zk.create("/members", b"", CreateMode::Persistent).unwrap();
+
+    let rt2 = TangoRuntime::new(cluster.client().unwrap()).unwrap();
+    let zk2 = TangoZK::open(&rt2, "zk").unwrap();
+    let child_watch = zk2.watch_children("/members").unwrap();
+    let data_watch = zk2.watch_data("/members/n1").unwrap();
+
+    zk.create("/members/n1", b"host-a", CreateMode::Persistent).unwrap();
+    zk.create("/members/n2", b"host-b", CreateMode::Persistent).unwrap();
+    zk.set_data("/members/n1", b"host-a2", None).unwrap();
+
+    // zk2 observes after syncing (watches fire during playback).
+    assert_eq!(zk2.get_children("/members").unwrap(), vec!["n1", "n2"]);
+    let events: Vec<WatchEvent> = child_watch.try_iter().collect();
+    assert_eq!(events.len(), 2);
+    let data_events: Vec<WatchEvent> = data_watch.try_iter().collect();
+    assert!(data_events.contains(&WatchEvent::Created("/members/n1".to_owned())));
+    assert!(data_events.contains(&WatchEvent::DataChanged("/members/n1".to_owned())));
+}
+
+#[test]
+fn zk_multi_is_atomic() {
+    let (_c, rt) = setup();
+    let zk = TangoZK::open(&rt, "zk").unwrap();
+    zk.create("/jobs", b"", CreateMode::Persistent).unwrap();
+    zk.create("/jobs/j1", b"pending", CreateMode::Persistent).unwrap();
+
+    // All-or-nothing: the second op fails, so the first must not apply.
+    let bad = zk.multi(&[
+        ZkOp::SetData { path: "/jobs/j1".into(), data: Bytes::from_static(b"running"), version: None },
+        ZkOp::Delete { path: "/jobs/missing".into(), version: None },
+    ]);
+    assert_eq!(bad, Err(ZkError::NoNode));
+    assert_eq!(zk.get_data("/jobs/j1").unwrap().0, Bytes::from_static(b"pending"));
+
+    // A valid batch applies atomically.
+    let ok = zk
+        .multi(&[
+            ZkOp::Check { path: "/jobs/j1".into(), version: 0 },
+            ZkOp::SetData { path: "/jobs/j1".into(), data: Bytes::from_static(b"running"), version: None },
+            ZkOp::Create { path: "/jobs/j2".into(), data: Bytes::new(), mode: CreateMode::Persistent },
+        ])
+        .unwrap();
+    assert_eq!(ok[2], "/jobs/j2");
+    assert_eq!(zk.get_data("/jobs/j1").unwrap().0, Bytes::from_static(b"running"));
+}
+
+#[test]
+fn zk_cross_namespace_move() {
+    // The §6.3 experiment: partition a namespace across two TangoZK
+    // instances and transactionally move files between them.
+    let (cluster, rt) = setup();
+    let ns_a = TangoZK::open(&rt, "ns-a").unwrap();
+    let ns_b = TangoZK::open(&rt, "ns-b").unwrap();
+    ns_a.create("/file", b"contents", CreateMode::Persistent).unwrap();
+
+    move_node(&ns_a, &ns_b, "/file", "/file").unwrap();
+    assert!(!ns_a.exists("/file").unwrap());
+    assert_eq!(ns_b.get_data("/file").unwrap().0, Bytes::from_static(b"contents"));
+
+    // Atomicity across a fresh client hosting both namespaces.
+    let rt2 = TangoRuntime::new(cluster.client().unwrap()).unwrap();
+    let ns_a2 = TangoZK::open(&rt2, "ns-a").unwrap();
+    let ns_b2 = TangoZK::open(&rt2, "ns-b").unwrap();
+    assert!(!ns_a2.exists("/file").unwrap());
+    assert!(ns_b2.exists("/file").unwrap());
+
+    // Moving a missing node fails cleanly.
+    assert_eq!(move_node(&ns_a, &ns_b, "/file", "/elsewhere"), Err(ZkError::NoNode));
+}
+
+#[test]
+fn bk_ledger_lifecycle() {
+    let (cluster, rt) = setup();
+    let bk = TangoBK::open(&rt, "bk").unwrap();
+    let ledger = bk.create_ledger().unwrap();
+    for i in 0..20u64 {
+        bk.add_entry(ledger, format!("entry-{i}").as_bytes()).unwrap();
+    }
+    assert_eq!(bk.last_add_confirmed(ledger).unwrap(), 19);
+    assert_eq!(bk.read_entry(ledger, 7).unwrap(), Bytes::from(&b"entry-7"[..]));
+    let range = bk.read_entries(ledger, 5, 8).unwrap();
+    assert_eq!(range.len(), 4);
+    assert_eq!(range[0], Bytes::from(&b"entry-5"[..]));
+
+    bk.close(ledger).unwrap();
+    assert!(bk.is_closed(ledger).unwrap());
+    // Appends after close are dropped by every view.
+    bk.add_entry(ledger, b"late").unwrap();
+    assert_eq!(bk.last_add_confirmed(ledger).unwrap(), 19);
+
+    // A reader on another client sees identical contents.
+    let rt2 = TangoRuntime::new(cluster.client().unwrap()).unwrap();
+    let bk2 = TangoBK::open(&rt2, "bk").unwrap();
+    assert_eq!(bk2.last_add_confirmed(ledger).unwrap(), 19);
+    assert_eq!(bk2.read_entry(ledger, 0).unwrap(), Bytes::from(&b"entry-0"[..]));
+    assert_eq!(bk2.read_entry(ledger, 20).unwrap_err(), BkError::NoEntry);
+}
+
+#[test]
+fn bk_fencing_enforces_single_writer() {
+    let (cluster, rt) = setup();
+    let bk_writer = TangoBK::open(&rt, "bk").unwrap();
+    let ledger = bk_writer.create_ledger().unwrap();
+    bk_writer.add_entry(ledger, b"w1-entry-0").unwrap();
+    bk_writer.add_entry(ledger, b"w1-entry-1").unwrap();
+
+    // A recovery client fences the ledger to itself.
+    let rt2 = TangoRuntime::new(cluster.client().unwrap()).unwrap();
+    let bk_recovery = TangoBK::open(&rt2, "bk").unwrap();
+    bk_recovery.fence(ledger).unwrap();
+
+    // The old writer's subsequent appends are dropped everywhere.
+    bk_writer.add_entry(ledger, b"w1-zombie").unwrap();
+    assert_eq!(bk_recovery.last_add_confirmed(ledger).unwrap(), 1);
+    assert_eq!(bk_writer.last_add_confirmed(ledger).unwrap(), 1);
+
+    // The new writer can continue the ledger, then close it.
+    bk_recovery.add_entry(ledger, b"w2-entry-2").unwrap();
+    assert_eq!(bk_recovery.last_add_confirmed(ledger).unwrap(), 2);
+    bk_recovery.close(ledger).unwrap();
+    assert_eq!(bk_recovery.read_entry(ledger, 2).unwrap(), Bytes::from(&b"w2-entry-2"[..]));
+}
+
+#[test]
+fn namenode_style_failover() {
+    // The paper's HDFS test, substituted: namespace in TangoZK, edit log in
+    // TangoBK; the "namenode" crashes and a backup takes over with full
+    // fidelity.
+    let cluster = LocalCluster::new(ClusterConfig::default());
+    let (ledger, files);
+    {
+        let rt = TangoRuntime::new(cluster.client().unwrap()).unwrap();
+        let zk = TangoZK::open(&rt, "namespace").unwrap();
+        let bk = TangoBK::open(&rt, "editlog").unwrap();
+        ledger = bk.create_ledger().unwrap();
+        zk.create("/fs", b"", CreateMode::Persistent).unwrap();
+        files = 10u64;
+        for i in 0..files {
+            let path = format!("/fs/file-{i}");
+            zk.create(&path, format!("blocks-{i}").as_bytes(), CreateMode::Persistent).unwrap();
+            bk.add_entry(ledger, format!("OP_ADD {path}").as_bytes()).unwrap();
+        }
+        // Primary namenode crashes here (runtime dropped).
+    }
+    // Backup namenode takes over: full namespace + edit log available.
+    let rt = TangoRuntime::new(cluster.client().unwrap()).unwrap();
+    let zk = TangoZK::open(&rt, "namespace").unwrap();
+    let bk = TangoBK::open(&rt, "editlog").unwrap();
+    assert_eq!(zk.get_children("/fs").unwrap().len(), files as usize);
+    assert_eq!(bk.last_add_confirmed(ledger).unwrap(), files as i64 - 1);
+    assert_eq!(
+        bk.read_entry(ledger, 0).unwrap(),
+        Bytes::from(&b"OP_ADD /fs/file-0"[..])
+    );
+    // The backup continues where the primary stopped.
+    zk.create("/fs/file-new", b"", CreateMode::Persistent).unwrap();
+    bk.fence(ledger).unwrap();
+    bk.add_entry(ledger, b"OP_ADD /fs/file-new").unwrap();
+    assert_eq!(bk.last_add_confirmed(ledger).unwrap(), files as i64);
+}

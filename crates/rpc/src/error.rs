@@ -1,0 +1,40 @@
+use std::fmt;
+
+/// Errors surfaced by the transport layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// The peer hung up or the server is shutting down.
+    Disconnected,
+    /// An operating-system level I/O failure.
+    Io(String),
+    /// A frame failed validation (bad magic, length bound, or checksum).
+    BadFrame(String),
+    /// The call did not complete within the configured deadline.
+    Timeout,
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Disconnected => write!(f, "peer disconnected"),
+            RpcError::Io(e) => write!(f, "transport I/O error: {e}"),
+            RpcError::BadFrame(e) => write!(f, "bad frame: {e}"),
+            RpcError::Timeout => write!(f, "rpc timed out"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<std::io::Error> for RpcError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe => RpcError::Disconnected,
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => RpcError::Timeout,
+            _ => RpcError::Io(e.to_string()),
+        }
+    }
+}

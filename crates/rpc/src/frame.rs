@@ -1,0 +1,112 @@
+//! Length-prefixed, CRC-checked framing for the TCP transport.
+//!
+//! Frame layout: `magic u32 | len u32 | crc u32 | payload[len]`, all
+//! little-endian. `crc` is the CRC-32C of the payload. `len` is bounded to
+//! guard against garbage on the socket.
+
+use std::io::{Read, Write};
+
+use tango_wire::crc32c;
+
+use crate::{Result, RpcError};
+
+const FRAME_MAGIC: u32 = 0x7A_4E_47_01;
+
+/// Upper bound on a frame payload (64 MiB): far above any CORFU entry but
+/// small enough to reject corrupted lengths immediately.
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// Writes one frame to `w`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    if payload.len() as u64 > MAX_FRAME_LEN as u64 {
+        return Err(RpcError::BadFrame(format!("payload of {} bytes too large", payload.len())));
+    }
+    let mut header = [0u8; 12];
+    header[0..4].copy_from_slice(&FRAME_MAGIC.to_le_bytes());
+    header[4..8].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[8..12].copy_from_slice(&crc32c(payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame from `r`.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>> {
+    let mut header = [0u8; 12];
+    r.read_exact(&mut header)?;
+    let magic = u32::from_le_bytes(header[0..4].try_into().expect("fixed slice"));
+    if magic != FRAME_MAGIC {
+        return Err(RpcError::BadFrame(format!("bad magic {magic:#x}")));
+    }
+    let len = u32::from_le_bytes(header[4..8].try_into().expect("fixed slice"));
+    if len > MAX_FRAME_LEN {
+        return Err(RpcError::BadFrame(format!("length {len} exceeds bound")));
+    }
+    let crc = u32::from_le_bytes(header[8..12].try_into().expect("fixed slice"));
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    if crc32c(&payload) != crc {
+        return Err(RpcError::BadFrame("payload checksum mismatch".into()));
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello frame").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello frame");
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn corrupted_payload_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello frame").unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0xFF;
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cursor), Err(RpcError::BadFrame(_))));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"x").unwrap();
+        buf[0] ^= 1;
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cursor), Err(RpcError::BadFrame(_))));
+    }
+
+    #[test]
+    fn truncated_stream_disconnects() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"full payload").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cursor), Err(RpcError::Disconnected)));
+    }
+
+    #[test]
+    fn insane_length_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0x7A_4E_47_01u32.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cursor), Err(RpcError::BadFrame(_))));
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! Transport layer for the CORFU/Tango services.
+//!
+//! Tango runtimes on different machines never talk to each other; all
+//! interaction flows through the shared log's services (sequencer, storage
+//! nodes, layout). This crate provides the request/response plumbing those
+//! services run over:
+//!
+//! * [`RpcHandler`] — the server side: a function from request bytes to
+//!   response bytes.
+//! * [`ClientConn`] — the client side: a blocking `call`.
+//! * [`LocalConn`] — in-process transport used by tests, examples, and the
+//!   single-process cluster harness.
+//! * [`TcpServer`] / [`TcpConn`] — a real socket transport: length-framed,
+//!   CRC-checked messages over TCP with a thread per connection and
+//!   transparent reconnect on the client.
+//!
+//! The framing is deliberately minimal (no streaming, no multiplexing):
+//! CORFU's protocol is strictly request/response and clients that want
+//! pipelining open several connections.
+
+mod error;
+mod frame;
+mod local;
+mod tcp;
+mod traits;
+
+pub use error::RpcError;
+pub use local::LocalConn;
+pub use tcp::{TcpConn, TcpServer};
+pub use traits::{ClientConn, RpcHandler};
+
+/// Convenience alias for transport results.
+pub type Result<T> = std::result::Result<T, RpcError>;

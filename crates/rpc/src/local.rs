@@ -1,0 +1,38 @@
+use std::sync::Arc;
+
+use crate::{ClientConn, Result, RpcHandler};
+
+/// In-process transport: calls the handler directly on the caller's thread.
+///
+/// Used by unit tests, the examples, and the single-process cluster harness.
+/// Because it shares [`ClientConn`] with the TCP transport, every protocol
+/// still round-trips through its full wire encoding, so the in-process
+/// cluster exercises exactly the bytes a distributed deployment would.
+#[derive(Clone)]
+pub struct LocalConn {
+    handler: Arc<dyn RpcHandler>,
+}
+
+impl LocalConn {
+    /// Wraps `handler` as a connection.
+    pub fn new(handler: Arc<dyn RpcHandler>) -> Self {
+        Self { handler }
+    }
+}
+
+impl ClientConn for LocalConn {
+    fn call(&self, request: &[u8]) -> Result<Vec<u8>> {
+        Ok(self.handler.handle(request))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo() {
+        let conn = LocalConn::new(Arc::new(|req: &[u8]| req.to_vec()));
+        assert_eq!(conn.call(b"ping").unwrap(), b"ping");
+    }
+}

@@ -1,0 +1,236 @@
+//! TCP transport: a thread-per-connection server and a reconnecting client.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::frame::{read_frame, write_frame};
+use crate::{ClientConn, Result, RpcError, RpcHandler};
+
+/// A running TCP RPC server. Dropping the handle shuts the server down.
+pub struct TcpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `handler` with one thread per connection.
+    pub fn spawn(addr: &str, handler: Arc<dyn RpcHandler>) -> Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("rpc-accept-{local}"))
+            .spawn(move || accept_loop(listener, handler, accept_shutdown))
+            .map_err(|e| RpcError::Io(e.to_string()))?;
+        Ok(Self { addr: local, shutdown, accept_thread: Some(accept_thread) })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread. Existing
+    /// connection threads exit when their peers disconnect.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the listener so `accept` returns.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, handler: Arc<dyn RpcHandler>, shutdown: Arc<AtomicBool>) {
+    loop {
+        let (stream, peer) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let handler = Arc::clone(&handler);
+        let conn_shutdown = Arc::clone(&shutdown);
+        let _ = std::thread::Builder::new()
+            .name(format!("rpc-conn-{peer}"))
+            .spawn(move || serve_connection(stream, handler, conn_shutdown));
+    }
+}
+
+fn serve_connection(stream: TcpStream, handler: Arc<dyn RpcHandler>, shutdown: Arc<AtomicBool>) {
+    let _ = stream.set_nodelay(true);
+    // A read timeout lets the thread observe shutdown even on idle peers.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut writer = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_frame(&mut reader) {
+            Ok(request) => {
+                let response = handler.handle(&request);
+                if write_frame(&mut writer, &response).is_err() {
+                    return;
+                }
+            }
+            Err(RpcError::Timeout) => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+/// A blocking TCP client connection with transparent reconnect.
+///
+/// One RPC may be in flight at a time per connection; callers that want
+/// pipelining (e.g. a CORFU client with a deep append window) open several
+/// `TcpConn`s to the same server.
+pub struct TcpConn {
+    addr: String,
+    timeout: Duration,
+    stream: Mutex<Option<TcpStream>>,
+}
+
+impl TcpConn {
+    /// Creates a lazily-connected client for `addr`.
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self { addr: addr.into(), timeout: Duration::from_secs(5), stream: Mutex::new(None) }
+    }
+
+    /// Sets the per-call timeout (default 5s).
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    fn connect(&self) -> Result<TcpStream> {
+        let stream = TcpStream::connect(&self.addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        Ok(stream)
+    }
+
+    fn try_call(&self, stream: &mut TcpStream, request: &[u8]) -> Result<Vec<u8>> {
+        write_frame(stream, request)?;
+        read_frame(stream)
+    }
+}
+
+impl ClientConn for TcpConn {
+    fn call(&self, request: &[u8]) -> Result<Vec<u8>> {
+        let mut guard = self.stream.lock();
+        if guard.is_none() {
+            *guard = Some(self.connect()?);
+        }
+        let stream = guard.as_mut().expect("just connected");
+        match self.try_call(stream, request) {
+            Ok(resp) => Ok(resp),
+            Err(RpcError::Timeout) => {
+                // The response may still arrive later and would desync the
+                // stream; drop the connection.
+                *guard = None;
+                Err(RpcError::Timeout)
+            }
+            Err(_) => {
+                // Reconnect once: the server may have restarted.
+                let mut fresh = self.connect()?;
+                let resp = self.try_call(&mut fresh, request)?;
+                *guard = Some(fresh);
+                Ok(resp)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_response_over_sockets() {
+        let mut server = TcpServer::spawn(
+            "127.0.0.1:0",
+            Arc::new(|req: &[u8]| {
+                let mut out = req.to_vec();
+                out.reverse();
+                out
+            }),
+        )
+        .unwrap();
+        let conn = TcpConn::new(server.local_addr().to_string());
+        assert_eq!(conn.call(b"abc").unwrap(), b"cba");
+        assert_eq!(conn.call(b"tango").unwrap(), b"ognat");
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = TcpServer::spawn(
+            "127.0.0.1:0",
+            Arc::new(|req: &[u8]| req.to_vec()),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let conn = TcpConn::new(addr);
+                    for j in 0..50u32 {
+                        let msg = format!("client-{i}-msg-{j}");
+                        assert_eq!(conn.call(msg.as_bytes()).unwrap(), msg.as_bytes());
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn reconnects_after_server_restart() {
+        let mut server =
+            TcpServer::spawn("127.0.0.1:0", Arc::new(|req: &[u8]| req.to_vec())).unwrap();
+        let addr = server.local_addr().to_string();
+        let conn = TcpConn::new(addr.clone());
+        assert_eq!(conn.call(b"one").unwrap(), b"one");
+        server.shutdown();
+        drop(server);
+        // Restart on the same port.
+        let _server2 = TcpServer::spawn(&addr, Arc::new(|req: &[u8]| req.to_vec())).unwrap();
+        assert_eq!(conn.call(b"two").unwrap(), b"two");
+    }
+
+    #[test]
+    fn call_to_dead_server_errors() {
+        let conn = TcpConn::new("127.0.0.1:1"); // Nothing listens on port 1.
+        assert!(conn.call(b"x").is_err());
+    }
+}

@@ -1,0 +1,456 @@
+//! Scenario builders: one function per figure of §6.
+//!
+//! Each builds the modeled cluster (storage nodes, sequencer, clients with
+//! the right behavior), runs a warmup, measures a steady-state interval,
+//! and returns the series the paper plots. Binaries in `tango-bench` call
+//! these and print the rows.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simnet::{LinkLatency, NodeConfig, Sim, SimTime, MS, SEC};
+use workload::{KeyDist, TxMix};
+
+use crate::log_model::OccLog;
+use crate::msg::Msg;
+use crate::params::ClusterParams;
+use crate::seq_bench::SeqBenchClient;
+use crate::storage::{SequencerActor, StorageActor};
+use crate::tango_client::{Behavior, ClientStats, TangoClientActor, TxTarget};
+use crate::twopl_model::{OracleActor, TwoPlClientActor, TwoPlShared};
+
+/// A built cluster skeleton.
+struct Cluster {
+    sim: Sim<Msg>,
+    sequencer: simnet::ActorId,
+    storage: Vec<Vec<simnet::ActorId>>,
+    log: Rc<RefCell<OccLog>>,
+}
+
+fn build_cluster(params: &ClusterParams, seq_batching: u64) -> Cluster {
+    let mut sim: Sim<Msg> = Sim::new(LinkLatency::lan());
+    let log = Rc::new(RefCell::new(OccLog::new()));
+    // Storage nodes: half in each rack, like the paper's testbed.
+    let mut storage = Vec::new();
+    let mut node_idx = 0u8;
+    for _ in 0..params.num_sets {
+        let mut chain = Vec::new();
+        for r in 0..params.replication {
+            let node = sim.add_node(NodeConfig::gigabit(if r == 0 { 0 } else { 1 }));
+            let actor =
+                sim.add_actor(node, Box::new(StorageActor::new(params, Rc::clone(&log))));
+            chain.push(actor);
+            node_idx = node_idx.wrapping_add(1);
+        }
+        storage.push(chain);
+    }
+    // The sequencer: a beefy machine in its own rack position.
+    let seq_node = sim.add_node(NodeConfig::ten_gigabit(0));
+    let sequencer = sim.add_actor(seq_node, Box::new(SequencerActor::new(params, seq_batching)));
+    Cluster { sim, sequencer, storage, log }
+}
+
+fn add_tango_client(
+    cluster: &mut Cluster,
+    params: &ClusterParams,
+    behavior: Behavior,
+    hosted: Vec<u32>,
+    seed: u64,
+    rack: u8,
+) -> Rc<RefCell<ClientStats>> {
+    let stats = ClientStats::shared();
+    let node = cluster.sim.add_node(NodeConfig::gigabit(rack));
+    let actor = TangoClientActor::new(
+        params,
+        behavior,
+        seed,
+        cluster.sequencer,
+        cluster.storage.clone(),
+        Rc::clone(&cluster.log),
+        Rc::clone(&stats),
+        hosted,
+    );
+    cluster.sim.add_actor(node, Box::new(actor));
+    stats
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Snapshot {
+    reads: u64,
+    writes: u64,
+    committed: u64,
+    aborted: u64,
+}
+
+fn snap(stats: &[Rc<RefCell<ClientStats>>]) -> Snapshot {
+    let mut s = Snapshot::default();
+    for st in stats {
+        let st = st.borrow();
+        s.reads += st.reads_done;
+        s.writes += st.writes_done;
+        s.committed += st.tx_committed;
+        s.aborted += st.tx_aborted;
+    }
+    s
+}
+
+/// Runs warmup then a measured interval; returns (delta, interval seconds).
+fn measure(
+    sim: &mut Sim<Msg>,
+    stats: &[Rc<RefCell<ClientStats>>],
+    warmup: SimTime,
+    interval: SimTime,
+) -> (Snapshot, f64) {
+    sim.run_until(warmup);
+    let before = snap(stats);
+    sim.run_until(warmup + interval);
+    let after = snap(stats);
+    let delta = Snapshot {
+        reads: after.reads - before.reads,
+        writes: after.writes - before.writes,
+        committed: after.committed - before.committed,
+        aborted: after.aborted - before.aborted,
+    };
+    (delta, interval as f64 / SEC as f64)
+}
+
+// ----------------------------------------------------------------------
+// Figure 2: sequencer throughput vs number of clients.
+// ----------------------------------------------------------------------
+
+/// One Figure 2 data point: thousands of token requests per second
+/// sustained by the sequencer with `clients` closed-loop clients.
+pub fn fig2_sequencer(clients: usize, window: usize, batching: u64, _seed: u64) -> f64 {
+    let params = ClusterParams::paper_testbed();
+    let mut sim: Sim<Msg> = Sim::new(LinkLatency::lan());
+    let seq_node = sim.add_node(NodeConfig::ten_gigabit(0));
+    let sequencer = sim.add_actor(seq_node, Box::new(SequencerActor::new(&params, batching)));
+    let completed = Rc::new(std::cell::Cell::new(0u64));
+    for i in 0..clients {
+        let node = sim.add_node(NodeConfig::gigabit((i % 2) as u8));
+        sim.add_actor(
+            node,
+            Box::new(SeqBenchClient::new(&params, sequencer, window, Rc::clone(&completed))),
+        );
+    }
+    sim.run_until(200 * MS);
+    let t0 = completed.get();
+    sim.run_until(1_200 * MS);
+    let t1 = completed.get();
+    (t1 - t0) as f64 / 1_000.0
+}
+
+// ----------------------------------------------------------------------
+// Figure 8: single-object linearizability.
+// ----------------------------------------------------------------------
+
+/// One Figure 8 (left) point: a single client/view with `window`
+/// outstanding ops at `write_ratio`. Returns (Ks of ops/sec, mean latency
+/// ms, p99 latency ms).
+pub fn fig8_left(write_ratio: f64, window: usize, seed: u64) -> (f64, f64, f64) {
+    let params = ClusterParams::paper_testbed();
+    let mut cluster = build_cluster(&params, 1);
+    let stats = add_tango_client(
+        &mut cluster,
+        &params,
+        Behavior::ClosedLoopOps { window, write_ratio },
+        vec![0],
+        seed,
+        0,
+    );
+    let (delta, secs) = measure(&mut cluster.sim, &[Rc::clone(&stats)], 500 * MS, 2 * SEC);
+    let ops = (delta.reads + delta.writes) as f64 / secs / 1_000.0;
+    let st = stats.borrow();
+    let mut all = st.read_latency.clone();
+    all.merge(&st.write_latency);
+    let mean_ms = all.mean() / MS as f64;
+    let p99_ms = all.percentile(0.99) as f64 / MS as f64;
+    (ops, mean_ms, p99_ms)
+}
+
+/// One Figure 8 (middle) point: all writes to one client, all reads to the
+/// other. Returns (read Ks/sec, write Ks/sec, mean read latency ms).
+pub fn fig8_middle(target_write_ops_per_sec: f64, seed: u64) -> (f64, f64, f64) {
+    let params = ClusterParams::paper_testbed().with_read_resp_bytes(256);
+    let entries_per_sec = (target_write_ops_per_sec / params.batch as f64).max(0.001);
+    let mut cluster = build_cluster(&params, 1);
+    let writer = add_tango_client(
+        &mut cluster,
+        &params,
+        Behavior::OpenLoopAppender { entries_per_sec },
+        vec![0],
+        seed,
+        0,
+    );
+    let reader = add_tango_client(
+        &mut cluster,
+        &params,
+        Behavior::SyncReader { reads_per_sec: 100_000.0, max_outstanding: 64 },
+        vec![0],
+        seed + 1,
+        1,
+    );
+    let all = [Rc::clone(&writer), Rc::clone(&reader)];
+    let (delta, secs) = measure(&mut cluster.sim, &all, 500 * MS, 2 * SEC);
+    let read_ks = delta.reads as f64 / secs / 1_000.0;
+    let write_ks = delta.writes as f64 / secs / 1_000.0;
+    let read_lat_ms = reader.borrow().read_latency.mean() / MS as f64;
+    (read_ks, write_ks, read_lat_ms)
+}
+
+/// One Figure 8 (right) point: `readers` clients each targeting 10K
+/// linearizable reads/sec against a 10K ops/sec write load, over a log
+/// with `num_sets` replica sets (x `replication`). Returns aggregate Ks of
+/// reads/sec.
+pub fn fig8_right(readers: usize, num_sets: usize, seed: u64) -> f64 {
+    // Register entries are tiny; read responses carry the payload.
+    let params = ClusterParams::paper_testbed().with_sets(num_sets).with_read_resp_bytes(256);
+    let mut cluster = build_cluster(&params, 1);
+    let entries_per_sec = 10_000.0 / params.batch as f64;
+    let _writer = add_tango_client(
+        &mut cluster,
+        &params,
+        Behavior::OpenLoopAppender { entries_per_sec },
+        vec![0],
+        seed,
+        0,
+    );
+    let mut reader_stats = Vec::new();
+    for i in 0..readers {
+        reader_stats.push(add_tango_client(
+            &mut cluster,
+            &params,
+            Behavior::DirectReader { reads_per_sec: 10_000.0, max_outstanding: 32 },
+            vec![0],
+            seed + 10 + i as u64,
+            (i % 2) as u8,
+        ));
+    }
+    let (delta, secs) = measure(&mut cluster.sim, &reader_stats, 500 * MS, 2 * SEC);
+    delta.reads as f64 / secs / 1_000.0
+}
+
+// ----------------------------------------------------------------------
+// Figure 9: transactions on a fully replicated TangoMap.
+// ----------------------------------------------------------------------
+
+/// One Figure 9 point. Returns (Ks tx/sec throughput, Ks tx/sec goodput).
+pub fn fig9(nodes: usize, total_keys: u64, zipf: bool, seed: u64) -> (f64, f64) {
+    let params = ClusterParams::paper_testbed();
+    let mut cluster = build_cluster(&params, 1);
+    let dist =
+        if zipf { KeyDist::zipf_ycsb(total_keys) } else { KeyDist::uniform(total_keys) };
+    let mut stats = Vec::new();
+    for i in 0..nodes {
+        stats.push(add_tango_client(
+            &mut cluster,
+            &params,
+            Behavior::OccTx {
+                window: 16,
+                mix: TxMix::paper(dist.clone()),
+                target: TxTarget::SingleMap { oid: 0 },
+                decision_records: false,
+            },
+            vec![0],
+            seed + i as u64,
+            (i % 2) as u8,
+        ));
+    }
+    let (delta, secs) = measure(&mut cluster.sim, &stats, 500 * MS, 2 * SEC);
+    let tput = (delta.committed + delta.aborted) as f64 / secs / 1_000.0;
+    let goodput = delta.committed as f64 / secs / 1_000.0;
+    (tput, goodput)
+}
+
+/// Ablation: Figure 9's setup with a configurable commit-record batch size
+/// (the paper uses 4 per 4KB entry). Returns (Ks tx/s, Ks goodput/s).
+pub fn fig9_with_batch(
+    nodes: usize,
+    total_keys: u64,
+    batch: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let mut params = ClusterParams::paper_testbed();
+    params.batch = batch;
+    let mut cluster = build_cluster(&params, 1);
+    let dist = KeyDist::uniform(total_keys);
+    let mut stats = Vec::new();
+    for i in 0..nodes {
+        stats.push(add_tango_client(
+            &mut cluster,
+            &params,
+            Behavior::OccTx {
+                window: 16,
+                mix: TxMix::paper(dist.clone()),
+                target: TxTarget::SingleMap { oid: 0 },
+                decision_records: false,
+            },
+            vec![0],
+            seed + i as u64,
+            (i % 2) as u8,
+        ));
+    }
+    let (delta, secs) = measure(&mut cluster.sim, &stats, 500 * MS, 2 * SEC);
+    let tput = (delta.committed + delta.aborted) as f64 / secs / 1_000.0;
+    let goodput = delta.committed as f64 / secs / 1_000.0;
+    (tput, goodput)
+}
+
+// ----------------------------------------------------------------------
+// Figure 10: layered partitions.
+// ----------------------------------------------------------------------
+
+/// One Figure 10 (left) point: `clients` clients, each hosting its own
+/// TangoMap and running single-object transactions, over a log with
+/// `num_sets` sets. Returns Ks tx/sec.
+///
+/// The window of 8 outstanding transactions calibrates per-client rates to
+/// the paper's ~11K tx/s/client (its measured transaction latency was in
+/// the milliseconds; the model's log round-trips are faster).
+pub fn fig10_left(clients: usize, num_sets: usize, seed: u64) -> f64 {
+    let params = ClusterParams::paper_testbed().with_sets(num_sets);
+    let mut cluster = build_cluster(&params, 1);
+    let mut stats = Vec::new();
+    for i in 0..clients {
+        stats.push(add_tango_client(
+            &mut cluster,
+            &params,
+            Behavior::OccTx {
+                window: 8,
+                mix: TxMix::paper(KeyDist::uniform(100_000)),
+                target: TxTarget::SingleMap { oid: i as u32 },
+                decision_records: false,
+            },
+            vec![i as u32],
+            seed + i as u64,
+            (i % 2) as u8,
+        ));
+    }
+    let (delta, secs) = measure(&mut cluster.sim, &stats, 500 * MS, 2 * SEC);
+    (delta.committed + delta.aborted) as f64 / secs / 1_000.0
+}
+
+/// One Figure 10 (middle) point for Tango: 18 partitioned clients;
+/// `cross_pct` of transactions also write one remote partition (with a
+/// decision record). Returns Ks tx/sec.
+pub fn fig10_middle_tango(clients: usize, cross_pct: f64, seed: u64) -> f64 {
+    let params = ClusterParams::paper_testbed();
+    let mut cluster = build_cluster(&params, 1);
+    let all: Vec<u32> = (0..clients as u32).collect();
+    let mut stats = Vec::new();
+    for i in 0..clients {
+        let others: Vec<u32> = all.iter().copied().filter(|&o| o != i as u32).collect();
+        stats.push(add_tango_client(
+            &mut cluster,
+            &params,
+            Behavior::OccTx {
+                window: 8,
+                mix: TxMix::paper(KeyDist::uniform(100_000)),
+                target: TxTarget::CrossPartition {
+                    local: i as u32,
+                    others,
+                    cross_prob: cross_pct / 100.0,
+                },
+                decision_records: true,
+            },
+            vec![i as u32],
+            seed + i as u64,
+            (i % 2) as u8,
+        ));
+    }
+    let (delta, secs) = measure(&mut cluster.sim, &stats, 500 * MS, 2 * SEC);
+    (delta.committed + delta.aborted) as f64 / secs / 1_000.0
+}
+
+/// One Figure 10 (middle) point for the 2PL baseline. Returns Ks tx/sec.
+///
+/// The baseline's commit path is shorter than a shared-log round trip, so
+/// a smaller window (2) equalizes the offered per-client load with the
+/// Tango clients at 0% cross-partition — the figure compares how the two
+/// protocols *degrade*, not their absolute single-partition ceilings.
+pub fn fig10_middle_2pl(clients: usize, cross_pct: f64, seed: u64) -> f64 {
+    let params = ClusterParams::paper_testbed();
+    let mut sim: Sim<Msg> = Sim::new(LinkLatency::lan());
+    let oracle_node = sim.add_node(NodeConfig::ten_gigabit(0));
+    let oracle = sim.add_actor(oracle_node, Box::new(OracleActor::new(&params)));
+    let shared = Rc::new(RefCell::new(TwoPlShared::default()));
+    // Client actor ids are assigned in order after the oracle.
+    let first_client = oracle + 1;
+    let peers: Vec<simnet::ActorId> = (0..clients).map(|i| first_client + i).collect();
+    let mut stats = Vec::new();
+    for i in 0..clients {
+        let st = ClientStats::shared();
+        let node = sim.add_node(NodeConfig::gigabit((i % 2) as u8));
+        let actor = TwoPlClientActor::new(
+            &params,
+            seed + i as u64,
+            TxMix::paper(KeyDist::uniform(100_000)),
+            cross_pct / 100.0,
+            2,
+            oracle,
+            peers.clone(),
+            i,
+            Rc::clone(&shared),
+            Rc::clone(&st),
+        );
+        let id = sim.add_actor(node, Box::new(actor));
+        assert_eq!(id, peers[i], "actor id layout");
+        stats.push(st);
+    }
+    let (delta, secs) = measure(&mut sim, &stats, 500 * MS, 2 * SEC);
+    delta.committed as f64 / secs / 1_000.0
+}
+
+/// One Figure 10 (right) point: `clients` clients each hosting its own map
+/// plus one shared map; `shared_pct` of transactions touch the shared map.
+/// Returns Ks tx/sec.
+pub fn fig10_right(clients: usize, shared_pct: f64, seed: u64) -> f64 {
+    let params = ClusterParams::paper_testbed();
+    let shared_oid = 1000u32;
+    let mut cluster = build_cluster(&params, 1);
+    let mut stats = Vec::new();
+    for i in 0..clients {
+        stats.push(add_tango_client(
+            &mut cluster,
+            &params,
+            Behavior::OccTx {
+                window: 8,
+                mix: TxMix::paper(KeyDist::uniform(100_000)),
+                target: TxTarget::SharedObject {
+                    local: i as u32,
+                    shared: shared_oid,
+                    shared_prob: shared_pct / 100.0,
+                },
+                decision_records: true,
+            },
+            vec![i as u32, shared_oid],
+            seed + i as u64,
+            (i % 2) as u8,
+        ));
+    }
+    let (delta, secs) = measure(&mut cluster.sim, &stats, 500 * MS, 2 * SEC);
+    (delta.committed + delta.aborted) as f64 / secs / 1_000.0
+}
+
+/// §6.3 TangoBK: `writers` clients appending 4KB ledger entries as fast as
+/// the log allows (no playback). Returns Ks of 4KB appends/sec.
+pub fn sec63_bk(writers: usize, seed: u64) -> f64 {
+    let mut params = ClusterParams::paper_testbed();
+    // Ledger entries are not batched records: one append = one entry.
+    params.batch = 1;
+    let mut cluster = build_cluster(&params, 1);
+    let mut stats = Vec::new();
+    for i in 0..writers {
+        stats.push(add_tango_client(
+            &mut cluster,
+            &params,
+            // A very high target rate: effectively closed-loop on the log.
+            Behavior::OpenLoopAppender { entries_per_sec: 40_000.0 },
+            vec![i as u32],
+            seed + i as u64,
+            (i % 2) as u8,
+        ));
+    }
+    let (delta, secs) = measure(&mut cluster.sim, &stats, 500 * MS, 2 * SEC);
+    delta.writes as f64 / secs / 1_000.0
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! Performance models of the CORFU/Tango/2PL protocols over [`simnet`],
+//! used to regenerate every figure of the paper's evaluation (§6).
+//!
+//! We lack the paper's testbed (36 8-core machines in two racks, 18 storage
+//! nodes with Intel X25-V SSDs in a 9x2 CORFU deployment, a 32-core
+//! sequencer, gigabit client NICs). The models here run the *protocols'
+//! actual message flows* — sequencer tokens, client-driven chain writes,
+//! stream playback, OCC validation with the real
+//! [`tango::ConflictTable`] semantics over real zipf/uniform key draws,
+//! decision records for cross-partition transactions, and the Percolator-
+//! style 2PL baseline — against calibrated resource models (NIC bandwidth,
+//! SSD service times, sequencer service time, client CPU costs).
+//!
+//! Calibration constants live in [`ClusterParams`] and derive from the
+//! paper's own component numbers, not from per-figure tuning; see
+//! EXPERIMENTS.md for the derivation and the paper-vs-measured comparison.
+//!
+//! Entry points are in [`experiments`]: one function per figure.
+
+pub mod experiments;
+mod log_model;
+mod msg;
+mod params;
+mod seq_bench;
+mod storage;
+mod tango_client;
+mod twopl_model;
+
+pub use log_model::{OccLog, TxRecord};
+pub use msg::Msg;
+pub use params::ClusterParams;

@@ -1,0 +1,79 @@
+/// Messages exchanged by the model actors. Payload contents ride in the
+/// shared [`crate::OccLog`]; messages carry offsets and ids, with on-wire
+/// sizes supplied separately to the NIC model.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Client -> sequencer: reserve the next offset.
+    SeqNext,
+    /// Sequencer -> client: the reserved offset plus the current tail.
+    SeqToken {
+        /// Reserved log offset.
+        offset: u64,
+        /// Tail after this token (next offset to be issued).
+        tail: u64,
+    },
+    /// Client -> sequencer: read the tail (fast check / sync).
+    SeqQuery,
+    /// Sequencer -> client: the tail.
+    SeqTail {
+        /// Next offset to be issued.
+        tail: u64,
+    },
+    /// Client -> storage: chain write of one entry.
+    Write {
+        /// Global log offset.
+        offset: u64,
+        /// Position in the chain (0 = head), for the client's bookkeeping.
+        chain_pos: usize,
+    },
+    /// Storage -> client: write acknowledged.
+    WriteAck {
+        /// Global log offset.
+        offset: u64,
+        /// Echoed chain position.
+        chain_pos: usize,
+    },
+    /// Client -> storage: read one entry.
+    Read {
+        /// Global log offset.
+        offset: u64,
+    },
+    /// Storage -> client: entry contents (entry-sized on the wire).
+    ReadResp {
+        /// Global log offset.
+        offset: u64,
+        /// False if the entry's chain write has not completed yet (the
+        /// client retries, as a real reader polls a hole).
+        ready: bool,
+    },
+    /// 2PL client -> oracle: timestamp request.
+    TsReq,
+    /// Oracle -> client.
+    TsResp {
+        /// The timestamp.
+        ts: u64,
+    },
+    /// 2PL coordinator -> partition owner: try-lock a set of keys held by
+    /// this owner (versions validated in the shared lock model).
+    TwoPlLock {
+        /// Coordinator's transaction number.
+        txn: u64,
+    },
+    /// Owner -> coordinator: lock outcome.
+    TwoPlLockResp {
+        /// Echoed transaction number.
+        txn: u64,
+        /// True if all requested locks were acquired.
+        ok: bool,
+    },
+    /// Coordinator -> owner: commit + unlock (or abort + unlock).
+    TwoPlFinish {
+        /// Echoed transaction number.
+        txn: u64,
+    },
+    /// Owner -> coordinator: finish acknowledged.
+    TwoPlFinishAck {
+        /// Echoed transaction number.
+        txn: u64,
+    },
+}

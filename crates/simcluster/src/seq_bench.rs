@@ -1,0 +1,45 @@
+//! The Figure 2 client: hammers the sequencer with a window of
+//! outstanding token requests.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use simnet::{Actor, ActorId, Ctx};
+
+use crate::msg::Msg;
+use crate::params::ClusterParams;
+
+/// A closed-loop sequencer client with `window` outstanding requests.
+pub struct SeqBenchClient {
+    sequencer: ActorId,
+    window: usize,
+    small: u64,
+    completed: Rc<Cell<u64>>,
+}
+
+impl SeqBenchClient {
+    /// Creates a client; completions are counted into `completed`.
+    pub fn new(
+        params: &ClusterParams,
+        sequencer: ActorId,
+        window: usize,
+        completed: Rc<Cell<u64>>,
+    ) -> Self {
+        Self { sequencer, window, small: params.small_msg_bytes, completed }
+    }
+}
+
+impl Actor<Msg> for SeqBenchClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        for _ in 0..self.window {
+            ctx.send(self.sequencer, Msg::SeqNext, self.small);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: ActorId, msg: Msg) {
+        if let Msg::SeqToken { .. } = msg {
+            self.completed.set(self.completed.get() + 1);
+            ctx.send(self.sequencer, Msg::SeqNext, self.small);
+        }
+    }
+}

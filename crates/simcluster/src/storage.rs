@@ -1,0 +1,130 @@
+//! Infrastructure actors: the sequencer and the storage nodes.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use simnet::{Actor, ActorId, Ctx, Service, SimTime};
+
+use crate::log_model::OccLog;
+use crate::msg::Msg;
+use crate::params::ClusterParams;
+
+/// The sequencer: a networked counter with a single-server FIFO service
+/// queue (§2.2, Figure 2).
+pub struct SequencerActor {
+    params: ClusterParams,
+    svc: Service,
+    tail: u64,
+    pending: VecDeque<(ActorId, Msg)>,
+    /// Effective service time (lowered when modeling batched requests).
+    service_time: SimTime,
+}
+
+impl SequencerActor {
+    /// Creates a sequencer; `batching` divides the per-request service time
+    /// (Figure 2's "with a batch size of 4 … over 2M requests/sec").
+    pub fn new(params: &ClusterParams, batching: u64) -> Self {
+        Self {
+            params: params.clone(),
+            svc: Service::new(1),
+            tail: 0,
+            pending: VecDeque::new(),
+            service_time: (params.seq_service / batching.max(1)).max(1),
+        }
+    }
+}
+
+impl Actor<Msg> for SequencerActor {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: ActorId, msg: Msg) {
+        let reply = match msg {
+            Msg::SeqNext => {
+                let offset = self.tail;
+                self.tail += 1;
+                Msg::SeqToken { offset, tail: self.tail }
+            }
+            Msg::SeqQuery => Msg::SeqTail { tail: self.tail },
+            _ => return,
+        };
+        let done = self.svc.begin(ctx.now(), self.service_time);
+        self.pending.push_back((from, reply));
+        ctx.after(done - ctx.now(), 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _tag: u64) {
+        if let Some((to, reply)) = self.pending.pop_front() {
+            ctx.send(to, reply, self.params.small_msg_bytes);
+        }
+    }
+}
+
+/// A storage node: separate FIFO service queues for reads and writes
+/// (an SSD's read path is much faster than its write path).
+pub struct StorageActor {
+    params: ClusterParams,
+    log: Rc<RefCell<OccLog>>,
+    read_svc: Service,
+    write_svc: Service,
+    pending_reads: VecDeque<(ActorId, Msg, u64)>,
+    pending_writes: VecDeque<(ActorId, Msg, u64)>,
+}
+
+const TAG_WRITE: u64 = 0;
+const TAG_READ: u64 = 1;
+
+impl StorageActor {
+    /// Creates a storage node sharing the log content model.
+    pub fn new(params: &ClusterParams, log: Rc<RefCell<OccLog>>) -> Self {
+        Self {
+            params: params.clone(),
+            log,
+            read_svc: Service::new(1),
+            write_svc: Service::new(1),
+            pending_reads: VecDeque::new(),
+            pending_writes: VecDeque::new(),
+        }
+    }
+}
+
+impl Actor<Msg> for StorageActor {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: ActorId, msg: Msg) {
+        match msg {
+            Msg::Write { offset, chain_pos } => {
+                let done = self.write_svc.begin(ctx.now(), self.params.storage_write_service);
+                self.pending_writes.push_back((
+                    from,
+                    Msg::WriteAck { offset, chain_pos },
+                    self.params.small_msg_bytes,
+                ));
+                ctx.after(done - ctx.now(), TAG_WRITE);
+            }
+            Msg::Read { offset } => {
+                if !self.log.borrow().is_complete(offset) {
+                    // A hole (in-flight chain write): tell the reader to
+                    // retry, without consuming SSD service time.
+                    ctx.send(
+                        from,
+                        Msg::ReadResp { offset, ready: false },
+                        self.params.small_msg_bytes,
+                    );
+                    return;
+                }
+                let done = self.read_svc.begin(ctx.now(), self.params.storage_read_service);
+                self.pending_reads.push_back((
+                    from,
+                    Msg::ReadResp { offset, ready: true },
+                    self.params.read_resp_bytes,
+                ));
+                ctx.after(done - ctx.now(), TAG_READ);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+        let queue = if tag == TAG_WRITE { &mut self.pending_writes } else { &mut self.pending_reads };
+        if let Some((to, reply, bytes)) = queue.pop_front() {
+            ctx.send(to, reply, bytes);
+        }
+    }
+}

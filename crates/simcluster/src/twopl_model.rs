@@ -1,0 +1,371 @@
+//! The 2PL baseline model for Figure 10 (middle): Percolator-style
+//! timestamps from a centralized oracle, per-client partitions with
+//! exclusive lock tables, and write-lock RPCs between clients for
+//! cross-partition transactions.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use simnet::{Actor, ActorId, Ctx, Service, SimTime};
+use workload::{SplitMix64, TxMix};
+
+use crate::msg::Msg;
+use crate::params::ClusterParams;
+use crate::tango_client::ClientStats;
+
+const TAG_CPU: u64 = 1 << 56;
+const TAG_RETRY: u64 = 2 << 56;
+const TAG_MASK: u64 = 0xFF << 56;
+
+/// The timestamp oracle (runs on the sequencer machine in the paper).
+pub struct OracleActor {
+    svc: Service,
+    service_time: SimTime,
+    small: u64,
+    next_ts: u64,
+    pending: VecDeque<ActorId>,
+}
+
+impl OracleActor {
+    /// Creates the oracle.
+    pub fn new(params: &ClusterParams) -> Self {
+        Self {
+            svc: Service::new(1),
+            service_time: params.seq_service,
+            small: params.small_msg_bytes,
+            next_ts: 1,
+            pending: VecDeque::new(),
+        }
+    }
+}
+
+impl Actor<Msg> for OracleActor {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: ActorId, msg: Msg) {
+        if matches!(msg, Msg::TsReq) {
+            let done = self.svc.begin(ctx.now(), self.service_time);
+            self.pending.push_back(from);
+            ctx.after(done - ctx.now(), 0);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _tag: u64) {
+        if let Some(to) = self.pending.pop_front() {
+            let ts = self.next_ts;
+            self.next_ts += 1;
+            ctx.send(to, Msg::TsResp { ts }, self.small);
+        }
+    }
+}
+
+/// Shared lock state across all partitions (contents live here; the
+/// message flow carries only txn ids).
+#[derive(Default)]
+pub struct TwoPlShared {
+    /// (partition, key) -> holding transaction.
+    locks: HashMap<(usize, u64), u64>,
+    /// Remote lock/finish requests in flight: txn -> (partition, keys).
+    remote_reqs: HashMap<u64, (usize, Vec<u64>)>,
+}
+
+struct LiveTx {
+    started: SimTime,
+    local_keys: Vec<u64>,
+    remote: Option<(usize, u64)>, // (peer index, key)
+    local_locked: bool,
+}
+
+/// A 2PL client: hosts one partition, coordinates its own transactions,
+/// and serves lock requests from peers (consuming its CPU).
+pub struct TwoPlClientActor {
+    params: ClusterParams,
+    rng: SplitMix64,
+    mix: TxMix,
+    cross_prob: f64,
+    window: usize,
+    oracle: ActorId,
+    /// Peer client actor ids, indexed by partition number.
+    peers: Vec<ActorId>,
+    my_partition: usize,
+    shared: Rc<RefCell<TwoPlShared>>,
+    stats: Rc<RefCell<ClientStats>>,
+    cpu: Service,
+    cpu_queue: VecDeque<CpuAction>,
+    live: HashMap<u64, LiveTx>,
+    next_txn: u64,
+    /// Txns awaiting their timestamp (oracle replies arrive in order).
+    ts_queue: VecDeque<u64>,
+}
+
+enum CpuAction {
+    GenTx,
+    /// A peer's lock request: try-lock and reply.
+    ServeLock { from: ActorId, txn: u64 },
+    /// A peer's finish request: unlock and ack.
+    ServeFinish { from: ActorId, txn: u64 },
+}
+
+impl TwoPlClientActor {
+    /// Creates a 2PL client for `my_partition`. `peers[my_partition]` must
+    /// be this actor's own id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        params: &ClusterParams,
+        seed: u64,
+        mix: TxMix,
+        cross_prob: f64,
+        window: usize,
+        oracle: ActorId,
+        peers: Vec<ActorId>,
+        my_partition: usize,
+        shared: Rc<RefCell<TwoPlShared>>,
+        stats: Rc<RefCell<ClientStats>>,
+    ) -> Self {
+        Self {
+            params: params.clone(),
+            rng: SplitMix64::new(seed),
+            mix,
+            cross_prob,
+            window,
+            oracle,
+            peers,
+            my_partition,
+            shared,
+            stats,
+            cpu: Service::new(1),
+            cpu_queue: VecDeque::new(),
+            live: HashMap::new(),
+            next_txn: 1,
+            ts_queue: VecDeque::new(),
+        }
+    }
+
+    fn cpu_enqueue(&mut self, ctx: &mut Ctx<'_, Msg>, action: CpuAction, cost: SimTime) {
+        let done = self.cpu.begin(ctx.now(), cost);
+        self.cpu_queue.push_back(action);
+        ctx.after(done - ctx.now(), TAG_CPU);
+    }
+
+    fn global_txn(&self, txn: u64) -> u64 {
+        ((self.my_partition as u64) << 40) | txn
+    }
+
+    fn begin_tx(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        // The baseline executes the same transaction body as the Tango
+        // clients (the paper swapped only the EndTX implementation), so it
+        // is charged the same generation + apply CPU.
+        self.cpu_enqueue(
+            ctx,
+            CpuAction::GenTx,
+            self.params.client_op_cpu + self.params.apply_cost,
+        );
+    }
+
+    fn generate_tx(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let spec = self.mix.sample(&mut self.rng);
+        let txn = self.next_txn;
+        self.next_txn += 1;
+        let remote = if self.peers.len() > 1 && self.rng.gen_bool(self.cross_prob) {
+            let mut peer = self.rng.gen_range(self.peers.len() as u64) as usize;
+            if peer == self.my_partition {
+                peer = (peer + 1) % self.peers.len();
+            }
+            Some((peer, spec.writes[0]))
+        } else {
+            None
+        };
+        self.live.insert(
+            txn,
+            LiveTx {
+                started: ctx.now(),
+                local_keys: spec.writes.clone(),
+                remote,
+                local_locked: false,
+            },
+        );
+        // Phase 1: timestamp.
+        ctx.send(self.oracle, Msg::TsReq, self.params.small_msg_bytes);
+        // Track which txn this ts answers via FIFO ordering.
+        self.ts_queue.push_back(txn);
+    }
+
+    fn proceed_after_ts(&mut self, ctx: &mut Ctx<'_, Msg>, txn: u64) {
+        // Phase 2: local locks (reads were local; their validation and the
+        // local write locks cost one CPU slice and touch the lock table).
+        let gtxn = self.global_txn(txn);
+        let (local_ok, remote) = {
+            let tx = self.live.get(&txn).expect("live");
+            let mut shared = self.shared.borrow_mut();
+            let mut ok = true;
+            for &k in &tx.local_keys {
+                match shared.locks.get(&(self.my_partition, k)) {
+                    Some(&holder) if holder != gtxn => {
+                        ok = false;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if ok {
+                for &k in &tx.local_keys {
+                    shared.locks.insert((self.my_partition, k), gtxn);
+                }
+            }
+            (ok, tx.remote)
+        };
+        if !local_ok {
+            self.abort_and_retry(ctx, txn);
+            return;
+        }
+        self.live.get_mut(&txn).expect("live").local_locked = true;
+        match remote {
+            None => self.finish_commit(ctx, txn),
+            Some((peer, key)) => {
+                self.shared
+                    .borrow_mut()
+                    .remote_reqs
+                    .insert(gtxn, (peer, vec![key]));
+                let peer_actor = self.peers[peer];
+                ctx.send(peer_actor, Msg::TwoPlLock { txn: gtxn }, self.params.small_msg_bytes);
+            }
+        }
+    }
+
+    fn finish_commit(&mut self, ctx: &mut Ctx<'_, Msg>, txn: u64) {
+        let gtxn = self.global_txn(txn);
+        let tx = self.live.remove(&txn).expect("live");
+        {
+            let mut shared = self.shared.borrow_mut();
+            for &k in &tx.local_keys {
+                shared.locks.remove(&(self.my_partition, k));
+            }
+        }
+        if let Some((peer, _)) = tx.remote {
+            // Commit message releases the remote lock at the owner.
+            ctx.send(self.peers[peer], Msg::TwoPlFinish { txn: gtxn }, self.params.small_msg_bytes);
+        }
+        let mut stats = self.stats.borrow_mut();
+        stats.tx_committed += 1;
+        stats.tx_latency.record(ctx.now() - tx.started);
+        drop(stats);
+        self.begin_tx(ctx);
+    }
+
+    fn abort_and_retry(&mut self, ctx: &mut Ctx<'_, Msg>, txn: u64) {
+        let gtxn = self.global_txn(txn);
+        let tx = self.live.remove(&txn).expect("live");
+        let mut shared = self.shared.borrow_mut();
+        if tx.local_locked {
+            for &k in &tx.local_keys {
+                if shared.locks.get(&(self.my_partition, k)) == Some(&gtxn) {
+                    shared.locks.remove(&(self.my_partition, k));
+                }
+            }
+        }
+        drop(shared);
+        self.stats.borrow_mut().tx_aborted += 1;
+        // Retry (as a fresh transaction) after a short backoff.
+        ctx.after(100 * simnet::US, TAG_RETRY);
+    }
+
+    fn serve_lock(&mut self, ctx: &mut Ctx<'_, Msg>, from: ActorId, txn: u64) {
+        let ok = {
+            let mut shared = self.shared.borrow_mut();
+            let Some((partition, keys)) = shared.remote_reqs.get(&txn).cloned() else {
+                ctx.send(from, Msg::TwoPlLockResp { txn, ok: false }, self.params.small_msg_bytes);
+                return;
+            };
+            debug_assert_eq!(partition, self.my_partition);
+            let ok = keys.iter().all(|&k| {
+                shared.locks.get(&(self.my_partition, k)).map(|&h| h == txn).unwrap_or(true)
+            });
+            if ok {
+                for &k in &keys {
+                    shared.locks.insert((self.my_partition, k), txn);
+                }
+            }
+            ok
+        };
+        ctx.send(from, Msg::TwoPlLockResp { txn, ok }, self.params.small_msg_bytes);
+    }
+
+    fn serve_finish(&mut self, ctx: &mut Ctx<'_, Msg>, from: ActorId, txn: u64) {
+        {
+            let mut shared = self.shared.borrow_mut();
+            if let Some((_, keys)) = shared.remote_reqs.remove(&txn) {
+                for k in keys {
+                    if shared.locks.get(&(self.my_partition, k)) == Some(&txn) {
+                        shared.locks.remove(&(self.my_partition, k));
+                    }
+                }
+            }
+        }
+        ctx.send(from, Msg::TwoPlFinishAck { txn }, self.params.small_msg_bytes);
+    }
+}
+
+// A FIFO of txns awaiting their timestamp (oracle responses come back in
+// request order).
+impl TwoPlClientActor {
+    fn ts_front(&mut self) -> Option<u64> {
+        self.ts_queue.pop_front()
+    }
+}
+
+impl Actor<Msg> for TwoPlClientActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        for _ in 0..self.window {
+            self.begin_tx(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: ActorId, msg: Msg) {
+        match msg {
+            Msg::TsResp { .. } => {
+                if let Some(txn) = self.ts_front() {
+                    if self.live.contains_key(&txn) {
+                        self.proceed_after_ts(ctx, txn);
+                    }
+                }
+            }
+            Msg::TwoPlLock { txn } => {
+                self.cpu_enqueue(ctx, CpuAction::ServeLock { from, txn }, self.params.client_op_cpu);
+            }
+            Msg::TwoPlFinish { txn } => {
+                self.cpu_enqueue(
+                    ctx,
+                    CpuAction::ServeFinish { from, txn },
+                    self.params.client_op_cpu,
+                );
+            }
+            Msg::TwoPlLockResp { txn, ok } => {
+                let local = txn & 0xFF_FFFF_FFFF;
+                if !self.live.contains_key(&local) {
+                    return;
+                }
+                if ok {
+                    self.finish_commit(ctx, local);
+                } else {
+                    // Release the remote request record and retry.
+                    self.shared.borrow_mut().remote_reqs.remove(&txn);
+                    self.abort_and_retry(ctx, local);
+                }
+            }
+            Msg::TwoPlFinishAck { .. } => {}
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+        match tag & TAG_MASK {
+            TAG_CPU => match self.cpu_queue.pop_front() {
+                Some(CpuAction::GenTx) => self.generate_tx(ctx),
+                Some(CpuAction::ServeLock { from, txn }) => self.serve_lock(ctx, from, txn),
+                Some(CpuAction::ServeFinish { from, txn }) => self.serve_finish(ctx, from, txn),
+                None => {}
+            },
+            TAG_RETRY => self.begin_tx(ctx),
+            _ => {}
+        }
+    }
+}

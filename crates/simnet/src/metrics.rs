@@ -1,0 +1,155 @@
+//! Measurement utilities.
+
+/// A log-bucketed histogram of u64 samples (latencies in ns).
+///
+/// Buckets are powers of two subdivided 16 ways, giving <= 6.25% relative
+/// error — plenty for reproducing the shapes of latency/throughput figures.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+    min: u64,
+}
+
+const SUB: u64 = 16;
+
+fn bucket_of(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros() as u64;
+    let base = exp * SUB;
+    let sub = (v >> (exp - 4)) & (SUB - 1);
+    (base + sub) as usize
+}
+
+fn bucket_floor(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB {
+        return idx;
+    }
+    let exp = idx / SUB;
+    let sub = idx % SUB;
+    (1 << exp) + (sub << (exp - 4))
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: vec![0; 64 * SUB as usize], count: 0, sum: 0, max: 0, min: u64::MAX }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+        self.min = self.min.min(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or 0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `p`-quantile (0.0..=1.0), approximated to bucket resolution.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * p).ceil() as u64;
+        let mut seen = 0;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_floor(idx);
+            }
+        }
+        self.max
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Smallest sample (0 with no samples).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_percentiles() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean() - 500.5).abs() < 0.01);
+        let p50 = h.percentile(0.5);
+        assert!((450..=550).contains(&p50), "p50 = {p50}");
+        let p99 = h.percentile(0.99);
+        assert!((930..=1000).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.min(), 1);
+    }
+
+    #[test]
+    fn bucket_relative_error_bounded() {
+        for v in [1u64, 100, 1_000, 50_000, 1_000_000, u32::MAX as u64] {
+            let floor = bucket_floor(bucket_of(v));
+            assert!(floor <= v);
+            assert!(v - floor <= v / 8, "floor {floor} too far below {v}");
+        }
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(20);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 20);
+        assert_eq!(a.min(), 10);
+    }
+}

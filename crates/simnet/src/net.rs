@@ -1,0 +1,78 @@
+//! NIC and link models.
+
+use crate::sim::SimTime;
+
+/// Per-node network interface configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeConfig {
+    /// Egress bandwidth in bytes/second (gigabit NIC: 125_000_000).
+    pub bw_out: u64,
+    /// Ingress bandwidth in bytes/second.
+    pub bw_in: u64,
+    /// Rack the node sits in (used by [`LinkLatency`]).
+    pub rack: u8,
+}
+
+impl NodeConfig {
+    /// A gigabit-NIC node (the paper's clients and storage nodes).
+    pub fn gigabit(rack: u8) -> Self {
+        Self { bw_out: 125_000_000, bw_in: 125_000_000, rack }
+    }
+
+    /// A ten-gigabit node (the paper's 32-core sequencer machine).
+    pub fn ten_gigabit(rack: u8) -> Self {
+        Self { bw_out: 1_250_000_000, bw_in: 1_250_000_000, rack }
+    }
+}
+
+/// One-way propagation latency between nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkLatency {
+    /// Latency within a rack (ns).
+    pub same_rack: SimTime,
+    /// Latency across the top-of-rack switches (ns).
+    pub cross_rack: SimTime,
+}
+
+impl LinkLatency {
+    /// The testbed's LAN: tens of microseconds either way.
+    pub fn lan() -> Self {
+        Self { same_rack: 40 * crate::US, cross_rack: 55 * crate::US }
+    }
+
+    /// The one-way latency between two racks.
+    pub fn between(&self, a: u8, b: u8) -> SimTime {
+        if a == b {
+            self.same_rack
+        } else {
+            self.cross_rack
+        }
+    }
+}
+
+/// Mutable NIC state for one node.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct NicState {
+    pub out_free_at: SimTime,
+    pub in_free_at: SimTime,
+    pub bytes_out: u64,
+    pub bytes_in: u64,
+}
+
+/// Computes the serialization delay of `bytes` at `bw` bytes/sec.
+pub(crate) fn ser_delay(bytes: u64, bw: u64) -> SimTime {
+    // ns = bytes * 1e9 / bw, computed without overflow for sane inputs.
+    bytes.saturating_mul(1_000_000_000) / bw.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gigabit_serialization() {
+        // 4KB at 1 Gb/s = 32.768 microseconds.
+        let d = ser_delay(4096, 125_000_000);
+        assert_eq!(d, 32_768);
+    }
+}

@@ -1,0 +1,361 @@
+//! The event loop.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::net::{ser_delay, LinkLatency, NicState, NodeConfig};
+
+/// Simulation time in nanoseconds.
+pub type SimTime = u64;
+
+/// Index of a simulated machine.
+pub type NodeId = usize;
+
+/// Index of an actor (a process on a machine).
+pub type ActorId = usize;
+
+/// Behaviour of one simulated process.
+pub trait Actor<M> {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, M>) {}
+
+    /// Called for each delivered message.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, from: ActorId, msg: M);
+
+    /// Called when a timer set with [`Ctx::after`] fires.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, M>, _tag: u64) {}
+}
+
+enum Payload<M> {
+    Message { from: ActorId, msg: M },
+    Timer { tag: u64 },
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    to: ActorId,
+    payload: Payload<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Ties broken by insertion sequence: deterministic.
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct Shared<M> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Event<M>>>,
+    nics: Vec<NicState>,
+    node_cfg: Vec<NodeConfig>,
+    actor_node: Vec<NodeId>,
+    latency: LinkLatency,
+    stopped: bool,
+}
+
+impl<M> Shared<M> {
+    fn push(&mut self, at: SimTime, to: ActorId, payload: Payload<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { at, seq, to, payload }));
+    }
+
+    /// Routes a message through the NIC/link model and schedules delivery.
+    fn send(&mut self, from: ActorId, to: ActorId, msg: M, bytes: u64) {
+        let src = self.actor_node[from];
+        let dst = self.actor_node[to];
+        let deliver_at = if src == dst {
+            // Loopback: no NIC involvement, fixed small cost.
+            self.now + 2 * crate::US
+        } else {
+            let out_bw = self.node_cfg[src].bw_out;
+            let in_bw = self.node_cfg[dst].bw_in;
+            let start = self.nics[src].out_free_at.max(self.now);
+            let out_done = start + ser_delay(bytes, out_bw);
+            self.nics[src].out_free_at = out_done;
+            self.nics[src].bytes_out += bytes;
+            let racks = (self.node_cfg[src].rack, self.node_cfg[dst].rack);
+            let arrival = out_done + self.latency.between(racks.0, racks.1);
+            let rx_start = self.nics[dst].in_free_at.max(arrival);
+            let rx_done = rx_start + ser_delay(bytes, in_bw);
+            self.nics[dst].in_free_at = rx_done;
+            self.nics[dst].bytes_in += bytes;
+            rx_done
+        };
+        self.push(deliver_at, to, Payload::Message { from, msg });
+    }
+}
+
+/// The context actors use to interact with the world.
+pub struct Ctx<'a, M> {
+    shared: &'a mut Shared<M>,
+    me: ActorId,
+}
+
+impl<M> Ctx<'_, M> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.shared.now
+    }
+
+    /// This actor's id.
+    pub fn me(&self) -> ActorId {
+        self.me
+    }
+
+    /// Sends `msg` of `bytes` on-the-wire size to another actor, shaped by
+    /// both NICs and the link latency.
+    pub fn send(&mut self, to: ActorId, msg: M, bytes: u64) {
+        self.shared.send(self.me, to, msg, bytes);
+    }
+
+    /// Schedules [`Actor::on_timer`] with `tag` after `delay`.
+    pub fn after(&mut self, delay: SimTime, tag: u64) {
+        let at = self.shared.now + delay;
+        self.shared.push(at, self.me, Payload::Timer { tag });
+    }
+
+    /// Halts the simulation after the current event.
+    pub fn stop(&mut self) {
+        self.shared.stopped = true;
+    }
+}
+
+/// The simulator: nodes, actors, and the event heap.
+pub struct Sim<M> {
+    shared: Shared<M>,
+    actors: Vec<Option<Box<dyn Actor<M>>>>,
+    started: bool,
+}
+
+impl<M> Sim<M> {
+    /// Creates an empty world with the given link latency model.
+    pub fn new(latency: LinkLatency) -> Self {
+        Self {
+            shared: Shared {
+                now: 0,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                nics: Vec::new(),
+                node_cfg: Vec::new(),
+                actor_node: Vec::new(),
+                latency,
+                stopped: false,
+            },
+            actors: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Adds a machine.
+    pub fn add_node(&mut self, cfg: NodeConfig) -> NodeId {
+        self.shared.node_cfg.push(cfg);
+        self.shared.nics.push(NicState::default());
+        self.shared.node_cfg.len() - 1
+    }
+
+    /// Adds an actor running on `node`.
+    pub fn add_actor(&mut self, node: NodeId, actor: Box<dyn Actor<M>>) -> ActorId {
+        assert!(node < self.shared.node_cfg.len(), "unknown node");
+        self.actors.push(Some(actor));
+        self.shared.actor_node.push(node);
+        self.actors.len() - 1
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.shared.now
+    }
+
+    /// Bytes received so far by `node`'s NIC.
+    pub fn node_bytes_in(&self, node: NodeId) -> u64 {
+        self.shared.nics[node].bytes_in
+    }
+
+    /// Bytes sent so far by `node`'s NIC.
+    pub fn node_bytes_out(&self, node: NodeId) -> u64 {
+        self.shared.nics[node].bytes_out
+    }
+
+    fn start(&mut self) {
+        for id in 0..self.actors.len() {
+            let mut actor = self.actors[id].take().expect("actor present");
+            let mut ctx = Ctx { shared: &mut self.shared, me: id };
+            actor.on_start(&mut ctx);
+            self.actors[id] = Some(actor);
+        }
+        self.started = true;
+    }
+
+    /// Runs until `deadline` (or until an actor calls [`Ctx::stop`] or the
+    /// event queue drains). Returns the time reached.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        if !self.started {
+            self.start();
+        }
+        while !self.shared.stopped {
+            let Some(Reverse(head)) = self.shared.queue.peek() else { break };
+            if head.at > deadline {
+                break;
+            }
+            let Reverse(event) = self.shared.queue.pop().expect("peeked");
+            self.shared.now = event.at;
+            let mut actor = self.actors[event.to].take().expect("actor present");
+            {
+                let mut ctx = Ctx { shared: &mut self.shared, me: event.to };
+                match event.payload {
+                    Payload::Message { from, msg } => actor.on_message(&mut ctx, from, msg),
+                    Payload::Timer { tag } => actor.on_timer(&mut ctx, tag),
+                }
+            }
+            self.actors[event.to] = Some(actor);
+        }
+        self.shared.now
+    }
+
+    /// Borrow an actor back (downcasting is the caller's business) to read
+    /// collected metrics after the run.
+    pub fn actor(&self, id: ActorId) -> &dyn Actor<M> {
+        self.actors[id].as_deref().expect("actor present")
+    }
+
+    /// Mutable actor access for post-run extraction.
+    pub fn actor_mut(&mut self, id: ActorId) -> &mut dyn Actor<M> {
+        self.actors[id].as_deref_mut().expect("actor present")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeConfig, US};
+
+    /// Ping-pong: A sends to B, B replies, N rounds; checks latency math
+    /// and determinism.
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    #[derive(Default)]
+    struct Pinger {
+        peer: ActorId,
+        rounds: u32,
+        done_at: SimTime,
+        log: Vec<SimTime>,
+    }
+
+    impl Actor<Msg> for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            ctx.send(self.peer, Msg::Ping(0), 100);
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: ActorId, msg: Msg) {
+            if let Msg::Pong(n) = msg {
+                self.log.push(ctx.now());
+                if n + 1 < self.rounds {
+                    ctx.send(self.peer, Msg::Ping(n + 1), 100);
+                } else {
+                    self.done_at = ctx.now();
+                    ctx.stop();
+                }
+            }
+        }
+    }
+
+    struct Ponger;
+
+    impl Actor<Msg> for Ponger {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: ActorId, msg: Msg) {
+            if let Msg::Ping(n) = msg {
+                ctx.send(from, Msg::Pong(n), 100);
+            }
+        }
+    }
+
+    fn run_pingpong(rounds: u32) -> (SimTime, Vec<SimTime>) {
+        let mut sim: Sim<Msg> = Sim::new(LinkLatency::lan());
+        let a = sim.add_node(NodeConfig::gigabit(0));
+        let b = sim.add_node(NodeConfig::gigabit(1));
+        let ponger = sim.add_actor(b, Box::new(Ponger));
+        let pinger = sim.add_actor(
+            a,
+            Box::new(Pinger { peer: ponger, rounds, ..Default::default() }),
+        );
+        sim.run_until(u64::MAX);
+        let _ = pinger;
+        let done = sim.now();
+        // Extract the log via a fresh run (the trait object hides it), so
+        // just return done time twice for the determinism check.
+        (done, vec![done])
+    }
+
+    #[test]
+    fn pingpong_latency_math() {
+        let (done, _) = run_pingpong(1);
+        // One round trip: 2 * (ser(100B) + cross-rack latency + ser(100B)).
+        // ser(100B at 1Gb/s) = 800ns.
+        let one_way = 800 + 55 * US + 800;
+        assert_eq!(done, 2 * one_way);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_pingpong(50);
+        let b = run_pingpong(50);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bandwidth_is_a_bottleneck() {
+        // Blast 1000 x 4KB messages from one node; the receiver's NIC can
+        // only absorb 125 MB/s, so total time >= 1000*4096/125e6 seconds.
+        struct Blaster {
+            peer: ActorId,
+        }
+        impl Actor<Msg> for Blaster {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                for i in 0..1000 {
+                    ctx.send(self.peer, Msg::Ping(i), 4096);
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: ActorId, _: Msg) {}
+        }
+        struct Sink {
+            received: u32,
+            last_at: SimTime,
+        }
+        impl Actor<Msg> for Sink {
+            fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _: ActorId, _: Msg) {
+                self.received += 1;
+                self.last_at = ctx.now();
+                if self.received == 1000 {
+                    ctx.stop();
+                }
+            }
+        }
+        let mut sim: Sim<Msg> = Sim::new(LinkLatency::lan());
+        let a = sim.add_node(NodeConfig::gigabit(0));
+        let b = sim.add_node(NodeConfig::gigabit(0));
+        let sink = sim.add_actor(b, Box::new(Sink { received: 0, last_at: 0 }));
+        sim.add_actor(a, Box::new(Blaster { peer: sink }));
+        sim.run_until(u64::MAX);
+        let wire_time = 1000u64 * 4096 * 1_000_000_000 / 125_000_000;
+        assert!(sim.now() >= wire_time, "{} < {wire_time}", sim.now());
+        assert!(sim.now() < wire_time + 10 * crate::MS);
+    }
+}

@@ -1,0 +1,123 @@
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use corfu::{EntryEnvelope, LogOffset};
+
+/// A bounded FIFO cache of decoded log entries.
+///
+/// A commit record appended to multiple streams is encountered once per
+/// stream during playback; the cache ensures it is fetched from the log only
+/// once. The generating client also seeds the cache on append, so it usually
+/// replays its own writes without any log reads.
+pub struct EntryCache {
+    map: HashMap<LogOffset, Arc<EntryEnvelope>>,
+    order: VecDeque<LogOffset>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl EntryCache {
+    /// Creates a cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up the entry at `offset`.
+    pub fn get(&mut self, offset: LogOffset) -> Option<Arc<EntryEnvelope>> {
+        match self.map.get(&offset) {
+            Some(e) => {
+                self.hits += 1;
+                Some(Arc::clone(e))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an entry, evicting the oldest if full.
+    pub fn insert(&mut self, offset: LogOffset, entry: Arc<EntryEnvelope>) {
+        if self.map.contains_key(&offset) {
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+            }
+        }
+        self.map.insert(offset, entry);
+        self.order.push_back(offset);
+    }
+
+    /// Drops every cached entry below `horizon` (after a prefix trim).
+    pub fn evict_below(&mut self, horizon: LogOffset) {
+        self.map.retain(|&off, _| off >= horizon);
+        self.order.retain(|&off| off >= horizon);
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn entry(tag: u8) -> Arc<EntryEnvelope> {
+        Arc::new(EntryEnvelope::raw(Bytes::from(vec![tag])))
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let mut c = EntryCache::new(2);
+        c.insert(1, entry(1));
+        c.insert(2, entry(2));
+        c.insert(3, entry(3));
+        assert!(c.get(1).is_none());
+        assert!(c.get(2).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let mut c = EntryCache::new(2);
+        c.insert(1, entry(1));
+        c.insert(1, entry(9));
+        assert_eq!(c.get(1).unwrap().payload, Bytes::from(vec![1]));
+    }
+
+    #[test]
+    fn evict_below_horizon() {
+        let mut c = EntryCache::new(10);
+        for off in 0..5 {
+            c.insert(off, entry(off as u8));
+        }
+        c.evict_below(3);
+        assert!(c.get(2).is_none());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+}

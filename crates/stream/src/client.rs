@@ -1,0 +1,312 @@
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use corfu::{CorfuClient, CorfuError, EntryEnvelope, LogOffset, ReadOutcome, StreamId};
+use parking_lot::Mutex;
+
+use crate::cache::EntryCache;
+use crate::cursor::StreamCursor;
+
+/// Tuning for the stream layer.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Capacity of the decoded-entry cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self { cache_capacity: 65_536 }
+    }
+}
+
+struct Inner {
+    cursors: HashMap<StreamId, StreamCursor>,
+    cache: EntryCache,
+}
+
+/// The streaming interface over the shared log (§5).
+///
+/// Safe to share across threads; a mutex serializes cursor/cache mutation
+/// (the Tango runtime serializes playback anyway).
+pub struct StreamClient {
+    corfu: CorfuClient,
+    inner: Mutex<Inner>,
+}
+
+impl StreamClient {
+    /// Wraps a CORFU client.
+    pub fn new(corfu: CorfuClient) -> Self {
+        Self::with_config(corfu, StreamConfig::default())
+    }
+
+    /// Wraps a CORFU client with explicit configuration.
+    pub fn with_config(corfu: CorfuClient, config: StreamConfig) -> Self {
+        Self {
+            corfu,
+            inner: Mutex::new(Inner {
+                cursors: HashMap::new(),
+                cache: EntryCache::new(config.cache_capacity),
+            }),
+        }
+    }
+
+    /// The underlying CORFU client.
+    pub fn corfu(&self) -> &CorfuClient {
+        &self.corfu
+    }
+
+    /// Registers a stream for playback. Idempotent.
+    pub fn open(&self, stream: StreamId) {
+        let mut inner = self.inner.lock();
+        inner.cursors.entry(stream).or_insert_with(|| StreamCursor::new(stream));
+    }
+
+    /// Appends `payload` to one or more streams atomically: the entry
+    /// occupies a single position in the global total order (§4.1).
+    /// A client does *not* need to play a stream to append to it.
+    pub fn multiappend(&self, streams: &[StreamId], payload: Bytes) -> corfu::Result<LogOffset> {
+        let (offset, envelope) = self.corfu.append_streams(streams, payload)?;
+        self.inner.lock().cache.insert(offset, Arc::new(envelope));
+        Ok(offset)
+    }
+
+    /// Brings the membership lists of `streams` up to date in one sequencer
+    /// round trip and returns the global tail. Call before `readnext` for
+    /// linearizable semantics (the paper's explicit `sync`).
+    pub fn sync(&self, streams: &[StreamId]) -> corfu::Result<LogOffset> {
+        let (tail, backs) = self.corfu.tail_info(streams)?;
+        let mut inner = self.inner.lock();
+        for (&stream, seq_backs) in streams.iter().zip(backs.iter()) {
+            self.learn(&mut inner, stream, tail, seq_backs)?;
+        }
+        Ok(tail)
+    }
+
+    /// Returns the next entry of `stream`, or `None` when the cursor has
+    /// delivered everything discovered by the last `sync`. Junk entries
+    /// (patched holes) are skipped transparently.
+    pub fn readnext(&self, stream: StreamId) -> corfu::Result<Option<(LogOffset, Arc<EntryEnvelope>)>> {
+        loop {
+            let offset = {
+                let inner = self.inner.lock();
+                let cursor = inner
+                    .cursors
+                    .get(&stream)
+                    .ok_or_else(|| CorfuError::Layout(format!("stream {stream} not open")))?;
+                match cursor.peek() {
+                    Some(off) => off,
+                    None => return Ok(None),
+                }
+            };
+            // Fetch outside the lock: wait_read may block on a hole.
+            match self.fetch(offset)? {
+                Some(entry) => {
+                    let mut inner = self.inner.lock();
+                    let cursor = inner.cursors.get_mut(&stream).expect("checked above");
+                    // Re-check: another thread may have advanced past us.
+                    if cursor.peek() == Some(offset) {
+                        cursor.advance();
+                        if entry.belongs_to(stream) {
+                            return Ok(Some((offset, entry)));
+                        }
+                        // Data entry that does not actually carry our
+                        // header (can happen after a linear-scan fallback
+                        // over-approximation): skip it.
+                        continue;
+                    }
+                    continue;
+                }
+                None => {
+                    // Junk or trimmed: remove from the membership list.
+                    let mut inner = self.inner.lock();
+                    let cursor = inner.cursors.get_mut(&stream).expect("checked above");
+                    if cursor.peek() == Some(offset) {
+                        cursor.drop_current();
+                    }
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// The offset the next `readnext(stream)` would deliver, if known.
+    pub fn peek(&self, stream: StreamId) -> Option<LogOffset> {
+        self.inner.lock().cursors.get(&stream).and_then(|c| c.peek())
+    }
+
+    /// Snapshot of the known member offsets of `stream` (ascending).
+    pub fn known_offsets(&self, stream: StreamId) -> Vec<LogOffset> {
+        self.inner
+            .lock()
+            .cursors
+            .get(&stream)
+            .map(|c| c.offsets().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// The global tail through which `stream`'s membership is known.
+    pub fn synced_tail(&self, stream: StreamId) -> LogOffset {
+        self.inner.lock().cursors.get(&stream).map(|c| c.synced_tail()).unwrap_or(0)
+    }
+
+    /// Repositions `stream`'s iterator so the next delivered entry has
+    /// offset `>= offset` (supports checkpoint restore and history
+    /// rollback).
+    pub fn seek(&self, stream: StreamId, offset: LogOffset) {
+        if let Some(c) = self.inner.lock().cursors.get_mut(&stream) {
+            c.seek(offset);
+        }
+    }
+
+    /// Reads and decodes the entry at `offset` (cache-through). Returns
+    /// `None` for junk or trimmed offsets; waits out and finally fills holes.
+    pub fn read_at(&self, offset: LogOffset) -> corfu::Result<Option<Arc<EntryEnvelope>>> {
+        self.fetch(offset)
+    }
+
+    /// Forgets stream membership and cached entries below `horizon`
+    /// (called after a checkpoint makes the prefix collectable).
+    pub fn forget_below(&self, stream: StreamId, horizon: LogOffset) {
+        let mut inner = self.inner.lock();
+        if let Some(c) = inner.cursors.get_mut(&stream) {
+            c.forget_below(horizon);
+        }
+        inner.cache.evict_below(horizon);
+    }
+
+    /// Cache hit/miss counters, for tests and benchmarks.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.inner.lock().cache.stats()
+    }
+
+    fn fetch(&self, offset: LogOffset) -> corfu::Result<Option<Arc<EntryEnvelope>>> {
+        if let Some(hit) = self.inner.lock().cache.get(offset) {
+            return Ok(Some(hit));
+        }
+        match self.corfu.wait_read(offset)? {
+            ReadOutcome::Data(bytes) => {
+                let entry = Arc::new(EntryEnvelope::decode(&bytes, offset)?);
+                self.inner.lock().cache.insert(offset, Arc::clone(&entry));
+                Ok(Some(entry))
+            }
+            ReadOutcome::Junk | ReadOutcome::Trimmed => Ok(None),
+            ReadOutcome::Unwritten => Err(CorfuError::Unwritten { offset }),
+        }
+    }
+
+    /// Integrates the sequencer's last-K issued offsets for `stream` into
+    /// its cursor, striding backward through entry headers until the chain
+    /// reconnects with known state. Falls back to a backward linear scan
+    /// when junk breaks the backpointer chain.
+    fn learn(
+        &self,
+        inner: &mut Inner,
+        stream: StreamId,
+        tail: LogOffset,
+        seq_backs: &[LogOffset],
+    ) -> corfu::Result<()> {
+        let cursor =
+            inner.cursors.entry(stream).or_insert_with(|| StreamCursor::new(stream));
+        let floor = cursor.max_known(); // Collect strictly greater offsets.
+        let beyond = |off: LogOffset| floor.map(|f| off > f).unwrap_or(true);
+
+        let mut discovered: Vec<LogOffset> =
+            seq_backs.iter().copied().filter(|&o| o != u64::MAX && beyond(o)).collect();
+        if discovered.is_empty() {
+            cursor.extend(Vec::new(), tail);
+            return Ok(());
+        }
+
+        // Walk backward from the oldest entry the sequencer told us about.
+        // Backpointer lists are contiguous most-recent-first windows, so if
+        // any reported offset is at or below `floor`, everything newer is
+        // already in `discovered` and the chain has reconnected.
+        let mut oldest = *discovered.iter().min().expect("non-empty");
+        let mut chain_complete =
+            seq_backs.iter().any(|&o| o != u64::MAX && !beyond(o));
+        while !chain_complete {
+            // We need entries of this stream older than `oldest` (down to
+            // floor, exclusive). Read `oldest`'s headers.
+            // NOTE: the fetch below may block while a writer finishes.
+            let fetched = match self.fetch_unlocked(inner, oldest)? {
+                Some(entry) => entry,
+                None => {
+                    // Junk broke the chain: linear backward scan (§5).
+                    let lo = floor.map(|f| f + 1).unwrap_or(0);
+                    for off in (lo..oldest).rev() {
+                        match self.fetch_unlocked(inner, off)? {
+                            Some(entry) if entry.belongs_to(stream) => discovered.push(off),
+                            _ => {}
+                        }
+                    }
+                    break;
+                }
+            };
+            let Some(header) = fetched.header_for(stream) else {
+                // The offset was issued for this stream but written without
+                // its header (cannot happen with our client; be defensive).
+                let lo = floor.map(|f| f + 1).unwrap_or(0);
+                for off in (lo..oldest).rev() {
+                    match self.fetch_unlocked(inner, off)? {
+                        Some(entry) if entry.belongs_to(stream) => discovered.push(off),
+                        _ => {}
+                    }
+                }
+                break;
+            };
+            let older: Vec<LogOffset> = header
+                .backpointers
+                .iter()
+                .copied()
+                .filter(|&o| o != u64::MAX && beyond(o))
+                .collect();
+            let at_stream_start = header.backpointers.is_empty()
+                || header.backpointers.iter().all(|&o| o == u64::MAX);
+            let reconnected =
+                header.backpointers.iter().any(|&o| o != u64::MAX && !beyond(o));
+            if at_stream_start || reconnected || older.is_empty() {
+                discovered.extend(older);
+                chain_complete = true;
+            } else {
+                let new_oldest = *older.iter().min().expect("non-empty");
+                discovered.extend(older);
+                discovered.sort_unstable();
+                discovered.dedup();
+                if new_oldest >= oldest {
+                    // Defensive: no progress; avoid an infinite loop.
+                    chain_complete = true;
+                } else {
+                    oldest = new_oldest;
+                }
+            }
+        }
+        discovered.sort_unstable();
+        discovered.dedup();
+        let cursor =
+            inner.cursors.get_mut(&stream).expect("inserted above");
+        cursor.extend(discovered, tail);
+        Ok(())
+    }
+
+    /// Cache-through fetch that uses the already-held `inner` borrow.
+    fn fetch_unlocked(
+        &self,
+        inner: &mut Inner,
+        offset: LogOffset,
+    ) -> corfu::Result<Option<Arc<EntryEnvelope>>> {
+        if let Some(hit) = inner.cache.get(offset) {
+            return Ok(Some(hit));
+        }
+        match self.corfu.wait_read(offset)? {
+            ReadOutcome::Data(bytes) => {
+                let entry = Arc::new(EntryEnvelope::decode(&bytes, offset)?);
+                inner.cache.insert(offset, Arc::clone(&entry));
+                Ok(Some(entry))
+            }
+            ReadOutcome::Junk | ReadOutcome::Trimmed => Ok(None),
+            ReadOutcome::Unwritten => Err(CorfuError::Unwritten { offset }),
+        }
+    }
+}

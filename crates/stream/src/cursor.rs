@@ -1,0 +1,155 @@
+use corfu::{LogOffset, StreamId};
+
+/// Client-side state for one stream: the reconstructed linked list of
+/// member offsets plus an iterator over it.
+///
+/// Invariant: `offsets` is sorted ascending and, below `synced_tail`,
+/// contains *every* offset the sequencer issued for this stream (some of
+/// which may turn out to hold junk — `readnext` skips those lazily).
+#[derive(Debug, Clone)]
+pub struct StreamCursor {
+    /// The stream this cursor tracks.
+    pub id: StreamId,
+    /// Known member offsets, ascending.
+    offsets: Vec<LogOffset>,
+    /// Index into `offsets` of the next entry to deliver.
+    next: usize,
+    /// Membership is complete for all offsets below this global tail.
+    synced_tail: LogOffset,
+}
+
+impl StreamCursor {
+    /// Creates an empty cursor.
+    pub fn new(id: StreamId) -> Self {
+        Self { id, offsets: Vec::new(), next: 0, synced_tail: 0 }
+    }
+
+    /// The highest known member offset.
+    pub fn max_known(&self) -> Option<LogOffset> {
+        self.offsets.last().copied()
+    }
+
+    /// The global tail through which membership is known.
+    pub fn synced_tail(&self) -> LogOffset {
+        self.synced_tail
+    }
+
+    /// All known member offsets (ascending).
+    pub fn offsets(&self) -> &[LogOffset] {
+        &self.offsets
+    }
+
+    /// The offset the next `readnext` will deliver, if any is known.
+    pub fn peek(&self) -> Option<LogOffset> {
+        self.offsets.get(self.next).copied()
+    }
+
+    /// Marks the head entry consumed and returns its offset.
+    pub fn advance(&mut self) -> Option<LogOffset> {
+        let off = self.peek()?;
+        self.next += 1;
+        Some(off)
+    }
+
+    /// Removes the entry at the iterator head without delivering it (used
+    /// when it turns out to hold junk).
+    pub fn drop_current(&mut self) {
+        if self.next < self.offsets.len() {
+            self.offsets.remove(self.next);
+        }
+    }
+
+    /// Integrates newly discovered offsets (any order, must all exceed
+    /// `max_known`) and advances the synced tail.
+    pub fn extend(&mut self, mut discovered: Vec<LogOffset>, tail: LogOffset) {
+        discovered.sort_unstable();
+        discovered.dedup();
+        if let Some(&max) = self.offsets.last() {
+            debug_assert!(
+                discovered.first().map(|&d| d > max).unwrap_or(true),
+                "discovered offsets must be beyond the known suffix"
+            );
+        }
+        self.offsets.extend(discovered);
+        self.synced_tail = self.synced_tail.max(tail);
+    }
+
+    /// Repositions the iterator so the next delivered offset is the first
+    /// one `>= offset`. Returns the number of entries skipped or rewound.
+    pub fn seek(&mut self, offset: LogOffset) -> usize {
+        let target = self.offsets.partition_point(|&o| o < offset);
+        let moved = target.abs_diff(self.next);
+        self.next = target;
+        moved
+    }
+
+    /// Number of known-but-unconsumed entries.
+    pub fn backlog(&self) -> usize {
+        self.offsets.len() - self.next
+    }
+
+    /// Forgets membership below `horizon` (after a checkpoint + trim). The
+    /// iterator position is preserved relative to the remaining entries.
+    pub fn forget_below(&mut self, horizon: LogOffset) {
+        let cut = self.offsets.partition_point(|&o| o < horizon);
+        self.offsets.drain(..cut);
+        self.next = self.next.saturating_sub(cut);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extend_and_iterate() {
+        let mut c = StreamCursor::new(1);
+        c.extend(vec![5, 2, 9], 10);
+        assert_eq!(c.offsets(), &[2, 5, 9]);
+        assert_eq!(c.peek(), Some(2));
+        assert_eq!(c.advance(), Some(2));
+        assert_eq!(c.advance(), Some(5));
+        assert_eq!(c.backlog(), 1);
+        c.extend(vec![12], 13);
+        assert_eq!(c.advance(), Some(9));
+        assert_eq!(c.advance(), Some(12));
+        assert_eq!(c.advance(), None);
+        assert_eq!(c.synced_tail(), 13);
+    }
+
+    #[test]
+    fn drop_current_skips_junk() {
+        let mut c = StreamCursor::new(1);
+        c.extend(vec![1, 2, 3], 4);
+        assert_eq!(c.advance(), Some(1));
+        c.drop_current(); // 2 turned out to be junk
+        assert_eq!(c.advance(), Some(3));
+        assert_eq!(c.offsets(), &[1, 3]);
+    }
+
+    #[test]
+    fn seek_both_directions() {
+        let mut c = StreamCursor::new(1);
+        c.extend(vec![10, 20, 30, 40], 50);
+        assert_eq!(c.seek(25), 2); // skips 10, 20
+        assert_eq!(c.peek(), Some(30));
+        assert_eq!(c.seek(0), 2); // rewind to start
+        assert_eq!(c.peek(), Some(10));
+        assert_eq!(c.seek(40), 3);
+        assert_eq!(c.peek(), Some(40));
+        assert_eq!(c.seek(41), 1);
+        assert_eq!(c.peek(), None);
+    }
+
+    #[test]
+    fn forget_below_preserves_position() {
+        let mut c = StreamCursor::new(1);
+        c.extend(vec![1, 2, 3, 4, 5], 6);
+        c.advance();
+        c.advance();
+        c.advance(); // next points at 4
+        c.forget_below(3);
+        assert_eq!(c.offsets(), &[3, 4, 5]);
+        assert_eq!(c.peek(), Some(4));
+    }
+}

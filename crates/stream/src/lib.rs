@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! Streams over the CORFU shared log (§5 of the Tango paper).
+//!
+//! A stream is the subsequence of log entries tagged with a stream id. Each
+//! Tango object lives on its own stream, which is what lets a client
+//! selectively consume only the objects it hosts ("layered partitioning",
+//! §4) instead of playing the whole log.
+//!
+//! Stream membership is materialized client-side as a linked list of
+//! offsets, reconstructed lazily from the per-entry backpointer headers: the
+//! sequencer reports the last K offsets issued for a stream, and the client
+//! strides backward through entry headers (N/K reads for N entries) until it
+//! reconnects with what it already knows. Junk entries — holes patched after
+//! a client crash — carry no headers and break the chain; the client then
+//! falls back to a backward linear scan, exactly as described in the paper.
+//!
+//! [`StreamClient::sync`] brings a stream's linked list up to date and must
+//! be called before [`StreamClient::readnext`] for linearizable semantics;
+//! [`StreamClient::multiappend`] appends one entry to several streams
+//! atomically (it occupies a single log position).
+
+mod cache;
+mod client;
+mod cursor;
+
+pub use cache::EntryCache;
+pub use client::{StreamClient, StreamConfig};
+pub use cursor::StreamCursor;
+
+pub use corfu::{EntryEnvelope, LogOffset, StreamId};

@@ -1,0 +1,235 @@
+//! End-to-end tests of the streaming layer over an in-process CORFU cluster.
+
+use bytes::Bytes;
+use corfu::cluster::{ClusterConfig, LocalCluster};
+use corfu::StreamId;
+use corfu_stream::StreamClient;
+
+fn payload(i: u64) -> Bytes {
+    Bytes::from(format!("p{i}").into_bytes())
+}
+
+fn cluster_with_client() -> (LocalCluster, StreamClient) {
+    let cluster = LocalCluster::new(ClusterConfig::default());
+    let client = StreamClient::new(cluster.client().unwrap());
+    (cluster, client)
+}
+
+/// Plays a stream to its synced end, returning (offset, payload) pairs.
+fn drain(client: &StreamClient, stream: StreamId) -> Vec<(u64, Bytes)> {
+    let mut out = Vec::new();
+    while let Some((off, entry)) = client.readnext(stream).unwrap() {
+        out.push((off, entry.payload.clone()));
+    }
+    out
+}
+
+#[test]
+fn single_stream_playback_in_order() {
+    let (_cluster, client) = cluster_with_client();
+    client.open(1);
+    let mut expected = Vec::new();
+    for i in 0..20 {
+        let off = client.multiappend(&[1], payload(i)).unwrap();
+        expected.push((off, payload(i)));
+    }
+    client.sync(&[1]).unwrap();
+    assert_eq!(drain(&client, 1), expected);
+    // Nothing more until new appends + sync.
+    assert!(client.readnext(1).unwrap().is_none());
+}
+
+#[test]
+fn interleaved_streams_are_filtered() {
+    let (_cluster, client) = cluster_with_client();
+    client.open(1);
+    client.open(2);
+    let mut exp1 = Vec::new();
+    let mut exp2 = Vec::new();
+    for i in 0..30 {
+        let stream = if i % 3 == 0 { 1 } else { 2 };
+        let off = client.multiappend(&[stream], payload(i)).unwrap();
+        if stream == 1 {
+            exp1.push((off, payload(i)));
+        } else {
+            exp2.push((off, payload(i)));
+        }
+    }
+    client.sync(&[1, 2]).unwrap();
+    assert_eq!(drain(&client, 1), exp1);
+    assert_eq!(drain(&client, 2), exp2);
+}
+
+#[test]
+fn multiappend_appears_in_every_stream() {
+    let (_cluster, client) = cluster_with_client();
+    client.open(1);
+    client.open(2);
+    client.multiappend(&[1], payload(0)).unwrap();
+    let shared = client.multiappend(&[1, 2], payload(1)).unwrap();
+    client.multiappend(&[2], payload(2)).unwrap();
+    client.sync(&[1, 2]).unwrap();
+    let s1 = drain(&client, 1);
+    let s2 = drain(&client, 2);
+    assert!(s1.iter().any(|(off, _)| *off == shared));
+    assert!(s2.iter().any(|(off, _)| *off == shared));
+    // It occupies a single log position: same offset in both streams.
+    assert_eq!(s1.last().unwrap().0, shared);
+    assert_eq!(s2.first().unwrap().0, shared);
+}
+
+#[test]
+fn reader_sees_writes_from_other_clients() {
+    let (cluster, writer) = cluster_with_client();
+    let reader = StreamClient::new(cluster.client().unwrap());
+    reader.open(5);
+    for i in 0..10 {
+        writer.multiappend(&[5], payload(i)).unwrap();
+    }
+    reader.sync(&[5]).unwrap();
+    let got = drain(&reader, 5);
+    assert_eq!(got.len(), 10);
+    assert_eq!(got[3].1, payload(3));
+    // Incremental: more writes, another sync.
+    for i in 10..15 {
+        writer.multiappend(&[5], payload(i)).unwrap();
+    }
+    reader.sync(&[5]).unwrap();
+    let more = drain(&reader, 5);
+    assert_eq!(more.len(), 5);
+    assert_eq!(more[0].1, payload(10));
+}
+
+#[test]
+fn backward_reconstruction_beyond_k() {
+    // Write far more entries than K=4 between syncs; the reader must stride
+    // backward through headers to rebuild the full list.
+    let (cluster, writer) = cluster_with_client();
+    let reader = StreamClient::new(cluster.client().unwrap());
+    reader.open(9);
+    for i in 0..200 {
+        writer.multiappend(&[9], payload(i)).unwrap();
+    }
+    reader.sync(&[9]).unwrap();
+    let got = drain(&reader, 9);
+    assert_eq!(got.len(), 200);
+    for (i, (_, p)) in got.iter().enumerate() {
+        assert_eq!(*p, payload(i as u64));
+    }
+}
+
+#[test]
+fn junk_in_chain_falls_back_to_scan() {
+    let (cluster, writer) = cluster_with_client();
+    // Interleave entries of stream 3 with reserved-but-never-written tokens
+    // for the same stream; fill the holes; a late reader must still recover
+    // every real entry.
+    let raw = cluster.client().unwrap();
+    let mut real = Vec::new();
+    for i in 0..20 {
+        if i % 5 == 4 {
+            // Crash simulation: token issued for stream 3, never written.
+            let tok = raw.token(&[3]).unwrap();
+            raw.fill(tok.offset).unwrap();
+        } else {
+            let off = writer.multiappend(&[3], payload(i)).unwrap();
+            real.push((off, payload(i)));
+        }
+    }
+    let reader = StreamClient::new(cluster.client().unwrap());
+    reader.open(3);
+    reader.sync(&[3]).unwrap();
+    assert_eq!(drain(&reader, 3), real);
+}
+
+#[test]
+fn junk_at_stream_tail_is_skipped() {
+    let (cluster, writer) = cluster_with_client();
+    let raw = cluster.client().unwrap();
+    writer.multiappend(&[4], payload(0)).unwrap();
+    // The most recent issued offset for the stream is junk.
+    let tok = raw.token(&[4]).unwrap();
+    raw.fill(tok.offset).unwrap();
+    let reader = StreamClient::new(cluster.client().unwrap());
+    reader.open(4);
+    reader.sync(&[4]).unwrap();
+    let got = drain(&reader, 4);
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].1, payload(0));
+}
+
+#[test]
+fn sync_many_streams_single_round_trip() {
+    let (_cluster, client) = cluster_with_client();
+    for s in 1..=8 {
+        client.open(s);
+        client.multiappend(&[s], payload(s as u64)).unwrap();
+    }
+    let tail = client.sync(&[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+    assert_eq!(tail, 8);
+    for s in 1..=8 {
+        let got = drain(&client, s);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, payload(s as u64));
+    }
+}
+
+#[test]
+fn seek_supports_replay_and_skip() {
+    let (_cluster, client) = cluster_with_client();
+    client.open(1);
+    let mut offs = Vec::new();
+    for i in 0..10 {
+        offs.push(client.multiappend(&[1], payload(i)).unwrap());
+    }
+    client.sync(&[1]).unwrap();
+    drain(&client, 1);
+    // Rewind to the 5th entry and replay.
+    client.seek(1, offs[5]);
+    let replay = drain(&client, 1);
+    assert_eq!(replay.len(), 5);
+    assert_eq!(replay[0].1, payload(5));
+}
+
+#[test]
+fn forget_below_releases_state() {
+    let (_cluster, client) = cluster_with_client();
+    client.open(1);
+    let mut offs = Vec::new();
+    for i in 0..10 {
+        offs.push(client.multiappend(&[1], payload(i)).unwrap());
+    }
+    client.sync(&[1]).unwrap();
+    drain(&client, 1);
+    client.forget_below(1, offs[6]);
+    assert_eq!(client.known_offsets(1), offs[6..].to_vec());
+}
+
+#[test]
+fn appender_does_not_need_to_play_the_stream() {
+    // Remote writes (§4.1 case A): a client can append to a stream it never
+    // opened or synced.
+    let (cluster, producer) = cluster_with_client();
+    let consumer = StreamClient::new(cluster.client().unwrap());
+    consumer.open(7);
+    producer.multiappend(&[7], payload(1)).unwrap();
+    consumer.sync(&[7]).unwrap();
+    assert_eq!(drain(&consumer, 7).len(), 1);
+}
+
+#[test]
+fn cache_avoids_refetching_multiappend_entries() {
+    let (_cluster, client) = cluster_with_client();
+    client.open(1);
+    client.open(2);
+    for i in 0..10 {
+        client.multiappend(&[1, 2], payload(i)).unwrap();
+    }
+    client.sync(&[1, 2]).unwrap();
+    drain(&client, 1);
+    drain(&client, 2);
+    let (hits, misses) = client.cache_stats();
+    // Every playback fetch should hit the append-seeded cache.
+    assert_eq!(misses, 0, "hits={hits} misses={misses}");
+    assert!(hits >= 20);
+}

@@ -1,0 +1,53 @@
+use std::sync::Arc;
+
+use tango_rpc::{ClientConn, LocalConn};
+
+use crate::node::TwoPlNode;
+use crate::oracle::TimestampOracle;
+use crate::txn::TwoPlClient;
+
+/// An in-process 2PL deployment: N partition nodes plus the oracle.
+pub struct LocalTwoPlCluster {
+    oracle: Arc<TimestampOracle>,
+    nodes: Vec<Arc<TwoPlNode>>,
+}
+
+impl LocalTwoPlCluster {
+    /// Creates a cluster with `partitions` nodes.
+    pub fn new(partitions: usize) -> Self {
+        Self {
+            oracle: Arc::new(TimestampOracle::new()),
+            nodes: (0..partitions).map(|_| Arc::new(TwoPlNode::new())).collect(),
+        }
+    }
+
+    /// Creates a coordinator for `client_id`.
+    pub fn client(&self, client_id: u64) -> TwoPlClient {
+        let oracle: Arc<dyn ClientConn> =
+            Arc::new(LocalConn::new(Arc::clone(&self.oracle) as Arc<dyn tango_rpc::RpcHandler>));
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| {
+                Arc::new(LocalConn::new(Arc::clone(n) as Arc<dyn tango_rpc::RpcHandler>))
+                    as Arc<dyn ClientConn>
+            })
+            .collect();
+        TwoPlClient::new(client_id, oracle, nodes)
+    }
+
+    /// Direct access to a partition (for invariant checks).
+    pub fn node(&self, idx: usize) -> &Arc<TwoPlNode> {
+        &self.nodes[idx]
+    }
+
+    /// Total locks currently held across the cluster.
+    pub fn held_locks(&self) -> usize {
+        self.nodes.iter().map(|n| n.held_locks()).sum()
+    }
+
+    /// The oracle (for issued-timestamp accounting).
+    pub fn oracle(&self) -> &Arc<TimestampOracle> {
+        &self.oracle
+    }
+}

@@ -1,0 +1,78 @@
+#![warn(missing_docs)]
+//! The distributed two-phase-locking baseline of §6.2 (Figure 10, middle).
+//!
+//! The paper compares Tango's cross-partition transactions against "a
+//! simple, distributed 2-phase locking protocol … similar to that used by
+//! Percolator, except that it implements serializability instead of
+//! snapshot isolation". This crate implements that protocol faithfully:
+//!
+//! * a centralized [`TimestampOracle`] (the Percolator timestamp server —
+//!   the paper reuses its sequencer for this role);
+//! * per-client partitions of a keyed store, each with an exclusive lock
+//!   table ([`TwoPlNode`]);
+//! * a coordinator ([`TwoPlClient`]) that on `EndTX-2PL` (1) acquires a
+//!   timestamp, (2) locks and validates its read set, (3) acquires write
+//!   locks from the owning clients, checking for write-write conflicts
+//!   against the returned versions, and (4) commits by updating items and
+//!   versions and unlocking — retrying with a fresh timestamp on any
+//!   conflict.
+//!
+//! Deadlock is avoided with try-locks plus sorted lock acquisition; a
+//! failed lock aborts and retries, which is also how the paper's version
+//! behaves ("the transaction unlocks all items and retries with a new
+//! sequence number").
+
+mod cluster;
+mod node;
+mod oracle;
+mod proto;
+mod txn;
+
+pub use cluster::LocalTwoPlCluster;
+pub use node::TwoPlNode;
+pub use oracle::TimestampOracle;
+pub use txn::{TwoPlClient, TxOutcome};
+
+/// Keys are plain integers; ownership is `key % num_partitions`.
+pub type Key = u64;
+
+/// Values are integers (benchmark-oriented, like the paper's maps).
+pub type Value = i64;
+
+/// Transaction identifiers: (client id, local sequence).
+pub type TxnId = u128;
+
+/// Errors surfaced by the 2PL stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TwoPlError {
+    /// Transport failure.
+    Rpc(String),
+    /// Malformed message.
+    Codec(String),
+}
+
+impl std::fmt::Display for TwoPlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TwoPlError::Rpc(e) => write!(f, "rpc failure: {e}"),
+            TwoPlError::Codec(e) => write!(f, "codec failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TwoPlError {}
+
+impl From<tango_rpc::RpcError> for TwoPlError {
+    fn from(e: tango_rpc::RpcError) -> Self {
+        TwoPlError::Rpc(e.to_string())
+    }
+}
+
+impl From<tango_wire::WireError> for TwoPlError {
+    fn from(e: tango_wire::WireError) -> Self {
+        TwoPlError::Codec(e.to_string())
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, TwoPlError>;

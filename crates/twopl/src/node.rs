@@ -1,0 +1,146 @@
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use tango_rpc::RpcHandler;
+use tango_wire::{decode_from_slice, encode_to_vec};
+
+use crate::proto::{NodeRequest, NodeResponse};
+use crate::{Key, TxnId, Value};
+
+#[derive(Default)]
+struct NodeState {
+    /// key -> (version, value); versions are committing timestamps.
+    store: HashMap<Key, (u64, Value)>,
+    /// Exclusive try-locks: key -> holder.
+    locks: HashMap<Key, TxnId>,
+}
+
+/// One partition of the 2PL store: a versioned key-value map plus an
+/// exclusive lock table. In the paper's experiment each client hosts one
+/// partition and coordinators reach the others over the network.
+#[derive(Default)]
+pub struct TwoPlNode {
+    state: Mutex<NodeState>,
+}
+
+impl TwoPlNode {
+    /// Creates an empty partition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Processes one decoded request.
+    pub fn process(&self, req: NodeRequest) -> NodeResponse {
+        let mut s = self.state.lock();
+        match req {
+            NodeRequest::Read { key } => {
+                let (version, value) = s.store.get(&key).copied().unwrap_or((0, 0));
+                NodeResponse::Value(value, version)
+            }
+            NodeRequest::LockRead { key, txn, observed_version } => {
+                match s.locks.get(&key) {
+                    Some(&holder) if holder != txn => return NodeResponse::Busy,
+                    _ => {}
+                }
+                let current = s.store.get(&key).map(|&(v, _)| v).unwrap_or(0);
+                if current != observed_version {
+                    return NodeResponse::Changed;
+                }
+                s.locks.insert(key, txn);
+                NodeResponse::Locked { version: current }
+            }
+            NodeRequest::LockWrite { key, txn } => {
+                match s.locks.get(&key) {
+                    Some(&holder) if holder != txn => return NodeResponse::Busy,
+                    _ => {}
+                }
+                s.locks.insert(key, txn);
+                let version = s.store.get(&key).map(|&(v, _)| v).unwrap_or(0);
+                NodeResponse::Locked { version }
+            }
+            NodeRequest::CommitWrite { key, value, timestamp, txn } => {
+                if s.locks.get(&key) != Some(&txn) {
+                    return NodeResponse::NotHeld;
+                }
+                s.store.insert(key, (timestamp, value));
+                s.locks.remove(&key);
+                NodeResponse::Ok
+            }
+            NodeRequest::Unlock { key, txn } => {
+                if s.locks.get(&key) == Some(&txn) {
+                    s.locks.remove(&key);
+                }
+                NodeResponse::Ok
+            }
+        }
+    }
+
+    /// Direct read for tests and invariant checks.
+    pub fn peek(&self, key: Key) -> (u64, Value) {
+        self.state.lock().store.get(&key).copied().unwrap_or((0, 0))
+    }
+
+    /// Number of currently held locks (should drain to zero at quiescence).
+    pub fn held_locks(&self) -> usize {
+        self.state.lock().locks.len()
+    }
+}
+
+impl RpcHandler for TwoPlNode {
+    fn handle(&self, request: &[u8]) -> Vec<u8> {
+        let response = match decode_from_slice::<NodeRequest>(request) {
+            Ok(req) => self.process(req),
+            Err(_) => NodeResponse::NotHeld,
+        };
+        encode_to_vec(&response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_conflicts_and_reentrancy() {
+        let node = TwoPlNode::new();
+        assert_eq!(node.process(NodeRequest::LockWrite { key: 1, txn: 10 }), NodeResponse::Locked { version: 0 });
+        // Reentrant for the same txn; busy for others.
+        assert_eq!(node.process(NodeRequest::LockWrite { key: 1, txn: 10 }), NodeResponse::Locked { version: 0 });
+        assert_eq!(node.process(NodeRequest::LockWrite { key: 1, txn: 11 }), NodeResponse::Busy);
+        assert_eq!(node.process(NodeRequest::Unlock { key: 1, txn: 10 }), NodeResponse::Ok);
+        assert_eq!(node.process(NodeRequest::LockWrite { key: 1, txn: 11 }), NodeResponse::Locked { version: 0 });
+    }
+
+    #[test]
+    fn read_validation() {
+        let node = TwoPlNode::new();
+        // Initial state: version 0.
+        assert_eq!(
+            node.process(NodeRequest::LockRead { key: 2, txn: 1, observed_version: 0 }),
+            NodeResponse::Locked { version: 0 }
+        );
+        node.process(NodeRequest::Unlock { key: 2, txn: 1 });
+        // Commit a write at ts 50.
+        node.process(NodeRequest::LockWrite { key: 2, txn: 1 });
+        node.process(NodeRequest::CommitWrite { key: 2, value: 9, timestamp: 50, txn: 1 });
+        // A stale observation now fails validation.
+        assert_eq!(
+            node.process(NodeRequest::LockRead { key: 2, txn: 2, observed_version: 0 }),
+            NodeResponse::Changed
+        );
+        assert_eq!(
+            node.process(NodeRequest::LockRead { key: 2, txn: 2, observed_version: 50 }),
+            NodeResponse::Locked { version: 50 }
+        );
+    }
+
+    #[test]
+    fn commit_requires_lock() {
+        let node = TwoPlNode::new();
+        assert_eq!(
+            node.process(NodeRequest::CommitWrite { key: 3, value: 1, timestamp: 5, txn: 9 }),
+            NodeResponse::NotHeld
+        );
+        assert_eq!(node.peek(3), (0, 0));
+    }
+}

@@ -1,0 +1,49 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tango_rpc::RpcHandler;
+
+/// The centralized timestamp oracle (Percolator's timestamp server; the
+/// paper runs this role on its sequencer machine).
+///
+/// Request body is ignored; the response is the next 8-byte timestamp.
+#[derive(Debug, Default)]
+pub struct TimestampOracle {
+    next: AtomicU64,
+}
+
+impl TimestampOracle {
+    /// Creates an oracle starting at timestamp 1.
+    pub fn new() -> Self {
+        Self { next: AtomicU64::new(1) }
+    }
+
+    /// Issues the next timestamp.
+    pub fn issue(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Timestamps issued so far.
+    pub fn issued(&self) -> u64 {
+        self.next.load(Ordering::Relaxed) - 1
+    }
+}
+
+impl RpcHandler for TimestampOracle {
+    fn handle(&self, _request: &[u8]) -> Vec<u8> {
+        self.issue().to_le_bytes().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamps_are_unique_and_monotonic() {
+        let oracle = TimestampOracle::new();
+        let a = oracle.issue();
+        let b = oracle.issue();
+        assert!(b > a);
+        assert_eq!(oracle.issued(), 2);
+    }
+}

@@ -1,0 +1,203 @@
+//! Wire messages between 2PL coordinators and partition nodes.
+
+use tango_wire::{Decode, Encode, Reader, Writer, WireError};
+
+use crate::{Key, TxnId, Value};
+
+fn put_txn(w: &mut Writer, t: TxnId) {
+    w.put_u64((t >> 64) as u64);
+    w.put_u64(t as u64);
+}
+
+fn get_txn(r: &mut Reader<'_>) -> tango_wire::Result<TxnId> {
+    let hi = r.get_u64()? as u128;
+    let lo = r.get_u64()? as u128;
+    Ok((hi << 64) | lo)
+}
+
+/// Requests a partition node accepts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeRequest {
+    /// Unlocked read of a key's value and version.
+    Read {
+        /// The key.
+        key: Key,
+    },
+    /// Acquire an exclusive lock for a read-set item, validating that the
+    /// version still matches the one observed at read time.
+    LockRead {
+        /// The key.
+        key: Key,
+        /// The locking transaction.
+        txn: TxnId,
+        /// The version the coordinator observed when it read the key.
+        observed_version: u64,
+    },
+    /// Acquire an exclusive lock for a write-set item; returns the current
+    /// version so the coordinator can detect write-write conflicts.
+    LockWrite {
+        /// The key.
+        key: Key,
+        /// The locking transaction.
+        txn: TxnId,
+    },
+    /// Apply a committed write and release the lock.
+    CommitWrite {
+        /// The key.
+        key: Key,
+        /// The new value.
+        value: Value,
+        /// The committing transaction's timestamp (becomes the version).
+        timestamp: u64,
+        /// The lock holder.
+        txn: TxnId,
+    },
+    /// Release a lock without writing (abort path, and read-lock release).
+    Unlock {
+        /// The key.
+        key: Key,
+        /// The lock holder.
+        txn: TxnId,
+    },
+}
+
+/// Responses from a partition node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeResponse {
+    /// Read result: (value, version). Missing keys read as (0, 0).
+    Value(Value, u64),
+    /// Lock granted; for write locks carries the current version.
+    Locked {
+        /// Current version of the key.
+        version: u64,
+    },
+    /// Lock held by another transaction.
+    Busy,
+    /// Read validation failed: the key changed since it was read.
+    Changed,
+    /// Commit/unlock acknowledged.
+    Ok,
+    /// The requester does not hold the lock it tried to use.
+    NotHeld,
+}
+
+impl Encode for NodeRequest {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            NodeRequest::Read { key } => {
+                w.put_u8(0);
+                w.put_u64(*key);
+            }
+            NodeRequest::LockRead { key, txn, observed_version } => {
+                w.put_u8(1);
+                w.put_u64(*key);
+                put_txn(w, *txn);
+                w.put_u64(*observed_version);
+            }
+            NodeRequest::LockWrite { key, txn } => {
+                w.put_u8(2);
+                w.put_u64(*key);
+                put_txn(w, *txn);
+            }
+            NodeRequest::CommitWrite { key, value, timestamp, txn } => {
+                w.put_u8(3);
+                w.put_u64(*key);
+                w.put_i64(*value);
+                w.put_u64(*timestamp);
+                put_txn(w, *txn);
+            }
+            NodeRequest::Unlock { key, txn } => {
+                w.put_u8(4);
+                w.put_u64(*key);
+                put_txn(w, *txn);
+            }
+        }
+    }
+}
+
+impl Decode for NodeRequest {
+    fn decode(r: &mut Reader<'_>) -> tango_wire::Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(NodeRequest::Read { key: r.get_u64()? }),
+            1 => Ok(NodeRequest::LockRead {
+                key: r.get_u64()?,
+                txn: get_txn(r)?,
+                observed_version: r.get_u64()?,
+            }),
+            2 => Ok(NodeRequest::LockWrite { key: r.get_u64()?, txn: get_txn(r)? }),
+            3 => Ok(NodeRequest::CommitWrite {
+                key: r.get_u64()?,
+                value: r.get_i64()?,
+                timestamp: r.get_u64()?,
+                txn: get_txn(r)?,
+            }),
+            4 => Ok(NodeRequest::Unlock { key: r.get_u64()?, txn: get_txn(r)? }),
+            tag => Err(WireError::InvalidTag { what: "NodeRequest", tag: tag as u64 }),
+        }
+    }
+}
+
+impl Encode for NodeResponse {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            NodeResponse::Value(v, ver) => {
+                w.put_u8(0);
+                w.put_i64(*v);
+                w.put_u64(*ver);
+            }
+            NodeResponse::Locked { version } => {
+                w.put_u8(1);
+                w.put_u64(*version);
+            }
+            NodeResponse::Busy => w.put_u8(2),
+            NodeResponse::Changed => w.put_u8(3),
+            NodeResponse::Ok => w.put_u8(4),
+            NodeResponse::NotHeld => w.put_u8(5),
+        }
+    }
+}
+
+impl Decode for NodeResponse {
+    fn decode(r: &mut Reader<'_>) -> tango_wire::Result<Self> {
+        match r.get_u8()? {
+            0 => Ok(NodeResponse::Value(r.get_i64()?, r.get_u64()?)),
+            1 => Ok(NodeResponse::Locked { version: r.get_u64()? }),
+            2 => Ok(NodeResponse::Busy),
+            3 => Ok(NodeResponse::Changed),
+            4 => Ok(NodeResponse::Ok),
+            5 => Ok(NodeResponse::NotHeld),
+            tag => Err(WireError::InvalidTag { what: "NodeResponse", tag: tag as u64 }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_wire::{decode_from_slice, encode_to_vec};
+
+    #[test]
+    fn messages_roundtrip() {
+        let reqs = vec![
+            NodeRequest::Read { key: 5 },
+            NodeRequest::LockRead { key: 5, txn: u128::MAX - 3, observed_version: 9 },
+            NodeRequest::LockWrite { key: 5, txn: 1 },
+            NodeRequest::CommitWrite { key: 5, value: -7, timestamp: 100, txn: 1 },
+            NodeRequest::Unlock { key: 5, txn: 1 },
+        ];
+        for m in reqs {
+            assert_eq!(decode_from_slice::<NodeRequest>(&encode_to_vec(&m)).unwrap(), m);
+        }
+        let resps = vec![
+            NodeResponse::Value(-1, 2),
+            NodeResponse::Locked { version: 3 },
+            NodeResponse::Busy,
+            NodeResponse::Changed,
+            NodeResponse::Ok,
+            NodeResponse::NotHeld,
+        ];
+        for m in resps {
+            assert_eq!(decode_from_slice::<NodeResponse>(&encode_to_vec(&m)).unwrap(), m);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tango_rpc::ClientConn;
+use tango_wire::{decode_from_slice, encode_to_vec};
+
+use crate::proto::{NodeRequest, NodeResponse};
+use crate::{Key, Result, TwoPlError, TxnId, Value};
+
+/// Outcome of one `commit` attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// All locks acquired and validated; writes applied.
+    Committed,
+    /// A lock was busy or a validation failed; nothing applied. The caller
+    /// retries with a fresh read phase.
+    Aborted,
+}
+
+/// A 2PL transaction coordinator (one per client).
+pub struct TwoPlClient {
+    client_id: u64,
+    seq: AtomicU64,
+    oracle: Arc<dyn ClientConn>,
+    nodes: Vec<Arc<dyn ClientConn>>,
+}
+
+/// An in-progress transaction: observed reads and buffered writes.
+#[derive(Debug, Default)]
+pub struct TwoPlTxn {
+    reads: Vec<(Key, u64)>, // key, observed version
+    writes: Vec<(Key, Value)>,
+}
+
+impl TwoPlTxn {
+    /// Buffers a write.
+    pub fn write(&mut self, key: Key, value: Value) {
+        self.writes.retain(|(k, _)| *k != key);
+        self.writes.push((key, value));
+    }
+}
+
+impl TwoPlClient {
+    /// Creates a coordinator over connections to every partition node (in
+    /// partition-id order) and to the timestamp oracle.
+    pub fn new(
+        client_id: u64,
+        oracle: Arc<dyn ClientConn>,
+        nodes: Vec<Arc<dyn ClientConn>>,
+    ) -> Self {
+        assert!(!nodes.is_empty(), "at least one partition required");
+        Self { client_id, seq: AtomicU64::new(1), oracle, nodes }
+    }
+
+    /// The partition owning `key`.
+    pub fn owner_of(&self, key: Key) -> usize {
+        (key % self.nodes.len() as u64) as usize
+    }
+
+    fn call(&self, node: usize, req: &NodeRequest) -> Result<NodeResponse> {
+        let resp = self.nodes[node].call(&encode_to_vec(req))?;
+        Ok(decode_from_slice(&resp)?)
+    }
+
+    fn timestamp(&self) -> Result<u64> {
+        let resp = self.oracle.call(&[])?;
+        let bytes: [u8; 8] = resp
+            .as_slice()
+            .try_into()
+            .map_err(|_| TwoPlError::Codec("bad oracle response".into()))?;
+        Ok(u64::from_le_bytes(bytes))
+    }
+
+    /// Begins a transaction.
+    pub fn begin(&self) -> TwoPlTxn {
+        TwoPlTxn::default()
+    }
+
+    /// Reads a key through its owner, recording the observed version.
+    pub fn read(&self, txn: &mut TwoPlTxn, key: Key) -> Result<Value> {
+        // Read-your-writes from the buffer first.
+        if let Some(&(_, v)) = txn.writes.iter().find(|(k, _)| *k == key) {
+            return Ok(v);
+        }
+        let owner = self.owner_of(key);
+        match self.call(owner, &NodeRequest::Read { key })? {
+            NodeResponse::Value(value, version) => {
+                if !txn.reads.iter().any(|(k, _)| *k == key) {
+                    txn.reads.push((key, version));
+                }
+                Ok(value)
+            }
+            other => Err(TwoPlError::Codec(format!("unexpected read response {other:?}"))),
+        }
+    }
+
+    /// The paper's `EndTX-2PL`: timestamp, read-set locks + validation,
+    /// write-set locks + write-write conflict check, then commit.
+    pub fn commit(&self, txn: TwoPlTxn) -> Result<TxOutcome> {
+        let txid: TxnId =
+            ((self.client_id as u128) << 64) | self.seq.fetch_add(1, Ordering::Relaxed) as u128;
+        let timestamp = self.timestamp()?;
+
+        // Deterministic global lock order prevents deadlock outright; the
+        // try-lock Busy path handles the rest.
+        let mut lock_plan: Vec<(Key, Option<u64>)> = Vec::new();
+        for &(key, ver) in &txn.reads {
+            if !txn.writes.iter().any(|(k, _)| *k == key) {
+                lock_plan.push((key, Some(ver)));
+            }
+        }
+        for &(key, _) in &txn.writes {
+            lock_plan.push((key, None));
+        }
+        lock_plan.sort_by_key(|&(k, _)| k);
+        lock_plan.dedup_by_key(|&mut (k, _)| k);
+
+        let mut held: Vec<Key> = Vec::new();
+        let mut conflict = false;
+        for &(key, read_validation) in &lock_plan {
+            let owner = self.owner_of(key);
+            let resp = match read_validation {
+                Some(observed_version) => self.call(
+                    owner,
+                    &NodeRequest::LockRead { key, txn: txid, observed_version },
+                )?,
+                None => self.call(owner, &NodeRequest::LockWrite { key, txn: txid })?,
+            };
+            match resp {
+                NodeResponse::Locked { version } => {
+                    held.push(key);
+                    // Write-write conflict: someone committed this key with
+                    // a timestamp newer than ours.
+                    if read_validation.is_none() && version > timestamp {
+                        conflict = true;
+                        break;
+                    }
+                    // For writes that were also read, validate here.
+                    if read_validation.is_none() {
+                        if let Some(&(_, observed)) =
+                            txn.reads.iter().find(|(k, _)| *k == key)
+                        {
+                            if observed != version {
+                                conflict = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                NodeResponse::Busy | NodeResponse::Changed => {
+                    conflict = true;
+                    break;
+                }
+                other => {
+                    self.unlock_all(&held, txid)?;
+                    return Err(TwoPlError::Codec(format!("unexpected lock response {other:?}")));
+                }
+            }
+        }
+
+        if conflict {
+            self.unlock_all(&held, txid)?;
+            return Ok(TxOutcome::Aborted);
+        }
+
+        // Commit phase: apply writes (which releases their locks), then
+        // drop the pure read locks.
+        for &(key, value) in &txn.writes {
+            let owner = self.owner_of(key);
+            match self.call(owner, &NodeRequest::CommitWrite { key, value, timestamp, txn: txid })? {
+                NodeResponse::Ok => {}
+                other => {
+                    return Err(TwoPlError::Codec(format!(
+                        "unexpected commit response {other:?}"
+                    )))
+                }
+            }
+        }
+        let written: Vec<Key> = txn.writes.iter().map(|&(k, _)| k).collect();
+        let read_only_locks: Vec<Key> =
+            held.into_iter().filter(|k| !written.contains(k)).collect();
+        self.unlock_all(&read_only_locks, txid)?;
+        Ok(TxOutcome::Committed)
+    }
+
+    fn unlock_all(&self, keys: &[Key], txid: TxnId) -> Result<()> {
+        for &key in keys {
+            let owner = self.owner_of(key);
+            self.call(owner, &NodeRequest::Unlock { key, txn: txid })?;
+        }
+        Ok(())
+    }
+
+    /// Runs a read-modify-write transaction body until it commits,
+    /// returning the number of aborts endured.
+    pub fn run_until_committed(
+        &self,
+        mut body: impl FnMut(&Self, &mut TwoPlTxn) -> Result<()>,
+    ) -> Result<u64> {
+        let mut aborts = 0;
+        loop {
+            let mut txn = self.begin();
+            body(self, &mut txn)?;
+            match self.commit(txn)? {
+                TxOutcome::Committed => return Ok(aborts),
+                TxOutcome::Aborted => aborts += 1,
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! CRC-32C (Castagnoli), table-driven.
+//!
+//! Used to checksum flash page headers and TCP frames. The Castagnoli
+//! polynomial (0x1EDC6F41) is the one used by iSCSI, ext4 and most modern
+//! storage systems; we compute it reflected, which gives the conventional
+//! `0xE3069283` check value for `"123456789"`.
+
+/// The reflected Castagnoli polynomial.
+const POLY: u32 = 0x82F6_3B78;
+
+/// Lazily built 256-entry lookup table.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            }
+            *slot = crc;
+        }
+        t
+    })
+}
+
+/// Computes the CRC-32C of `data`.
+pub fn crc32c(data: &[u8]) -> u32 {
+    let t = table();
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ t[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32C check value.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+        // RFC 3720 appendix B.4 test vector: 32 bytes of zeros.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        // 32 bytes of 0xFF.
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let base = crc32c(data);
+        let mut corrupted = data.to_vec();
+        for byte in 0..corrupted.len() {
+            for bit in 0..8 {
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(crc32c(&corrupted), base, "flip at {byte}:{bit} undetected");
+                corrupted[byte] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -1,0 +1,54 @@
+use std::fmt;
+
+/// Errors produced while decoding wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the value was fully decoded.
+    Truncated {
+        /// Bytes needed to make progress.
+        needed: usize,
+        /// Bytes remaining in the input.
+        remaining: usize,
+    },
+    /// An enum tag byte had no corresponding variant.
+    InvalidTag {
+        /// The record type being decoded.
+        what: &'static str,
+        /// The offending tag value.
+        tag: u64,
+    },
+    /// A length-prefixed string was not valid UTF-8.
+    InvalidUtf8,
+    /// A varint was longer than the maximum encodable width.
+    VarintOverflow,
+    /// A declared length exceeded a sanity bound.
+    LengthOutOfRange {
+        /// The declared length.
+        declared: u64,
+        /// The maximum permitted.
+        max: u64,
+    },
+    /// A checksum did not match its payload.
+    ChecksumMismatch,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, remaining } => {
+                write!(f, "truncated input: needed {needed} bytes, {remaining} remaining")
+            }
+            WireError::InvalidTag { what, tag } => {
+                write!(f, "invalid tag {tag} while decoding {what}")
+            }
+            WireError::InvalidUtf8 => write!(f, "length-prefixed string is not valid UTF-8"),
+            WireError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            WireError::LengthOutOfRange { declared, max } => {
+                write!(f, "declared length {declared} exceeds bound {max}")
+            }
+            WireError::ChecksumMismatch => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

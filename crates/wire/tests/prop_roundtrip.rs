@@ -1,0 +1,62 @@
+//! Property tests: every encodable value round-trips, and arbitrary byte
+//! soup never panics the decoder.
+
+use proptest::prelude::*;
+use tango_wire::{decode_from_slice, encode_to_vec, Reader, Writer};
+
+proptest! {
+    #[test]
+    fn u64_roundtrip(v in any::<u64>()) {
+        let bytes = encode_to_vec(&v);
+        prop_assert_eq!(decode_from_slice::<u64>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let mut w = Writer::new();
+        w.put_varint(v);
+        let mut r = Reader::new(w.as_slice());
+        prop_assert_eq!(r.get_varint().unwrap(), v);
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn varint_is_minimal_length(v in any::<u64>()) {
+        let mut w = Writer::new();
+        w.put_varint(v);
+        let expected = if v == 0 { 1 } else { (64 - v.leading_zeros() as usize).div_ceil(7) };
+        prop_assert_eq!(w.len(), expected);
+    }
+
+    #[test]
+    fn string_roundtrip(s in ".*") {
+        let bytes = encode_to_vec(&s);
+        prop_assert_eq!(decode_from_slice::<String>(&bytes).unwrap(), s);
+    }
+
+    #[test]
+    fn vec_of_pairs_roundtrip(v in proptest::collection::vec((any::<u64>(), any::<u32>()), 0..64)) {
+        let bytes = encode_to_vec(&v);
+        prop_assert_eq!(decode_from_slice::<Vec<(u64, u32)>>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any of these may error, but none may panic.
+        let _ = decode_from_slice::<Vec<(u64, String)>>(&bytes);
+        let _ = decode_from_slice::<Option<Vec<u64>>>(&bytes);
+        let _ = decode_from_slice::<(String, Vec<u8>)>(&bytes);
+        let mut r = Reader::new(&bytes);
+        let _ = r.get_varint();
+        let _ = r.get_bytes();
+    }
+
+    #[test]
+    fn crc_differs_for_different_inputs(a in proptest::collection::vec(any::<u8>(), 1..64),
+                                        b in proptest::collection::vec(any::<u8>(), 1..64)) {
+        prop_assume!(a != b);
+        // Not a strict guarantee for a 32-bit CRC, but collisions in this
+        // space at proptest scale indicate an implementation bug.
+        prop_assert!(tango_wire::crc32c(&a) != tango_wire::crc32c(&b) || a == b);
+    }
+}

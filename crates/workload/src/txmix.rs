@@ -1,0 +1,111 @@
+use crate::{KeyDist, SplitMix64};
+
+/// A generated transaction: the keys it reads and the keys it writes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxSpec {
+    /// Keys read (distinct).
+    pub reads: Vec<u64>,
+    /// Keys written (distinct, disjoint from `reads` when possible).
+    pub writes: Vec<u64>,
+}
+
+/// Generates the paper's transaction shape: "each transaction reads three
+/// keys and writes three other keys to the map" (§6.2), with configurable
+/// counts and key distribution.
+#[derive(Debug, Clone)]
+pub struct TxMix {
+    dist: KeyDist,
+    reads_per_tx: usize,
+    writes_per_tx: usize,
+}
+
+impl TxMix {
+    /// The paper's 3-read / 3-write mix over `dist`.
+    pub fn paper(dist: KeyDist) -> Self {
+        Self { dist, reads_per_tx: 3, writes_per_tx: 3 }
+    }
+
+    /// A custom mix.
+    pub fn new(dist: KeyDist, reads_per_tx: usize, writes_per_tx: usize) -> Self {
+        Self { dist, reads_per_tx, writes_per_tx }
+    }
+
+    /// The key distribution in use.
+    pub fn dist(&self) -> &KeyDist {
+        &self.dist
+    }
+
+    /// Draws one transaction. Keys within each set are distinct; when the
+    /// key space is large enough the read and write sets are also disjoint
+    /// ("three keys and three *other* keys").
+    pub fn sample(&self, rng: &mut SplitMix64) -> TxSpec {
+        let want_distinct = self.reads_per_tx + self.writes_per_tx;
+        let n = self.dist.n();
+        let mut keys: Vec<u64> = Vec::with_capacity(want_distinct);
+        // With tiny key spaces full distinctness is impossible; cap the
+        // effort and allow overlap, matching how contention is *supposed*
+        // to rise as the key count shrinks.
+        let max_attempts = want_distinct * 20;
+        let mut attempts = 0;
+        while keys.len() < want_distinct && attempts < max_attempts {
+            attempts += 1;
+            let k = self.dist.sample(rng);
+            if !keys.contains(&k) {
+                keys.push(k);
+            }
+        }
+        while keys.len() < want_distinct {
+            keys.push(self.dist.sample(rng)); // Key space smaller than tx.
+        }
+        let _ = n;
+        let writes = keys.split_off(self.reads_per_tx);
+        TxSpec { reads: keys, writes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mix_shape() {
+        let mix = TxMix::paper(KeyDist::uniform(100_000));
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..100 {
+            let tx = mix.sample(&mut rng);
+            assert_eq!(tx.reads.len(), 3);
+            assert_eq!(tx.writes.len(), 3);
+            // Large key space: all six keys distinct.
+            let mut all = tx.reads.clone();
+            all.extend(&tx.writes);
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), 6);
+        }
+    }
+
+    #[test]
+    fn tiny_key_space_still_generates() {
+        let mix = TxMix::paper(KeyDist::uniform(2));
+        let mut rng = SplitMix64::new(1);
+        let tx = mix.sample(&mut rng);
+        assert_eq!(tx.reads.len(), 3);
+        assert_eq!(tx.writes.len(), 3);
+        assert!(tx.reads.iter().chain(&tx.writes).all(|&k| k < 2));
+    }
+
+    #[test]
+    fn zipf_mix_hits_hot_keys() {
+        let mix = TxMix::paper(KeyDist::zipf_ycsb(10));
+        let mut rng = SplitMix64::new(9);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            for k in mix.sample(&mut rng).reads {
+                counts[k as usize] += 1;
+            }
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max > min * 3, "zipf skew not visible: {counts:?}");
+    }
+}

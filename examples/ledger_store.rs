@@ -1,0 +1,67 @@
+//! TangoBK (§6.3): BookKeeper-style single-writer ledgers over the shared
+//! log, driving an HDFS-namenode-style edit log with failover — the
+//! substitution for the paper's HDFS test (see DESIGN.md).
+//!
+//! Run with: `cargo run --example ledger_store`
+
+use corfu::cluster::{ClusterConfig, LocalCluster};
+use tango::TangoRuntime;
+use tango_objects::bk::TangoBK;
+use tango_objects::zk::{CreateMode, TangoZK};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = LocalCluster::new(ClusterConfig::default());
+
+    // The primary "namenode": namespace in TangoZK, edit log in TangoBK.
+    let ledger_id;
+    {
+        let primary = TangoRuntime::new(cluster.client()?)?;
+        let namespace = TangoZK::open(&primary, "fs-namespace")?;
+        let editlog = TangoBK::open(&primary, "fs-editlog")?;
+        ledger_id = editlog.create_ledger()?;
+
+        namespace.create("/fs", b"", CreateMode::Persistent)?;
+        for i in 0..5 {
+            let path = format!("/fs/file-{i}");
+            namespace.create(&path, format!("blocks:{i}").as_bytes(), CreateMode::Persistent)?;
+            editlog.add_entry(ledger_id, format!("OP_ADD {path}").as_bytes())?;
+        }
+        println!(
+            "primary wrote {} files, edit log at entry {}",
+            namespace.get_children("/fs")?.len(),
+            editlog.last_add_confirmed(ledger_id)?
+        );
+        // Primary crashes here (dropped without any shutdown protocol).
+    }
+
+    // The backup takes over: fence the old writer, replay state.
+    let backup = TangoRuntime::new(cluster.client()?)?;
+    let namespace = TangoZK::open(&backup, "fs-namespace")?;
+    let editlog = TangoBK::open(&backup, "fs-editlog")?;
+    editlog.fence(ledger_id)?;
+    println!(
+        "backup recovered {} files; last edit: {:?}",
+        namespace.get_children("/fs")?.len(),
+        String::from_utf8(
+            editlog
+                .read_entry(ledger_id, editlog.last_add_confirmed(ledger_id)? as u64)?
+                .to_vec()
+        )?
+    );
+
+    // The backup continues the edit log as the new single writer.
+    namespace.create("/fs/file-after-failover", b"", CreateMode::Persistent)?;
+    editlog.add_entry(ledger_id, b"OP_ADD /fs/file-after-failover")?;
+    editlog.close(ledger_id)?;
+    println!(
+        "backup appended and closed the ledger at entry {}",
+        editlog.last_add_confirmed(ledger_id)?
+    );
+
+    // Replaying the whole edit log from the shared log.
+    let last = editlog.last_add_confirmed(ledger_id)? as u64;
+    for (i, entry) in editlog.read_entries(ledger_id, 0, last)?.iter().enumerate() {
+        println!("edit {i}: {}", std::str::from_utf8(entry)?);
+    }
+    Ok(())
+}

@@ -1,0 +1,1 @@
+//! Shared helpers for the workspace integration tests and examples.
