@@ -14,15 +14,9 @@ fn bench_wire(c: &mut Criterion) {
     let mut group = c.benchmark_group("wire");
     let record = tango::LogRecord::Commit {
         txid: tango::TxId { client: 7, seq: 9 },
-        reads: (0..3)
-            .map(|i| tango::ReadKey { oid: 1, key: Some(i), version: i * 10 })
-            .collect(),
+        reads: (0..3).map(|i| tango::ReadKey { oid: 1, key: Some(i), version: i * 10 }).collect(),
         updates: (0..3)
-            .map(|i| tango::UpdateRecord {
-                oid: 1,
-                key: Some(i),
-                data: Bytes::from(vec![0u8; 64]),
-            })
+            .map(|i| tango::UpdateRecord { oid: 1, key: Some(i), data: Bytes::from(vec![0u8; 64]) })
             .collect(),
         speculative: vec![],
         needs_decision: false,
@@ -69,8 +63,15 @@ fn bench_corfu(c: &mut Criterion) {
     let cluster = corfu::cluster::LocalCluster::new(corfu::cluster::ClusterConfig::default());
     let client = cluster.client().unwrap();
     let payload = Bytes::from(vec![1u8; 512]);
-    group.bench_function("append", |b| {
-        b.iter(|| client.append(payload.clone()).unwrap())
+    group.bench_function("append", |b| b.iter(|| client.append(payload.clone()).unwrap()));
+    // The same append through a client whose instruments are disabled
+    // no-ops, on its own fresh cluster so both benches start from an empty
+    // log: the spread between this and "append" is the total metrics
+    // overhead on the hot path (budget: <= 5%).
+    let cluster2 = corfu::cluster::LocalCluster::new(corfu::cluster::ClusterConfig::default());
+    let unmetered = cluster2.client_with_metrics(tango_metrics::Registry::disabled()).unwrap();
+    group.bench_function("append_unmetered", |b| {
+        b.iter(|| unmetered.append(payload.clone()).unwrap())
     });
     let off = client.append(payload.clone()).unwrap();
     group.bench_function("read", |b| b.iter(|| client.read(off).unwrap()));
@@ -82,15 +83,12 @@ fn bench_stream(c: &mut Criterion) {
     let mut group = c.benchmark_group("stream");
     group.sample_size(20);
     group.bench_function("sync_and_drain_100", |b| {
-        let cluster =
-            corfu::cluster::LocalCluster::new(corfu::cluster::ClusterConfig::default());
+        let cluster = corfu::cluster::LocalCluster::new(corfu::cluster::ClusterConfig::default());
         let writer = corfu_stream::StreamClient::new(cluster.client().unwrap());
         b.iter_batched(
             || {
                 for i in 0..100u64 {
-                    writer
-                        .multiappend(&[1], Bytes::from(i.to_le_bytes().to_vec()))
-                        .unwrap();
+                    writer.multiappend(&[1], Bytes::from(i.to_le_bytes().to_vec())).unwrap();
                 }
                 let reader = corfu_stream::StreamClient::new(cluster.client().unwrap());
                 reader.open(1);

@@ -30,9 +30,7 @@ fn main() {
         let writer = StreamClient::new(cluster.client().unwrap());
         for i in 0..entries_per_stream {
             for s in 0..streams {
-                writer
-                    .multiappend(&[s], Bytes::from(format!("{s}:{i}").into_bytes()))
-                    .unwrap();
+                writer.multiappend(&[s], Bytes::from(format!("{s}:{i}").into_bytes())).unwrap();
             }
         }
         let before = storage_reads(&cluster);

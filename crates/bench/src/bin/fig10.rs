@@ -7,8 +7,7 @@ use simcluster::experiments::{fig10_left, fig10_middle_2pl, fig10_middle_tango, 
 use tango_bench::FigureOutput;
 
 fn run_left(quick: bool) {
-    let mut out =
-        FigureOutput::new("fig10_left", "clients,ks_txes_18server,ks_txes_6server");
+    let mut out = FigureOutput::new("fig10_left", "clients,ks_txes_18server,ks_txes_6server");
     let clients: Vec<usize> =
         if quick { vec![2, 8, 18] } else { vec![2, 4, 6, 8, 10, 12, 14, 16, 18] };
     for &n in &clients {
@@ -20,10 +19,7 @@ fn run_left(quick: bool) {
 }
 
 fn run_middle(quick: bool) {
-    let mut out = FigureOutput::new(
-        "fig10_middle",
-        "cross_pct,ks_txes_tango,ks_txes_2pl",
-    );
+    let mut out = FigureOutput::new("fig10_middle", "cross_pct,ks_txes_tango,ks_txes_2pl");
     let pcts: Vec<f64> = if quick {
         vec![0.0, 16.0, 100.0]
     } else {

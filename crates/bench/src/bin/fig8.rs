@@ -11,8 +11,7 @@ fn run_left(quick: bool) {
         "write_ratio,window,ks_ops_per_sec,mean_latency_ms,p99_latency_ms",
     );
     let ratios = [1.0, 0.9, 0.5, 0.1, 0.0];
-    let windows: Vec<usize> =
-        if quick { vec![8, 64, 256] } else { vec![8, 16, 32, 64, 128, 256] };
+    let windows: Vec<usize> = if quick { vec![8, 64, 256] } else { vec![8, 16, 32, 64, 128, 256] };
     for &ratio in &ratios {
         for &window in &windows {
             let (ops, mean_ms, p99_ms) = fig8_left(ratio, window, 42);
@@ -40,10 +39,7 @@ fn run_middle(quick: bool) {
 }
 
 fn run_right(quick: bool) {
-    let mut out = FigureOutput::new(
-        "fig8_right",
-        "readers,ks_reads_18server,ks_reads_2server",
-    );
+    let mut out = FigureOutput::new("fig8_right", "readers,ks_reads_18server,ks_reads_2server");
     let readers: Vec<usize> =
         if quick { vec![2, 8, 18] } else { vec![2, 4, 6, 8, 10, 12, 14, 16, 18] };
     for &n in &readers {

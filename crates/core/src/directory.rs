@@ -4,7 +4,7 @@
 
 use std::collections::HashMap;
 
-use tango_wire::{Decode, Encode, Reader, Writer, WireError};
+use tango_wire::{Decode, Encode, Reader, WireError, Writer};
 
 use crate::object::{ApplyMeta, StateMachine};
 use crate::{LogOffset, Oid};
@@ -145,7 +145,7 @@ impl StateMachine for DirectoryState {
         Some(w.into_vec())
     }
 
-    fn restore(&mut self, data: &[u8]) {
+    fn restore(&mut self, data: &[u8]) -> crate::Result<()> {
         let mut r = Reader::new(data);
         let mut fresh = DirectoryState::new();
         let parse = (|| -> tango_wire::Result<()> {
@@ -164,9 +164,9 @@ impl StateMachine for DirectoryState {
             fresh.next_oid = r.get_u32()?;
             Ok(())
         })();
-        if parse.is_ok() {
-            *self = fresh;
-        }
+        parse.map_err(|e| crate::TangoError::Codec(e.to_string()))?;
+        *self = fresh;
+        Ok(())
     }
 }
 
@@ -223,7 +223,7 @@ mod tests {
         apply(&mut d, DirectoryOp::SetForget { oid: 1, offset: 42 });
         let bytes = d.checkpoint().unwrap();
         let mut restored = DirectoryState::new();
-        restored.restore(&bytes);
+        restored.restore(&bytes).unwrap();
         assert_eq!(restored.resolve("a"), Some(1));
         assert_eq!(restored.forget_offset(1), 42);
         assert_eq!(restored.next_oid(), 2);

@@ -39,6 +39,9 @@ pub enum TangoError {
         /// The offending oid.
         oid: Oid,
     },
+    /// A checkpoint record was found for an object whose state machine
+    /// does not implement [`crate::StateMachine::restore`].
+    RestoreUnsupported,
     /// A directory operation failed (e.g. name already bound to another
     /// oid after concurrent registration).
     Directory(String),
@@ -67,6 +70,9 @@ impl fmt::Display for TangoError {
             }
             TangoError::CheckpointUnsupported { oid } => {
                 write!(f, "object {oid} does not support checkpoints")
+            }
+            TangoError::RestoreUnsupported => {
+                write!(f, "object produced a checkpoint but does not implement restore")
             }
             TangoError::Directory(e) => write!(f, "directory error: {e}"),
             TangoError::ResolutionDepthExceeded => {

@@ -36,8 +36,9 @@
 //!     fn apply(&mut self, data: &[u8], _meta: &ApplyMeta) {
 //!         self.0 = i64::from_le_bytes(data.try_into().unwrap());
 //!     }
-//!     fn restore(&mut self, data: &[u8]) {
+//!     fn restore(&mut self, data: &[u8]) -> tango::Result<()> {
 //!         self.apply(data, &ApplyMeta::synthetic());
+//!         Ok(())
 //!     }
 //!     fn checkpoint(&self) -> Option<Vec<u8>> {
 //!         Some(self.0.to_le_bytes().to_vec())

@@ -6,7 +6,7 @@ use parking_lot::Mutex;
 
 use crate::record::TxId;
 use crate::runtime::TangoRuntime;
-use crate::{KeyHash, LogOffset, Oid, Result};
+use crate::{KeyHash, LogOffset, Oid, Result, TangoError};
 
 /// Context passed to every [`StateMachine::apply`] upcall.
 #[derive(Debug, Clone, Copy)]
@@ -48,10 +48,13 @@ pub trait StateMachine: Send + 'static {
         None
     }
 
-    /// Reconstructs the view from checkpoint bytes. The default panics:
-    /// objects that emit checkpoints must also restore them.
-    fn restore(&mut self, _data: &[u8]) {
-        unimplemented!("object produced a checkpoint but does not implement restore")
+    /// Reconstructs the view from checkpoint bytes. Objects that emit
+    /// checkpoints must also restore them: the default returns
+    /// [`TangoError::RestoreUnsupported`], and implementations should
+    /// surface malformed bytes as [`TangoError::Codec`] rather than
+    /// silently keeping a stale view.
+    fn restore(&mut self, _data: &[u8]) -> Result<()> {
+        Err(TangoError::RestoreUnsupported)
     }
 }
 
@@ -76,11 +79,7 @@ pub struct ObjectView<S> {
 
 impl<S> Clone for ObjectView<S> {
     fn clone(&self) -> Self {
-        Self {
-            runtime: Arc::clone(&self.runtime),
-            oid: self.oid,
-            state: Arc::clone(&self.state),
-        }
+        Self { runtime: Arc::clone(&self.runtime), oid: self.oid, state: Arc::clone(&self.state) }
     }
 }
 
@@ -153,5 +152,26 @@ impl<S: StateMachine> ApplySink for SinkFor<S> {
 
     fn checkpoint(&self) -> Option<Vec<u8>> {
         self.state.lock().checkpoint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct NoRestore;
+
+    impl StateMachine for NoRestore {
+        fn apply(&mut self, _data: &[u8], _meta: &ApplyMeta) {}
+
+        fn checkpoint(&self) -> Option<Vec<u8>> {
+            Some(vec![1, 2, 3])
+        }
+    }
+
+    #[test]
+    fn default_restore_is_a_typed_error_not_a_panic() {
+        let mut obj = NoRestore;
+        assert_eq!(obj.restore(&[1, 2, 3]), Err(TangoError::RestoreUnsupported));
     }
 }

@@ -1,7 +1,7 @@
 //! The Tango log-record vocabulary stored in entry payloads.
 
 use bytes::Bytes;
-use tango_wire::{Decode, Encode, Reader, Writer, WireError};
+use tango_wire::{Decode, Encode, Reader, WireError, Writer};
 
 use crate::{KeyHash, LogOffset, Oid};
 

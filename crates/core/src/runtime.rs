@@ -10,6 +10,7 @@ use bytes::Bytes;
 use corfu::{CorfuClient, StreamId};
 use corfu_stream::StreamClient;
 use parking_lot::Mutex;
+use tango_metrics::{Counter, Histogram, Registry};
 use tango_wire::{decode_from_slice, encode_to_vec};
 
 use crate::directory::{DirectoryOp, DirectoryState};
@@ -55,6 +56,33 @@ struct RegisteredObject {
     needs_decision: bool,
 }
 
+/// `tango.*` instruments, bound to the deployment-wide registry the
+/// underlying CORFU client carries.
+#[derive(Clone, Default)]
+struct RuntimeMetrics {
+    apply_latency_ns: Histogram,
+    conflict_check_latency_ns: Histogram,
+    tx_begin: Counter,
+    tx_commit: Counter,
+    tx_abort: Counter,
+    checkpoints: Counter,
+    trims: Counter,
+}
+
+impl RuntimeMetrics {
+    fn from_registry(registry: &Registry) -> Self {
+        Self {
+            apply_latency_ns: registry.histogram("tango.apply_latency_ns"),
+            conflict_check_latency_ns: registry.histogram("tango.conflict_check_latency_ns"),
+            tx_begin: registry.counter("tango.tx_begin"),
+            tx_commit: registry.counter("tango.tx_commit"),
+            tx_abort: registry.counter("tango.tx_abort"),
+            checkpoints: registry.counter("tango.checkpoints"),
+            trims: registry.counter("tango.trims"),
+        }
+    }
+}
+
 struct Playback {
     objects: HashMap<Oid, RegisteredObject>,
     versions: ConflictTable,
@@ -77,6 +105,7 @@ pub struct TangoRuntime {
     tx_seq: AtomicU64,
     play: Mutex<Playback>,
     dir_state: Arc<Mutex<DirectoryState>>,
+    metrics: RuntimeMetrics,
 }
 
 impl TangoRuntime {
@@ -99,6 +128,7 @@ impl TangoRuntime {
             },
         );
         stream.open(DIRECTORY_OID);
+        let metrics = RuntimeMetrics::from_registry(stream.metrics());
         let runtime = Arc::new(Self {
             stream,
             opts,
@@ -112,6 +142,7 @@ impl TangoRuntime {
                 last_checkpoint: HashMap::new(),
             }),
             dir_state,
+            metrics,
         });
         // If the log prefix was compacted, the directory's early records
         // are gone; restore its view from its latest checkpoint.
@@ -133,7 +164,7 @@ impl TangoRuntime {
                 decode_from_slice::<LogRecord>(&entry.payload)
             {
                 if oid == DIRECTORY_OID {
-                    self.dir_state.lock().restore(&data);
+                    self.dir_state.lock().restore(&data)?;
                     self.stream.seek(DIRECTORY_OID, as_of);
                     let mut play = self.play.lock();
                     play.versions.record_write(DIRECTORY_OID, None, off);
@@ -158,6 +189,14 @@ impl TangoRuntime {
     /// The underlying CORFU client.
     pub fn corfu(&self) -> &CorfuClient {
         self.stream.corfu()
+    }
+
+    /// The deployment-wide metrics registry. The runtime's `tango.*`
+    /// instruments record here, alongside the `stream.*`, `corfu.*` and
+    /// `rpc.*` instruments of the layers below it, so one snapshot covers
+    /// the whole stack.
+    pub fn metrics(&self) -> &Registry {
+        self.stream.metrics()
     }
 
     fn runtime_id(&self) -> usize {
@@ -216,7 +255,7 @@ impl TangoRuntime {
                 decode_from_slice::<LogRecord>(&entry.payload)
             {
                 if o == oid {
-                    state.restore(&data);
+                    state.restore(&data)?;
                     restore_point = Some((off, as_of));
                     break;
                 }
@@ -340,11 +379,10 @@ impl TangoRuntime {
             }
             let Some(off) = min_off else { break };
             if let Some(entry) = self.stream.read_at(off)? {
-                match decode_from_slice::<LogRecord>(&entry.payload) {
-                    Ok(record) => self.process_record(play, record, off)?,
-                    // A payload this runtime cannot parse (foreign writer):
-                    // skip it rather than wedging playback.
-                    Err(_) => {}
+                // A payload this runtime cannot parse (foreign writer) is
+                // skipped rather than wedging playback.
+                if let Ok(record) = decode_from_slice::<LogRecord>(&entry.payload) {
+                    self.process_record(play, record, off)?;
                 }
             }
             // Advance every hosted cursor sitting on this offset.
@@ -363,12 +401,7 @@ impl TangoRuntime {
         Ok(())
     }
 
-    fn process_record(
-        &self,
-        play: &mut Playback,
-        record: LogRecord,
-        off: LogOffset,
-    ) -> Result<()> {
+    fn process_record(&self, play: &mut Playback, record: LogRecord, off: LogOffset) -> Result<()> {
         match record {
             LogRecord::Update(u) => {
                 // Apply only if this object's cursor is delivering this
@@ -377,7 +410,7 @@ impl TangoRuntime {
                     play.versions.record_write(u.oid, u.key, off);
                     let meta = ApplyMeta { offset: off, oid: u.oid, key: u.key, txid: None };
                     if let Some(obj) = play.objects.get(&u.oid) {
-                        obj.sink.apply(&u.data, &meta);
+                        self.metrics.apply_latency_ns.time(|| obj.sink.apply(&u.data, &meta));
                     }
                 }
             }
@@ -394,9 +427,7 @@ impl TangoRuntime {
             LogRecord::Commit { txid, reads, updates, speculative, needs_decision } => {
                 let committed = match self.eval_commit(play, txid, &reads) {
                     Some(c) => c,
-                    None => {
-                        self.await_decision(play, txid, off, &reads, needs_decision)?
-                    }
+                    None => self.await_decision(play, txid, off, &reads, needs_decision)?,
                 };
                 self.finish_commit(play, txid, off, &updates, &speculative, committed)?;
             }
@@ -525,13 +556,13 @@ impl TangoRuntime {
         }
         all_updates.extend(inline.iter().cloned());
         for u in all_updates {
-            let hosted_now = play.objects.contains_key(&u.oid)
-                && self.stream.peek(u.oid) == Some(off);
+            let hosted_now =
+                play.objects.contains_key(&u.oid) && self.stream.peek(u.oid) == Some(off);
             if hosted_now {
                 play.versions.record_write(u.oid, u.key, off);
                 let meta = ApplyMeta { offset: off, oid: u.oid, key: u.key, txid: Some(txid) };
                 if let Some(obj) = play.objects.get(&u.oid) {
-                    obj.sink.apply(&u.data, &meta);
+                    self.metrics.apply_latency_ns.time(|| obj.sink.apply(&u.data, &meta));
                 }
             }
         }
@@ -656,12 +687,16 @@ impl TangoRuntime {
 
     /// Begins a transaction with options.
     pub fn begin_tx_with(&self, options: TxOptions) -> Result<()> {
-        tx::begin(TxContext::new(self.runtime_id(), options))
+        tx::begin(TxContext::new(self.runtime_id(), options))?;
+        self.metrics.tx_begin.inc();
+        Ok(())
     }
 
     /// Abandons the current transaction without touching the log.
     pub fn abort_tx(&self) -> Result<()> {
-        tx::take(self.runtime_id()).map(|_| ()).ok_or(TangoError::NoActiveTransaction)
+        tx::take(self.runtime_id()).ok_or(TangoError::NoActiveTransaction)?;
+        self.metrics.tx_abort.inc();
+        Ok(())
     }
 
     /// Ends the current transaction (the paper's `EndTX`): appends a
@@ -676,10 +711,8 @@ impl TangoRuntime {
         if ctx.writes.is_empty() {
             return self.end_read_only(ctx);
         }
-        let txid = TxId {
-            client: self.opts.client_id,
-            seq: self.tx_seq.fetch_add(1, Ordering::Relaxed),
-        };
+        let txid =
+            TxId { client: self.opts.client_id, seq: self.tx_seq.fetch_add(1, Ordering::Relaxed) };
         let write_streams: Vec<StreamId> = ctx.write_oids.iter().copied().collect();
         let needs_decision = if ctx.reads.is_empty() {
             false
@@ -700,12 +733,10 @@ impl TangoRuntime {
         let mut inline = ctx.writes;
         let mut spec_offsets = Vec::new();
         if total > self.opts.inline_update_limit {
-            for chunk in chunk_updates(std::mem::take(&mut inline), self.opts.inline_update_limit)
-            {
+            for chunk in chunk_updates(std::mem::take(&mut inline), self.opts.inline_update_limit) {
                 let record = LogRecord::Speculative { txid, updates: chunk };
-                let off = self
-                    .stream
-                    .multiappend(&write_streams, Bytes::from(encode_to_vec(&record)))?;
+                let off =
+                    self.stream.multiappend(&write_streams, Bytes::from(encode_to_vec(&record)))?;
                 spec_offsets.push(off);
             }
         }
@@ -721,6 +752,7 @@ impl TangoRuntime {
             };
             self.play.lock().decided.insert(txid, true);
             self.stream.multiappend(&write_streams, Bytes::from(encode_to_vec(&record)))?;
+            self.metrics.tx_commit.inc();
             return Ok(TxStatus::Committed);
         }
 
@@ -740,7 +772,10 @@ impl TangoRuntime {
         let committed = {
             let mut play = self.play.lock();
             self.play_to_locked(&mut play, commit_off)?;
-            let committed = ctx.reads.iter().all(|r| !play.versions.is_stale(r));
+            let committed = self
+                .metrics
+                .conflict_check_latency_ns
+                .time(|| ctx.reads.iter().all(|r| !play.versions.is_stale(r)));
             play.decided.insert(txid, committed);
             committed
         };
@@ -751,19 +786,33 @@ impl TangoRuntime {
         // Process our own commit record (applies the writes to hosted
         // views through the uniform path).
         self.play_to(commit_off + 1)?;
-        Ok(if committed { TxStatus::Committed } else { TxStatus::Aborted })
+        Ok(self.count_outcome(committed))
     }
 
     fn end_read_only(&self, ctx: TxContext) -> Result<TxStatus> {
         if ctx.reads.is_empty() {
+            self.metrics.tx_commit.inc();
             return Ok(TxStatus::Committed);
         }
         if !ctx.options.stale_reads {
             self.sync()?;
         }
         let play = self.play.lock();
-        let ok = ctx.reads.iter().all(|r| !play.versions.is_stale(r));
-        Ok(if ok { TxStatus::Committed } else { TxStatus::Aborted })
+        let ok = self
+            .metrics
+            .conflict_check_latency_ns
+            .time(|| ctx.reads.iter().all(|r| !play.versions.is_stale(r)));
+        Ok(self.count_outcome(ok))
+    }
+
+    fn count_outcome(&self, committed: bool) -> TxStatus {
+        if committed {
+            self.metrics.tx_commit.inc();
+            TxStatus::Committed
+        } else {
+            self.metrics.tx_abort.inc();
+            TxStatus::Aborted
+        }
     }
 
     /// Runs `body` inside a transaction, retrying on aborts up to
@@ -798,8 +847,7 @@ impl TangoRuntime {
     pub fn abort_orphan(&self, txid: TxId, commit_pos: LogOffset) -> Result<()> {
         let streams = self.commit_streams_hint(&[], commit_pos)?;
         let record = LogRecord::Decision { txid, commit_pos, committed: false };
-        let target: Vec<StreamId> =
-            if streams.is_empty() { vec![DIRECTORY_OID] } else { streams };
+        let target: Vec<StreamId> = if streams.is_empty() { vec![DIRECTORY_OID] } else { streams };
         self.stream.multiappend(&target, Bytes::from(encode_to_vec(&record)))?;
         Ok(())
     }
@@ -817,6 +865,7 @@ impl TangoRuntime {
         let record = LogRecord::Checkpoint { oid, data: Bytes::from(data), as_of };
         let off = self.stream.multiappend(&[oid], Bytes::from(encode_to_vec(&record)))?;
         drop(play);
+        self.metrics.checkpoints.inc();
         self.play.lock().last_checkpoint.insert(oid, off);
         Ok(off)
     }
@@ -837,6 +886,7 @@ impl TangoRuntime {
         let horizon = self.dir_state.lock().trim_horizon();
         if horizon > 0 {
             self.corfu().trim_prefix(horizon)?;
+            self.metrics.trims.inc();
             for oid in self.hosted_streams() {
                 self.stream.forget_below(oid, horizon);
             }

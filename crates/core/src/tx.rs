@@ -106,10 +106,7 @@ pub(crate) fn take(runtime_id: usize) -> Option<TxContext> {
 }
 
 /// Runs `f` against the active context for `runtime_id`, if any.
-pub(crate) fn with_active<R>(
-    runtime_id: usize,
-    f: impl FnOnce(&mut TxContext) -> R,
-) -> Option<R> {
+pub(crate) fn with_active<R>(runtime_id: usize, f: impl FnOnce(&mut TxContext) -> R) -> Option<R> {
     ACTIVE_TX.with(|slot| slot.borrow_mut().get_mut(&runtime_id).map(f))
 }
 

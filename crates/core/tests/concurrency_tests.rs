@@ -1,8 +1,6 @@
 //! Concurrency tests: optimistic transactions from many client runtimes
 //! must be serializable — no lost updates, and all views converge.
 
-use std::sync::Arc;
-
 use corfu::cluster::{ClusterConfig, LocalCluster};
 use tango::{ApplyMeta, ObjectOptions, StateMachine, TangoRuntime, TxStatus};
 
@@ -129,9 +127,8 @@ fn cross_object_invariant_under_concurrency() {
     let a = bootstrap.create_or_open("account-a").unwrap();
     let b = bootstrap.create_or_open("account-b").unwrap();
     {
-        let va = bootstrap
-            .register_object(a, Counters::default(), ObjectOptions::default())
-            .unwrap();
+        let va =
+            bootstrap.register_object(a, Counters::default(), ObjectOptions::default()).unwrap();
         put(&va, 0, 1000);
     }
 
@@ -140,10 +137,8 @@ fn cross_object_invariant_under_concurrency() {
         let client = cluster.client().unwrap();
         handles.push(std::thread::spawn(move || {
             let rt = TangoRuntime::new(client).unwrap();
-            let va =
-                rt.register_object(a, Counters::default(), ObjectOptions::default()).unwrap();
-            let vb =
-                rt.register_object(b, Counters::default(), ObjectOptions::default()).unwrap();
+            let va = rt.register_object(a, Counters::default(), ObjectOptions::default()).unwrap();
+            let vb = rt.register_object(b, Counters::default(), ObjectOptions::default()).unwrap();
             let amount = (t + 1) as i64;
             let mut done = 0;
             while done < TRANSFERS {

@@ -24,10 +24,11 @@ impl StateMachine for Register {
         Some(self.0.to_le_bytes().to_vec())
     }
 
-    fn restore(&mut self, data: &[u8]) {
-        if let Ok(bytes) = <[u8; 8]>::try_from(data) {
-            self.0 = i64::from_le_bytes(bytes);
-        }
+    fn restore(&mut self, data: &[u8]) -> tango::Result<()> {
+        let bytes = <[u8; 8]>::try_from(data)
+            .map_err(|_| tango::TangoError::Codec("register checkpoint must be 8 bytes".into()))?;
+        self.0 = i64::from_le_bytes(bytes);
+        Ok(())
     }
 }
 
@@ -101,8 +102,7 @@ fn crash_recovery_replays_history() {
     {
         let rt = runtime(&cluster);
         oid = rt.create_or_open("durable").unwrap();
-        let reg =
-            rt.register_object(oid, Register::default(), ObjectOptions::default()).unwrap();
+        let reg = rt.register_object(oid, Register::default(), ObjectOptions::default()).unwrap();
         for v in [5i64, 15, 25] {
             reg.update(None, v.to_le_bytes().to_vec()).unwrap();
         }
@@ -190,8 +190,7 @@ fn cross_object_tx_is_atomic() {
     let free = rt.create_or_open("free-list").unwrap();
     let alloc = rt.create_or_open("alloc-table").unwrap();
     let free_v = rt.register_object(free, Register::default(), ObjectOptions::default()).unwrap();
-    let alloc_v =
-        rt.register_object(alloc, Register::default(), ObjectOptions::default()).unwrap();
+    let alloc_v = rt.register_object(alloc, Register::default(), ObjectOptions::default()).unwrap();
     free_v.update(None, 5i64.to_le_bytes().to_vec()).unwrap();
     // Bring the local views up to date before transacting.
     free_v.query(None, |_| ()).unwrap();
@@ -207,8 +206,7 @@ fn cross_object_tx_is_atomic() {
     // Another runtime hosting both sees both effects.
     let rt2 = runtime(&cluster);
     let free2 = rt2.register_object(free, Register::default(), ObjectOptions::default()).unwrap();
-    let alloc2 =
-        rt2.register_object(alloc, Register::default(), ObjectOptions::default()).unwrap();
+    let alloc2 = rt2.register_object(alloc, Register::default(), ObjectOptions::default()).unwrap();
     assert_eq!(free2.query(None, |r| r.0).unwrap(), 4);
     assert_eq!(alloc2.query(None, |r| r.0).unwrap(), 1);
 }
@@ -221,21 +219,17 @@ fn remote_write_tx_updates_unhosted_object() {
     let rt_consumer = runtime(&cluster);
     let local = rt_producer.create_or_open("producer-state").unwrap();
     let queue = rt_producer.create_or_open("queue").unwrap();
-    let local_v = rt_producer
-        .register_object(local, Register::default(), ObjectOptions::default())
-        .unwrap();
-    let queue_v = rt_consumer
-        .register_object(queue, Register::default(), ObjectOptions::default())
-        .unwrap();
+    let local_v =
+        rt_producer.register_object(local, Register::default(), ObjectOptions::default()).unwrap();
+    let queue_v =
+        rt_consumer.register_object(queue, Register::default(), ObjectOptions::default()).unwrap();
 
     // Producer: reads its local object, writes both local and remote.
     rt_producer.begin_tx().unwrap();
     let n = local_v.query(None, |r| r.0).unwrap();
     local_v.update(None, (n + 1).to_le_bytes().to_vec()).unwrap();
     // Remote write: no local view of `queue` exists on the producer.
-    rt_producer
-        .update_remote(queue, None, 99i64.to_le_bytes().to_vec())
-        .unwrap();
+    rt_producer.update_remote(queue, None, 99i64.to_le_bytes().to_vec()).unwrap();
     assert_eq!(rt_producer.end_tx().unwrap(), TxStatus::Committed);
 
     // The consumer, which hosts only the queue, sees the write. Because it
@@ -361,10 +355,7 @@ fn checkpoint_restore_and_compact() {
     let horizon = rt.compact().unwrap();
     assert!(horizon > 0, "expected a positive trim horizon");
     // Trimmed prefix is gone at the log level.
-    assert_eq!(
-        cluster.client().unwrap().read(0).unwrap(),
-        corfu::ReadOutcome::Trimmed
-    );
+    assert_eq!(cluster.client().unwrap().read(0).unwrap(), corfu::ReadOutcome::Trimmed);
     // New runtimes still reconstruct from the checkpoint.
     let rt3 = runtime(&cluster);
     let reg3 = rt3

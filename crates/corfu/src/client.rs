@@ -15,11 +15,13 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use parking_lot::RwLock;
+use tango_metrics::Registry;
 use tango_rpc::ClientConn;
 use tango_wire::{decode_from_slice, encode_to_vec};
 
 use crate::entry::{EntryEnvelope, StreamHeader};
 use crate::layout::LayoutClient;
+use crate::metrics::ClientMetrics;
 use crate::proto::{
     SequencerRequest, SequencerResponse, StorageRequest, StorageResponse, WriteKind,
 };
@@ -108,6 +110,8 @@ pub struct CorfuClient {
     factory: Arc<dyn ConnFactory>,
     state: Arc<RwLock<ClientState>>,
     opts: ClientOptions,
+    registry: Registry,
+    metrics: ClientMetrics,
 }
 
 impl CorfuClient {
@@ -117,15 +121,35 @@ impl CorfuClient {
         Self::with_options(layout, factory, ClientOptions::default())
     }
 
-    /// Creates a client with explicit options.
+    /// Creates a client with explicit options and a fresh (enabled)
+    /// metrics registry.
     pub fn with_options(
         layout: LayoutClient,
         factory: Arc<dyn ConnFactory>,
         opts: ClientOptions,
     ) -> Result<Self> {
+        Self::with_options_and_metrics(layout, factory, opts, Registry::new())
+    }
+
+    /// Creates a client recording into an existing registry (pass
+    /// [`Registry::disabled`] to turn instrumentation off).
+    pub fn with_options_and_metrics(
+        layout: LayoutClient,
+        factory: Arc<dyn ConnFactory>,
+        opts: ClientOptions,
+        registry: Registry,
+    ) -> Result<Self> {
         let proj = layout.get()?;
         let state = ClientState { proj, conns: HashMap::new() };
-        Ok(Self { layout, factory, state: Arc::new(RwLock::new(state)), opts })
+        let metrics = ClientMetrics::from_registry(&registry);
+        Ok(Self { layout, factory, state: Arc::new(RwLock::new(state)), opts, registry, metrics })
+    }
+
+    /// The metrics registry this client records into. Snapshot it to
+    /// observe `corfu.client.*` (and, when the registry is shared with the
+    /// servers and transport, the whole deployment).
+    pub fn metrics(&self) -> &Registry {
+        &self.registry
     }
 
     /// The client's current view of the projection.
@@ -175,7 +199,11 @@ impl CorfuClient {
         Ok(conn)
     }
 
-    pub(crate) fn storage_call(&self, node: NodeId, req: &StorageRequest) -> Result<StorageResponse> {
+    pub(crate) fn storage_call(
+        &self,
+        node: NodeId,
+        req: &StorageRequest,
+    ) -> Result<StorageResponse> {
         let conn = self.conn(node)?;
         let resp = conn.call(&encode_to_vec(req))?;
         Ok(decode_from_slice(&resp)?)
@@ -204,7 +232,11 @@ impl CorfuClient {
     /// sequencer is expected to be replaced by reconfiguration, so clients
     /// re-fetch the projection instead of giving up (§5 reports replacing a
     /// failed sequencer within 10ms).
-    fn with_sequencer_retry<T>(&self, what: &'static str, op: impl FnMut() -> Result<T>) -> Result<T> {
+    fn with_sequencer_retry<T>(
+        &self,
+        what: &'static str,
+        op: impl FnMut() -> Result<T>,
+    ) -> Result<T> {
         self.with_retry(what, true, op)
     }
 
@@ -220,6 +252,7 @@ impl CorfuClient {
                 Err(CorfuError::Sealed { .. }) => {
                     // Reconfiguration in progress: pick up the new
                     // projection; back off briefly if it has not landed yet.
+                    self.metrics.seal_retries.inc();
                     let before = self.epoch();
                     let after = self.refresh_layout()?;
                     if after == before && attempt > 0 {
@@ -249,11 +282,11 @@ impl CorfuClient {
     pub fn token(&self, streams: &[StreamId]) -> Result<Token> {
         self.with_sequencer_retry("token", || {
             let epoch = self.epoch();
-            match self.sequencer_call(&SequencerRequest::Next {
-                epoch,
-                streams: streams.to_vec(),
-            })? {
+            match self
+                .sequencer_call(&SequencerRequest::Next { epoch, streams: streams.to_vec() })?
+            {
                 SequencerResponse::Token { offset, backpointers } => {
+                    self.metrics.tokens.inc();
                     Ok(Token { offset, backpointers })
                 }
                 SequencerResponse::ErrSealed { epoch } => {
@@ -270,11 +303,13 @@ impl CorfuClient {
     pub fn tail_info(&self, streams: &[StreamId]) -> Result<(LogOffset, Vec<Vec<LogOffset>>)> {
         self.with_sequencer_retry("tail_info", || {
             let epoch = self.epoch();
-            match self.sequencer_call(&SequencerRequest::Query {
-                epoch,
-                streams: streams.to_vec(),
-            })? {
-                SequencerResponse::TailInfo { tail, backpointers } => Ok((tail, backpointers)),
+            match self
+                .sequencer_call(&SequencerRequest::Query { epoch, streams: streams.to_vec() })?
+            {
+                SequencerResponse::TailInfo { tail, backpointers } => {
+                    self.metrics.tail_queries.inc();
+                    Ok((tail, backpointers))
+                }
                 SequencerResponse::ErrSealed { epoch } => {
                     Err(CorfuError::Sealed { server_epoch: epoch })
                 }
@@ -332,7 +367,13 @@ impl CorfuClient {
                     kind: WriteKind::Data,
                     payload: Bytes::copy_from_slice(body),
                 };
-                match self.storage_call(*node, &req)? {
+                let hop = self.metrics.chain_hop_latency_ns.start_sampled(&self.metrics.sampler);
+                let resp = self.storage_call(*node, &req);
+                match resp.is_ok() {
+                    true => hop.stop(),
+                    false => hop.discard(),
+                }
+                match resp? {
                     StorageResponse::Ok => {}
                     StorageResponse::ErrAlreadyWritten if pos == 0 => {
                         // The head arbitrates: someone else (a hole filler)
@@ -375,6 +416,7 @@ impl CorfuClient {
         streams: &[StreamId],
         payload: Bytes,
     ) -> Result<(LogOffset, EntryEnvelope)> {
+        let timer = self.metrics.append_latency_ns.start_sampled(&self.metrics.sampler);
         for _ in 0..self.opts.max_token_retries {
             let token = self.token(streams)?;
             let headers = streams
@@ -385,21 +427,37 @@ impl CorfuClient {
             let envelope = EntryEnvelope { headers, payload: payload.clone() };
             let body = envelope.encode(token.offset)?;
             match self.write_at(token.offset, &body) {
-                Ok(()) => return Ok((token.offset, envelope)),
-                Err(CorfuError::TokenLost { .. }) => continue,
-                Err(e) => return Err(e),
+                Ok(()) => {
+                    timer.stop();
+                    return Ok((token.offset, envelope));
+                }
+                Err(CorfuError::TokenLost { .. }) => {
+                    self.metrics.tokens_lost.inc();
+                    continue;
+                }
+                Err(e) => {
+                    timer.discard();
+                    return Err(e);
+                }
             }
         }
+        timer.discard();
         Err(CorfuError::RetriesExhausted { what: "append" })
     }
 
     /// Reads the value at `offset` from the chain tail, repairing
     /// half-completed chain writes by propagating the head's value forward.
     pub fn read(&self, offset: LogOffset) -> Result<ReadOutcome> {
-        self.with_epoch_retry("read", || {
+        let timer = self.metrics.read_latency_ns.start_sampled(&self.metrics.sampler);
+        let result = self.with_epoch_retry("read", || {
             let proj = self.projection();
             self.read_with(&proj, offset)
-        })
+        });
+        match result.is_ok() {
+            true => timer.stop(),
+            false => timer.discard(),
+        }
+        result
     }
 
     /// Reads `offset` using an explicit projection (and thus epoch) instead
@@ -496,6 +554,7 @@ impl CorfuClient {
             };
             match self.storage_call(head, &req)? {
                 StorageResponse::Ok => {
+                    self.metrics.hole_fills.inc();
                     for &node in &chain[1..] {
                         let req = StorageRequest::Write {
                             epoch,
@@ -529,9 +588,7 @@ impl CorfuClient {
                 StorageResponse::ErrSealed { epoch } => {
                     Err(CorfuError::Sealed { server_epoch: epoch })
                 }
-                other => {
-                    Err(CorfuError::Storage(format!("fill at {offset} failed: {other:?}")))
-                }
+                other => Err(CorfuError::Storage(format!("fill at {offset} failed: {other:?}"))),
             }
         })
     }

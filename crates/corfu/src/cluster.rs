@@ -11,7 +11,8 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use tango_flash::FlashUnit;
-use tango_rpc::{ClientConn, RpcError, RpcHandler, TcpConn, TcpServer};
+use tango_metrics::Registry;
+use tango_rpc::{ClientConn, ConnMetrics, RpcError, RpcHandler, TcpConn, TcpServer};
 
 use crate::client::{ClientOptions, ConnFactory, CorfuClient};
 use crate::layout::{LayoutClient, LayoutServer};
@@ -116,6 +117,7 @@ pub struct LocalCluster {
     sequencer: Arc<SequencerServer>,
     storage: Vec<Arc<StorageServer>>,
     sequencer_generation: std::sync::atomic::AtomicU32,
+    metrics: Registry,
 }
 
 /// Node id assigned to the first sequencer; replacements count up from it.
@@ -126,8 +128,11 @@ pub const LAYOUT_ADDR: &str = "layout";
 
 impl LocalCluster {
     /// Builds and wires up a cluster per `config`, with in-memory flash.
+    /// Every server and every [`LocalCluster::client`] records into one
+    /// shared metrics registry ([`LocalCluster::metrics`]).
     pub fn new(config: ClusterConfig) -> Self {
         let registry = HandlerRegistry::default();
+        let metrics = Registry::new();
         let mut storage = Vec::new();
         let mut replica_sets = Vec::new();
         let mut nodes = Vec::new();
@@ -135,8 +140,10 @@ impl LocalCluster {
         for _ in 0..config.num_sets {
             let mut set = Vec::new();
             for _ in 0..config.replication {
-                let server =
-                    Arc::new(StorageServer::new(FlashUnit::in_memory(config.page_size)));
+                let server = Arc::new(
+                    StorageServer::new(FlashUnit::in_memory(config.page_size))
+                        .with_metrics(&metrics),
+                );
                 let addr = format!("storage-{next_id}");
                 registry.register(addr.clone(), Arc::clone(&server) as Arc<dyn RpcHandler>);
                 storage.push(server);
@@ -146,13 +153,13 @@ impl LocalCluster {
             }
             replica_sets.push(set);
         }
-        let sequencer = Arc::new(SequencerServer::new(config.k_backpointers));
+        let sequencer =
+            Arc::new(SequencerServer::new(config.k_backpointers).with_metrics(&metrics));
         let seq_addr = format!("sequencer-{SEQUENCER_BASE_ID}");
         registry.register(seq_addr.clone(), Arc::clone(&sequencer) as Arc<dyn RpcHandler>);
         nodes.push(NodeInfo { id: SEQUENCER_BASE_ID, addr: seq_addr });
 
-        let projection =
-            Projection { epoch: 0, replica_sets, sequencer: SEQUENCER_BASE_ID, nodes };
+        let projection = Projection { epoch: 0, replica_sets, sequencer: SEQUENCER_BASE_ID, nodes };
         let layout_server = Arc::new(LayoutServer::new(projection));
         registry.register(LAYOUT_ADDR, Arc::clone(&layout_server) as Arc<dyn RpcHandler>);
 
@@ -163,6 +170,7 @@ impl LocalCluster {
             sequencer,
             storage,
             sequencer_generation: std::sync::atomic::AtomicU32::new(1),
+            metrics,
         }
     }
 
@@ -176,15 +184,33 @@ impl LocalCluster {
         &self.registry
     }
 
+    /// The deployment-wide metrics registry: servers and all clients
+    /// created via [`LocalCluster::client`] record here.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
     /// Creates a new client connected to the cluster.
     pub fn client(&self) -> Result<CorfuClient> {
+        self.client_with_metrics(self.metrics.clone())
+    }
+
+    /// Creates a client whose instruments record into `metrics` instead of
+    /// the cluster-wide registry. Pass [`Registry::disabled()`] to measure
+    /// the cost of the no-op instrumentation path.
+    pub fn client_with_metrics(&self, metrics: Registry) -> Result<CorfuClient> {
         let layout = LayoutClient::new(Arc::new(RegistryConn {
             registry: self.registry.clone(),
             addr: LAYOUT_ADDR.to_owned(),
         }));
         let factory: Arc<dyn ConnFactory> =
             Arc::new(RegistryFactory { registry: self.registry.clone() });
-        CorfuClient::with_options(layout, factory, self.config.client_options.clone())
+        CorfuClient::with_options_and_metrics(
+            layout,
+            factory,
+            self.config.client_options.clone(),
+            metrics,
+        )
     }
 
     /// Direct access to the current sequencer server (for assertions).
@@ -210,11 +236,11 @@ impl LocalCluster {
     /// Registers a fresh, empty sequencer server and returns its node info,
     /// ready to be handed to [`crate::reconfig::replace_sequencer`].
     pub fn spawn_replacement_sequencer(&self) -> (NodeInfo, Arc<SequencerServer>) {
-        let gen =
-            self.sequencer_generation.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        let gen = self.sequencer_generation.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         let id = SEQUENCER_BASE_ID + gen;
         let addr = format!("sequencer-{id}");
-        let server = Arc::new(SequencerServer::new(self.config.k_backpointers));
+        let server =
+            Arc::new(SequencerServer::new(self.config.k_backpointers).with_metrics(&self.metrics));
         self.registry.register(addr.clone(), Arc::clone(&server) as Arc<dyn RpcHandler>);
         (NodeInfo { id, addr }, server)
     }
@@ -226,12 +252,16 @@ pub struct TcpCluster {
     /// Keep servers alive; dropping shuts them down.
     _servers: Vec<TcpServer>,
     layout_addr: String,
+    metrics: Registry,
 }
 
 impl TcpCluster {
     /// Spawns storage nodes, a sequencer, and a layout service on ephemeral
-    /// localhost ports.
+    /// localhost ports. Servers and clients share one metrics registry,
+    /// and each client's TCP connections record `rpc.*` transport metrics
+    /// into it as well.
     pub fn spawn(config: ClusterConfig) -> Result<Self> {
+        let metrics = Registry::new();
         let mut servers = Vec::new();
         let mut replica_sets = Vec::new();
         let mut nodes = Vec::new();
@@ -239,8 +269,10 @@ impl TcpCluster {
         for _ in 0..config.num_sets {
             let mut set = Vec::new();
             for _ in 0..config.replication {
-                let handler: Arc<dyn RpcHandler> =
-                    Arc::new(StorageServer::new(FlashUnit::in_memory(config.page_size)));
+                let handler: Arc<dyn RpcHandler> = Arc::new(
+                    StorageServer::new(FlashUnit::in_memory(config.page_size))
+                        .with_metrics(&metrics),
+                );
                 let server = TcpServer::spawn("127.0.0.1:0", handler)
                     .map_err(|e| crate::CorfuError::Rpc(e.to_string()))?;
                 nodes.push(NodeInfo { id: next_id, addr: server.local_addr().to_string() });
@@ -251,30 +283,42 @@ impl TcpCluster {
             replica_sets.push(set);
         }
         let seq_handler: Arc<dyn RpcHandler> =
-            Arc::new(SequencerServer::new(config.k_backpointers));
+            Arc::new(SequencerServer::new(config.k_backpointers).with_metrics(&metrics));
         let seq_server = TcpServer::spawn("127.0.0.1:0", seq_handler)
             .map_err(|e| crate::CorfuError::Rpc(e.to_string()))?;
         nodes.push(NodeInfo { id: SEQUENCER_BASE_ID, addr: seq_server.local_addr().to_string() });
         servers.push(seq_server);
 
-        let projection =
-            Projection { epoch: 0, replica_sets, sequencer: SEQUENCER_BASE_ID, nodes };
+        let projection = Projection { epoch: 0, replica_sets, sequencer: SEQUENCER_BASE_ID, nodes };
         let layout_handler: Arc<dyn RpcHandler> = Arc::new(LayoutServer::new(projection));
         let layout_server = TcpServer::spawn("127.0.0.1:0", layout_handler)
             .map_err(|e| crate::CorfuError::Rpc(e.to_string()))?;
         let layout_addr = layout_server.local_addr().to_string();
         servers.push(layout_server);
 
-        Ok(Self { _servers: servers, layout_addr })
+        Ok(Self { _servers: servers, layout_addr, metrics })
+    }
+
+    /// The deployment-wide metrics registry.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     /// Creates a client that talks to the cluster over TCP.
     pub fn client(&self) -> Result<CorfuClient> {
-        let layout = LayoutClient::new(Arc::new(TcpConn::new(self.layout_addr.clone())));
+        let conn_metrics = ConnMetrics::from_registry(&self.metrics);
+        let layout = LayoutClient::new(Arc::new(
+            TcpConn::new(self.layout_addr.clone()).with_metrics(conn_metrics.clone()),
+        ));
         let factory: Arc<dyn ConnFactory> =
-            Arc::new(|node: &NodeInfo| -> Arc<dyn ClientConn> {
-                Arc::new(TcpConn::new(node.addr.clone()))
+            Arc::new(move |node: &NodeInfo| -> Arc<dyn ClientConn> {
+                Arc::new(TcpConn::new(node.addr.clone()).with_metrics(conn_metrics.clone()))
             });
-        CorfuClient::new(layout, factory)
+        CorfuClient::with_options_and_metrics(
+            layout,
+            factory,
+            ClientOptions::default(),
+            self.metrics.clone(),
+        )
     }
 }

@@ -69,9 +69,10 @@ impl EntryEnvelope {
             if h.stream > MAX_STREAM_ID {
                 return Err(CorfuError::Codec(format!("stream id {} exceeds 31 bits", h.stream)));
             }
-            let relative_ok = h.backpointers.iter().all(|&b| {
-                b == u64::MAX || (b < offset && offset - b <= u16::MAX as u64)
-            });
+            let relative_ok = h
+                .backpointers
+                .iter()
+                .all(|&b| b == u64::MAX || (b < offset && offset - b <= u16::MAX as u64));
             if relative_ok {
                 w.put_u32(h.stream);
                 w.put_u8(h.backpointers.len() as u8);
@@ -162,10 +163,7 @@ mod tests {
     fn absolute_format_on_large_delta() {
         // Previous entry is 1M entries back: the relative format overflows.
         let e = EntryEnvelope {
-            headers: vec![StreamHeader {
-                stream: 3,
-                backpointers: vec![1_000, 900, 800, 700],
-            }],
+            headers: vec![StreamHeader { stream: 3, backpointers: vec![1_000, 900, 800, 700] }],
             payload: Bytes::new(),
         };
         let bytes = e.encode(2_000_000).unwrap();
@@ -179,8 +177,8 @@ mod tests {
     fn mixed_formats_per_header() {
         let e = EntryEnvelope {
             headers: vec![
-                StreamHeader { stream: 1, backpointers: vec![999_999] },      // near: relative
-                StreamHeader { stream: 2, backpointers: vec![5, 4, 3, 2] },   // far: absolute
+                StreamHeader { stream: 1, backpointers: vec![999_999] }, // near: relative
+                StreamHeader { stream: 2, backpointers: vec![5, 4, 3, 2] }, // far: absolute
             ],
             payload: Bytes::from_static(b"p"),
         };

@@ -28,11 +28,12 @@
 //! * [`cluster`] — an in-process or TCP cluster harness for tests, examples
 //!   and benchmarks.
 
-pub mod cluster;
 mod client;
+pub mod cluster;
 mod entry;
 mod error;
 mod layout;
+pub mod metrics;
 mod projection;
 pub mod proto;
 pub mod reconfig;

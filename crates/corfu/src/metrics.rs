@@ -1,0 +1,106 @@
+//! Instrument bundles for the CORFU client and servers.
+//!
+//! Each bundle pre-binds its instruments at construction so the hot paths
+//! never take the registry's registration lock. All bundles default to
+//! disabled (no-op) handles; harnesses like [`crate::cluster::LocalCluster`]
+//! bind every component to one shared [`Registry`] so a single snapshot
+//! covers the whole deployment.
+
+use tango_metrics::{Counter, Histogram, Registry, Sampler};
+
+/// Client-side instruments (`corfu.client.*`).
+///
+/// The latency histograms on the append/read hot paths are paced by a
+/// shared 1-in-16 [`Sampler`]: the counters stay exact, but only sampled
+/// operations pay the timer's clock reads.
+#[derive(Clone, Default)]
+pub struct ClientMetrics {
+    /// Sequencer tokens successfully acquired.
+    pub tokens: Counter,
+    /// Tail/backpointer queries (`tail_info` and the fast check).
+    pub tail_queries: Counter,
+    /// End-to-end latency of successful `append_streams` calls, ns
+    /// (sampled).
+    pub append_latency_ns: Histogram,
+    /// End-to-end latency of successful `read` calls, ns (sampled).
+    pub read_latency_ns: Histogram,
+    /// Latency of one storage write in a chain-replicated append, ns
+    /// (sampled).
+    pub chain_hop_latency_ns: Histogram,
+    /// Holes this client patched with junk.
+    pub hole_fills: Counter,
+    /// Operations retried because a server reported a newer epoch.
+    pub seal_retries: Counter,
+    /// Append tokens lost to a racing hole-filler.
+    pub tokens_lost: Counter,
+    /// Gate pacing the latency histograms above.
+    pub sampler: Sampler,
+}
+
+impl ClientMetrics {
+    /// Binds the `corfu.client.*` names in `registry`.
+    pub fn from_registry(registry: &Registry) -> Self {
+        Self {
+            tokens: registry.counter("corfu.client.tokens"),
+            tail_queries: registry.counter("corfu.client.tail_queries"),
+            append_latency_ns: registry.histogram("corfu.client.append_latency_ns"),
+            read_latency_ns: registry.histogram("corfu.client.read_latency_ns"),
+            chain_hop_latency_ns: registry.histogram("corfu.client.chain_hop_latency_ns"),
+            hole_fills: registry.counter("corfu.client.hole_fills"),
+            seal_retries: registry.counter("corfu.client.seal_retries"),
+            tokens_lost: registry.counter("corfu.client.tokens_lost"),
+            sampler: Sampler::default(),
+        }
+    }
+}
+
+/// Sequencer-side instruments (`corfu.seq.*`).
+#[derive(Clone, Default)]
+pub struct SequencerMetrics {
+    /// Tokens granted (`Next` requests that succeeded).
+    pub tokens_granted: Counter,
+    /// Backpointer lookups served (`Query` requests that succeeded).
+    pub backpointer_lookups: Counter,
+    /// Seals accepted.
+    pub seals: Counter,
+}
+
+impl SequencerMetrics {
+    /// Binds the `corfu.seq.*` names in `registry`.
+    pub fn from_registry(registry: &Registry) -> Self {
+        Self {
+            tokens_granted: registry.counter("corfu.seq.tokens_granted"),
+            backpointer_lookups: registry.counter("corfu.seq.backpointer_lookups"),
+            seals: registry.counter("corfu.seq.seals"),
+        }
+    }
+}
+
+/// Storage-node instruments (`corfu.storage.*`), shared by every node bound
+/// to the same registry.
+#[derive(Clone, Default)]
+pub struct StorageMetrics {
+    /// Successful page reads (any outcome: data, junk, unwritten, trimmed).
+    pub reads: Counter,
+    /// Successful data writes.
+    pub writes: Counter,
+    /// Successful junk fills.
+    pub fills: Counter,
+    /// Seals accepted.
+    pub seals: Counter,
+    /// Trim operations accepted (single-offset and prefix).
+    pub trims: Counter,
+}
+
+impl StorageMetrics {
+    /// Binds the `corfu.storage.*` names in `registry`.
+    pub fn from_registry(registry: &Registry) -> Self {
+        Self {
+            reads: registry.counter("corfu.storage.reads"),
+            writes: registry.counter("corfu.storage.writes"),
+            fills: registry.counter("corfu.storage.fills"),
+            seals: registry.counter("corfu.storage.seals"),
+            trims: registry.counter("corfu.storage.trims"),
+        }
+    }
+}

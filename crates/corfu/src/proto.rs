@@ -1,7 +1,7 @@
 //! Wire messages for the three CORFU services.
 
 use bytes::Bytes;
-use tango_wire::{Decode, Encode, Reader, Writer, WireError};
+use tango_wire::{Decode, Encode, Reader, WireError, Writer};
 
 use crate::projection::Projection;
 use crate::{Epoch, LogOffset, StreamId};

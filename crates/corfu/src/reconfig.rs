@@ -89,16 +89,15 @@ pub fn replace_sequencer(
 
     // 2. Seal the old sequencer, best effort (it may be the failed node).
     if let Some(addr) = old.addr_of(old.sequencer) {
-        let conn = client
-            .factory()
-            .connect(&NodeInfo { id: old.sequencer, addr: addr.to_owned() });
+        let conn = client.factory().connect(&NodeInfo { id: old.sequencer, addr: addr.to_owned() });
         let _ = conn.call(&encode_to_vec(&SequencerRequest::Seal { epoch: new_epoch }));
     }
 
     let recovered_tail = old.global_tail_from_local(&local_tails);
 
     // 3. Rebuild backpointer state by backward scan at the new epoch.
-    let (stream_state, entries_scanned) = rebuild_stream_state(client, &new_proj, recovered_tail, k)?;
+    let (stream_state, entries_scanned) =
+        rebuild_stream_state(client, &new_proj, recovered_tail, k)?;
 
     // 4. Bootstrap the replacement sequencer.
     let conn = client.factory().connect(&new_seq);
@@ -110,9 +109,7 @@ pub fn replace_sequencer(
     let resp = conn.call(&encode_to_vec(&req))?;
     match decode_from_slice::<SequencerResponse>(&resp)? {
         SequencerResponse::Ok => {}
-        other => {
-            return Err(CorfuError::Layout(format!("sequencer bootstrap failed: {other:?}")))
-        }
+        other => return Err(CorfuError::Layout(format!("sequencer bootstrap failed: {other:?}"))),
     }
 
     // 5. Publish the projection.
@@ -153,9 +150,7 @@ fn rebuild_stream_state(
             ReadOutcome::Data(bytes) => {
                 scanned += 1;
                 if let Ok(envelope) = EntryEnvelope::decode(&bytes, offset) {
-                    if seed.is_none()
-                        && envelope.belongs_to(crate::SEQUENCER_CHECKPOINT_STREAM)
-                    {
+                    if seed.is_none() && envelope.belongs_to(crate::SEQUENCER_CHECKPOINT_STREAM) {
                         if let Ok(state) =
                             tango_wire::decode_from_slice::<SequencerState>(&envelope.payload)
                         {
@@ -218,8 +213,7 @@ pub fn checkpoint_sequencer_state(client: &CorfuClient) -> Result<LogOffset> {
         other => return Err(CorfuError::Codec(format!("unexpected dump response {other:?}"))),
     };
     let payload = bytes::Bytes::from(tango_wire::encode_to_vec(&state));
-    let (offset, _) =
-        client.append_streams(&[crate::SEQUENCER_CHECKPOINT_STREAM], payload)?;
+    let (offset, _) = client.append_streams(&[crate::SEQUENCER_CHECKPOINT_STREAM], payload)?;
     Ok(offset)
 }
 
@@ -265,8 +259,7 @@ pub fn bump_epoch(client: &CorfuClient) -> Result<(Epoch, LogOffset)> {
     let addr = old
         .addr_of(old.sequencer)
         .ok_or_else(|| CorfuError::Layout("sequencer missing from projection".into()))?;
-    let conn =
-        client.factory().connect(&NodeInfo { id: old.sequencer, addr: addr.to_owned() });
+    let conn = client.factory().connect(&NodeInfo { id: old.sequencer, addr: addr.to_owned() });
     let resp = conn.call(&encode_to_vec(&SequencerRequest::Seal { epoch: new_epoch }))?;
     match decode_from_slice::<SequencerResponse>(&resp)? {
         SequencerResponse::Ok => {}
@@ -275,10 +268,7 @@ pub fn bump_epoch(client: &CorfuClient) -> Result<(Epoch, LogOffset)> {
     let mut new_proj = old.clone();
     new_proj.epoch = new_epoch;
     if let Some(winner) = client.layout().propose(new_proj)? {
-        return Err(CorfuError::Layout(format!(
-            "lost epoch-bump race to epoch {}",
-            winner.epoch
-        )));
+        return Err(CorfuError::Layout(format!("lost epoch-bump race to epoch {}", winner.epoch)));
     }
     client.refresh_layout()?;
     Ok((new_epoch, old.global_tail_from_local(&local_tails)))

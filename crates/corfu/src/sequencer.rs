@@ -4,9 +4,11 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 
 use parking_lot::Mutex;
+use tango_metrics::Registry;
 use tango_rpc::RpcHandler;
 use tango_wire::{decode_from_slice, encode_to_vec, Decode, Encode, Reader, Writer};
 
+use crate::metrics::SequencerMetrics;
 use crate::proto::{SequencerRequest, SequencerResponse};
 use crate::{Epoch, LogOffset, StreamId};
 
@@ -62,6 +64,7 @@ impl Decode for SequencerState {
 pub struct SequencerServer {
     inner: Mutex<Inner>,
     k: usize,
+    metrics: SequencerMetrics,
 }
 
 struct Inner {
@@ -83,7 +86,14 @@ impl SequencerServer {
                 tokens_issued: 0,
             }),
             k,
+            metrics: SequencerMetrics::default(),
         }
+    }
+
+    /// Records `corfu.seq.*` metrics into `registry` (off by default).
+    pub fn with_metrics(mut self, registry: &Registry) -> Self {
+        self.metrics = SequencerMetrics::from_registry(registry);
+        self
     }
 
     /// The number of backpointers maintained per stream.
@@ -114,6 +124,7 @@ impl SequencerServer {
                     entry.push_front(offset);
                     entry.truncate(self.k);
                 }
+                self.metrics.tokens_granted.inc();
                 SequencerResponse::Token { offset, backpointers }
             }
             SequencerRequest::Query { epoch, streams } => {
@@ -123,9 +134,14 @@ impl SequencerServer {
                 let backpointers = streams
                     .iter()
                     .map(|s| {
-                        inner.streams.get(s).map(|d| d.iter().copied().collect()).unwrap_or_default()
+                        inner
+                            .streams
+                            .get(s)
+                            .map(|d| d.iter().copied().collect())
+                            .unwrap_or_default()
                     })
                     .collect();
+                self.metrics.backpointer_lookups.inc();
                 SequencerResponse::TailInfo { tail: inner.tail, backpointers }
             }
             SequencerRequest::Seal { epoch } => {
@@ -133,6 +149,7 @@ impl SequencerServer {
                     return SequencerResponse::ErrSealed { epoch: inner.epoch };
                 }
                 inner.epoch = epoch;
+                self.metrics.seals.inc();
                 SequencerResponse::Ok
             }
             SequencerRequest::Dump { epoch } => {
@@ -166,11 +183,8 @@ impl SequencerServer {
     /// from the log instead, because a failed sequencer cannot be asked).
     pub fn state(&self) -> SequencerState {
         let inner = self.inner.lock();
-        let mut streams: Vec<(StreamId, Vec<LogOffset>)> = inner
-            .streams
-            .iter()
-            .map(|(&id, offs)| (id, offs.iter().copied().collect()))
-            .collect();
+        let mut streams: Vec<(StreamId, Vec<LogOffset>)> =
+            inner.streams.iter().map(|(&id, offs)| (id, offs.iter().copied().collect())).collect();
         streams.sort_by_key(|(id, _)| *id);
         SequencerState { tail: inner.tail, streams }
     }

@@ -2,9 +2,11 @@
 
 use parking_lot::Mutex;
 use tango_flash::{FlashError, FlashUnit, PageRead};
+use tango_metrics::Registry;
 use tango_rpc::RpcHandler;
 use tango_wire::{decode_from_slice, encode_to_vec};
 
+use crate::metrics::StorageMetrics;
 use crate::proto::{StorageRequest, StorageResponse, WriteKind};
 use crate::Epoch;
 
@@ -18,6 +20,7 @@ use crate::Epoch;
 /// `Seal`, which is how reconfiguration fences in-flight operations.
 pub struct StorageServer {
     inner: Mutex<Inner>,
+    metrics: StorageMetrics,
 }
 
 struct Inner {
@@ -29,7 +32,14 @@ impl StorageServer {
     /// Wraps a flash unit. The server adopts the unit's persisted epoch.
     pub fn new(unit: FlashUnit) -> Self {
         let epoch = unit.epoch();
-        Self { inner: Mutex::new(Inner { unit, epoch }) }
+        Self { inner: Mutex::new(Inner { unit, epoch }), metrics: StorageMetrics::default() }
+    }
+
+    /// Records `corfu.storage.*` metrics into `registry` (off by default).
+    /// Counts from every node bound to the same registry aggregate.
+    pub fn with_metrics(mut self, registry: &Registry) -> Self {
+        self.metrics = StorageMetrics::from_registry(registry);
+        self
     }
 
     /// Creates an in-memory node with the given page size, for tests and the
@@ -61,7 +71,13 @@ impl StorageServer {
                     WriteKind::Junk => inner.unit.fill(addr),
                 };
                 match result {
-                    Ok(()) => StorageResponse::Ok,
+                    Ok(()) => {
+                        match kind {
+                            WriteKind::Data => self.metrics.writes.inc(),
+                            WriteKind::Junk => self.metrics.fills.inc(),
+                        }
+                        StorageResponse::Ok
+                    }
                     Err(e) => Inner::flash_error(e),
                 }
             }
@@ -69,6 +85,7 @@ impl StorageServer {
                 if let Err(resp) = inner.check_epoch(epoch) {
                     return resp;
                 }
+                self.metrics.reads.inc();
                 match inner.unit.read(addr) {
                     Ok(PageRead::Data(bytes)) => StorageResponse::Data(bytes),
                     Ok(PageRead::Junk) => StorageResponse::Junk,
@@ -82,7 +99,10 @@ impl StorageServer {
                     return resp;
                 }
                 match inner.unit.trim(addr) {
-                    Ok(()) => StorageResponse::Ok,
+                    Ok(()) => {
+                        self.metrics.trims.inc();
+                        StorageResponse::Ok
+                    }
                     Err(e) => Inner::flash_error(e),
                 }
             }
@@ -91,7 +111,10 @@ impl StorageServer {
                     return resp;
                 }
                 match inner.unit.trim_prefix(horizon) {
-                    Ok(()) => StorageResponse::Ok,
+                    Ok(()) => {
+                        self.metrics.trims.inc();
+                        StorageResponse::Ok
+                    }
                     Err(e) => Inner::flash_error(e),
                 }
             }
@@ -102,6 +125,7 @@ impl StorageServer {
                 match inner.unit.seal(epoch) {
                     Ok(tail) => {
                         inner.epoch = epoch;
+                        self.metrics.seals.inc();
                         StorageResponse::Tail(tail)
                     }
                     Err(e) => Inner::flash_error(e),

@@ -74,10 +74,7 @@ fn unwritten_reads_and_wait_read_fill() {
     assert!(start.elapsed() >= std::time::Duration::from_millis(90));
     // The slot is consumed: the original holder's late write loses.
     let late = corfu::EntryEnvelope::raw(payload(9)).encode(token.offset).unwrap();
-    assert!(matches!(
-        cfg_client.write_at(token.offset, &late),
-        Err(CorfuError::TokenLost { .. })
-    ));
+    assert!(matches!(cfg_client.write_at(token.offset, &late), Err(CorfuError::TokenLost { .. })));
     // Appends continue past the junk.
     let off = cfg_client.append(payload(1)).unwrap();
     assert!(off > token.offset);

@@ -27,7 +27,7 @@ fn checkpoint_bounds_recovery_scan() {
     let (info, _server) = cluster.spawn_replacement_sequencer();
     let outcome = reconfig::replace_sequencer(&client, info, 4).unwrap();
     assert_eq!(outcome.recovered_tail, 221); // 220 entries + 1 checkpoint
-    // The scan stopped at the checkpoint: far fewer than 221 entries read.
+                                             // The scan stopped at the checkpoint: far fewer than 221 entries read.
     assert!(
         outcome.entries_scanned <= 25,
         "scanned {} entries despite the checkpoint",

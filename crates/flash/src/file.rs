@@ -84,7 +84,13 @@ impl FileStore {
     fn segment(&mut self, seg: u64) -> Result<&File> {
         if !self.segments.contains_key(&seg) {
             let path = self.segment_path(seg);
-            let file = OpenOptions::new().read(true).write(true).create(true).open(path)?;
+            // Segments are reopened across restarts; never truncate.
+            let file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(path)?;
             file.set_len(self.slot_size() * self.pages_per_segment)?;
             self.segments.insert(seg, file);
         }
@@ -310,8 +316,8 @@ mod tests {
     use super::*;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("tango-flash-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("tango-flash-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -328,14 +334,8 @@ mod tests {
             store.sync().unwrap();
         }
         let store = FileStore::open(&dir, 256, 16).unwrap();
-        assert_eq!(
-            store.get(0).unwrap(),
-            Some((PageKind::Data, Bytes::from_static(b"hello")))
-        );
-        assert_eq!(
-            store.get(17).unwrap(),
-            Some((PageKind::Data, Bytes::from_static(b"world")))
-        );
+        assert_eq!(store.get(0).unwrap(), Some((PageKind::Data, Bytes::from_static(b"hello"))));
+        assert_eq!(store.get(17).unwrap(), Some((PageKind::Data, Bytes::from_static(b"world"))));
         assert_eq!(store.get(5).unwrap(), Some((PageKind::Junk, Bytes::new())));
         assert_eq!(store.get(1).unwrap(), None);
         assert_eq!(store.get_meta().unwrap(), Some((3, 1)));

@@ -74,12 +74,21 @@ impl FlashUnit {
                 index.insert(page.addr, state);
             }
         }
-        Ok(Self { store, index, prefix_trim, local_tail, epoch, page_size, stats: WearStats::default() })
+        Ok(Self {
+            store,
+            index,
+            prefix_trim,
+            local_tail,
+            epoch,
+            page_size,
+            stats: WearStats::default(),
+        })
     }
 
     /// Creates an in-memory unit, for tests and the in-process cluster.
     pub fn in_memory(page_size: usize) -> Self {
-        Self::open(Box::new(crate::MemStore::new()), page_size).expect("MemStore::open is infallible")
+        Self::open(Box::new(crate::MemStore::new()), page_size)
+            .expect("MemStore::open is infallible")
     }
 
     /// The fixed page size in bytes.
@@ -180,8 +189,7 @@ impl FlashUnit {
         if horizon <= self.prefix_trim {
             return Ok(());
         }
-        let removed: Vec<PageAddr> =
-            self.index.range(..horizon).map(|(&addr, _)| addr).collect();
+        let removed: Vec<PageAddr> = self.index.range(..horizon).map(|(&addr, _)| addr).collect();
         for addr in &removed {
             self.store.mark_trimmed(*addr)?;
         }

@@ -15,7 +15,8 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u64..32, proptest::collection::vec(any::<u8>(), 0..16)).prop_map(|(a, d)| Op::Write(a, d)),
+        (0u64..32, proptest::collection::vec(any::<u8>(), 0..16))
+            .prop_map(|(a, d)| Op::Write(a, d)),
         (0u64..32).prop_map(Op::Fill),
         (0u64..32).prop_map(Op::Trim),
         (0u64..32).prop_map(Op::TrimPrefix),

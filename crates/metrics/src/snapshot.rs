@@ -1,0 +1,255 @@
+//! Point-in-time registry captures and their text/JSON rendering.
+
+use std::fmt::Write as _;
+
+use crate::bucket_upper_bound;
+
+/// The state of one histogram at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Registered name.
+    pub name: String,
+    /// Sum of all recorded samples.
+    pub sum: u64,
+    /// Per-bucket sample counts (see [`crate::bucket_index`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean sample value, or 0 with no samples.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0..=1.0`): the
+    /// inclusive upper edge of the first bucket whose cumulative count
+    /// reaches `q * count`. Returns 0 with no samples.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(self.buckets.len().saturating_sub(1))
+    }
+
+    /// Upper bound of the highest non-empty bucket (approximate max).
+    pub fn max_bound(&self) -> u64 {
+        self.buckets.iter().rposition(|&n| n > 0).map(bucket_upper_bound).unwrap_or(0)
+    }
+}
+
+/// A consistent-enough capture of every instrument in a [`crate::Registry`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// `(name, value)` pairs, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` pairs, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Value of a counter by name (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// Value of a gauge by name (0 if absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0)
+    }
+
+    /// A histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Number of instruments with at least one recorded event (counters
+    /// and gauges with a non-zero value, histograms with samples).
+    pub fn non_zero_count(&self) -> usize {
+        self.counters.iter().filter(|(_, v)| *v != 0).count()
+            + self.gauges.iter().filter(|(_, v)| *v != 0).count()
+            + self.histograms.iter().filter(|h| h.count() > 0).count()
+    }
+
+    /// Human-readable dump: one line per counter/gauge, and a
+    /// count/mean/p50/p99/max line per histogram. Latency histograms
+    /// (named `*_ns`) render their statistics in microseconds.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "{name:<44} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "{name:<44} {v}");
+        }
+        for h in &self.histograms {
+            let (scale, unit) = if h.name.ends_with("_ns") { (1000.0, "us") } else { (1.0, "") };
+            let fmt = |v: u64| {
+                if scale == 1.0 {
+                    format!("{v}")
+                } else {
+                    format!("{:.1}{unit}", v as f64 / scale)
+                }
+            };
+            let _ = writeln!(
+                out,
+                "{:<44} count={} mean={} p50={} p99={} max<={}",
+                h.name,
+                h.count(),
+                fmt(h.mean()),
+                fmt(h.quantile(0.50)),
+                fmt(h.quantile(0.99)),
+                fmt(h.max_bound()),
+            );
+        }
+        out
+    }
+
+    /// JSON rendering (hand-rolled; instrument names are code-controlled
+    /// but escaped anyway). Histograms carry count/sum/mean/quantiles and
+    /// the non-empty buckets as `[upper_bound, count]` pairs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{v}", json_string(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{v}", json_string(name));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"buckets\":[",
+                json_string(&h.name),
+                h.count(),
+                h.sum,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.99),
+            );
+            let mut first = true;
+            for (b, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "[{},{n}]", bucket_upper_bound(b));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn quantiles_from_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("h");
+        // 90 samples near 100 (bucket 7, bound 127), 10 near 5000
+        // (bucket 13, bound 8191).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(5000);
+        }
+        let snap = r.snapshot();
+        let hs = snap.histogram("h").unwrap();
+        assert_eq!(hs.count(), 100);
+        assert_eq!(hs.quantile(0.50), 127);
+        assert_eq!(hs.quantile(0.99), 8191);
+        assert_eq!(hs.max_bound(), 8191);
+        assert_eq!(hs.mean(), (90 * 100 + 10 * 5000) / 100);
+    }
+
+    #[test]
+    fn text_and_json_render() {
+        let r = Registry::new();
+        r.counter("ops.total").add(3);
+        r.gauge("queue.depth").set(-1);
+        r.histogram("rpc.latency_ns").record(1500);
+        let snap = r.snapshot();
+
+        let text = snap.to_text();
+        assert!(text.contains("ops.total"), "{text}");
+        assert!(text.contains("count=1"), "{text}");
+        // _ns histograms render in microseconds.
+        assert!(text.contains("us"), "{text}");
+
+        let json = snap.to_json();
+        assert!(json.contains("\"ops.total\":3"), "{json}");
+        assert!(json.contains("\"queue.depth\":-1"), "{json}");
+        assert!(json.contains("\"count\":1"), "{json}");
+    }
+
+    #[test]
+    fn json_escapes_names() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn non_zero_count_counts_active_instruments() {
+        let r = Registry::new();
+        r.counter("a").inc();
+        r.counter("b"); // registered but never incremented
+        r.gauge("c").set(2);
+        r.histogram("d").record(1);
+        r.histogram("e"); // empty
+        assert_eq!(r.snapshot().non_zero_count(), 3);
+    }
+}

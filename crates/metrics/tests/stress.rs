@@ -1,0 +1,79 @@
+//! Multi-threaded stress: N threads hammer shared instruments; totals and
+//! histogram bucket counts must be exact (no lost updates, no torn state).
+
+use std::thread;
+
+use tango_metrics::{bucket_index, Registry, HISTOGRAM_BUCKETS};
+
+const THREADS: usize = 8;
+const RECORDS_PER_THREAD: u64 = 50_000;
+
+#[test]
+fn concurrent_totals_are_exact() {
+    let registry = Registry::new();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let registry = registry.clone();
+            thread::spawn(move || {
+                let counter = registry.counter("stress.ops");
+                let gauge = registry.gauge("stress.level");
+                let hist = registry.histogram("stress.values");
+                for i in 0..RECORDS_PER_THREAD {
+                    counter.inc();
+                    gauge.add(1);
+                    gauge.sub(1);
+                    // Deterministic spread across many buckets.
+                    hist.record((t as u64 + 1) * i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let snap = registry.snapshot();
+    let total = THREADS as u64 * RECORDS_PER_THREAD;
+    assert_eq!(snap.counter("stress.ops"), total);
+    assert_eq!(snap.gauge("stress.level"), 0);
+
+    let hist = snap.histogram("stress.values").unwrap();
+    assert_eq!(hist.count(), total);
+
+    // Recompute the expected per-bucket counts and sum sequentially.
+    let mut expected_buckets = vec![0u64; HISTOGRAM_BUCKETS];
+    let mut expected_sum = 0u64;
+    for t in 0..THREADS as u64 {
+        for i in 0..RECORDS_PER_THREAD {
+            let v = (t + 1) * i;
+            expected_buckets[bucket_index(v)] += 1;
+            expected_sum = expected_sum.wrapping_add(v);
+        }
+    }
+    assert_eq!(hist.buckets, expected_buckets);
+    assert_eq!(hist.sum, expected_sum);
+}
+
+#[test]
+fn snapshots_race_with_writers() {
+    let registry = Registry::new();
+    let writer = {
+        let registry = registry.clone();
+        thread::spawn(move || {
+            let counter = registry.counter("race.ops");
+            for _ in 0..200_000u64 {
+                counter.inc();
+            }
+        })
+    };
+    // Snapshots taken mid-flight must be monotonic and never exceed the
+    // final total.
+    let mut last = 0;
+    while !writer.is_finished() {
+        let now = registry.snapshot().counter("race.ops");
+        assert!(now >= last && now <= 200_000);
+        last = now;
+    }
+    writer.join().unwrap();
+    assert_eq!(registry.snapshot().counter("race.ops"), 200_000);
+}

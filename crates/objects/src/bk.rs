@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use tango::{ApplyMeta, ObjectOptions, ObjectView, StateMachine, TangoRuntime, TxStatus};
-use tango_wire::{decode_from_slice, encode_to_vec, Decode, Encode, Reader, Writer, WireError};
+use tango_wire::{decode_from_slice, encode_to_vec, Decode, Encode, Reader, WireError, Writer};
 
 /// A ledger identifier.
 pub type LedgerId = u64;
@@ -69,13 +69,25 @@ struct Ledger {
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum BkRecord {
-    CreateLedger { id: LedgerId, writer: u64 },
+    CreateLedger {
+        id: LedgerId,
+        writer: u64,
+    },
     /// Accepted only while the ledger is open and `writer` matches — the
     /// single-writer enforcement metadata.
-    AddEntry { ledger: LedgerId, writer: u64, payload: Bytes },
+    AddEntry {
+        ledger: LedgerId,
+        writer: u64,
+        payload: Bytes,
+    },
     /// Fence the ledger: change its writer (recovery) without closing.
-    Fence { ledger: LedgerId, new_writer: u64 },
-    Close { ledger: LedgerId },
+    Fence {
+        ledger: LedgerId,
+        new_writer: u64,
+    },
+    Close {
+        ledger: LedgerId,
+    },
 }
 
 impl Encode for BkRecord {
@@ -133,9 +145,11 @@ impl StateMachine for BkState {
         let Ok(record) = decode_from_slice::<BkRecord>(data) else { return };
         match record {
             BkRecord::CreateLedger { id, writer } => {
-                self.ledgers
-                    .entry(id)
-                    .or_insert(Ledger { writer, closed: false, entries: Vec::new() });
+                self.ledgers.entry(id).or_insert(Ledger {
+                    writer,
+                    closed: false,
+                    entries: Vec::new(),
+                });
                 self.next_id = self.next_id.max(id + 1);
             }
             BkRecord::AddEntry { ledger, writer, .. } => {
@@ -179,7 +193,7 @@ impl StateMachine for BkState {
         Some(w.into_vec())
     }
 
-    fn restore(&mut self, data: &[u8]) {
+    fn restore(&mut self, data: &[u8]) -> tango::Result<()> {
         let mut r = Reader::new(data);
         let mut fresh = BkState::default();
         let parse = (|| -> tango_wire::Result<()> {
@@ -198,9 +212,9 @@ impl StateMachine for BkState {
             fresh.next_id = r.get_u64()?;
             Ok(())
         })();
-        if parse.is_ok() {
-            *self = fresh;
-        }
+        parse.map_err(|e| tango::TangoError::Codec(e.to_string()))?;
+        *self = fresh;
+        Ok(())
     }
 }
 

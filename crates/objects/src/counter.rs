@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use tango::{ApplyMeta, ObjectOptions, ObjectView, StateMachine, TangoRuntime, TxStatus};
-use tango_wire::{decode_from_slice, encode_to_vec, Decode, Encode, Reader, Writer, WireError};
+use tango_wire::{decode_from_slice, encode_to_vec, Decode, Encode, Reader, WireError, Writer};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CounterOp {
@@ -58,10 +58,12 @@ impl StateMachine for CounterState {
         Some(self.value.to_le_bytes().to_vec())
     }
 
-    fn restore(&mut self, data: &[u8]) {
-        if let Ok(bytes) = <[u8; 8]>::try_from(data) {
-            self.value = i64::from_le_bytes(bytes);
-        }
+    fn restore(&mut self, data: &[u8]) -> tango::Result<()> {
+        let bytes = <[u8; 8]>::try_from(data).map_err(|_| {
+            tango::TangoError::Codec("counter checkpoint must be 8 bytes".to_owned())
+        })?;
+        self.value = i64::from_le_bytes(bytes);
+        Ok(())
     }
 }
 

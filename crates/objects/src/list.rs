@@ -4,7 +4,7 @@ use std::marker::PhantomData;
 use std::sync::Arc;
 
 use tango::{ApplyMeta, ObjectOptions, ObjectView, StateMachine, TangoRuntime, TxStatus};
-use tango_wire::{decode_from_slice, encode_to_vec, Decode, Encode, Reader, Writer, WireError};
+use tango_wire::{decode_from_slice, encode_to_vec, Decode, Encode, Reader, WireError, Writer};
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum ListOp<T> {
@@ -107,7 +107,7 @@ where
         Some(w.into_vec())
     }
 
-    fn restore(&mut self, data: &[u8]) {
+    fn restore(&mut self, data: &[u8]) -> tango::Result<()> {
         let mut r = Reader::new(data);
         let mut fresh = Vec::new();
         let parse = (|| -> tango_wire::Result<()> {
@@ -117,9 +117,9 @@ where
             }
             Ok(())
         })();
-        if parse.is_ok() {
-            self.items = fresh;
-        }
+        parse.map_err(|e| tango::TangoError::Codec(e.to_string()))?;
+        self.items = fresh;
+        Ok(())
     }
 }
 

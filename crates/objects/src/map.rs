@@ -8,7 +8,7 @@ use std::marker::PhantomData;
 use std::sync::Arc;
 
 use tango::{ApplyMeta, ObjectOptions, ObjectView, StateMachine, TangoRuntime};
-use tango_wire::{decode_from_slice, encode_to_vec, Decode, Encode, Reader, Writer, WireError};
+use tango_wire::{decode_from_slice, encode_to_vec, Decode, Encode, Reader, WireError, Writer};
 
 use crate::util::key_hash;
 
@@ -88,7 +88,7 @@ where
         Some(w.into_vec())
     }
 
-    fn restore(&mut self, data: &[u8]) {
+    fn restore(&mut self, data: &[u8]) -> tango::Result<()> {
         let mut r = Reader::new(data);
         let mut fresh = HashMap::new();
         let parse = (|| -> tango_wire::Result<()> {
@@ -100,9 +100,9 @@ where
             }
             Ok(())
         })();
-        if parse.is_ok() {
-            self.entries = fresh;
-        }
+        parse.map_err(|e| tango::TangoError::Codec(e.to_string()))?;
+        self.entries = fresh;
+        Ok(())
     }
 }
 
@@ -200,7 +200,6 @@ where
 
     /// A point-in-time snapshot of all entries (whole-object read).
     pub fn snapshot(&self) -> tango::Result<Vec<(K, V)>> {
-        self.view
-            .query(None, |s| s.entries.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
+        self.view.query(None, |s| s.entries.iter().map(|(k, v)| (k.clone(), v.clone())).collect())
     }
 }

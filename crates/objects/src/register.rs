@@ -35,11 +35,16 @@ impl<T: Encode + Decode + Send + 'static> StateMachine for RegisterState<T> {
         })
     }
 
-    fn restore(&mut self, data: &[u8]) {
+    fn restore(&mut self, data: &[u8]) -> tango::Result<()> {
         self.value = match data.split_first() {
-            Some((1, rest)) => decode_from_slice::<T>(rest).ok(),
-            _ => None,
+            Some((1, rest)) => Some(
+                decode_from_slice::<T>(rest)
+                    .map_err(|e| tango::TangoError::Codec(e.to_string()))?,
+            ),
+            Some((0, _)) => None,
+            _ => return Err(tango::TangoError::Codec("bad register checkpoint tag".to_owned())),
         };
+        Ok(())
     }
 }
 
@@ -60,13 +65,15 @@ impl<T: Encode + Decode + Clone + Send + 'static> TangoRegister<T> {
     /// Opens (creating if needed) the register named `name`.
     pub fn open(runtime: &Arc<TangoRuntime>, name: &str) -> tango::Result<Self> {
         let oid = runtime.create_or_open(name)?;
-        let view = runtime.register_object(oid, RegisterState::default(), ObjectOptions::default())?;
+        let view =
+            runtime.register_object(oid, RegisterState::default(), ObjectOptions::default())?;
         Ok(Self { view, _marker: PhantomData })
     }
 
     /// Opens an existing oid directly (for tests and advanced wiring).
     pub fn at(runtime: &Arc<TangoRuntime>, oid: tango::Oid) -> tango::Result<Self> {
-        let view = runtime.register_object(oid, RegisterState::default(), ObjectOptions::default())?;
+        let view =
+            runtime.register_object(oid, RegisterState::default(), ObjectOptions::default())?;
         Ok(Self { view, _marker: PhantomData })
     }
 

@@ -6,7 +6,7 @@ use std::ops::RangeBounds;
 use std::sync::Arc;
 
 use tango::{ApplyMeta, ObjectOptions, ObjectView, StateMachine, TangoRuntime};
-use tango_wire::{decode_from_slice, encode_to_vec, Decode, Encode, Reader, Writer, WireError};
+use tango_wire::{decode_from_slice, encode_to_vec, Decode, Encode, Reader, WireError, Writer};
 
 use crate::util::key_hash;
 
@@ -81,7 +81,7 @@ where
         Some(w.into_vec())
     }
 
-    fn restore(&mut self, data: &[u8]) {
+    fn restore(&mut self, data: &[u8]) -> tango::Result<()> {
         let mut r = Reader::new(data);
         let mut fresh = BTreeSet::new();
         let parse = (|| -> tango_wire::Result<()> {
@@ -91,9 +91,9 @@ where
             }
             Ok(())
         })();
-        if parse.is_ok() {
-            self.items = fresh;
-        }
+        parse.map_err(|e| tango::TangoError::Codec(e.to_string()))?;
+        self.items = fresh;
+        Ok(())
     }
 }
 

@@ -52,7 +52,7 @@ where
         Some(w.into_vec())
     }
 
-    fn restore(&mut self, data: &[u8]) {
+    fn restore(&mut self, data: &[u8]) -> tango::Result<()> {
         let mut r = Reader::new(data);
         let mut fresh = BTreeMap::new();
         let parse = (|| -> tango_wire::Result<()> {
@@ -64,9 +64,9 @@ where
             }
             Ok(())
         })();
-        if parse.is_ok() {
-            self.entries = fresh;
-        }
+        parse.map_err(|e| tango::TangoError::Codec(e.to_string()))?;
+        self.entries = fresh;
+        Ok(())
     }
 }
 
@@ -134,15 +134,13 @@ where
 
     /// The largest key and its value.
     pub fn last(&self) -> tango::Result<Option<(K, V)>> {
-        self.view
-            .query(None, |s| s.entries.iter().next_back().map(|(k, v)| (k.clone(), v.clone())))
+        self.view.query(None, |s| s.entries.iter().next_back().map(|(k, v)| (k.clone(), v.clone())))
     }
 
     /// All entries within `range`, in key order ("list all files starting
     /// with the letter B", §3.1).
     pub fn range<R: RangeBounds<K>>(&self, range: R) -> tango::Result<Vec<(K, V)>> {
-        self.view.query(None, |s| {
-            s.entries.range(range).map(|(k, v)| (k.clone(), v.clone())).collect()
-        })
+        self.view
+            .query(None, |s| s.entries.range(range).map(|(k, v)| (k.clone(), v.clone())).collect())
     }
 }

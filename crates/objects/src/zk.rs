@@ -21,7 +21,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use tango::{ApplyMeta, ObjectOptions, ObjectView, StateMachine, TangoRuntime, TxStatus};
-use tango_wire::{decode_from_slice, encode_to_vec, Decode, Encode, Reader, Writer, WireError};
+use tango_wire::{decode_from_slice, encode_to_vec, Decode, Encode, Reader, WireError, Writer};
 
 use crate::util::fnv1a;
 
@@ -286,7 +286,7 @@ impl StateMachine for ZkState {
         Some(w.into_vec())
     }
 
-    fn restore(&mut self, data: &[u8]) {
+    fn restore(&mut self, data: &[u8]) -> tango::Result<()> {
         let mut r = Reader::new(data);
         let mut fresh: HashMap<String, Znode> = HashMap::new();
         let parse = (|| -> tango_wire::Result<()> {
@@ -303,16 +303,13 @@ impl StateMachine for ZkState {
                 for _ in 0..nchildren {
                     children.insert(r.get_str()?.to_owned());
                 }
-                fresh.insert(
-                    path,
-                    Znode { data, version, czxid, mzxid, children, seq_counter },
-                );
+                fresh.insert(path, Znode { data, version, czxid, mzxid, children, seq_counter });
             }
             Ok(())
         })();
-        if parse.is_ok() {
-            self.nodes = fresh;
-        }
+        parse.map_err(|e| tango::TangoError::Codec(e.to_string()))?;
+        self.nodes = fresh;
+        Ok(())
     }
 }
 
@@ -472,19 +469,12 @@ impl TangoZK {
         Ok(rx)
     }
 
-    fn install_watch(
-        &self,
-        path: &str,
-        tx: Sender<WatchEvent>,
-        kind: WatchKind,
-    ) -> ZkResult<()> {
+    fn install_watch(&self, path: &str, tx: Sender<WatchEvent>, kind: WatchKind) -> ZkResult<()> {
         // Watch installation is local-only state; it does not go through
         // the log.
         self.with_state_mut(|s| match kind {
             WatchKind::Data => s.data_watches.entry(path.to_owned()).or_default().push(tx),
-            WatchKind::Children => {
-                s.child_watches.entry(path.to_owned()).or_default().push(tx)
-            }
+            WatchKind::Children => s.child_watches.entry(path.to_owned()).or_default().push(tx),
         });
         Ok(())
     }
@@ -634,12 +624,7 @@ impl TangoZK {
     }
 
     /// Set-data inside an active transaction; returns the new version.
-    pub fn set_data_in_tx(
-        &self,
-        path: &str,
-        data: &[u8],
-        version: Option<i64>,
-    ) -> ZkResult<i64> {
+    pub fn set_data_in_tx(&self, path: &str, data: &[u8], version: Option<i64>) -> ZkResult<i64> {
         validate(path)?;
         let current = self
             .view

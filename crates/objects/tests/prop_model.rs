@@ -3,8 +3,6 @@
 //! must behave exactly like its `std` counterpart — and a third, fresh
 //! runtime must reconstruct the same state from the log.
 
-use std::sync::Arc;
-
 use corfu::cluster::{ClusterConfig, LocalCluster};
 use proptest::prelude::*;
 use tango::TangoRuntime;

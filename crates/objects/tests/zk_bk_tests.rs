@@ -48,7 +48,10 @@ fn zk_error_cases() {
     assert_eq!(zk.get_data("/missing"), Err(ZkError::NoNode));
     assert_eq!(zk.delete("/missing", None), Err(ZkError::NoNode));
     assert!(matches!(zk.create("bad-path", b"", CreateMode::Persistent), Err(ZkError::BadPath(_))));
-    assert!(matches!(zk.create("/trailing/", b"", CreateMode::Persistent), Err(ZkError::BadPath(_))));
+    assert!(matches!(
+        zk.create("/trailing/", b"", CreateMode::Persistent),
+        Err(ZkError::BadPath(_))
+    ));
 }
 
 #[test]
@@ -100,7 +103,11 @@ fn zk_multi_is_atomic() {
 
     // All-or-nothing: the second op fails, so the first must not apply.
     let bad = zk.multi(&[
-        ZkOp::SetData { path: "/jobs/j1".into(), data: Bytes::from_static(b"running"), version: None },
+        ZkOp::SetData {
+            path: "/jobs/j1".into(),
+            data: Bytes::from_static(b"running"),
+            version: None,
+        },
         ZkOp::Delete { path: "/jobs/missing".into(), version: None },
     ]);
     assert_eq!(bad, Err(ZkError::NoNode));
@@ -110,8 +117,16 @@ fn zk_multi_is_atomic() {
     let ok = zk
         .multi(&[
             ZkOp::Check { path: "/jobs/j1".into(), version: 0 },
-            ZkOp::SetData { path: "/jobs/j1".into(), data: Bytes::from_static(b"running"), version: None },
-            ZkOp::Create { path: "/jobs/j2".into(), data: Bytes::new(), mode: CreateMode::Persistent },
+            ZkOp::SetData {
+                path: "/jobs/j1".into(),
+                data: Bytes::from_static(b"running"),
+                version: None,
+            },
+            ZkOp::Create {
+                path: "/jobs/j2".into(),
+                data: Bytes::new(),
+                mode: CreateMode::Persistent,
+            },
         ])
         .unwrap();
     assert_eq!(ok[2], "/jobs/j2");
@@ -222,10 +237,7 @@ fn namenode_style_failover() {
     let bk = TangoBK::open(&rt, "editlog").unwrap();
     assert_eq!(zk.get_children("/fs").unwrap().len(), files as usize);
     assert_eq!(bk.last_add_confirmed(ledger).unwrap(), files as i64 - 1);
-    assert_eq!(
-        bk.read_entry(ledger, 0).unwrap(),
-        Bytes::from(&b"OP_ADD /fs/file-0"[..])
-    );
+    assert_eq!(bk.read_entry(ledger, 0).unwrap(), Bytes::from(&b"OP_ADD /fs/file-0"[..]));
     // The backup continues where the primary stopped.
     zk.create("/fs/file-new", b"", CreateMode::Persistent).unwrap();
     bk.fence(ledger).unwrap();

@@ -27,7 +27,7 @@ mod traits;
 
 pub use error::RpcError;
 pub use local::LocalConn;
-pub use tcp::{TcpConn, TcpServer};
+pub use tcp::{ConnMetrics, TcpConn, TcpServer};
 pub use traits::{ClientConn, RpcHandler};
 
 /// Convenience alias for transport results.

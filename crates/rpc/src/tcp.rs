@@ -8,6 +8,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use parking_lot::Mutex;
+use tango_metrics::{Counter, Histogram, Registry};
 
 use crate::frame::{read_frame, write_frame};
 use crate::{ClientConn, Result, RpcError, RpcHandler};
@@ -105,6 +106,38 @@ fn serve_connection(stream: TcpStream, handler: Arc<dyn RpcHandler>, shutdown: A
     }
 }
 
+/// Transport-level instrumentation shared by every [`TcpConn`] built from
+/// the same registry: round-trip latency, payload bytes each way, and
+/// reconnect count.
+#[derive(Clone, Default)]
+pub struct ConnMetrics {
+    /// Wall-clock latency of successful `call`s, in nanoseconds.
+    pub round_trip_ns: Histogram,
+    /// Request payload bytes of successful calls.
+    pub bytes_out: Counter,
+    /// Response payload bytes of successful calls.
+    pub bytes_in: Counter,
+    /// Connections re-established after a drop (timeout or server restart).
+    pub reconnects: Counter,
+}
+
+impl ConnMetrics {
+    /// Binds the standard `rpc.*` instrument names in `registry`.
+    pub fn from_registry(registry: &Registry) -> Self {
+        Self {
+            round_trip_ns: registry.histogram("rpc.round_trip_ns"),
+            bytes_out: registry.counter("rpc.bytes_out"),
+            bytes_in: registry.counter("rpc.bytes_in"),
+            reconnects: registry.counter("rpc.reconnects"),
+        }
+    }
+
+    /// All-no-op instrumentation (the default).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+}
+
 /// A blocking TCP client connection with transparent reconnect.
 ///
 /// One RPC may be in flight at a time per connection; callers that want
@@ -114,17 +147,29 @@ pub struct TcpConn {
     addr: String,
     timeout: Duration,
     stream: Mutex<Option<TcpStream>>,
+    metrics: ConnMetrics,
 }
 
 impl TcpConn {
     /// Creates a lazily-connected client for `addr`.
     pub fn new(addr: impl Into<String>) -> Self {
-        Self { addr: addr.into(), timeout: Duration::from_secs(5), stream: Mutex::new(None) }
+        Self {
+            addr: addr.into(),
+            timeout: Duration::from_secs(5),
+            stream: Mutex::new(None),
+            metrics: ConnMetrics::disabled(),
+        }
     }
 
     /// Sets the per-call timeout (default 5s).
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Attaches transport instrumentation (off by default).
+    pub fn with_metrics(mut self, metrics: ConnMetrics) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -142,8 +187,8 @@ impl TcpConn {
     }
 }
 
-impl ClientConn for TcpConn {
-    fn call(&self, request: &[u8]) -> Result<Vec<u8>> {
+impl TcpConn {
+    fn call_inner(&self, request: &[u8]) -> Result<Vec<u8>> {
         let mut guard = self.stream.lock();
         if guard.is_none() {
             *guard = Some(self.connect()?);
@@ -159,10 +204,30 @@ impl ClientConn for TcpConn {
             }
             Err(_) => {
                 // Reconnect once: the server may have restarted.
+                self.metrics.reconnects.inc();
                 let mut fresh = self.connect()?;
                 let resp = self.try_call(&mut fresh, request)?;
                 *guard = Some(fresh);
                 Ok(resp)
+            }
+        }
+    }
+}
+
+impl ClientConn for TcpConn {
+    fn call(&self, request: &[u8]) -> Result<Vec<u8>> {
+        let timer = self.metrics.round_trip_ns.start();
+        match self.call_inner(request) {
+            Ok(resp) => {
+                self.metrics.bytes_out.add(request.len() as u64);
+                self.metrics.bytes_in.add(resp.len() as u64);
+                timer.stop();
+                Ok(resp)
+            }
+            Err(e) => {
+                // Failed calls would pollute the round-trip histogram.
+                timer.discard();
+                Err(e)
             }
         }
     }
@@ -191,11 +256,7 @@ mod tests {
 
     #[test]
     fn concurrent_clients() {
-        let server = TcpServer::spawn(
-            "127.0.0.1:0",
-            Arc::new(|req: &[u8]| req.to_vec()),
-        )
-        .unwrap();
+        let server = TcpServer::spawn("127.0.0.1:0", Arc::new(|req: &[u8]| req.to_vec())).unwrap();
         let addr = server.local_addr().to_string();
         let threads: Vec<_> = (0..8)
             .map(|i| {
@@ -219,13 +280,27 @@ mod tests {
         let mut server =
             TcpServer::spawn("127.0.0.1:0", Arc::new(|req: &[u8]| req.to_vec())).unwrap();
         let addr = server.local_addr().to_string();
-        let conn = TcpConn::new(addr.clone());
+        let registry = Registry::new();
+        let conn = TcpConn::new(addr.clone()).with_metrics(ConnMetrics::from_registry(&registry));
         assert_eq!(conn.call(b"one").unwrap(), b"one");
         server.shutdown();
         drop(server);
         // Restart on the same port.
         let _server2 = TcpServer::spawn(&addr, Arc::new(|req: &[u8]| req.to_vec())).unwrap();
-        assert_eq!(conn.call(b"two").unwrap(), b"two");
+        // The dead server's connection thread may keep serving the old
+        // socket for up to its 200ms shutdown-poll interval; keep calling
+        // until the client is forced onto a fresh connection.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while registry.snapshot().counter("rpc.reconnects") == 0 {
+            assert!(std::time::Instant::now() < deadline, "client never reconnected");
+            assert_eq!(conn.call(b"two").unwrap(), b"two");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+
+        let snap = registry.snapshot();
+        assert!(snap.counter("rpc.bytes_out") >= 6);
+        assert!(snap.counter("rpc.bytes_in") >= 6);
+        assert!(snap.histogram("rpc.round_trip_ns").unwrap().count() >= 2);
     }
 
     #[test]

@@ -37,8 +37,7 @@ fn build_cluster(params: &ClusterParams, seq_batching: u64) -> Cluster {
         let mut chain = Vec::new();
         for r in 0..params.replication {
             let node = sim.add_node(NodeConfig::gigabit(if r == 0 { 0 } else { 1 }));
-            let actor =
-                sim.add_actor(node, Box::new(StorageActor::new(params, Rc::clone(&log))));
+            let actor = sim.add_actor(node, Box::new(StorageActor::new(params, Rc::clone(&log))));
             chain.push(actor);
             node_idx = node_idx.wrapping_add(1);
         }
@@ -238,8 +237,7 @@ pub fn fig8_right(readers: usize, num_sets: usize, seed: u64) -> f64 {
 pub fn fig9(nodes: usize, total_keys: u64, zipf: bool, seed: u64) -> (f64, f64) {
     let params = ClusterParams::paper_testbed();
     let mut cluster = build_cluster(&params, 1);
-    let dist =
-        if zipf { KeyDist::zipf_ycsb(total_keys) } else { KeyDist::uniform(total_keys) };
+    let dist = if zipf { KeyDist::zipf_ycsb(total_keys) } else { KeyDist::uniform(total_keys) };
     let mut stats = Vec::new();
     for i in 0..nodes {
         stats.push(add_tango_client(
@@ -264,12 +262,7 @@ pub fn fig9(nodes: usize, total_keys: u64, zipf: bool, seed: u64) -> (f64, f64) 
 
 /// Ablation: Figure 9's setup with a configurable commit-record batch size
 /// (the paper uses 4 per 4KB entry). Returns (Ks tx/s, Ks goodput/s).
-pub fn fig9_with_batch(
-    nodes: usize,
-    total_keys: u64,
-    batch: usize,
-    seed: u64,
-) -> (f64, f64) {
+pub fn fig9_with_batch(nodes: usize, total_keys: u64, batch: usize, seed: u64) -> (f64, f64) {
     let mut params = ClusterParams::paper_testbed();
     params.batch = batch;
     let mut cluster = build_cluster(&params, 1);

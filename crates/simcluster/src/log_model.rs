@@ -233,10 +233,7 @@ mod tests {
         log.register(1, entry(vec![tx(vec![(1, 5, 0)], vec![(1, 6)])])); // stale: aborts
         assert_eq!(log.version_for_read(1, 5, 2), 1);
         assert_eq!(log.version_for_read(1, 6, 2), 0, "aborted write must not bump version");
-        log.register(
-            2,
-            entry(vec![tx(vec![(1, 5, 1), (1, 6, 0)], vec![(1, 7)])]),
-        );
+        log.register(2, entry(vec![tx(vec![(1, 5, 1), (1, 6, 0)], vec![(1, 7)])]));
         assert_eq!(log.outcomes_at(2), vec![true]);
     }
 
@@ -280,10 +277,7 @@ mod tests {
         // same log position, matching the paper's atomic batch semantics).
         log.register(
             0,
-            entry(vec![
-                tx(vec![(1, 5, 0)], vec![(1, 5)]),
-                tx(vec![(1, 5, 0)], vec![(1, 5)]),
-            ]),
+            entry(vec![tx(vec![(1, 5, 0)], vec![(1, 5)]), tx(vec![(1, 5, 0)], vec![(1, 5)])]),
         );
         assert_eq!(log.outcomes_at(0), vec![true, true]);
         // A later reader sees one version bump position.

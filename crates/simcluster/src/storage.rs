@@ -122,7 +122,8 @@ impl Actor<Msg> for StorageActor {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
-        let queue = if tag == TAG_WRITE { &mut self.pending_writes } else { &mut self.pending_reads };
+        let queue =
+            if tag == TAG_WRITE { &mut self.pending_writes } else { &mut self.pending_reads };
         if let Some((to, reply, bytes)) = queue.pop_front() {
             ctx.send(to, reply, bytes);
         }

@@ -100,9 +100,15 @@ pub struct TwoPlClientActor {
 enum CpuAction {
     GenTx,
     /// A peer's lock request: try-lock and reply.
-    ServeLock { from: ActorId, txn: u64 },
+    ServeLock {
+        from: ActorId,
+        txn: u64,
+    },
     /// A peer's finish request: unlock and ack.
-    ServeFinish { from: ActorId, txn: u64 },
+    ServeFinish {
+        from: ActorId,
+        txn: u64,
+    },
 }
 
 impl TwoPlClientActor {
@@ -154,11 +160,7 @@ impl TwoPlClientActor {
         // The baseline executes the same transaction body as the Tango
         // clients (the paper swapped only the EndTX implementation), so it
         // is charged the same generation + apply CPU.
-        self.cpu_enqueue(
-            ctx,
-            CpuAction::GenTx,
-            self.params.client_op_cpu + self.params.apply_cost,
-        );
+        self.cpu_enqueue(ctx, CpuAction::GenTx, self.params.client_op_cpu + self.params.apply_cost);
     }
 
     fn generate_tx(&mut self, ctx: &mut Ctx<'_, Msg>) {
@@ -221,10 +223,7 @@ impl TwoPlClientActor {
         match remote {
             None => self.finish_commit(ctx, txn),
             Some((peer, key)) => {
-                self.shared
-                    .borrow_mut()
-                    .remote_reqs
-                    .insert(gtxn, (peer, vec![key]));
+                self.shared.borrow_mut().remote_reqs.insert(gtxn, (peer, vec![key]));
                 let peer_actor = self.peers[peer];
                 ctx.send(peer_actor, Msg::TwoPlLock { txn: gtxn }, self.params.small_msg_bytes);
             }
@@ -329,7 +328,11 @@ impl Actor<Msg> for TwoPlClientActor {
                 }
             }
             Msg::TwoPlLock { txn } => {
-                self.cpu_enqueue(ctx, CpuAction::ServeLock { from, txn }, self.params.client_op_cpu);
+                self.cpu_enqueue(
+                    ctx,
+                    CpuAction::ServeLock { from, txn },
+                    self.params.client_op_cpu,
+                );
             }
             Msg::TwoPlFinish { txn } => {
                 self.cpu_enqueue(

@@ -61,10 +61,7 @@ fn fig9_playback_bottleneck_and_contention() {
     assert!(good3 > tput3 * 0.9, "goodput {good3}K vs {tput3}K");
     // Zipf @ 100 keys: heavy conflicts.
     let (tput_hot, good_hot) = experiments::fig9(3, 100, true, 11);
-    assert!(
-        good_hot < tput_hot * 0.8,
-        "expected contention: goodput {good_hot}K of {tput_hot}K"
-    );
+    assert!(good_hot < tput_hot * 0.8, "expected contention: goodput {good_hot}K of {tput_hot}K");
 }
 
 #[test]

@@ -292,10 +292,8 @@ mod tests {
         let a = sim.add_node(NodeConfig::gigabit(0));
         let b = sim.add_node(NodeConfig::gigabit(1));
         let ponger = sim.add_actor(b, Box::new(Ponger));
-        let pinger = sim.add_actor(
-            a,
-            Box::new(Pinger { peer: ponger, rounds, ..Default::default() }),
-        );
+        let pinger =
+            sim.add_actor(a, Box::new(Pinger { peer: ponger, rounds, ..Default::default() }));
         sim.run_until(u64::MAX);
         let _ = pinger;
         let done = sim.now();

@@ -21,13 +21,7 @@ impl EntryCache {
     /// Creates a cache holding at most `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
-        Self {
-            map: HashMap::new(),
-            order: VecDeque::new(),
-            capacity,
-            hits: 0,
-            misses: 0,
-        }
+        Self { map: HashMap::new(), order: VecDeque::new(), capacity, hits: 0, misses: 0 }
     }
 
     /// Looks up the entry at `offset`.

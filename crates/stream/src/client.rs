@@ -4,6 +4,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use corfu::{CorfuClient, CorfuError, EntryEnvelope, LogOffset, ReadOutcome, StreamId};
 use parking_lot::Mutex;
+use tango_metrics::{Counter, Histogram, Registry};
 
 use crate::cache::EntryCache;
 use crate::cursor::StreamCursor;
@@ -26,6 +27,27 @@ struct Inner {
     cache: EntryCache,
 }
 
+/// Stream-layer instruments (`stream.*`), bound to the CORFU client's
+/// registry at construction.
+#[derive(Clone)]
+struct StreamMetrics {
+    sync_latency_ns: Histogram,
+    backpointer_walk: Histogram,
+    cache_hits: Counter,
+    cache_misses: Counter,
+}
+
+impl StreamMetrics {
+    fn from_registry(registry: &Registry) -> Self {
+        Self {
+            sync_latency_ns: registry.histogram("stream.sync_latency_ns"),
+            backpointer_walk: registry.histogram("stream.backpointer_walk"),
+            cache_hits: registry.counter("stream.cache_hits"),
+            cache_misses: registry.counter("stream.cache_misses"),
+        }
+    }
+}
+
 /// The streaming interface over the shared log (§5).
 ///
 /// Safe to share across threads; a mutex serializes cursor/cache mutation
@@ -33,6 +55,7 @@ struct Inner {
 pub struct StreamClient {
     corfu: CorfuClient,
     inner: Mutex<Inner>,
+    metrics: StreamMetrics,
 }
 
 impl StreamClient {
@@ -41,20 +64,29 @@ impl StreamClient {
         Self::with_config(corfu, StreamConfig::default())
     }
 
-    /// Wraps a CORFU client with explicit configuration.
+    /// Wraps a CORFU client with explicit configuration. The stream layer
+    /// records `stream.*` metrics into the CORFU client's registry.
     pub fn with_config(corfu: CorfuClient, config: StreamConfig) -> Self {
+        let metrics = StreamMetrics::from_registry(corfu.metrics());
         Self {
             corfu,
             inner: Mutex::new(Inner {
                 cursors: HashMap::new(),
                 cache: EntryCache::new(config.cache_capacity),
             }),
+            metrics,
         }
     }
 
     /// The underlying CORFU client.
     pub fn corfu(&self) -> &CorfuClient {
         &self.corfu
+    }
+
+    /// The metrics registry this client records into (shared with the
+    /// underlying CORFU client).
+    pub fn metrics(&self) -> &Registry {
+        self.corfu.metrics()
     }
 
     /// Registers a stream for playback. Idempotent.
@@ -76,18 +108,23 @@ impl StreamClient {
     /// round trip and returns the global tail. Call before `readnext` for
     /// linearizable semantics (the paper's explicit `sync`).
     pub fn sync(&self, streams: &[StreamId]) -> corfu::Result<LogOffset> {
+        let timer = self.metrics.sync_latency_ns.start();
         let (tail, backs) = self.corfu.tail_info(streams)?;
         let mut inner = self.inner.lock();
         for (&stream, seq_backs) in streams.iter().zip(backs.iter()) {
             self.learn(&mut inner, stream, tail, seq_backs)?;
         }
+        timer.stop();
         Ok(tail)
     }
 
     /// Returns the next entry of `stream`, or `None` when the cursor has
     /// delivered everything discovered by the last `sync`. Junk entries
     /// (patched holes) are skipped transparently.
-    pub fn readnext(&self, stream: StreamId) -> corfu::Result<Option<(LogOffset, Arc<EntryEnvelope>)>> {
+    pub fn readnext(
+        &self,
+        stream: StreamId,
+    ) -> corfu::Result<Option<(LogOffset, Arc<EntryEnvelope>)>> {
         loop {
             let offset = {
                 let inner = self.inner.lock();
@@ -138,12 +175,7 @@ impl StreamClient {
 
     /// Snapshot of the known member offsets of `stream` (ascending).
     pub fn known_offsets(&self, stream: StreamId) -> Vec<LogOffset> {
-        self.inner
-            .lock()
-            .cursors
-            .get(&stream)
-            .map(|c| c.offsets().to_vec())
-            .unwrap_or_default()
+        self.inner.lock().cursors.get(&stream).map(|c| c.offsets().to_vec()).unwrap_or_default()
     }
 
     /// The global tail through which `stream`'s membership is known.
@@ -183,8 +215,10 @@ impl StreamClient {
 
     fn fetch(&self, offset: LogOffset) -> corfu::Result<Option<Arc<EntryEnvelope>>> {
         if let Some(hit) = self.inner.lock().cache.get(offset) {
+            self.metrics.cache_hits.inc();
             return Ok(Some(hit));
         }
+        self.metrics.cache_misses.inc();
         match self.corfu.wait_read(offset)? {
             ReadOutcome::Data(bytes) => {
                 let entry = Arc::new(EntryEnvelope::decode(&bytes, offset)?);
@@ -207,8 +241,7 @@ impl StreamClient {
         tail: LogOffset,
         seq_backs: &[LogOffset],
     ) -> corfu::Result<()> {
-        let cursor =
-            inner.cursors.entry(stream).or_insert_with(|| StreamCursor::new(stream));
+        let cursor = inner.cursors.entry(stream).or_insert_with(|| StreamCursor::new(stream));
         let floor = cursor.max_known(); // Collect strictly greater offsets.
         let beyond = |off: LogOffset| floor.map(|f| off > f).unwrap_or(true);
 
@@ -216,26 +249,30 @@ impl StreamClient {
             seq_backs.iter().copied().filter(|&o| o != u64::MAX && beyond(o)).collect();
         if discovered.is_empty() {
             cursor.extend(Vec::new(), tail);
+            self.metrics.backpointer_walk.record(0);
             return Ok(());
         }
+        // Entries fetched while striding/scanning backward (the walk).
+        let mut walked = 0u64;
 
         // Walk backward from the oldest entry the sequencer told us about.
         // Backpointer lists are contiguous most-recent-first windows, so if
         // any reported offset is at or below `floor`, everything newer is
         // already in `discovered` and the chain has reconnected.
         let mut oldest = *discovered.iter().min().expect("non-empty");
-        let mut chain_complete =
-            seq_backs.iter().any(|&o| o != u64::MAX && !beyond(o));
+        let mut chain_complete = seq_backs.iter().any(|&o| o != u64::MAX && !beyond(o));
         while !chain_complete {
             // We need entries of this stream older than `oldest` (down to
             // floor, exclusive). Read `oldest`'s headers.
             // NOTE: the fetch below may block while a writer finishes.
+            walked += 1;
             let fetched = match self.fetch_unlocked(inner, oldest)? {
                 Some(entry) => entry,
                 None => {
                     // Junk broke the chain: linear backward scan (§5).
                     let lo = floor.map(|f| f + 1).unwrap_or(0);
                     for off in (lo..oldest).rev() {
+                        walked += 1;
                         match self.fetch_unlocked(inner, off)? {
                             Some(entry) if entry.belongs_to(stream) => discovered.push(off),
                             _ => {}
@@ -249,6 +286,7 @@ impl StreamClient {
                 // its header (cannot happen with our client; be defensive).
                 let lo = floor.map(|f| f + 1).unwrap_or(0);
                 for off in (lo..oldest).rev() {
+                    walked += 1;
                     match self.fetch_unlocked(inner, off)? {
                         Some(entry) if entry.belongs_to(stream) => discovered.push(off),
                         _ => {}
@@ -264,8 +302,7 @@ impl StreamClient {
                 .collect();
             let at_stream_start = header.backpointers.is_empty()
                 || header.backpointers.iter().all(|&o| o == u64::MAX);
-            let reconnected =
-                header.backpointers.iter().any(|&o| o != u64::MAX && !beyond(o));
+            let reconnected = header.backpointers.iter().any(|&o| o != u64::MAX && !beyond(o));
             if at_stream_start || reconnected || older.is_empty() {
                 discovered.extend(older);
                 chain_complete = true;
@@ -284,9 +321,9 @@ impl StreamClient {
         }
         discovered.sort_unstable();
         discovered.dedup();
-        let cursor =
-            inner.cursors.get_mut(&stream).expect("inserted above");
+        let cursor = inner.cursors.get_mut(&stream).expect("inserted above");
         cursor.extend(discovered, tail);
+        self.metrics.backpointer_walk.record(walked);
         Ok(())
     }
 
@@ -297,8 +334,10 @@ impl StreamClient {
         offset: LogOffset,
     ) -> corfu::Result<Option<Arc<EntryEnvelope>>> {
         if let Some(hit) = inner.cache.get(offset) {
+            self.metrics.cache_hits.inc();
             return Ok(Some(hit));
         }
+        self.metrics.cache_misses.inc();
         match self.corfu.wait_read(offset)? {
             ReadOutcome::Data(bytes) => {
                 let entry = Arc::new(EntryEnvelope::decode(&bytes, offset)?);

@@ -17,8 +17,7 @@ enum Event {
 }
 
 fn streams_strategy() -> impl Strategy<Value = Vec<u32>> {
-    proptest::collection::btree_set(0u32..4, 1..3)
-        .prop_map(|s| s.into_iter().collect())
+    proptest::collection::btree_set(0u32..4, 1..3).prop_map(|s| s.into_iter().collect())
 }
 
 fn event_strategy() -> impl Strategy<Value = Event> {

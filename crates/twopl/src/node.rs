@@ -103,12 +103,21 @@ mod tests {
     #[test]
     fn lock_conflicts_and_reentrancy() {
         let node = TwoPlNode::new();
-        assert_eq!(node.process(NodeRequest::LockWrite { key: 1, txn: 10 }), NodeResponse::Locked { version: 0 });
+        assert_eq!(
+            node.process(NodeRequest::LockWrite { key: 1, txn: 10 }),
+            NodeResponse::Locked { version: 0 }
+        );
         // Reentrant for the same txn; busy for others.
-        assert_eq!(node.process(NodeRequest::LockWrite { key: 1, txn: 10 }), NodeResponse::Locked { version: 0 });
+        assert_eq!(
+            node.process(NodeRequest::LockWrite { key: 1, txn: 10 }),
+            NodeResponse::Locked { version: 0 }
+        );
         assert_eq!(node.process(NodeRequest::LockWrite { key: 1, txn: 11 }), NodeResponse::Busy);
         assert_eq!(node.process(NodeRequest::Unlock { key: 1, txn: 10 }), NodeResponse::Ok);
-        assert_eq!(node.process(NodeRequest::LockWrite { key: 1, txn: 11 }), NodeResponse::Locked { version: 0 });
+        assert_eq!(
+            node.process(NodeRequest::LockWrite { key: 1, txn: 11 }),
+            NodeResponse::Locked { version: 0 }
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Wire messages between 2PL coordinators and partition nodes.
 
-use tango_wire::{Decode, Encode, Reader, Writer, WireError};
+use tango_wire::{Decode, Encode, Reader, WireError, Writer};
 
 use crate::{Key, TxnId, Value};
 

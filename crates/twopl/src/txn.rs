@@ -120,10 +120,9 @@ impl TwoPlClient {
         for &(key, read_validation) in &lock_plan {
             let owner = self.owner_of(key);
             let resp = match read_validation {
-                Some(observed_version) => self.call(
-                    owner,
-                    &NodeRequest::LockRead { key, txn: txid, observed_version },
-                )?,
+                Some(observed_version) => {
+                    self.call(owner, &NodeRequest::LockRead { key, txn: txid, observed_version })?
+                }
                 None => self.call(owner, &NodeRequest::LockWrite { key, txn: txid })?,
             };
             match resp {
@@ -137,9 +136,7 @@ impl TwoPlClient {
                     }
                     // For writes that were also read, validate here.
                     if read_validation.is_none() {
-                        if let Some(&(_, observed)) =
-                            txn.reads.iter().find(|(k, _)| *k == key)
-                        {
+                        if let Some(&(_, observed)) = txn.reads.iter().find(|(k, _)| *k == key) {
                             if observed != version {
                                 conflict = true;
                                 break;
@@ -167,18 +164,17 @@ impl TwoPlClient {
         // drop the pure read locks.
         for &(key, value) in &txn.writes {
             let owner = self.owner_of(key);
-            match self.call(owner, &NodeRequest::CommitWrite { key, value, timestamp, txn: txid })? {
+            match self
+                .call(owner, &NodeRequest::CommitWrite { key, value, timestamp, txn: txid })?
+            {
                 NodeResponse::Ok => {}
                 other => {
-                    return Err(TwoPlError::Codec(format!(
-                        "unexpected commit response {other:?}"
-                    )))
+                    return Err(TwoPlError::Codec(format!("unexpected commit response {other:?}")))
                 }
             }
         }
         let written: Vec<Key> = txn.writes.iter().map(|&(k, _)| k).collect();
-        let read_only_locks: Vec<Key> =
-            held.into_iter().filter(|k| !written.contains(k)).collect();
+        let read_only_locks: Vec<Key> = held.into_iter().filter(|k| !written.contains(k)).collect();
         self.unlock_all(&read_only_locks, txid)?;
         Ok(TxOutcome::Committed)
     }

@@ -98,10 +98,7 @@ impl<'a> Reader<'a> {
     pub fn get_bytes(&mut self) -> Result<&'a [u8]> {
         let len = self.get_varint()?;
         if len > self.remaining() as u64 {
-            return Err(WireError::Truncated {
-                needed: len as usize,
-                remaining: self.remaining(),
-            });
+            return Err(WireError::Truncated { needed: len as usize, remaining: self.remaining() });
         }
         self.take(len as usize)
     }

@@ -227,8 +227,7 @@ mod tests {
 
     #[test]
     fn composite_roundtrip() {
-        let value: (u64, Option<String>, Vec<u32>) =
-            (7, Some("hello".to_owned()), vec![1, 2, 3]);
+        let value: (u64, Option<String>, Vec<u32>) = (7, Some("hello".to_owned()), vec![1, 2, 3]);
         let bytes = encode_to_vec(&value);
         let back: (u64, Option<String>, Vec<u32>) = decode_from_slice(&bytes).unwrap();
         assert_eq!(back, value);

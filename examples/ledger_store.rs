@@ -43,9 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "backup recovered {} files; last edit: {:?}",
         namespace.get_children("/fs")?.len(),
         String::from_utf8(
-            editlog
-                .read_entry(ledger_id, editlog.last_add_confirmed(ledger_id)? as u64)?
-                .to_vec()
+            editlog.read_entry(ledger_id, editlog.last_add_confirmed(ledger_id)? as u64)?.to_vec()
         )?
     );
 

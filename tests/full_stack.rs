@@ -22,12 +22,9 @@ fn two_services_share_one_log() {
     let job_count = TangoCounter::open(&sched_rt, "job-count").unwrap();
 
     let metrics_rt = TangoRuntime::new(cluster.client().unwrap()).unwrap();
-    let events: TangoQueue<String> = TangoQueue::open_with(
-        &metrics_rt,
-        "events",
-        tango::ObjectOptions { needs_decision: true },
-    )
-    .unwrap();
+    let events: TangoQueue<String> =
+        TangoQueue::open_with(&metrics_rt, "events", tango::ObjectOptions { needs_decision: true })
+            .unwrap();
     let events_oid = events.oid();
 
     // The scheduler transacts on its own objects AND pushes an event to
@@ -56,6 +53,50 @@ fn two_services_share_one_log() {
     }
     assert_eq!(drained, 10);
     assert_eq!(job_count.get().unwrap(), 10);
+}
+
+#[test]
+fn observability_covers_the_whole_stack() {
+    // A mixed workload — plain updates, synced reads, committed and
+    // aborted transactions, a checkpoint — must light up instruments in
+    // every layer of the stack, all visible from one registry snapshot.
+    let cluster = LocalCluster::new(ClusterConfig::default());
+    let rt = TangoRuntime::new(cluster.client().unwrap()).unwrap();
+    let map: TangoMap<u64, String> = TangoMap::open(&rt, "observed").unwrap();
+
+    for i in 0..20u64 {
+        map.put(&i, &format!("v{i}")).unwrap();
+    }
+    assert_eq!(map.len().unwrap(), 20);
+    rt.begin_tx().unwrap();
+    map.put(&100, &"tx".to_owned()).unwrap();
+    assert_eq!(rt.end_tx().unwrap(), TxStatus::Committed);
+    rt.begin_tx().unwrap();
+    map.get(&100).unwrap();
+    rt.abort_tx().unwrap();
+    rt.checkpoint(map.oid()).unwrap();
+    rt.sync().unwrap();
+
+    let snap = rt.metrics().snapshot();
+    println!("{}", snap.to_text());
+    assert!(
+        snap.non_zero_count() >= 5,
+        "expected >=5 distinct non-zero metrics, got:\n{}",
+        snap.to_text()
+    );
+    // One instrument per layer: sequencer, storage, client, stream, runtime.
+    assert!(snap.counter("corfu.seq.tokens_granted") > 0);
+    assert!(snap.counter("corfu.storage.writes") > 0);
+    assert!(snap.histogram("corfu.client.append_latency_ns").is_some_and(|h| h.count() > 0));
+    assert!(snap.histogram("stream.sync_latency_ns").is_some_and(|h| h.count() > 0));
+    assert!(snap.counter("tango.tx_commit") > 0);
+    assert!(snap.counter("tango.tx_abort") > 0);
+    assert!(snap.counter("tango.checkpoints") > 0);
+    assert!(snap.histogram("tango.apply_latency_ns").is_some_and(|h| h.count() > 0));
+
+    // The same snapshot renders as JSON for scrapers.
+    let json = snap.to_json();
+    assert!(json.contains("\"tango.tx_commit\""));
 }
 
 #[test]
@@ -113,8 +154,7 @@ fn compaction_with_active_namespaces() {
         )
         .unwrap();
     rt2.sync().unwrap();
-    let children = view.query(None, |_s| ()).unwrap();
-    let _ = children;
+    view.query(None, |_s| ()).unwrap();
     // Post-compaction writes still work.
     zk.create("/apps/app-new", b"", CreateMode::Persistent).unwrap();
     assert_eq!(zk.get_children("/apps").unwrap().len(), 11);

@@ -1,0 +1,294 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal but honest wall-clock benchmark harness exposing the subset
+//! of the criterion 0.5 API this workspace uses: `criterion_group!` /
+//! `criterion_main!`, benchmark groups, `iter`, `iter_batched`,
+//! throughput annotation, and `black_box`. Each benchmark is calibrated
+//! to a target measurement time and reports mean ns/iteration (and
+//! throughput when annotated). There are no statistical confidence
+//! intervals — numbers are means over a fixed measuring window.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched setup results are grouped (API compatibility; the shim
+/// re-runs setup per batch regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state: large batches.
+    SmallInput,
+    /// Large per-iteration state: smaller batches.
+    LargeInput,
+    /// Setup re-runs before every single iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_millis(400),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Parses CLI args (ignored by the shim; present for API parity).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the measuring window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_override: None,
+        }
+    }
+
+    /// Runs a standalone benchmark (equivalent to a one-entry group).
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mt = self.measurement_time;
+        let wt = self.warm_up_time;
+        run_one(name, None, mt, wt, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_override: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Criterion API parity; the shim scales its measuring window down
+    /// when a smaller sample count is requested.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_override = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let mut mt = self.criterion.measurement_time;
+        let wt = self.criterion.warm_up_time;
+        if let Some(n) = self.sample_override {
+            // Criterion's default is 100 samples; scale our window likewise.
+            mt = Duration::from_nanos((mt.as_nanos() as u64 / 100).saturating_mul(n as u64).max(10_000_000));
+        }
+        run_one(&full, self.throughput, mt, wt, f);
+        self
+    }
+
+    /// Ends the group (no-op; groups flush eagerly).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; drives the measured iterations.
+pub struct Bencher {
+    mode: BenchMode,
+    /// Accumulated (iterations, elapsed) from the measuring phase.
+    samples: Vec<(u64, Duration)>,
+}
+
+enum BenchMode {
+    /// Estimate how many iterations fill the window.
+    Calibrate { target: Duration, iters_hint: u64 },
+    /// Measure `iters` iterations.
+    Measure { iters: u64 },
+}
+
+impl Bencher {
+    /// Times `routine` over the harness-chosen number of iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        match self.mode {
+            BenchMode::Calibrate { target, ref mut iters_hint } => {
+                // Double the iteration count until the wall time is visible.
+                let mut n = 1u64;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..n {
+                        black_box(routine());
+                    }
+                    let elapsed = start.elapsed();
+                    if elapsed >= target / 20 || n >= 1 << 30 {
+                        let per_iter = elapsed.as_nanos().max(1) as u64 / n.max(1);
+                        *iters_hint = (target.as_nanos() as u64 / per_iter.max(1)).max(1);
+                        break;
+                    }
+                    n *= 2;
+                }
+            }
+            BenchMode::Measure { iters } => {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                self.samples.push((iters, start.elapsed()));
+            }
+        }
+    }
+
+    /// Times `routine` with fresh state from `setup` each batch.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        match self.mode {
+            BenchMode::Calibrate { target, ref mut iters_hint } => {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                let elapsed = start.elapsed().as_nanos().max(1) as u64;
+                *iters_hint = (target.as_nanos() as u64 / elapsed).clamp(1, 1 << 20);
+            }
+            BenchMode::Measure { iters } => {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    total += start.elapsed();
+                }
+                self.samples.push((iters, total));
+            }
+        }
+    }
+}
+
+fn run_one(
+    name: &str,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibration pass (doubles as warm-up).
+    let mut b = Bencher {
+        mode: BenchMode::Calibrate { target: warm_up_time.max(Duration::from_millis(10)), iters_hint: 1 },
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    let iters_hint = match b.mode {
+        BenchMode::Calibrate { iters_hint, .. } => iters_hint,
+        _ => 1,
+    };
+
+    // Measuring passes: split the window into a handful of samples.
+    const SAMPLES: u64 = 5;
+    let per_sample = (iters_hint * measurement_time.as_nanos() as u64
+        / warm_up_time.max(Duration::from_millis(10)).as_nanos() as u64
+        / SAMPLES)
+        .max(1);
+    let mut samples = Vec::new();
+    for _ in 0..SAMPLES {
+        let mut b = Bencher { mode: BenchMode::Measure { iters: per_sample }, samples: Vec::new() };
+        f(&mut b);
+        samples.extend(b.samples);
+    }
+
+    let total_iters: u64 = samples.iter().map(|(n, _)| n).sum();
+    let total_time: Duration = samples.iter().map(|(_, d)| *d).sum();
+    let mean_ns = total_time.as_nanos() as f64 / total_iters.max(1) as f64;
+    let mut line = format!("{name:<44} {:>12.1} ns/iter", mean_ns);
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let gbps = bytes as f64 / mean_ns;
+            line.push_str(&format!("  ({gbps:.3} GB/s)"));
+        }
+        Some(Throughput::Elements(n)) => {
+            let meps = n as f64 * 1e3 / mean_ns;
+            line.push_str(&format!("  ({meps:.3} Melem/s)"));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Bytes(8));
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}
