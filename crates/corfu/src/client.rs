@@ -55,6 +55,16 @@ pub struct ClientOptions {
     pub max_epoch_retries: u32,
     /// How many times an append retries lost tokens before giving up.
     pub max_token_retries: u32,
+    /// Tokens reserved per sequencer round trip (§5's sequencer batching;
+    /// the paper's evaluation uses 4). With a batch of `n`, `token` fetches
+    /// `n` consecutive tokens via `NextBatch` and parks the spares in a
+    /// client-side pool keyed by stream set, so concurrent `append_streams`
+    /// callers amortize sequencer round trips ~`n`×.
+    ///
+    /// The default is 1 (no batching): unused pooled tokens become holes
+    /// that readers must junk-fill, so batching is opt-in for workloads with
+    /// a steady append rate — see [`ClientOptions::batched`].
+    pub seq_batch: usize,
 }
 
 impl Default for ClientOptions {
@@ -64,7 +74,15 @@ impl Default for ClientOptions {
             hole_poll_interval: Duration::from_millis(1),
             max_epoch_retries: 32,
             max_token_retries: 64,
+            seq_batch: 1,
         }
+    }
+}
+
+impl ClientOptions {
+    /// The paper's §5 configuration: sequencer tokens batched 4 at a time.
+    pub fn batched() -> Self {
+        Self { seq_batch: 4, ..Self::default() }
     }
 }
 
@@ -103,12 +121,26 @@ struct ClientState {
     conns: HashMap<NodeId, Arc<dyn ClientConn>>,
 }
 
+/// Client-side stash of batch-reserved tokens, keyed by the exact stream
+/// set they were reserved for (backpointers are stream-specific, so a token
+/// reserved for streams `[a, b]` can only stamp an entry joining `[a, b]`).
+/// Tokens are only valid at the epoch they were issued in: a reconfigured
+/// sequencer rebuilds its tail from *written* entries, so reserved-but-
+/// unwritten offsets may be re-issued — the pool is cleared on epoch change
+/// and write-once arbitration covers any stragglers.
+#[derive(Default)]
+struct TokenPool {
+    epoch: Epoch,
+    by_streams: HashMap<Vec<StreamId>, std::collections::VecDeque<Token>>,
+}
+
 /// A CORFU client handle. Cheap to clone; safe to share across threads.
 #[derive(Clone)]
 pub struct CorfuClient {
     layout: LayoutClient,
     factory: Arc<dyn ConnFactory>,
     state: Arc<RwLock<ClientState>>,
+    token_pool: Arc<parking_lot::Mutex<TokenPool>>,
     opts: ClientOptions,
     registry: Registry,
     metrics: ClientMetrics,
@@ -142,7 +174,15 @@ impl CorfuClient {
         let proj = layout.get()?;
         let state = ClientState { proj, conns: HashMap::new() };
         let metrics = ClientMetrics::from_registry(&registry);
-        Ok(Self { layout, factory, state: Arc::new(RwLock::new(state)), opts, registry, metrics })
+        Ok(Self {
+            layout,
+            factory,
+            state: Arc::new(RwLock::new(state)),
+            token_pool: Arc::new(parking_lot::Mutex::new(TokenPool::default())),
+            opts,
+            registry,
+            metrics,
+        })
     }
 
     /// The metrics registry this client records into. Snapshot it to
@@ -279,7 +319,19 @@ impl CorfuClient {
 
     /// Reserves the next log offset; `streams` become members of the entry
     /// and their backpointers are returned.
+    ///
+    /// With [`ClientOptions::seq_batch`] > 1 the client reserves
+    /// `seq_batch` consecutive tokens per sequencer round trip and serves
+    /// subsequent requests for the same stream set from its pool.
     pub fn token(&self, streams: &[StreamId]) -> Result<Token> {
+        if self.opts.seq_batch > 1 {
+            if let Some(token) = self.pooled_token(streams) {
+                self.metrics.token_pool_hits.inc();
+                self.metrics.tokens.inc();
+                return Ok(token);
+            }
+            return self.token_batch(streams);
+        }
         self.with_sequencer_retry("token", || {
             let epoch = self.epoch();
             match self
@@ -293,6 +345,60 @@ impl CorfuClient {
                     Err(CorfuError::Sealed { server_epoch: epoch })
                 }
                 other => Err(CorfuError::Codec(format!("unexpected token response {other:?}"))),
+            }
+        })
+    }
+
+    /// Pops a pooled token for exactly this stream set, discarding the pool
+    /// if the epoch moved since the tokens were reserved.
+    fn pooled_token(&self, streams: &[StreamId]) -> Option<Token> {
+        let epoch = self.epoch();
+        let mut pool = self.token_pool.lock();
+        if pool.epoch != epoch {
+            pool.by_streams.clear();
+            pool.epoch = epoch;
+            return None;
+        }
+        pool.by_streams.get_mut(streams)?.pop_front()
+    }
+
+    /// Reserves `seq_batch` consecutive tokens in one sequencer round trip,
+    /// returns the first and pools the rest.
+    fn token_batch(&self, streams: &[StreamId]) -> Result<Token> {
+        let count = self.opts.seq_batch as u32;
+        self.with_sequencer_retry("token", || {
+            let epoch = self.epoch();
+            let req = SequencerRequest::NextBatch { epoch, streams: streams.to_vec(), count };
+            match self.sequencer_call(&req)? {
+                SequencerResponse::TokenBatch { start, tokens } => {
+                    self.metrics.token_batches.inc();
+                    let mut tokens = tokens
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, backpointers)| Token { offset: start + i as u64, backpointers });
+                    let first = tokens
+                        .next()
+                        .ok_or_else(|| CorfuError::Codec("empty token batch".into()))?;
+                    let spares: Vec<Token> = tokens.collect();
+                    if !spares.is_empty() {
+                        let mut pool = self.token_pool.lock();
+                        if pool.epoch < epoch {
+                            pool.by_streams.clear();
+                            pool.epoch = epoch;
+                        }
+                        if pool.epoch == epoch {
+                            pool.by_streams.entry(streams.to_vec()).or_default().extend(spares);
+                        }
+                        // pool.epoch > epoch: a refresh raced us; the spares
+                        // are from a sealed epoch, so drop them.
+                    }
+                    self.metrics.tokens.inc();
+                    Ok(first)
+                }
+                SequencerResponse::ErrSealed { epoch } => {
+                    Err(CorfuError::Sealed { server_epoch: epoch })
+                }
+                other => Err(CorfuError::Codec(format!("unexpected batch response {other:?}"))),
             }
         })
     }
@@ -388,8 +494,11 @@ impl CorfuClient {
                         return Err(CorfuError::Sealed { server_epoch: epoch })
                     }
                     StorageResponse::ErrTrimmed => return Err(CorfuError::Trimmed { offset }),
-                    StorageResponse::ErrTooLarge => {
-                        return Err(CorfuError::EntryTooLarge { len: body.len(), max: 0 })
+                    StorageResponse::ErrTooLarge { max } => {
+                        return Err(CorfuError::EntryTooLarge {
+                            len: body.len(),
+                            max: max as usize,
+                        })
                     }
                     other => {
                         return Err(CorfuError::Storage(format!(

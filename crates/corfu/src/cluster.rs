@@ -306,6 +306,12 @@ impl TcpCluster {
 
     /// Creates a client that talks to the cluster over TCP.
     pub fn client(&self) -> Result<CorfuClient> {
+        self.client_with_options(ClientOptions::default())
+    }
+
+    /// Creates a TCP client with explicit options (e.g.
+    /// [`ClientOptions::batched`] for §5's sequencer token batching).
+    pub fn client_with_options(&self, opts: ClientOptions) -> Result<CorfuClient> {
         let conn_metrics = ConnMetrics::from_registry(&self.metrics);
         let layout = LayoutClient::new(Arc::new(
             TcpConn::new(self.layout_addr.clone()).with_metrics(conn_metrics.clone()),
@@ -314,11 +320,6 @@ impl TcpCluster {
             Arc::new(move |node: &NodeInfo| -> Arc<dyn ClientConn> {
                 Arc::new(TcpConn::new(node.addr.clone()).with_metrics(conn_metrics.clone()))
             });
-        CorfuClient::with_options_and_metrics(
-            layout,
-            factory,
-            ClientOptions::default(),
-            self.metrics.clone(),
-        )
+        CorfuClient::with_options_and_metrics(layout, factory, opts, self.metrics.clone())
     }
 }

@@ -45,7 +45,7 @@ pub use entry::{EntryEnvelope, StreamHeader};
 pub use error::CorfuError;
 pub use layout::{LayoutClient, LayoutServer};
 pub use projection::{NodeInfo, Projection};
-pub use sequencer::{SequencerServer, SequencerState};
+pub use sequencer::{SequencerServer, SequencerState, MAX_TOKEN_BATCH};
 pub use storage::StorageServer;
 
 /// A reconfiguration epoch. All requests are epoch-stamped; sealed servers

@@ -15,8 +15,14 @@ use tango_metrics::{Counter, Histogram, Registry, Sampler};
 /// operations pay the timer's clock reads.
 #[derive(Clone, Default)]
 pub struct ClientMetrics {
-    /// Sequencer tokens successfully acquired.
+    /// Sequencer tokens successfully acquired (from any path: single-token
+    /// RPC, batch RPC, or the client-side token pool).
     pub tokens: Counter,
+    /// `NextBatch` round trips to the sequencer.
+    pub token_batches: Counter,
+    /// Tokens served from the client-side pool without a sequencer round
+    /// trip.
+    pub token_pool_hits: Counter,
     /// Tail/backpointer queries (`tail_info` and the fast check).
     pub tail_queries: Counter,
     /// End-to-end latency of successful `append_streams` calls, ns
@@ -42,6 +48,8 @@ impl ClientMetrics {
     pub fn from_registry(registry: &Registry) -> Self {
         Self {
             tokens: registry.counter("corfu.client.tokens"),
+            token_batches: registry.counter("corfu.client.token_batches"),
+            token_pool_hits: registry.counter("corfu.client.token_pool_hits"),
             tail_queries: registry.counter("corfu.client.tail_queries"),
             append_latency_ns: registry.histogram("corfu.client.append_latency_ns"),
             read_latency_ns: registry.histogram("corfu.client.read_latency_ns"),
@@ -57,8 +65,12 @@ impl ClientMetrics {
 /// Sequencer-side instruments (`corfu.seq.*`).
 #[derive(Clone, Default)]
 pub struct SequencerMetrics {
-    /// Tokens granted (`Next` requests that succeeded).
+    /// Tokens granted, counting every token inside a batch (`Next` and
+    /// `NextBatch` requests that succeeded).
     pub tokens_granted: Counter,
+    /// `NextBatch` requests that succeeded. `tokens_granted` minus plain
+    /// `Next` grants divided by this gives the realized batch size.
+    pub batches_granted: Counter,
     /// Backpointer lookups served (`Query` requests that succeeded).
     pub backpointer_lookups: Counter,
     /// Seals accepted.
@@ -70,6 +82,7 @@ impl SequencerMetrics {
     pub fn from_registry(registry: &Registry) -> Self {
         Self {
             tokens_granted: registry.counter("corfu.seq.tokens_granted"),
+            batches_granted: registry.counter("corfu.seq.batches_granted"),
             backpointer_lookups: registry.counter("corfu.seq.backpointer_lookups"),
             seals: registry.counter("corfu.seq.seals"),
         }

@@ -88,7 +88,10 @@ pub enum StorageResponse {
         epoch: Epoch,
     },
     /// Payload exceeded the page size.
-    ErrTooLarge,
+    ErrTooLarge {
+        /// The node's page size — the largest payload it accepts.
+        max: u64,
+    },
     /// An internal storage fault.
     ErrStorage(String),
 }
@@ -103,6 +106,18 @@ pub enum SequencerRequest {
         epoch: Epoch,
         /// Streams the new entry joins.
         streams: Vec<StreamId>,
+    },
+    /// Reserve `count` consecutive offsets in one round trip (§5's sequencer
+    /// batching, batch=4 in the paper's evaluation). Every reserved entry
+    /// joins the same `streams`; the response carries per-token
+    /// backpointers.
+    NextBatch {
+        /// The client's epoch.
+        epoch: Epoch,
+        /// Streams every entry in the batch joins.
+        streams: Vec<StreamId>,
+        /// How many tokens to reserve (clamped to at least 1 by the server).
+        count: u32,
     },
     /// Read the tail and per-stream backpointers without incrementing
     /// (the "fast check" / stream-sync primitive).
@@ -145,6 +160,17 @@ pub enum SequencerResponse {
         offset: LogOffset,
         /// Backpointers per requested stream, in request order.
         backpointers: Vec<Vec<LogOffset>>,
+    },
+    /// A batch of consecutive tokens: offsets `start..start + tokens.len()`,
+    /// with each token's per-stream backpointers (request order). Token `i`
+    /// in the batch sees tokens `0..i` in its backpointer chains, exactly as
+    /// if it had been issued by its own `Next`.
+    TokenBatch {
+        /// The first reserved offset.
+        start: LogOffset,
+        /// Per token, per requested stream: the previous K offsets (most
+        /// recent first, excluding the token's own offset).
+        tokens: Vec<Vec<Vec<LogOffset>>>,
     },
     /// A query result: the current tail (next offset to be issued) plus the
     /// last K offsets of each requested stream.
@@ -286,7 +312,10 @@ impl Encode for StorageResponse {
                 w.put_u8(8);
                 w.put_u64(*epoch);
             }
-            StorageResponse::ErrTooLarge => w.put_u8(9),
+            StorageResponse::ErrTooLarge { max } => {
+                w.put_u8(9);
+                w.put_u64(*max);
+            }
             StorageResponse::ErrStorage(msg) => {
                 w.put_u8(10);
                 w.put_str(msg);
@@ -307,7 +336,7 @@ impl Decode for StorageResponse {
             6 => Ok(StorageResponse::ErrAlreadyWritten),
             7 => Ok(StorageResponse::ErrTrimmed),
             8 => Ok(StorageResponse::ErrSealed { epoch: r.get_u64()? }),
-            9 => Ok(StorageResponse::ErrTooLarge),
+            9 => Ok(StorageResponse::ErrTooLarge { max: r.get_u64()? }),
             10 => Ok(StorageResponse::ErrStorage(r.get_str()?.to_owned())),
             tag => Err(WireError::InvalidTag { what: "StorageResponse", tag: tag as u64 }),
         }
@@ -367,6 +396,12 @@ impl Encode for SequencerRequest {
                 w.put_u8(4);
                 w.put_u64(*epoch);
             }
+            SequencerRequest::NextBatch { epoch, streams, count } => {
+                w.put_u8(5);
+                w.put_u64(*epoch);
+                put_streams(w, streams);
+                w.put_u32(*count);
+            }
             SequencerRequest::Bootstrap { epoch, tail, streams } => {
                 w.put_u8(3);
                 w.put_u64(*epoch);
@@ -399,6 +434,11 @@ impl Decode for SequencerRequest {
                 Ok(SequencerRequest::Bootstrap { epoch, tail, streams })
             }
             4 => Ok(SequencerRequest::Dump { epoch: r.get_u64()? }),
+            5 => Ok(SequencerRequest::NextBatch {
+                epoch: r.get_u64()?,
+                streams: get_streams(r)?,
+                count: r.get_u32()?,
+            }),
             tag => Err(WireError::InvalidTag { what: "SequencerRequest", tag: tag as u64 }),
         }
     }
@@ -427,6 +467,17 @@ impl Encode for SequencerResponse {
             SequencerResponse::ErrSealed { epoch } => {
                 w.put_u8(3);
                 w.put_u64(*epoch);
+            }
+            SequencerResponse::TokenBatch { start, tokens } => {
+                w.put_u8(5);
+                w.put_u64(*start);
+                w.put_varint(tokens.len() as u64);
+                for token in tokens {
+                    w.put_varint(token.len() as u64);
+                    for backs in token {
+                        put_offsets(w, backs);
+                    }
+                }
             }
             SequencerResponse::State { tail, streams } => {
                 w.put_u8(4);
@@ -467,6 +518,15 @@ impl Decode for SequencerResponse {
                     streams.push((id, get_offsets(r)?));
                 }
                 Ok(SequencerResponse::State { tail, streams })
+            }
+            5 => {
+                let start = r.get_u64()?;
+                let n = r.get_len(1 << 16)?;
+                let mut tokens = Vec::with_capacity(n);
+                for _ in 0..n {
+                    tokens.push(get_backs(r)?);
+                }
+                Ok(SequencerResponse::TokenBatch { start, tokens })
             }
             tag => Err(WireError::InvalidTag { what: "SequencerResponse", tag: tag as u64 }),
         }
@@ -562,7 +622,7 @@ mod tests {
             StorageResponse::ErrAlreadyWritten,
             StorageResponse::ErrTrimmed,
             StorageResponse::ErrSealed { epoch: 9 },
-            StorageResponse::ErrTooLarge,
+            StorageResponse::ErrTooLarge { max: 4096 },
             StorageResponse::ErrStorage("boom".into()),
         ];
         for m in resps {
@@ -575,6 +635,8 @@ mod tests {
     fn sequencer_messages_roundtrip() {
         let msgs = vec![
             SequencerRequest::Next { epoch: 1, streams: vec![1, 2, 3] },
+            SequencerRequest::NextBatch { epoch: 1, streams: vec![1, 2], count: 4 },
+            SequencerRequest::NextBatch { epoch: 0, streams: vec![], count: 1 },
             SequencerRequest::Query { epoch: 1, streams: vec![] },
             SequencerRequest::Seal { epoch: 4 },
             SequencerRequest::Bootstrap {
@@ -589,6 +651,11 @@ mod tests {
         }
         let resps = vec![
             SequencerResponse::Token { offset: 5, backpointers: vec![vec![4, 2], vec![]] },
+            SequencerResponse::TokenBatch {
+                start: 10,
+                tokens: vec![vec![vec![9, 8], vec![]], vec![vec![10, 9], vec![10]]],
+            },
+            SequencerResponse::TokenBatch { start: 0, tokens: vec![vec![]] },
             SequencerResponse::TailInfo { tail: 6, backpointers: vec![vec![5]] },
             SequencerResponse::Ok,
             SequencerResponse::ErrSealed { epoch: 2 },

@@ -157,7 +157,9 @@ impl Inner {
             FlashError::Sealed { current_epoch } => {
                 StorageResponse::ErrSealed { epoch: current_epoch }
             }
-            FlashError::PageTooLarge { .. } => StorageResponse::ErrTooLarge,
+            FlashError::PageTooLarge { page_size, .. } => {
+                StorageResponse::ErrTooLarge { max: page_size as u64 }
+            }
             FlashError::Io(msg) | FlashError::Corrupt(msg) => StorageResponse::ErrStorage(msg),
         }
     }

@@ -1,8 +1,16 @@
-//! Length-prefixed, CRC-checked framing for the TCP transport.
+//! Length-prefixed, CRC-checked framing for the TCP transport (wire v2).
 //!
-//! Frame layout: `magic u32 | len u32 | crc u32 | payload[len]`, all
-//! little-endian. `crc` is the CRC-32C of the payload. `len` is bounded to
-//! guard against garbage on the socket.
+//! Frame layout: `magic u32 | request_id u64 | len u32 | crc u32 |
+//! payload[len]`, all little-endian. The `request_id` lets many RPCs share
+//! one socket: the client stamps each request with a fresh id and the server
+//! echoes it on the response, so responses may arrive in any order and are
+//! routed back to the right caller. `crc` is the CRC-32C of the payload.
+//! `len` is bounded to guard against garbage on the socket.
+//!
+//! v1 (magic `..01`) had no request id and therefore forced a strict
+//! one-in-flight request/response lockstep per connection; the magic bump to
+//! `..02` makes the incompatibility explicit (a v1 peer fails with
+//! `BadFrame` instead of misparsing).
 
 use std::io::{Read, Write};
 
@@ -10,46 +18,174 @@ use tango_wire::crc32c;
 
 use crate::{Result, RpcError};
 
-const FRAME_MAGIC: u32 = 0x7A_4E_47_01;
+/// Magic + wire version. The low byte is the version; v1 was `0x7A_4E_47_01`.
+pub const FRAME_MAGIC: u32 = 0x7A_4E_47_02;
+
+/// Bytes in a frame header: magic, request id, length, CRC.
+pub const HEADER_LEN: usize = 20;
 
 /// Upper bound on a frame payload (64 MiB): far above any CORFU entry but
 /// small enough to reject corrupted lengths immediately.
 pub const MAX_FRAME_LEN: u32 = 64 << 20;
 
+/// One decoded frame: the request id and its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Correlates a response with the request that produced it.
+    pub id: u64,
+    /// The message bytes.
+    pub payload: Vec<u8>,
+}
+
 /// Writes one frame to `w`.
-pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+pub fn write_frame(w: &mut impl Write, id: u64, payload: &[u8]) -> Result<()> {
     if payload.len() as u64 > MAX_FRAME_LEN as u64 {
         return Err(RpcError::BadFrame(format!("payload of {} bytes too large", payload.len())));
     }
-    let mut header = [0u8; 12];
+    let mut header = [0u8; HEADER_LEN];
     header[0..4].copy_from_slice(&FRAME_MAGIC.to_le_bytes());
-    header[4..8].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-    header[8..12].copy_from_slice(&crc32c(payload).to_le_bytes());
+    header[4..12].copy_from_slice(&id.to_le_bytes());
+    header[12..16].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[16..20].copy_from_slice(&crc32c(payload).to_le_bytes());
     w.write_all(&header)?;
     w.write_all(payload)?;
     w.flush()?;
     Ok(())
 }
 
-/// Reads one frame from `r`.
-pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>> {
-    let mut header = [0u8; 12];
-    r.read_exact(&mut header)?;
-    let magic = u32::from_le_bytes(header[0..4].try_into().expect("fixed slice"));
-    if magic != FRAME_MAGIC {
-        return Err(RpcError::BadFrame(format!("bad magic {magic:#x}")));
+/// Reads one complete frame from `r`, treating a read timeout as an error.
+///
+/// Connection loops that must keep partial progress across timeouts (the
+/// server's 200ms shutdown poll, the client's reader thread) use a
+/// [`FrameAssembler`] instead.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame> {
+    let mut assembler = FrameAssembler::new();
+    match assembler.poll(r)? {
+        Some(frame) => Ok(frame),
+        None => Err(RpcError::Timeout),
     }
-    let len = u32::from_le_bytes(header[4..8].try_into().expect("fixed slice"));
-    if len > MAX_FRAME_LEN {
-        return Err(RpcError::BadFrame(format!("length {len} exceeds bound")));
+}
+
+enum AssemblerState {
+    Header,
+    Payload { id: u64, crc: u32 },
+}
+
+/// Incremental frame reader that survives read timeouts mid-frame.
+///
+/// Sockets in this transport carry a short read timeout so connection
+/// threads can poll a shutdown flag; with a plain `read_exact` a timeout
+/// firing after part of a frame has been consumed would discard that
+/// progress and desync the stream (the next read would start mid-frame and
+/// die with `BadFrame`). The assembler instead buffers whatever has arrived:
+/// [`FrameAssembler::poll`] returns `Ok(None)` on a timeout and resumes
+/// exactly where it left off on the next call.
+pub struct FrameAssembler {
+    state: AssemblerState,
+    header: [u8; HEADER_LEN],
+    header_got: usize,
+    payload: Vec<u8>,
+    payload_got: usize,
+}
+
+impl FrameAssembler {
+    /// A fresh assembler at a frame boundary.
+    pub fn new() -> Self {
+        Self {
+            state: AssemblerState::Header,
+            header: [0u8; HEADER_LEN],
+            header_got: 0,
+            payload: Vec::new(),
+            payload_got: 0,
+        }
     }
-    let crc = u32::from_le_bytes(header[8..12].try_into().expect("fixed slice"));
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    if crc32c(&payload) != crc {
-        return Err(RpcError::BadFrame("payload checksum mismatch".into()));
+
+    /// True if no partial frame is buffered (the stream is at a frame
+    /// boundary, so a timeout means the peer is idle).
+    pub fn is_idle(&self) -> bool {
+        matches!(self.state, AssemblerState::Header) && self.header_got == 0
     }
-    Ok(payload)
+
+    /// Drives assembly forward. Returns `Ok(Some(frame))` once a complete
+    /// frame is available, `Ok(None)` if the reader timed out (partial
+    /// progress is retained; call again), or an error on EOF, I/O failure,
+    /// or frame validation failure.
+    pub fn poll(&mut self, r: &mut impl Read) -> Result<Option<Frame>> {
+        loop {
+            match self.state {
+                AssemblerState::Header => {
+                    while self.header_got < HEADER_LEN {
+                        match r.read(&mut self.header[self.header_got..]) {
+                            Ok(0) => return Err(RpcError::Disconnected),
+                            Ok(n) => self.header_got += n,
+                            Err(e) => match Self::classify(e)? {
+                                Interruption::Timeout => return Ok(None),
+                                Interruption::Retry => continue,
+                            },
+                        }
+                    }
+                    let magic =
+                        u32::from_le_bytes(self.header[0..4].try_into().expect("fixed slice"));
+                    if magic != FRAME_MAGIC {
+                        return Err(RpcError::BadFrame(format!("bad magic {magic:#x}")));
+                    }
+                    let id =
+                        u64::from_le_bytes(self.header[4..12].try_into().expect("fixed slice"));
+                    let len =
+                        u32::from_le_bytes(self.header[12..16].try_into().expect("fixed slice"));
+                    if len > MAX_FRAME_LEN {
+                        return Err(RpcError::BadFrame(format!("length {len} exceeds bound")));
+                    }
+                    let crc =
+                        u32::from_le_bytes(self.header[16..20].try_into().expect("fixed slice"));
+                    self.payload = vec![0u8; len as usize];
+                    self.payload_got = 0;
+                    self.state = AssemblerState::Payload { id, crc };
+                }
+                AssemblerState::Payload { id, crc } => {
+                    while self.payload_got < self.payload.len() {
+                        match r.read(&mut self.payload[self.payload_got..]) {
+                            Ok(0) => return Err(RpcError::Disconnected),
+                            Ok(n) => self.payload_got += n,
+                            Err(e) => match Self::classify(e)? {
+                                Interruption::Timeout => return Ok(None),
+                                Interruption::Retry => continue,
+                            },
+                        }
+                    }
+                    let payload = std::mem::take(&mut self.payload);
+                    self.state = AssemblerState::Header;
+                    self.header_got = 0;
+                    self.payload_got = 0;
+                    if crc32c(&payload) != crc {
+                        return Err(RpcError::BadFrame("payload checksum mismatch".into()));
+                    }
+                    return Ok(Some(Frame { id, payload }));
+                }
+            }
+        }
+    }
+
+    fn classify(e: std::io::Error) -> Result<Interruption> {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                Ok(Interruption::Timeout)
+            }
+            std::io::ErrorKind::Interrupted => Ok(Interruption::Retry),
+            _ => Err(e.into()),
+        }
+    }
+}
+
+impl Default for FrameAssembler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+enum Interruption {
+    Timeout,
+    Retry,
 }
 
 #[cfg(test)]
@@ -59,23 +195,27 @@ mod tests {
     #[test]
     fn roundtrip() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, b"hello frame").unwrap();
+        write_frame(&mut buf, 7, b"hello frame").unwrap();
         let mut cursor = std::io::Cursor::new(buf);
-        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello frame");
+        let frame = read_frame(&mut cursor).unwrap();
+        assert_eq!(frame.id, 7);
+        assert_eq!(frame.payload, b"hello frame");
     }
 
     #[test]
     fn empty_payload_roundtrip() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, u64::MAX, b"").unwrap();
         let mut cursor = std::io::Cursor::new(buf);
-        assert_eq!(read_frame(&mut cursor).unwrap(), Vec::<u8>::new());
+        let frame = read_frame(&mut cursor).unwrap();
+        assert_eq!(frame.id, u64::MAX);
+        assert_eq!(frame.payload, Vec::<u8>::new());
     }
 
     #[test]
     fn corrupted_payload_rejected() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, b"hello frame").unwrap();
+        write_frame(&mut buf, 1, b"hello frame").unwrap();
         let last = buf.len() - 1;
         buf[last] ^= 0xFF;
         let mut cursor = std::io::Cursor::new(buf);
@@ -85,8 +225,21 @@ mod tests {
     #[test]
     fn bad_magic_rejected() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, b"x").unwrap();
+        write_frame(&mut buf, 1, b"x").unwrap();
         buf[0] ^= 1;
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cursor), Err(RpcError::BadFrame(_))));
+    }
+
+    #[test]
+    fn v1_frame_rejected() {
+        // A v1 header (old magic, no request id) must not parse as v2.
+        let payload = [0x5Au8; 64];
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0x7A_4E_47_01u32.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&crc32c(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
         let mut cursor = std::io::Cursor::new(buf);
         assert!(matches!(read_frame(&mut cursor), Err(RpcError::BadFrame(_))));
     }
@@ -94,7 +247,7 @@ mod tests {
     #[test]
     fn truncated_stream_disconnects() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, b"full payload").unwrap();
+        write_frame(&mut buf, 1, b"full payload").unwrap();
         buf.truncate(buf.len() - 3);
         let mut cursor = std::io::Cursor::new(buf);
         assert!(matches!(read_frame(&mut cursor), Err(RpcError::Disconnected)));
@@ -103,10 +256,69 @@ mod tests {
     #[test]
     fn insane_length_rejected_before_allocation() {
         let mut buf = Vec::new();
-        buf.extend_from_slice(&0x7A_4E_47_01u32.to_le_bytes());
+        buf.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
         buf.extend_from_slice(&u32::MAX.to_le_bytes());
         buf.extend_from_slice(&0u32.to_le_bytes());
         let mut cursor = std::io::Cursor::new(buf);
         assert!(matches!(read_frame(&mut cursor), Err(RpcError::BadFrame(_))));
+    }
+
+    /// A reader that yields its bytes a few at a time, interleaved with
+    /// timeout errors — the shape of a slow peer behind a read timeout.
+    struct Dribble {
+        data: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+        timeout_next: bool,
+    }
+
+    impl Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.timeout_next {
+                self.timeout_next = false;
+                return Err(std::io::Error::from(std::io::ErrorKind::WouldBlock));
+            }
+            self.timeout_next = true;
+            let n = self.chunk.min(self.data.len() - self.pos).min(buf.len());
+            if n == 0 {
+                return Ok(0);
+            }
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn assembler_survives_mid_frame_timeouts() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 42, &vec![0xAB; 1000]).unwrap();
+        let mut dribble = Dribble { data: buf, pos: 0, chunk: 3, timeout_next: false };
+        let mut assembler = FrameAssembler::new();
+        let mut timeouts = 0u32;
+        let frame = loop {
+            match assembler.poll(&mut dribble).unwrap() {
+                Some(frame) => break frame,
+                None => timeouts += 1,
+            }
+        };
+        assert_eq!(frame.id, 42);
+        assert_eq!(frame.payload, vec![0xAB; 1000]);
+        // The frame arrived across many timeouts, several of them mid-frame.
+        assert!(timeouts > 100, "expected many interleaved timeouts, got {timeouts}");
+    }
+
+    #[test]
+    fn assembler_reports_idle_only_at_boundary() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, b"abcdef").unwrap();
+        let mut dribble = Dribble { data: buf, pos: 0, chunk: 4, timeout_next: false };
+        let mut assembler = FrameAssembler::new();
+        assert!(assembler.is_idle());
+        assert!(assembler.poll(&mut dribble).unwrap().is_none());
+        assert!(!assembler.is_idle(), "partial header must not look idle");
+        while assembler.poll(&mut dribble).unwrap().is_none() {}
+        assert!(assembler.is_idle());
     }
 }

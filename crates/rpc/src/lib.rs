@@ -12,22 +12,24 @@
 //! * [`LocalConn`] — in-process transport used by tests, examples, and the
 //!   single-process cluster harness.
 //! * [`TcpServer`] / [`TcpConn`] — a real socket transport: length-framed,
-//!   CRC-checked messages over TCP with a thread per connection and
-//!   transparent reconnect on the client.
+//!   CRC-checked messages over TCP. Frames carry a `u64` request id (wire
+//!   v2, see [`frame`]), so a single connection multiplexes many pipelined
+//!   RPCs: the client matches responses to callers by id, and the server
+//!   completes requests out of order on a bounded per-connection worker
+//!   pool. Clients reconnect transparently.
 //!
-//! The framing is deliberately minimal (no streaming, no multiplexing):
-//! CORFU's protocol is strictly request/response and clients that want
-//! pipelining open several connections.
+//! The framing is still deliberately minimal — request/response only, no
+//! streaming — because CORFU's protocol needs nothing more.
 
 mod error;
-mod frame;
+pub mod frame;
 mod local;
 mod tcp;
 mod traits;
 
 pub use error::RpcError;
 pub use local::LocalConn;
-pub use tcp::{ConnMetrics, TcpConn, TcpServer};
+pub use tcp::{ConnMetrics, TcpConn, TcpServer, WORKERS_PER_CONNECTION};
 pub use traits::{ClientConn, RpcHandler};
 
 /// Convenience alias for transport results.

@@ -1,17 +1,46 @@
-//! TCP transport: a thread-per-connection server and a reconnecting client.
+//! TCP transport: a multiplexed, pipelined client and a worker-pool server.
+//!
+//! ## Server
+//!
+//! One reader thread per accepted connection pulls request frames off the
+//! socket and hands them to a bounded per-connection worker pool
+//! ([`WORKERS_PER_CONNECTION`] threads). Workers invoke the handler and
+//! write response frames under a shared writer lock, so responses complete
+//! — and are sent — in whatever order they finish, not the order they
+//! arrived.
+//!
+//! ## Client
+//!
+//! [`TcpConn`] multiplexes many concurrent RPCs over one socket. Each call
+//! stamps its request frame with a fresh `u64` id and registers a waiter;
+//! writes go through a dedicated writer path (a short critical section that
+//! only covers the socket write), while a per-connection reader thread
+//! routes response frames back to their waiters by id. A call that times
+//! out simply abandons its waiter — a late response is discarded by id with
+//! no stream desync, so the connection stays usable. Transparent reconnect
+//! (one retry per call) is preserved from the v1 transport.
 
+use std::collections::HashMap;
 use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crossbeam::channel;
 use parking_lot::Mutex;
-use tango_metrics::{Counter, Histogram, Registry};
+use tango_metrics::{Counter, Gauge, Histogram, Registry};
 
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{write_frame, FrameAssembler};
 use crate::{ClientConn, Result, RpcError, RpcHandler};
+
+/// Size of the per-connection worker pool: how many pipelined requests one
+/// connection can have in service concurrently on the server.
+pub const WORKERS_PER_CONNECTION: usize = 4;
+
+/// How often blocked reads wake up to poll shutdown/liveness flags.
+const POLL_INTERVAL: Duration = Duration::from_millis(200);
 
 /// A running TCP RPC server. Dropping the handle shuts the server down.
 pub struct TcpServer {
@@ -22,7 +51,8 @@ pub struct TcpServer {
 
 impl TcpServer {
     /// Binds to `addr` (use port 0 for an ephemeral port) and starts serving
-    /// `handler` with one thread per connection.
+    /// `handler`: one reader thread plus a bounded worker pool per
+    /// connection.
     pub fn spawn(addr: &str, handler: Arc<dyn RpcHandler>) -> Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
@@ -58,14 +88,28 @@ impl Drop for TcpServer {
     }
 }
 
+/// Sleep applied after `consecutive` back-to-back `accept` failures, so a
+/// persistent error (e.g. EMFILE) degrades to a paced retry instead of a
+/// 100%-CPU busy-spin. Grows linearly, capped at 250ms to keep shutdown
+/// responsive.
+fn accept_backoff(consecutive: u32) -> Duration {
+    Duration::from_millis(u64::from(consecutive).saturating_mul(10).min(250))
+}
+
 fn accept_loop(listener: TcpListener, handler: Arc<dyn RpcHandler>, shutdown: Arc<AtomicBool>) {
+    let mut consecutive_errors: u32 = 0;
     loop {
         let (stream, peer) = match listener.accept() {
-            Ok(pair) => pair,
+            Ok(pair) => {
+                consecutive_errors = 0;
+                pair
+            }
             Err(_) => {
                 if shutdown.load(Ordering::SeqCst) {
                     return;
                 }
+                consecutive_errors += 1;
+                std::thread::sleep(accept_backoff(consecutive_errors));
                 continue;
             }
         };
@@ -82,33 +126,67 @@ fn accept_loop(listener: TcpListener, handler: Arc<dyn RpcHandler>, shutdown: Ar
 
 fn serve_connection(stream: TcpStream, handler: Arc<dyn RpcHandler>, shutdown: Arc<AtomicBool>) {
     let _ = stream.set_nodelay(true);
-    // A read timeout lets the thread observe shutdown even on idle peers.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-    let mut writer = match stream.try_clone() {
-        Ok(s) => s,
+    // A read timeout lets the reader observe shutdown even on idle peers;
+    // the FrameAssembler keeps partial progress across timeouts, so a slow
+    // peer dribbling a large frame does not desync the stream.
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let writer = match stream.try_clone() {
+        Ok(s) => Arc::new(Mutex::new(s)),
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
-    loop {
-        if shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        match read_frame(&mut reader) {
-            Ok(request) => {
+    let (tx, rx) = channel::unbounded::<(u64, Vec<u8>)>();
+    let mut workers = Vec::with_capacity(WORKERS_PER_CONNECTION);
+    for i in 0..WORKERS_PER_CONNECTION {
+        let rx = rx.clone();
+        let handler = Arc::clone(&handler);
+        let writer = Arc::clone(&writer);
+        let worker = std::thread::Builder::new().name(format!("rpc-worker-{i}")).spawn(move || {
+            while let Ok((id, request)) = rx.recv() {
                 let response = handler.handle(&request);
-                if write_frame(&mut writer, &response).is_err() {
+                let mut w = writer.lock();
+                if write_frame(&mut *w, id, &response).is_err() {
+                    // A failed (possibly partial) write desyncs the whole
+                    // connection; take it down so peers fail fast.
+                    let _ = w.shutdown(Shutdown::Both);
                     return;
                 }
             }
-            Err(RpcError::Timeout) => continue,
-            Err(_) => return,
+        });
+        if let Ok(worker) = worker {
+            workers.push(worker);
         }
+    }
+    drop(rx);
+    if workers.is_empty() {
+        return;
+    }
+    let mut reader = BufReader::new(stream);
+    let mut assembler = FrameAssembler::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match assembler.poll(&mut reader) {
+            Ok(Some(frame)) => {
+                if tx.send((frame.id, frame.payload)).is_err() {
+                    break;
+                }
+            }
+            // Idle peer, or a timeout mid-frame (progress retained).
+            Ok(None) => continue,
+            Err(_) => break,
+        }
+    }
+    // Closing the channel lets workers drain queued requests and exit.
+    drop(tx);
+    for worker in workers {
+        let _ = worker.join();
     }
 }
 
 /// Transport-level instrumentation shared by every [`TcpConn`] built from
-/// the same registry: round-trip latency, payload bytes each way, and
-/// reconnect count.
+/// the same registry: round-trip latency, payload bytes each way, reconnect
+/// count, and in-flight request depth.
 #[derive(Clone, Default)]
 pub struct ConnMetrics {
     /// Wall-clock latency of successful `call`s, in nanoseconds.
@@ -119,6 +197,9 @@ pub struct ConnMetrics {
     pub bytes_in: Counter,
     /// Connections re-established after a drop (timeout or server restart).
     pub reconnects: Counter,
+    /// RPCs currently in flight (sent, response not yet received) across
+    /// all connections bound to the registry.
+    pub in_flight: Gauge,
 }
 
 impl ConnMetrics {
@@ -129,6 +210,7 @@ impl ConnMetrics {
             bytes_out: registry.counter("rpc.bytes_out"),
             bytes_in: registry.counter("rpc.bytes_in"),
             reconnects: registry.counter("rpc.reconnects"),
+            in_flight: registry.gauge("rpc.in_flight"),
         }
     }
 
@@ -138,15 +220,82 @@ impl ConnMetrics {
     }
 }
 
-/// A blocking TCP client connection with transparent reconnect.
+type Waiter = channel::Sender<Result<Vec<u8>>>;
+
+/// State shared between callers and a connection's reader thread.
+#[derive(Default)]
+struct Shared {
+    pending: Mutex<HashMap<u64, Waiter>>,
+    dead: AtomicBool,
+}
+
+impl Shared {
+    /// Marks the connection dead and fails every outstanding waiter.
+    fn fail(&self, error: RpcError) {
+        self.dead.store(true, Ordering::SeqCst);
+        let mut pending = self.pending.lock();
+        for (_, waiter) in pending.drain() {
+            let _ = waiter.send(Err(error.clone()));
+        }
+    }
+}
+
+/// One live socket: the write half plus the reader-thread rendezvous state.
+struct Live {
+    writer: Mutex<TcpStream>,
+    shared: Arc<Shared>,
+}
+
+impl Drop for Live {
+    fn drop(&mut self) {
+        // Wake the reader thread so it exits promptly instead of idling
+        // until its next poll tick.
+        self.shared.dead.store(true, Ordering::SeqCst);
+        let _ = self.writer.lock().shutdown(Shutdown::Both);
+    }
+}
+
+fn reader_loop(stream: TcpStream, shared: Arc<Shared>) {
+    let mut reader = BufReader::new(stream);
+    let mut assembler = FrameAssembler::new();
+    loop {
+        if shared.dead.load(Ordering::SeqCst) {
+            shared.fail(RpcError::Disconnected);
+            return;
+        }
+        match assembler.poll(&mut reader) {
+            Ok(Some(frame)) => {
+                let waiter = shared.pending.lock().remove(&frame.id);
+                if let Some(waiter) = waiter {
+                    let _ = waiter.send(Ok(frame.payload));
+                }
+                // No waiter: the caller timed out and abandoned this id.
+                // Discarding the late response by id is what keeps a
+                // timeout from desyncing the stream.
+            }
+            Ok(None) => continue,
+            Err(e) => {
+                shared.fail(e);
+                return;
+            }
+        }
+    }
+}
+
+/// A blocking TCP client connection with pipelined multiplexing and
+/// transparent reconnect.
 ///
-/// One RPC may be in flight at a time per connection; callers that want
-/// pipelining (e.g. a CORFU client with a deep append window) open several
-/// `TcpConn`s to the same server.
+/// Any number of threads may `call` concurrently over one `TcpConn`: each
+/// request is stamped with a fresh id, written under a short writer lock,
+/// and matched to its response by the connection's reader thread, so many
+/// RPCs are in flight on the socket at once. (The v1 transport allowed one
+/// in-flight request per connection and callers opened several connections
+/// for pipelining; that is no longer necessary.)
 pub struct TcpConn {
     addr: String,
     timeout: Duration,
-    stream: Mutex<Option<TcpStream>>,
+    live: Mutex<Option<Arc<Live>>>,
+    next_id: AtomicU64,
     metrics: ConnMetrics,
 }
 
@@ -156,7 +305,8 @@ impl TcpConn {
         Self {
             addr: addr.into(),
             timeout: Duration::from_secs(5),
-            stream: Mutex::new(None),
+            live: Mutex::new(None),
+            next_id: AtomicU64::new(0),
             metrics: ConnMetrics::disabled(),
         }
     }
@@ -173,43 +323,84 @@ impl TcpConn {
         self
     }
 
-    fn connect(&self) -> Result<TcpStream> {
+    fn connect(&self) -> Result<Live> {
         let stream = TcpStream::connect(&self.addr)?;
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
-        Ok(stream)
+        let reader_stream = stream.try_clone()?;
+        // The read timeout is a liveness poll for the reader thread; per-call
+        // deadlines are enforced by the waiters, not the socket.
+        reader_stream.set_read_timeout(Some(POLL_INTERVAL))?;
+        let shared = Arc::new(Shared::default());
+        let reader_shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name(format!("rpc-reader-{}", self.addr))
+            .spawn(move || reader_loop(reader_stream, reader_shared))
+            .map_err(|e| RpcError::Io(e.to_string()))?;
+        Ok(Live { writer: Mutex::new(stream), shared })
     }
 
-    fn try_call(&self, stream: &mut TcpStream, request: &[u8]) -> Result<Vec<u8>> {
-        write_frame(stream, request)?;
-        read_frame(stream)
-    }
-}
-
-impl TcpConn {
-    fn call_inner(&self, request: &[u8]) -> Result<Vec<u8>> {
-        let mut guard = self.stream.lock();
-        if guard.is_none() {
-            *guard = Some(self.connect()?);
+    /// Returns the live connection, dialing a fresh one if none exists or
+    /// the cached one has died. The dead handle is dropped *before* the
+    /// connect attempt, so a failed reconnect can never leave a known-broken
+    /// stream cached for the next caller to waste a round trip on.
+    fn live(&self) -> Result<Arc<Live>> {
+        let mut guard = self.live.lock();
+        if let Some(live) = guard.as_ref() {
+            if !live.shared.dead.load(Ordering::SeqCst) {
+                return Ok(Arc::clone(live));
+            }
         }
-        let stream = guard.as_mut().expect("just connected");
-        match self.try_call(stream, request) {
-            Ok(resp) => Ok(resp),
-            Err(RpcError::Timeout) => {
-                // The response may still arrive later and would desync the
-                // stream; drop the connection.
-                *guard = None;
-                Err(RpcError::Timeout)
+        let had_stale = guard.take().is_some();
+        let live = Arc::new(self.connect()?);
+        if had_stale {
+            self.metrics.reconnects.inc();
+        }
+        *guard = Some(Arc::clone(&live));
+        Ok(live)
+    }
+
+    fn call_once(&self, request: &[u8]) -> Result<Vec<u8>> {
+        let live = self.live()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = channel::unbounded();
+        live.shared.pending.lock().insert(id, tx);
+        self.metrics.in_flight.add(1);
+        let result = (|| {
+            // The reader may have died between the liveness check and the
+            // waiter registration; its drain would miss a later insert.
+            if live.shared.dead.load(Ordering::SeqCst) {
+                return Err(RpcError::Disconnected);
             }
-            Err(_) => {
-                // Reconnect once: the server may have restarted.
-                self.metrics.reconnects.inc();
-                let mut fresh = self.connect()?;
-                let resp = self.try_call(&mut fresh, request)?;
-                *guard = Some(fresh);
-                Ok(resp)
+            {
+                let mut writer = live.writer.lock();
+                if let Err(e) = write_frame(&mut *writer, id, request) {
+                    // A partial write desyncs the stream for everyone.
+                    let _ = writer.shutdown(Shutdown::Both);
+                    drop(writer);
+                    live.shared.fail(e.clone());
+                    return Err(e);
+                }
             }
+            match rx.recv_timeout(self.timeout) {
+                Ok(outcome) => outcome,
+                // Abandon the waiter; the reader discards the late response.
+                Err(_) => Err(RpcError::Timeout),
+            }
+        })();
+        live.shared.pending.lock().remove(&id);
+        self.metrics.in_flight.sub(1);
+        result
+    }
+
+    fn call_inner(&self, request: &[u8]) -> Result<Vec<u8>> {
+        match self.call_once(request) {
+            // The connection stays usable after a timeout (responses are
+            // matched by id), so there is nothing to retry against.
+            Err(RpcError::Timeout) => Err(RpcError::Timeout),
+            // Reconnect and retry once: the server may have restarted.
+            Err(_) => self.call_once(request),
+            ok => ok,
         }
     }
 }
@@ -301,11 +492,25 @@ mod tests {
         assert!(snap.counter("rpc.bytes_out") >= 6);
         assert!(snap.counter("rpc.bytes_in") >= 6);
         assert!(snap.histogram("rpc.round_trip_ns").unwrap().count() >= 2);
+        assert_eq!(snap.gauge("rpc.in_flight"), 0);
     }
 
     #[test]
     fn call_to_dead_server_errors() {
         let conn = TcpConn::new("127.0.0.1:1"); // Nothing listens on port 1.
         assert!(conn.call(b"x").is_err());
+    }
+
+    #[test]
+    fn accept_backoff_paces_persistent_errors() {
+        assert_eq!(accept_backoff(0), Duration::ZERO);
+        let mut last = Duration::ZERO;
+        for consecutive in 1..100 {
+            let backoff = accept_backoff(consecutive);
+            assert!(backoff >= last, "backoff must not shrink");
+            assert!(backoff >= Duration::from_millis(10), "errors must yield the CPU");
+            assert!(backoff <= Duration::from_millis(250), "cap keeps shutdown responsive");
+            last = backoff;
+        }
     }
 }

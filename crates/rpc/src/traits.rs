@@ -2,8 +2,9 @@ use crate::Result;
 
 /// The server side of a service: turns request bytes into response bytes.
 ///
-/// Handlers must be safe to invoke concurrently; a TCP server calls `handle`
-/// from one thread per connection.
+/// Handlers must be safe to invoke concurrently: a TCP server calls `handle`
+/// from a worker pool per connection, so several requests from the *same*
+/// connection may be in `handle` simultaneously and complete out of order.
 pub trait RpcHandler: Send + Sync {
     /// Processes one request and produces its response.
     fn handle(&self, request: &[u8]) -> Vec<u8>;
@@ -19,6 +20,10 @@ where
 }
 
 /// The client side of a service: a blocking request/response call.
+///
+/// Implementations are shared across threads; concurrent `call`s on one
+/// connection are allowed and (for the TCP transport) pipelined over a
+/// single socket.
 pub trait ClientConn: Send + Sync {
     /// Sends `request` and waits for the response.
     fn call(&self, request: &[u8]) -> Result<Vec<u8>>;
