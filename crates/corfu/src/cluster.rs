@@ -117,11 +117,17 @@ pub struct LocalCluster {
     sequencer: Arc<SequencerServer>,
     storage: Vec<Arc<StorageServer>>,
     sequencer_generation: std::sync::atomic::AtomicU32,
+    storage_generation: std::sync::atomic::AtomicU32,
     metrics: Registry,
 }
 
 /// Node id assigned to the first sequencer; replacements count up from it.
 pub const SEQUENCER_BASE_ID: NodeId = 10_000;
+
+/// Node id assigned to the first replacement storage node; further
+/// replacements count up from it. Kept above the sequencer range so node
+/// kind is recoverable from the id in either harness.
+pub const STORAGE_REPLACEMENT_BASE_ID: NodeId = 20_000;
 
 /// Symbolic address of the layout service in the registry.
 pub const LAYOUT_ADDR: &str = "layout";
@@ -170,6 +176,7 @@ impl LocalCluster {
             sequencer,
             storage,
             sequencer_generation: std::sync::atomic::AtomicU32::new(1),
+            storage_generation: std::sync::atomic::AtomicU32::new(0),
             metrics,
         }
     }
@@ -199,18 +206,34 @@ impl LocalCluster {
     /// the cluster-wide registry. Pass [`Registry::disabled()`] to measure
     /// the cost of the no-op instrumentation path.
     pub fn client_with_metrics(&self, metrics: Registry) -> Result<CorfuClient> {
-        let layout = LayoutClient::new(Arc::new(RegistryConn {
+        self.client_with_factory(self.conn_factory(), self.config.client_options.clone(), metrics)
+    }
+
+    /// The cluster's plain connection factory. Test harnesses (e.g. fault
+    /// injection) can wrap it and build clients via
+    /// [`LocalCluster::client_with_factory`].
+    pub fn conn_factory(&self) -> Arc<dyn ConnFactory> {
+        Arc::new(RegistryFactory { registry: self.registry.clone() })
+    }
+
+    /// A layout-service client stub.
+    pub fn layout_client(&self) -> LayoutClient {
+        LayoutClient::new(Arc::new(RegistryConn {
             registry: self.registry.clone(),
             addr: LAYOUT_ADDR.to_owned(),
-        }));
-        let factory: Arc<dyn ConnFactory> =
-            Arc::new(RegistryFactory { registry: self.registry.clone() });
-        CorfuClient::with_options_and_metrics(
-            layout,
-            factory,
-            self.config.client_options.clone(),
-            metrics,
-        )
+        }))
+    }
+
+    /// Creates a client routing node connections through an arbitrary
+    /// factory — the hook fault-injection harnesses use to interpose on
+    /// every client→server call.
+    pub fn client_with_factory(
+        &self,
+        factory: Arc<dyn ConnFactory>,
+        options: ClientOptions,
+        metrics: Registry,
+    ) -> Result<CorfuClient> {
+        CorfuClient::with_options_and_metrics(self.layout_client(), factory, options, metrics)
     }
 
     /// Direct access to the current sequencer server (for assertions).
@@ -244,13 +267,45 @@ impl LocalCluster {
         self.registry.register(addr.clone(), Arc::clone(&server) as Arc<dyn RpcHandler>);
         (NodeInfo { id, addr }, server)
     }
+
+    /// Kills the storage node `id`: its address stops resolving, so every
+    /// subsequent call to it fails with `Disconnected`.
+    pub fn kill_storage_node(&self, id: NodeId) {
+        let proj = self.layout_server.process(crate::proto::LayoutRequest::Get);
+        if let crate::proto::LayoutResponse::Current(p) = proj {
+            if let Some(addr) = p.addr_of(id) {
+                self.registry.kill(addr);
+            }
+        }
+    }
+
+    /// Registers a fresh, empty storage server and returns its node info,
+    /// ready to be handed to [`crate::reconfig::replace_storage_node`].
+    pub fn spawn_replacement_storage(&self) -> (NodeInfo, Arc<StorageServer>) {
+        let gen = self.storage_generation.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        let id = STORAGE_REPLACEMENT_BASE_ID + gen;
+        let addr = format!("storage-{id}");
+        let server = Arc::new(
+            StorageServer::new(FlashUnit::in_memory(self.config.page_size))
+                .with_metrics(&self.metrics),
+        );
+        self.registry.register(addr.clone(), Arc::clone(&server) as Arc<dyn RpcHandler>);
+        (NodeInfo { id, addr }, server)
+    }
 }
 
 /// A CORFU deployment over real TCP sockets on localhost: the same servers,
 /// each behind a [`TcpServer`]. Useful for end-to-end integration tests.
+/// Storage nodes can be killed (their listener shuts down) and replacements
+/// spawned, mirroring the [`LocalCluster`] failure-injection API.
 pub struct TcpCluster {
-    /// Keep servers alive; dropping shuts them down.
-    _servers: Vec<TcpServer>,
+    config: ClusterConfig,
+    /// Storage servers by node id; removing one drops it, which shuts the
+    /// listener down and disconnects its clients.
+    storage_servers: parking_lot::Mutex<HashMap<NodeId, TcpServer>>,
+    /// Keep the sequencer and layout servers alive.
+    _aux_servers: Vec<TcpServer>,
+    storage_generation: std::sync::atomic::AtomicU32,
     layout_addr: String,
     metrics: Registry,
 }
@@ -262,7 +317,8 @@ impl TcpCluster {
     /// into it as well.
     pub fn spawn(config: ClusterConfig) -> Result<Self> {
         let metrics = Registry::new();
-        let mut servers = Vec::new();
+        let mut storage_servers = HashMap::new();
+        let mut aux_servers = Vec::new();
         let mut replica_sets = Vec::new();
         let mut nodes = Vec::new();
         let mut next_id: NodeId = 0;
@@ -276,7 +332,7 @@ impl TcpCluster {
                 let server = TcpServer::spawn("127.0.0.1:0", handler)
                     .map_err(|e| crate::CorfuError::Rpc(e.to_string()))?;
                 nodes.push(NodeInfo { id: next_id, addr: server.local_addr().to_string() });
-                servers.push(server);
+                storage_servers.insert(next_id, server);
                 set.push(next_id);
                 next_id += 1;
             }
@@ -287,21 +343,50 @@ impl TcpCluster {
         let seq_server = TcpServer::spawn("127.0.0.1:0", seq_handler)
             .map_err(|e| crate::CorfuError::Rpc(e.to_string()))?;
         nodes.push(NodeInfo { id: SEQUENCER_BASE_ID, addr: seq_server.local_addr().to_string() });
-        servers.push(seq_server);
+        aux_servers.push(seq_server);
 
         let projection = Projection { epoch: 0, replica_sets, sequencer: SEQUENCER_BASE_ID, nodes };
         let layout_handler: Arc<dyn RpcHandler> = Arc::new(LayoutServer::new(projection));
         let layout_server = TcpServer::spawn("127.0.0.1:0", layout_handler)
             .map_err(|e| crate::CorfuError::Rpc(e.to_string()))?;
         let layout_addr = layout_server.local_addr().to_string();
-        servers.push(layout_server);
+        aux_servers.push(layout_server);
 
-        Ok(Self { _servers: servers, layout_addr, metrics })
+        Ok(Self {
+            config,
+            storage_servers: parking_lot::Mutex::new(storage_servers),
+            _aux_servers: aux_servers,
+            storage_generation: std::sync::atomic::AtomicU32::new(0),
+            layout_addr,
+            metrics,
+        })
     }
 
     /// The deployment-wide metrics registry.
     pub fn metrics(&self) -> &Registry {
         &self.metrics
+    }
+
+    /// Kills the storage node `id`: its TCP listener shuts down and open
+    /// connections drop, so subsequent calls to it fail.
+    pub fn kill_storage_node(&self, id: NodeId) {
+        self.storage_servers.lock().remove(&id);
+    }
+
+    /// Spawns a fresh, empty storage server on an ephemeral port and returns
+    /// its node info, ready for [`crate::reconfig::replace_storage_node`].
+    pub fn spawn_replacement_storage(&self) -> Result<NodeInfo> {
+        let gen = self.storage_generation.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        let id = STORAGE_REPLACEMENT_BASE_ID + gen;
+        let handler: Arc<dyn RpcHandler> = Arc::new(
+            StorageServer::new(FlashUnit::in_memory(self.config.page_size))
+                .with_metrics(&self.metrics),
+        );
+        let server = TcpServer::spawn("127.0.0.1:0", handler)
+            .map_err(|e| crate::CorfuError::Rpc(e.to_string()))?;
+        let info = NodeInfo { id, addr: server.local_addr().to_string() };
+        self.storage_servers.lock().insert(id, server);
+        Ok(info)
     }
 
     /// Creates a client that talks to the cluster over TCP.

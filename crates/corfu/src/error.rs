@@ -46,6 +46,14 @@ pub enum CorfuError {
     Codec(String),
     /// A layout (projection) operation failed.
     Layout(String),
+    /// A reconfiguration lost the race to a concurrent reconfigurer: the
+    /// cluster is already sealed or installed at `winner`. Unlike
+    /// [`CorfuError::Layout`], this is not a failure of the layout service —
+    /// someone else finished the job; refresh the projection and carry on.
+    RaceLost {
+        /// The epoch the winning reconfiguration reached.
+        winner: Epoch,
+    },
     /// Retries were exhausted without success.
     RetriesExhausted {
         /// What was being attempted.
@@ -72,6 +80,9 @@ impl fmt::Display for CorfuError {
             CorfuError::Storage(e) => write!(f, "storage fault: {e}"),
             CorfuError::Codec(e) => write!(f, "codec failure: {e}"),
             CorfuError::Layout(e) => write!(f, "layout failure: {e}"),
+            CorfuError::RaceLost { winner } => {
+                write!(f, "reconfiguration lost the race; cluster is at epoch {winner}")
+            }
             CorfuError::RetriesExhausted { what } => write!(f, "retries exhausted: {what}"),
         }
     }

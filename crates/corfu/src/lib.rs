@@ -40,7 +40,7 @@ pub mod reconfig;
 mod sequencer;
 mod storage;
 
-pub use client::{AppendOutcome, ClientOptions, CorfuClient, ReadOutcome, Token};
+pub use client::{AppendOutcome, ClientOptions, ConnFactory, CorfuClient, ReadOutcome, Token};
 pub use entry::{EntryEnvelope, StreamHeader};
 pub use error::CorfuError;
 pub use layout::{LayoutClient, LayoutServer};

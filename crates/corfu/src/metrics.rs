@@ -103,6 +103,8 @@ pub struct StorageMetrics {
     pub seals: Counter,
     /// Trim operations accepted (single-offset and prefix).
     pub trims: Counter,
+    /// `CopyRange` chunks served to a rebuild coordinator.
+    pub copy_chunks: Counter,
 }
 
 impl StorageMetrics {
@@ -114,6 +116,42 @@ impl StorageMetrics {
             fills: registry.counter("corfu.storage.fills"),
             seals: registry.counter("corfu.storage.seals"),
             trims: registry.counter("corfu.storage.trims"),
+            copy_chunks: registry.counter("corfu.storage.copy_chunks"),
+        }
+    }
+}
+
+/// Reconfiguration instruments (`corfu.reconfig.*`), bound per call by the
+/// [`crate::reconfig`] entry points against the coordinating client's
+/// registry. Reconfiguration is not a hot path, so the registration lock is
+/// acceptable there.
+#[derive(Clone, Default)]
+pub struct ReconfigMetrics {
+    /// Completed sequencer replacements.
+    pub seq_replacements: Counter,
+    /// Completed storage-node replacements (chain rebuilds).
+    pub storage_replacements: Counter,
+    /// Completed membership-preserving epoch bumps.
+    pub epoch_bumps: Counter,
+    /// Reconfigurations abandoned because a concurrent reconfigurer won
+    /// (seal race or layout CAS conflict).
+    pub races_lost: Counter,
+    /// Pages copied to a replacement node per rebuild.
+    pub rebuild_pages: Histogram,
+    /// Payload bytes copied to a replacement node per rebuild.
+    pub rebuild_bytes: Histogram,
+}
+
+impl ReconfigMetrics {
+    /// Binds the `corfu.reconfig.*` names in `registry`.
+    pub fn from_registry(registry: &Registry) -> Self {
+        Self {
+            seq_replacements: registry.counter("corfu.reconfig.seq_replacements"),
+            storage_replacements: registry.counter("corfu.reconfig.storage_replacements"),
+            epoch_bumps: registry.counter("corfu.reconfig.epoch_bumps"),
+            races_lost: registry.counter("corfu.reconfig.races_lost"),
+            rebuild_pages: registry.histogram("corfu.reconfig.rebuild_pages"),
+            rebuild_bytes: registry.histogram("corfu.reconfig.rebuild_bytes"),
         }
     }
 }

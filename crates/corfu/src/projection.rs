@@ -103,6 +103,25 @@ impl Projection {
         self.nodes.iter().find(|n| n.id == id).map(|n| n.addr.as_str())
     }
 
+    /// The projection after splicing `replacement` into every chain
+    /// position held by `dead`, at the next epoch. `dead` leaves the
+    /// address book; `replacement` joins it. The striping function is
+    /// untouched, so every global offset keeps its (set, local) mapping —
+    /// only the node serving `dead`'s position changes.
+    pub fn with_replaced_node(&self, dead: NodeId, replacement: &NodeInfo) -> Projection {
+        let replica_sets = self
+            .replica_sets
+            .iter()
+            .map(|set| set.iter().map(|&n| if n == dead { replacement.id } else { n }).collect())
+            .collect();
+        let mut nodes: Vec<NodeInfo> =
+            self.nodes.iter().filter(|n| n.id != dead).cloned().collect();
+        if nodes.iter().all(|n| n.id != replacement.id) {
+            nodes.push(replacement.clone());
+        }
+        Projection { epoch: self.epoch + 1, replica_sets, sequencer: self.sequencer, nodes }
+    }
+
     /// All distinct storage node ids (excluding the sequencer).
     pub fn storage_nodes(&self) -> Vec<NodeId> {
         let mut out: Vec<NodeId> = self.replica_sets.iter().flatten().copied().collect();

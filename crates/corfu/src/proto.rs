@@ -61,6 +61,31 @@ pub enum StorageRequest {
         /// The client's epoch.
         epoch: Epoch,
     },
+    /// Stream a range of consumed pages out of this node, for rebuilding a
+    /// failed replica onto a replacement (§5 / CORFU chain rebuild). The
+    /// node answers with a [`StorageResponse::PageChunk`] covering local
+    /// addresses `start..start+count` (clamped to the local tail);
+    /// unwritten addresses are skipped. The requester iterates until the
+    /// chunk reports `next >= local_tail`.
+    CopyRange {
+        /// The client's epoch (the *new*, sealed epoch during a rebuild).
+        epoch: Epoch,
+        /// First local address of the requested range.
+        start: u64,
+        /// Maximum number of addresses to scan in this round trip.
+        count: u32,
+    },
+}
+
+/// One consumed page streamed by [`StorageRequest::CopyRange`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageCopy {
+    /// A data page with its payload.
+    Data(Bytes),
+    /// A junk fill (filled hole) — must stay junk on the replacement.
+    Junk,
+    /// A randomly trimmed address — must stay consumed on the replacement.
+    Trimmed,
 }
 
 /// Responses from a storage node.
@@ -94,6 +119,20 @@ pub enum StorageResponse {
     },
     /// An internal storage fault.
     ErrStorage(String),
+    /// One window of a [`StorageRequest::CopyRange`] stream.
+    PageChunk {
+        /// The source node's local tail (highest consumed address + 1).
+        local_tail: u64,
+        /// The source node's prefix-trim horizon; the replacement should
+        /// install it with a `TrimPrefix` before (or after) the page copy.
+        prefix_trim: u64,
+        /// First address not covered by this chunk; pass as the next
+        /// `start`. The stream is complete when `next >= local_tail`.
+        next: u64,
+        /// The consumed pages in the scanned window (unwritten addresses
+        /// are omitted), in ascending address order.
+        pages: Vec<(u64, PageCopy)>,
+    },
 }
 
 /// Requests accepted by the sequencer.
@@ -268,6 +307,12 @@ impl Encode for StorageRequest {
                 w.put_u8(5);
                 w.put_u64(*epoch);
             }
+            StorageRequest::CopyRange { epoch, start, count } => {
+                w.put_u8(6);
+                w.put_u64(*epoch);
+                w.put_u64(*start);
+                w.put_u32(*count);
+            }
         }
     }
 }
@@ -286,6 +331,11 @@ impl Decode for StorageRequest {
             3 => Ok(StorageRequest::TrimPrefix { epoch: r.get_u64()?, horizon: r.get_u64()? }),
             4 => Ok(StorageRequest::Seal { epoch: r.get_u64()? }),
             5 => Ok(StorageRequest::LocalTail { epoch: r.get_u64()? }),
+            6 => Ok(StorageRequest::CopyRange {
+                epoch: r.get_u64()?,
+                start: r.get_u64()?,
+                count: r.get_u32()?,
+            }),
             tag => Err(WireError::InvalidTag { what: "StorageRequest", tag: tag as u64 }),
         }
     }
@@ -320,6 +370,24 @@ impl Encode for StorageResponse {
                 w.put_u8(10);
                 w.put_str(msg);
             }
+            StorageResponse::PageChunk { local_tail, prefix_trim, next, pages } => {
+                w.put_u8(11);
+                w.put_u64(*local_tail);
+                w.put_u64(*prefix_trim);
+                w.put_u64(*next);
+                w.put_varint(pages.len() as u64);
+                for (addr, page) in pages {
+                    w.put_u64(*addr);
+                    match page {
+                        PageCopy::Data(b) => {
+                            w.put_u8(0);
+                            w.put_bytes(b);
+                        }
+                        PageCopy::Junk => w.put_u8(1),
+                        PageCopy::Trimmed => w.put_u8(2),
+                    }
+                }
+            }
         }
     }
 }
@@ -338,6 +406,26 @@ impl Decode for StorageResponse {
             8 => Ok(StorageResponse::ErrSealed { epoch: r.get_u64()? }),
             9 => Ok(StorageResponse::ErrTooLarge { max: r.get_u64()? }),
             10 => Ok(StorageResponse::ErrStorage(r.get_str()?.to_owned())),
+            11 => {
+                let local_tail = r.get_u64()?;
+                let prefix_trim = r.get_u64()?;
+                let next = r.get_u64()?;
+                let len = r.get_len(1 << 20)?;
+                let mut pages = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let addr = r.get_u64()?;
+                    let page = match r.get_u8()? {
+                        0 => PageCopy::Data(Bytes::decode(r)?),
+                        1 => PageCopy::Junk,
+                        2 => PageCopy::Trimmed,
+                        tag => {
+                            return Err(WireError::InvalidTag { what: "PageCopy", tag: tag as u64 })
+                        }
+                    };
+                    pages.push((addr, page));
+                }
+                Ok(StorageResponse::PageChunk { local_tail, prefix_trim, next, pages })
+            }
             tag => Err(WireError::InvalidTag { what: "StorageResponse", tag: tag as u64 }),
         }
     }
@@ -607,6 +695,7 @@ mod tests {
             StorageRequest::TrimPrefix { epoch: 1, horizon: 100 },
             StorageRequest::Seal { epoch: 7 },
             StorageRequest::LocalTail { epoch: 7 },
+            StorageRequest::CopyRange { epoch: 9, start: 128, count: 256 },
         ];
         for m in msgs {
             let bytes = encode_to_vec(&m);
@@ -624,6 +713,17 @@ mod tests {
             StorageResponse::ErrSealed { epoch: 9 },
             StorageResponse::ErrTooLarge { max: 4096 },
             StorageResponse::ErrStorage("boom".into()),
+            StorageResponse::PageChunk {
+                local_tail: 40,
+                prefix_trim: 3,
+                next: 20,
+                pages: vec![
+                    (3, PageCopy::Data(Bytes::from_static(b"page"))),
+                    (4, PageCopy::Junk),
+                    (7, PageCopy::Trimmed),
+                ],
+            },
+            StorageResponse::PageChunk { local_tail: 0, prefix_trim: 0, next: 0, pages: vec![] },
         ];
         for m in resps {
             let bytes = encode_to_vec(&m);

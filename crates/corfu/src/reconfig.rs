@@ -18,16 +18,42 @@
 //!
 //! Clients racing the reconfiguration observe `ErrSealed`, refresh their
 //! projection, and retry.
+//!
+//! Storage-node replacement ([`replace_storage_node`]) follows the same
+//! seal-based recipe to rebuild a dead flash node's chain position:
+//!
+//! 1. seal every surviving storage node (and the sequencer, which keeps its
+//!    soft state) at the new epoch, fencing all old-epoch operations;
+//! 2. copy the dead node's local pages to a fresh replacement by streaming
+//!    `CopyRange` chunks from the head-most surviving replica of each chain
+//!    the dead node served — data pages, junk fills, random trim marks, and
+//!    the prefix-trim horizon are all reproduced, so the replacement's
+//!    write-once arbitration is exactly as strict as the original's;
+//! 3. CAS-propose a projection with the replacement spliced into the dead
+//!    node's chain positions (the striping function is unchanged);
+//! 4. let racing clients observe `ErrSealed`, refresh, and retry.
+//!
+//! Concurrent reconfigurations converge: sealing a node that is already at
+//! the target epoch is treated as that step being done (two replacements of
+//! the same node do identical work and write-once arbitration makes the
+//! copy idempotent), and the layout CAS picks exactly one winner. The loser
+//! gets [`CorfuError::RaceLost`] carrying the winning epoch, distinguishing
+//! "someone else finished the job" from a real layout failure.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use tango_rpc::ClientConn;
 use tango_wire::{decode_from_slice, encode_to_vec};
 
 use crate::client::{CorfuClient, ReadOutcome};
 use crate::entry::EntryEnvelope;
-use crate::proto::{SequencerRequest, SequencerResponse, StorageRequest, StorageResponse};
+use crate::metrics::ReconfigMetrics;
+use crate::proto::{
+    PageCopy, SequencerRequest, SequencerResponse, StorageRequest, StorageResponse, WriteKind,
+};
 use crate::sequencer::SequencerState;
-use crate::{CorfuError, Epoch, LogOffset, NodeInfo, Projection, Result, StreamId};
+use crate::{CorfuError, Epoch, LogOffset, NodeId, NodeInfo, Projection, Result, StreamId};
 
 /// What a completed reconfiguration produced.
 #[derive(Debug, Clone)]
@@ -44,13 +70,15 @@ pub struct ReconfigOutcome {
 /// [`crate::SequencerServer`] reachable through the client's connection
 /// factory). `k` is the deployment's backpointer count per stream.
 ///
-/// On a lost CAS race the error is [`CorfuError::Layout`]; the caller can
-/// simply refresh, since someone else completed a reconfiguration.
+/// On a lost race (seal or CAS) the error is [`CorfuError::RaceLost`]
+/// carrying the winning epoch; the caller can simply refresh, since someone
+/// else completed a reconfiguration.
 pub fn replace_sequencer(
     client: &CorfuClient,
     new_seq: NodeInfo,
     k: usize,
 ) -> Result<ReconfigOutcome> {
+    let metrics = ReconfigMetrics::from_registry(client.metrics());
     let old = client.layout().get()?;
     let new_epoch = old.epoch + 1;
 
@@ -76,9 +104,8 @@ pub fn replace_sequencer(
                 StorageResponse::ErrSealed { epoch } if epoch >= new_epoch => {
                     // Another reconfigurer got here first; bail out and let
                     // the layout CAS pick the winner.
-                    return Err(CorfuError::Layout(format!(
-                        "node {node} already sealed at epoch {epoch}"
-                    )));
+                    metrics.races_lost.inc();
+                    return Err(CorfuError::RaceLost { winner: epoch });
                 }
                 other => {
                     return Err(CorfuError::Storage(format!("seal of node {node}: {other:?}")))
@@ -116,14 +143,261 @@ pub fn replace_sequencer(
     match client.layout().propose(new_proj.clone())? {
         None => {}
         Some(winner) => {
-            return Err(CorfuError::Layout(format!(
-                "lost reconfiguration race to epoch {}",
-                winner.epoch
-            )))
+            metrics.races_lost.inc();
+            return Err(CorfuError::RaceLost { winner: winner.epoch });
         }
     }
     client.refresh_layout()?;
+    metrics.seq_replacements.inc();
     Ok(ReconfigOutcome { projection: new_proj, recovered_tail, entries_scanned })
+}
+
+/// What a completed storage-node replacement produced.
+#[derive(Debug, Clone)]
+pub struct RebuildOutcome {
+    /// The newly installed projection, with the replacement spliced in.
+    pub projection: Projection,
+    /// Consumed pages (data, junk, and trim marks) copied to the
+    /// replacement.
+    pub pages_copied: u64,
+    /// Payload bytes copied to the replacement.
+    pub bytes_copied: u64,
+    /// Replica chains the dead node served (and the replacement now
+    /// serves).
+    pub chains_rebuilt: usize,
+}
+
+/// Addresses scanned per `CopyRange` round trip during a rebuild.
+pub const COPY_CHUNK_PAGES: u32 = 256;
+
+/// Replaces the dead (or decommissioned) storage node `dead` with
+/// `replacement`, a fresh [`crate::StorageServer`] reachable through the
+/// client's connection factory: seals the cluster into a new epoch, copies
+/// the dead node's chain positions from the head-most surviving replica of
+/// each chain, and CAS-installs a projection with the replacement spliced
+/// in. Clients racing the replacement observe `ErrSealed`, refresh, and
+/// retry transparently.
+///
+/// The node being replaced does not have to be down — replacing a live
+/// node decommissions it cleanly (its seal is attempted best-effort).
+///
+/// On a lost race the error is [`CorfuError::RaceLost`] with the winning
+/// epoch: two concurrent replacements of the same node converge, with
+/// exactly one winning the layout CAS.
+pub fn replace_storage_node(
+    client: &CorfuClient,
+    dead: NodeId,
+    replacement: NodeInfo,
+) -> Result<RebuildOutcome> {
+    let metrics = ReconfigMetrics::from_registry(client.metrics());
+    let old = client.layout().get()?;
+    let new_epoch = old.epoch + 1;
+
+    // Validate the membership change up front.
+    let affected: Vec<usize> = old
+        .replica_sets
+        .iter()
+        .enumerate()
+        .filter(|(_, set)| set.contains(&dead))
+        .map(|(idx, _)| idx)
+        .collect();
+    if dead == old.sequencer {
+        return Err(CorfuError::Layout(format!(
+            "node {dead} is the sequencer; use replace_sequencer"
+        )));
+    }
+    if affected.is_empty() {
+        // The node is in no chain: a concurrent replacement already spliced
+        // it out (it may even have started after ours and still won the
+        // CAS first). Converge instead of failing.
+        metrics.races_lost.inc();
+        return Err(CorfuError::RaceLost { winner: old.epoch });
+    }
+    if replacement.id == old.sequencer
+        || old.replica_sets.iter().any(|set| set.contains(&replacement.id))
+    {
+        return Err(CorfuError::Layout(format!(
+            "replacement id {} is already in the projection",
+            replacement.id
+        )));
+    }
+    for &set_idx in &affected {
+        if old.replica_sets[set_idx].iter().all(|&n| n == dead) {
+            return Err(CorfuError::Storage(format!(
+                "replica set {set_idx} has no surviving replica to copy from"
+            )));
+        }
+    }
+
+    // 1. Seal the survivors. A node already at exactly the target epoch was
+    // sealed by a concurrent replacement doing the same job — that step is
+    // done, keep going; the layout CAS arbitrates at the end. A node beyond
+    // the target means a farther-ahead reconfiguration won outright.
+    for node in old.storage_nodes() {
+        if node == dead {
+            continue;
+        }
+        match client.storage_call(node, &StorageRequest::Seal { epoch: new_epoch })? {
+            StorageResponse::Tail(_) => {}
+            StorageResponse::ErrSealed { epoch } if epoch == new_epoch => {}
+            StorageResponse::ErrSealed { epoch } => {
+                metrics.races_lost.inc();
+                return Err(CorfuError::RaceLost { winner: epoch });
+            }
+            other => return Err(CorfuError::Storage(format!("seal of node {node}: {other:?}"))),
+        }
+    }
+    // Best-effort seal of the dead node: if it is actually alive (a
+    // decommission), this fences it; if it is down, the call just fails.
+    let _ = client.storage_call(dead, &StorageRequest::Seal { epoch: new_epoch });
+
+    // 2. Seal the sequencer. It keeps its tail and backpointer state; the
+    // seal only fences tokens issued under the old epoch.
+    let seq_addr = old
+        .addr_of(old.sequencer)
+        .ok_or_else(|| CorfuError::Layout("sequencer missing from projection".into()))?;
+    let seq_conn =
+        client.factory().connect(&NodeInfo { id: old.sequencer, addr: seq_addr.to_owned() });
+    let resp = seq_conn.call(&encode_to_vec(&SequencerRequest::Seal { epoch: new_epoch }))?;
+    match decode_from_slice::<SequencerResponse>(&resp)? {
+        SequencerResponse::Ok => {}
+        SequencerResponse::ErrSealed { epoch } if epoch == new_epoch => {}
+        SequencerResponse::ErrSealed { epoch } => {
+            metrics.races_lost.inc();
+            return Err(CorfuError::RaceLost { winner: epoch });
+        }
+        other => return Err(CorfuError::Layout(format!("sequencer seal failed: {other:?}"))),
+    }
+
+    // 3. Seal the replacement so it serves the new epoch from birth: no
+    // old-epoch straggler can ever write to it.
+    let repl_conn = client.factory().connect(&replacement);
+    match raw_storage_call(&repl_conn, &StorageRequest::Seal { epoch: new_epoch })? {
+        StorageResponse::Tail(_) => {}
+        StorageResponse::ErrSealed { epoch } if epoch == new_epoch => {}
+        StorageResponse::ErrSealed { epoch } => {
+            metrics.races_lost.inc();
+            return Err(CorfuError::RaceLost { winner: epoch });
+        }
+        other => return Err(CorfuError::Storage(format!("replacement seal: {other:?}"))),
+    }
+
+    // 4. Rebuild the dead node's chain positions onto the replacement. The
+    // copy source is the head-most surviving replica: the head arbitrates
+    // write-once races, so its pages are a superset of every acked entry in
+    // the chain. Pages it lacks were never acked and surface as holes.
+    let mut pages_copied = 0u64;
+    let mut bytes_copied = 0u64;
+    for &set_idx in &affected {
+        let source = *old.replica_sets[set_idx]
+            .iter()
+            .find(|&&n| n != dead)
+            .expect("validated: a survivor exists");
+        let (pages, bytes) = copy_chain_position(client, &repl_conn, source, new_epoch)?;
+        pages_copied += pages;
+        bytes_copied += bytes;
+    }
+
+    // 5. Publish the spliced projection; the CAS picks one winner.
+    let new_proj = old.with_replaced_node(dead, &replacement);
+    debug_assert_eq!(new_proj.epoch, new_epoch);
+    match client.layout().propose(new_proj.clone())? {
+        None => {}
+        Some(winner) => {
+            metrics.races_lost.inc();
+            return Err(CorfuError::RaceLost { winner: winner.epoch });
+        }
+    }
+    client.refresh_layout()?;
+    metrics.storage_replacements.inc();
+    metrics.rebuild_pages.record(pages_copied);
+    metrics.rebuild_bytes.record(bytes_copied);
+    Ok(RebuildOutcome {
+        projection: new_proj,
+        pages_copied,
+        bytes_copied,
+        chains_rebuilt: affected.len(),
+    })
+}
+
+/// Streams every consumed page of `source` onto the replacement behind
+/// `repl_conn`, reproducing data, junk fills, random trim marks, and the
+/// prefix-trim horizon. Returns (pages, payload bytes) copied. Write-once
+/// arbitration makes the copy idempotent, so two racing rebuilds of the
+/// same node are safe.
+fn copy_chain_position(
+    client: &CorfuClient,
+    repl_conn: &Arc<dyn ClientConn>,
+    source: NodeId,
+    epoch: Epoch,
+) -> Result<(u64, u64)> {
+    let mut pages_copied = 0u64;
+    let mut bytes_copied = 0u64;
+    let mut start = 0u64;
+    let mut horizon_installed = false;
+    loop {
+        let req = StorageRequest::CopyRange { epoch, start, count: COPY_CHUNK_PAGES };
+        let (local_tail, prefix_trim, next, pages) = match client.storage_call(source, &req)? {
+            StorageResponse::PageChunk { local_tail, prefix_trim, next, pages } => {
+                (local_tail, prefix_trim, next, pages)
+            }
+            StorageResponse::ErrSealed { epoch } => {
+                return Err(CorfuError::RaceLost { winner: epoch })
+            }
+            other => {
+                return Err(CorfuError::Storage(format!("copy from node {source}: {other:?}")))
+            }
+        };
+        if !horizon_installed && prefix_trim > 0 {
+            let req = StorageRequest::TrimPrefix { epoch, horizon: prefix_trim };
+            match raw_storage_call(repl_conn, &req)? {
+                StorageResponse::Ok => {}
+                other => {
+                    return Err(CorfuError::Storage(format!("replacement trim_prefix: {other:?}")))
+                }
+            }
+        }
+        horizon_installed = true;
+        for (addr, page) in pages {
+            let req = match page {
+                PageCopy::Data(payload) => {
+                    bytes_copied += payload.len() as u64;
+                    StorageRequest::Write { epoch, addr, kind: WriteKind::Data, payload }
+                }
+                PageCopy::Junk => StorageRequest::Write {
+                    epoch,
+                    addr,
+                    kind: WriteKind::Junk,
+                    payload: bytes::Bytes::new(),
+                },
+                PageCopy::Trimmed => StorageRequest::Trim { epoch, addr },
+            };
+            match raw_storage_call(repl_conn, &req)? {
+                // AlreadyWritten: a racing rebuild (or a new-epoch client
+                // write that beat us here) owns the slot; either way the
+                // slot is consumed with an arbitrated value.
+                StorageResponse::Ok | StorageResponse::ErrAlreadyWritten => pages_copied += 1,
+                StorageResponse::ErrTrimmed => pages_copied += 1,
+                StorageResponse::ErrSealed { epoch } => {
+                    return Err(CorfuError::RaceLost { winner: epoch })
+                }
+                other => {
+                    return Err(CorfuError::Storage(format!("replacement install: {other:?}")))
+                }
+            }
+        }
+        if next >= local_tail {
+            return Ok((pages_copied, bytes_copied));
+        }
+        start = next;
+    }
+}
+
+/// A storage call on a connection to a node that is not (yet) in the
+/// installed projection.
+fn raw_storage_call(conn: &Arc<dyn ClientConn>, req: &StorageRequest) -> Result<StorageResponse> {
+    let resp = conn.call(&encode_to_vec(req))?;
+    Ok(decode_from_slice(&resp)?)
 }
 
 /// Scans the log backward from `tail`, decoding entry envelopes to recover
@@ -242,6 +516,7 @@ fn client_fill_at(client: &CorfuClient, proj: &Projection, offset: LogOffset) ->
 /// after `bump_epoch` returns, no operation stamped with the old epoch can
 /// take effect anywhere.
 pub fn bump_epoch(client: &CorfuClient) -> Result<(Epoch, LogOffset)> {
+    let metrics = ReconfigMetrics::from_registry(client.metrics());
     let old = client.layout().get()?;
     let new_epoch = old.epoch + 1;
     let mut local_tails = vec![0u64; old.replica_sets.len()];
@@ -268,8 +543,10 @@ pub fn bump_epoch(client: &CorfuClient) -> Result<(Epoch, LogOffset)> {
     let mut new_proj = old.clone();
     new_proj.epoch = new_epoch;
     if let Some(winner) = client.layout().propose(new_proj)? {
-        return Err(CorfuError::Layout(format!("lost epoch-bump race to epoch {}", winner.epoch)));
+        metrics.races_lost.inc();
+        return Err(CorfuError::RaceLost { winner: winner.epoch });
     }
     client.refresh_layout()?;
+    metrics.epoch_bumps.inc();
     Ok((new_epoch, old.global_tail_from_local(&local_tails)))
 }

@@ -1,21 +1,39 @@
 //! Fault injection: races between writers and hole-fillers, and flaky
 //! transports. The write-once storage must arbitrate every race to exactly
 //! one winner, visible identically to all readers.
+//!
+//! The races here run under the seeded [`support::fault::FaultPlan`]
+//! harness: injected delays and drops are a pure function of the seed, so
+//! any failure reproduces with the `TANGO_FAULT_SEED` it prints.
+
+mod support;
 
 use std::sync::Arc;
 
 use bytes::Bytes;
 use corfu::cluster::{ClusterConfig, LocalCluster};
-use corfu::{CorfuError, EntryEnvelope, ReadOutcome};
+use corfu::{ClientOptions, CorfuError, EntryEnvelope, ReadOutcome};
+use support::fault::FaultPlan;
+use support::{seed_from_env, SeedGuard};
 
 #[test]
 fn concurrent_fill_vs_write_has_one_winner() {
     // Many rounds: a writer and a filler race for the same offset from
     // different threads; afterwards every offset must hold exactly one
-    // consistent value at all replicas.
+    // consistent value at all replicas. Seeded delays on the storage path
+    // shake the interleaving from round to round.
+    let seed = seed_from_env(0xFA57_0001);
+    let _guard = SeedGuard(seed);
     let cluster = LocalCluster::new(ClusterConfig::default());
-    let writer = cluster.client().unwrap();
-    let filler = cluster.client().unwrap();
+    let plan = FaultPlan::new(seed);
+    plan.delay_calls("storage.write", 40, 200);
+    let wrapped = plan.wrap(cluster.conn_factory());
+    let writer = cluster
+        .client_with_factory(wrapped.clone(), ClientOptions::default(), cluster.metrics().clone())
+        .unwrap();
+    let filler = cluster
+        .client_with_factory(wrapped, ClientOptions::default(), cluster.metrics().clone())
+        .unwrap();
 
     for round in 0..50u64 {
         let token = writer.token(&[]).unwrap();
@@ -109,4 +127,36 @@ fn readers_agree_after_repair_races() {
     for h in handles {
         assert_eq!(h.join().unwrap(), ReadOutcome::Data(Bytes::from(body.clone())));
     }
+}
+
+#[test]
+fn flaky_sequencer_transport_is_retried() {
+    // A lossy client→sequencer link: a seeded 30% of sequencer calls time
+    // out before reaching the server. Token acquisition must retry through
+    // the drops; storage traffic is untouched, so no append may fail.
+    let seed = seed_from_env(0xFA57_0002);
+    let _guard = SeedGuard(seed);
+    let cluster = LocalCluster::new(ClusterConfig::default());
+    let plan = FaultPlan::new(seed);
+    plan.drop_calls("seq.", 30);
+    let client = cluster
+        .client_with_factory(
+            plan.wrap(cluster.conn_factory()),
+            ClientOptions::default(),
+            cluster.metrics().clone(),
+        )
+        .unwrap();
+
+    let mut offsets = Vec::new();
+    for i in 0..50u32 {
+        let payload = Bytes::from(format!("flaky-{i}").into_bytes());
+        let off = client.append(payload.clone()).unwrap();
+        offsets.push((off, payload));
+    }
+    for (off, payload) in &offsets {
+        assert_eq!(&client.read_entry(*off).unwrap().payload, payload);
+    }
+    // The link really was lossy: the plan dropped sequencer calls.
+    let drops = plan.trace().iter().filter(|e| e.action == "drop").count();
+    assert!(drops > 0, "expected the seeded plan to drop some sequencer calls");
 }

@@ -1,0 +1,115 @@
+//! Property tests for the projection's deterministic offset mapping (§2.2)
+//! and its behavior across storage-node replacement.
+
+use corfu::{NodeInfo, Projection};
+use proptest::prelude::*;
+
+/// A projection with `nsets` replica sets of `repl` nodes each, ids
+/// assigned sequentially, sequencer id 1000.
+fn projection(nsets: usize, repl: usize) -> Projection {
+    let mut replica_sets = Vec::new();
+    let mut nodes = Vec::new();
+    let mut next = 0u32;
+    for _ in 0..nsets {
+        let mut set = Vec::new();
+        for _ in 0..repl {
+            set.push(next);
+            nodes.push(NodeInfo { id: next, addr: format!("node-{next}") });
+            next += 1;
+        }
+        replica_sets.push(set);
+    }
+    nodes.push(NodeInfo { id: 1000, addr: "seq".into() });
+    Projection { epoch: 7, replica_sets, sequencer: 1000, nodes }
+}
+
+proptest! {
+    #[test]
+    fn map_unmap_roundtrip(nsets in 1usize..9, repl in 1usize..4, offset in any::<u64>()) {
+        let p = projection(nsets, repl);
+        let (set, local) = p.map(offset);
+        prop_assert!(set < nsets);
+        prop_assert_eq!(p.unmap(set, local), offset);
+        prop_assert_eq!(p.chain_for(offset), &p.replica_sets[set][..]);
+    }
+
+    #[test]
+    fn unmap_map_roundtrip(nsets in 1usize..9, set_raw in any::<u32>(), local in 0u64..(1 << 40)) {
+        let p = projection(nsets, 2);
+        let set = (set_raw as usize) % nsets;
+        let offset = p.unmap(set, local);
+        prop_assert_eq!(p.map(offset), (set, local));
+    }
+
+    #[test]
+    fn global_tail_matches_brute_force(local_tails in proptest::collection::vec(0u64..48, 1..6)) {
+        let nsets = local_tails.len();
+        let p = projection(nsets, 2);
+        // Brute force: an offset is consumed iff its local address is below
+        // its set's local tail; the global tail is one past the highest.
+        let bound = 48 * nsets as u64;
+        let mut brute = 0u64;
+        for offset in 0..bound {
+            let (set, local) = p.map(offset);
+            if local < local_tails[set] {
+                brute = offset + 1;
+            }
+        }
+        prop_assert_eq!(p.global_tail_from_local(&local_tails), brute);
+    }
+
+    #[test]
+    fn trim_horizon_matches_brute_force(nsets in 1usize..7, horizon in 0u64..256) {
+        let p = projection(nsets, 2);
+        for set in 0..nsets {
+            // Brute force: count the global offsets below the horizon that
+            // this set stores; they are exactly the local addresses trimmed.
+            let brute = (0..horizon).filter(|&o| p.map(o).0 == set).count() as u64;
+            prop_assert_eq!(p.local_trim_horizon(set, horizon), brute);
+        }
+    }
+
+    #[test]
+    fn replacement_preserves_mapping(
+        nsets in 1usize..7,
+        repl in 1usize..4,
+        dead_raw in any::<u32>(),
+        offsets in proptest::collection::vec(any::<u64>(), 1..32),
+    ) {
+        let p = projection(nsets, repl);
+        let dead = dead_raw % (nsets * repl) as u32;
+        let replacement = NodeInfo { id: 20_000, addr: "replacement".into() };
+        let q = p.with_replaced_node(dead, &replacement);
+
+        prop_assert_eq!(q.epoch, p.epoch + 1);
+        prop_assert_eq!(q.num_sets(), p.num_sets());
+        prop_assert_eq!(q.sequencer, p.sequencer);
+        // The dead node is gone from chains and the address book; the
+        // replacement holds exactly its old chain positions.
+        prop_assert!(q.replica_sets.iter().all(|set| !set.contains(&dead)));
+        prop_assert!(q.addr_of(dead).is_none());
+        prop_assert!(q.addr_of(replacement.id).is_some());
+        for (old_set, new_set) in p.replica_sets.iter().zip(&q.replica_sets) {
+            prop_assert_eq!(old_set.len(), new_set.len());
+            for (&old_node, &new_node) in old_set.iter().zip(new_set) {
+                let expect = if old_node == dead { replacement.id } else { old_node };
+                prop_assert_eq!(new_node, expect);
+            }
+        }
+        // The striping function is untouched: every offset keeps its
+        // (set, local) coordinates, so no data moves except the dead
+        // node's pages.
+        for &offset in &offsets {
+            prop_assert_eq!(q.map(offset), p.map(offset));
+        }
+    }
+
+    #[test]
+    fn replacement_roundtrips_on_the_wire(nsets in 1usize..5, repl in 1usize..4, dead_raw in any::<u32>()) {
+        let p = projection(nsets, repl);
+        let dead = dead_raw % (nsets * repl) as u32;
+        let q = p.with_replaced_node(dead, &NodeInfo { id: 20_000, addr: "replacement".into() });
+        let bytes = tango_wire::encode_to_vec(&q);
+        prop_assert_eq!(tango_wire::decode_from_slice::<Projection>(&bytes).unwrap(), q);
+    }
+}

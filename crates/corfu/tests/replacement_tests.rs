@@ -1,0 +1,251 @@
+//! Storage-node replacement (chain rebuild): end-to-end over both cluster
+//! harnesses, the transparent `ErrSealed` retry path for racing clients,
+//! and convergence of concurrent replacements.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use corfu::cluster::{ClusterConfig, LocalCluster, TcpCluster};
+use corfu::proto::{StorageRequest, StorageResponse};
+use corfu::reconfig::replace_storage_node;
+use corfu::{CorfuError, LogOffset, ReadOutcome};
+use parking_lot::Mutex;
+
+/// The full rebuild over the in-process harness: data pages, a junk-filled
+/// hole, a random trim mark, and the prefix-trim horizon all survive the
+/// move to the replacement, and the replacement's flash is byte-identical
+/// to the surviving replica's.
+#[test]
+fn replacement_preserves_log_contents() {
+    let cluster =
+        LocalCluster::new(ClusterConfig { num_sets: 2, replication: 2, ..Default::default() });
+    let client = cluster.client().unwrap();
+
+    let mut entries: Vec<(LogOffset, Bytes)> = Vec::new();
+    for i in 0..24u32 {
+        let payload = Bytes::from(format!("entry-{i}").into_bytes());
+        let off = client.append(payload.clone()).unwrap();
+        entries.push((off, payload));
+    }
+    // A junk page: reserve a token, never write it, patch it explicitly.
+    let hole = client.token(&[]).unwrap().offset;
+    assert_eq!(client.fill(hole).unwrap(), ReadOutcome::Junk);
+    // A random trim mark and a prefix trim.
+    let trimmed = entries[20].0;
+    client.trim(trimmed).unwrap();
+    let horizon = 5;
+    client.trim_prefix(horizon).unwrap();
+
+    // Kill the head of replica set 0 and rebuild it onto a fresh node.
+    cluster.kill_storage_node(0);
+    let (info, replacement) = cluster.spawn_replacement_storage();
+    let outcome = replace_storage_node(&client, 0, info.clone()).unwrap();
+
+    assert_eq!(outcome.chains_rebuilt, 1);
+    assert!(outcome.pages_copied > 0, "the rebuild must move pages");
+    assert!(outcome.bytes_copied > 0);
+    assert_eq!(outcome.projection.epoch, 1);
+    assert!(outcome.projection.replica_sets.iter().any(|set| set.contains(&info.id)));
+    assert!(outcome.projection.replica_sets.iter().all(|set| !set.contains(&0)));
+
+    // Every kind of page reads back exactly as before the failure.
+    let reader = cluster.client().unwrap();
+    for (off, payload) in &entries {
+        let expect = if *off < horizon || *off == trimmed {
+            None // trimmed
+        } else {
+            Some(payload)
+        };
+        match (expect, reader.read(*off).unwrap()) {
+            (None, ReadOutcome::Trimmed) => {}
+            (Some(payload), ReadOutcome::Data(_)) => {
+                assert_eq!(&reader.read_entry(*off).unwrap().payload, payload);
+            }
+            (want, got) => panic!("offset {off}: wanted {want:?}, got {got:?}"),
+        }
+    }
+    assert_eq!(reader.read(hole).unwrap(), ReadOutcome::Junk);
+
+    // The replacement now heads chain 0: appends land on it.
+    let post = client.append(Bytes::from_static(b"after-rebuild")).unwrap();
+    assert_eq!(client.read_entry(post).unwrap().payload, Bytes::from_static(b"after-rebuild"));
+
+    // Page-for-page, the replacement matches the surviving replica
+    // (node 1, the copy source) across its whole local address space.
+    let survivor = &cluster.storage()[1];
+    let tail = match survivor.process(StorageRequest::LocalTail { epoch: 1 }) {
+        StorageResponse::Tail(t) => t,
+        other => panic!("local tail: {other:?}"),
+    };
+    assert_eq!(
+        replacement.process(StorageRequest::LocalTail { epoch: 1 }),
+        StorageResponse::Tail(tail)
+    );
+    for addr in 0..tail {
+        assert_eq!(
+            replacement.process(StorageRequest::Read { epoch: 1, addr }),
+            survivor.process(StorageRequest::Read { epoch: 1, addr }),
+            "replacement diverges from survivor at local address {addr}"
+        );
+    }
+}
+
+/// The same rebuild over real TCP sockets: kill a node's listener, splice
+/// in a replacement on a fresh port.
+#[test]
+fn tcp_cluster_replacement_end_to_end() {
+    let cluster =
+        TcpCluster::spawn(ClusterConfig { num_sets: 2, replication: 2, ..Default::default() })
+            .unwrap();
+    let client = cluster.client().unwrap();
+
+    let mut entries = Vec::new();
+    for i in 0..12u32 {
+        let payload = Bytes::from(format!("tcp-{i}").into_bytes());
+        let off = client.append(payload.clone()).unwrap();
+        entries.push((off, payload));
+    }
+
+    // Node 2 heads replica set 1.
+    cluster.kill_storage_node(2);
+    let info = cluster.spawn_replacement_storage().unwrap();
+    let outcome = replace_storage_node(&client, 2, info.clone()).unwrap();
+    assert!(outcome.pages_copied > 0);
+    assert!(outcome.projection.replica_sets.iter().any(|set| set.contains(&info.id)));
+
+    let post = client.append(Bytes::from_static(b"tcp-after")).unwrap();
+    entries.push((post, Bytes::from_static(b"tcp-after")));
+    for (off, payload) in &entries {
+        assert_eq!(&client.read_entry(*off).unwrap().payload, payload);
+    }
+}
+
+/// Regression: clients racing a replacement only ever observe `ErrSealed`,
+/// which the retry path absorbs — no error may surface. The replaced node
+/// stays alive (a decommission), so there is no disconnect window and any
+/// surfaced error is a real retry-path bug.
+#[test]
+fn sealed_epoch_retry_is_transparent_to_racing_clients() {
+    let cluster =
+        LocalCluster::new(ClusterConfig { num_sets: 2, replication: 2, ..Default::default() });
+    let setup = cluster.client().unwrap();
+    let acked: Arc<Mutex<Vec<(LogOffset, Bytes)>>> = Arc::new(Mutex::new(Vec::new()));
+    for i in 0..16u32 {
+        let payload = Bytes::from(format!("warmup-{i}").into_bytes());
+        let off = setup.append(payload.clone()).unwrap();
+        acked.lock().push((off, payload));
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let client = cluster.client().unwrap();
+        let acked = Arc::clone(&acked);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut i = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                let payload = Bytes::from(format!("race-{i}").into_bytes());
+                let off = client
+                    .append(payload.clone())
+                    .expect("writer must ride out the seal transparently");
+                acked.lock().push((off, payload));
+                i += 1;
+            }
+            i
+        })
+    };
+    let reader = {
+        let client = cluster.client().unwrap();
+        let acked = Arc::clone(&acked);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut reads = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let (off, payload) = acked.lock().last().cloned().unwrap();
+                let entry =
+                    client.read_entry(off).expect("reader must ride out the seal transparently");
+                assert_eq!(entry.payload, payload);
+                reads += 1;
+            }
+            reads
+        })
+    };
+
+    // Decommission the live tail of replica set 0 mid-traffic.
+    std::thread::sleep(std::time::Duration::from_millis(10));
+    let coordinator = cluster.client().unwrap();
+    let (info, _server) = cluster.spawn_replacement_storage();
+    let outcome = replace_storage_node(&coordinator, 1, info).unwrap();
+    assert_eq!(outcome.projection.epoch, 1);
+
+    // Keep the race going briefly at the new epoch, then stop.
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    stop.store(true, Ordering::Relaxed);
+    let appended = writer.join().unwrap();
+    let reads = reader.join().unwrap();
+    assert!(appended > 0, "writer made no progress");
+    assert!(reads > 0, "reader made no progress");
+
+    // Everything acked on either side of the epoch change is readable.
+    let check = cluster.client().unwrap();
+    for (off, payload) in acked.lock().iter() {
+        assert_eq!(&check.read_entry(*off).unwrap().payload, payload);
+    }
+}
+
+/// Two concurrent replacements of the same dead node converge: exactly one
+/// wins the layout CAS; the loser gets `RaceLost` carrying the winning
+/// epoch rather than an opaque layout error.
+#[test]
+fn concurrent_replacements_converge_on_one_winner() {
+    let cluster =
+        LocalCluster::new(ClusterConfig { num_sets: 1, replication: 2, ..Default::default() });
+    let setup = cluster.client().unwrap();
+    let mut entries = Vec::new();
+    for i in 0..10u32 {
+        let payload = Bytes::from(format!("pre-{i}").into_bytes());
+        let off = setup.append(payload.clone()).unwrap();
+        entries.push((off, payload));
+    }
+
+    cluster.kill_storage_node(0);
+    let (info_a, _server_a) = cluster.spawn_replacement_storage();
+    let (info_b, _server_b) = cluster.spawn_replacement_storage();
+    let candidates = [info_a.id, info_b.id];
+
+    let spawn_replacer = |info: corfu::NodeInfo| {
+        let client = cluster.client().unwrap();
+        std::thread::spawn(move || replace_storage_node(&client, 0, info))
+    };
+    let a = spawn_replacer(info_a);
+    let b = spawn_replacer(info_b);
+    let results = [a.join().unwrap(), b.join().unwrap()];
+
+    let winners = results.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(winners, 1, "exactly one replacement must win: {results:?}");
+    let installed = cluster.layout_client().get().unwrap();
+    assert_eq!(installed.epoch, 1);
+    for result in &results {
+        match result {
+            Ok(outcome) => assert_eq!(outcome.projection, installed),
+            Err(CorfuError::RaceLost { winner }) => {
+                // The loser learns exactly how far the cluster moved.
+                assert_eq!(*winner, installed.epoch);
+            }
+            Err(other) => panic!("loser must surface RaceLost, got {other}"),
+        }
+    }
+    // The installed chain holds exactly one of the two candidates.
+    let chain = &installed.replica_sets[0];
+    assert_eq!(chain.iter().filter(|n| candidates.contains(n)).count(), 1);
+    assert!(!chain.contains(&0));
+
+    // The cluster is fully functional under the winner.
+    let client = cluster.client().unwrap();
+    let post = client.append(Bytes::from_static(b"post-race")).unwrap();
+    entries.push((post, Bytes::from_static(b"post-race")));
+    for (off, payload) in &entries {
+        assert_eq!(&client.read_entry(*off).unwrap().payload, payload);
+    }
+}

@@ -1,0 +1,298 @@
+//! A deterministic fault-injection harness for cluster tests.
+//!
+//! [`FaultPlan`] wraps a cluster's [`ConnFactory`] so every client→server
+//! call passes through it. Calls are classified into named protocol points
+//! (`storage.write`, `seq.next_batch`, ...) and rules attached to a point
+//! prefix can crash the target node, drop the call, or delay it.
+//!
+//! Every decision is a pure function of `(seed, point, nth occurrence of
+//! that point)` — never of wall-clock time or thread interleaving — so a
+//! schedule is replayed exactly by re-running with the same seed, and a
+//! failure printed by [`super::SeedGuard`] reproduces with
+//! `TANGO_FAULT_SEED=<seed>`.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+use corfu::cluster::{SEQUENCER_BASE_ID, STORAGE_REPLACEMENT_BASE_ID};
+use corfu::{ConnFactory, NodeId, NodeInfo};
+use parking_lot::Mutex;
+use tango_rpc::{ClientConn, RpcError};
+
+use super::splitmix64;
+
+/// What a triggered rule does to the call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Sleep for up to this many microseconds (seeded amount), then let the
+    /// call through. Perturbs race interleavings without changing outcomes.
+    Delay(u64),
+    /// Fail the call with [`RpcError::Timeout`]; the server never sees it.
+    Drop,
+    /// Mark the target node dead (all future calls through this plan fail
+    /// with [`RpcError::Disconnected`]), fire the `on_crash` hook, and fail
+    /// the call.
+    Crash,
+}
+
+/// When a rule fires.
+#[derive(Debug, Clone, Copy)]
+enum Trigger {
+    /// Exactly at the nth occurrence (1-based) of the point.
+    Nth(u64),
+    /// On each occurrence with this percent probability (seeded).
+    Percent(u32),
+}
+
+struct Rule {
+    prefix: String,
+    trigger: Trigger,
+    action: FaultAction,
+}
+
+/// One classified call and what the plan did to it, in plan-decision order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The protocol point, e.g. `storage.write`.
+    pub point: String,
+    /// Which occurrence of that point this was (1-based).
+    pub nth: u64,
+    /// `pass`, `delay`, `drop`, or `crash`.
+    pub action: &'static str,
+}
+
+/// A seeded fault schedule shared by every connection it wraps.
+pub struct FaultPlan {
+    seed: u64,
+    rules: Mutex<Vec<Rule>>,
+    counters: Mutex<HashMap<String, u64>>,
+    dead: Mutex<HashSet<NodeId>>,
+    trace: Mutex<Vec<TraceEvent>>,
+    on_crash: Mutex<Option<Arc<dyn Fn(NodeId) + Send + Sync>>>,
+}
+
+impl FaultPlan {
+    /// A plan with no rules: every call passes (but is still traced).
+    pub fn new(seed: u64) -> Arc<Self> {
+        Arc::new(Self {
+            seed,
+            rules: Mutex::new(Vec::new()),
+            counters: Mutex::new(HashMap::new()),
+            dead: Mutex::new(HashSet::new()),
+            trace: Mutex::new(Vec::new()),
+            on_crash: Mutex::new(None),
+        })
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Crash the target node at exactly the `nth` (1-based) call whose
+    /// point starts with `prefix`.
+    pub fn crash_at(&self, prefix: &str, nth: u64) {
+        self.rules.lock().push(Rule {
+            prefix: prefix.to_owned(),
+            trigger: Trigger::Nth(nth),
+            action: FaultAction::Crash,
+        });
+    }
+
+    /// Drop calls whose point starts with `prefix` with `percent`
+    /// probability (seeded per occurrence).
+    pub fn drop_calls(&self, prefix: &str, percent: u32) {
+        self.rules.lock().push(Rule {
+            prefix: prefix.to_owned(),
+            trigger: Trigger::Percent(percent),
+            action: FaultAction::Drop,
+        });
+    }
+
+    /// Delay calls whose point starts with `prefix` by a seeded amount up
+    /// to `max_micros`, with `percent` probability.
+    pub fn delay_calls(&self, prefix: &str, percent: u32, max_micros: u64) {
+        self.rules.lock().push(Rule {
+            prefix: prefix.to_owned(),
+            trigger: Trigger::Percent(percent),
+            action: FaultAction::Delay(max_micros),
+        });
+    }
+
+    /// Hook invoked (once) when a Crash rule fires, with the victim's node
+    /// id — e.g. to also kill the node in the cluster harness so clients
+    /// outside this plan observe the crash too.
+    pub fn on_crash(&self, f: impl Fn(NodeId) + Send + Sync + 'static) {
+        *self.on_crash.lock() = Some(Arc::new(f));
+    }
+
+    /// Marks `node` dead: every future call to it through this plan fails
+    /// with [`RpcError::Disconnected`].
+    pub fn kill(&self, node: NodeId) {
+        self.dead.lock().insert(node);
+    }
+
+    /// Whether `node` has been marked dead.
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.dead.lock().contains(&node)
+    }
+
+    /// The decisions taken so far, in decision order.
+    pub fn trace(&self) -> Vec<TraceEvent> {
+        self.trace.lock().clone()
+    }
+
+    /// Wraps a cluster connection factory so every connection it hands out
+    /// consults this plan.
+    pub fn wrap(self: &Arc<Self>, inner: Arc<dyn ConnFactory>) -> Arc<dyn ConnFactory> {
+        Arc::new(FaultFactory { inner, plan: Arc::clone(self) })
+    }
+
+    /// 1-based occurrence number of `point`, incremented atomically.
+    fn occurrence(&self, point: &str) -> u64 {
+        let mut counters = self.counters.lock();
+        let n = counters.entry(point.to_owned()).or_insert(0);
+        *n += 1;
+        *n
+    }
+
+    /// The action for this occurrence — a pure function of
+    /// `(seed, point, nth, rule index)`, independent of time and threads.
+    /// Scheduled ([`Trigger::Nth`]) rules outrank probabilistic ones, so a
+    /// seeded delay can never shadow a planned crash.
+    fn decide(&self, point: &str, nth: u64) -> Option<FaultAction> {
+        const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+        let rules = self.rules.lock();
+        for scheduled in [true, false] {
+            for (idx, rule) in rules.iter().enumerate() {
+                if matches!(rule.trigger, Trigger::Nth(_)) != scheduled
+                    || !point.starts_with(&rule.prefix)
+                {
+                    continue;
+                }
+                let h = splitmix64(
+                    self.seed ^ fnv1a(point) ^ nth.wrapping_mul(GOLDEN) ^ ((idx as u64) << 56),
+                );
+                let fires = match rule.trigger {
+                    Trigger::Nth(target) => nth == target,
+                    Trigger::Percent(p) => (h % 100) < p as u64,
+                };
+                if fires {
+                    let action = match rule.action {
+                        FaultAction::Delay(max) if max > 0 => {
+                            FaultAction::Delay(1 + (h >> 33) % max)
+                        }
+                        other => other,
+                    };
+                    return Some(action);
+                }
+            }
+        }
+        None
+    }
+
+    fn record(&self, point: &str, nth: u64, action: &'static str) {
+        self.trace.lock().push(TraceEvent { point: point.to_owned(), nth, action });
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Names the protocol point of a request from the target node's id range
+/// and the request's leading wire tag.
+fn classify(node: NodeId, request: &[u8]) -> String {
+    let tag = request.first().copied().unwrap_or(u8::MAX);
+    let is_seq = (SEQUENCER_BASE_ID..STORAGE_REPLACEMENT_BASE_ID).contains(&node);
+    let (kind, op) = if is_seq {
+        (
+            "seq",
+            match tag {
+                0 => "next",
+                1 => "query",
+                2 => "seal",
+                3 => "bootstrap",
+                4 => "dump",
+                5 => "next_batch",
+                _ => "other",
+            },
+        )
+    } else {
+        (
+            "storage",
+            match tag {
+                0 => "write",
+                1 => "read",
+                2 => "trim",
+                3 => "trim_prefix",
+                4 => "seal",
+                5 => "local_tail",
+                6 => "copy_range",
+                _ => "other",
+            },
+        )
+    };
+    format!("{kind}.{op}")
+}
+
+struct FaultFactory {
+    inner: Arc<dyn ConnFactory>,
+    plan: Arc<FaultPlan>,
+}
+
+impl ConnFactory for FaultFactory {
+    fn connect(&self, node: &NodeInfo) -> Arc<dyn ClientConn> {
+        Arc::new(FaultConn {
+            inner: self.inner.connect(node),
+            node: node.id,
+            plan: Arc::clone(&self.plan),
+        })
+    }
+}
+
+struct FaultConn {
+    inner: Arc<dyn ClientConn>,
+    node: NodeId,
+    plan: Arc<FaultPlan>,
+}
+
+impl ClientConn for FaultConn {
+    fn call(&self, request: &[u8]) -> tango_rpc::Result<Vec<u8>> {
+        if self.plan.is_dead(self.node) {
+            return Err(RpcError::Disconnected);
+        }
+        let point = classify(self.node, request);
+        let nth = self.plan.occurrence(&point);
+        match self.plan.decide(&point, nth) {
+            Some(FaultAction::Crash) => {
+                self.plan.record(&point, nth, "crash");
+                self.plan.kill(self.node);
+                let hook = self.plan.on_crash.lock().clone();
+                if let Some(hook) = hook {
+                    hook(self.node);
+                }
+                Err(RpcError::Disconnected)
+            }
+            Some(FaultAction::Drop) => {
+                self.plan.record(&point, nth, "drop");
+                Err(RpcError::Timeout)
+            }
+            Some(FaultAction::Delay(micros)) => {
+                self.plan.record(&point, nth, "delay");
+                std::thread::sleep(Duration::from_micros(micros));
+                self.inner.call(request)
+            }
+            None => {
+                self.plan.record(&point, nth, "pass");
+                self.inner.call(request)
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Shared test support: the deterministic fault-injection harness.
+//!
+//! Integration test binaries pull this in with `mod support;`. Not every
+//! binary uses every helper, hence the crate-wide allowance below.
+#![allow(dead_code)]
+
+pub mod fault;
+
+/// The environment variable overriding a test's fault-injection seed, so a
+/// failing schedule reported by CI can be replayed locally:
+///
+/// ```sh
+/// TANGO_FAULT_SEED=0xdeadbeef cargo test -p corfu --test chaos_replacement_tests
+/// ```
+pub const SEED_ENV: &str = "TANGO_FAULT_SEED";
+
+/// The seed for this run: `TANGO_FAULT_SEED` if set (decimal or `0x` hex),
+/// else `default`.
+pub fn seed_from_env(default: u64) -> u64 {
+    match std::env::var(SEED_ENV) {
+        Ok(v) => {
+            let v = v.trim();
+            let parsed = if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                u64::from_str_radix(hex, 16)
+            } else {
+                v.parse()
+            };
+            parsed.unwrap_or_else(|_| panic!("unparseable {SEED_ENV}={v:?}"))
+        }
+        Err(_) => default,
+    }
+}
+
+/// Prints the active seed if the test panics, so any assertion failure in a
+/// seeded test is reproducible by exporting the printed value.
+pub struct SeedGuard(pub u64);
+
+impl Drop for SeedGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!("=== reproduce with {SEED_ENV}={:#x} ===", self.0);
+        }
+    }
+}
+
+/// SplitMix64: the mixing function behind the fault plan's deterministic
+/// decisions (same finalizer as `tango_workload::rng`).
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}

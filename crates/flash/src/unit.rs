@@ -107,6 +107,13 @@ impl FlashUnit {
         self.local_tail
     }
 
+    /// The prefix-trim horizon: every address strictly below it is trimmed.
+    /// A rebuild copying this unit onto a replacement must install the same
+    /// horizon so the replacement rejects writes below it too.
+    pub fn prefix_trim(&self) -> PageAddr {
+        self.prefix_trim
+    }
+
     /// Usage counters.
     pub fn stats(&self) -> WearStats {
         self.stats
