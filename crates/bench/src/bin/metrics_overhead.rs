@@ -4,6 +4,12 @@
 //! blocks so ambient noise (allocator growth, CPU throttling) hits both
 //! sides equally. Reports the median per-block overhead; the budget is 5%.
 //!
+//! The metered side includes request tracing at the default 1-in-16
+//! sampling: sampled appends open a root span whose context propagates to
+//! the sequencer and storage servers, each recording child spans into the
+//! registry's span ring — so the number below is the price of the whole
+//! observability plane, not just the counters.
+//!
 //! Also dumps the metered run's snapshot, as a smoke test that every
 //! `corfu.*` instrument on the append path actually recorded.
 
@@ -64,6 +70,11 @@ fn main() {
     assert!(
         snap.histogram("corfu.client.append_latency_ns").is_some_and(|h| h.count() > 0),
         "sampled append latency recorded"
+    );
+    assert!(snap.counter("trace.spans_recorded") > 0, "sampled appends recorded trace spans");
+    assert!(
+        cluster_m.metrics().spans().iter().any(|s| s.is_root()),
+        "span ring holds at least one root span"
     );
     assert_eq!(
         Registry::disabled().snapshot().non_zero_count(),

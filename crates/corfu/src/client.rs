@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use parking_lot::RwLock;
-use tango_metrics::Registry;
+use tango_metrics::{Registry, Span, SpanKind, Timer};
 use tango_rpc::ClientConn;
 use tango_wire::{decode_from_slice, encode_to_vec};
 
@@ -192,6 +192,13 @@ impl CorfuClient {
         &self.registry
     }
 
+    /// Replaces the 1-in-16 gate that paces latency sampling *and* root
+    /// trace spans. Tests pass `Sampler::one_in(1)` to trace every
+    /// operation deterministically.
+    pub fn set_sampling(&mut self, sampler: tango_metrics::Sampler) {
+        self.metrics.sampler = sampler;
+    }
+
     /// The client's current view of the projection.
     pub fn projection(&self) -> Projection {
         self.state.read().proj.clone()
@@ -260,6 +267,17 @@ impl CorfuClient {
         let conn = self.conn(seq)?;
         let resp = conn.call(&encode_to_vec(req))?;
         Ok(decode_from_slice(&resp)?)
+    }
+
+    /// Makes one sampling decision for a client operation and spends it on
+    /// both observations: the latency timer and a root trace span. Misses
+    /// (and disabled metrics) get inert handles that cost nothing.
+    fn sampled_root(&self, kind: SpanKind, latency: &tango_metrics::Histogram) -> (Timer, Span) {
+        if self.metrics.sampler.hit() {
+            (latency.start(), self.metrics.tracer.root_forced(kind))
+        } else {
+            (Timer::inert(), Span::inert())
+        }
     }
 
     /// Runs `op` with automatic projection refresh on `ErrSealed`.
@@ -525,7 +543,12 @@ impl CorfuClient {
         streams: &[StreamId],
         payload: Bytes,
     ) -> Result<(LogOffset, EntryEnvelope)> {
-        let timer = self.metrics.append_latency_ns.start_sampled(&self.metrics.sampler);
+        // One sampling decision covers both the latency timer and the
+        // trace: sampled appends get a root span whose context rides in
+        // every RPC the append makes (token grant, chain writes), so the
+        // servers' child spans land in the same trace.
+        let (timer, _span) =
+            self.sampled_root(SpanKind::ClientAppend, &self.metrics.append_latency_ns);
         for _ in 0..self.opts.max_token_retries {
             let token = self.token(streams)?;
             let headers = streams
@@ -557,7 +580,7 @@ impl CorfuClient {
     /// Reads the value at `offset` from the chain tail, repairing
     /// half-completed chain writes by propagating the head's value forward.
     pub fn read(&self, offset: LogOffset) -> Result<ReadOutcome> {
-        let timer = self.metrics.read_latency_ns.start_sampled(&self.metrics.sampler);
+        let (timer, _span) = self.sampled_root(SpanKind::ClientRead, &self.metrics.read_latency_ns);
         let result = self.with_epoch_retry("read", || {
             let proj = self.projection();
             self.read_with(&proj, offset)

@@ -11,8 +11,11 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use tango_flash::FlashUnit;
-use tango_metrics::Registry;
-use tango_rpc::{ClientConn, ConnMetrics, RpcError, RpcHandler, TcpConn, TcpServer};
+use tango_metrics::{ClusterSnapshot, Registry};
+use tango_rpc::{
+    fetch_snapshot, ClientConn, ConnMetrics, HttpScrapeServer, RpcError, RpcHandler, TcpConn,
+    TcpServer,
+};
 
 use crate::client::{ClientOptions, ConnFactory, CorfuClient};
 use crate::layout::{LayoutClient, LayoutServer};
@@ -197,6 +200,15 @@ impl LocalCluster {
         &self.metrics
     }
 
+    /// The in-process analogue of [`TcpCluster::cluster_snapshot`]: one
+    /// node named `"local"` holding the shared registry's snapshot, so
+    /// code written against [`ClusterSnapshot`] runs on either harness.
+    pub fn cluster_snapshot(&self) -> ClusterSnapshot {
+        let mut cluster = ClusterSnapshot::new();
+        cluster.insert("local", self.metrics.snapshot());
+        cluster
+    }
+
     /// Creates a new client connected to the cluster.
     pub fn client(&self) -> Result<CorfuClient> {
         self.client_with_metrics(self.metrics.clone())
@@ -294,17 +306,43 @@ impl LocalCluster {
     }
 }
 
+/// One node of a [`TcpCluster`]: its RPC server, its private metrics
+/// registry, and the HTTP scrape endpoint exposing that registry.
+struct TcpNode {
+    name: String,
+    registry: Registry,
+    server: TcpServer,
+    scrape: HttpScrapeServer,
+}
+
+impl TcpNode {
+    fn spawn(name: String, handler: Arc<dyn RpcHandler>, registry: Registry) -> Result<Self> {
+        let server = TcpServer::spawn("127.0.0.1:0", handler)
+            .map_err(|e| crate::CorfuError::Rpc(e.to_string()))?;
+        let scrape = HttpScrapeServer::spawn("127.0.0.1:0", registry.clone())
+            .map_err(|e| crate::CorfuError::Rpc(e.to_string()))?;
+        Ok(Self { name, registry, server, scrape })
+    }
+}
+
 /// A CORFU deployment over real TCP sockets on localhost: the same servers,
 /// each behind a [`TcpServer`]. Useful for end-to-end integration tests.
 /// Storage nodes can be killed (their listener shuts down) and replacements
 /// spawned, mirroring the [`LocalCluster`] failure-injection API.
+///
+/// Unlike [`LocalCluster`], every node here keeps its *own* metrics
+/// registry — exactly like a real deployment, where processes cannot share
+/// an address space — and exposes it through a per-node
+/// [`HttpScrapeServer`]. [`TcpCluster::cluster_snapshot`] scrapes every
+/// node over HTTP and merges the results; [`TcpCluster::metrics`] is the
+/// client-side registry only.
 pub struct TcpCluster {
     config: ClusterConfig,
-    /// Storage servers by node id; removing one drops it, which shuts the
-    /// listener down and disconnects its clients.
-    storage_servers: parking_lot::Mutex<HashMap<NodeId, TcpServer>>,
-    /// Keep the sequencer and layout servers alive.
-    _aux_servers: Vec<TcpServer>,
+    /// Storage nodes by id; removing one drops it, which shuts the
+    /// listener (and its scrape endpoint) down and disconnects clients.
+    storage_servers: parking_lot::Mutex<HashMap<NodeId, TcpNode>>,
+    /// Keep the sequencer and layout nodes alive.
+    aux_servers: Vec<TcpNode>,
     storage_generation: std::sync::atomic::AtomicU32,
     layout_addr: String,
     metrics: Registry,
@@ -312,9 +350,10 @@ pub struct TcpCluster {
 
 impl TcpCluster {
     /// Spawns storage nodes, a sequencer, and a layout service on ephemeral
-    /// localhost ports. Servers and clients share one metrics registry,
-    /// and each client's TCP connections record `rpc.*` transport metrics
-    /// into it as well.
+    /// localhost ports, each with a private registry and a scrape endpoint.
+    /// Clients created via [`TcpCluster::client`] record into the cluster
+    /// handle's own registry ([`TcpCluster::metrics`]), including their TCP
+    /// connections' `rpc.*` transport metrics.
     pub fn spawn(config: ClusterConfig) -> Result<Self> {
         let metrics = Registry::new();
         let mut storage_servers = HashMap::new();
@@ -325,67 +364,114 @@ impl TcpCluster {
         for _ in 0..config.num_sets {
             let mut set = Vec::new();
             for _ in 0..config.replication {
+                let registry = Registry::new();
                 let handler: Arc<dyn RpcHandler> = Arc::new(
                     StorageServer::new(FlashUnit::in_memory(config.page_size))
-                        .with_metrics(&metrics),
+                        .with_metrics(&registry),
                 );
-                let server = TcpServer::spawn("127.0.0.1:0", handler)
-                    .map_err(|e| crate::CorfuError::Rpc(e.to_string()))?;
-                nodes.push(NodeInfo { id: next_id, addr: server.local_addr().to_string() });
-                storage_servers.insert(next_id, server);
+                let node = TcpNode::spawn(format!("storage-{next_id}"), handler, registry)?;
+                nodes.push(NodeInfo { id: next_id, addr: node.server.local_addr().to_string() });
+                storage_servers.insert(next_id, node);
                 set.push(next_id);
                 next_id += 1;
             }
             replica_sets.push(set);
         }
+        let seq_registry = Registry::new();
         let seq_handler: Arc<dyn RpcHandler> =
-            Arc::new(SequencerServer::new(config.k_backpointers).with_metrics(&metrics));
-        let seq_server = TcpServer::spawn("127.0.0.1:0", seq_handler)
-            .map_err(|e| crate::CorfuError::Rpc(e.to_string()))?;
-        nodes.push(NodeInfo { id: SEQUENCER_BASE_ID, addr: seq_server.local_addr().to_string() });
-        aux_servers.push(seq_server);
+            Arc::new(SequencerServer::new(config.k_backpointers).with_metrics(&seq_registry));
+        let seq_node = TcpNode::spawn("sequencer".to_string(), seq_handler, seq_registry)?;
+        nodes.push(NodeInfo {
+            id: SEQUENCER_BASE_ID,
+            addr: seq_node.server.local_addr().to_string(),
+        });
+        aux_servers.push(seq_node);
 
         let projection = Projection { epoch: 0, replica_sets, sequencer: SEQUENCER_BASE_ID, nodes };
         let layout_handler: Arc<dyn RpcHandler> = Arc::new(LayoutServer::new(projection));
-        let layout_server = TcpServer::spawn("127.0.0.1:0", layout_handler)
-            .map_err(|e| crate::CorfuError::Rpc(e.to_string()))?;
-        let layout_addr = layout_server.local_addr().to_string();
-        aux_servers.push(layout_server);
+        let layout_node = TcpNode::spawn("layout".to_string(), layout_handler, Registry::new())?;
+        let layout_addr = layout_node.server.local_addr().to_string();
+        aux_servers.push(layout_node);
 
         Ok(Self {
             config,
             storage_servers: parking_lot::Mutex::new(storage_servers),
-            _aux_servers: aux_servers,
+            aux_servers,
             storage_generation: std::sync::atomic::AtomicU32::new(0),
             layout_addr,
             metrics,
         })
     }
 
-    /// The deployment-wide metrics registry.
+    /// The *client-side* metrics registry: every client created through
+    /// [`TcpCluster::client`] records its `corfu.client.*`, `stream.*`, and
+    /// `rpc.*` instruments here. Server-side metrics live in the per-node
+    /// registries; scrape them via [`TcpCluster::cluster_snapshot`].
     pub fn metrics(&self) -> &Registry {
         &self.metrics
     }
 
-    /// Kills the storage node `id`: its TCP listener shuts down and open
-    /// connections drop, so subsequent calls to it fail.
+    /// The live scrape endpoints, as `(node_name, http_addr)` pairs. The
+    /// client-side registry is not listed — it has no HTTP endpoint.
+    pub fn scrape_targets(&self) -> Vec<(String, String)> {
+        let mut targets: Vec<(String, String)> = self
+            .aux_servers
+            .iter()
+            .map(|n| (n.name.clone(), n.scrape.local_addr().to_string()))
+            .collect();
+        for node in self.storage_servers.lock().values() {
+            targets.push((node.name.clone(), node.scrape.local_addr().to_string()));
+        }
+        targets.sort();
+        targets
+    }
+
+    /// Scrapes every live node's `/snapshot.bin` over HTTP and merges the
+    /// results into a [`ClusterSnapshot`], adding the client-side registry
+    /// under the node name `"clients"`. Nodes that fail to answer (e.g.
+    /// killed ones) are skipped — a scrape must not wedge on a dead node.
+    pub fn cluster_snapshot(&self) -> ClusterSnapshot {
+        let mut cluster = ClusterSnapshot::new();
+        for (name, addr) in self.scrape_targets() {
+            if let Ok(snap) = fetch_snapshot(&addr, std::time::Duration::from_secs(2)) {
+                cluster.insert(name, snap);
+            }
+        }
+        cluster.insert("clients", self.metrics.snapshot());
+        cluster
+    }
+
+    /// Direct access to one storage node's registry (for assertions that
+    /// would otherwise need an HTTP round trip). `None` for unknown or
+    /// killed nodes.
+    pub fn storage_registry(&self, id: NodeId) -> Option<Registry> {
+        self.storage_servers.lock().get(&id).map(|n| n.registry.clone())
+    }
+
+    /// The sequencer node's registry.
+    pub fn sequencer_registry(&self) -> Registry {
+        self.aux_servers[0].registry.clone()
+    }
+
+    /// Kills the storage node `id`: its TCP listener and scrape endpoint
+    /// shut down and open connections drop, so subsequent calls to it fail.
     pub fn kill_storage_node(&self, id: NodeId) {
         self.storage_servers.lock().remove(&id);
     }
 
-    /// Spawns a fresh, empty storage server on an ephemeral port and returns
-    /// its node info, ready for [`crate::reconfig::replace_storage_node`].
+    /// Spawns a fresh, empty storage server on an ephemeral port (with its
+    /// own registry and scrape endpoint) and returns its node info, ready
+    /// for [`crate::reconfig::replace_storage_node`].
     pub fn spawn_replacement_storage(&self) -> Result<NodeInfo> {
         let gen = self.storage_generation.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         let id = STORAGE_REPLACEMENT_BASE_ID + gen;
+        let registry = Registry::new();
         let handler: Arc<dyn RpcHandler> = Arc::new(
-            StorageServer::new(FlashUnit::in_memory(self.config.page_size))
-                .with_metrics(&self.metrics),
+            StorageServer::new(FlashUnit::in_memory(self.config.page_size)).with_metrics(&registry),
         );
-        let server = TcpServer::spawn("127.0.0.1:0", handler)
-            .map_err(|e| crate::CorfuError::Rpc(e.to_string()))?;
-        let info = NodeInfo { id, addr: server.local_addr().to_string() };
-        self.storage_servers.lock().insert(id, server);
+        let node = TcpNode::spawn(format!("storage-{id}"), handler, registry)?;
+        let info = NodeInfo { id, addr: node.server.local_addr().to_string() };
+        self.storage_servers.lock().insert(id, node);
         Ok(info)
     }
 

@@ -6,7 +6,7 @@
 //! bind every component to one shared [`Registry`] so a single snapshot
 //! covers the whole deployment.
 
-use tango_metrics::{Counter, Histogram, Registry, Sampler};
+use tango_metrics::{Counter, Histogram, Registry, Sampler, Tracer};
 
 /// Client-side instruments (`corfu.client.*`).
 ///
@@ -39,8 +39,12 @@ pub struct ClientMetrics {
     pub seal_retries: Counter,
     /// Append tokens lost to a racing hole-filler.
     pub tokens_lost: Counter,
-    /// Gate pacing the latency histograms above.
+    /// Gate pacing the latency histograms above. The client's root trace
+    /// spans share the same gate, so one sampling decision covers both
+    /// the latency timer and the span (see `CorfuClient::append_streams`).
     pub sampler: Sampler,
+    /// Span recorder for client root spans.
+    pub tracer: Tracer,
 }
 
 impl ClientMetrics {
@@ -58,6 +62,7 @@ impl ClientMetrics {
             seal_retries: registry.counter("corfu.client.seal_retries"),
             tokens_lost: registry.counter("corfu.client.tokens_lost"),
             sampler: Sampler::default(),
+            tracer: registry.tracer(),
         }
     }
 }
@@ -75,6 +80,9 @@ pub struct SequencerMetrics {
     pub backpointer_lookups: Counter,
     /// Seals accepted.
     pub seals: Counter,
+    /// Span recorder for sequencer-side child spans: grants and queries
+    /// record under the caller's trace when one arrives with the request.
+    pub tracer: Tracer,
 }
 
 impl SequencerMetrics {
@@ -85,6 +93,7 @@ impl SequencerMetrics {
             batches_granted: registry.counter("corfu.seq.batches_granted"),
             backpointer_lookups: registry.counter("corfu.seq.backpointer_lookups"),
             seals: registry.counter("corfu.seq.seals"),
+            tracer: registry.tracer(),
         }
     }
 }
@@ -105,6 +114,15 @@ pub struct StorageMetrics {
     pub trims: Counter,
     /// `CopyRange` chunks served to a rebuild coordinator.
     pub copy_chunks: Counter,
+    /// Time a request waited for the node's unit lock before being
+    /// serviced, ns (sampled). Together with the `flash.*.service_ns`
+    /// histograms this decomposes storage latency into queue wait vs.
+    /// device service time.
+    pub queue_wait_ns: Histogram,
+    /// Gate pacing `queue_wait_ns`.
+    pub sampler: Sampler,
+    /// Span recorder for storage-side child spans.
+    pub tracer: Tracer,
 }
 
 impl StorageMetrics {
@@ -117,6 +135,9 @@ impl StorageMetrics {
             seals: registry.counter("corfu.storage.seals"),
             trims: registry.counter("corfu.storage.trims"),
             copy_chunks: registry.counter("corfu.storage.copy_chunks"),
+            queue_wait_ns: registry.histogram("flash.queue_wait_ns"),
+            sampler: Sampler::default(),
+            tracer: registry.tracer(),
         }
     }
 }

@@ -116,6 +116,15 @@ impl SequencerServer {
 
     /// Processes a decoded request (also used directly by unit tests).
     pub fn process(&self, req: SequencerRequest) -> SequencerResponse {
+        let span_kind = match req {
+            SequencerRequest::Next { .. } | SequencerRequest::NextBatch { .. } => {
+                tango_metrics::SpanKind::SeqGrant
+            }
+            SequencerRequest::Query { .. } => tango_metrics::SpanKind::SeqQuery,
+            _ => tango_metrics::SpanKind::Other,
+        };
+        // Records only when the request arrived with a trace context.
+        let _span = self.metrics.tracer.child(span_kind);
         let mut inner = self.inner.lock();
         match req {
             SequencerRequest::Next { epoch, streams } => {

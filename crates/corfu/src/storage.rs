@@ -1,8 +1,8 @@
 //! The storage server: an epoch gate in front of a [`FlashUnit`].
 
 use parking_lot::Mutex;
-use tango_flash::{FlashError, FlashUnit, PageRead};
-use tango_metrics::Registry;
+use tango_flash::{FlashError, FlashMetrics, FlashUnit, PageRead};
+use tango_metrics::{Registry, SpanKind};
 use tango_rpc::RpcHandler;
 use tango_wire::{decode_from_slice, encode_to_vec};
 
@@ -40,10 +40,12 @@ impl StorageServer {
         Self { inner: Mutex::new(Inner { unit, epoch }), metrics: StorageMetrics::default() }
     }
 
-    /// Records `corfu.storage.*` metrics into `registry` (off by default).
-    /// Counts from every node bound to the same registry aggregate.
+    /// Records `corfu.storage.*` and `flash.*` metrics into `registry`
+    /// (off by default). Counts from every node bound to the same registry
+    /// aggregate.
     pub fn with_metrics(mut self, registry: &Registry) -> Self {
         self.metrics = StorageMetrics::from_registry(registry);
+        self.inner.get_mut().unit.set_metrics(FlashMetrics::from_registry(registry));
         self
     }
 
@@ -65,7 +67,19 @@ impl StorageServer {
 
     /// Processes a decoded request (also used directly by unit tests).
     pub fn process(&self, req: StorageRequest) -> StorageResponse {
+        // Queue wait is the time spent behind other requests for the
+        // unit's lock; everything after the lock is service time, which
+        // the flash.* histograms measure per device op.
+        let wait = self.metrics.queue_wait_ns.start_sampled(&self.metrics.sampler);
         let mut inner = self.inner.lock();
+        wait.stop();
+        let span_kind = match req {
+            StorageRequest::Write { .. } => SpanKind::StorageWrite,
+            StorageRequest::Read { .. } => SpanKind::StorageRead,
+            _ => SpanKind::StorageCtl,
+        };
+        // Records only when the request arrived with a trace context.
+        let _span = self.metrics.tracer.child(span_kind);
         match req {
             StorageRequest::Write { epoch, addr, kind, payload } => {
                 if let Err(resp) = inner.check_epoch(epoch) {

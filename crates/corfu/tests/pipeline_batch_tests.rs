@@ -103,7 +103,10 @@ fn concurrent_batched_appends_over_tcp_get_unique_offsets() {
     assert_eq!(all.len(), before, "duplicate offsets handed out");
     assert_eq!(all.len() as u64, THREADS * PER_THREAD);
 
-    let snap = cluster.metrics().snapshot();
+    // Client-side counters live in the cluster handle's registry; the
+    // sequencer's live in its own node registry, scraped over HTTP and
+    // merged — exactly how a real deployment would check this invariant.
+    let snap = cluster.cluster_snapshot().merged();
     let appends = THREADS * PER_THREAD;
     let batches = snap.counter("corfu.client.token_batches");
     assert!(

@@ -24,12 +24,14 @@
 mod error;
 mod file;
 mod mem;
+mod metrics;
 mod store;
 mod unit;
 
 pub use error::FlashError;
 pub use file::FileStore;
 pub use mem::MemStore;
+pub use metrics::FlashMetrics;
 pub use store::{PageKind, PageRead, PageStore, ScannedPage};
 pub use unit::{FlashUnit, WearStats};
 

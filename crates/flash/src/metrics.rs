@@ -1,0 +1,45 @@
+//! Service-time instruments for the flash device (`flash.*`).
+//!
+//! The storage RPC layer measures *queue wait* (how long a request sat
+//! behind the unit's lock); these histograms measure the *service time*
+//! once the device is actually working — the split the latency
+//! decomposition in EXPERIMENTS.md is built on. Timers are paced by a
+//! shared 1-in-16 [`Sampler`] like every other hot-path histogram in the
+//! tree, so the common case pays one relaxed counter increment and no
+//! clock reads.
+
+use tango_metrics::{Histogram, Registry, Sampler};
+
+/// Per-operation service-time histograms for a [`crate::FlashUnit`].
+///
+/// Defaults to disabled (no-op) handles; bind with
+/// [`FlashMetrics::from_registry`] and install via
+/// [`crate::FlashUnit::set_metrics`].
+#[derive(Clone, Default)]
+pub struct FlashMetrics {
+    /// Service time of successful data writes, ns (sampled).
+    pub write_service_ns: Histogram,
+    /// Service time of reads, ns (sampled). All outcomes count — data,
+    /// junk, unwritten, trimmed — since the device does index work for
+    /// each.
+    pub read_service_ns: Histogram,
+    /// Service time of successful junk fills, ns (sampled).
+    pub fill_service_ns: Histogram,
+    /// Service time of trims — single-address and prefix, ns (sampled).
+    pub trim_service_ns: Histogram,
+    /// Gate pacing the histograms above.
+    pub sampler: Sampler,
+}
+
+impl FlashMetrics {
+    /// Binds the `flash.*` names in `registry`.
+    pub fn from_registry(registry: &Registry) -> Self {
+        Self {
+            write_service_ns: registry.histogram("flash.write.service_ns"),
+            read_service_ns: registry.histogram("flash.read.service_ns"),
+            fill_service_ns: registry.histogram("flash.fill.service_ns"),
+            trim_service_ns: registry.histogram("flash.trim.service_ns"),
+            sampler: Sampler::default(),
+        }
+    }
+}

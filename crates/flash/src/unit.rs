@@ -1,7 +1,7 @@
 use std::collections::BTreeMap;
 
 use crate::store::{PageKind, PageRead, PageStore, ScannedState};
-use crate::{FlashError, PageAddr, Result};
+use crate::{FlashError, FlashMetrics, PageAddr, Result};
 
 /// Wear and usage accounting for a flash unit.
 ///
@@ -54,6 +54,7 @@ pub struct FlashUnit {
     epoch: u64,
     page_size: usize,
     stats: WearStats,
+    metrics: FlashMetrics,
 }
 
 impl FlashUnit {
@@ -82,6 +83,7 @@ impl FlashUnit {
             epoch,
             page_size,
             stats: WearStats::default(),
+            metrics: FlashMetrics::default(),
         })
     }
 
@@ -119,6 +121,12 @@ impl FlashUnit {
         self.stats
     }
 
+    /// Installs service-time instruments (`flash.*`). Until this is
+    /// called every histogram handle is a disabled no-op.
+    pub fn set_metrics(&mut self, metrics: FlashMetrics) {
+        self.metrics = metrics;
+    }
+
     fn check_writable(&mut self, addr: PageAddr) -> Result<()> {
         if addr < self.prefix_trim {
             return Err(FlashError::Trimmed { addr });
@@ -138,11 +146,18 @@ impl FlashUnit {
             return Err(FlashError::PageTooLarge { len: data.len(), page_size: self.page_size });
         }
         self.check_writable(addr)?;
-        self.store.put(addr, PageKind::Data, data)?;
+        // The timer starts after arbitration so rejected writes (a
+        // protocol outcome, not device work) never pollute service time.
+        let timer = self.metrics.write_service_ns.start_sampled(&self.metrics.sampler);
+        if let Err(e) = self.store.put(addr, PageKind::Data, data) {
+            timer.discard();
+            return Err(e);
+        }
         self.index.insert(addr, SlotState::Data);
         self.local_tail = self.local_tail.max(addr + 1);
         self.stats.data_writes += 1;
         self.stats.bytes_written += data.len() as u64;
+        timer.stop();
         Ok(())
     }
 
@@ -150,29 +165,49 @@ impl FlashUnit {
     /// the same write-once rules as [`FlashUnit::write`].
     pub fn fill(&mut self, addr: PageAddr) -> Result<()> {
         self.check_writable(addr)?;
-        self.store.put(addr, PageKind::Junk, &[])?;
+        let timer = self.metrics.fill_service_ns.start_sampled(&self.metrics.sampler);
+        if let Err(e) = self.store.put(addr, PageKind::Junk, &[]) {
+            timer.discard();
+            return Err(e);
+        }
         self.index.insert(addr, SlotState::Junk);
         self.local_tail = self.local_tail.max(addr + 1);
         self.stats.junk_writes += 1;
+        timer.stop();
         Ok(())
     }
 
     /// Reads the page at `addr`.
     pub fn read(&mut self, addr: PageAddr) -> Result<PageRead> {
         self.stats.reads += 1;
-        if addr < self.prefix_trim {
-            return Ok(PageRead::Trimmed);
-        }
-        match self.index.get(&addr) {
-            None => Ok(PageRead::Unwritten),
-            Some(SlotState::Trimmed) => Ok(PageRead::Trimmed),
-            Some(SlotState::Junk) => Ok(PageRead::Junk),
-            Some(SlotState::Data) => match self.store.get(addr)? {
-                Some((PageKind::Data, bytes)) => Ok(PageRead::Data(bytes)),
-                // The index said data was here; the store losing it is
-                // corruption, not a hole.
-                _ => Err(FlashError::Corrupt(format!("indexed data page {addr} missing"))),
-            },
+        let timer = self.metrics.read_service_ns.start_sampled(&self.metrics.sampler);
+        // Every non-error outcome counts as service time: the device does
+        // index work whether or not the page holds data.
+        let out = if addr < self.prefix_trim {
+            Ok(PageRead::Trimmed)
+        } else {
+            match self.index.get(&addr) {
+                None => Ok(PageRead::Unwritten),
+                Some(SlotState::Trimmed) => Ok(PageRead::Trimmed),
+                Some(SlotState::Junk) => Ok(PageRead::Junk),
+                Some(SlotState::Data) => match self.store.get(addr) {
+                    Ok(Some((PageKind::Data, bytes))) => Ok(PageRead::Data(bytes)),
+                    Err(e) => Err(e),
+                    // The index said data was here; the store losing it is
+                    // corruption, not a hole.
+                    Ok(_) => Err(FlashError::Corrupt(format!("indexed data page {addr} missing"))),
+                },
+            }
+        };
+        match out {
+            Ok(read) => {
+                timer.stop();
+                Ok(read)
+            }
+            Err(e) => {
+                timer.discard();
+                Err(e)
+            }
         }
     }
 
@@ -182,10 +217,15 @@ impl FlashUnit {
         if addr < self.prefix_trim {
             return Ok(());
         }
-        self.store.mark_trimmed(addr)?;
+        let timer = self.metrics.trim_service_ns.start_sampled(&self.metrics.sampler);
+        if let Err(e) = self.store.mark_trimmed(addr) {
+            timer.discard();
+            return Err(e);
+        }
         self.index.insert(addr, SlotState::Trimmed);
         self.local_tail = self.local_tail.max(addr + 1);
         self.stats.random_trims += 1;
+        timer.stop();
         Ok(())
     }
 
@@ -196,9 +236,13 @@ impl FlashUnit {
         if horizon <= self.prefix_trim {
             return Ok(());
         }
+        let timer = self.metrics.trim_service_ns.start_sampled(&self.metrics.sampler);
         let removed: Vec<PageAddr> = self.index.range(..horizon).map(|(&addr, _)| addr).collect();
         for addr in &removed {
-            self.store.mark_trimmed(*addr)?;
+            if let Err(e) = self.store.mark_trimmed(*addr) {
+                timer.discard();
+                return Err(e);
+            }
         }
         self.stats.prefix_trimmed_pages += removed.len() as u64;
         for addr in removed {
@@ -206,7 +250,11 @@ impl FlashUnit {
         }
         self.prefix_trim = horizon;
         self.local_tail = self.local_tail.max(horizon);
-        self.store.put_meta(self.epoch, self.prefix_trim)?;
+        if let Err(e) = self.store.put_meta(self.epoch, self.prefix_trim) {
+            timer.discard();
+            return Err(e);
+        }
+        timer.stop();
         Ok(())
     }
 
@@ -316,6 +364,34 @@ mod tests {
         assert_eq!(u.read(4).unwrap(), PageRead::Junk);
         assert_eq!(u.read(2).unwrap(), PageRead::Trimmed);
         assert_eq!(u.write(2, b"no"), Err(FlashError::AlreadyWritten { addr: 2 }));
+    }
+
+    #[test]
+    fn service_time_histograms_record_per_op() {
+        use tango_metrics::{Registry, Sampler};
+        let registry = Registry::new();
+        let mut metrics = crate::FlashMetrics::from_registry(&registry);
+        metrics.sampler = Sampler::one_in(1); // every op, for determinism
+        let mut u = unit();
+        u.set_metrics(metrics);
+
+        u.write(0, b"a").unwrap();
+        u.read(0).unwrap();
+        u.fill(1).unwrap();
+        u.trim(0).unwrap();
+        u.write(2, b"b").unwrap();
+        u.write(3, b"c").unwrap();
+        u.trim_prefix(3).unwrap();
+        // Rejected work is arbitration, not service time.
+        assert!(u.write(3, b"again").is_err());
+
+        let snap = registry.snapshot();
+        let count = |name: &str| snap.histogram(name).unwrap().count();
+        assert_eq!(count("flash.write.service_ns"), 3);
+        assert_eq!(count("flash.read.service_ns"), 1);
+        assert_eq!(count("flash.fill.service_ns"), 1);
+        // One random trim + one prefix trim.
+        assert_eq!(count("flash.trim.service_ns"), 2);
     }
 
     #[test]

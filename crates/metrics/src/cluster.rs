@@ -1,0 +1,163 @@
+//! Cluster-wide metric aggregation: per-node snapshots keyed by node
+//! name, plus an order-independent merged view.
+//!
+//! The aggregator is deliberately a *keyed map*, not a running sum:
+//! inserting the same node twice replaces its snapshot (scrapes are
+//! idempotent), and merging two aggregators is a right-biased union
+//! (associative), so any fetch/merge topology — one scraper, a tree of
+//! scrapers, retries — converges to the same view.
+
+use std::collections::BTreeMap;
+
+use crate::snapshot::json_string;
+use crate::Snapshot;
+
+/// Per-node snapshots plus a merged cluster view.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterSnapshot {
+    nodes: BTreeMap<String, Snapshot>,
+}
+
+impl ClusterSnapshot {
+    /// An empty aggregation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) one node's snapshot. Re-inserting the same
+    /// node is idempotent — the previous scrape is replaced, never
+    /// double-counted.
+    pub fn insert(&mut self, node: impl Into<String>, snapshot: Snapshot) {
+        self.nodes.insert(node.into(), snapshot);
+    }
+
+    /// Right-biased union: `other`'s snapshot wins for nodes present in
+    /// both. Associative, and idempotent when merging the same data.
+    pub fn merge(&mut self, other: &ClusterSnapshot) {
+        for (node, snap) in &other.nodes {
+            self.nodes.insert(node.clone(), snap.clone());
+        }
+    }
+
+    /// One node's snapshot.
+    pub fn node(&self, name: &str) -> Option<&Snapshot> {
+        self.nodes.get(name)
+    }
+
+    /// Iterates `(node name, snapshot)` in name order.
+    pub fn nodes(&self) -> impl Iterator<Item = (&str, &Snapshot)> {
+        self.nodes.iter().map(|(n, s)| (n.as_str(), s))
+    }
+
+    /// Number of nodes aggregated.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True with no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The cluster-wide view: every node's instruments summed by name
+    /// (counters/gauges add, histograms add bucket-wise). Because the
+    /// per-pair sum is commutative and associative, the result does not
+    /// depend on node order.
+    pub fn merged(&self) -> Snapshot {
+        self.nodes.values().fold(Snapshot::default(), |acc, s| acc.merged_with(s))
+    }
+
+    /// JSON rendering: the merged view plus the per-node breakdown.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"merged\":");
+        out.push_str(&self.merged().to_json());
+        out.push_str(",\"nodes\":{");
+        for (i, (name, snap)) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(name));
+            out.push(':');
+            out.push_str(&snap.to_json());
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn snap(counter: u64, hist_value: u64) -> Snapshot {
+        let r = Registry::new();
+        r.counter("ops").add(counter);
+        r.gauge("depth").add(counter as i64);
+        r.histogram("lat_ns").record(hist_value);
+        r.snapshot()
+    }
+
+    #[test]
+    fn merged_sums_counters_gauges_and_histogram_buckets() {
+        let mut cs = ClusterSnapshot::new();
+        cs.insert("a", snap(2, 100));
+        cs.insert("b", snap(3, 100_000));
+        let merged = cs.merged();
+        assert_eq!(merged.counter("ops"), 5);
+        assert_eq!(merged.gauge("depth"), 5);
+        let h = merged.histogram("lat_ns").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum, 100_100);
+        // Both original buckets survive the merge.
+        assert_eq!(h.buckets[crate::bucket_index(100)], 1);
+        assert_eq!(h.buckets[crate::bucket_index(100_000)], 1);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut cs = ClusterSnapshot::new();
+        cs.insert("a", snap(2, 100));
+        cs.insert("a", snap(2, 100));
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs.merged().counter("ops"), 2);
+    }
+
+    #[test]
+    fn merge_is_associative_and_idempotent() {
+        let parts: Vec<ClusterSnapshot> = (0..3)
+            .map(|i| {
+                let mut cs = ClusterSnapshot::new();
+                cs.insert(format!("node-{i}"), snap(i + 1, 10 << i));
+                cs
+            })
+            .collect();
+
+        // (a ∪ b) ∪ c
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        // a ∪ (b ∪ c)
+        let mut right_tail = parts[1].clone();
+        right_tail.merge(&parts[2]);
+        let mut right = parts[0].clone();
+        right.merge(&right_tail);
+        assert_eq!(left, right);
+        assert_eq!(left.merged(), right.merged());
+
+        // x ∪ x = x
+        let mut twice = left.clone();
+        twice.merge(&left);
+        assert_eq!(twice, left);
+    }
+
+    #[test]
+    fn json_has_merged_and_per_node_sections() {
+        let mut cs = ClusterSnapshot::new();
+        cs.insert("storage-0", snap(1, 10));
+        let json = cs.to_json();
+        assert!(json.starts_with("{\"merged\":{"), "{json}");
+        assert!(json.contains("\"storage-0\""), "{json}");
+        assert!(json.contains("\"ops\":1"), "{json}");
+    }
+}

@@ -37,9 +37,13 @@
 //! println!("{}", snap.to_text());
 //! ```
 
+mod cluster;
 mod snapshot;
+pub mod trace;
 
-pub use snapshot::{HistogramSnapshot, Snapshot};
+pub use cluster::ClusterSnapshot;
+pub use snapshot::{HistogramSnapshot, Snapshot, SnapshotDecodeError};
+pub use trace::{spans_to_json, Span, SpanKind, SpanRecord, TraceConfig, TraceContext, Tracer};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -237,6 +241,13 @@ pub struct Timer {
 }
 
 impl Timer {
+    /// A timer that records nothing. For callers that make their own
+    /// sampling decision (e.g. to share one decision between a timer and
+    /// a trace span) and need an inert placeholder on the miss path.
+    pub fn inert() -> Timer {
+        Timer { target: None }
+    }
+
     /// Stops the timer and records the elapsed nanoseconds.
     #[inline]
     pub fn stop(mut self) {
@@ -297,11 +308,11 @@ impl Default for Sampler {
     }
 }
 
-#[derive(Default)]
 struct RegistryInner {
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
     histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+    tracer: Arc<trace::TracerInner>,
 }
 
 /// A named collection of instruments.
@@ -315,9 +326,22 @@ pub struct Registry {
 }
 
 impl Registry {
-    /// Creates an enabled registry.
+    /// Creates an enabled registry with the default [`TraceConfig`].
     pub fn new() -> Self {
-        Self { inner: Some(Arc::new(RegistryInner::default())) }
+        Self::with_trace(TraceConfig::default())
+    }
+
+    /// Creates an enabled registry with an explicit trace configuration
+    /// (sampling period, slow-request threshold, ring capacities).
+    pub fn with_trace(cfg: TraceConfig) -> Self {
+        Self {
+            inner: Some(Arc::new(RegistryInner {
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                tracer: Arc::new(trace::TracerInner::new(&cfg)),
+            })),
+        }
     }
 
     /// Creates a disabled registry: every instrument it hands out is a
@@ -366,15 +390,42 @@ impl Registry {
         Histogram { core }
     }
 
+    /// The tracer recording spans into this registry's rings. Handles
+    /// from a disabled registry are inert.
+    pub fn tracer(&self) -> Tracer {
+        Tracer { inner: self.inner.as_ref().map(|i| Arc::clone(&i.tracer)) }
+    }
+
+    /// All stable spans in the span ring, oldest first.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.tracer().spans()
+    }
+
+    /// All stable spans in the slow-request ring, oldest first.
+    pub fn slow_spans(&self) -> Vec<SpanRecord> {
+        self.tracer().slow_spans()
+    }
+
     /// Captures the current value of every instrument without blocking
     /// writers (individual values are atomic; the set is scanned under
     /// the registration lock, which records never take).
     pub fn snapshot(&self) -> Snapshot {
         let Some(inner) = &self.inner else { return Snapshot::default() };
-        let counters = Self::lock_map(&inner.counters)
+        let mut counters: Vec<(String, u64)> = Self::lock_map(&inner.counters)
             .iter()
             .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
             .collect();
+        // Trace bookkeeping surfaces as synthetic counters so it rides
+        // along in every snapshot/merge/scrape without extra plumbing.
+        counters.push((
+            "trace.slow_requests".to_string(),
+            inner.tracer.slow_requests.load(Ordering::Relaxed),
+        ));
+        counters.push((
+            "trace.spans_recorded".to_string(),
+            inner.tracer.spans_recorded.load(Ordering::Relaxed),
+        ));
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
         let gauges = Self::lock_map(&inner.gauges)
             .iter()
             .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))

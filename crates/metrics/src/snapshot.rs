@@ -49,6 +49,38 @@ impl HistogramSnapshot {
     pub fn max_bound(&self) -> u64 {
         self.buckets.iter().rposition(|&n| n > 0).map(bucket_upper_bound).unwrap_or(0)
     }
+
+    /// Median estimate — [`HistogramSnapshot::quantile`] at 0.50.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Bucket-wise sum of two histograms (shorter bucket vectors are
+    /// treated as zero-padded). Used by [`crate::ClusterSnapshot`] to
+    /// merge per-node histograms; log₂ buckets make this exact.
+    pub fn merged_with(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let len = self.buckets.len().max(other.buckets.len());
+        let mut buckets = vec![0u64; len];
+        for (i, slot) in buckets.iter_mut().enumerate() {
+            *slot = self.buckets.get(i).copied().unwrap_or(0)
+                + other.buckets.get(i).copied().unwrap_or(0);
+        }
+        HistogramSnapshot {
+            name: self.name.clone(),
+            sum: self.sum.wrapping_add(other.sum),
+            buckets,
+        }
+    }
 }
 
 /// A consistent-enough capture of every instrument in a [`crate::Registry`].
@@ -108,12 +140,13 @@ impl Snapshot {
             };
             let _ = writeln!(
                 out,
-                "{:<44} count={} mean={} p50={} p99={} max<={}",
+                "{:<44} count={} mean={} p50={} p95={} p99={} max<={}",
                 h.name,
                 h.count(),
                 fmt(h.mean()),
-                fmt(h.quantile(0.50)),
-                fmt(h.quantile(0.99)),
+                fmt(h.p50()),
+                fmt(h.p95()),
+                fmt(h.p99()),
                 fmt(h.max_bound()),
             );
         }
@@ -145,13 +178,15 @@ impl Snapshot {
             }
             let _ = write!(
                 out,
-                "{}:{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"buckets\":[",
+                "{}:{{\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\
+                 \"buckets\":[",
                 json_string(&h.name),
                 h.count(),
                 h.sum,
                 h.mean(),
-                h.quantile(0.50),
-                h.quantile(0.99),
+                h.p50(),
+                h.p95(),
+                h.p99(),
             );
             let mut first = true;
             for (b, &n) in h.buckets.iter().enumerate() {
@@ -169,9 +204,219 @@ impl Snapshot {
         out.push_str("}}");
         out
     }
+
+    /// Sums two snapshots instrument-by-instrument: counters and gauges
+    /// add, histograms add bucket-wise. Instruments present in only one
+    /// side pass through. Commutative and associative, which is what
+    /// makes [`crate::ClusterSnapshot::merged`] order-independent.
+    pub fn merged_with(&self, other: &Snapshot) -> Snapshot {
+        fn merge_by_name<V: Copy, F: Fn(V, V) -> V>(
+            a: &[(String, V)],
+            b: &[(String, V)],
+            add: F,
+        ) -> Vec<(String, V)> {
+            let mut out: Vec<(String, V)> = Vec::with_capacity(a.len() + b.len());
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() || j < b.len() {
+                match (a.get(i), b.get(j)) {
+                    (Some((an, av)), Some((bn, bv))) => match an.cmp(bn) {
+                        std::cmp::Ordering::Less => {
+                            out.push((an.clone(), *av));
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            out.push((bn.clone(), *bv));
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            out.push((an.clone(), add(*av, *bv)));
+                            i += 1;
+                            j += 1;
+                        }
+                    },
+                    (Some((an, av)), None) => {
+                        out.push((an.clone(), *av));
+                        i += 1;
+                    }
+                    (None, Some((bn, bv))) => {
+                        out.push((bn.clone(), *bv));
+                        j += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+            out
+        }
+
+        let counters =
+            merge_by_name(&self.counters, &other.counters, |a: u64, b| a.wrapping_add(b));
+        let gauges = merge_by_name(&self.gauges, &other.gauges, |a: i64, b| a.wrapping_add(b));
+
+        let mut histograms: Vec<HistogramSnapshot> = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.histograms.len() || j < other.histograms.len() {
+            match (self.histograms.get(i), other.histograms.get(j)) {
+                (Some(a), Some(b)) => match a.name.cmp(&b.name) {
+                    std::cmp::Ordering::Less => {
+                        histograms.push(a.clone());
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        histograms.push(b.clone());
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        histograms.push(a.merged_with(b));
+                        i += 1;
+                        j += 1;
+                    }
+                },
+                (Some(a), None) => {
+                    histograms.push(a.clone());
+                    i += 1;
+                }
+                (None, Some(b)) => {
+                    histograms.push(b.clone());
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        Snapshot { counters, gauges, histograms }
+    }
+
+    /// Encodes the snapshot into the self-describing binary form served
+    /// at `/snapshot.bin` and consumed by the cluster aggregator. The
+    /// format is versioned and hand-rolled so the metrics crate stays
+    /// dependency-free (no JSON parser needed anywhere).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        let mut out = Vec::with_capacity(256);
+        out.extend_from_slice(&SNAPSHOT_MAGIC.to_le_bytes());
+        out.push(SNAPSHOT_VERSION);
+        out.extend_from_slice(&(self.counters.len() as u32).to_le_bytes());
+        for (name, v) in &self.counters {
+            put_str(&mut out, name);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.gauges.len() as u32).to_le_bytes());
+        for (name, v) in &self.gauges {
+            put_str(&mut out, name);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.histograms.len() as u32).to_le_bytes());
+        for h in &self.histograms {
+            put_str(&mut out, &h.name);
+            out.extend_from_slice(&h.sum.to_le_bytes());
+            out.extend_from_slice(&(h.buckets.len() as u32).to_le_bytes());
+            for b in &h.buckets {
+                out.extend_from_slice(&b.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes [`Snapshot::to_bytes`]. Every length is bounds-checked so
+    /// a truncated or corrupt body fails cleanly instead of panicking.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotDecodeError> {
+        struct Cursor<'a> {
+            buf: &'a [u8],
+            pos: usize,
+        }
+        impl<'a> Cursor<'a> {
+            fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotDecodeError> {
+                if self.buf.len() - self.pos < n {
+                    return Err(SnapshotDecodeError::Truncated);
+                }
+                let out = &self.buf[self.pos..self.pos + n];
+                self.pos += n;
+                Ok(out)
+            }
+            fn u32(&mut self) -> Result<u32, SnapshotDecodeError> {
+                Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+            }
+            fn u64(&mut self) -> Result<u64, SnapshotDecodeError> {
+                Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+            }
+            fn str(&mut self) -> Result<String, SnapshotDecodeError> {
+                let len = self.u32()? as usize;
+                let raw = self.take(len)?;
+                String::from_utf8(raw.to_vec()).map_err(|_| SnapshotDecodeError::BadString)
+            }
+        }
+
+        let mut c = Cursor { buf: bytes, pos: 0 };
+        if c.u32()? != SNAPSHOT_MAGIC {
+            return Err(SnapshotDecodeError::BadMagic);
+        }
+        if c.take(1)?[0] != SNAPSHOT_VERSION {
+            return Err(SnapshotDecodeError::BadVersion);
+        }
+
+        let n = c.u32()? as usize;
+        let mut counters = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let name = c.str()?;
+            counters.push((name, c.u64()?));
+        }
+        let n = c.u32()? as usize;
+        let mut gauges = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let name = c.str()?;
+            gauges.push((name, c.u64()? as i64));
+        }
+        let n = c.u32()? as usize;
+        let mut histograms = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let name = c.str()?;
+            let sum = c.u64()?;
+            let blen = c.u32()? as usize;
+            if blen > 1024 {
+                return Err(SnapshotDecodeError::Truncated);
+            }
+            let mut buckets = Vec::with_capacity(blen);
+            for _ in 0..blen {
+                buckets.push(c.u64()?);
+            }
+            histograms.push(HistogramSnapshot { name, sum, buckets });
+        }
+        Ok(Snapshot { counters, gauges, histograms })
+    }
 }
 
-fn json_string(s: &str) -> String {
+const SNAPSHOT_MAGIC: u32 = 0x544D_5301; // "TMS" + format version tag
+const SNAPSHOT_VERSION: u8 = 1;
+
+/// Why [`Snapshot::from_bytes`] rejected a body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotDecodeError {
+    /// Leading magic did not match.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion,
+    /// Body ended before a declared length was satisfied.
+    Truncated,
+    /// A name was not valid UTF-8.
+    BadString,
+}
+
+impl std::fmt::Display for SnapshotDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotDecodeError::BadMagic => write!(f, "snapshot: bad magic"),
+            SnapshotDecodeError::BadVersion => write!(f, "snapshot: unsupported version"),
+            SnapshotDecodeError::Truncated => write!(f, "snapshot: truncated body"),
+            SnapshotDecodeError::BadString => write!(f, "snapshot: non-UTF-8 name"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotDecodeError {}
+
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -240,6 +485,120 @@ mod tests {
     #[test]
     fn json_escapes_names() {
         assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn named_quantiles_match_quantile() {
+        let r = Registry::new();
+        let h = r.histogram("h");
+        for v in 0..100u64 {
+            h.record(v * 10);
+        }
+        let snap = r.snapshot();
+        let hs = snap.histogram("h").unwrap();
+        assert_eq!(hs.p50(), hs.quantile(0.50));
+        assert_eq!(hs.p95(), hs.quantile(0.95));
+        assert_eq!(hs.p99(), hs.quantile(0.99));
+        assert!(hs.p50() <= hs.p95() && hs.p95() <= hs.p99());
+    }
+
+    #[test]
+    fn quantiles_at_edge_buckets() {
+        // Empty histogram: everything is 0.
+        let empty = HistogramSnapshot { name: "e".into(), sum: 0, buckets: vec![0; 65] };
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.p95(), 0);
+        assert_eq!(empty.p99(), 0);
+
+        // All samples in the zero bucket (bucket 0, bound 0).
+        let r = Registry::new();
+        let h = r.histogram("zeros");
+        for _ in 0..10 {
+            h.record(0);
+        }
+        let snap = r.snapshot();
+        let zeros = snap.histogram("zeros").unwrap();
+        assert_eq!(zeros.p50(), 0);
+        assert_eq!(zeros.p99(), 0);
+
+        // A sample in the top bucket (u64::MAX) dominates high quantiles.
+        let top = r.histogram("top");
+        top.record(u64::MAX);
+        top.record(1);
+        let snap = r.snapshot();
+        let ts = snap.histogram("top").unwrap();
+        assert_eq!(ts.p50(), 1);
+        assert_eq!(ts.p99(), u64::MAX);
+        assert_eq!(ts.max_bound(), u64::MAX);
+
+        // q clamping: out-of-range requests behave as 0.0 / 1.0.
+        assert_eq!(ts.quantile(-1.0), 1);
+        assert_eq!(ts.quantile(2.0), u64::MAX);
+    }
+
+    #[test]
+    fn p95_renders_in_text_and_json() {
+        let r = Registry::new();
+        r.histogram("lat_ns").record(1000);
+        let snap = r.snapshot();
+        assert!(snap.to_text().contains("p95="), "{}", snap.to_text());
+        assert!(snap.to_json().contains("\"p95\":"), "{}", snap.to_json());
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_everything() {
+        let r = Registry::new();
+        r.counter("ops.total").add(7);
+        r.gauge("depth").set(-3);
+        let h = r.histogram("lat_ns");
+        h.record(0);
+        h.record(12345);
+        h.record(u64::MAX);
+        let snap = r.snapshot();
+        let bytes = snap.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn binary_decode_rejects_garbage() {
+        assert_eq!(Snapshot::from_bytes(&[]), Err(SnapshotDecodeError::Truncated));
+        assert_eq!(Snapshot::from_bytes(&[0xFF; 16]), Err(SnapshotDecodeError::BadMagic));
+        let mut bytes = Snapshot::default().to_bytes();
+        bytes[4] = 99; // version byte
+        assert_eq!(Snapshot::from_bytes(&bytes), Err(SnapshotDecodeError::BadVersion));
+        let good = {
+            let r = Registry::new();
+            r.counter("a").inc();
+            r.snapshot().to_bytes()
+        };
+        // Any prefix truncation fails cleanly.
+        for cut in 0..good.len() {
+            assert!(Snapshot::from_bytes(&good[..cut]).is_err(), "cut={cut}");
+        }
+        assert!(Snapshot::from_bytes(&good).is_ok());
+    }
+
+    #[test]
+    fn merged_with_passes_through_disjoint_instruments() {
+        let a = {
+            let r = Registry::new();
+            r.counter("only.a").add(1);
+            r.snapshot()
+        };
+        let b = {
+            let r = Registry::new();
+            r.counter("only.b").add(2);
+            r.snapshot()
+        };
+        let m = a.merged_with(&b);
+        assert_eq!(m.counter("only.a"), 1);
+        assert_eq!(m.counter("only.b"), 2);
+        // Names stay sorted so repeated merges stay canonical.
+        let names: Vec<&str> = m.counters.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
     }
 
     #[test]

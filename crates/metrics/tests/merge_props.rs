@@ -1,0 +1,114 @@
+//! Property tests: `ClusterSnapshot` aggregation is associative and
+//! idempotent, and the merged view sums histogram buckets exactly.
+
+use proptest::prelude::*;
+use tango_metrics::{ClusterSnapshot, Registry, Snapshot};
+
+/// Builds a snapshot from generated instrument values. Instrument names
+/// are drawn from a small pool so snapshots overlap (the interesting
+/// case for merging).
+fn build_snapshot(counters: &[(u8, u64)], hists: &[(u8, Vec<u64>)]) -> Snapshot {
+    let r = Registry::new();
+    for (name, v) in counters {
+        r.counter(&format!("c{}", name % 4)).add(*v);
+    }
+    for (name, samples) in hists {
+        let h = r.histogram(&format!("h{}", name % 3));
+        for s in samples {
+            h.record(*s);
+        }
+    }
+    r.snapshot()
+}
+
+fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+    (
+        proptest::collection::vec((any::<u8>(), 0u64..1_000_000), 0..8),
+        proptest::collection::vec(
+            (any::<u8>(), proptest::collection::vec(any::<u64>(), 0..16)),
+            0..4,
+        ),
+    )
+        .prop_map(|(counters, hists)| build_snapshot(&counters, &hists))
+}
+
+fn one_node(name: String, snap: Snapshot) -> ClusterSnapshot {
+    let mut cs = ClusterSnapshot::new();
+    cs.insert(name, snap);
+    cs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_associative(
+        a in arb_snapshot(),
+        b in arb_snapshot(),
+        c in arb_snapshot(),
+    ) {
+        let (na, nb, nc) = ("node-a".to_string(), "node-b".to_string(), "node-c".to_string());
+        // (a ∪ b) ∪ c
+        let mut left = one_node(na.clone(), a.clone());
+        left.merge(&one_node(nb.clone(), b.clone()));
+        left.merge(&one_node(nc.clone(), c.clone()));
+        // a ∪ (b ∪ c)
+        let mut bc = one_node(nb, b);
+        bc.merge(&one_node(nc, c));
+        let mut right = one_node(na, a);
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.merged(), right.merged());
+    }
+
+    #[test]
+    fn merge_is_idempotent(a in arb_snapshot(), b in arb_snapshot()) {
+        let mut cs = one_node("node-a".to_string(), a);
+        cs.merge(&one_node("node-b".to_string(), b));
+        let mut twice = cs.clone();
+        twice.merge(&cs);
+        prop_assert_eq!(&twice, &cs);
+        prop_assert_eq!(twice.merged(), cs.merged());
+    }
+
+    #[test]
+    fn merged_view_is_node_order_independent(a in arb_snapshot(), b in arb_snapshot()) {
+        // Node names differ but the instrument *values* land in one sum;
+        // swapping which node carries which snapshot must not matter.
+        let mut ab = ClusterSnapshot::new();
+        ab.insert("node-a", a.clone());
+        ab.insert("node-b", b.clone());
+        let mut ba = ClusterSnapshot::new();
+        ba.insert("node-a", b);
+        ba.insert("node-b", a);
+        prop_assert_eq!(ab.merged(), ba.merged());
+    }
+
+    #[test]
+    fn merged_histogram_buckets_add_exactly(
+        xs in proptest::collection::vec(any::<u64>(), 1..32),
+        ys in proptest::collection::vec(any::<u64>(), 1..32),
+    ) {
+        let snap_of = |samples: &[u64]| {
+            let r = Registry::new();
+            let h = r.histogram("lat");
+            for s in samples {
+                h.record(*s);
+            }
+            r.snapshot()
+        };
+        let mut cs = ClusterSnapshot::new();
+        cs.insert("x", snap_of(&xs));
+        cs.insert("y", snap_of(&ys));
+        let merged = cs.merged();
+        let h = merged.histogram("lat").unwrap();
+        prop_assert_eq!(h.count(), (xs.len() + ys.len()) as u64);
+        let mut expected = vec![0u64; tango_metrics::HISTOGRAM_BUCKETS];
+        for s in xs.iter().chain(ys.iter()) {
+            expected[tango_metrics::bucket_index(*s)] += 1;
+        }
+        prop_assert_eq!(&h.buckets, &expected);
+        let want_sum = xs.iter().chain(ys.iter()).fold(0u64, |acc, s| acc.wrapping_add(*s));
+        prop_assert_eq!(h.sum, want_sum);
+    }
+}

@@ -1,11 +1,19 @@
-//! Length-prefixed, CRC-checked framing for the TCP transport (wire v2).
+//! Length-prefixed, CRC-checked framing for the TCP transport (wire v3).
 //!
-//! Frame layout: `magic u32 | request_id u64 | len u32 | crc u32 |
+//! Base frame layout: `magic u32 | request_id u64 | len u32 | crc u32 |
 //! payload[len]`, all little-endian. The `request_id` lets many RPCs share
 //! one socket: the client stamps each request with a fresh id and the server
 //! echoes it on the response, so responses may arrive in any order and are
 //! routed back to the right caller. `crc` is the CRC-32C of the payload.
 //! `len` is bounded to guard against garbage on the socket.
+//!
+//! v3 adds an *optional* trace extension: a frame written with magic
+//! `..03` carries `trace_id u64 | span_id u64` between the base header and
+//! the payload, propagating a [`TraceContext`] to the server. Untraced
+//! frames keep the v2 magic (`..02`) and the exact v2 layout, so the
+//! common case pays zero extra bytes and a v3 decoder accepts every v2
+//! stream unchanged (backward-compatible decode). Responses are never
+//! traced — the context only flows caller → callee.
 //!
 //! v1 (magic `..01`) had no request id and therefore forced a strict
 //! one-in-flight request/response lockstep per connection; the magic bump to
@@ -14,40 +22,71 @@
 
 use std::io::{Read, Write};
 
+use tango_metrics::TraceContext;
 use tango_wire::crc32c;
 
 use crate::{Result, RpcError};
 
-/// Magic + wire version. The low byte is the version; v1 was `0x7A_4E_47_01`.
+/// Magic for an untraced frame (v2 layout; the low byte is the version,
+/// v1 was `0x7A_4E_47_01`).
 pub const FRAME_MAGIC: u32 = 0x7A_4E_47_02;
+
+/// Magic for a traced frame: the v2 header followed by a
+/// [`TRACE_EXT_LEN`]-byte trace extension, then the payload.
+pub const FRAME_MAGIC_TRACED: u32 = 0x7A_4E_47_03;
 
 /// Bytes in a frame header: magic, request id, length, CRC.
 pub const HEADER_LEN: usize = 20;
+
+/// Bytes in the v3 trace extension: trace id + span id.
+pub const TRACE_EXT_LEN: usize = 16;
 
 /// Upper bound on a frame payload (64 MiB): far above any CORFU entry but
 /// small enough to reject corrupted lengths immediately.
 pub const MAX_FRAME_LEN: u32 = 64 << 20;
 
-/// One decoded frame: the request id and its payload.
+/// One decoded frame: the request id, its payload, and the propagated
+/// trace context if the sender included one.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
     /// Correlates a response with the request that produced it.
     pub id: u64,
     /// The message bytes.
     pub payload: Vec<u8>,
+    /// Trace context from a v3 traced frame (`None` for v2 frames).
+    pub trace: Option<TraceContext>,
 }
 
-/// Writes one frame to `w`.
+/// Writes one untraced frame to `w` (v2 layout).
 pub fn write_frame(w: &mut impl Write, id: u64, payload: &[u8]) -> Result<()> {
+    write_frame_traced(w, id, None, payload)
+}
+
+/// Writes one frame to `w`, as v2 when `trace` is `None` and as a v3
+/// traced frame otherwise — so untraced traffic is byte-identical to v2.
+pub fn write_frame_traced(
+    w: &mut impl Write,
+    id: u64,
+    trace: Option<TraceContext>,
+    payload: &[u8],
+) -> Result<()> {
     if payload.len() as u64 > MAX_FRAME_LEN as u64 {
         return Err(RpcError::BadFrame(format!("payload of {} bytes too large", payload.len())));
     }
-    let mut header = [0u8; HEADER_LEN];
-    header[0..4].copy_from_slice(&FRAME_MAGIC.to_le_bytes());
+    let mut header = [0u8; HEADER_LEN + TRACE_EXT_LEN];
+    let magic = if trace.is_some() { FRAME_MAGIC_TRACED } else { FRAME_MAGIC };
+    header[0..4].copy_from_slice(&magic.to_le_bytes());
     header[4..12].copy_from_slice(&id.to_le_bytes());
     header[12..16].copy_from_slice(&(payload.len() as u32).to_le_bytes());
     header[16..20].copy_from_slice(&crc32c(payload).to_le_bytes());
-    w.write_all(&header)?;
+    let header = if let Some(ctx) = trace {
+        header[20..28].copy_from_slice(&ctx.trace_id.to_le_bytes());
+        header[28..36].copy_from_slice(&ctx.span_id.to_le_bytes());
+        &header[..HEADER_LEN + TRACE_EXT_LEN]
+    } else {
+        &header[..HEADER_LEN]
+    };
+    w.write_all(header)?;
     w.write_all(payload)?;
     w.flush()?;
     Ok(())
@@ -68,7 +107,8 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame> {
 
 enum AssemblerState {
     Header,
-    Payload { id: u64, crc: u32 },
+    TraceExt { id: u64, len: u32, crc: u32 },
+    Payload { id: u64, crc: u32, trace: Option<TraceContext> },
 }
 
 /// Incremental frame reader that survives read timeouts mid-frame.
@@ -84,6 +124,8 @@ pub struct FrameAssembler {
     state: AssemblerState,
     header: [u8; HEADER_LEN],
     header_got: usize,
+    ext: [u8; TRACE_EXT_LEN],
+    ext_got: usize,
     payload: Vec<u8>,
     payload_got: usize,
 }
@@ -95,6 +137,8 @@ impl FrameAssembler {
             state: AssemblerState::Header,
             header: [0u8; HEADER_LEN],
             header_got: 0,
+            ext: [0u8; TRACE_EXT_LEN],
+            ext_got: 0,
             payload: Vec::new(),
             payload_got: 0,
         }
@@ -126,7 +170,7 @@ impl FrameAssembler {
                     }
                     let magic =
                         u32::from_le_bytes(self.header[0..4].try_into().expect("fixed slice"));
-                    if magic != FRAME_MAGIC {
+                    if magic != FRAME_MAGIC && magic != FRAME_MAGIC_TRACED {
                         return Err(RpcError::BadFrame(format!("bad magic {magic:#x}")));
                     }
                     let id =
@@ -138,11 +182,39 @@ impl FrameAssembler {
                     }
                     let crc =
                         u32::from_le_bytes(self.header[16..20].try_into().expect("fixed slice"));
+                    if magic == FRAME_MAGIC_TRACED {
+                        self.ext_got = 0;
+                        self.state = AssemblerState::TraceExt { id, len, crc };
+                    } else {
+                        self.payload = vec![0u8; len as usize];
+                        self.payload_got = 0;
+                        self.state = AssemblerState::Payload { id, crc, trace: None };
+                    }
+                }
+                AssemblerState::TraceExt { id, len, crc } => {
+                    while self.ext_got < TRACE_EXT_LEN {
+                        match r.read(&mut self.ext[self.ext_got..]) {
+                            Ok(0) => return Err(RpcError::Disconnected),
+                            Ok(n) => self.ext_got += n,
+                            Err(e) => match Self::classify(e)? {
+                                Interruption::Timeout => return Ok(None),
+                                Interruption::Retry => continue,
+                            },
+                        }
+                    }
+                    let trace = Some(TraceContext {
+                        trace_id: u64::from_le_bytes(
+                            self.ext[0..8].try_into().expect("fixed slice"),
+                        ),
+                        span_id: u64::from_le_bytes(
+                            self.ext[8..16].try_into().expect("fixed slice"),
+                        ),
+                    });
                     self.payload = vec![0u8; len as usize];
                     self.payload_got = 0;
-                    self.state = AssemblerState::Payload { id, crc };
+                    self.state = AssemblerState::Payload { id, crc, trace };
                 }
-                AssemblerState::Payload { id, crc } => {
+                AssemblerState::Payload { id, crc, trace } => {
                     while self.payload_got < self.payload.len() {
                         match r.read(&mut self.payload[self.payload_got..]) {
                             Ok(0) => return Err(RpcError::Disconnected),
@@ -160,7 +232,7 @@ impl FrameAssembler {
                     if crc32c(&payload) != crc {
                         return Err(RpcError::BadFrame("payload checksum mismatch".into()));
                     }
-                    return Ok(Some(Frame { id, payload }));
+                    return Ok(Some(Frame { id, payload, trace }));
                 }
             }
         }
@@ -200,6 +272,49 @@ mod tests {
         let frame = read_frame(&mut cursor).unwrap();
         assert_eq!(frame.id, 7);
         assert_eq!(frame.payload, b"hello frame");
+        assert_eq!(frame.trace, None);
+    }
+
+    #[test]
+    fn traced_roundtrip() {
+        let ctx = TraceContext { trace_id: 0xDEAD_BEEF, span_id: 42 };
+        let mut buf = Vec::new();
+        write_frame_traced(&mut buf, 9, Some(ctx), b"traced").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let frame = read_frame(&mut cursor).unwrap();
+        assert_eq!(frame.id, 9);
+        assert_eq!(frame.payload, b"traced");
+        assert_eq!(frame.trace, Some(ctx));
+    }
+
+    #[test]
+    fn untraced_write_is_byte_identical_to_v2() {
+        // `write_frame_traced(.., None, ..)` must emit exactly the v2
+        // layout so old peers keep working with untraced traffic.
+        let mut a = Vec::new();
+        write_frame(&mut a, 3, b"same").unwrap();
+        let mut b = Vec::new();
+        write_frame_traced(&mut b, 3, None, b"same").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(&a[0..4], &FRAME_MAGIC.to_le_bytes());
+        assert_eq!(a.len(), HEADER_LEN + 4);
+    }
+
+    #[test]
+    fn mixed_v2_and_v3_stream_decodes() {
+        let ctx = TraceContext { trace_id: 1, span_id: 2 };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, b"plain").unwrap();
+        write_frame_traced(&mut buf, 2, Some(ctx), b"traced").unwrap();
+        write_frame(&mut buf, 3, b"plain again").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let mut assembler = FrameAssembler::new();
+        let f1 = assembler.poll(&mut cursor).unwrap().unwrap();
+        let f2 = assembler.poll(&mut cursor).unwrap().unwrap();
+        let f3 = assembler.poll(&mut cursor).unwrap().unwrap();
+        assert_eq!((f1.id, f1.trace), (1, None));
+        assert_eq!((f2.id, f2.trace), (2, Some(ctx)));
+        assert_eq!((f3.id, f3.trace), (3, None));
     }
 
     #[test]
@@ -224,9 +339,17 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
+        // Flip a non-version bit: the version byte 0x02 -> 0x03 would be
+        // the (valid) traced magic, so corrupt the vendor prefix instead.
         let mut buf = Vec::new();
         write_frame(&mut buf, 1, b"x").unwrap();
-        buf[0] ^= 1;
+        buf[1] ^= 1;
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cursor), Err(RpcError::BadFrame(_))));
+        // An unknown *future* version byte is rejected too.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, b"x").unwrap();
+        buf[0] = 0x04;
         let mut cursor = std::io::Cursor::new(buf);
         assert!(matches!(read_frame(&mut cursor), Err(RpcError::BadFrame(_))));
     }
@@ -307,6 +430,26 @@ mod tests {
         assert_eq!(frame.payload, vec![0xAB; 1000]);
         // The frame arrived across many timeouts, several of them mid-frame.
         assert!(timeouts > 100, "expected many interleaved timeouts, got {timeouts}");
+    }
+
+    #[test]
+    fn assembler_survives_timeouts_inside_trace_extension() {
+        let ctx = TraceContext { trace_id: u64::MAX, span_id: 0x0102_0304_0506_0708 };
+        let mut buf = Vec::new();
+        write_frame_traced(&mut buf, 77, Some(ctx), b"dribbled trace").unwrap();
+        // chunk=1 guarantees several timeouts land inside the 16-byte
+        // trace extension itself.
+        let mut dribble = Dribble { data: buf, pos: 0, chunk: 1, timeout_next: false };
+        let mut assembler = FrameAssembler::new();
+        let frame = loop {
+            if let Some(frame) = assembler.poll(&mut dribble).unwrap() {
+                break frame;
+            }
+        };
+        assert_eq!(frame.id, 77);
+        assert_eq!(frame.trace, Some(ctx));
+        assert_eq!(frame.payload, b"dribbled trace");
+        assert!(assembler.is_idle());
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! A minimal, hand-rolled HTTP/1.1 scrape endpoint for metrics.
+//!
+//! Every node of a real TCP deployment runs one of these next to its RPC
+//! server, exposing its [`Registry`] to anything that speaks HTTP:
+//!
+//! * `GET /metrics` — human-readable text snapshot (also served at `/`)
+//! * `GET /metrics.json` — JSON snapshot
+//! * `GET /spans.json` — recorded trace spans plus the slow-request log
+//! * `GET /snapshot.bin` — the binary snapshot encoding
+//!   ([`Snapshot::to_bytes`]), which is what the cluster aggregator
+//!   fetches so nothing ever needs to *parse* JSON
+//!
+//! The implementation is intentionally tiny: `GET` only, one request per
+//! connection (`Connection: close`), no keep-alive, no chunking. A scrape
+//! is a couple of requests per poll interval — worker pools and parsers
+//! would be dead weight. No new dependencies.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tango_metrics::{spans_to_json, Registry, Snapshot};
+
+use crate::{Result, RpcError};
+
+/// How long a scrape connection may dawdle before being dropped.
+const HTTP_IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A running scrape endpoint. Dropping the handle shuts it down.
+pub struct HttpScrapeServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl HttpScrapeServer {
+    /// Binds `addr` (port 0 for ephemeral) and serves `registry` snapshots
+    /// until dropped.
+    pub fn spawn(addr: &str, registry: Registry) -> Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("http-scrape-{local}"))
+            .spawn(move || accept_loop(listener, registry, accept_shutdown))
+            .map_err(|e| RpcError::Io(e.to_string()))?;
+        Ok(Self { addr: local, shutdown, accept_thread: Some(accept_thread) })
+    }
+
+    /// The address the endpoint is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the endpoint and joins its accept thread.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpScrapeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, registry: Registry, shutdown: Arc<AtomicBool>) {
+    loop {
+        let Ok((stream, _peer)) = listener.accept() else {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let registry = registry.clone();
+        // One thread per request: scrapes are rare and short-lived.
+        let _ = std::thread::Builder::new()
+            .name("http-scrape-conn".to_string())
+            .spawn(move || serve_request(stream, &registry));
+    }
+}
+
+fn serve_request(stream: TcpStream, registry: &Registry) {
+    let _ = stream.set_read_timeout(Some(HTTP_IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(HTTP_IO_TIMEOUT));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain (and ignore) the headers up to the blank line.
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(_) => continue,
+            Err(_) => return,
+        }
+    }
+
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let mut stream = stream;
+    if method != "GET" {
+        let _ = write_response(&mut stream, 405, "text/plain", b"method not allowed");
+        return;
+    }
+    let path = path.split('?').next().unwrap_or(path);
+    let (status, content_type, body): (u16, &str, Vec<u8>) = match path {
+        "/" | "/metrics" => {
+            (200, "text/plain; charset=utf-8", registry.snapshot().to_text().into_bytes())
+        }
+        "/metrics.json" => (200, "application/json", registry.snapshot().to_json().into_bytes()),
+        "/snapshot.bin" => (200, "application/octet-stream", registry.snapshot().to_bytes()),
+        "/spans.json" => {
+            let body = format!(
+                "{{\"spans\":{},\"slow\":{}}}",
+                spans_to_json(&registry.spans()),
+                spans_to_json(&registry.slow_spans()),
+            );
+            (200, "application/json", body.into_bytes())
+        }
+        _ => (404, "text/plain", b"not found".to_vec()),
+    };
+    let _ = write_response(&mut stream, status, content_type, &body);
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Minimal HTTP GET against a scrape endpoint: returns `(status, body)`.
+/// Understands exactly what [`HttpScrapeServer`] emits (`Content-Length`
+/// + `Connection: close`), which is all the aggregator needs.
+pub fn http_get(addr: &str, path: &str, timeout: Duration) -> Result<(u16, Vec<u8>)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut stream = stream;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| RpcError::BadFrame(format!("bad http status line: {status_line:?}")))?;
+
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+
+    let body = match content_length {
+        Some(len) => {
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body)?;
+            body
+        }
+        None => {
+            // Connection: close delimits the body.
+            let mut body = Vec::new();
+            reader.read_to_end(&mut body)?;
+            body
+        }
+    };
+    Ok((status, body))
+}
+
+/// Fetches `/snapshot.bin` from a scrape endpoint and decodes it.
+pub fn fetch_snapshot(addr: &str, timeout: Duration) -> Result<Snapshot> {
+    let (status, body) = http_get(addr, "/snapshot.bin", timeout)?;
+    if status != 200 {
+        return Err(RpcError::BadFrame(format!("scrape of {addr} returned HTTP {status}")));
+    }
+    Snapshot::from_bytes(&body).map_err(|e| RpcError::BadFrame(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_metrics::SpanKind;
+
+    fn test_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("ops.total").add(5);
+        r.histogram("lat_ns").record(1234);
+        r.tracer().root_forced(SpanKind::ClientRead).finish();
+        r
+    }
+
+    #[test]
+    fn serves_text_json_and_binary() {
+        let server = HttpScrapeServer::spawn("127.0.0.1:0", test_registry()).unwrap();
+        let addr = server.local_addr().to_string();
+        let t = Duration::from_secs(2);
+
+        let (status, body) = http_get(&addr, "/metrics", t).unwrap();
+        assert_eq!(status, 200);
+        assert!(String::from_utf8_lossy(&body).contains("ops.total"));
+
+        let (status, body) = http_get(&addr, "/metrics.json", t).unwrap();
+        assert_eq!(status, 200);
+        assert!(String::from_utf8_lossy(&body).contains("\"ops.total\":5"));
+
+        let snap = fetch_snapshot(&addr, t).unwrap();
+        assert_eq!(snap.counter("ops.total"), 5);
+        assert_eq!(snap.histogram("lat_ns").unwrap().count(), 1);
+
+        let (status, body) = http_get(&addr, "/spans.json", t).unwrap();
+        assert_eq!(status, 200);
+        let text = String::from_utf8_lossy(&body);
+        assert!(text.contains("\"spans\":["), "{text}");
+        assert!(text.contains("client.read"), "{text}");
+    }
+
+    #[test]
+    fn root_serves_text_and_unknown_paths_404() {
+        let server = HttpScrapeServer::spawn("127.0.0.1:0", test_registry()).unwrap();
+        let addr = server.local_addr().to_string();
+        let t = Duration::from_secs(2);
+        let (status, _) = http_get(&addr, "/", t).unwrap();
+        assert_eq!(status, 200);
+        let (status, _) = http_get(&addr, "/nope", t).unwrap();
+        assert_eq!(status, 404);
+        // Query strings are ignored for routing.
+        let (status, _) = http_get(&addr, "/metrics?x=1", t).unwrap();
+        assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn non_get_is_rejected() {
+        let server = HttpScrapeServer::spawn("127.0.0.1:0", test_registry()).unwrap();
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut response = String::new();
+        BufReader::new(stream).read_line(&mut response).unwrap();
+        assert!(response.contains("405"), "{response}");
+    }
+
+    #[test]
+    fn shutdown_is_clean_and_port_reusable() {
+        let mut server = HttpScrapeServer::spawn("127.0.0.1:0", test_registry()).unwrap();
+        let addr = server.local_addr().to_string();
+        server.shutdown();
+        assert!(http_get(&addr, "/metrics", Duration::from_millis(300)).is_err());
+    }
+}

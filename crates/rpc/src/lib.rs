@@ -13,21 +13,28 @@
 //!   single-process cluster harness.
 //! * [`TcpServer`] / [`TcpConn`] — a real socket transport: length-framed,
 //!   CRC-checked messages over TCP. Frames carry a `u64` request id (wire
-//!   v2, see [`frame`]), so a single connection multiplexes many pipelined
+//!   v3, see [`frame`]), so a single connection multiplexes many pipelined
 //!   RPCs: the client matches responses to callers by id, and the server
 //!   completes requests out of order on a bounded per-connection worker
-//!   pool. Clients reconnect transparently.
+//!   pool. Clients reconnect transparently. Traced calls carry their
+//!   `TraceContext` in the frame (v2 frames — untraced — still decode).
+//! * [`HttpScrapeServer`] / [`http_get`] / [`fetch_snapshot`] — a minimal
+//!   hand-rolled HTTP endpoint serving metric snapshots and trace spans,
+//!   run next to each RPC server so a real deployment is observable from
+//!   outside the process.
 //!
 //! The framing is still deliberately minimal — request/response only, no
 //! streaming — because CORFU's protocol needs nothing more.
 
 mod error;
 pub mod frame;
+mod http;
 mod local;
 mod tcp;
 mod traits;
 
 pub use error::RpcError;
+pub use http::{fetch_snapshot, http_get, HttpScrapeServer};
 pub use local::LocalConn;
 pub use tcp::{ConnMetrics, TcpConn, TcpServer, WORKERS_PER_CONNECTION};
 pub use traits::{ClientConn, RpcHandler};

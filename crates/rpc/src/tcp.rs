@@ -30,9 +30,9 @@ use std::time::Duration;
 
 use crossbeam::channel;
 use parking_lot::Mutex;
-use tango_metrics::{Counter, Gauge, Histogram, Registry};
+use tango_metrics::{trace, Counter, Gauge, Histogram, Registry, TraceContext};
 
-use crate::frame::{write_frame, FrameAssembler};
+use crate::frame::{write_frame, write_frame_traced, FrameAssembler};
 use crate::{ClientConn, Result, RpcError, RpcHandler};
 
 /// Size of the per-connection worker pool: how many pipelined requests one
@@ -134,15 +134,20 @@ fn serve_connection(stream: TcpStream, handler: Arc<dyn RpcHandler>, shutdown: A
         Ok(s) => Arc::new(Mutex::new(s)),
         Err(_) => return,
     };
-    let (tx, rx) = channel::unbounded::<(u64, Vec<u8>)>();
+    let (tx, rx) = channel::unbounded::<(u64, Option<TraceContext>, Vec<u8>)>();
     let mut workers = Vec::with_capacity(WORKERS_PER_CONNECTION);
     for i in 0..WORKERS_PER_CONNECTION {
         let rx = rx.clone();
         let handler = Arc::clone(&handler);
         let writer = Arc::clone(&writer);
         let worker = std::thread::Builder::new().name(format!("rpc-worker-{i}")).spawn(move || {
-            while let Ok((id, request)) = rx.recv() {
-                let response = handler.handle(&request);
+            while let Ok((id, ctx, request)) = rx.recv() {
+                let response = {
+                    // Install the propagated trace context so spans the
+                    // handler opens become children of the caller's span.
+                    let _trace_guard = trace::install(ctx);
+                    handler.handle(&request)
+                };
                 let mut w = writer.lock();
                 if write_frame(&mut *w, id, &response).is_err() {
                     // A failed (possibly partial) write desyncs the whole
@@ -168,7 +173,7 @@ fn serve_connection(stream: TcpStream, handler: Arc<dyn RpcHandler>, shutdown: A
         }
         match assembler.poll(&mut reader) {
             Ok(Some(frame)) => {
-                if tx.send((frame.id, frame.payload)).is_err() {
+                if tx.send((frame.id, frame.trace, frame.payload)).is_err() {
                     break;
                 }
             }
@@ -363,6 +368,9 @@ impl TcpConn {
     fn call_once(&self, request: &[u8]) -> Result<Vec<u8>> {
         let live = self.live()?;
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // If the calling thread is inside a sampled trace, stamp its
+        // context on the request frame (v3); untraced calls stay v2.
+        let ctx = trace::current();
         let (tx, rx) = channel::unbounded();
         live.shared.pending.lock().insert(id, tx);
         self.metrics.in_flight.add(1);
@@ -374,7 +382,7 @@ impl TcpConn {
             }
             {
                 let mut writer = live.writer.lock();
-                if let Err(e) = write_frame(&mut *writer, id, request) {
+                if let Err(e) = write_frame_traced(&mut *writer, id, ctx, request) {
                     // A partial write desyncs the stream for everyone.
                     let _ = writer.shutdown(Shutdown::Both);
                     drop(writer);
@@ -493,6 +501,34 @@ mod tests {
         assert!(snap.counter("rpc.bytes_in") >= 6);
         assert!(snap.histogram("rpc.round_trip_ns").unwrap().count() >= 2);
         assert_eq!(snap.gauge("rpc.in_flight"), 0);
+    }
+
+    #[test]
+    fn trace_context_crosses_the_socket() {
+        let seen: Arc<Mutex<Vec<Option<TraceContext>>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen_handler = Arc::clone(&seen);
+        let server = TcpServer::spawn(
+            "127.0.0.1:0",
+            Arc::new(move |req: &[u8]| {
+                seen_handler.lock().push(trace::current());
+                req.to_vec()
+            }),
+        )
+        .unwrap();
+        let conn = TcpConn::new(server.local_addr().to_string());
+
+        // Untraced call: the handler must see no context.
+        conn.call(b"plain").unwrap();
+        // Traced call: the handler sees exactly the caller's context.
+        let ctx = TraceContext { trace_id: 0xABCD, span_id: 7 };
+        {
+            let _g = trace::install(Some(ctx));
+            conn.call(b"traced").unwrap();
+        }
+        conn.call(b"plain-again").unwrap();
+
+        let seen = seen.lock();
+        assert_eq!(seen.as_slice(), &[None, Some(ctx), None]);
     }
 
     #[test]

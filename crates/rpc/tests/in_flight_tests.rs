@@ -1,0 +1,117 @@
+//! Regression tests for the `rpc.in_flight` gauge: it must return to
+//! zero when a timed-out call abandons its waiter and when the
+//! connection dies with a call in flight — a leak here would poison
+//! every dashboard built on the gauge.
+
+use std::io::Read;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use tango_metrics::Registry;
+use tango_rpc::{ClientConn, ConnMetrics, RpcError, TcpConn, TcpServer};
+
+#[test]
+fn gauge_returns_to_zero_after_timeout_abandons_waiter() {
+    let release = Arc::new(AtomicBool::new(false));
+    let handler_release = Arc::clone(&release);
+    let server = TcpServer::spawn(
+        "127.0.0.1:0",
+        Arc::new(move |req: &[u8]| {
+            // Stall until the test lets the late response go out.
+            while !handler_release.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            req.to_vec()
+        }),
+    )
+    .unwrap();
+
+    let registry = Registry::new();
+    let conn = TcpConn::new(server.local_addr().to_string())
+        .with_timeout(Duration::from_millis(100))
+        .with_metrics(ConnMetrics::from_registry(&registry));
+
+    let err = conn.call(b"slow").unwrap_err();
+    assert!(matches!(err, RpcError::Timeout), "expected timeout, got {err:?}");
+    assert_eq!(
+        registry.snapshot().gauge("rpc.in_flight"),
+        0,
+        "timed-out call must decrement in_flight when it abandons its waiter"
+    );
+
+    // Let the server finish; the late response is discarded by id and
+    // must not drive the gauge negative.
+    release.store(true, Ordering::SeqCst);
+    std::thread::sleep(Duration::from_millis(200));
+    assert_eq!(registry.snapshot().gauge("rpc.in_flight"), 0);
+
+    // The connection is still usable after the timeout (and the gauge
+    // still balances on the success path).
+    assert_eq!(conn.call(b"ok").unwrap(), b"ok");
+    assert_eq!(registry.snapshot().gauge("rpc.in_flight"), 0);
+}
+
+#[test]
+fn gauge_returns_to_zero_when_connection_dies_mid_flight() {
+    // A raw listener stands in for a server that accepts, reads the
+    // request, and then drops the socket with the response outstanding.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let acceptor = std::thread::spawn(move || {
+        // Two accepts: the initial call and the transport's one retry.
+        for _ in 0..2 {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 64];
+            let _ = stream.read(&mut buf); // swallow part of the frame
+            drop(stream); // connection dies mid-flight
+        }
+    });
+
+    let registry = Registry::new();
+    let conn = TcpConn::new(addr)
+        .with_timeout(Duration::from_secs(5))
+        .with_metrics(ConnMetrics::from_registry(&registry));
+
+    let err = conn.call(b"doomed").unwrap_err();
+    assert!(!matches!(err, RpcError::Timeout), "death should surface before the timeout: {err:?}");
+    assert_eq!(
+        registry.snapshot().gauge("rpc.in_flight"),
+        0,
+        "a dead connection must fail its waiters and decrement in_flight"
+    );
+    acceptor.join().unwrap();
+}
+
+#[test]
+fn gauge_balances_under_concurrent_mixed_outcomes() {
+    // Handlers echo quickly; some calls race a server shutdown. Whatever
+    // mix of successes and failures results, the gauge must end at zero.
+    let server = TcpServer::spawn("127.0.0.1:0", Arc::new(|req: &[u8]| req.to_vec())).unwrap();
+    let addr = server.local_addr().to_string();
+    let registry = Registry::new();
+    let conn = Arc::new(
+        TcpConn::new(addr)
+            .with_timeout(Duration::from_millis(500))
+            .with_metrics(ConnMetrics::from_registry(&registry)),
+    );
+
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let conn = Arc::clone(&conn);
+            std::thread::spawn(move || {
+                for _ in 0..25 {
+                    let _ = conn.call(b"ping");
+                }
+            })
+        })
+        .collect();
+    // Kill the server partway through to force some in-flight failures.
+    std::thread::sleep(Duration::from_millis(30));
+    drop(server);
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(registry.snapshot().gauge("rpc.in_flight"), 0);
+}

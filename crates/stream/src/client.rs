@@ -4,7 +4,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use corfu::{CorfuClient, CorfuError, EntryEnvelope, LogOffset, ReadOutcome, StreamId};
 use parking_lot::Mutex;
-use tango_metrics::{Counter, Histogram, Registry};
+use tango_metrics::{Counter, Histogram, Registry, SpanKind, Tracer};
 
 use crate::cache::EntryCache;
 use crate::cursor::StreamCursor;
@@ -35,6 +35,7 @@ struct StreamMetrics {
     backpointer_walk: Histogram,
     cache_hits: Counter,
     cache_misses: Counter,
+    tracer: Tracer,
 }
 
 impl StreamMetrics {
@@ -44,6 +45,7 @@ impl StreamMetrics {
             backpointer_walk: registry.histogram("stream.backpointer_walk"),
             cache_hits: registry.counter("stream.cache_hits"),
             cache_misses: registry.counter("stream.cache_misses"),
+            tracer: registry.tracer(),
         }
     }
 }
@@ -108,6 +110,9 @@ impl StreamClient {
     /// round trip and returns the global tail. Call before `readnext` for
     /// linearizable semantics (the paper's explicit `sync`).
     pub fn sync(&self, streams: &[StreamId]) -> corfu::Result<LogOffset> {
+        // Sampled root span: the sequencer round trip below records a
+        // `seq.query` child under it when the sample hits.
+        let _span = self.metrics.tracer.root(SpanKind::ClientSync);
         let timer = self.metrics.sync_latency_ns.start();
         let (tail, backs) = self.corfu.tail_info(streams)?;
         let mut inner = self.inner.lock();

@@ -1,0 +1,149 @@
+//! The cluster-wide observability plane over real sockets: per-node HTTP
+//! scrape endpoints, the merged cluster snapshot, and trace propagation
+//! through TCP frames into per-node span rings.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use corfu::cluster::{ClusterConfig, TcpCluster};
+use tango_metrics::{Sampler, SpanKind};
+use tango_rpc::http_get;
+
+const SCRAPE_TIMEOUT: Duration = Duration::from_secs(2);
+
+#[test]
+fn every_node_serves_scrape_endpoints() {
+    let cluster =
+        TcpCluster::spawn(ClusterConfig { num_sets: 2, replication: 2, ..Default::default() })
+            .unwrap();
+    let client = cluster.client().unwrap();
+    for i in 0..8u32 {
+        client.append(Bytes::from(format!("scrape-{i}"))).unwrap();
+    }
+
+    let targets = cluster.scrape_targets();
+    // 4 storage nodes + sequencer + layout.
+    assert_eq!(targets.len(), 6, "{targets:?}");
+    assert!(targets.iter().any(|(name, _)| name == "sequencer"));
+    assert!(targets.iter().any(|(name, _)| name == "layout"));
+
+    for (name, addr) in &targets {
+        let (status, body) = http_get(addr, "/metrics", SCRAPE_TIMEOUT).unwrap();
+        assert_eq!(status, 200, "{name}");
+        assert!(!body.is_empty(), "{name} text snapshot must not be empty");
+        let (status, body) = http_get(addr, "/metrics.json", SCRAPE_TIMEOUT).unwrap();
+        assert_eq!(status, 200, "{name}");
+        let text = String::from_utf8_lossy(&body);
+        assert!(text.starts_with('{'), "{name}: {text}");
+        let (status, _) = http_get(addr, "/spans.json", SCRAPE_TIMEOUT).unwrap();
+        assert_eq!(status, 200, "{name}");
+    }
+
+    // Storage nodes expose populated service-time histograms.
+    let storage = targets.iter().find(|(name, _)| name == "storage-0").unwrap();
+    let (_, body) = http_get(&storage.1, "/metrics.json", SCRAPE_TIMEOUT).unwrap();
+    let text = String::from_utf8_lossy(&body);
+    assert!(text.contains("flash.write.service_ns"), "{text}");
+    assert!(text.contains("flash.queue_wait_ns"), "{text}");
+}
+
+#[test]
+fn cluster_snapshot_merges_every_node() {
+    let cluster =
+        TcpCluster::spawn(ClusterConfig { num_sets: 2, replication: 2, ..Default::default() })
+            .unwrap();
+    let client = cluster.client().unwrap();
+    const APPENDS: u64 = 32;
+    for i in 0..APPENDS {
+        client.append(Bytes::from(format!("merge-{i}"))).unwrap();
+    }
+    client.read(0).unwrap();
+
+    let snapshot = cluster.cluster_snapshot();
+    // 6 scraped nodes + the synthetic "clients" node.
+    assert_eq!(snapshot.len(), 7);
+    assert!(snapshot.node("clients").is_some());
+
+    // Per-node breakdown: each storage node holds only its own share.
+    let per_node: u64 = (0..4)
+        .map(|id| snapshot.node(&format!("storage-{id}")).unwrap())
+        .map(|s| s.counter("corfu.storage.writes"))
+        .sum();
+    assert_eq!(per_node, APPENDS * 2, "32 appends x replication 2");
+
+    let merged = snapshot.merged();
+    assert_eq!(merged.counter("corfu.storage.writes"), APPENDS * 2);
+    assert_eq!(merged.counter("corfu.seq.tokens_granted"), APPENDS);
+    // Client-side counters ride in through the "clients" node.
+    assert_eq!(merged.counter("corfu.client.tokens"), APPENDS);
+
+    // The latency decomposition is populated: device service time and
+    // lock queue wait both have samples (1-in-16 sampled, first op hits
+    // on every node).
+    let service = merged.histogram("flash.write.service_ns").expect("service histogram");
+    assert!(service.count() >= 1);
+    assert!(service.p95() > 0, "sampled writes must have a nonzero p95");
+    let wait = merged.histogram("flash.queue_wait_ns").expect("queue-wait histogram");
+    assert!(wait.count() >= 1);
+
+    // The text rendering of the merged view carries the quantiles.
+    let text = merged.to_text();
+    assert!(text.contains("flash.write.service_ns"), "{text}");
+    assert!(text.contains("p95="), "{text}");
+}
+
+#[test]
+fn scrape_survives_killed_nodes() {
+    let cluster =
+        TcpCluster::spawn(ClusterConfig { num_sets: 2, replication: 2, ..Default::default() })
+            .unwrap();
+    let client = cluster.client().unwrap();
+    for i in 0..4u32 {
+        client.append(Bytes::from(format!("pre-{i}"))).unwrap();
+    }
+
+    cluster.kill_storage_node(3);
+    let snapshot = cluster.cluster_snapshot();
+    assert!(snapshot.node("storage-3").is_none(), "killed node drops out of the scrape");
+    assert!(snapshot.node("storage-0").is_some());
+    assert!(snapshot.merged().counter("corfu.storage.writes") > 0);
+}
+
+#[test]
+fn traces_propagate_across_tcp_into_per_node_rings() {
+    let cluster =
+        TcpCluster::spawn(ClusterConfig { num_sets: 1, replication: 2, ..Default::default() })
+            .unwrap();
+    let mut client = cluster.client().unwrap();
+    client.set_sampling(Sampler::one_in(1));
+
+    client.append(Bytes::from_static(b"traced-over-tcp")).unwrap();
+
+    // The root span lives client-side.
+    let roots = cluster.metrics().spans();
+    let root = roots
+        .iter()
+        .find(|s| s.is_root() && s.kind == SpanKind::ClientAppend)
+        .expect("sampled append records a root span");
+
+    // The grant span lives in the sequencer's own registry, parented to
+    // the client's root — the context crossed the socket in the frame.
+    let seq_spans = cluster.sequencer_registry().spans();
+    let grant = seq_spans
+        .iter()
+        .find(|s| s.kind == SpanKind::SeqGrant)
+        .expect("sequencer records the grant");
+    assert_eq!(grant.trace_id, root.trace_id);
+    assert_eq!(grant.parent_span_id, root.span_id);
+
+    // Each replica's write span lives in that node's registry.
+    for id in 0..2 {
+        let spans = cluster.storage_registry(id).unwrap().spans();
+        let write = spans
+            .iter()
+            .find(|s| s.kind == SpanKind::StorageWrite)
+            .unwrap_or_else(|| panic!("storage-{id} records its chain write: {spans:?}"));
+        assert_eq!(write.trace_id, root.trace_id);
+        assert_eq!(write.parent_span_id, root.span_id);
+    }
+}

@@ -1,0 +1,136 @@
+//! End-to-end request tracing: follow one client operation through the
+//! sequencer grant and the per-replica chain writes, and assert the
+//! recorded spans form the expected parent/child tree.
+
+use bytes::Bytes;
+use corfu::cluster::{ClusterConfig, LocalCluster};
+use tango_metrics::{Sampler, SpanKind, SpanRecord};
+
+fn cluster() -> LocalCluster {
+    LocalCluster::new(ClusterConfig { num_sets: 1, replication: 2, ..ClusterConfig::default() })
+}
+
+fn children_of<'a>(spans: &'a [SpanRecord], parent: &SpanRecord) -> Vec<&'a SpanRecord> {
+    spans.iter().filter(|s| s.parent_span_id == parent.span_id).collect()
+}
+
+#[test]
+fn one_append_produces_the_full_span_tree() {
+    let cluster = cluster();
+    let mut client = cluster.client().unwrap();
+    client.set_sampling(Sampler::one_in(1));
+
+    client.append(Bytes::from_static(b"traced")).unwrap();
+
+    // LocalCluster shares one registry, so every component's spans land in
+    // the same ring.
+    let spans = cluster.metrics().spans();
+    let roots: Vec<&SpanRecord> =
+        spans.iter().filter(|s| s.is_root() && s.kind == SpanKind::ClientAppend).collect();
+    assert_eq!(roots.len(), 1, "exactly one sampled append root: {spans:?}");
+    let root = roots[0];
+
+    let children = children_of(&spans, root);
+    let grants: Vec<_> = children.iter().filter(|s| s.kind == SpanKind::SeqGrant).collect();
+    let writes: Vec<_> = children.iter().filter(|s| s.kind == SpanKind::StorageWrite).collect();
+    assert_eq!(grants.len(), 1, "one token grant under the append: {children:?}");
+    assert_eq!(writes.len(), 2, "one chain write per replica: {children:?}");
+
+    // Everything shares the append's trace id, and ids are distinct.
+    let mut ids = vec![root.span_id];
+    for child in &children {
+        assert_eq!(child.trace_id, root.trace_id);
+        assert!(!child.is_root());
+        ids.push(child.span_id);
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 1 + children.len(), "span ids must be unique");
+
+    // Children close before their parent, so the root records last and
+    // every child fits inside the root's window.
+    for child in &children {
+        assert!(child.duration_ns <= root.duration_ns, "{child:?} outlasted {root:?}");
+    }
+}
+
+#[test]
+fn reads_trace_through_the_chain_tail() {
+    let cluster = cluster();
+    let mut client = cluster.client().unwrap();
+    let off = client.append(Bytes::from_static(b"value")).unwrap();
+
+    client.set_sampling(Sampler::one_in(1));
+    client.read(off).unwrap();
+
+    let spans = cluster.metrics().spans();
+    let root = spans
+        .iter()
+        .find(|s| s.is_root() && s.kind == SpanKind::ClientRead)
+        .expect("sampled read produces a root span");
+    let children = children_of(&spans, root);
+    // A clean read touches only the chain tail.
+    assert_eq!(children.len(), 1, "{children:?}");
+    assert_eq!(children[0].kind, SpanKind::StorageRead);
+    assert_eq!(children[0].trace_id, root.trace_id);
+}
+
+#[test]
+fn stream_sync_traces_the_sequencer_query() {
+    let cluster = cluster();
+    let stream = corfu_stream::StreamClient::new(cluster.client().unwrap());
+    stream.open(7);
+    stream.multiappend(&[7], Bytes::from_static(b"s")).unwrap();
+    // The tracer's own sampler gates sync roots; the first root() call
+    // always hits.
+    stream.sync(&[7]).unwrap();
+
+    let spans = cluster.metrics().spans();
+    let root = spans
+        .iter()
+        .find(|s| s.is_root() && s.kind == SpanKind::ClientSync)
+        .expect("first sync is sampled");
+    let children = children_of(&spans, root);
+    assert!(
+        children.iter().any(|s| s.kind == SpanKind::SeqQuery),
+        "sync's sequencer round trip records under it: {children:?}"
+    );
+}
+
+#[test]
+fn slow_requests_land_in_the_slow_log() {
+    let cluster = cluster();
+    // With a zero threshold every sampled root qualifies as slow.
+    cluster.metrics().tracer().set_slow_threshold(std::time::Duration::ZERO);
+    let mut client = cluster.client().unwrap();
+    client.set_sampling(Sampler::one_in(1));
+
+    client.append(Bytes::from_static(b"slow")).unwrap();
+
+    let slow = cluster.metrics().slow_spans();
+    assert!(
+        slow.iter().any(|s| s.is_root() && s.kind == SpanKind::ClientAppend),
+        "append root must hit the slow log at threshold zero: {slow:?}"
+    );
+    // The synthetic counter rides in the snapshot (and thus in scrapes).
+    assert!(cluster.metrics().snapshot().counter("trace.slow_requests") >= 1);
+}
+
+#[test]
+fn unsampled_operations_leave_no_spans() {
+    let cluster = cluster();
+    let mut client = cluster.client().unwrap();
+    // A sampler that can never hit after its first tick is consumed here.
+    let sampler = Sampler::one_in(1 << 30);
+    assert!(sampler.hit());
+    client.set_sampling(sampler);
+
+    for i in 0..8u32 {
+        client.append(Bytes::from(format!("quiet-{i}"))).unwrap();
+    }
+    assert!(
+        cluster.metrics().spans().is_empty(),
+        "unsampled appends must record nothing: {:?}",
+        cluster.metrics().spans()
+    );
+}
