@@ -4,17 +4,26 @@
 //! longer stride length and allows for faster construction of the linked
 //! list." This runs on the REAL stack: one writer interleaves entries of
 //! 8 streams; a cold reader then reconstructs one stream's membership, and
-//! we count the storage reads the backward walk needed. Expected shape:
-//! reads fall roughly as N/K until the sequencer's last-K window and entry
-//! caching dominate.
+//! we count the storage *round trips* the backward walk needed. With the
+//! batched read path each stride fetches its whole K-entry window in one
+//! `ReadBatch`, so round trips fall roughly as N/K while the pages touched
+//! stay ~N (every member entry is read once and cached for playback).
+//! Both columns are reported.
 
 use bytes::Bytes;
 use corfu::cluster::{ClusterConfig, LocalCluster};
 use corfu_stream::StreamClient;
 use tango_bench::FigureOutput;
 
-fn storage_reads(cluster: &LocalCluster) -> u64 {
-    cluster.storage().iter().map(|s| s.stats().reads).sum()
+/// (storage round trips, pages served) from the cluster-wide registry.
+/// A plain `Read` is one round trip serving one page; a `ReadBatch` is one
+/// round trip serving `batch` pages (the `reads` counter counts pages, the
+/// `read_batch` histogram one record per batch).
+fn storage_traffic(cluster: &LocalCluster) -> (u64, u64) {
+    let pages = cluster.metrics().counter("corfu.storage.reads").get();
+    let batch = cluster.metrics().histogram("corfu.storage.read_batch");
+    let round_trips = pages - batch.sum() + batch.count();
+    (round_trips, pages)
 }
 
 fn main() {
@@ -22,7 +31,7 @@ fn main() {
     let streams = 8u32;
     let mut out = FigureOutput::new(
         "ablation_backpointers",
-        "k,storage_reads_for_cold_sync,entries_in_stream",
+        "k,storage_round_trips_for_cold_sync,pages_read,entries_in_stream",
     );
     for k in [1usize, 2, 4, 8, 16] {
         let config = ClusterConfig { k_backpointers: k, ..ClusterConfig::default() };
@@ -33,19 +42,21 @@ fn main() {
                 writer.multiappend(&[s], Bytes::from(format!("{s}:{i}").into_bytes())).unwrap();
             }
         }
-        let before = storage_reads(&cluster);
+        let (trips_before, pages_before) = storage_traffic(&cluster);
         // A cold reader reconstructs stream 3's membership (no payload
         // consumption yet — just the backward walk).
         let reader = StreamClient::new(cluster.client().unwrap());
         reader.open(3);
         reader.sync(&[3]).unwrap();
-        let walk_reads = storage_reads(&cluster) - before;
+        let (trips_after, pages_after) = storage_traffic(&cluster);
+        let round_trips = trips_after - trips_before;
+        let pages = pages_after - pages_before;
         assert_eq!(
             reader.known_offsets(3).len() as u64,
             entries_per_stream,
             "reconstruction must be complete"
         );
-        out.row(format!("{k},{walk_reads},{entries_per_stream}"));
+        out.row(format!("{k},{round_trips},{pages},{entries_per_stream}"));
     }
     out.save();
 }

@@ -155,25 +155,44 @@ impl TangoRuntime {
     fn restore_directory_checkpoint(&self) -> Result<()> {
         self.stream.sync(&[DIRECTORY_OID])?;
         let offsets = self.stream.known_offsets(DIRECTORY_OID);
-        for &off in offsets.iter().rev() {
-            if self.opts.play_limit.map(|l| off >= l).unwrap_or(false) {
-                continue;
-            }
-            let Some(entry) = self.stream.read_at(off)? else { continue };
-            if let Ok(LogRecord::Checkpoint { oid, data, as_of }) =
-                decode_from_slice::<LogRecord>(&entry.payload)
-            {
-                if oid == DIRECTORY_OID {
-                    self.dir_state.lock().restore(&data)?;
-                    self.stream.seek(DIRECTORY_OID, as_of);
-                    let mut play = self.play.lock();
-                    play.versions.record_write(DIRECTORY_OID, None, off);
-                    play.last_checkpoint.insert(DIRECTORY_OID, off);
-                    break;
+        if let Some((off, data, as_of)) = self.find_latest_checkpoint(DIRECTORY_OID, &offsets)? {
+            self.dir_state.lock().restore(&data)?;
+            self.stream.seek(DIRECTORY_OID, as_of);
+            let mut play = self.play.lock();
+            play.versions.record_write(DIRECTORY_OID, None, off);
+            play.last_checkpoint.insert(DIRECTORY_OID, off);
+        }
+        Ok(())
+    }
+
+    /// Scans `offsets` newest-first for the latest checkpoint record of
+    /// `oid` (respecting the play limit), bulk-fetching the scan in
+    /// batches so a restore does not pay one round trip per candidate.
+    fn find_latest_checkpoint(
+        &self,
+        oid: Oid,
+        offsets: &[LogOffset],
+    ) -> Result<Option<(LogOffset, Bytes, LogOffset)>> {
+        const RESTORE_SCAN_BATCH: usize = 32;
+        let eligible: Vec<LogOffset> = offsets
+            .iter()
+            .copied()
+            .filter(|&off| !self.opts.play_limit.map(|l| off >= l).unwrap_or(false))
+            .collect();
+        for chunk in eligible.rchunks(RESTORE_SCAN_BATCH) {
+            let entries = self.stream.read_many_at(chunk)?;
+            for (&off, entry) in chunk.iter().zip(entries.iter()).rev() {
+                let Some(entry) = entry else { continue };
+                if let Ok(LogRecord::Checkpoint { oid: o, data, as_of }) =
+                    decode_from_slice::<LogRecord>(&entry.payload)
+                {
+                    if o == oid {
+                        return Ok(Some((off, data, as_of)));
+                    }
                 }
             }
         }
-        Ok(())
+        Ok(None)
     }
 
     /// The options in effect.
@@ -246,20 +265,9 @@ impl TangoRuntime {
         self.stream.sync(&[oid])?;
         let offsets = self.stream.known_offsets(oid);
         let mut restore_point = None;
-        for &off in offsets.iter().rev() {
-            if self.opts.play_limit.map(|l| off >= l).unwrap_or(false) {
-                continue;
-            }
-            let Some(entry) = self.stream.read_at(off)? else { continue };
-            if let Ok(LogRecord::Checkpoint { oid: o, data, as_of }) =
-                decode_from_slice::<LogRecord>(&entry.payload)
-            {
-                if o == oid {
-                    state.restore(&data)?;
-                    restore_point = Some((off, as_of));
-                    break;
-                }
-            }
+        if let Some((off, data, as_of)) = self.find_latest_checkpoint(oid, &offsets)? {
+            state.restore(&data)?;
+            restore_point = Some((off, as_of));
         }
         let view = self.register_object(oid, state, options)?;
         if let Some((ckpt_off, as_of)) = restore_point {
@@ -366,8 +374,29 @@ impl TangoRuntime {
 
     /// Processes entries of all hosted streams, in global offset order,
     /// up to (but excluding) `target`.
+    ///
+    /// Delivery itself is strictly in-order and per-entry, but the entries
+    /// are pulled from the log in bulk: playback prefetches the upcoming
+    /// window of every hosted cursor into the stream cache in waves, so
+    /// the `read_at` inside the loop is a cache hit. This is what makes
+    /// cold catch-up (a new client replaying a long log) fast.
     fn play_to_locked(&self, play: &mut Playback, target: LogOffset) -> Result<()> {
+        // Wave size: how many upcoming offsets per stream are bulk-fetched
+        // ahead of delivery each time the previous wave is consumed.
+        const PLAYBACK_WAVE: usize = 256;
+        let mut since_prefetch = PLAYBACK_WAVE;
         loop {
+            if since_prefetch >= PLAYBACK_WAVE {
+                let mut pending: Vec<LogOffset> = Vec::new();
+                for &oid in play.objects.keys() {
+                    pending.extend(self.stream.pending_below(oid, target, PLAYBACK_WAVE));
+                }
+                pending.sort_unstable();
+                pending.dedup();
+                self.stream.fetch_into_cache(&pending)?;
+                since_prefetch = 0;
+            }
+            since_prefetch += 1;
             // The next entry in the merged order: the minimum cursor head.
             let mut min_off: Option<LogOffset> = None;
             for &oid in play.objects.keys() {
@@ -474,12 +503,17 @@ impl TangoRuntime {
             v
         };
         loop {
-            // Scan ahead on hosted streams for the decision record.
+            // Scan ahead on hosted streams for the decision record,
+            // bulk-fetching each stream's lookahead in one go.
             for &oid in &hosted {
-                for off in self.stream.known_offsets(oid) {
-                    if off <= commit_off {
-                        continue;
-                    }
+                let ahead: Vec<LogOffset> = self
+                    .stream
+                    .known_offsets(oid)
+                    .into_iter()
+                    .filter(|&o| o > commit_off)
+                    .collect();
+                self.stream.fetch_into_cache(&ahead)?;
+                for off in ahead {
                     let Some(entry) = self.stream.read_at(off)? else { continue };
                     if let Ok(LogRecord::Decision { txid: t, committed, .. }) =
                         decode_from_slice::<LogRecord>(&entry.payload)
@@ -538,6 +572,11 @@ impl TangoRuntime {
         if !committed {
             return Ok(());
         }
+        // Spilled write-set entries we did not buffer (late registration)
+        // are resolved with one bulk read instead of one RPC each.
+        let unbuffered: Vec<LogOffset> =
+            spec_offsets.iter().copied().filter(|off| !buffered.contains_key(off)).collect();
+        self.stream.fetch_into_cache(&unbuffered)?;
         let mut all_updates: Vec<UpdateRecord> = Vec::new();
         for &spec_off in spec_offsets {
             if let Some(updates) = buffered.get(&spec_off) {
@@ -615,6 +654,9 @@ impl TangoRuntime {
         self.stream.open(oid);
         self.stream.sync(&[oid])?;
         let offsets = self.stream.known_offsets(oid);
+        // Both passes below walk the same offsets; pull the whole stream
+        // into the cache in batched round trips first.
+        self.stream.fetch_into_cache(&offsets)?;
         // First pass: harvest decision records anywhere on this stream.
         for &off in &offsets {
             let Some(entry) = self.stream.read_at(off)? else { continue };
@@ -948,6 +990,8 @@ impl TangoRuntime {
         match decode_from_slice::<LogRecord>(&entry.payload) {
             Ok(LogRecord::Update(u)) => Ok(vec![u]),
             Ok(LogRecord::Commit { updates, speculative, .. }) => {
+                // The spilled write set is fetched in bulk, then decoded.
+                self.stream.fetch_into_cache(&speculative)?;
                 let mut all = Vec::new();
                 for off in speculative {
                     if let Some(e) = self.stream.read_at(off)? {

@@ -10,10 +10,11 @@
 //! layout service and retries.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
+use crossbeam::channel;
 use parking_lot::RwLock;
 use tango_metrics::{Registry, Span, SpanKind, Timer};
 use tango_rpc::ClientConn;
@@ -23,9 +24,93 @@ use crate::entry::{EntryEnvelope, StreamHeader};
 use crate::layout::LayoutClient;
 use crate::metrics::ClientMetrics;
 use crate::proto::{
-    SequencerRequest, SequencerResponse, StorageRequest, StorageResponse, WriteKind,
+    PageOutcome, SequencerRequest, SequencerResponse, StorageRequest, StorageResponse, WriteKind,
 };
 use crate::{CorfuError, Epoch, LogOffset, NodeId, NodeInfo, Projection, Result, StreamId};
+
+/// Workers in the lazily-spawned fan-out pool (see [`CallPool`]). The
+/// calling thread always services one request itself, so `read_many` keeps
+/// up to `FANOUT_WORKERS + 1` batches in flight at once.
+const FANOUT_WORKERS: usize = 6;
+
+struct FanoutJob {
+    conn: Arc<dyn ClientConn>,
+    request: Vec<u8>,
+    slot: usize,
+    reply: channel::Sender<(usize, tango_rpc::Result<Vec<u8>>)>,
+}
+
+/// A small persistent worker pool for issuing concurrent blocking RPCs.
+///
+/// Scoped threads would work, but a backpointer walk calls `read_many`
+/// once per stride and a thread spawn per call costs more than the round
+/// trip it hides. Jobs carry everything they need (the connection handle
+/// and pre-encoded request bytes), so the workers are `'static` and live
+/// until the pool is dropped.
+struct CallPool {
+    jobs: Option<channel::Sender<FanoutJob>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl CallPool {
+    fn new(size: usize) -> Self {
+        let (tx, rx) = channel::unbounded::<FanoutJob>();
+        let workers = (0..size)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name("corfu-fanout".into())
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            let result = job.conn.call(&job.request);
+                            let _ = job.reply.send((job.slot, result));
+                        }
+                    })
+                    .expect("spawn corfu-fanout worker")
+            })
+            .collect();
+        Self { jobs: Some(tx), workers }
+    }
+
+    /// Issues every request concurrently and returns the raw responses in
+    /// input order. The calling thread services the first request itself.
+    fn call_all(
+        &self,
+        calls: Vec<(Arc<dyn ClientConn>, Vec<u8>)>,
+    ) -> Vec<tango_rpc::Result<Vec<u8>>> {
+        let n = calls.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let jobs = self.jobs.as_ref().expect("pool open while client alive");
+        let (reply_tx, reply_rx) = channel::unbounded();
+        let mut iter = calls.into_iter();
+        let (first_conn, first_request) = iter.next().expect("checked non-empty");
+        for (i, (conn, request)) in iter.enumerate() {
+            jobs.send(FanoutJob { conn, request, slot: i + 1, reply: reply_tx.clone() })
+                .map_err(|_| ())
+                .expect("fan-out workers alive");
+        }
+        drop(reply_tx);
+        let mut out: Vec<Option<tango_rpc::Result<Vec<u8>>>> = (0..n).map(|_| None).collect();
+        out[0] = Some(first_conn.call(&first_request));
+        for _ in 1..n {
+            let (slot, result) = reply_rx.recv().expect("every job replies");
+            out[slot] = Some(result);
+        }
+        out.into_iter().map(|r| r.expect("every slot served")).collect()
+    }
+}
+
+impl Drop for CallPool {
+    fn drop(&mut self) {
+        // Closing the job channel lets every worker drain and exit.
+        self.jobs.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
 
 /// Creates connections to nodes named by the projection's address book.
 pub trait ConnFactory: Send + Sync {
@@ -48,8 +133,14 @@ pub struct ClientOptions {
     /// How long a reader waits on an unwritten offset before patching it
     /// with junk (the paper's default is 100ms).
     pub hole_fill_timeout: Duration,
-    /// Poll interval while waiting on an unwritten offset.
+    /// Initial poll interval while waiting on an unwritten offset. Each
+    /// poll that still finds the offset unwritten doubles the interval, up
+    /// to [`ClientOptions::hole_poll_max`].
     pub hole_poll_interval: Duration,
+    /// Cap on the exponential poll backoff in `wait_read`. Keeps a slow
+    /// writer from turning every waiting reader into a busy-poller while
+    /// still bounding how stale a reader's view of the offset can get.
+    pub hole_poll_max: Duration,
     /// How many times an operation retries across epoch changes before
     /// giving up.
     pub max_epoch_retries: u32,
@@ -72,6 +163,7 @@ impl Default for ClientOptions {
         Self {
             hole_fill_timeout: Duration::from_millis(100),
             hole_poll_interval: Duration::from_millis(1),
+            hole_poll_max: Duration::from_millis(16),
             max_epoch_retries: 32,
             max_token_retries: 64,
             seq_batch: 1,
@@ -141,6 +233,7 @@ pub struct CorfuClient {
     factory: Arc<dyn ConnFactory>,
     state: Arc<RwLock<ClientState>>,
     token_pool: Arc<parking_lot::Mutex<TokenPool>>,
+    fanout: Arc<OnceLock<CallPool>>,
     opts: ClientOptions,
     registry: Registry,
     metrics: ClientMetrics,
@@ -179,6 +272,7 @@ impl CorfuClient {
             factory,
             state: Arc::new(RwLock::new(state)),
             token_pool: Arc::new(parking_lot::Mutex::new(TokenPool::default())),
+            fanout: Arc::new(OnceLock::new()),
             opts,
             registry,
             metrics,
@@ -728,19 +822,155 @@ impl CorfuClient {
     /// Reads `offset`, waiting for an in-flight writer and finally patching
     /// the hole with junk after `hole_fill_timeout` (§3.2). Never returns
     /// `Unwritten`.
+    ///
+    /// Each poll is a full chain-read RPC, so polling backs off
+    /// exponentially from `hole_poll_interval` up to `hole_poll_max`
+    /// instead of hammering the tail at a fixed interval.
     pub fn wait_read(&self, offset: LogOffset) -> Result<ReadOutcome> {
         let deadline = Instant::now() + self.opts.hole_fill_timeout;
+        let mut backoff = self.opts.hole_poll_interval;
         loop {
             match self.read(offset)? {
                 ReadOutcome::Unwritten => {
-                    if Instant::now() >= deadline {
+                    let now = Instant::now();
+                    if now >= deadline {
                         return self.fill(offset);
                     }
-                    std::thread::sleep(self.opts.hole_poll_interval);
+                    self.metrics.hole_polls.inc();
+                    std::thread::sleep(backoff.min(deadline - now));
+                    backoff = (backoff * 2).min(self.opts.hole_poll_max);
                 }
                 done => return Ok(done),
             }
         }
+    }
+
+    /// Reads a batch of offsets in bulk: offsets are grouped by replica
+    /// set, each group goes out as (at most `MAX_READ_BATCH`-sized)
+    /// `ReadBatch` requests to the chain tails — fanned out concurrently
+    /// over the pipelined transport when more than one batch is in play —
+    /// and the per-offset outcomes are stitched back in input order.
+    ///
+    /// Like [`CorfuClient::read`], a tail-side `Unwritten` on a replicated
+    /// chain is resolved through chain repair before being reported, so an
+    /// `Unwritten` result really means no writer has reached the head.
+    pub fn read_many(&self, offsets: &[LogOffset]) -> Result<Vec<ReadOutcome>> {
+        if offsets.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (timer, _span) = self.sampled_root(SpanKind::ClientRead, &self.metrics.read_latency_ns);
+        let result = self.with_epoch_retry("read_many", || {
+            let proj = self.projection();
+            self.read_many_with(&proj, offsets)
+        });
+        match result.is_ok() {
+            true => timer.stop(),
+            false => timer.discard(),
+        }
+        result
+    }
+
+    fn read_many_with(&self, proj: &Projection, offsets: &[LogOffset]) -> Result<Vec<ReadOutcome>> {
+        let epoch = proj.epoch;
+        // Group offsets by replica set, remembering where each one sits in
+        // the input so outcomes can be stitched back in order.
+        let mut groups: Vec<Vec<(usize, u64)>> = vec![Vec::new(); proj.num_sets() as usize];
+        for (idx, &off) in offsets.iter().enumerate() {
+            let (set, local) = proj.map(off);
+            groups[set].push((idx, local));
+        }
+        let mut chunks: Vec<(NodeId, &[(usize, u64)])> = Vec::new();
+        for (set, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            // Reads go to the chain tail, as in the single-offset path.
+            let tail = *proj.replica_sets[set].last().expect("non-empty chain");
+            for entries in group.chunks(crate::storage::MAX_READ_BATCH) {
+                chunks.push((tail, entries));
+            }
+        }
+        let parse = |expected: usize, resp: StorageResponse| -> Result<Vec<PageOutcome>> {
+            match resp {
+                StorageResponse::BatchOutcomes(outcomes) if outcomes.len() == expected => {
+                    Ok(outcomes)
+                }
+                StorageResponse::BatchOutcomes(outcomes) => Err(CorfuError::Codec(format!(
+                    "batch answered {} of {expected} addrs",
+                    outcomes.len()
+                ))),
+                StorageResponse::ErrSealed { epoch } => {
+                    Err(CorfuError::Sealed { server_epoch: epoch })
+                }
+                other => Err(CorfuError::Storage(format!("batch read failed: {other:?}"))),
+            }
+        };
+        let results: Vec<Result<Vec<PageOutcome>>> = if chunks.len() == 1 {
+            let (tail, entries) = chunks[0];
+            self.metrics.read_batches.inc();
+            let addrs = entries.iter().map(|&(_, local)| local).collect();
+            let resp = self.storage_call(tail, &StorageRequest::ReadBatch { epoch, addrs })?;
+            vec![parse(entries.len(), resp)]
+        } else {
+            // Connections are resolved and requests encoded up front so the
+            // pool jobs are self-contained; responses decode back on this
+            // thread. Concurrent blocking calls on the multiplexed
+            // transport pipeline, so one straggler node no longer
+            // serializes behind the others.
+            let mut calls = Vec::with_capacity(chunks.len());
+            for &(tail, entries) in &chunks {
+                self.metrics.read_batches.inc();
+                let addrs = entries.iter().map(|&(_, local)| local).collect();
+                let request = encode_to_vec(&StorageRequest::ReadBatch { epoch, addrs });
+                calls.push((self.conn(tail)?, request));
+            }
+            let pool = self.fanout.get_or_init(|| CallPool::new(FANOUT_WORKERS));
+            pool.call_all(calls)
+                .into_iter()
+                .zip(chunks.iter())
+                .map(|(raw, &(_, entries))| {
+                    let resp: StorageResponse = decode_from_slice(&raw?)?;
+                    parse(entries.len(), resp)
+                })
+                .collect()
+        };
+        let mut out: Vec<Option<ReadOutcome>> = vec![None; offsets.len()];
+        for (&(_, entries), result) in chunks.iter().zip(results) {
+            for (&(idx, _), outcome) in entries.iter().zip(result?) {
+                out[idx] = Some(match outcome {
+                    PageOutcome::Data(b) => ReadOutcome::Data(b),
+                    PageOutcome::Junk => ReadOutcome::Junk,
+                    PageOutcome::Unwritten => ReadOutcome::Unwritten,
+                    PageOutcome::Trimmed => ReadOutcome::Trimmed,
+                });
+            }
+        }
+        let mut stitched: Vec<ReadOutcome> =
+            out.into_iter().map(|o| o.expect("every offset answered")).collect();
+        // A tail that answered Unwritten on a replicated chain may be
+        // lagging a half-finished chain write; resolve those few stragglers
+        // through the repair path before reporting.
+        for (idx, &off) in offsets.iter().enumerate() {
+            if stitched[idx] == ReadOutcome::Unwritten && proj.chain_for(off).len() > 1 {
+                stitched[idx] = self.repair_chain(proj, off)?;
+            }
+        }
+        Ok(stitched)
+    }
+
+    /// [`CorfuClient::read_many`] with [`CorfuClient::wait_read`] semantics:
+    /// offsets that come back `Unwritten` from the bulk read are re-polled
+    /// individually (and eventually junk-filled), so the result never
+    /// contains `Unwritten`. The wait path is per-offset because unwritten
+    /// stragglers are the rare case on a catch-up read of known entries.
+    pub fn wait_read_many(&self, offsets: &[LogOffset]) -> Result<Vec<ReadOutcome>> {
+        let mut out = self.read_many(offsets)?;
+        for (idx, outcome) in out.iter_mut().enumerate() {
+            if *outcome == ReadOutcome::Unwritten {
+                *outcome = self.wait_read(offsets[idx])?;
+            }
+        }
+        Ok(out)
     }
 
     /// Trims a single offset, marking it garbage-collectable.

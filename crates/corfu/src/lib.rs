@@ -46,7 +46,7 @@ pub use error::CorfuError;
 pub use layout::{LayoutClient, LayoutServer};
 pub use projection::{NodeInfo, Projection};
 pub use sequencer::{SequencerServer, SequencerState, MAX_TOKEN_BATCH};
-pub use storage::StorageServer;
+pub use storage::{StorageServer, MAX_READ_BATCH};
 
 /// A reconfiguration epoch. All requests are epoch-stamped; sealed servers
 /// reject stale epochs.

@@ -35,6 +35,11 @@ pub struct ClientMetrics {
     pub chain_hop_latency_ns: Histogram,
     /// Holes this client patched with junk.
     pub hole_fills: Counter,
+    /// Poll round trips spent waiting for an unwritten offset in
+    /// `wait_read` before it resolved (or the hole was filled).
+    pub hole_polls: Counter,
+    /// `ReadBatch` round trips issued by `read_many`.
+    pub read_batches: Counter,
     /// Operations retried because a server reported a newer epoch.
     pub seal_retries: Counter,
     /// Append tokens lost to a racing hole-filler.
@@ -59,6 +64,8 @@ impl ClientMetrics {
             read_latency_ns: registry.histogram("corfu.client.read_latency_ns"),
             chain_hop_latency_ns: registry.histogram("corfu.client.chain_hop_latency_ns"),
             hole_fills: registry.counter("corfu.client.hole_fills"),
+            hole_polls: registry.counter("corfu.hole_polls"),
+            read_batches: registry.counter("corfu.client.read_batches"),
             seal_retries: registry.counter("corfu.client.seal_retries"),
             tokens_lost: registry.counter("corfu.client.tokens_lost"),
             sampler: Sampler::default(),
@@ -114,6 +121,9 @@ pub struct StorageMetrics {
     pub trims: Counter,
     /// `CopyRange` chunks served to a rebuild coordinator.
     pub copy_chunks: Counter,
+    /// Sizes of the `ReadBatch` requests this node served (pages per
+    /// batch).
+    pub read_batch: Histogram,
     /// Time a request waited for the node's unit lock before being
     /// serviced, ns (sampled). Together with the `flash.*.service_ns`
     /// histograms this decomposes storage latency into queue wait vs.
@@ -135,6 +145,7 @@ impl StorageMetrics {
             seals: registry.counter("corfu.storage.seals"),
             trims: registry.counter("corfu.storage.trims"),
             copy_chunks: registry.counter("corfu.storage.copy_chunks"),
+            read_batch: registry.histogram("corfu.storage.read_batch"),
             queue_wait_ns: registry.histogram("flash.queue_wait_ns"),
             sampler: Sampler::default(),
             tracer: registry.tracer(),

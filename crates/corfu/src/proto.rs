@@ -61,6 +61,18 @@ pub enum StorageRequest {
         /// The client's epoch.
         epoch: Epoch,
     },
+    /// Read a batch of pages in one round trip (the bulk-read primitive
+    /// behind `CorfuClient::read_many`). The node serves the whole batch
+    /// under one lock acquisition and answers with a
+    /// [`StorageResponse::BatchOutcomes`] carrying one [`PageOutcome`] per
+    /// requested address, in request order. Batches larger than
+    /// [`crate::MAX_READ_BATCH`] are rejected; the client chunks.
+    ReadBatch {
+        /// The client's epoch.
+        epoch: Epoch,
+        /// Local page addresses, in the order outcomes are wanted.
+        addrs: Vec<u64>,
+    },
     /// Stream a range of consumed pages out of this node, for rebuilding a
     /// failed replica onto a replacement (§5 / CORFU chain rebuild). The
     /// node answers with a [`StorageResponse::PageChunk`] covering local
@@ -75,6 +87,21 @@ pub enum StorageRequest {
         /// Maximum number of addresses to scan in this round trip.
         count: u32,
     },
+}
+
+/// The per-address outcome of a [`StorageRequest::ReadBatch`] — the same
+/// four states a single `Read` distinguishes, minus the error cases (a
+/// batch either succeeds wholesale or fails with one error response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageOutcome {
+    /// The page holds this payload.
+    Data(Bytes),
+    /// The page holds junk (a patched hole).
+    Junk,
+    /// The page has never been written.
+    Unwritten,
+    /// The page is trimmed.
+    Trimmed,
 }
 
 /// One consumed page streamed by [`StorageRequest::CopyRange`].
@@ -133,6 +160,9 @@ pub enum StorageResponse {
         /// are omitted), in ascending address order.
         pages: Vec<(u64, PageCopy)>,
     },
+    /// Per-address outcomes of a [`StorageRequest::ReadBatch`], in request
+    /// order (`outcomes[i]` answers `addrs[i]`).
+    BatchOutcomes(Vec<PageOutcome>),
 }
 
 /// Requests accepted by the sequencer.
@@ -313,6 +343,11 @@ impl Encode for StorageRequest {
                 w.put_u64(*start);
                 w.put_u32(*count);
             }
+            StorageRequest::ReadBatch { epoch, addrs } => {
+                w.put_u8(7);
+                w.put_u64(*epoch);
+                put_offsets(w, addrs);
+            }
         }
     }
 }
@@ -336,6 +371,7 @@ impl Decode for StorageRequest {
                 start: r.get_u64()?,
                 count: r.get_u32()?,
             }),
+            7 => Ok(StorageRequest::ReadBatch { epoch: r.get_u64()?, addrs: get_offsets(r)? }),
             tag => Err(WireError::InvalidTag { what: "StorageRequest", tag: tag as u64 }),
         }
     }
@@ -388,6 +424,21 @@ impl Encode for StorageResponse {
                     }
                 }
             }
+            StorageResponse::BatchOutcomes(outcomes) => {
+                w.put_u8(12);
+                w.put_varint(outcomes.len() as u64);
+                for o in outcomes {
+                    match o {
+                        PageOutcome::Data(b) => {
+                            w.put_u8(0);
+                            w.put_bytes(b);
+                        }
+                        PageOutcome::Junk => w.put_u8(1),
+                        PageOutcome::Unwritten => w.put_u8(2),
+                        PageOutcome::Trimmed => w.put_u8(3),
+                    }
+                }
+            }
         }
     }
 }
@@ -425,6 +476,25 @@ impl Decode for StorageResponse {
                     pages.push((addr, page));
                 }
                 Ok(StorageResponse::PageChunk { local_tail, prefix_trim, next, pages })
+            }
+            12 => {
+                let len = r.get_len(1 << 20)?;
+                let mut outcomes = Vec::with_capacity(len);
+                for _ in 0..len {
+                    outcomes.push(match r.get_u8()? {
+                        0 => PageOutcome::Data(Bytes::decode(r)?),
+                        1 => PageOutcome::Junk,
+                        2 => PageOutcome::Unwritten,
+                        3 => PageOutcome::Trimmed,
+                        tag => {
+                            return Err(WireError::InvalidTag {
+                                what: "PageOutcome",
+                                tag: tag as u64,
+                            })
+                        }
+                    });
+                }
+                Ok(StorageResponse::BatchOutcomes(outcomes))
             }
             tag => Err(WireError::InvalidTag { what: "StorageResponse", tag: tag as u64 }),
         }
@@ -696,6 +766,8 @@ mod tests {
             StorageRequest::Seal { epoch: 7 },
             StorageRequest::LocalTail { epoch: 7 },
             StorageRequest::CopyRange { epoch: 9, start: 128, count: 256 },
+            StorageRequest::ReadBatch { epoch: 5, addrs: vec![0, 7, 12, u64::MAX] },
+            StorageRequest::ReadBatch { epoch: 0, addrs: vec![] },
         ];
         for m in msgs {
             let bytes = encode_to_vec(&m);
@@ -724,6 +796,13 @@ mod tests {
                 ],
             },
             StorageResponse::PageChunk { local_tail: 0, prefix_trim: 0, next: 0, pages: vec![] },
+            StorageResponse::BatchOutcomes(vec![
+                PageOutcome::Data(Bytes::from_static(b"entry")),
+                PageOutcome::Junk,
+                PageOutcome::Unwritten,
+                PageOutcome::Trimmed,
+            ]),
+            StorageResponse::BatchOutcomes(vec![]),
         ];
         for m in resps {
             let bytes = encode_to_vec(&m);

@@ -7,13 +7,18 @@ use tango_rpc::RpcHandler;
 use tango_wire::{decode_from_slice, encode_to_vec};
 
 use crate::metrics::StorageMetrics;
-use crate::proto::{PageCopy, StorageRequest, StorageResponse, WriteKind};
+use crate::proto::{PageCopy, PageOutcome, StorageRequest, StorageResponse, WriteKind};
 use crate::Epoch;
 
 /// Upper bound on addresses scanned per [`StorageRequest::CopyRange`] round
 /// trip, regardless of what the requester asks for. Bounds both response
 /// size and the time the node's lock is held.
 pub const MAX_COPY_RANGE: u32 = 1024;
+
+/// Upper bound on pages served per [`StorageRequest::ReadBatch`]. Oversized
+/// batches are rejected outright (the client chunks), bounding response
+/// size and the time the node's lock is held.
+pub const MAX_READ_BATCH: usize = 1024;
 
 /// A CORFU storage node: a write-once flash unit behind an RPC interface,
 /// with epoch-based sealing (§5 failure handling).
@@ -75,7 +80,7 @@ impl StorageServer {
         wait.stop();
         let span_kind = match req {
             StorageRequest::Write { .. } => SpanKind::StorageWrite,
-            StorageRequest::Read { .. } => SpanKind::StorageRead,
+            StorageRequest::Read { .. } | StorageRequest::ReadBatch { .. } => SpanKind::StorageRead,
             _ => SpanKind::StorageCtl,
         };
         // Records only when the request arrived with a trace context.
@@ -110,6 +115,35 @@ impl StorageServer {
                     Ok(PageRead::Junk) => StorageResponse::Junk,
                     Ok(PageRead::Unwritten) => StorageResponse::Unwritten,
                     Ok(PageRead::Trimmed) => StorageResponse::Trimmed,
+                    Err(e) => Inner::flash_error(e),
+                }
+            }
+            StorageRequest::ReadBatch { epoch, addrs } => {
+                if let Err(resp) = inner.check_epoch(epoch) {
+                    return resp;
+                }
+                if addrs.len() > MAX_READ_BATCH {
+                    return StorageResponse::ErrStorage(format!(
+                        "read batch of {} exceeds {MAX_READ_BATCH}",
+                        addrs.len()
+                    ));
+                }
+                // The whole batch is served under this one lock acquisition;
+                // read_many charges wear per page but times the batch once.
+                self.metrics.reads.add(addrs.len() as u64);
+                self.metrics.read_batch.record(addrs.len() as u64);
+                match inner.unit.read_many(&addrs) {
+                    Ok(reads) => StorageResponse::BatchOutcomes(
+                        reads
+                            .into_iter()
+                            .map(|r| match r {
+                                PageRead::Data(bytes) => PageOutcome::Data(bytes),
+                                PageRead::Junk => PageOutcome::Junk,
+                                PageRead::Unwritten => PageOutcome::Unwritten,
+                                PageRead::Trimmed => PageOutcome::Trimmed,
+                            })
+                            .collect(),
+                    ),
                     Err(e) => Inner::flash_error(e),
                 }
             }
@@ -368,6 +402,62 @@ mod tests {
             s.process(StorageRequest::CopyRange { epoch: 0, start: 0, count: 1 }),
             StorageResponse::ErrSealed { epoch: 3 }
         );
+    }
+
+    #[test]
+    fn read_batch_serves_per_address_outcomes() {
+        let s = server();
+        let w = StorageRequest::Write {
+            epoch: 0,
+            addr: 1,
+            kind: WriteKind::Data,
+            payload: Bytes::from_static(b"one"),
+        };
+        assert_eq!(s.process(w), StorageResponse::Ok);
+        let fill = StorageRequest::Write {
+            epoch: 0,
+            addr: 2,
+            kind: WriteKind::Junk,
+            payload: Bytes::new(),
+        };
+        assert_eq!(s.process(fill), StorageResponse::Ok);
+        assert_eq!(s.process(StorageRequest::Trim { epoch: 0, addr: 1 }), StorageResponse::Ok);
+        let w = StorageRequest::Write {
+            epoch: 0,
+            addr: 5,
+            kind: WriteKind::Data,
+            payload: Bytes::from_static(b"five"),
+        };
+        assert_eq!(s.process(w), StorageResponse::Ok);
+        // Outcomes come back in request order, not address order.
+        assert_eq!(
+            s.process(StorageRequest::ReadBatch { epoch: 0, addrs: vec![5, 0, 2, 1] }),
+            StorageResponse::BatchOutcomes(vec![
+                PageOutcome::Data(Bytes::from_static(b"five")),
+                PageOutcome::Unwritten,
+                PageOutcome::Junk,
+                PageOutcome::Trimmed,
+            ])
+        );
+        assert_eq!(
+            s.process(StorageRequest::ReadBatch { epoch: 0, addrs: vec![] }),
+            StorageResponse::BatchOutcomes(vec![])
+        );
+    }
+
+    #[test]
+    fn read_batch_epoch_gated_and_size_capped() {
+        let s = server();
+        assert_eq!(s.process(StorageRequest::Seal { epoch: 1 }), StorageResponse::Tail(0));
+        assert_eq!(
+            s.process(StorageRequest::ReadBatch { epoch: 0, addrs: vec![0] }),
+            StorageResponse::ErrSealed { epoch: 1 }
+        );
+        let oversized = (0..=MAX_READ_BATCH as u64).collect();
+        assert!(matches!(
+            s.process(StorageRequest::ReadBatch { epoch: 1, addrs: oversized }),
+            StorageResponse::ErrStorage(_)
+        ));
     }
 
     #[test]

@@ -82,6 +82,77 @@ fn unwritten_reads_and_wait_read_fill() {
 }
 
 #[test]
+fn read_many_stitches_mixed_outcomes_in_input_order() {
+    // Default geometry: 3 replica sets of 2, so the batch below spans every
+    // set and the client must regroup and restitch.
+    let cluster = LocalCluster::new(ClusterConfig::default());
+    let client = cluster.client().unwrap();
+    for i in 0..9 {
+        client.append(payload(i)).unwrap();
+    }
+    // Offset 9 becomes junk (reserved, never written, patched).
+    let tok = client.token(&[]).unwrap();
+    client.fill(tok.offset).unwrap();
+    // Offset 10 is written then trimmed; offset 11 stays a hole.
+    let trimmed = client.append(payload(10)).unwrap();
+    client.trim(trimmed).unwrap();
+    let hole = client.token(&[]).unwrap();
+
+    let batches_before = client.metrics().counter("corfu.client.read_batches").get();
+    let offsets = vec![hole.offset, 4, trimmed, 0, tok.offset, 8, 1];
+    let outcomes = client.read_many(&offsets).unwrap();
+    assert_eq!(outcomes.len(), offsets.len());
+    assert_eq!(outcomes[0], ReadOutcome::Unwritten);
+    assert_eq!(outcomes[2], ReadOutcome::Trimmed);
+    assert_eq!(outcomes[4], ReadOutcome::Junk);
+    for (slot, i) in [(1usize, 4u64), (3, 0), (5, 8), (6, 1)] {
+        match &outcomes[slot] {
+            ReadOutcome::Data(bytes) => {
+                let entry = corfu::EntryEnvelope::decode(bytes, offsets[slot]).unwrap();
+                assert_eq!(entry.payload, payload(i));
+            }
+            other => panic!("offset {} expected data, got {other:?}", offsets[slot]),
+        }
+    }
+    // The 7 offsets span all 3 replica sets: one ReadBatch per set.
+    let batches = client.metrics().counter("corfu.client.read_batches").get() - batches_before;
+    assert_eq!(batches, 3);
+    // And the storage side saw them as batches, visible in the histogram.
+    assert!(client.metrics().histogram("corfu.storage.read_batch").count() >= 3);
+}
+
+#[test]
+fn read_many_empty_and_oversized_batches() {
+    let cluster = LocalCluster::new(ClusterConfig::default());
+    let client = cluster.client().unwrap();
+    assert_eq!(client.read_many(&[]).unwrap(), Vec::new());
+    // More offsets than MAX_READ_BATCH still works: the client re-chunks.
+    let n = corfu::MAX_READ_BATCH as u64 + 10;
+    for i in 0..n {
+        client.append(payload(i)).unwrap();
+    }
+    let offsets: Vec<u64> = (0..n).collect();
+    let outcomes = client.read_many(&offsets).unwrap();
+    assert_eq!(outcomes.len(), n as usize);
+    assert!(outcomes.iter().all(|o| matches!(o, ReadOutcome::Data(_))));
+}
+
+#[test]
+fn wait_read_backs_off_while_polling_holes() {
+    let cluster = LocalCluster::new(ClusterConfig::default());
+    let client = cluster.client().unwrap();
+    let token = client.token(&[]).unwrap();
+    let polls_before = client.metrics().counter("corfu.hole_polls").get();
+    let start = std::time::Instant::now();
+    assert_eq!(client.wait_read(token.offset).unwrap(), ReadOutcome::Junk);
+    assert!(start.elapsed() >= std::time::Duration::from_millis(90));
+    let polls = client.metrics().counter("corfu.hole_polls").get() - polls_before;
+    // Exponential backoff (1ms doubling to a 16ms cap) crosses the 100ms
+    // hole-fill window in ~10 polls; fixed-interval polling took ~100.
+    assert!((4..=40).contains(&polls), "expected bounded backoff, saw {polls} polls");
+}
+
+#[test]
 fn fill_loses_to_completed_write() {
     let cluster = LocalCluster::new(ClusterConfig::default());
     let client = cluster.client().unwrap();

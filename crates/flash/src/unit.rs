@@ -183,22 +183,7 @@ impl FlashUnit {
         let timer = self.metrics.read_service_ns.start_sampled(&self.metrics.sampler);
         // Every non-error outcome counts as service time: the device does
         // index work whether or not the page holds data.
-        let out = if addr < self.prefix_trim {
-            Ok(PageRead::Trimmed)
-        } else {
-            match self.index.get(&addr) {
-                None => Ok(PageRead::Unwritten),
-                Some(SlotState::Trimmed) => Ok(PageRead::Trimmed),
-                Some(SlotState::Junk) => Ok(PageRead::Junk),
-                Some(SlotState::Data) => match self.store.get(addr) {
-                    Ok(Some((PageKind::Data, bytes))) => Ok(PageRead::Data(bytes)),
-                    Err(e) => Err(e),
-                    // The index said data was here; the store losing it is
-                    // corruption, not a hole.
-                    Ok(_) => Err(FlashError::Corrupt(format!("indexed data page {addr} missing"))),
-                },
-            }
-        };
+        let out = self.read_slot(addr);
         match out {
             Ok(read) => {
                 timer.stop();
@@ -208,6 +193,44 @@ impl FlashUnit {
                 timer.discard();
                 Err(e)
             }
+        }
+    }
+
+    /// Reads a batch of pages in one device operation. Wear accounting still
+    /// charges one read per page, but the sampled service timer covers the
+    /// whole batch — that asymmetry is the point of batching.
+    pub fn read_many(&mut self, addrs: &[PageAddr]) -> Result<Vec<PageRead>> {
+        self.stats.reads += addrs.len() as u64;
+        let timer = self.metrics.read_service_ns.start_sampled(&self.metrics.sampler);
+        let mut out = Vec::with_capacity(addrs.len());
+        for &addr in addrs {
+            match self.read_slot(addr) {
+                Ok(read) => out.push(read),
+                Err(e) => {
+                    timer.discard();
+                    return Err(e);
+                }
+            }
+        }
+        timer.stop();
+        Ok(out)
+    }
+
+    fn read_slot(&mut self, addr: PageAddr) -> Result<PageRead> {
+        if addr < self.prefix_trim {
+            return Ok(PageRead::Trimmed);
+        }
+        match self.index.get(&addr) {
+            None => Ok(PageRead::Unwritten),
+            Some(SlotState::Trimmed) => Ok(PageRead::Trimmed),
+            Some(SlotState::Junk) => Ok(PageRead::Junk),
+            Some(SlotState::Data) => match self.store.get(addr) {
+                Ok(Some((PageKind::Data, bytes))) => Ok(PageRead::Data(bytes)),
+                Err(e) => Err(e),
+                // The index said data was here; the store losing it is
+                // corruption, not a hole.
+                Ok(_) => Err(FlashError::Corrupt(format!("indexed data page {addr} missing"))),
+            },
         }
     }
 
@@ -310,6 +333,29 @@ mod tests {
         u.write(5, b"sparse").unwrap();
         assert_eq!(u.local_tail(), 6);
         assert_eq!(u.read(2).unwrap(), PageRead::Unwritten);
+    }
+
+    #[test]
+    fn read_many_mirrors_single_reads() {
+        let mut u = unit();
+        u.write(1, b"one").unwrap();
+        u.fill(2).unwrap();
+        u.write(4, b"four").unwrap();
+        u.trim(4).unwrap();
+        let before = u.stats().reads;
+        let out = u.read_many(&[0, 1, 2, 4]).unwrap();
+        assert_eq!(
+            out,
+            vec![
+                PageRead::Unwritten,
+                PageRead::Data(bytes::Bytes::from_static(b"one")),
+                PageRead::Junk,
+                PageRead::Trimmed,
+            ]
+        );
+        // Wear accounting charges one read per page even in a batch.
+        assert_eq!(u.stats().reads, before + 4);
+        assert_eq!(u.read_many(&[]).unwrap(), Vec::new());
     }
 
     #[test]

@@ -13,29 +13,19 @@ pub struct EntryCache {
     map: HashMap<LogOffset, Arc<EntryEnvelope>>,
     order: VecDeque<LogOffset>,
     capacity: usize,
-    hits: u64,
-    misses: u64,
 }
 
 impl EntryCache {
     /// Creates a cache holding at most `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
-        Self { map: HashMap::new(), order: VecDeque::new(), capacity, hits: 0, misses: 0 }
+        Self { map: HashMap::new(), order: VecDeque::new(), capacity }
     }
 
-    /// Looks up the entry at `offset`.
-    pub fn get(&mut self, offset: LogOffset) -> Option<Arc<EntryEnvelope>> {
-        match self.map.get(&offset) {
-            Some(e) => {
-                self.hits += 1;
-                Some(Arc::clone(e))
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
-        }
+    /// Looks up the entry at `offset`. Hit/miss accounting lives in the
+    /// stream client's `stream.cache_hits/misses` counters, not here.
+    pub fn get(&self, offset: LogOffset) -> Option<Arc<EntryEnvelope>> {
+        self.map.get(&offset).map(Arc::clone)
     }
 
     /// Inserts an entry, evicting the oldest if full.
@@ -56,11 +46,6 @@ impl EntryCache {
     pub fn evict_below(&mut self, horizon: LogOffset) {
         self.map.retain(|&off, _| off >= horizon);
         self.order.retain(|&off| off >= horizon);
-    }
-
-    /// (hits, misses) counters.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
     }
 
     /// Number of cached entries.

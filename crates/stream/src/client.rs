@@ -14,17 +14,21 @@ use crate::cursor::StreamCursor;
 pub struct StreamConfig {
     /// Capacity of the decoded-entry cache.
     pub cache_capacity: usize,
+    /// Offsets fetched per bulk-read round trip on the batched paths
+    /// (backpointer windows, linear scans, readahead, playback prefetch).
+    /// A value `<= 1` disables batching and degrades to the serial
+    /// per-offset read path — kept selectable so benchmarks can compare.
+    pub read_batch: usize,
+    /// After `sync`, up to this many known-but-uncached upcoming member
+    /// offsets per stream are bulk-fetched so steady-state `readnext` is a
+    /// cache hit. `0` disables readahead.
+    pub prefetch_window: usize,
 }
 
 impl Default for StreamConfig {
     fn default() -> Self {
-        Self { cache_capacity: 65_536 }
+        Self { cache_capacity: 65_536, read_batch: 32, prefetch_window: 32 }
     }
-}
-
-struct Inner {
-    cursors: HashMap<StreamId, StreamCursor>,
-    cache: EntryCache,
 }
 
 /// Stream-layer instruments (`stream.*`), bound to the CORFU client's
@@ -33,6 +37,7 @@ struct Inner {
 struct StreamMetrics {
     sync_latency_ns: Histogram,
     backpointer_walk: Histogram,
+    read_batch_size: Histogram,
     cache_hits: Counter,
     cache_misses: Counter,
     tracer: Tracer,
@@ -43,6 +48,7 @@ impl StreamMetrics {
         Self {
             sync_latency_ns: registry.histogram("stream.sync_latency_ns"),
             backpointer_walk: registry.histogram("stream.backpointer_walk"),
+            read_batch_size: registry.histogram("stream.read_batch_size"),
             cache_hits: registry.counter("stream.cache_hits"),
             cache_misses: registry.counter("stream.cache_misses"),
             tracer: registry.tracer(),
@@ -52,11 +58,19 @@ impl StreamMetrics {
 
 /// The streaming interface over the shared log (§5).
 ///
-/// Safe to share across threads; a mutex serializes cursor/cache mutation
-/// (the Tango runtime serializes playback anyway).
+/// Safe to share across threads. Cursor state and the entry cache are
+/// locked independently, and neither lock is ever held across a network
+/// read: a backpointer walk for one stream (which may block for up to the
+/// hole-fill timeout) does not stall `readnext`/`peek` on other streams.
 pub struct StreamClient {
     corfu: CorfuClient,
-    inner: Mutex<Inner>,
+    config: StreamConfig,
+    /// Cursor table. `learn` computes its walk against a floor snapshot
+    /// and re-validates under this lock before integrating.
+    cursors: Mutex<HashMap<StreamId, StreamCursor>>,
+    /// Decoded-entry cache. Lookups and inserts bracket the (lock-free)
+    /// network fetches.
+    cache: Mutex<EntryCache>,
     metrics: StreamMetrics,
 }
 
@@ -72,10 +86,9 @@ impl StreamClient {
         let metrics = StreamMetrics::from_registry(corfu.metrics());
         Self {
             corfu,
-            inner: Mutex::new(Inner {
-                cursors: HashMap::new(),
-                cache: EntryCache::new(config.cache_capacity),
-            }),
+            cursors: Mutex::new(HashMap::new()),
+            cache: Mutex::new(EntryCache::new(config.cache_capacity)),
+            config,
             metrics,
         }
     }
@@ -91,10 +104,15 @@ impl StreamClient {
         self.corfu.metrics()
     }
 
+    /// The configuration in effect.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
     /// Registers a stream for playback. Idempotent.
     pub fn open(&self, stream: StreamId) {
-        let mut inner = self.inner.lock();
-        inner.cursors.entry(stream).or_insert_with(|| StreamCursor::new(stream));
+        let mut cursors = self.cursors.lock();
+        cursors.entry(stream).or_insert_with(|| StreamCursor::new(stream));
     }
 
     /// Appends `payload` to one or more streams atomically: the entry
@@ -102,22 +120,43 @@ impl StreamClient {
     /// A client does *not* need to play a stream to append to it.
     pub fn multiappend(&self, streams: &[StreamId], payload: Bytes) -> corfu::Result<LogOffset> {
         let (offset, envelope) = self.corfu.append_streams(streams, payload)?;
-        self.inner.lock().cache.insert(offset, Arc::new(envelope));
+        self.cache.lock().insert(offset, Arc::new(envelope));
         Ok(offset)
     }
 
     /// Brings the membership lists of `streams` up to date in one sequencer
     /// round trip and returns the global tail. Call before `readnext` for
     /// linearizable semantics (the paper's explicit `sync`).
+    ///
+    /// After membership is integrated, the next [`StreamConfig::
+    /// prefetch_window`] upcoming member offsets of each stream are
+    /// bulk-fetched into the cache, so steady-state `readnext` never goes
+    /// to the network.
     pub fn sync(&self, streams: &[StreamId]) -> corfu::Result<LogOffset> {
         // Sampled root span: the sequencer round trip below records a
         // `seq.query` child under it when the sample hits.
         let _span = self.metrics.tracer.root(SpanKind::ClientSync);
         let timer = self.metrics.sync_latency_ns.start();
         let (tail, backs) = self.corfu.tail_info(streams)?;
-        let mut inner = self.inner.lock();
         for (&stream, seq_backs) in streams.iter().zip(backs.iter()) {
-            self.learn(&mut inner, stream, tail, seq_backs)?;
+            self.learn(stream, tail, seq_backs)?;
+        }
+        if self.config.prefetch_window > 0 {
+            let mut upcoming: Vec<LogOffset> = Vec::new();
+            {
+                let cursors = self.cursors.lock();
+                for &stream in streams {
+                    if let Some(c) = cursors.get(&stream) {
+                        upcoming.extend_from_slice(c.upcoming(self.config.prefetch_window));
+                    }
+                }
+            }
+            upcoming.sort_unstable();
+            upcoming.dedup();
+            // Readahead must not stall on (or junk-fill) an in-flight
+            // writer, so it reads without wait semantics; a hole left by a
+            // slow writer is simply not cached and readnext waits it out.
+            self.fetch_many(&upcoming, false)?;
         }
         timer.stop();
         Ok(tail)
@@ -132,9 +171,8 @@ impl StreamClient {
     ) -> corfu::Result<Option<(LogOffset, Arc<EntryEnvelope>)>> {
         loop {
             let offset = {
-                let inner = self.inner.lock();
-                let cursor = inner
-                    .cursors
+                let cursors = self.cursors.lock();
+                let cursor = cursors
                     .get(&stream)
                     .ok_or_else(|| CorfuError::Layout(format!("stream {stream} not open")))?;
                 match cursor.peek() {
@@ -145,8 +183,8 @@ impl StreamClient {
             // Fetch outside the lock: wait_read may block on a hole.
             match self.fetch(offset)? {
                 Some(entry) => {
-                    let mut inner = self.inner.lock();
-                    let cursor = inner.cursors.get_mut(&stream).expect("checked above");
+                    let mut cursors = self.cursors.lock();
+                    let cursor = cursors.get_mut(&stream).expect("checked above");
                     // Re-check: another thread may have advanced past us.
                     if cursor.peek() == Some(offset) {
                         cursor.advance();
@@ -162,8 +200,8 @@ impl StreamClient {
                 }
                 None => {
                     // Junk or trimmed: remove from the membership list.
-                    let mut inner = self.inner.lock();
-                    let cursor = inner.cursors.get_mut(&stream).expect("checked above");
+                    let mut cursors = self.cursors.lock();
+                    let cursor = cursors.get_mut(&stream).expect("checked above");
                     if cursor.peek() == Some(offset) {
                         cursor.drop_current();
                     }
@@ -175,24 +213,40 @@ impl StreamClient {
 
     /// The offset the next `readnext(stream)` would deliver, if known.
     pub fn peek(&self, stream: StreamId) -> Option<LogOffset> {
-        self.inner.lock().cursors.get(&stream).and_then(|c| c.peek())
+        self.cursors.lock().get(&stream).and_then(|c| c.peek())
     }
 
     /// Snapshot of the known member offsets of `stream` (ascending).
     pub fn known_offsets(&self, stream: StreamId) -> Vec<LogOffset> {
-        self.inner.lock().cursors.get(&stream).map(|c| c.offsets().to_vec()).unwrap_or_default()
+        self.cursors.lock().get(&stream).map(|c| c.offsets().to_vec()).unwrap_or_default()
+    }
+
+    /// The next (up to `limit`) unconsumed member offsets of `stream`
+    /// strictly below `below`, in delivery order. Playback uses this to
+    /// bulk-prefetch the exact range it is about to apply.
+    pub fn pending_below(
+        &self,
+        stream: StreamId,
+        below: LogOffset,
+        limit: usize,
+    ) -> Vec<LogOffset> {
+        self.cursors
+            .lock()
+            .get(&stream)
+            .map(|c| c.upcoming(limit).iter().copied().take_while(|&o| o < below).collect())
+            .unwrap_or_default()
     }
 
     /// The global tail through which `stream`'s membership is known.
     pub fn synced_tail(&self, stream: StreamId) -> LogOffset {
-        self.inner.lock().cursors.get(&stream).map(|c| c.synced_tail()).unwrap_or(0)
+        self.cursors.lock().get(&stream).map(|c| c.synced_tail()).unwrap_or(0)
     }
 
     /// Repositions `stream`'s iterator so the next delivered entry has
     /// offset `>= offset` (supports checkpoint restore and history
     /// rollback).
     pub fn seek(&self, stream: StreamId, offset: LogOffset) {
-        if let Some(c) = self.inner.lock().cursors.get_mut(&stream) {
+        if let Some(c) = self.cursors.lock().get_mut(&stream) {
             c.seek(offset);
         }
     }
@@ -203,34 +257,124 @@ impl StreamClient {
         self.fetch(offset)
     }
 
+    /// Bulk cache-through read: like [`StreamClient::read_at`] for every
+    /// offset, but misses travel in `ReadBatch` round trips. Results come
+    /// back in input order.
+    pub fn read_many_at(
+        &self,
+        offsets: &[LogOffset],
+    ) -> corfu::Result<Vec<Option<Arc<EntryEnvelope>>>> {
+        self.fetch_many(offsets, true)
+    }
+
+    /// Bulk-fetches `offsets` into the entry cache and discards the
+    /// decoded entries. Playback calls this ahead of its in-order delivery
+    /// loop so the per-entry reads inside the loop are cache hits.
+    pub fn fetch_into_cache(&self, offsets: &[LogOffset]) -> corfu::Result<()> {
+        self.fetch_many(offsets, true).map(|_| ())
+    }
+
     /// Forgets stream membership and cached entries below `horizon`
     /// (called after a checkpoint makes the prefix collectable).
     pub fn forget_below(&self, stream: StreamId, horizon: LogOffset) {
-        let mut inner = self.inner.lock();
-        if let Some(c) = inner.cursors.get_mut(&stream) {
+        if let Some(c) = self.cursors.lock().get_mut(&stream) {
             c.forget_below(horizon);
         }
-        inner.cache.evict_below(horizon);
+        self.cache.lock().evict_below(horizon);
     }
 
-    /// Cache hit/miss counters, for tests and benchmarks.
+    /// Cache (hits, misses), read from the same `stream.cache_hits` /
+    /// `stream.cache_misses` counters the metrics snapshot reports.
     pub fn cache_stats(&self) -> (u64, u64) {
-        self.inner.lock().cache.stats()
+        (self.metrics.cache_hits.get(), self.metrics.cache_misses.get())
     }
 
+    /// The one cache-through fetch path (single-offset form). Waits out
+    /// holes; `None` means junk or trimmed.
     fn fetch(&self, offset: LogOffset) -> corfu::Result<Option<Arc<EntryEnvelope>>> {
-        if let Some(hit) = self.inner.lock().cache.get(offset) {
+        if let Some(hit) = self.cache.lock().get(offset) {
             self.metrics.cache_hits.inc();
             return Ok(Some(hit));
         }
         self.metrics.cache_misses.inc();
-        match self.corfu.wait_read(offset)? {
+        self.fetch_miss(offset, true)
+    }
+
+    /// Bulk cache-through fetch. Cached offsets are answered from the
+    /// cache under one short lock; misses go out in `read_batch`-sized
+    /// `read_many` round trips. With `wait`, unwritten offsets get
+    /// `wait_read` semantics (poll, then junk-fill — never `Unwritten`);
+    /// without it (readahead) they come back `None` and are *not* cached,
+    /// so a prefetch racing an in-flight writer neither stalls nor
+    /// junk-fills it.
+    fn fetch_many(
+        &self,
+        offsets: &[LogOffset],
+        wait: bool,
+    ) -> corfu::Result<Vec<Option<Arc<EntryEnvelope>>>> {
+        let mut out: Vec<Option<Arc<EntryEnvelope>>> = vec![None; offsets.len()];
+        let mut misses: Vec<(usize, LogOffset)> = Vec::new();
+        {
+            let cache = self.cache.lock();
+            for (idx, &off) in offsets.iter().enumerate() {
+                match cache.get(off) {
+                    Some(hit) => out[idx] = Some(hit),
+                    None => misses.push((idx, off)),
+                }
+            }
+        }
+        self.metrics.cache_hits.add((offsets.len() - misses.len()) as u64);
+        self.metrics.cache_misses.add(misses.len() as u64);
+        if misses.is_empty() {
+            return Ok(out);
+        }
+        if self.config.read_batch <= 1 {
+            // Batching disabled: the serial per-offset path.
+            for &(idx, off) in &misses {
+                out[idx] = self.fetch_miss(off, wait)?;
+            }
+            return Ok(out);
+        }
+        for chunk in misses.chunks(self.config.read_batch) {
+            let addrs: Vec<LogOffset> = chunk.iter().map(|&(_, off)| off).collect();
+            self.metrics.read_batch_size.record(addrs.len() as u64);
+            let outcomes = if wait {
+                self.corfu.wait_read_many(&addrs)?
+            } else {
+                self.corfu.read_many(&addrs)?
+            };
+            let mut cache = self.cache.lock();
+            for (&(idx, off), outcome) in chunk.iter().zip(outcomes) {
+                out[idx] = match outcome {
+                    ReadOutcome::Data(bytes) => {
+                        let entry = Arc::new(EntryEnvelope::decode(&bytes, off)?);
+                        cache.insert(off, Arc::clone(&entry));
+                        Some(entry)
+                    }
+                    ReadOutcome::Junk | ReadOutcome::Trimmed => None,
+                    ReadOutcome::Unwritten if !wait => None,
+                    ReadOutcome::Unwritten => return Err(CorfuError::Unwritten { offset: off }),
+                };
+            }
+        }
+        Ok(out)
+    }
+
+    /// Resolves one cache miss against the log and caches data outcomes.
+    fn fetch_miss(
+        &self,
+        offset: LogOffset,
+        wait: bool,
+    ) -> corfu::Result<Option<Arc<EntryEnvelope>>> {
+        let outcome = if wait { self.corfu.wait_read(offset)? } else { self.corfu.read(offset)? };
+        match outcome {
             ReadOutcome::Data(bytes) => {
                 let entry = Arc::new(EntryEnvelope::decode(&bytes, offset)?);
-                self.inner.lock().cache.insert(offset, Arc::clone(&entry));
+                self.cache.lock().insert(offset, Arc::clone(&entry));
                 Ok(Some(entry))
             }
             ReadOutcome::Junk | ReadOutcome::Trimmed => Ok(None),
+            ReadOutcome::Unwritten if !wait => Ok(None),
             ReadOutcome::Unwritten => Err(CorfuError::Unwritten { offset }),
         }
     }
@@ -239,24 +383,26 @@ impl StreamClient {
     /// its cursor, striding backward through entry headers until the chain
     /// reconnects with known state. Falls back to a backward linear scan
     /// when junk breaks the backpointer chain.
+    ///
+    /// Each stride fetches its whole backpointer window in one bulk read
+    /// (the window's entries are due for playback anyway, so the batch
+    /// doubles as a cache warmer), and no cursor lock is held across any
+    /// of the network reads: the floor is snapshotted up front and the
+    /// discoveries re-validated against the live cursor at the end.
     fn learn(
         &self,
-        inner: &mut Inner,
         stream: StreamId,
         tail: LogOffset,
         seq_backs: &[LogOffset],
     ) -> corfu::Result<()> {
-        let cursor = inner.cursors.entry(stream).or_insert_with(|| StreamCursor::new(stream));
-        let floor = cursor.max_known(); // Collect strictly greater offsets.
+        let floor = {
+            let mut cursors = self.cursors.lock();
+            cursors.entry(stream).or_insert_with(|| StreamCursor::new(stream)).max_known()
+        };
         let beyond = |off: LogOffset| floor.map(|f| off > f).unwrap_or(true);
 
         let mut discovered: Vec<LogOffset> =
             seq_backs.iter().copied().filter(|&o| o != u64::MAX && beyond(o)).collect();
-        if discovered.is_empty() {
-            cursor.extend(Vec::new(), tail);
-            self.metrics.backpointer_walk.record(0);
-            return Ok(());
-        }
         // Entries fetched while striding/scanning backward (the walk).
         let mut walked = 0u64;
 
@@ -264,93 +410,90 @@ impl StreamClient {
         // Backpointer lists are contiguous most-recent-first windows, so if
         // any reported offset is at or below `floor`, everything newer is
         // already in `discovered` and the chain has reconnected.
-        let mut oldest = *discovered.iter().min().expect("non-empty");
-        let mut chain_complete = seq_backs.iter().any(|&o| o != u64::MAX && !beyond(o));
-        while !chain_complete {
-            // We need entries of this stream older than `oldest` (down to
-            // floor, exclusive). Read `oldest`'s headers.
-            // NOTE: the fetch below may block while a writer finishes.
-            walked += 1;
-            let fetched = match self.fetch_unlocked(inner, oldest)? {
-                Some(entry) => entry,
-                None => {
-                    // Junk broke the chain: linear backward scan (§5).
+        let reconnected_at_seq = seq_backs.iter().any(|&o| o != u64::MAX && !beyond(o));
+        if !discovered.is_empty() && !reconnected_at_seq {
+            // The window whose oldest entry drives the next stride.
+            let mut window = discovered.clone();
+            loop {
+                window.sort_unstable();
+                window.dedup();
+                let oldest = window[0];
+                // NOTE: the bulk fetch may block while writers finish.
+                let fetched = self.fetch_many(&window, true)?;
+                walked += window.len() as u64;
+                let header = match fetched[0].as_ref() {
+                    // Junk broke the chain — and a member entry written
+                    // without its header cannot happen with our client, but
+                    // be defensive: linear backward scan (§5), batched.
+                    None => None,
+                    Some(entry) => entry.header_for(stream).cloned(),
+                };
+                let Some(header) = header else {
                     let lo = floor.map(|f| f + 1).unwrap_or(0);
-                    for off in (lo..oldest).rev() {
-                        walked += 1;
-                        match self.fetch_unlocked(inner, off)? {
-                            Some(entry) if entry.belongs_to(stream) => discovered.push(off),
-                            _ => {}
-                        }
-                    }
+                    walked += self.scan_backward(stream, lo, oldest, &mut discovered)?;
+                    break;
+                };
+                let older: Vec<LogOffset> = header
+                    .backpointers
+                    .iter()
+                    .copied()
+                    .filter(|&o| o != u64::MAX && beyond(o))
+                    .collect();
+                let at_stream_start = header.backpointers.is_empty()
+                    || header.backpointers.iter().all(|&o| o == u64::MAX);
+                let reconnected = header.backpointers.iter().any(|&o| o != u64::MAX && !beyond(o));
+                if at_stream_start || reconnected || older.is_empty() {
+                    discovered.extend(older);
                     break;
                 }
-            };
-            let Some(header) = fetched.header_for(stream) else {
-                // The offset was issued for this stream but written without
-                // its header (cannot happen with our client; be defensive).
-                let lo = floor.map(|f| f + 1).unwrap_or(0);
-                for off in (lo..oldest).rev() {
-                    walked += 1;
-                    match self.fetch_unlocked(inner, off)? {
-                        Some(entry) if entry.belongs_to(stream) => discovered.push(off),
-                        _ => {}
-                    }
-                }
-                break;
-            };
-            let older: Vec<LogOffset> = header
-                .backpointers
-                .iter()
-                .copied()
-                .filter(|&o| o != u64::MAX && beyond(o))
-                .collect();
-            let at_stream_start = header.backpointers.is_empty()
-                || header.backpointers.iter().all(|&o| o == u64::MAX);
-            let reconnected = header.backpointers.iter().any(|&o| o != u64::MAX && !beyond(o));
-            if at_stream_start || reconnected || older.is_empty() {
-                discovered.extend(older);
-                chain_complete = true;
-            } else {
                 let new_oldest = *older.iter().min().expect("non-empty");
-                discovered.extend(older);
-                discovered.sort_unstable();
-                discovered.dedup();
+                discovered.extend(older.iter().copied());
                 if new_oldest >= oldest {
                     // Defensive: no progress; avoid an infinite loop.
-                    chain_complete = true;
-                } else {
-                    oldest = new_oldest;
+                    break;
                 }
+                // Backpointers all point strictly below `oldest`, so the
+                // next window is entirely unfetched.
+                window = older;
             }
         }
         discovered.sort_unstable();
         discovered.dedup();
-        let cursor = inner.cursors.get_mut(&stream).expect("inserted above");
+        let mut cursors = self.cursors.lock();
+        let cursor = cursors.entry(stream).or_insert_with(|| StreamCursor::new(stream));
+        // A concurrent sync of the same stream may have integrated part of
+        // the walk already; keep only what is still news to the cursor.
+        let live_floor = cursor.max_known();
+        discovered.retain(|&o| live_floor.map(|f| o > f).unwrap_or(true));
         cursor.extend(discovered, tail);
         self.metrics.backpointer_walk.record(walked);
         Ok(())
     }
 
-    /// Cache-through fetch that uses the already-held `inner` borrow.
-    fn fetch_unlocked(
+    /// Batched linear backward scan of `(lo..hi)`, pushing the offsets
+    /// whose entries carry `stream`'s header. Returns entries walked.
+    fn scan_backward(
         &self,
-        inner: &mut Inner,
-        offset: LogOffset,
-    ) -> corfu::Result<Option<Arc<EntryEnvelope>>> {
-        if let Some(hit) = inner.cache.get(offset) {
-            self.metrics.cache_hits.inc();
-            return Ok(Some(hit));
-        }
-        self.metrics.cache_misses.inc();
-        match self.corfu.wait_read(offset)? {
-            ReadOutcome::Data(bytes) => {
-                let entry = Arc::new(EntryEnvelope::decode(&bytes, offset)?);
-                inner.cache.insert(offset, Arc::clone(&entry));
-                Ok(Some(entry))
+        stream: StreamId,
+        lo: LogOffset,
+        hi: LogOffset,
+        discovered: &mut Vec<LogOffset>,
+    ) -> corfu::Result<u64> {
+        let mut walked = 0u64;
+        let step = self.config.read_batch.max(1) as u64;
+        let mut end = hi;
+        while end > lo {
+            let start = end.saturating_sub(step).max(lo);
+            let range: Vec<LogOffset> = (start..end).collect();
+            let fetched = self.fetch_many(&range, true)?;
+            walked += range.len() as u64;
+            for (&off, entry) in range.iter().zip(fetched.iter()) {
+                if entry.as_ref().map(|e| e.belongs_to(stream)).unwrap_or(false) {
+                    discovered.push(off);
+                }
             }
-            ReadOutcome::Junk | ReadOutcome::Trimmed => Ok(None),
-            ReadOutcome::Unwritten => Err(CorfuError::Unwritten { offset }),
+            end = start;
         }
+        Ok(walked)
     }
 }

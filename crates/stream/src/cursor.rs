@@ -88,6 +88,14 @@ impl StreamCursor {
         self.offsets.len() - self.next
     }
 
+    /// The next (up to) `n` unconsumed member offsets, in delivery order —
+    /// what the upcoming `readnext` calls will try to fetch. Feeds the
+    /// readahead prefetcher.
+    pub fn upcoming(&self, n: usize) -> &[LogOffset] {
+        let end = self.next.saturating_add(n).min(self.offsets.len());
+        &self.offsets[self.next..end]
+    }
+
     /// Forgets membership below `horizon` (after a checkpoint + trim). The
     /// iterator position is preserved relative to the remaining entries.
     pub fn forget_below(&mut self, horizon: LogOffset) {
@@ -139,6 +147,18 @@ mod tests {
         assert_eq!(c.peek(), Some(40));
         assert_eq!(c.seek(41), 1);
         assert_eq!(c.peek(), None);
+    }
+
+    #[test]
+    fn upcoming_windows_from_iterator_position() {
+        let mut c = StreamCursor::new(1);
+        c.extend(vec![10, 20, 30, 40], 50);
+        assert_eq!(c.upcoming(2), &[10, 20]);
+        c.advance();
+        assert_eq!(c.upcoming(2), &[20, 30]);
+        assert_eq!(c.upcoming(100), &[20, 30, 40]);
+        assert_eq!(c.upcoming(usize::MAX), &[20, 30, 40]);
+        assert_eq!(c.upcoming(0), &[] as &[LogOffset]);
     }
 
     #[test]

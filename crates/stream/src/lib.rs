@@ -9,10 +9,14 @@
 //! Stream membership is materialized client-side as a linked list of
 //! offsets, reconstructed lazily from the per-entry backpointer headers: the
 //! sequencer reports the last K offsets issued for a stream, and the client
-//! strides backward through entry headers (N/K reads for N entries) until it
-//! reconnects with what it already knows. Junk entries — holes patched after
-//! a client crash — carry no headers and break the chain; the client then
-//! falls back to a backward linear scan, exactly as described in the paper.
+//! strides backward through entry headers (N/K round trips for N entries,
+//! each stride fetching its K-entry window in one bulk `ReadBatch`) until
+//! it reconnects with what it already knows. Junk entries — holes patched
+//! after a client crash — carry no headers and break the chain; the client
+//! then falls back to a backward linear scan, exactly as described in the
+//! paper (also batched). After `sync`, a readahead prefetcher bulk-fetches
+//! the next window of member entries so steady-state `readnext` is served
+//! from the decoded-entry cache without touching the network.
 //!
 //! [`StreamClient::sync`] brings a stream's linked list up to date and must
 //! be called before [`StreamClient::readnext`] for linearizable semantics;
