@@ -9,16 +9,19 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use bytes::Bytes;
 use parking_lot::RwLock;
 use tango_flash::FlashUnit;
+use tango_meta::{Dial, MetaClient, MetaNode, ReplicaInfo};
 use tango_metrics::{ClusterSnapshot, Registry};
 use tango_rpc::{
     fetch_snapshot, ClientConn, ConnMetrics, HttpScrapeServer, RpcError, RpcHandler, TcpConn,
     TcpServer,
 };
+use tango_wire::encode_to_vec;
 
 use crate::client::{ClientOptions, ConnFactory, CorfuClient};
-use crate::layout::{LayoutClient, LayoutServer};
+use crate::layout::LayoutClient;
 use crate::sequencer::SequencerServer;
 use crate::storage::StorageServer;
 use crate::{NodeId, NodeInfo, Projection, Result};
@@ -34,6 +37,10 @@ pub struct ClusterConfig {
     pub page_size: usize,
     /// Backpointers maintained per stream (K in §5).
     pub k_backpointers: usize,
+    /// Metalog (layout service) replicas. The quorum discipline tolerates
+    /// `⌊n/2⌋` fail-stop crashes, so the default of 3 rides through any
+    /// single replica failure.
+    pub layout_replicas: usize,
     /// Client options handed to [`LocalCluster::client`].
     pub client_options: ClientOptions,
 }
@@ -45,6 +52,7 @@ impl Default for ClusterConfig {
             replication: 2,
             page_size: 4096,
             k_backpointers: 4,
+            layout_replicas: 3,
             client_options: ClientOptions::default(),
         }
     }
@@ -116,11 +124,13 @@ impl ConnFactory for RegistryFactory {
 pub struct LocalCluster {
     config: ClusterConfig,
     registry: HandlerRegistry,
-    layout_server: Arc<LayoutServer>,
+    meta_nodes: parking_lot::Mutex<HashMap<NodeId, Arc<MetaNode>>>,
+    layout_replicas: parking_lot::Mutex<Vec<ReplicaInfo>>,
     sequencer: Arc<SequencerServer>,
     storage: Vec<Arc<StorageServer>>,
     sequencer_generation: std::sync::atomic::AtomicU32,
     storage_generation: std::sync::atomic::AtomicU32,
+    layout_generation: std::sync::atomic::AtomicU32,
     metrics: Registry,
 }
 
@@ -132,8 +142,10 @@ pub const SEQUENCER_BASE_ID: NodeId = 10_000;
 /// kind is recoverable from the id in either harness.
 pub const STORAGE_REPLACEMENT_BASE_ID: NodeId = 20_000;
 
-/// Symbolic address of the layout service in the registry.
-pub const LAYOUT_ADDR: &str = "layout";
+/// Node id assigned to the first metalog (layout) replica; replacements
+/// count up past the initial set. Kept above the storage-replacement range
+/// so node kind is recoverable from the id in either harness.
+pub const LAYOUT_BASE_ID: NodeId = 30_000;
 
 impl LocalCluster {
     /// Builds and wires up a cluster per `config`, with in-memory flash.
@@ -169,17 +181,34 @@ impl LocalCluster {
         nodes.push(NodeInfo { id: SEQUENCER_BASE_ID, addr: seq_addr });
 
         let projection = Projection { epoch: 0, replica_sets, sequencer: SEQUENCER_BASE_ID, nodes };
-        let layout_server = Arc::new(LayoutServer::new(projection));
-        registry.register(LAYOUT_ADDR, Arc::clone(&layout_server) as Arc<dyn RpcHandler>);
+        // The layout service: a replica set of metalog nodes, each
+        // bootstrapped with the genesis projection at position 0.
+        let genesis = Bytes::from(encode_to_vec(&projection));
+        let mut meta_nodes = HashMap::new();
+        let mut layout_set = Vec::new();
+        for i in 0..config.layout_replicas.max(1) {
+            let id = LAYOUT_BASE_ID + i as NodeId;
+            let addr = format!("meta-{id}");
+            let node = Arc::new(MetaNode::new().with_metrics(&metrics));
+            node.bootstrap(genesis.clone());
+            registry.register(addr.clone(), Arc::clone(&node) as Arc<dyn RpcHandler>);
+            layout_set.push(ReplicaInfo { id, addr });
+            meta_nodes.insert(id, node);
+        }
+        for node in meta_nodes.values() {
+            node.set_peers(layout_set.clone());
+        }
 
         Self {
             config,
             registry,
-            layout_server,
+            meta_nodes: parking_lot::Mutex::new(meta_nodes),
+            layout_replicas: parking_lot::Mutex::new(layout_set),
             sequencer,
             storage,
             sequencer_generation: std::sync::atomic::AtomicU32::new(1),
             storage_generation: std::sync::atomic::AtomicU32::new(0),
+            layout_generation: std::sync::atomic::AtomicU32::new(0),
             metrics,
         }
     }
@@ -228,24 +257,37 @@ impl LocalCluster {
         Arc::new(RegistryFactory { registry: self.registry.clone() })
     }
 
-    /// A layout-service client stub.
+    /// A layout-service client stub over the metalog replica set.
     pub fn layout_client(&self) -> LayoutClient {
-        LayoutClient::new(Arc::new(RegistryConn {
-            registry: self.registry.clone(),
-            addr: LAYOUT_ADDR.to_owned(),
-        }))
+        self.layout_client_with(self.conn_factory(), &self.metrics)
+    }
+
+    /// A layout client dialing replicas through `factory` and recording
+    /// `meta.*` instruments into `metrics` — the hook fault-injection
+    /// harnesses use to interpose on layout traffic too.
+    pub fn layout_client_with(
+        &self,
+        factory: Arc<dyn ConnFactory>,
+        metrics: &Registry,
+    ) -> LayoutClient {
+        let replicas = self.layout_replicas.lock().clone();
+        let dial: Arc<dyn Dial> = Arc::new(move |replica: &ReplicaInfo| {
+            factory.connect(&NodeInfo { id: replica.id, addr: replica.addr.clone() })
+        });
+        LayoutClient::replicated(Arc::new(MetaClient::new(replicas, dial).with_metrics(metrics)))
     }
 
     /// Creates a client routing node connections through an arbitrary
     /// factory — the hook fault-injection harnesses use to interpose on
-    /// every client→server call.
+    /// every client→server call, layout replicas included.
     pub fn client_with_factory(
         &self,
         factory: Arc<dyn ConnFactory>,
         options: ClientOptions,
         metrics: Registry,
     ) -> Result<CorfuClient> {
-        CorfuClient::with_options_and_metrics(self.layout_client(), factory, options, metrics)
+        let layout = self.layout_client_with(Arc::clone(&factory), &metrics);
+        CorfuClient::with_options_and_metrics(layout, factory, options, metrics)
     }
 
     /// Direct access to the current sequencer server (for assertions).
@@ -260,8 +302,7 @@ impl LocalCluster {
 
     /// Kills the current sequencer (its address stops resolving).
     pub fn kill_sequencer(&self) {
-        let proj = self.layout_server.process(crate::proto::LayoutRequest::Get);
-        if let crate::proto::LayoutResponse::Current(p) = proj {
+        if let Ok(p) = self.layout_client().get() {
             if let Some(addr) = p.addr_of(p.sequencer) {
                 self.registry.kill(addr);
             }
@@ -283,8 +324,7 @@ impl LocalCluster {
     /// Kills the storage node `id`: its address stops resolving, so every
     /// subsequent call to it fails with `Disconnected`.
     pub fn kill_storage_node(&self, id: NodeId) {
-        let proj = self.layout_server.process(crate::proto::LayoutRequest::Get);
-        if let crate::proto::LayoutResponse::Current(p) = proj {
+        if let Ok(p) = self.layout_client().get() {
             if let Some(addr) = p.addr_of(id) {
                 self.registry.kill(addr);
             }
@@ -303,6 +343,62 @@ impl LocalCluster {
         );
         self.registry.register(addr.clone(), Arc::clone(&server) as Arc<dyn RpcHandler>);
         (NodeInfo { id, addr }, server)
+    }
+
+    /// The current metalog (layout) replica set, in arbitration order.
+    /// Killed replicas stay listed until replaced — a crash does not edit
+    /// membership; the quorum client fails over past them.
+    pub fn layout_replicas(&self) -> Vec<ReplicaInfo> {
+        self.layout_replicas.lock().clone()
+    }
+
+    /// Direct access to a live metalog replica (for assertions). `None`
+    /// for unknown or killed replicas.
+    pub fn meta_node(&self, id: NodeId) -> Option<Arc<MetaNode>> {
+        self.meta_nodes.lock().get(&id).cloned()
+    }
+
+    /// Kills the metalog replica `id`: its address stops resolving, so
+    /// every subsequent call to it fails with `Disconnected`. Membership is
+    /// untouched — quorum clients ride through on the survivors.
+    pub fn kill_layout_replica(&self, id: NodeId) {
+        let replicas = self.layout_replicas.lock().clone();
+        if let Some(r) = replicas.iter().find(|r| r.id == id) {
+            self.registry.kill(&r.addr);
+        }
+        self.meta_nodes.lock().remove(&id);
+    }
+
+    /// Replaces the crashed metalog replica `dead`: spawns a fresh node,
+    /// copies every decided record onto it from the surviving quorum
+    /// (catch-up), then installs the new replica set on all members — the
+    /// metalog analogue of [`crate::reconfig::replace_storage_node`]'s
+    /// chain rebuild.
+    pub fn replace_layout_replica(&self, dead: NodeId) -> Result<ReplicaInfo> {
+        let gen = self.layout_generation.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        let id = LAYOUT_BASE_ID + self.config.layout_replicas.max(1) as NodeId + gen;
+        let addr = format!("meta-{id}");
+        let node = Arc::new(MetaNode::new().with_metrics(&self.metrics));
+        self.registry.register(addr.clone(), Arc::clone(&node) as Arc<dyn RpcHandler>);
+        let info = ReplicaInfo { id, addr: addr.clone() };
+
+        let survivors: Vec<ReplicaInfo> =
+            self.layout_replicas.lock().iter().filter(|r| r.id != dead).cloned().collect();
+        let registry = self.registry.clone();
+        let dial: Arc<dyn Dial> = Arc::new(move |replica: &ReplicaInfo| -> Arc<dyn ClientConn> {
+            Arc::new(RegistryConn { registry: registry.clone(), addr: replica.addr.clone() })
+        });
+        let meta = MetaClient::new(survivors.clone(), dial);
+        let target: Arc<dyn ClientConn> =
+            Arc::new(RegistryConn { registry: self.registry.clone(), addr });
+        meta.catch_up(&target)?;
+
+        let mut new_set = survivors;
+        new_set.push(info.clone());
+        meta.install_peers(new_set.clone())?;
+        *self.layout_replicas.lock() = new_set;
+        self.meta_nodes.lock().insert(id, node);
+        Ok(info)
     }
 }
 
@@ -341,10 +437,15 @@ pub struct TcpCluster {
     /// Storage nodes by id; removing one drops it, which shuts the
     /// listener (and its scrape endpoint) down and disconnects clients.
     storage_servers: parking_lot::Mutex<HashMap<NodeId, TcpNode>>,
-    /// Keep the sequencer and layout nodes alive.
+    /// Metalog (layout) replicas by id, each with its own registry and
+    /// scrape endpoint; removing one simulates a layout-replica crash.
+    layout_servers: parking_lot::Mutex<HashMap<NodeId, TcpNode>>,
+    /// The current metalog replica set, in arbitration order.
+    layout_replicas: parking_lot::Mutex<Vec<ReplicaInfo>>,
+    /// Keep the sequencer node alive.
     aux_servers: Vec<TcpNode>,
     storage_generation: std::sync::atomic::AtomicU32,
-    layout_addr: String,
+    layout_generation: std::sync::atomic::AtomicU32,
     metrics: Registry,
 }
 
@@ -388,17 +489,38 @@ impl TcpCluster {
         aux_servers.push(seq_node);
 
         let projection = Projection { epoch: 0, replica_sets, sequencer: SEQUENCER_BASE_ID, nodes };
-        let layout_handler: Arc<dyn RpcHandler> = Arc::new(LayoutServer::new(projection));
-        let layout_node = TcpNode::spawn("layout".to_string(), layout_handler, Registry::new())?;
-        let layout_addr = layout_node.server.local_addr().to_string();
-        aux_servers.push(layout_node);
+        // The layout service: metalog replicas on their own ports, each
+        // with a private registry (`meta.node.*`) and scrape endpoint.
+        let genesis = Bytes::from(encode_to_vec(&projection));
+        let mut layout_servers = HashMap::new();
+        let mut layout_set = Vec::new();
+        let mut meta_handles = Vec::new();
+        for i in 0..config.layout_replicas.max(1) {
+            let id = LAYOUT_BASE_ID + i as NodeId;
+            let registry = Registry::new();
+            let meta = Arc::new(MetaNode::new().with_metrics(&registry));
+            meta.bootstrap(genesis.clone());
+            let node = TcpNode::spawn(
+                format!("layout-{id}"),
+                Arc::clone(&meta) as Arc<dyn RpcHandler>,
+                registry,
+            )?;
+            layout_set.push(ReplicaInfo { id, addr: node.server.local_addr().to_string() });
+            layout_servers.insert(id, node);
+            meta_handles.push(meta);
+        }
+        for meta in &meta_handles {
+            meta.set_peers(layout_set.clone());
+        }
 
         Ok(Self {
             config,
             storage_servers: parking_lot::Mutex::new(storage_servers),
+            layout_servers: parking_lot::Mutex::new(layout_servers),
+            layout_replicas: parking_lot::Mutex::new(layout_set),
             aux_servers,
             storage_generation: std::sync::atomic::AtomicU32::new(0),
-            layout_addr,
+            layout_generation: std::sync::atomic::AtomicU32::new(0),
             metrics,
         })
     }
@@ -420,6 +542,9 @@ impl TcpCluster {
             .map(|n| (n.name.clone(), n.scrape.local_addr().to_string()))
             .collect();
         for node in self.storage_servers.lock().values() {
+            targets.push((node.name.clone(), node.scrape.local_addr().to_string()));
+        }
+        for node in self.layout_servers.lock().values() {
             targets.push((node.name.clone(), node.scrape.local_addr().to_string()));
         }
         targets.sort();
@@ -484,13 +609,74 @@ impl TcpCluster {
     /// [`ClientOptions::batched`] for §5's sequencer token batching).
     pub fn client_with_options(&self, opts: ClientOptions) -> Result<CorfuClient> {
         let conn_metrics = ConnMetrics::from_registry(&self.metrics);
-        let layout = LayoutClient::new(Arc::new(
-            TcpConn::new(self.layout_addr.clone()).with_metrics(conn_metrics.clone()),
-        ));
+        let layout = self.layout_client();
         let factory: Arc<dyn ConnFactory> =
             Arc::new(move |node: &NodeInfo| -> Arc<dyn ClientConn> {
                 Arc::new(TcpConn::new(node.addr.clone()).with_metrics(conn_metrics.clone()))
             });
         CorfuClient::with_options_and_metrics(layout, factory, opts, self.metrics.clone())
+    }
+
+    fn tcp_dial(&self) -> Arc<dyn Dial> {
+        let conn_metrics = ConnMetrics::from_registry(&self.metrics);
+        Arc::new(move |replica: &ReplicaInfo| -> Arc<dyn ClientConn> {
+            Arc::new(TcpConn::new(replica.addr.clone()).with_metrics(conn_metrics.clone()))
+        })
+    }
+
+    /// A layout-service client stub over the metalog replica set (TCP).
+    pub fn layout_client(&self) -> LayoutClient {
+        let replicas = self.layout_replicas.lock().clone();
+        LayoutClient::replicated(Arc::new(
+            MetaClient::new(replicas, self.tcp_dial()).with_metrics(&self.metrics),
+        ))
+    }
+
+    /// The current metalog (layout) replica set, in arbitration order.
+    pub fn layout_replicas(&self) -> Vec<ReplicaInfo> {
+        self.layout_replicas.lock().clone()
+    }
+
+    /// One metalog replica's registry (for assertions on `meta.node.*`
+    /// without an HTTP round trip). `None` for unknown or killed replicas.
+    pub fn layout_registry(&self, id: NodeId) -> Option<Registry> {
+        self.layout_servers.lock().get(&id).map(|n| n.registry.clone())
+    }
+
+    /// Kills the metalog replica `id`: its TCP listener and scrape
+    /// endpoint shut down and open connections drop. Membership is
+    /// untouched — quorum clients ride through on the survivors.
+    pub fn kill_layout_replica(&self, id: NodeId) {
+        self.layout_servers.lock().remove(&id);
+    }
+
+    /// Replaces the crashed metalog replica `dead`: spawns a fresh node on
+    /// an ephemeral port, catch-up copies every decided record onto it from
+    /// the surviving quorum, then installs the new replica set on all
+    /// members.
+    pub fn replace_layout_replica(&self, dead: NodeId) -> Result<ReplicaInfo> {
+        let gen = self.layout_generation.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        let id = LAYOUT_BASE_ID + self.config.layout_replicas.max(1) as NodeId + gen;
+        let registry = Registry::new();
+        let meta = Arc::new(MetaNode::new().with_metrics(&registry));
+        let node = TcpNode::spawn(
+            format!("layout-{id}"),
+            Arc::clone(&meta) as Arc<dyn RpcHandler>,
+            registry,
+        )?;
+        let info = ReplicaInfo { id, addr: node.server.local_addr().to_string() };
+
+        let survivors: Vec<ReplicaInfo> =
+            self.layout_replicas.lock().iter().filter(|r| r.id != dead).cloned().collect();
+        let client = MetaClient::new(survivors.clone(), self.tcp_dial());
+        let target: Arc<dyn ClientConn> = Arc::new(TcpConn::new(info.addr.clone()));
+        client.catch_up(&target)?;
+
+        let mut new_set = survivors;
+        new_set.push(info.clone());
+        client.install_peers(new_set.clone())?;
+        *self.layout_replicas.lock() = new_set;
+        self.layout_servers.lock().insert(id, node);
+        Ok(info)
     }
 }

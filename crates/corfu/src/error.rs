@@ -101,3 +101,18 @@ impl From<tango_wire::WireError> for CorfuError {
         CorfuError::Codec(e.to_string())
     }
 }
+
+impl From<tango_meta::MetaError> for CorfuError {
+    fn from(e: tango_meta::MetaError) -> Self {
+        use tango_meta::MetaError;
+        match e {
+            // Per-replica and whole-quorum reachability problems are
+            // transport faults: retriable once the replica set heals.
+            MetaError::QuorumUnavailable { .. } | MetaError::Unreachable { .. } => {
+                CorfuError::Rpc(e.to_string())
+            }
+            MetaError::Codec(msg) => CorfuError::Codec(msg),
+            MetaError::Protocol(_) | MetaError::Empty => CorfuError::Layout(e.to_string()),
+        }
+    }
+}

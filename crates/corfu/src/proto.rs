@@ -283,6 +283,12 @@ pub enum LayoutResponse {
     Installed,
     /// The proposal lost a race; here is the winning projection.
     Conflict(Projection),
+    /// The request could not be decoded. Distinct from `Conflict` so a
+    /// corrupted frame is never mistaken for a lost reconfiguration race.
+    ErrMalformed {
+        /// The decoder's diagnosis.
+        reason: String,
+    },
 }
 
 impl Encode for WriteKind {
@@ -725,6 +731,10 @@ impl Encode for LayoutResponse {
                 w.put_u8(2);
                 p.encode(w);
             }
+            LayoutResponse::ErrMalformed { reason } => {
+                w.put_u8(3);
+                w.put_str(reason);
+            }
         }
     }
 }
@@ -735,6 +745,7 @@ impl Decode for LayoutResponse {
             0 => Ok(LayoutResponse::Current(Projection::decode(r)?)),
             1 => Ok(LayoutResponse::Installed),
             2 => Ok(LayoutResponse::Conflict(Projection::decode(r)?)),
+            3 => Ok(LayoutResponse::ErrMalformed { reason: r.get_str()?.to_string() }),
             tag => Err(WireError::InvalidTag { what: "LayoutResponse", tag: tag as u64 }),
         }
     }

@@ -1,0 +1,100 @@
+//! Property test for metalog write-once arbitration: K proposals racing at
+//! the same epoch — from concurrent threads, over a real replica set —
+//! must converge on exactly one winner, with every loser observing the
+//! winner's projection.
+
+use corfu::cluster::{ClusterConfig, LocalCluster};
+use corfu::Projection;
+use proptest::prelude::*;
+
+/// A distinct next-epoch projection per racer: racer `i` nominates a
+/// different sequencer address so payloads differ byte-for-byte and
+/// arbitration is observable.
+fn candidate(base: &Projection, racer: u32) -> Projection {
+    let mut p = base.clone();
+    p.epoch = base.epoch + 1;
+    let seq = p.sequencer;
+    if let Some(node) = p.nodes.iter_mut().find(|n| n.id == seq) {
+        node.addr = format!("sequencer-candidate-{racer}");
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn concurrent_proposals_at_one_epoch_have_exactly_one_winner(racers in 2usize..8) {
+        let cluster = LocalCluster::new(ClusterConfig::tiny());
+        let base = cluster.layout_client().get().unwrap();
+
+        let mut handles = Vec::new();
+        for i in 0..racers {
+            let client = cluster.layout_client();
+            let p = candidate(&base, i as u32);
+            handles.push(std::thread::spawn(move || {
+                let mine = p.clone();
+                (mine, client.propose(p).unwrap())
+            }));
+        }
+        let results: Vec<(Projection, Option<Projection>)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+        // Exactly one proposal installed.
+        let winners: Vec<&Projection> =
+            results.iter().filter(|(_, r)| r.is_none()).map(|(mine, _)| mine).collect();
+        prop_assert_eq!(winners.len(), 1, "exactly one racer must install");
+        let winner = winners[0].clone();
+
+        // Every loser observed the winner's projection, not some third value.
+        for (mine, result) in &results {
+            if let Some(observed) = result {
+                prop_assert_ne!(mine, &winner);
+                prop_assert_eq!(observed, &winner);
+            }
+        }
+
+        // The installed projection is what every reader now sees.
+        prop_assert_eq!(cluster.layout_client().get().unwrap(), winner.clone());
+        prop_assert_eq!(winner.epoch, base.epoch + 1);
+    }
+
+    #[test]
+    fn sequential_rounds_of_racing_proposals_stay_linear(rounds in 1usize..5, racers in 2usize..5) {
+        // Across several reconfiguration rounds, each with racing
+        // proposers, epochs advance by exactly one per round and the
+        // metalog stays a linear history of winners.
+        let cluster = LocalCluster::new(ClusterConfig::tiny());
+        for round in 0..rounds {
+            let base = cluster.layout_client().get().unwrap();
+            prop_assert_eq!(base.epoch, round as u64);
+            let handles: Vec<_> = (0..racers)
+                .map(|i| {
+                    let client = cluster.layout_client();
+                    let p = candidate(&base, i as u32);
+                    std::thread::spawn(move || client.propose(p).unwrap())
+                })
+                .collect();
+            let installed = handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .filter(|outcome| outcome.is_none())
+                .count();
+            prop_assert_eq!(installed, 1, "round {} must install exactly once", round);
+            prop_assert_eq!(cluster.layout_client().get().unwrap().epoch, round as u64 + 1);
+        }
+    }
+}
+
+/// Non-proptest sanity check: a racer that arrives after the race is fully
+/// decided still converges on the recorded winner (read-your-winner via
+/// the metalog, not via any server-side session state).
+#[test]
+fn late_proposal_observes_the_decided_winner() {
+    let cluster = LocalCluster::new(ClusterConfig::tiny());
+    let base = cluster.layout_client().get().unwrap();
+    let first = candidate(&base, 0);
+    assert_eq!(cluster.layout_client().propose(first.clone()).unwrap(), None);
+    let late = candidate(&base, 1);
+    assert_eq!(cluster.layout_client().propose(late).unwrap(), Some(first));
+}

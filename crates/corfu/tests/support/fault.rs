@@ -15,7 +15,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Duration;
 
-use corfu::cluster::{SEQUENCER_BASE_ID, STORAGE_REPLACEMENT_BASE_ID};
+use corfu::cluster::{LAYOUT_BASE_ID, SEQUENCER_BASE_ID, STORAGE_REPLACEMENT_BASE_ID};
 use corfu::{ConnFactory, NodeId, NodeInfo};
 use parking_lot::Mutex;
 use tango_rpc::{ClientConn, RpcError};
@@ -62,6 +62,8 @@ pub struct TraceEvent {
     pub action: &'static str,
 }
 
+type CrashHook = Arc<dyn Fn(NodeId) + Send + Sync>;
+
 /// A seeded fault schedule shared by every connection it wraps.
 pub struct FaultPlan {
     seed: u64,
@@ -69,7 +71,7 @@ pub struct FaultPlan {
     counters: Mutex<HashMap<String, u64>>,
     dead: Mutex<HashSet<NodeId>>,
     trace: Mutex<Vec<TraceEvent>>,
-    on_crash: Mutex<Option<Arc<dyn Fn(NodeId) + Send + Sync>>>,
+    on_crash: Mutex<Option<CrashHook>>,
 }
 
 impl FaultPlan {
@@ -211,7 +213,20 @@ fn fnv1a(s: &str) -> u64 {
 fn classify(node: NodeId, request: &[u8]) -> String {
     let tag = request.first().copied().unwrap_or(u8::MAX);
     let is_seq = (SEQUENCER_BASE_ID..STORAGE_REPLACEMENT_BASE_ID).contains(&node);
-    let (kind, op) = if is_seq {
+    let is_meta = node >= LAYOUT_BASE_ID;
+    let (kind, op) = if is_meta {
+        (
+            "meta",
+            match tag {
+                0 => "read",
+                1 => "write",
+                2 => "tail",
+                3 => "peers",
+                4 => "set_peers",
+                _ => "other",
+            },
+        )
+    } else if is_seq {
         (
             "seq",
             match tag {

@@ -1,0 +1,56 @@
+use std::fmt;
+
+/// Errors surfaced by the metalog client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaError {
+    /// Fewer than a quorum of replicas answered, after every retry.
+    QuorumUnavailable {
+        /// Replicas that answered the final round.
+        reachable: usize,
+        /// The majority the operation needed.
+        needed: usize,
+    },
+    /// One replica could not serve this call (transport failure, or it
+    /// rejected the request as malformed — a corrupted frame in transit).
+    /// Quorum operations treat this as a failover, not a failure.
+    Unreachable {
+        /// The replica that failed.
+        replica: u32,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A replica answered with something the protocol does not allow here.
+    Protocol(String),
+    /// A malformed message.
+    Codec(String),
+    /// The metalog has no decided records (a deployment must bootstrap
+    /// position 0 before clients read).
+    Empty,
+}
+
+impl fmt::Display for MetaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetaError::QuorumUnavailable { reachable, needed } => {
+                write!(
+                    f,
+                    "metalog quorum unavailable: {reachable} replicas reachable, {needed} needed"
+                )
+            }
+            MetaError::Unreachable { replica, detail } => {
+                write!(f, "metalog replica {replica} unreachable: {detail}")
+            }
+            MetaError::Protocol(e) => write!(f, "metalog protocol violation: {e}"),
+            MetaError::Codec(e) => write!(f, "metalog codec failure: {e}"),
+            MetaError::Empty => write!(f, "metalog has no decided records"),
+        }
+    }
+}
+
+impl std::error::Error for MetaError {}
+
+impl From<tango_wire::WireError> for MetaError {
+    fn from(e: tango_wire::WireError) -> Self {
+        MetaError::Codec(e.to_string())
+    }
+}

@@ -1,0 +1,175 @@
+//! One metalog replica: a write-once `position → record` store.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use tango_metrics::Registry;
+use tango_rpc::RpcHandler;
+use tango_wire::{decode_from_slice, encode_to_vec};
+
+use crate::metrics::MetaNodeMetrics;
+use crate::proto::{MetaRequest, MetaResponse, ReplicaInfo};
+use crate::Position;
+
+/// A metalog replica. Positions are write-once: the first record installed
+/// at a position is permanent, and a conflicting rewrite is answered with
+/// the incumbent — the same arbitration rule the data plane's flash units
+/// enforce, which is what lets the layout service dogfood the CORFU
+/// discipline.
+pub struct MetaNode {
+    records: Mutex<BTreeMap<Position, Bytes>>,
+    peers: Mutex<Vec<ReplicaInfo>>,
+    metrics: MetaNodeMetrics,
+}
+
+impl Default for MetaNode {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetaNode {
+    /// An empty replica with disabled (no-op) instruments.
+    pub fn new() -> Self {
+        Self {
+            records: Mutex::new(BTreeMap::new()),
+            peers: Mutex::new(Vec::new()),
+            metrics: MetaNodeMetrics::default(),
+        }
+    }
+
+    /// Binds this replica's `meta.node.*` instruments in `registry`.
+    pub fn with_metrics(mut self, registry: &Registry) -> Self {
+        self.metrics = MetaNodeMetrics::from_registry(registry);
+        self
+    }
+
+    /// Installs `record` at position 0 directly (deployment bootstrap; not
+    /// a client-visible operation). Panics if position 0 is taken by a
+    /// different record — a deployment must not be bootstrapped twice with
+    /// diverging genesis records.
+    pub fn bootstrap(&self, record: Bytes) {
+        let mut records = self.records.lock();
+        match records.get(&0) {
+            None => {
+                records.insert(0, record);
+            }
+            Some(existing) => assert_eq!(existing, &record, "conflicting bootstrap record"),
+        }
+    }
+
+    /// Replaces this replica's view of the replica set (operations plane).
+    pub fn set_peers(&self, peers: Vec<ReplicaInfo>) {
+        *self.peers.lock() = peers;
+    }
+
+    /// This replica's view of the replica set.
+    pub fn peers(&self) -> Vec<ReplicaInfo> {
+        self.peers.lock().clone()
+    }
+
+    /// Highest written position + 1 (0 when empty).
+    pub fn tail(&self) -> Position {
+        self.records.lock().last_key_value().map(|(p, _)| p + 1).unwrap_or(0)
+    }
+
+    /// Processes a decoded request.
+    pub fn process(&self, req: MetaRequest) -> MetaResponse {
+        match req {
+            MetaRequest::Read { pos } => {
+                self.metrics.reads.inc();
+                match self.records.lock().get(&pos) {
+                    Some(rec) => MetaResponse::Record(rec.clone()),
+                    None => MetaResponse::Unwritten,
+                }
+            }
+            MetaRequest::Write { pos, record } => {
+                let mut records = self.records.lock();
+                match records.get(&pos) {
+                    None => {
+                        records.insert(pos, record);
+                        self.metrics.writes.inc();
+                        MetaResponse::Ok
+                    }
+                    // Re-writing the incumbent is an idempotent success, so
+                    // helpers and retries converge without special cases.
+                    Some(existing) if *existing == record => MetaResponse::Ok,
+                    Some(existing) => {
+                        self.metrics.write_conflicts.inc();
+                        MetaResponse::AlreadyWritten(existing.clone())
+                    }
+                }
+            }
+            MetaRequest::Tail => {
+                self.metrics.tails.inc();
+                MetaResponse::Tail(self.tail())
+            }
+            MetaRequest::Peers => MetaResponse::Peers(self.peers()),
+            MetaRequest::SetPeers(peers) => {
+                self.set_peers(peers);
+                MetaResponse::Ok
+            }
+        }
+    }
+}
+
+impl RpcHandler for MetaNode {
+    fn handle(&self, request: &[u8]) -> Vec<u8> {
+        let response = match decode_from_slice::<MetaRequest>(request) {
+            Ok(req) => self.process(req),
+            Err(e) => {
+                self.metrics.malformed.inc();
+                MetaResponse::ErrMalformed { reason: e.to_string() }
+            }
+        };
+        encode_to_vec(&response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_once_arbitration() {
+        let node = MetaNode::new();
+        let v1 = Bytes::from_static(b"v1");
+        let v2 = Bytes::from_static(b"v2");
+        assert_eq!(
+            node.process(MetaRequest::Write { pos: 3, record: v1.clone() }),
+            MetaResponse::Ok
+        );
+        // Idempotent rewrite.
+        assert_eq!(
+            node.process(MetaRequest::Write { pos: 3, record: v1.clone() }),
+            MetaResponse::Ok
+        );
+        // Conflicting rewrite loses to the incumbent.
+        assert_eq!(
+            node.process(MetaRequest::Write { pos: 3, record: v2 }),
+            MetaResponse::AlreadyWritten(v1.clone())
+        );
+        assert_eq!(node.process(MetaRequest::Read { pos: 3 }), MetaResponse::Record(v1));
+        assert_eq!(node.process(MetaRequest::Read { pos: 0 }), MetaResponse::Unwritten);
+        assert_eq!(node.process(MetaRequest::Tail), MetaResponse::Tail(4));
+    }
+
+    #[test]
+    fn malformed_requests_get_a_typed_error() {
+        let node = MetaNode::new();
+        let resp = node.handle(&[0xFF, 0x01, 0x02]);
+        match decode_from_slice::<MetaResponse>(&resp).unwrap() {
+            MetaResponse::ErrMalformed { reason } => assert!(!reason.is_empty()),
+            other => panic!("expected ErrMalformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bootstrap_is_idempotent() {
+        let node = MetaNode::new();
+        node.bootstrap(Bytes::from_static(b"genesis"));
+        node.bootstrap(Bytes::from_static(b"genesis"));
+        assert_eq!(node.tail(), 1);
+    }
+}

@@ -22,10 +22,10 @@ fn every_node_serves_scrape_endpoints() {
     }
 
     let targets = cluster.scrape_targets();
-    // 4 storage nodes + sequencer + layout.
-    assert_eq!(targets.len(), 6, "{targets:?}");
+    // 4 storage nodes + sequencer + 3 metalog (layout) replicas.
+    assert_eq!(targets.len(), 8, "{targets:?}");
     assert!(targets.iter().any(|(name, _)| name == "sequencer"));
-    assert!(targets.iter().any(|(name, _)| name == "layout"));
+    assert_eq!(targets.iter().filter(|(name, _)| name.starts_with("layout-")).count(), 3);
 
     for (name, addr) in &targets {
         let (status, body) = http_get(addr, "/metrics", SCRAPE_TIMEOUT).unwrap();
@@ -60,8 +60,8 @@ fn cluster_snapshot_merges_every_node() {
     client.read(0).unwrap();
 
     let snapshot = cluster.cluster_snapshot();
-    // 6 scraped nodes + the synthetic "clients" node.
-    assert_eq!(snapshot.len(), 7);
+    // 8 scraped nodes + the synthetic "clients" node.
+    assert_eq!(snapshot.len(), 9);
     assert!(snapshot.node("clients").is_some());
 
     // Per-node breakdown: each storage node holds only its own share.
