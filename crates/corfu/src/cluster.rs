@@ -413,7 +413,13 @@ struct TcpNode {
 
 impl TcpNode {
     fn spawn(name: String, handler: Arc<dyn RpcHandler>, registry: Registry) -> Result<Self> {
-        let server = TcpServer::spawn("127.0.0.1:0", handler)
+        // Surface the node's reactor health (connection gauge, dropped
+        // accepts) in its own registry so scrapes see transport pressure.
+        let options = tango_rpc::ServerOptions {
+            metrics: tango_rpc::ServerMetrics::from_registry(&registry),
+            ..Default::default()
+        };
+        let server = TcpServer::spawn_with("127.0.0.1:0", handler, options)
             .map_err(|e| crate::CorfuError::Rpc(e.to_string()))?;
         let scrape = HttpScrapeServer::spawn("127.0.0.1:0", registry.clone())
             .map_err(|e| crate::CorfuError::Rpc(e.to_string()))?;

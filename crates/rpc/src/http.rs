@@ -11,17 +11,21 @@
 //!   fetches so nothing ever needs to *parse* JSON
 //!
 //! The implementation is intentionally tiny: `GET` only, one request per
-//! connection (`Connection: close`), no keep-alive, no chunking. A scrape
-//! is a couple of requests per poll interval — worker pools and parsers
-//! would be dead weight. No new dependencies.
+//! connection (`Connection: close`), no keep-alive, no chunking. Requests
+//! are served by a **fixed pool** of [`SCRAPE_WORKERS`] threads behind a
+//! bounded queue — an aggressive or misbehaving scraper can at worst get
+//! its connections dropped at the queue cap, never exhaust the process's
+//! threads (the old endpoint spawned one thread per request). No new
+//! dependencies.
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crossbeam::channel;
 use tango_metrics::{spans_to_json, Registry, Snapshot};
 
 use crate::{Result, RpcError};
@@ -29,11 +33,20 @@ use crate::{Result, RpcError};
 /// How long a scrape connection may dawdle before being dropped.
 const HTTP_IO_TIMEOUT: Duration = Duration::from_secs(2);
 
+/// Size of the fixed scrape-serving pool. Scrapes are a couple of
+/// requests per poll interval; two workers ride out one slow client.
+pub const SCRAPE_WORKERS: usize = 2;
+
+/// Accepted scrape connections queued beyond this are dropped instead of
+/// accumulating without bound.
+const SCRAPE_QUEUE_MAX: usize = 256;
+
 /// A running scrape endpoint. Dropping the handle shuts it down.
 pub struct HttpScrapeServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl HttpScrapeServer {
@@ -43,12 +56,31 @@ impl HttpScrapeServer {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let queued = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = channel::unbounded::<TcpStream>();
+        let mut workers = Vec::with_capacity(SCRAPE_WORKERS);
+        for i in 0..SCRAPE_WORKERS {
+            let rx = rx.clone();
+            let registry = registry.clone();
+            let queued = Arc::clone(&queued);
+            let worker = std::thread::Builder::new()
+                .name(format!("http-scrape-worker-{i}"))
+                .spawn(move || {
+                    while let Ok(stream) = rx.recv() {
+                        queued.fetch_sub(1, Ordering::AcqRel);
+                        serve_request(stream, &registry);
+                    }
+                })
+                .map_err(|e| RpcError::Io(e.to_string()))?;
+            workers.push(worker);
+        }
+        drop(rx);
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_thread = std::thread::Builder::new()
             .name(format!("http-scrape-{local}"))
-            .spawn(move || accept_loop(listener, registry, accept_shutdown))
+            .spawn(move || accept_loop(listener, tx, queued, accept_shutdown))
             .map_err(|e| RpcError::Io(e.to_string()))?;
-        Ok(Self { addr: local, shutdown, accept_thread: Some(accept_thread) })
+        Ok(Self { addr: local, shutdown, accept_thread: Some(accept_thread), workers })
     }
 
     /// The address the endpoint is listening on.
@@ -56,12 +88,17 @@ impl HttpScrapeServer {
         self.addr
     }
 
-    /// Stops the endpoint and joins its accept thread.
+    /// Stops the endpoint and joins its accept thread and worker pool.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
+        poke_listener(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        // The accept thread owned the queue sender; with it gone the
+        // workers drain what is queued and exit.
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
     }
 }
@@ -72,7 +109,28 @@ impl Drop for HttpScrapeServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, registry: Registry, shutdown: Arc<AtomicBool>) {
+/// Connects to the listener so a blocked `accept` returns. A listener
+/// bound to a wildcard address (`0.0.0.0` / `::`) is not dialable at that
+/// address — poke it via the matching loopback instead.
+fn poke_listener(addr: SocketAddr) {
+    let target = if addr.ip().is_unspecified() {
+        let loopback = match addr.ip() {
+            IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+            IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+        };
+        SocketAddr::new(loopback, addr.port())
+    } else {
+        addr
+    };
+    let _ = TcpStream::connect_timeout(&target, Duration::from_millis(500));
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: channel::Sender<TcpStream>,
+    queued: Arc<AtomicUsize>,
+    shutdown: Arc<AtomicBool>,
+) {
     loop {
         let Ok((stream, _peer)) = listener.accept() else {
             if shutdown.load(Ordering::SeqCst) {
@@ -84,11 +142,17 @@ fn accept_loop(listener: TcpListener, registry: Registry, shutdown: Arc<AtomicBo
         if shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let registry = registry.clone();
-        // One thread per request: scrapes are rare and short-lived.
-        let _ = std::thread::Builder::new()
-            .name("http-scrape-conn".to_string())
-            .spawn(move || serve_request(stream, &registry));
+        // Bounded handoff to the fixed pool: past the cap the connection
+        // is dropped on the floor, which a scraper sees as a reset — far
+        // better than unbounded thread growth.
+        if queued.load(Ordering::Acquire) >= SCRAPE_QUEUE_MAX {
+            drop(stream);
+            continue;
+        }
+        queued.fetch_add(1, Ordering::AcqRel);
+        if tx.send(stream).is_err() {
+            return;
+        }
     }
 }
 

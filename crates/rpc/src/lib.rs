@@ -15,9 +15,14 @@
 //!   CRC-checked messages over TCP. Frames carry a `u64` request id (wire
 //!   v3, see [`frame`]), so a single connection multiplexes many pipelined
 //!   RPCs: the client matches responses to callers by id, and the server
-//!   completes requests out of order on a bounded per-connection worker
-//!   pool. Clients reconnect transparently. Traced calls carry their
-//!   `TraceContext` in the frame (v2 frames — untraced — still decode).
+//!   completes requests out of order on a fixed worker pool fed by an
+//!   epoll readiness reactor — one event-loop thread owns every accepted
+//!   socket, so the thread budget stays constant from 1 connection to
+//!   10K+. The client side shares one process-wide reactor for response
+//!   routing (no reader thread per connection). Clients reconnect
+//!   transparently with a dial bounded by the per-call timeout. Traced
+//!   calls carry their `TraceContext` in the frame (v2 frames — untraced
+//!   — still decode).
 //! * [`HttpScrapeServer`] / [`http_get`] / [`fetch_snapshot`] — a minimal
 //!   hand-rolled HTTP endpoint serving metric snapshots and trace spans,
 //!   run next to each RPC server so a real deployment is observable from
@@ -30,13 +35,17 @@ mod error;
 pub mod frame;
 mod http;
 mod local;
+mod reactor;
 mod tcp;
 mod traits;
 
 pub use error::RpcError;
-pub use http::{fetch_snapshot, http_get, HttpScrapeServer};
+pub use http::{fetch_snapshot, http_get, HttpScrapeServer, SCRAPE_WORKERS};
 pub use local::LocalConn;
-pub use tcp::{ConnMetrics, TcpConn, TcpServer, WORKERS_PER_CONNECTION};
+pub use tcp::{
+    ConnMetrics, ServerMetrics, ServerOptions, TcpConn, TcpServer, DEFAULT_MAX_CONNS,
+    SERVER_WORKERS,
+};
 pub use traits::{ClientConn, RpcHandler};
 
 /// Convenience alias for transport results.

@@ -1,30 +1,37 @@
-//! TCP transport: a multiplexed, pipelined client and a worker-pool server.
+//! TCP transport: a multiplexed, pipelined client and an epoll-reactor
+//! server — thousands of connections on a fixed thread budget.
 //!
 //! ## Server
 //!
-//! One reader thread per accepted connection pulls request frames off the
-//! socket and hands them to a bounded per-connection worker pool
-//! ([`WORKERS_PER_CONNECTION`] threads). Workers invoke the handler and
-//! write response frames under a shared writer lock, so responses complete
-//! — and are sent — in whatever order they finish, not the order they
-//! arrived.
+//! A [`TcpServer`] runs exactly `1 + SERVER_WORKERS` threads no matter how
+//! many connections it is carrying: one [`reactor`](crate::reactor) event
+//! loop owns the listener and every accepted (nonblocking) socket, drives a
+//! per-connection `FrameAssembler`, and feeds decoded request frames to a
+//! fixed pool of [`SERVER_WORKERS`] handler threads. Workers invoke the
+//! handler and write the response frame straight onto the nonblocking
+//! socket; if the kernel send queue is full the bytes spill into the
+//! connection's outbound buffer, drained by the reactor on `EPOLLOUT`.
+//! Responses therefore complete — and are sent — in whatever order they
+//! finish, not the order they arrived, exactly as before.
 //!
 //! ## Client
 //!
 //! [`TcpConn`] multiplexes many concurrent RPCs over one socket. Each call
 //! stamps its request frame with a fresh `u64` id and registers a waiter;
-//! writes go through a dedicated writer path (a short critical section that
-//! only covers the socket write), while a per-connection reader thread
-//! routes response frames back to their waiters by id. A call that times
-//! out simply abandons its waiter — a late response is discarded by id with
-//! no stream desync, so the connection stays usable. Transparent reconnect
+//! the write happens directly on the caller's thread, while a single
+//! process-wide client reactor reads every connection's responses and
+//! routes them back to waiters by id — no reader thread per connection. A
+//! call that times out simply abandons its waiter — a late response is
+//! discarded by id with no stream desync, so the connection stays usable.
+//! Dialing uses `connect_timeout` bounded by the per-call timeout and
+//! happens *outside* the connection lock, so one unreachable server cannot
+//! stall unrelated callers for the OS dial timeout. Transparent reconnect
 //! (one retry per call) is preserved from the v1 transport.
 
 use std::collections::HashMap;
-use std::io::BufReader;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -32,37 +39,151 @@ use crossbeam::channel;
 use parking_lot::Mutex;
 use tango_metrics::{trace, Counter, Gauge, Histogram, Registry, TraceContext};
 
-use crate::frame::{write_frame, write_frame_traced, FrameAssembler};
+use crate::frame::Frame;
+use crate::reactor::{self, ListenerConfig, Reactor, Sink};
 use crate::{ClientConn, Result, RpcError, RpcHandler};
 
-/// Size of the per-connection worker pool: how many pipelined requests one
-/// connection can have in service concurrently on the server.
-pub const WORKERS_PER_CONNECTION: usize = 4;
+/// Size of a server's worker pool: how many requests (across *all* of its
+/// connections) can be in the handler concurrently. Together with the
+/// reactor thread this is the server's entire thread budget.
+pub const SERVER_WORKERS: usize = 4;
 
-/// How often blocked reads wake up to poll shutdown/liveness flags.
-const POLL_INTERVAL: Duration = Duration::from_millis(200);
+/// Default cap on concurrently registered server connections; accepts
+/// beyond it are closed and counted in `rpc.accepts_dropped`.
+pub const DEFAULT_MAX_CONNS: usize = 65_536;
+
+/// Server-side transport instrumentation.
+#[derive(Clone, Default)]
+pub struct ServerMetrics {
+    /// Accepted connections dropped before service: over the connection
+    /// cap, or reactor registration failure.
+    pub accepts_dropped: Counter,
+    /// Connections currently registered with the server's reactor.
+    pub connections: Gauge,
+}
+
+impl ServerMetrics {
+    /// Binds the standard `rpc.*` server instrument names in `registry`.
+    pub fn from_registry(registry: &Registry) -> Self {
+        Self {
+            accepts_dropped: registry.counter("rpc.accepts_dropped"),
+            connections: registry.gauge("rpc.server_conns"),
+        }
+    }
+
+    /// All-no-op instrumentation (the default).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+}
+
+/// Spawn-time knobs for [`TcpServer`].
+pub struct ServerOptions {
+    /// Transport instrumentation (off by default).
+    pub metrics: ServerMetrics,
+    /// Connection cap enforced at accept ([`DEFAULT_MAX_CONNS`]).
+    pub max_conns: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        Self { metrics: ServerMetrics::disabled(), max_conns: DEFAULT_MAX_CONNS }
+    }
+}
 
 /// A running TCP RPC server. Dropping the handle shuts the server down.
 pub struct TcpServer {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    reactor: Option<Reactor>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// One decoded request on its way to the worker pool.
+struct Job {
+    conn: Arc<reactor::Conn>,
+    id: u64,
+    trace: Option<TraceContext>,
+    request: Vec<u8>,
+}
+
+/// Reactor → worker-pool handoff, shared by every accepted connection.
+struct ServerSink {
+    jobs: channel::Sender<Job>,
+}
+
+impl Sink for ServerSink {
+    fn on_frame(&self, conn: &Arc<reactor::Conn>, frame: Frame) -> bool {
+        self.jobs
+            .send(Job {
+                conn: Arc::clone(conn),
+                id: frame.id,
+                trace: frame.trace,
+                request: frame.payload,
+            })
+            .is_ok()
+    }
+
+    fn on_close(&self, _error: RpcError) {}
+}
+
+fn worker_loop(jobs: channel::Receiver<Job>, handler: Arc<dyn RpcHandler>) {
+    while let Ok(job) = jobs.recv() {
+        let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Install the propagated trace context so spans the handler
+            // opens become children of the caller's span.
+            let _trace_guard = trace::install(job.trace);
+            handler.handle(&job.request)
+        }));
+        // A panicking handler must not shrink the fixed pool; the caller
+        // times out on the dropped request. A failed send already tore
+        // the connection down so peers fail fast instead of hanging on a
+        // desynced stream.
+        if let Ok(response) = response {
+            let _ = job.conn.send_frame(job.id, None, &response);
+        }
+    }
 }
 
 impl TcpServer {
-    /// Binds to `addr` (use port 0 for an ephemeral port) and starts serving
-    /// `handler`: one reader thread plus a bounded worker pool per
-    /// connection.
+    /// Binds to `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `handler` on the default [`ServerOptions`].
     pub fn spawn(addr: &str, handler: Arc<dyn RpcHandler>) -> Result<Self> {
+        Self::spawn_with(addr, handler, ServerOptions::default())
+    }
+
+    /// Binds to `addr` and starts serving `handler`: one reactor thread
+    /// plus a fixed [`SERVER_WORKERS`] pool, regardless of connection
+    /// count.
+    pub fn spawn_with(
+        addr: &str,
+        handler: Arc<dyn RpcHandler>,
+        options: ServerOptions,
+    ) -> Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let accept_shutdown = Arc::clone(&shutdown);
-        let accept_thread = std::thread::Builder::new()
-            .name(format!("rpc-accept-{local}"))
-            .spawn(move || accept_loop(listener, handler, accept_shutdown))
-            .map_err(|e| RpcError::Io(e.to_string()))?;
-        Ok(Self { addr: local, shutdown, accept_thread: Some(accept_thread) })
+        let (jobs_tx, jobs_rx) = channel::unbounded::<Job>();
+        let mut workers = Vec::with_capacity(SERVER_WORKERS);
+        for i in 0..SERVER_WORKERS {
+            let jobs = jobs_rx.clone();
+            let handler = Arc::clone(&handler);
+            let worker = std::thread::Builder::new()
+                .name(format!("rpc-worker-{local}-{i}"))
+                .spawn(move || worker_loop(jobs, handler))
+                .map_err(|e| RpcError::Io(e.to_string()))?;
+            workers.push(worker);
+        }
+        drop(jobs_rx);
+        let reactor = Reactor::spawn(
+            &format!("rpc-reactor-{local}"),
+            Some(ListenerConfig {
+                listener,
+                sink: Arc::new(ServerSink { jobs: jobs_tx }),
+                max_conns: options.max_conns,
+                dropped: options.metrics.accepts_dropped,
+                connections: options.metrics.connections,
+            }),
+        )?;
+        Ok(Self { addr: local, reactor: Some(reactor), workers })
     }
 
     /// The address the server is listening on.
@@ -70,14 +191,16 @@ impl TcpServer {
         self.addr
     }
 
-    /// Stops accepting connections and joins the accept thread. Existing
-    /// connection threads exit when their peers disconnect.
+    /// Stops the server: the reactor waker interrupts the event loop (no
+    /// self-connect — that was a no-op for wildcard binds), every live
+    /// connection is closed, queued requests drain, and all threads join.
     pub fn shutdown(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // Poke the listener so `accept` returns.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+        // Dropping the reactor wakes the loop, closes all connections
+        // (dropping the last `ServerSink` senders with them), and joins
+        // the event thread.
+        self.reactor.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
     }
 }
@@ -85,107 +208,6 @@ impl TcpServer {
 impl Drop for TcpServer {
     fn drop(&mut self) {
         self.shutdown();
-    }
-}
-
-/// Sleep applied after `consecutive` back-to-back `accept` failures, so a
-/// persistent error (e.g. EMFILE) degrades to a paced retry instead of a
-/// 100%-CPU busy-spin. Grows linearly, capped at 250ms to keep shutdown
-/// responsive.
-fn accept_backoff(consecutive: u32) -> Duration {
-    Duration::from_millis(u64::from(consecutive).saturating_mul(10).min(250))
-}
-
-fn accept_loop(listener: TcpListener, handler: Arc<dyn RpcHandler>, shutdown: Arc<AtomicBool>) {
-    let mut consecutive_errors: u32 = 0;
-    loop {
-        let (stream, peer) = match listener.accept() {
-            Ok(pair) => {
-                consecutive_errors = 0;
-                pair
-            }
-            Err(_) => {
-                if shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                consecutive_errors += 1;
-                std::thread::sleep(accept_backoff(consecutive_errors));
-                continue;
-            }
-        };
-        if shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        let handler = Arc::clone(&handler);
-        let conn_shutdown = Arc::clone(&shutdown);
-        let _ = std::thread::Builder::new()
-            .name(format!("rpc-conn-{peer}"))
-            .spawn(move || serve_connection(stream, handler, conn_shutdown));
-    }
-}
-
-fn serve_connection(stream: TcpStream, handler: Arc<dyn RpcHandler>, shutdown: Arc<AtomicBool>) {
-    let _ = stream.set_nodelay(true);
-    // A read timeout lets the reader observe shutdown even on idle peers;
-    // the FrameAssembler keeps partial progress across timeouts, so a slow
-    // peer dribbling a large frame does not desync the stream.
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let writer = match stream.try_clone() {
-        Ok(s) => Arc::new(Mutex::new(s)),
-        Err(_) => return,
-    };
-    let (tx, rx) = channel::unbounded::<(u64, Option<TraceContext>, Vec<u8>)>();
-    let mut workers = Vec::with_capacity(WORKERS_PER_CONNECTION);
-    for i in 0..WORKERS_PER_CONNECTION {
-        let rx = rx.clone();
-        let handler = Arc::clone(&handler);
-        let writer = Arc::clone(&writer);
-        let worker = std::thread::Builder::new().name(format!("rpc-worker-{i}")).spawn(move || {
-            while let Ok((id, ctx, request)) = rx.recv() {
-                let response = {
-                    // Install the propagated trace context so spans the
-                    // handler opens become children of the caller's span.
-                    let _trace_guard = trace::install(ctx);
-                    handler.handle(&request)
-                };
-                let mut w = writer.lock();
-                if write_frame(&mut *w, id, &response).is_err() {
-                    // A failed (possibly partial) write desyncs the whole
-                    // connection; take it down so peers fail fast.
-                    let _ = w.shutdown(Shutdown::Both);
-                    return;
-                }
-            }
-        });
-        if let Ok(worker) = worker {
-            workers.push(worker);
-        }
-    }
-    drop(rx);
-    if workers.is_empty() {
-        return;
-    }
-    let mut reader = BufReader::new(stream);
-    let mut assembler = FrameAssembler::new();
-    loop {
-        if shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        match assembler.poll(&mut reader) {
-            Ok(Some(frame)) => {
-                if tx.send((frame.id, frame.trace, frame.payload)).is_err() {
-                    break;
-                }
-            }
-            // Idle peer, or a timeout mid-frame (progress retained).
-            Ok(None) => continue,
-            Err(_) => break,
-        }
-    }
-    // Closing the channel lets workers drain queued requests and exit.
-    drop(tx);
-    for worker in workers {
-        let _ = worker.join();
     }
 }
 
@@ -227,7 +249,7 @@ impl ConnMetrics {
 
 type Waiter = channel::Sender<Result<Vec<u8>>>;
 
-/// State shared between callers and a connection's reader thread.
+/// State shared between callers and the client reactor's response routing.
 #[derive(Default)]
 struct Shared {
     pending: Mutex<HashMap<u64, Waiter>>,
@@ -245,57 +267,82 @@ impl Shared {
     }
 }
 
-/// One live socket: the write half plus the reader-thread rendezvous state.
+/// Client-side sink: routes response frames to their waiters by id on the
+/// client reactor thread.
+struct ClientSink {
+    shared: Arc<Shared>,
+}
+
+impl Sink for ClientSink {
+    fn on_frame(&self, _conn: &Arc<reactor::Conn>, frame: Frame) -> bool {
+        let waiter = self.shared.pending.lock().remove(&frame.id);
+        if let Some(waiter) = waiter {
+            let _ = waiter.send(Ok(frame.payload));
+        }
+        // No waiter: the caller timed out and abandoned this id.
+        // Discarding the late response by id is what keeps a timeout
+        // from desyncing the stream.
+        true
+    }
+
+    fn on_close(&self, error: RpcError) {
+        self.shared.fail(error);
+    }
+}
+
+/// One live socket: the reactor-registered connection plus the waiter
+/// rendezvous state.
 struct Live {
-    writer: Mutex<TcpStream>,
+    conn: Arc<reactor::Conn>,
     shared: Arc<Shared>,
 }
 
 impl Drop for Live {
     fn drop(&mut self) {
-        // Wake the reader thread so it exits promptly instead of idling
-        // until its next poll tick.
+        // Shutting the socket down makes the reactor observe EOF,
+        // deregister the connection, and fail any remaining waiters.
         self.shared.dead.store(true, Ordering::SeqCst);
-        let _ = self.writer.lock().shutdown(Shutdown::Both);
+        self.conn.close();
     }
 }
 
-fn reader_loop(stream: TcpStream, shared: Arc<Shared>) {
-    let mut reader = BufReader::new(stream);
-    let mut assembler = FrameAssembler::new();
-    loop {
-        if shared.dead.load(Ordering::SeqCst) {
-            shared.fail(RpcError::Disconnected);
-            return;
-        }
-        match assembler.poll(&mut reader) {
-            Ok(Some(frame)) => {
-                let waiter = shared.pending.lock().remove(&frame.id);
-                if let Some(waiter) = waiter {
-                    let _ = waiter.send(Ok(frame.payload));
-                }
-                // No waiter: the caller timed out and abandoned this id.
-                // Discarding the late response by id is what keeps a
-                // timeout from desyncing the stream.
-            }
-            Ok(None) => continue,
-            Err(e) => {
-                shared.fail(e);
-                return;
-            }
+/// The process-wide reactor that reads every [`TcpConn`]'s responses: one
+/// thread regardless of how many connections the process dials.
+fn client_reactor() -> Result<&'static Reactor> {
+    static REACTOR: OnceLock<Reactor> = OnceLock::new();
+    if let Some(reactor) = REACTOR.get() {
+        return Ok(reactor);
+    }
+    let fresh = Reactor::spawn("rpc-client-reactor", None)?;
+    // A racing initializer may win; our spare shuts down cleanly on drop.
+    Ok(REACTOR.get_or_init(|| fresh))
+}
+
+/// Resolves `addr` and dials with a connect timeout, so an unreachable
+/// peer costs at most the per-call deadline instead of the OS dial
+/// timeout (which can run to minutes).
+fn dial(addr: &str, timeout: Duration) -> Result<TcpStream> {
+    let mut last: Option<std::io::Error> = None;
+    for sock_addr in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&sock_addr, timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = Some(e),
         }
     }
+    Err(last
+        .map(RpcError::from)
+        .unwrap_or_else(|| RpcError::Io(format!("{addr}: no addresses to dial"))))
 }
 
 /// A blocking TCP client connection with pipelined multiplexing and
 /// transparent reconnect.
 ///
 /// Any number of threads may `call` concurrently over one `TcpConn`: each
-/// request is stamped with a fresh id, written under a short writer lock,
-/// and matched to its response by the connection's reader thread, so many
-/// RPCs are in flight on the socket at once. (The v1 transport allowed one
-/// in-flight request per connection and callers opened several connections
-/// for pipelining; that is no longer necessary.)
+/// request is stamped with a fresh id, written directly on the caller's
+/// thread, and matched to its response by the shared client reactor, so
+/// many RPCs are in flight on the socket at once. (The v1 transport
+/// allowed one in-flight request per connection and callers opened several
+/// connections for pipelining; that is no longer necessary.)
 pub struct TcpConn {
     addr: String,
     timeout: Duration,
@@ -316,7 +363,7 @@ impl TcpConn {
         }
     }
 
-    /// Sets the per-call timeout (default 5s).
+    /// Sets the per-call timeout (default 5s). Also bounds the dial.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
         self
@@ -329,40 +376,43 @@ impl TcpConn {
     }
 
     fn connect(&self) -> Result<Live> {
-        let stream = TcpStream::connect(&self.addr)?;
-        stream.set_nodelay(true)?;
-        stream.set_write_timeout(Some(self.timeout))?;
-        let reader_stream = stream.try_clone()?;
-        // The read timeout is a liveness poll for the reader thread; per-call
-        // deadlines are enforced by the waiters, not the socket.
-        reader_stream.set_read_timeout(Some(POLL_INTERVAL))?;
+        let stream = dial(&self.addr, self.timeout)?;
         let shared = Arc::new(Shared::default());
-        let reader_shared = Arc::clone(&shared);
-        std::thread::Builder::new()
-            .name(format!("rpc-reader-{}", self.addr))
-            .spawn(move || reader_loop(reader_stream, reader_shared))
-            .map_err(|e| RpcError::Io(e.to_string()))?;
-        Ok(Live { writer: Mutex::new(stream), shared })
+        let sink = Arc::new(ClientSink { shared: Arc::clone(&shared) });
+        let conn = client_reactor()?.register_conn(stream, sink)?;
+        Ok(Live { conn, shared })
     }
 
     /// Returns the live connection, dialing a fresh one if none exists or
-    /// the cached one has died. The dead handle is dropped *before* the
-    /// connect attempt, so a failed reconnect can never leave a known-broken
-    /// stream cached for the next caller to waste a round trip on.
+    /// the cached one has died. The dial happens *outside* the connection
+    /// lock (a stalled dial must not block concurrent callers), and a dead
+    /// handle is discarded before installing the replacement, so a failed
+    /// reconnect can never leave a known-broken stream cached for the next
+    /// caller to waste a round trip on.
     fn live(&self) -> Result<Arc<Live>> {
+        {
+            let guard = self.live.lock();
+            if let Some(live) = guard.as_ref() {
+                if !live.shared.dead.load(Ordering::SeqCst) {
+                    return Ok(Arc::clone(live));
+                }
+            }
+        }
+        let fresh = self.connect();
         let mut guard = self.live.lock();
+        // A concurrent caller may have installed a live connection while
+        // we dialed; use theirs (our spare, if any, closes on drop).
         if let Some(live) = guard.as_ref() {
             if !live.shared.dead.load(Ordering::SeqCst) {
                 return Ok(Arc::clone(live));
             }
         }
-        let had_stale = guard.take().is_some();
-        let live = Arc::new(self.connect()?);
-        if had_stale {
+        let fresh = Arc::new(fresh?);
+        if guard.take().is_some() {
             self.metrics.reconnects.inc();
         }
-        *guard = Some(Arc::clone(&live));
-        Ok(live)
+        *guard = Some(Arc::clone(&fresh));
+        Ok(fresh)
     }
 
     fn call_once(&self, request: &[u8]) -> Result<Vec<u8>> {
@@ -375,24 +425,21 @@ impl TcpConn {
         live.shared.pending.lock().insert(id, tx);
         self.metrics.in_flight.add(1);
         let result = (|| {
-            // The reader may have died between the liveness check and the
-            // waiter registration; its drain would miss a later insert.
+            // The connection may have died between the liveness check and
+            // the waiter registration; its drain would miss a later insert.
             if live.shared.dead.load(Ordering::SeqCst) {
                 return Err(RpcError::Disconnected);
             }
-            {
-                let mut writer = live.writer.lock();
-                if let Err(e) = write_frame_traced(&mut *writer, id, ctx, request) {
-                    // A partial write desyncs the stream for everyone.
-                    let _ = writer.shutdown(Shutdown::Both);
-                    drop(writer);
-                    live.shared.fail(e.clone());
-                    return Err(e);
-                }
+            if let Err(e) = live.conn.send_frame(id, ctx, request) {
+                // A partial write desyncs the stream for everyone;
+                // send_frame already tore the connection down.
+                live.shared.fail(e.clone());
+                return Err(e);
             }
             match rx.recv_timeout(self.timeout) {
                 Ok(outcome) => outcome,
-                // Abandon the waiter; the reader discards the late response.
+                // Abandon the waiter; the reactor discards the late
+                // response by id.
                 Err(_) => Err(RpcError::Timeout),
             }
         })();
@@ -484,11 +531,9 @@ mod tests {
         assert_eq!(conn.call(b"one").unwrap(), b"one");
         server.shutdown();
         drop(server);
-        // Restart on the same port.
+        // Restart on the same port. The reactor closed the old connection
+        // during shutdown, so the client is forced onto a fresh dial.
         let _server2 = TcpServer::spawn(&addr, Arc::new(|req: &[u8]| req.to_vec())).unwrap();
-        // The dead server's connection thread may keep serving the old
-        // socket for up to its 200ms shutdown-poll interval; keep calling
-        // until the client is forced onto a fresh connection.
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         while registry.snapshot().counter("rpc.reconnects") == 0 {
             assert!(std::time::Instant::now() < deadline, "client never reconnected");
@@ -538,15 +583,27 @@ mod tests {
     }
 
     #[test]
-    fn accept_backoff_paces_persistent_errors() {
-        assert_eq!(accept_backoff(0), Duration::ZERO);
-        let mut last = Duration::ZERO;
-        for consecutive in 1..100 {
-            let backoff = accept_backoff(consecutive);
-            assert!(backoff >= last, "backoff must not shrink");
-            assert!(backoff >= Duration::from_millis(10), "errors must yield the CPU");
-            assert!(backoff <= Duration::from_millis(250), "cap keeps shutdown responsive");
-            last = backoff;
-        }
+    fn server_thread_budget_is_fixed() {
+        // The whole point of the reactor: more connections must not mean
+        // more threads. 32 idle connections, zero additional threads.
+        let server = TcpServer::spawn("127.0.0.1:0", Arc::new(|req: &[u8]| req.to_vec())).unwrap();
+        let addr = server.local_addr();
+        let first = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        let before = process_threads();
+        let idle: Vec<TcpStream> = (0..32).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(process_threads(), before, "connections must not spawn threads");
+        drop(idle);
+        drop(first);
+    }
+
+    fn process_threads() -> usize {
+        let status = std::fs::read_to_string("/proc/self/status").expect("proc status");
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix("Threads:"))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("Threads: line")
     }
 }
