@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use corfu::{CorfuClient, StreamId};
+use corfu::{log_of_offset, CorfuClient, CrossLogLink, StreamId};
 use corfu_stream::StreamClient;
 use parking_lot::Mutex;
 use tango_metrics::{Counter, Histogram, Registry};
@@ -411,7 +411,7 @@ impl TangoRuntime {
                 // A payload this runtime cannot parse (foreign writer) is
                 // skipped rather than wedging playback.
                 if let Ok(record) = decode_from_slice::<LogRecord>(&entry.payload) {
-                    self.process_record(play, record, off)?;
+                    self.process_record(play, record, off, entry.link.as_ref())?;
                 }
             }
             // Advance every hosted cursor sitting on this offset.
@@ -430,7 +430,13 @@ impl TangoRuntime {
         Ok(())
     }
 
-    fn process_record(&self, play: &mut Playback, record: LogRecord, off: LogOffset) -> Result<()> {
+    fn process_record(
+        &self,
+        play: &mut Playback,
+        record: LogRecord,
+        off: LogOffset,
+        link: Option<&CrossLogLink>,
+    ) -> Result<()> {
         match record {
             LogRecord::Update(u) => {
                 // Apply only if this object's cursor is delivering this
@@ -454,9 +460,9 @@ impl TangoRuntime {
                 play.decided.entry(txid).or_insert(committed);
             }
             LogRecord::Commit { txid, reads, updates, speculative, needs_decision } => {
-                let committed = match self.eval_commit(play, txid, &reads) {
+                let committed = match self.eval_commit(play, txid, &reads, link) {
                     Some(c) => c,
-                    None => self.await_decision(play, txid, off, &reads, needs_decision)?,
+                    None => self.await_decision(play, txid, off, &reads, needs_decision, link)?,
                 };
                 self.finish_commit(play, txid, off, &updates, &speculative, committed)?;
             }
@@ -467,9 +473,25 @@ impl TangoRuntime {
     /// Tries to decide a commit record locally: either we already know the
     /// outcome, or we host every object in the read set and can validate
     /// versions directly.
-    fn eval_commit(&self, play: &Playback, txid: TxId, reads: &[ReadKey]) -> Option<bool> {
+    ///
+    /// A cross-log commit (the entry carries a [`CrossLogLink`]) is never
+    /// validated against the live version tables: playback reaches the
+    /// entry's parts at different points of the composite merge order, so a
+    /// read stream in another log may not be played to its pin yet. Those
+    /// commits resolve through the decision path, whose offline fallback
+    /// pins each read to the commit's part in the read's own log.
+    fn eval_commit(
+        &self,
+        play: &Playback,
+        txid: TxId,
+        reads: &[ReadKey],
+        link: Option<&CrossLogLink>,
+    ) -> Option<bool> {
         if let Some(&d) = play.decided.get(&txid) {
             return Some(d);
+        }
+        if link.is_some() {
+            return None;
         }
         if reads.iter().all(|r| play.objects.contains_key(&r.oid)) {
             Some(reads.iter().all(|r| !play.versions.is_stale(r)))
@@ -489,6 +511,7 @@ impl TangoRuntime {
         commit_off: LogOffset,
         reads: &[ReadKey],
         needs_decision: bool,
+        link: Option<&CrossLogLink>,
     ) -> Result<bool> {
         // If the generator did not mark the transaction, no decision record
         // will ever arrive; resolve offline immediately.
@@ -531,7 +554,7 @@ impl TangoRuntime {
             std::thread::sleep(Duration::from_millis(1));
         }
         // Offline resolution: reconstruct read-set versions from the log.
-        let committed = self.decide_offline(play, reads, commit_off)?;
+        let committed = self.decide_offline(play, reads, commit_off, link)?;
         // Publish so other consumers stop waiting (any client may do this).
         let streams = self.commit_streams_hint(reads, commit_off)?;
         if !streams.is_empty() {
@@ -621,21 +644,43 @@ impl TangoRuntime {
         play: &mut Playback,
         reads: &[ReadKey],
         commit_off: LogOffset,
+        link: Option<&CrossLogLink>,
     ) -> Result<bool> {
         let mut memo = play.decided.clone();
         for r in reads {
-            let version = if play.objects.contains_key(&r.oid) {
-                // Hosted: our live table is exact as of the commit position
-                // (playback has processed everything below it).
+            let version = if link.is_none() && play.objects.contains_key(&r.oid) {
+                // Hosted, single-log: our live table is exact as of the
+                // commit position (playback has processed everything below
+                // it).
                 play.versions.version_for_read(r.oid, r.key)
             } else {
-                self.version_at(r.oid, r.key, commit_off, &mut memo, 0)?
+                // Cross-log commits always replay the read's own stream:
+                // the live table may not be played to this read's pin.
+                let upto = self.read_pin(link, r.oid, commit_off);
+                self.version_at(r.oid, r.key, upto, &mut memo, 0)?
             };
             if version > r.version {
                 return Ok(false);
             }
         }
         Ok(true)
+    }
+
+    /// The log position a read of `oid` validates against when deciding a
+    /// commit record at `commit_off`. Single-log commits validate at the
+    /// commit position itself. A cross-log commit validates each read at
+    /// the commit's part *in the read's own log* — offsets in different
+    /// logs are not ordered against each other, but writes to `oid` all
+    /// live in its stream's log, so the part there is the commit point that
+    /// orders against them. A read whose log holds no part (the transaction
+    /// wrote nothing there) validates conservatively against the stream's
+    /// current tail: cross-log write skew is not prevented (see
+    /// DESIGN.md), but the outcome is the same deterministic function of
+    /// the log contents on every client.
+    fn read_pin(&self, link: Option<&CrossLogLink>, oid: Oid, commit_off: LogOffset) -> LogOffset {
+        let Some(link) = link else { return commit_off };
+        let log = self.stream.corfu().projection().log_of_stream(oid);
+        link.parts.iter().copied().find(|&p| log_of_offset(p) == log).unwrap_or(u64::MAX)
     }
 
     /// Computes the version of `(oid, key)` as of log position `upto`
@@ -756,8 +801,21 @@ impl TangoRuntime {
         let txid =
             TxId { client: self.opts.client_id, seq: self.tx_seq.fetch_add(1, Ordering::Relaxed) };
         let write_streams: Vec<StreamId> = ctx.write_oids.iter().copied().collect();
+        // Does the write set span logs of a sharded deployment? Cross-log
+        // commits always publish a decision record: consumers cannot
+        // validate them against their live version tables (the parts
+        // arrive at different points of the composite merge order).
+        let multi_log = {
+            let proj = self.stream.corfu().projection();
+            let mut logs: Vec<u32> = write_streams.iter().map(|&s| proj.log_of_stream(s)).collect();
+            logs.sort_unstable();
+            logs.dedup();
+            logs.len() > 1
+        };
         let needs_decision = if ctx.reads.is_empty() {
             false
+        } else if multi_log {
+            true
         } else {
             let play = self.play.lock();
             ctx.write_oids.iter().any(|oid| {
@@ -807,17 +865,43 @@ impl TangoRuntime {
         };
         let commit_off =
             self.stream.multiappend(&write_streams, Bytes::from(encode_to_vec(&record)))?;
+        // A cross-log commit's anchor envelope carries the part offsets
+        // (cached by `multiappend`, so this is a local lookup).
+        let commit_link = self.stream.read_at(commit_off)?.and_then(|e| e.link.clone());
 
-        // Play the conflict window, then validate.
+        // Play the conflict window, then validate. `commit_off` is the
+        // home (lowest-log) part, so the play covers exactly the home
+        // log's window; reads pinned in other logs are validated by
+        // replaying their own streams up to their part there.
         let hosted = self.hosted_streams();
         self.stream.sync(&hosted)?;
         let committed = {
             let mut play = self.play.lock();
             self.play_to_locked(&mut play, commit_off)?;
-            let committed = self
-                .metrics
-                .conflict_check_latency_ns
-                .time(|| ctx.reads.iter().all(|r| !play.versions.is_stale(r)));
+            let timer = self.metrics.conflict_check_latency_ns.start();
+            let committed = match commit_link.as_ref() {
+                None => ctx.reads.iter().all(|r| !play.versions.is_stale(r)),
+                Some(link) => {
+                    let proj = self.stream.corfu().projection();
+                    let home_log = log_of_offset(commit_off);
+                    let mut memo = play.decided.clone();
+                    let mut ok = true;
+                    for r in &ctx.reads {
+                        let stale = if proj.log_of_stream(r.oid) == home_log {
+                            play.versions.is_stale(r)
+                        } else {
+                            let pin = self.read_pin(Some(link), r.oid, commit_off);
+                            self.version_at(r.oid, r.key, pin, &mut memo, 0)? > r.version
+                        };
+                        if stale {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    ok
+                }
+            };
+            timer.stop();
             play.decided.insert(txid, committed);
             committed
         };
@@ -826,8 +910,10 @@ impl TangoRuntime {
             self.stream.multiappend(&write_streams, Bytes::from(encode_to_vec(&record)))?;
         }
         // Process our own commit record (applies the writes to hosted
-        // views through the uniform path).
-        self.play_to(commit_off + 1)?;
+        // views through the uniform path) — every part of it, so hosted
+        // objects in every written log observe the outcome.
+        let last_part = commit_link.as_ref().and_then(|l| l.parts.last().copied());
+        self.play_to(last_part.unwrap_or(commit_off) + 1)?;
         Ok(self.count_outcome(committed))
     }
 

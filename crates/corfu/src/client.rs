@@ -20,13 +20,16 @@ use tango_metrics::{Registry, Span, SpanKind, Timer};
 use tango_rpc::ClientConn;
 use tango_wire::{decode_from_slice, encode_to_vec};
 
-use crate::entry::{EntryEnvelope, StreamHeader};
+use crate::entry::{CrossLogLink, EntryEnvelope, StreamHeader};
 use crate::layout::LayoutClient;
 use crate::metrics::ClientMetrics;
 use crate::proto::{
     PageOutcome, SequencerRequest, SequencerResponse, StorageRequest, StorageResponse, WriteKind,
 };
-use crate::{CorfuError, Epoch, LogOffset, NodeId, NodeInfo, Projection, Result, StreamId};
+use crate::{
+    compose, log_of_offset, CorfuError, Epoch, LogOffset, NodeId, NodeInfo, Projection, Result,
+    StreamId,
+};
 
 /// Workers in the lazily-spawned fan-out pool (see [`CallPool`]). The
 /// calling thread always services one request itself, so `read_many` keeps
@@ -213,15 +216,22 @@ struct ClientState {
     conns: HashMap<NodeId, Arc<dyn ClientConn>>,
 }
 
-/// Client-side stash of batch-reserved tokens, keyed by the exact stream
-/// set they were reserved for (backpointers are stream-specific, so a token
-/// reserved for streams `[a, b]` can only stamp an entry joining `[a, b]`).
-/// Tokens are only valid at the epoch they were issued in: a reconfigured
-/// sequencer rebuilds its tail from *written* entries, so reserved-but-
-/// unwritten offsets may be re-issued — the pool is cleared on epoch change
-/// and write-once arbitration covers any stragglers.
+/// Client-side stash of batch-reserved tokens, kept *per log* and keyed by
+/// the exact stream set they were reserved for (backpointers are
+/// stream-specific, so a token reserved for streams `[a, b]` can only stamp
+/// an entry joining `[a, b]`). Tokens are only valid at the epoch of the
+/// log they were issued in: a reconfigured sequencer rebuilds its tail from
+/// *written* entries, so reserved-but-unwritten offsets may be re-issued —
+/// a log's pool is cleared when *that log's* epoch changes (sealing log A
+/// must not discard log B's perfectly valid tokens) and write-once
+/// arbitration covers any stragglers.
 #[derive(Default)]
 struct TokenPool {
+    logs: HashMap<u32, LogTokenPool>,
+}
+
+#[derive(Default)]
+struct LogTokenPool {
     epoch: Epoch,
     by_streams: HashMap<Vec<StreamId>, std::collections::VecDeque<Token>>,
 }
@@ -350,17 +360,47 @@ impl CorfuClient {
         Ok(decode_from_slice(&resp)?)
     }
 
-    /// Sends a raw sequencer request at the client's current epoch
-    /// (used by reconfiguration tooling).
-    pub(crate) fn sequencer_call_pub(&self, req: &SequencerRequest) -> Result<SequencerResponse> {
-        self.sequencer_call(req)
+    /// Sends a raw request to log `log`'s sequencer (used by
+    /// reconfiguration tooling).
+    pub(crate) fn sequencer_call_pub(
+        &self,
+        log: u32,
+        req: &SequencerRequest,
+    ) -> Result<SequencerResponse> {
+        self.sequencer_call(log, req)
     }
 
-    fn sequencer_call(&self, req: &SequencerRequest) -> Result<SequencerResponse> {
-        let seq = self.state.read().proj.sequencer;
+    fn sequencer_call(&self, log: u32, req: &SequencerRequest) -> Result<SequencerResponse> {
+        let seq = self.state.read().proj.sequencer_of(log);
         let conn = self.conn(seq)?;
         let resp = conn.call(&encode_to_vec(req))?;
         Ok(decode_from_slice(&resp)?)
+    }
+
+    /// The log hosting `streams[0]` (log 0 for an empty set). Debug-asserts
+    /// the set does not span logs — multi-log appends split per log first.
+    fn log_of_streams(&self, proj: &Projection, streams: &[StreamId]) -> u32 {
+        let log = streams.first().map(|&s| proj.log_of_stream(s)).unwrap_or(0);
+        debug_assert!(
+            streams.iter().all(|&s| proj.log_of_stream(s) == log),
+            "stream set spans logs; split per log first"
+        );
+        log
+    }
+
+    /// Groups `streams` by their hosting log, ascending by log id, with
+    /// each group preserving the input order.
+    fn group_by_log(&self, proj: &Projection, streams: &[StreamId]) -> Vec<(u32, Vec<StreamId>)> {
+        let mut groups: Vec<(u32, Vec<StreamId>)> = Vec::new();
+        for &s in streams {
+            let log = proj.log_of_stream(s);
+            match groups.iter_mut().find(|(l, _)| *l == log) {
+                Some((_, g)) => g.push(s),
+                None => groups.push((log, vec![s])),
+            }
+        }
+        groups.sort_by_key(|&(l, _)| l);
+        groups
     }
 
     /// Makes one sampling decision for a client operation and spends it on
@@ -418,10 +458,16 @@ impl CorfuClient {
                     if after == before && attempt > 0 {
                         std::thread::sleep(Duration::from_millis(1 << attempt.min(6)));
                     }
-                    // A new projection may name a new sequencer; drop the
-                    // cached connection so the next attempt reconnects.
-                    let seq = self.state.read().proj.sequencer;
-                    self.state.write().conns.remove(&seq);
+                    // A new projection may name new sequencers; drop the
+                    // cached connections so the next attempt reconnects.
+                    let seqs: Vec<NodeId> = {
+                        let state = self.state.read();
+                        (0..state.proj.num_logs()).map(|l| state.proj.sequencer_of(l)).collect()
+                    };
+                    let mut state = self.state.write();
+                    for seq in seqs {
+                        state.conns.remove(&seq);
+                    }
                 }
                 other => return other,
             }
@@ -430,28 +476,36 @@ impl CorfuClient {
     }
 
     /// Reserves the next log offset; `streams` become members of the entry
-    /// and their backpointers are returned.
+    /// and their backpointers are returned. All streams must live in the
+    /// same log (the offset returned is that log's next composite offset);
+    /// an empty stream set targets log 0.
     ///
     /// With [`ClientOptions::seq_batch`] > 1 the client reserves
     /// `seq_batch` consecutive tokens per sequencer round trip and serves
     /// subsequent requests for the same stream set from its pool.
     pub fn token(&self, streams: &[StreamId]) -> Result<Token> {
+        let log = self.log_of_streams(&self.projection(), streams);
+        self.token_in_log(log, streams)
+    }
+
+    /// [`CorfuClient::token`] targeting an explicit log.
+    fn token_in_log(&self, log: u32, streams: &[StreamId]) -> Result<Token> {
         if self.opts.seq_batch > 1 {
-            if let Some(token) = self.pooled_token(streams) {
+            if let Some(token) = self.pooled_token(log, streams) {
                 self.metrics.token_pool_hits.inc();
                 self.metrics.tokens.inc();
                 return Ok(token);
             }
-            return self.token_batch(streams);
+            return self.token_batch(log, streams);
         }
         self.with_sequencer_retry("token", || {
-            let epoch = self.epoch();
+            let epoch = self.projection().epoch_of_log(log);
             match self
-                .sequencer_call(&SequencerRequest::Next { epoch, streams: streams.to_vec() })?
+                .sequencer_call(log, &SequencerRequest::Next { epoch, streams: streams.to_vec() })?
             {
                 SequencerResponse::Token { offset, backpointers } => {
                     self.metrics.tokens.inc();
-                    Ok(Token { offset, backpointers })
+                    Ok(Token { offset: compose(log, offset), backpointers })
                 }
                 SequencerResponse::ErrSealed { epoch } => {
                     Err(CorfuError::Sealed { server_epoch: epoch })
@@ -461,47 +515,49 @@ impl CorfuClient {
         })
     }
 
-    /// Pops a pooled token for exactly this stream set, discarding the pool
-    /// if the epoch moved since the tokens were reserved.
-    fn pooled_token(&self, streams: &[StreamId]) -> Option<Token> {
-        let epoch = self.epoch();
+    /// Pops a pooled token of log `log` for exactly this stream set,
+    /// discarding that log's pool if the *log's* epoch moved since the
+    /// tokens were reserved. Other logs' pools are untouched.
+    fn pooled_token(&self, log: u32, streams: &[StreamId]) -> Option<Token> {
+        let epoch = self.projection().epoch_of_log(log);
         let mut pool = self.token_pool.lock();
-        if pool.epoch != epoch {
-            pool.by_streams.clear();
-            pool.epoch = epoch;
+        let entry = pool.logs.entry(log).or_default();
+        if entry.epoch != epoch {
+            entry.by_streams.clear();
+            entry.epoch = epoch;
             return None;
         }
-        pool.by_streams.get_mut(streams)?.pop_front()
+        entry.by_streams.get_mut(streams)?.pop_front()
     }
 
-    /// Reserves `seq_batch` consecutive tokens in one sequencer round trip,
-    /// returns the first and pools the rest.
-    fn token_batch(&self, streams: &[StreamId]) -> Result<Token> {
+    /// Reserves `seq_batch` consecutive tokens in one sequencer round trip
+    /// against log `log`, returns the first and pools the rest.
+    fn token_batch(&self, log: u32, streams: &[StreamId]) -> Result<Token> {
         let count = self.opts.seq_batch as u32;
         self.with_sequencer_retry("token", || {
-            let epoch = self.epoch();
+            let epoch = self.projection().epoch_of_log(log);
             let req = SequencerRequest::NextBatch { epoch, streams: streams.to_vec(), count };
-            match self.sequencer_call(&req)? {
+            match self.sequencer_call(log, &req)? {
                 SequencerResponse::TokenBatch { start, tokens } => {
                     self.metrics.token_batches.inc();
-                    let mut tokens = tokens
-                        .into_iter()
-                        .enumerate()
-                        .map(|(i, backpointers)| Token { offset: start + i as u64, backpointers });
+                    let mut tokens = tokens.into_iter().enumerate().map(|(i, backpointers)| {
+                        Token { offset: compose(log, start + i as u64), backpointers }
+                    });
                     let first = tokens
                         .next()
                         .ok_or_else(|| CorfuError::Codec("empty token batch".into()))?;
                     let spares: Vec<Token> = tokens.collect();
                     if !spares.is_empty() {
                         let mut pool = self.token_pool.lock();
-                        if pool.epoch < epoch {
-                            pool.by_streams.clear();
-                            pool.epoch = epoch;
+                        let entry = pool.logs.entry(log).or_default();
+                        if entry.epoch < epoch {
+                            entry.by_streams.clear();
+                            entry.epoch = epoch;
                         }
-                        if pool.epoch == epoch {
-                            pool.by_streams.entry(streams.to_vec()).or_default().extend(spares);
+                        if entry.epoch == epoch {
+                            entry.by_streams.entry(streams.to_vec()).or_default().extend(spares);
                         }
-                        // pool.epoch > epoch: a refresh raced us; the spares
+                        // entry.epoch > epoch: a refresh raced us; the spares
                         // are from a sealed epoch, so drop them.
                     }
                     self.metrics.tokens.inc();
@@ -517,13 +573,46 @@ impl CorfuClient {
 
     /// Queries the log tail and last-K offsets for `streams` without
     /// reserving anything — the fast check (§2.2) and the stream-sync
-    /// primitive (§5).
+    /// primitive (§5). With a sharded projection the query fans out to
+    /// every log hosting one of `streams` (one round trip per log) and the
+    /// reported tail is the *highest composite tail* across them; because
+    /// any offset of a lower log orders below every offset of a higher
+    /// one, that single value upper-bounds every offset the backpointers
+    /// can name.
     pub fn tail_info(&self, streams: &[StreamId]) -> Result<(LogOffset, Vec<Vec<LogOffset>>)> {
+        let proj = self.projection();
+        let groups = self.group_by_log(&proj, streams);
+        if groups.len() <= 1 {
+            let log = groups.first().map(|g| g.0).unwrap_or(0);
+            let (tail, backs) = self.tail_info_log(log, streams)?;
+            return Ok((compose(log, tail), backs));
+        }
+        let mut tail = 0;
+        let mut by_stream: HashMap<StreamId, Vec<LogOffset>> = HashMap::new();
+        for (log, group) in &groups {
+            let (log_tail, backs) = self.tail_info_log(*log, group)?;
+            tail = tail.max(compose(*log, log_tail));
+            for (&s, b) in group.iter().zip(backs) {
+                by_stream.insert(s, b);
+            }
+        }
+        let backpointers =
+            streams.iter().map(|s| by_stream.remove(s).unwrap_or_default()).collect();
+        Ok((tail, backpointers))
+    }
+
+    /// One log's tail (raw) + backpointers for a stream subset of that log.
+    fn tail_info_log(
+        &self,
+        log: u32,
+        streams: &[StreamId],
+    ) -> Result<(LogOffset, Vec<Vec<LogOffset>>)> {
         self.with_sequencer_retry("tail_info", || {
-            let epoch = self.epoch();
-            match self
-                .sequencer_call(&SequencerRequest::Query { epoch, streams: streams.to_vec() })?
-            {
+            let epoch = self.projection().epoch_of_log(log);
+            match self.sequencer_call(
+                log,
+                &SequencerRequest::Query { epoch, streams: streams.to_vec() },
+            )? {
                 SequencerResponse::TailInfo { tail, backpointers } => {
                     self.metrics.tail_queries.inc();
                     Ok((tail, backpointers))
@@ -536,36 +625,54 @@ impl CorfuClient {
         })
     }
 
-    /// The fast tail check: one round trip to the sequencer.
+    /// The fast tail check: one round trip to log 0's sequencer (plus one
+    /// per additional log in a sharded deployment). Returns the highest
+    /// composite tail.
     pub fn check_tail_fast(&self) -> Result<LogOffset> {
-        Ok(self.tail_info(&[])?.0)
+        let nlogs = self.projection().num_logs();
+        let mut tail = 0;
+        for log in 0..nlogs {
+            tail = tail.max(compose(log, self.tail_info_log(log, &[])?.0));
+        }
+        Ok(tail)
+    }
+
+    /// The raw tail of one log, from its sequencer.
+    pub fn log_tail_fast(&self, log: u32) -> Result<LogOffset> {
+        Ok(self.tail_info_log(log, &[])?.0)
     }
 
     /// The slow tail check: query every storage node's local tail and invert
-    /// the mapping (used when the sequencer is unavailable).
+    /// the mapping (used when the sequencer is unavailable). Returns the
+    /// highest composite tail across logs.
     pub fn check_tail_slow(&self) -> Result<LogOffset> {
         self.with_epoch_retry("check_tail_slow", || {
             let proj = self.projection();
-            let epoch = proj.epoch;
-            let mut local_tails = vec![0u64; proj.replica_sets.len()];
-            for (set_idx, set) in proj.replica_sets.iter().enumerate() {
-                for &node in set {
-                    match self.storage_call(node, &StorageRequest::LocalTail { epoch })? {
-                        StorageResponse::Tail(t) => {
-                            local_tails[set_idx] = local_tails[set_idx].max(t)
-                        }
-                        StorageResponse::ErrSealed { epoch } => {
-                            return Err(CorfuError::Sealed { server_epoch: epoch })
-                        }
-                        other => {
-                            return Err(CorfuError::Codec(format!(
-                                "unexpected local-tail response {other:?}"
-                            )))
+            let mut tail = 0;
+            for log in 0..proj.num_logs() {
+                let layout = proj.log(log);
+                let epoch = layout.epoch;
+                let mut local_tails = vec![0u64; layout.replica_sets.len()];
+                for (set_idx, set) in layout.replica_sets.iter().enumerate() {
+                    for &node in set {
+                        match self.storage_call(node, &StorageRequest::LocalTail { epoch })? {
+                            StorageResponse::Tail(t) => {
+                                local_tails[set_idx] = local_tails[set_idx].max(t)
+                            }
+                            StorageResponse::ErrSealed { epoch } => {
+                                return Err(CorfuError::Sealed { server_epoch: epoch })
+                            }
+                            other => {
+                                return Err(CorfuError::Codec(format!(
+                                    "unexpected local-tail response {other:?}"
+                                )))
+                            }
                         }
                     }
                 }
+                tail = tail.max(compose(log, layout.tail_from_local(&local_tails)));
             }
-            Ok(proj.global_tail_from_local(&local_tails))
+            Ok(tail)
         })
     }
 
@@ -575,7 +682,7 @@ impl CorfuClient {
     pub fn write_at(&self, offset: LogOffset, body: &[u8]) -> Result<()> {
         self.with_epoch_retry("write_at", || {
             let proj = self.projection();
-            let epoch = proj.epoch;
+            let epoch = proj.epoch_of_log(log_of_offset(offset));
             let (_, local) = proj.map(offset);
             let chain = proj.chain_for(offset).to_vec();
             for (pos, node) in chain.iter().enumerate() {
@@ -632,6 +739,13 @@ impl CorfuClient {
     /// token, builds the entry envelope with backpointer headers, and chain-
     /// writes it. Retries with a fresh token if the slot was stolen by a
     /// hole fill.
+    ///
+    /// When `streams` spans more than one log of a sharded projection the
+    /// append becomes a *cross-log multiappend*: one entry per participating
+    /// log, all carrying the same [`CrossLogLink`], with the lowest log's
+    /// entry written last as the atomic commit anchor (see
+    /// [`CorfuClient::append_cross_log`]). The returned offset is the
+    /// anchor's.
     pub fn append_streams(
         &self,
         streams: &[StreamId],
@@ -643,31 +757,135 @@ impl CorfuClient {
         // servers' child spans land in the same trace.
         let (timer, _span) =
             self.sampled_root(SpanKind::ClientAppend, &self.metrics.append_latency_ns);
+        let groups = self.group_by_log(&self.projection(), streams);
+        let result = if groups.len() <= 1 {
+            let log = groups.first().map(|g| g.0).unwrap_or(0);
+            self.append_in_log(log, streams, &payload, None)
+        } else {
+            self.append_cross_log(&groups, &payload)
+        };
+        match result.is_ok() {
+            true => timer.stop(),
+            false => timer.discard(),
+        }
+        result
+    }
+
+    /// Appends to `streams` forcing the entry into log `log`, bypassing the
+    /// shard map. Reconfiguration uses this to pin sequencer-state
+    /// checkpoints into the log whose recovery scan must find them.
+    pub(crate) fn append_streams_in_log(
+        &self,
+        log: u32,
+        streams: &[StreamId],
+        payload: Bytes,
+    ) -> Result<(LogOffset, EntryEnvelope)> {
+        self.append_in_log(log, streams, &payload, None)
+    }
+
+    /// One token-acquire/chain-write attempt loop confined to a single log.
+    /// `link` is threaded into the envelope for cross-log parts. Returns
+    /// [`CorfuError::TokenLost`] to the *caller* only via retry exhaustion —
+    /// individual lost tokens retry here.
+    fn append_in_log(
+        &self,
+        log: u32,
+        streams: &[StreamId],
+        payload: &Bytes,
+        link: Option<CrossLogLink>,
+    ) -> Result<(LogOffset, EntryEnvelope)> {
         for _ in 0..self.opts.max_token_retries {
-            let token = self.token(streams)?;
+            let token = self.token_in_log(log, streams)?;
             let headers = streams
                 .iter()
                 .zip(token.backpointers.iter())
                 .map(|(&stream, backs)| StreamHeader { stream, backpointers: backs.clone() })
                 .collect();
-            let envelope = EntryEnvelope { headers, payload: payload.clone() };
+            let envelope = EntryEnvelope { headers, payload: payload.clone(), link: link.clone() };
             let body = envelope.encode(token.offset)?;
             match self.write_at(token.offset, &body) {
-                Ok(()) => {
-                    timer.stop();
-                    return Ok((token.offset, envelope));
-                }
+                Ok(()) => return Ok((token.offset, envelope)),
                 Err(CorfuError::TokenLost { .. }) => {
                     self.metrics.tokens_lost.inc();
                     continue;
                 }
-                Err(e) => {
-                    timer.discard();
-                    return Err(e);
-                }
+                Err(e) => return Err(e),
             }
         }
-        timer.discard();
+        Err(CorfuError::RetriesExhausted { what: "append" })
+    }
+
+    /// The cross-log multiappend (§4's OCC machinery applied across logs).
+    ///
+    /// Protocol — the *home anchor*: with stream groups sorted ascending by
+    /// log id, (1) reserve one token in every participating log; (2) build
+    /// a [`CrossLogLink`] naming every reserved offset, with `home` = the
+    /// lowest log's offset; (3) write the non-home bodies first (each
+    /// carries the full payload, its own log's stream headers, and the
+    /// link); (4) write the home entry *last*. The home write is the atomic
+    /// decision: write-once storage accepts it exactly once, so the
+    /// multiappend committed iff the home slot holds a data entry with this
+    /// link. If any write loses its token (hole-filled by a racing reader),
+    /// the whole attempt restarts with fresh tokens everywhere — the
+    /// stranded bodies of the failed attempt resolve as aborted because
+    /// their home slot can never acquire the matching link.
+    fn append_cross_log(
+        &self,
+        groups: &[(u32, Vec<StreamId>)],
+        payload: &Bytes,
+    ) -> Result<(LogOffset, EntryEnvelope)> {
+        'attempt: for _ in 0..self.opts.max_token_retries {
+            // (1) One token per participating log, ascending log order.
+            let mut tokens = Vec::with_capacity(groups.len());
+            for (log, streams) in groups {
+                tokens.push(self.token_in_log(*log, streams)?);
+            }
+            // (2) The link every part carries.
+            let mut parts: Vec<LogOffset> = tokens.iter().map(|t| t.offset).collect();
+            parts.sort_unstable();
+            let home = parts[0];
+            let link = CrossLogLink { home, parts };
+            // (3) Non-home bodies first, (4) home anchor last.
+            let mut anchor = None;
+            for pass in [false, true] {
+                for ((_, streams), token) in groups.iter().zip(&tokens) {
+                    if (token.offset == home) != pass {
+                        continue;
+                    }
+                    let headers = streams
+                        .iter()
+                        .zip(token.backpointers.iter())
+                        .map(|(&stream, backs)| StreamHeader {
+                            stream,
+                            backpointers: backs.clone(),
+                        })
+                        .collect();
+                    let envelope = EntryEnvelope {
+                        headers,
+                        payload: payload.clone(),
+                        link: Some(link.clone()),
+                    };
+                    let body = envelope.encode(token.offset)?;
+                    match self.write_at(token.offset, &body) {
+                        Ok(()) => {
+                            if pass {
+                                anchor = Some(envelope);
+                            }
+                        }
+                        Err(CorfuError::TokenLost { .. }) => {
+                            // This attempt can no longer commit: its home
+                            // slot will hold junk or a foreign entry, so any
+                            // bodies already written resolve aborted. Start
+                            // over with fresh tokens in every log.
+                            self.metrics.tokens_lost.inc();
+                            continue 'attempt;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            return Ok((home, anchor.expect("home group written on pass 2")));
+        }
         Err(CorfuError::RetriesExhausted { what: "append" })
     }
 
@@ -690,7 +908,7 @@ impl CorfuClient {
     /// of the client's installed one. Reconfiguration uses this to scan the
     /// log at the new epoch before the projection is published.
     pub(crate) fn read_with(&self, proj: &Projection, offset: LogOffset) -> Result<ReadOutcome> {
-        let epoch = proj.epoch;
+        let epoch = proj.epoch_of_log(log_of_offset(offset));
         let (_, local) = proj.map(offset);
         let chain = proj.chain_for(offset).to_vec();
         let tail = *chain.last().expect("non-empty chain");
@@ -724,7 +942,7 @@ impl CorfuClient {
     /// and pushes its value (data or junk) down the chain. Returns the
     /// authoritative value, or `Unwritten` if the head has nothing.
     fn repair_chain(&self, proj: &Projection, offset: LogOffset) -> Result<ReadOutcome> {
-        let epoch = proj.epoch;
+        let epoch = proj.epoch_of_log(log_of_offset(offset));
         let (_, local) = proj.map(offset);
         let chain = proj.chain_for(offset);
         let head = chain[0];
@@ -768,7 +986,7 @@ impl CorfuClient {
     pub fn fill(&self, offset: LogOffset) -> Result<ReadOutcome> {
         self.with_epoch_retry("fill", || {
             let proj = self.projection();
-            let epoch = proj.epoch;
+            let epoch = proj.epoch_of_log(log_of_offset(offset));
             let (_, local) = proj.map(offset);
             let chain = proj.chain_for(offset).to_vec();
             let head = chain[0];
@@ -871,23 +1089,27 @@ impl CorfuClient {
     }
 
     fn read_many_with(&self, proj: &Projection, offsets: &[LogOffset]) -> Result<Vec<ReadOutcome>> {
-        let epoch = proj.epoch;
-        // Group offsets by replica set, remembering where each one sits in
-        // the input so outcomes can be stitched back in order.
+        // One `ReadBatch` round trip: target node, its epoch, and the
+        // (input position, local address) pairs it answers for.
+        type ReadChunk<'a> = (NodeId, Epoch, &'a [(usize, u64)]);
+        // Group offsets by (global) replica set, remembering where each one
+        // sits in the input so outcomes can be stitched back in order.
         let mut groups: Vec<Vec<(usize, u64)>> = vec![Vec::new(); proj.num_sets() as usize];
         for (idx, &off) in offsets.iter().enumerate() {
             let (set, local) = proj.map(off);
             groups[set].push((idx, local));
         }
-        let mut chunks: Vec<(NodeId, &[(usize, u64)])> = Vec::new();
+        // Each batch is stamped with the epoch of the log owning its set.
+        let mut chunks: Vec<ReadChunk> = Vec::new();
         for (set, group) in groups.iter().enumerate() {
             if group.is_empty() {
                 continue;
             }
             // Reads go to the chain tail, as in the single-offset path.
-            let tail = *proj.replica_sets[set].last().expect("non-empty chain");
+            let tail = *proj.replica_set(set).last().expect("non-empty chain");
+            let epoch = proj.epoch_of_set(set);
             for entries in group.chunks(crate::storage::MAX_READ_BATCH) {
-                chunks.push((tail, entries));
+                chunks.push((tail, epoch, entries));
             }
         }
         let parse = |expected: usize, resp: StorageResponse| -> Result<Vec<PageOutcome>> {
@@ -906,7 +1128,7 @@ impl CorfuClient {
             }
         };
         let results: Vec<Result<Vec<PageOutcome>>> = if chunks.len() == 1 {
-            let (tail, entries) = chunks[0];
+            let (tail, epoch, entries) = chunks[0];
             self.metrics.read_batches.inc();
             let addrs = entries.iter().map(|&(_, local)| local).collect();
             let resp = self.storage_call(tail, &StorageRequest::ReadBatch { epoch, addrs })?;
@@ -918,7 +1140,7 @@ impl CorfuClient {
             // transport pipeline, so one straggler node no longer
             // serializes behind the others.
             let mut calls = Vec::with_capacity(chunks.len());
-            for &(tail, entries) in &chunks {
+            for &(tail, epoch, entries) in &chunks {
                 self.metrics.read_batches.inc();
                 let addrs = entries.iter().map(|&(_, local)| local).collect();
                 let request = encode_to_vec(&StorageRequest::ReadBatch { epoch, addrs });
@@ -928,14 +1150,14 @@ impl CorfuClient {
             pool.call_all(calls)
                 .into_iter()
                 .zip(chunks.iter())
-                .map(|(raw, &(_, entries))| {
+                .map(|(raw, &(_, _, entries))| {
                     let resp: StorageResponse = decode_from_slice(&raw?)?;
                     parse(entries.len(), resp)
                 })
                 .collect()
         };
         let mut out: Vec<Option<ReadOutcome>> = vec![None; offsets.len()];
-        for (&(_, entries), result) in chunks.iter().zip(results) {
+        for (&(_, _, entries), result) in chunks.iter().zip(results) {
             for (&(idx, _), outcome) in entries.iter().zip(result?) {
                 out[idx] = Some(match outcome {
                     PageOutcome::Data(b) => ReadOutcome::Data(b),
@@ -977,7 +1199,7 @@ impl CorfuClient {
     pub fn trim(&self, offset: LogOffset) -> Result<()> {
         self.with_epoch_retry("trim", || {
             let proj = self.projection();
-            let epoch = proj.epoch;
+            let epoch = proj.epoch_of_log(log_of_offset(offset));
             let (_, local) = proj.map(offset);
             for &node in proj.chain_for(offset) {
                 match self.storage_call(node, &StorageRequest::Trim { epoch, addr: local })? {
@@ -996,14 +1218,18 @@ impl CorfuClient {
         })
     }
 
-    /// Trims every offset below `horizon` (sequential trim across the whole
-    /// cluster).
+    /// Trims every offset below `horizon` *within the horizon's own log*
+    /// (sequential trim across that log's replica sets). With a composite
+    /// horizon in log L only log L is trimmed; other logs keep their own
+    /// horizons — callers garbage-collect per log.
     pub fn trim_prefix(&self, horizon: LogOffset) -> Result<()> {
         self.with_epoch_retry("trim_prefix", || {
             let proj = self.projection();
-            let epoch = proj.epoch;
-            for (set_idx, set) in proj.replica_sets.iter().enumerate() {
-                let local_horizon = proj.local_trim_horizon(set_idx, horizon);
+            let log = log_of_offset(horizon);
+            let layout = proj.log(log);
+            let epoch = layout.epoch;
+            for (set_idx, set) in layout.replica_sets.iter().enumerate() {
+                let local_horizon = proj.local_trim_horizon_in_log(log, set_idx, horizon);
                 for &node in set {
                     let req = StorageRequest::TrimPrefix { epoch, horizon: local_horizon };
                     match self.storage_call(node, &req)? {

@@ -22,6 +22,7 @@ use tango_wire::encode_to_vec;
 
 use crate::client::{ClientOptions, ConnFactory, CorfuClient};
 use crate::layout::LayoutClient;
+use crate::projection::{LogLayout, ShardMap};
 use crate::sequencer::SequencerServer;
 use crate::storage::StorageServer;
 use crate::{NodeId, NodeInfo, Projection, Result};
@@ -29,7 +30,11 @@ use crate::{NodeId, NodeInfo, Projection, Result};
 /// Geometry and tuning for a cluster.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
-    /// Number of replica sets the address space stripes over.
+    /// Number of independent logs the stream namespace is sharded across,
+    /// each with its own sequencer and its own `num_sets` × `replication`
+    /// storage nodes. 1 (the default) is the classic single-log deployment.
+    pub num_logs: usize,
+    /// Number of replica sets each log's address space stripes over.
     pub num_sets: usize,
     /// Replicas per set (chain length).
     pub replication: usize,
@@ -48,6 +53,7 @@ pub struct ClusterConfig {
 impl Default for ClusterConfig {
     fn default() -> Self {
         Self {
+            num_logs: 1,
             num_sets: 3,
             replication: 2,
             page_size: 4096,
@@ -67,6 +73,12 @@ impl ClusterConfig {
     /// The paper's evaluation deployment: 18 nodes in a 9x2 configuration.
     pub fn paper_testbed() -> Self {
         Self { num_sets: 9, replication: 2, ..Self::default() }
+    }
+
+    /// A sharded deployment: `num_logs` logs, each 1x1, streams hash-
+    /// partitioned across them.
+    pub fn sharded(num_logs: usize) -> Self {
+        Self { num_logs, num_sets: 1, replication: 1, ..Self::default() }
     }
 }
 
@@ -126,7 +138,7 @@ pub struct LocalCluster {
     registry: HandlerRegistry,
     meta_nodes: parking_lot::Mutex<HashMap<NodeId, Arc<MetaNode>>>,
     layout_replicas: parking_lot::Mutex<Vec<ReplicaInfo>>,
-    sequencer: Arc<SequencerServer>,
+    sequencers: Vec<Arc<SequencerServer>>,
     storage: Vec<Arc<StorageServer>>,
     sequencer_generation: std::sync::atomic::AtomicU32,
     storage_generation: std::sync::atomic::AtomicU32,
@@ -155,32 +167,43 @@ impl LocalCluster {
         let registry = HandlerRegistry::default();
         let metrics = Registry::new();
         let mut storage = Vec::new();
-        let mut replica_sets = Vec::new();
+        let mut sequencers = Vec::new();
+        let mut logs = Vec::new();
         let mut nodes = Vec::new();
         let mut next_id: NodeId = 0;
-        for _ in 0..config.num_sets {
-            let mut set = Vec::new();
-            for _ in 0..config.replication {
-                let server = Arc::new(
-                    StorageServer::new(FlashUnit::in_memory(config.page_size))
-                        .with_metrics(&metrics),
-                );
-                let addr = format!("storage-{next_id}");
-                registry.register(addr.clone(), Arc::clone(&server) as Arc<dyn RpcHandler>);
-                storage.push(server);
-                nodes.push(NodeInfo { id: next_id, addr });
-                set.push(next_id);
-                next_id += 1;
+        let num_logs = config.num_logs.max(1);
+        for log in 0..num_logs {
+            let mut replica_sets = Vec::new();
+            for _ in 0..config.num_sets {
+                let mut set = Vec::new();
+                for _ in 0..config.replication {
+                    let server = Arc::new(
+                        StorageServer::new(FlashUnit::in_memory(config.page_size))
+                            .with_metrics(&metrics),
+                    );
+                    let addr = format!("storage-{next_id}");
+                    registry.register(addr.clone(), Arc::clone(&server) as Arc<dyn RpcHandler>);
+                    storage.push(server);
+                    nodes.push(NodeInfo { id: next_id, addr });
+                    set.push(next_id);
+                    next_id += 1;
+                }
+                replica_sets.push(set);
             }
-            replica_sets.push(set);
+            let sequencer = Arc::new(
+                SequencerServer::new_for_log(config.k_backpointers, log as u32)
+                    .with_metrics(&metrics),
+            );
+            let seq_id = SEQUENCER_BASE_ID + log as NodeId;
+            let seq_addr = format!("sequencer-{seq_id}");
+            registry.register(seq_addr.clone(), Arc::clone(&sequencer) as Arc<dyn RpcHandler>);
+            nodes.push(NodeInfo { id: seq_id, addr: seq_addr });
+            sequencers.push(sequencer);
+            logs.push(LogLayout { epoch: 0, replica_sets, sequencer: seq_id });
         }
-        let sequencer =
-            Arc::new(SequencerServer::new(config.k_backpointers).with_metrics(&metrics));
-        let seq_addr = format!("sequencer-{SEQUENCER_BASE_ID}");
-        registry.register(seq_addr.clone(), Arc::clone(&sequencer) as Arc<dyn RpcHandler>);
-        nodes.push(NodeInfo { id: SEQUENCER_BASE_ID, addr: seq_addr });
-
-        let projection = Projection { epoch: 0, replica_sets, sequencer: SEQUENCER_BASE_ID, nodes };
+        let shard =
+            if num_logs == 1 { ShardMap::single() } else { ShardMap::hashed(num_logs as u32) };
+        let projection = Projection { epoch: 0, logs, shard, nodes };
         // The layout service: a replica set of metalog nodes, each
         // bootstrapped with the genesis projection at position 0.
         let genesis = Bytes::from(encode_to_vec(&projection));
@@ -204,7 +227,7 @@ impl LocalCluster {
             registry,
             meta_nodes: parking_lot::Mutex::new(meta_nodes),
             layout_replicas: parking_lot::Mutex::new(layout_set),
-            sequencer,
+            sequencers,
             storage,
             sequencer_generation: std::sync::atomic::AtomicU32::new(1),
             storage_generation: std::sync::atomic::AtomicU32::new(0),
@@ -290,9 +313,14 @@ impl LocalCluster {
         CorfuClient::with_options_and_metrics(layout, factory, options, metrics)
     }
 
-    /// Direct access to the current sequencer server (for assertions).
+    /// Direct access to log 0's current sequencer server (for assertions).
     pub fn sequencer(&self) -> &Arc<SequencerServer> {
-        &self.sequencer
+        &self.sequencers[0]
+    }
+
+    /// Direct access to log `log`'s initial sequencer server.
+    pub fn sequencer_of(&self, log: u32) -> &Arc<SequencerServer> {
+        &self.sequencers[log as usize]
     }
 
     /// Direct access to the storage servers, indexed by node id.
@@ -300,23 +328,39 @@ impl LocalCluster {
         &self.storage
     }
 
-    /// Kills the current sequencer (its address stops resolving).
+    /// Kills log 0's current sequencer (its address stops resolving).
     pub fn kill_sequencer(&self) {
+        self.kill_sequencer_of(0)
+    }
+
+    /// Kills log `log`'s current sequencer.
+    pub fn kill_sequencer_of(&self, log: u32) {
         if let Ok(p) = self.layout_client().get() {
-            if let Some(addr) = p.addr_of(p.sequencer) {
+            if let Some(addr) = p.addr_of(p.sequencer_of(log)) {
                 self.registry.kill(addr);
             }
         }
     }
 
-    /// Registers a fresh, empty sequencer server and returns its node info,
-    /// ready to be handed to [`crate::reconfig::replace_sequencer`].
+    /// Registers a fresh, empty sequencer server for log 0 and returns its
+    /// node info, ready to be handed to
+    /// [`crate::reconfig::replace_sequencer`].
     pub fn spawn_replacement_sequencer(&self) -> (NodeInfo, Arc<SequencerServer>) {
+        self.spawn_replacement_sequencer_for(0)
+    }
+
+    /// Registers a fresh, empty sequencer server for log `log`. Replacement
+    /// ids are `SEQUENCER_BASE_ID + generation*100 + log`, so fault
+    /// harnesses can recover the log id from a replacement's node id
+    /// (`(id - SEQUENCER_BASE_ID) % 100`).
+    pub fn spawn_replacement_sequencer_for(&self, log: u32) -> (NodeInfo, Arc<SequencerServer>) {
         let gen = self.sequencer_generation.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-        let id = SEQUENCER_BASE_ID + gen;
+        let id = SEQUENCER_BASE_ID + gen * 100 + log;
         let addr = format!("sequencer-{id}");
-        let server =
-            Arc::new(SequencerServer::new(self.config.k_backpointers).with_metrics(&self.metrics));
+        let server = Arc::new(
+            SequencerServer::new_for_log(self.config.k_backpointers, log)
+                .with_metrics(&self.metrics),
+        );
         self.registry.register(addr.clone(), Arc::clone(&server) as Arc<dyn RpcHandler>);
         (NodeInfo { id, addr }, server)
     }
@@ -465,36 +509,44 @@ impl TcpCluster {
         let metrics = Registry::new();
         let mut storage_servers = HashMap::new();
         let mut aux_servers = Vec::new();
-        let mut replica_sets = Vec::new();
+        let mut logs = Vec::new();
         let mut nodes = Vec::new();
         let mut next_id: NodeId = 0;
-        for _ in 0..config.num_sets {
-            let mut set = Vec::new();
-            for _ in 0..config.replication {
-                let registry = Registry::new();
-                let handler: Arc<dyn RpcHandler> = Arc::new(
-                    StorageServer::new(FlashUnit::in_memory(config.page_size))
-                        .with_metrics(&registry),
-                );
-                let node = TcpNode::spawn(format!("storage-{next_id}"), handler, registry)?;
-                nodes.push(NodeInfo { id: next_id, addr: node.server.local_addr().to_string() });
-                storage_servers.insert(next_id, node);
-                set.push(next_id);
-                next_id += 1;
+        let num_logs = config.num_logs.max(1);
+        for log in 0..num_logs {
+            let mut replica_sets = Vec::new();
+            for _ in 0..config.num_sets {
+                let mut set = Vec::new();
+                for _ in 0..config.replication {
+                    let registry = Registry::new();
+                    let handler: Arc<dyn RpcHandler> = Arc::new(
+                        StorageServer::new(FlashUnit::in_memory(config.page_size))
+                            .with_metrics(&registry),
+                    );
+                    let node = TcpNode::spawn(format!("storage-{next_id}"), handler, registry)?;
+                    nodes
+                        .push(NodeInfo { id: next_id, addr: node.server.local_addr().to_string() });
+                    storage_servers.insert(next_id, node);
+                    set.push(next_id);
+                    next_id += 1;
+                }
+                replica_sets.push(set);
             }
-            replica_sets.push(set);
+            let seq_registry = Registry::new();
+            let seq_handler: Arc<dyn RpcHandler> = Arc::new(
+                SequencerServer::new_for_log(config.k_backpointers, log as u32)
+                    .with_metrics(&seq_registry),
+            );
+            let seq_id = SEQUENCER_BASE_ID + log as NodeId;
+            let name = if log == 0 { "sequencer".to_string() } else { format!("sequencer-{log}") };
+            let seq_node = TcpNode::spawn(name, seq_handler, seq_registry)?;
+            nodes.push(NodeInfo { id: seq_id, addr: seq_node.server.local_addr().to_string() });
+            aux_servers.push(seq_node);
+            logs.push(LogLayout { epoch: 0, replica_sets, sequencer: seq_id });
         }
-        let seq_registry = Registry::new();
-        let seq_handler: Arc<dyn RpcHandler> =
-            Arc::new(SequencerServer::new(config.k_backpointers).with_metrics(&seq_registry));
-        let seq_node = TcpNode::spawn("sequencer".to_string(), seq_handler, seq_registry)?;
-        nodes.push(NodeInfo {
-            id: SEQUENCER_BASE_ID,
-            addr: seq_node.server.local_addr().to_string(),
-        });
-        aux_servers.push(seq_node);
-
-        let projection = Projection { epoch: 0, replica_sets, sequencer: SEQUENCER_BASE_ID, nodes };
+        let shard =
+            if num_logs == 1 { ShardMap::single() } else { ShardMap::hashed(num_logs as u32) };
+        let projection = Projection { epoch: 0, logs, shard, nodes };
         // The layout service: metalog replicas on their own ports, each
         // with a private registry (`meta.node.*`) and scrape endpoint.
         let genesis = Bytes::from(encode_to_vec(&projection));
@@ -579,9 +631,15 @@ impl TcpCluster {
         self.storage_servers.lock().get(&id).map(|n| n.registry.clone())
     }
 
-    /// The sequencer node's registry.
+    /// Log 0's sequencer node registry.
     pub fn sequencer_registry(&self) -> Registry {
         self.aux_servers[0].registry.clone()
+    }
+
+    /// Log `log`'s sequencer node registry (aux servers are one per log,
+    /// in log order).
+    pub fn sequencer_registry_of(&self, log: u32) -> Registry {
+        self.aux_servers[log as usize].registry.clone()
     }
 
     /// Kills the storage node `id`: its TCP listener and scrape endpoint

@@ -15,7 +15,29 @@ use tango_wire::{Reader, Writer};
 use crate::{CorfuError, LogOffset, Result, StreamId, MAX_STREAM_ID};
 
 const ENTRY_MAGIC: u8 = 0xE7;
+/// Magic for entries carrying a cross-log link section. Entries without a
+/// link keep [`ENTRY_MAGIC`] and encode byte-identically to the pre-link
+/// format.
+const ENTRY_MAGIC_LINKED: u8 = 0xE8;
 const FMT_ABSOLUTE: u32 = 1 << 31;
+
+/// Links the per-log parts of one cross-log `multiappend` together (§4 OCC
+/// applied across logs). Every part of the multiappend — one entry per
+/// participating log — carries the same link. The part whose own offset
+/// equals `home` is the *anchor*: it is written last, and its write-once
+/// success or failure IS the atomic commit/abort decision for the whole
+/// multiappend. A reader that encounters a non-anchor part resolves it by
+/// reading `home`: a data entry there carrying this same link means the
+/// multiappend committed (deliver the part); junk or an unrelated entry
+/// means it aborted (skip the part like junk). Write-once storage makes
+/// either resolution permanent, so replays decide identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossLogLink {
+    /// Composite offset of the anchor part.
+    pub home: LogOffset,
+    /// Composite offsets of every part (including the anchor), ascending.
+    pub parts: Vec<LogOffset>,
+}
 
 /// A decoded per-stream header: the stream id and absolute backpointers to
 /// the previous entries of that stream (most recent first). An offset of
@@ -29,19 +51,23 @@ pub struct StreamHeader {
     pub backpointers: Vec<LogOffset>,
 }
 
-/// A log entry as stored on the storage nodes: stream headers + payload.
+/// A log entry as stored on the storage nodes: stream headers + payload,
+/// plus an optional cross-log link when the entry is one part of a
+/// multiappend that spans logs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EntryEnvelope {
     /// One header per stream the entry belongs to (empty for raw appends).
     pub headers: Vec<StreamHeader>,
     /// The application payload.
     pub payload: Bytes,
+    /// Present iff this entry is part of a cross-log multiappend.
+    pub link: Option<CrossLogLink>,
 }
 
 impl EntryEnvelope {
     /// Creates an envelope with no stream membership.
     pub fn raw(payload: Bytes) -> Self {
-        Self { headers: Vec::new(), payload }
+        Self { headers: Vec::new(), payload, link: None }
     }
 
     /// Returns the header for `stream`, if the entry belongs to it.
@@ -60,7 +86,7 @@ impl EntryEnvelope {
     /// pointers, minimum 1, matching §5).
     pub fn encode(&self, offset: LogOffset) -> Result<Vec<u8>> {
         let mut w = Writer::with_capacity(self.payload.len() + 16 + self.headers.len() * 16);
-        w.put_u8(ENTRY_MAGIC);
+        w.put_u8(if self.link.is_some() { ENTRY_MAGIC_LINKED } else { ENTRY_MAGIC });
         w.put_u8(self.headers.len() as u8);
         if self.headers.len() > u8::MAX as usize {
             return Err(CorfuError::Codec("too many stream headers".into()));
@@ -90,6 +116,13 @@ impl EntryEnvelope {
                 }
             }
         }
+        if let Some(link) = &self.link {
+            w.put_u64(link.home);
+            w.put_varint(link.parts.len() as u64);
+            for &p in &link.parts {
+                w.put_u64(p);
+            }
+        }
         w.put_bytes(&self.payload);
         Ok(w.into_vec())
     }
@@ -98,7 +131,7 @@ impl EntryEnvelope {
     pub fn decode(bytes: &[u8], offset: LogOffset) -> Result<Self> {
         let mut r = Reader::new(bytes);
         let magic = r.get_u8()?;
-        if magic != ENTRY_MAGIC {
+        if magic != ENTRY_MAGIC && magic != ENTRY_MAGIC_LINKED {
             return Err(CorfuError::Codec(format!("bad entry magic {magic:#x} at {offset}")));
         }
         let nheaders = r.get_u8()? as usize;
@@ -126,11 +159,22 @@ impl EntryEnvelope {
             }
             headers.push(StreamHeader { stream, backpointers });
         }
+        let link = if magic == ENTRY_MAGIC_LINKED {
+            let home = r.get_u64()?;
+            let nparts = r.get_len(256)?;
+            let mut parts = Vec::with_capacity(nparts);
+            for _ in 0..nparts {
+                parts.push(r.get_u64()?);
+            }
+            Some(CrossLogLink { home, parts })
+        } else {
+            None
+        };
         let payload = Bytes::copy_from_slice(r.get_bytes()?);
         if !r.is_empty() {
             return Err(CorfuError::Codec("trailing bytes after entry payload".into()));
         }
-        Ok(Self { headers, payload })
+        Ok(Self { headers, payload, link })
     }
 }
 
@@ -153,6 +197,7 @@ mod tests {
                 StreamHeader { stream: 9, backpointers: vec![u64::MAX] },
             ],
             payload: Bytes::from_static(b"x"),
+            link: None,
         };
         let bytes = e.encode(100).unwrap();
         let back = EntryEnvelope::decode(&bytes, 100).unwrap();
@@ -165,6 +210,7 @@ mod tests {
         let e = EntryEnvelope {
             headers: vec![StreamHeader { stream: 3, backpointers: vec![1_000, 900, 800, 700] }],
             payload: Bytes::new(),
+            link: None,
         };
         let bytes = e.encode(2_000_000).unwrap();
         let back = EntryEnvelope::decode(&bytes, 2_000_000).unwrap();
@@ -181,6 +227,7 @@ mod tests {
                 StreamHeader { stream: 2, backpointers: vec![5, 4, 3, 2] }, // far: absolute
             ],
             payload: Bytes::from_static(b"p"),
+            link: None,
         };
         let bytes = e.encode(1_000_000).unwrap();
         let back = EntryEnvelope::decode(&bytes, 1_000_000).unwrap();
@@ -193,6 +240,7 @@ mod tests {
         let e = EntryEnvelope {
             headers: vec![StreamHeader { stream: 1, backpointers: vec![] }],
             payload: Bytes::new(),
+            link: None,
         };
         assert!(e.belongs_to(1));
         assert!(!e.belongs_to(2));
@@ -203,8 +251,25 @@ mod tests {
         let e = EntryEnvelope {
             headers: vec![StreamHeader { stream: 1 << 31, backpointers: vec![] }],
             payload: Bytes::new(),
+            link: None,
         };
         assert!(e.encode(0).is_err());
+    }
+
+    #[test]
+    fn linked_roundtrip_and_unlinked_bytes_unchanged() {
+        let link = CrossLogLink { home: (2u64 << 56) | 7, parts: vec![5, (2u64 << 56) | 7] };
+        let e = EntryEnvelope {
+            headers: vec![StreamHeader { stream: 4, backpointers: vec![u64::MAX] }],
+            payload: Bytes::from_static(b"body"),
+            link: Some(link),
+        };
+        let bytes = e.encode(5).unwrap();
+        assert_eq!(EntryEnvelope::decode(&bytes, 5).unwrap(), e);
+        // An entry without a link still starts with the original magic.
+        let plain = EntryEnvelope::raw(Bytes::from_static(b"x")).encode(0).unwrap();
+        assert_eq!(plain[0], ENTRY_MAGIC);
+        assert_eq!(bytes[0], ENTRY_MAGIC_LINKED);
     }
 
     #[test]

@@ -222,15 +222,12 @@ mod tests {
     use tango_rpc::LocalConn;
 
     fn proj(epoch: u64) -> Projection {
-        Projection {
+        Projection::single(
             epoch,
-            replica_sets: vec![vec![0]],
-            sequencer: 1,
-            nodes: vec![
-                NodeInfo { id: 0, addr: "s0".into() },
-                NodeInfo { id: 1, addr: "seq".into() },
-            ],
-        }
+            vec![vec![0]],
+            1,
+            vec![NodeInfo { id: 0, addr: "s0".into() }, NodeInfo { id: 1, addr: "seq".into() }],
+        )
     }
 
     #[test]
@@ -302,7 +299,7 @@ mod tests {
         let (_nodes, client) = replicated_client();
         let a = proj(1);
         let mut b = proj(1);
-        b.sequencer = 0;
+        b.logs[0].sequencer = 0;
         let ra = client.propose(a.clone()).unwrap();
         let rb = client.propose(b.clone()).unwrap();
         // The first proposal installed; the second observed it.

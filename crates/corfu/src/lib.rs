@@ -41,10 +41,10 @@ mod sequencer;
 mod storage;
 
 pub use client::{AppendOutcome, ClientOptions, ConnFactory, CorfuClient, ReadOutcome, Token};
-pub use entry::{EntryEnvelope, StreamHeader};
+pub use entry::{CrossLogLink, EntryEnvelope, StreamHeader};
 pub use error::CorfuError;
 pub use layout::{LayoutClient, LayoutServer};
-pub use projection::{NodeInfo, Projection};
+pub use projection::{LogLayout, NodeInfo, Projection, ShardMap};
 pub use sequencer::{SequencerServer, SequencerState, MAX_TOKEN_BATCH};
 pub use storage::{StorageServer, MAX_READ_BATCH};
 
@@ -53,7 +53,37 @@ pub use storage::{StorageServer, MAX_READ_BATCH};
 pub type Epoch = u64;
 
 /// A position in the shared log's global address space.
+///
+/// With a sharded projection this is a *composite* offset: the top
+/// [`LOG_SHIFT`]-to-64 bits carry the log id, the low [`LOG_SHIFT`] bits the
+/// raw offset within that log (see [`compose`]). Log 0's composite offsets
+/// equal its raw offsets, so single-log deployments never see the split.
 pub type LogOffset = u64;
+
+/// Bit position where the log id starts in a composite [`LogOffset`].
+pub const LOG_SHIFT: u32 = 56;
+
+/// Mask selecting the raw (within-log) part of a composite [`LogOffset`].
+pub const LOG_OFFSET_MASK: u64 = (1u64 << LOG_SHIFT) - 1;
+
+/// Builds a composite offset from a log id and a raw within-log offset.
+#[inline]
+pub fn compose(log: u32, raw: LogOffset) -> LogOffset {
+    debug_assert!(raw <= LOG_OFFSET_MASK, "raw offset overflows 56 bits");
+    ((log as u64) << LOG_SHIFT) | raw
+}
+
+/// The log id of a composite offset (0 for single-log offsets).
+#[inline]
+pub fn log_of_offset(offset: LogOffset) -> u32 {
+    (offset >> LOG_SHIFT) as u32
+}
+
+/// The raw within-log part of a composite offset.
+#[inline]
+pub fn raw_of_offset(offset: LogOffset) -> LogOffset {
+    offset & LOG_OFFSET_MASK
+}
 
 /// Identifies a storage or sequencer node within a projection.
 pub type NodeId = u32;

@@ -165,6 +165,9 @@ pub struct ReconfigMetrics {
     pub storage_replacements: Counter,
     /// Completed membership-preserving epoch bumps.
     pub epoch_bumps: Counter,
+    /// Completed stream remaps (stream moved to another log of a sharded
+    /// deployment).
+    pub stream_remaps: Counter,
     /// Reconfigurations abandoned because a concurrent reconfigurer won
     /// (seal race or layout CAS conflict).
     pub races_lost: Counter,
@@ -181,6 +184,7 @@ impl ReconfigMetrics {
             seq_replacements: registry.counter("corfu.reconfig.seq_replacements"),
             storage_replacements: registry.counter("corfu.reconfig.storage_replacements"),
             epoch_bumps: registry.counter("corfu.reconfig.epoch_bumps"),
+            stream_remaps: registry.counter("corfu.reconfig.stream_remaps"),
             races_lost: registry.counter("corfu.reconfig.races_lost"),
             rebuild_pages: registry.histogram("corfu.reconfig.rebuild_pages"),
             rebuild_bytes: registry.histogram("corfu.reconfig.rebuild_bytes"),

@@ -1,6 +1,6 @@
 use tango_wire::{Decode, Encode, Reader, Writer};
 
-use crate::{Epoch, LogOffset, NodeId};
+use crate::{compose, log_of_offset, raw_of_offset, Epoch, LogOffset, NodeId, StreamId};
 
 /// Connection information for one node in the cluster.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,54 +25,58 @@ impl Decode for NodeInfo {
     }
 }
 
-/// The epoch-stamped cluster layout (§2.2): disjoint replica sets of storage
-/// nodes, the sequencer, and the deterministic mapping from global log
-/// offsets to (replica set, local page address).
+/// The layout of one log of the sharded namespace: its replica sets, its
+/// sequencer, and its own sealing epoch.
 ///
-/// Offset `o` maps to replica set `o % num_sets` at local address
-/// `o / num_sets` — the round-robin striping described in the paper ("offset
-/// 0 might be mapped to A:0, offset 1 to B:0, and so on until the function
-/// wraps back to A:1").
+/// Within a log, raw offset `o` maps to replica set `o % num_sets` at local
+/// address `o / num_sets` — the round-robin striping described in the paper
+/// ("offset 0 might be mapped to A:0, offset 1 to B:0, and so on until the
+/// function wraps back to A:1").
+///
+/// Per-log epochs let one log reconfigure (seal → new layout) without
+/// disturbing the others: requests to this log's storage nodes and
+/// sequencer are stamped with `epoch`, and only those nodes are resealed
+/// when it changes. The projection's *global* epoch (the metalog position)
+/// still advances on every reconfiguration of any log.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Projection {
-    /// The configuration epoch. Servers sealed at a newer epoch reject
-    /// requests stamped with this one.
+pub struct LogLayout {
+    /// This log's sealing epoch. Stamped on requests to this log's storage
+    /// nodes and sequencer; bumped when (and only when) this log is sealed.
     pub epoch: Epoch,
     /// Replica sets; each inner vector is a chain (head first).
     pub replica_sets: Vec<Vec<NodeId>>,
-    /// The current sequencer node.
+    /// This log's sequencer node.
     pub sequencer: NodeId,
-    /// Address book for every node referenced above.
-    pub nodes: Vec<NodeInfo>,
 }
 
-impl Projection {
-    /// The number of replica sets the address space stripes over.
+impl LogLayout {
+    /// The number of replica sets this log's raw address space stripes over.
     pub fn num_sets(&self) -> u64 {
         self.replica_sets.len() as u64
     }
 
-    /// Maps a global offset to its replica set index and local page address.
-    pub fn map(&self, offset: LogOffset) -> (usize, u64) {
+    /// Maps a raw (per-log) offset to its replica set index and local page
+    /// address within this log.
+    pub fn map(&self, raw: LogOffset) -> (usize, u64) {
         let sets = self.num_sets();
-        ((offset % sets) as usize, offset / sets)
+        ((raw % sets) as usize, raw / sets)
     }
 
-    /// The chain (head-first node ids) responsible for `offset`.
-    pub fn chain_for(&self, offset: LogOffset) -> &[NodeId] {
-        &self.replica_sets[self.map(offset).0]
+    /// The chain (head-first node ids) responsible for raw offset `raw`.
+    pub fn chain_for(&self, raw: LogOffset) -> &[NodeId] {
+        &self.replica_sets[self.map(raw).0]
     }
 
-    /// Inverse of [`Projection::map`]: the global offset stored by replica
-    /// set `set` at local address `local`.
+    /// Inverse of [`LogLayout::map`]: the raw offset stored by replica set
+    /// `set` at local address `local`.
     pub fn unmap(&self, set: usize, local: u64) -> LogOffset {
         local * self.num_sets() + set as u64
     }
 
-    /// Given each set's local tail (next free local address), computes the
-    /// global tail: one past the highest consumed global offset. This is the
+    /// Given each set's local tail (next free local address), computes this
+    /// log's tail: one past the highest consumed raw offset. This is the
     /// "slow check" inversion (§2.2).
-    pub fn global_tail_from_local(&self, local_tails: &[u64]) -> LogOffset {
+    pub fn tail_from_local(&self, local_tails: &[u64]) -> LogOffset {
         let mut tail = 0;
         for (set, &lt) in local_tails.iter().enumerate() {
             if lt > 0 {
@@ -82,7 +86,7 @@ impl Projection {
         tail
     }
 
-    /// For a prefix trim of all global offsets below `horizon`, the local
+    /// For a prefix trim of all raw offsets below `horizon`, the local
     /// horizon (first local address to keep) for replica set `set`.
     pub fn local_trim_horizon(&self, set: usize, horizon: LogOffset) -> u64 {
         if horizon == 0 {
@@ -90,48 +94,16 @@ impl Projection {
         }
         let sets = self.num_sets();
         let set = set as u64;
-        // Count global offsets o < horizon with o % sets == set.
+        // Count raw offsets o < horizon with o % sets == set.
         if horizon <= set {
             0
         } else {
             (horizon - 1 - set) / sets + 1
         }
     }
-
-    /// Looks up the address of a node.
-    pub fn addr_of(&self, id: NodeId) -> Option<&str> {
-        self.nodes.iter().find(|n| n.id == id).map(|n| n.addr.as_str())
-    }
-
-    /// The projection after splicing `replacement` into every chain
-    /// position held by `dead`, at the next epoch. `dead` leaves the
-    /// address book; `replacement` joins it. The striping function is
-    /// untouched, so every global offset keeps its (set, local) mapping —
-    /// only the node serving `dead`'s position changes.
-    pub fn with_replaced_node(&self, dead: NodeId, replacement: &NodeInfo) -> Projection {
-        let replica_sets = self
-            .replica_sets
-            .iter()
-            .map(|set| set.iter().map(|&n| if n == dead { replacement.id } else { n }).collect())
-            .collect();
-        let mut nodes: Vec<NodeInfo> =
-            self.nodes.iter().filter(|n| n.id != dead).cloned().collect();
-        if nodes.iter().all(|n| n.id != replacement.id) {
-            nodes.push(replacement.clone());
-        }
-        Projection { epoch: self.epoch + 1, replica_sets, sequencer: self.sequencer, nodes }
-    }
-
-    /// All distinct storage node ids (excluding the sequencer).
-    pub fn storage_nodes(&self) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = self.replica_sets.iter().flatten().copied().collect();
-        out.sort_unstable();
-        out.dedup();
-        out
-    }
 }
 
-impl Encode for Projection {
+impl Encode for LogLayout {
     fn encode(&self, w: &mut Writer) {
         w.put_u64(self.epoch);
         w.put_varint(self.replica_sets.len() as u64);
@@ -142,11 +114,10 @@ impl Encode for Projection {
             }
         }
         w.put_u32(self.sequencer);
-        self.nodes.encode(w);
     }
 }
 
-impl Decode for Projection {
+impl Decode for LogLayout {
     fn decode(r: &mut Reader<'_>) -> tango_wire::Result<Self> {
         let epoch = r.get_u64()?;
         let nsets = r.get_len(1 << 16)?;
@@ -160,8 +131,319 @@ impl Decode for Projection {
             replica_sets.push(set);
         }
         let sequencer = r.get_u32()?;
+        Ok(Self { epoch, replica_sets, sequencer })
+    }
+}
+
+/// Mixes a stream id into a well-distributed 64-bit value (splitmix64
+/// finalizer). Pure arithmetic: identical on every process and platform.
+fn shard_hash(stream: StreamId) -> u64 {
+    let mut z = (stream as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic `stream_id → log_id` partition map carried by the
+/// projection. The default placement is a fixed hash of the stream id
+/// modulo the number of logs; individual streams can be pinned elsewhere
+/// through `overrides` (sorted by stream id), which is how remap-on-epoch-
+/// change works: a remap installs an override in a new projection rather
+/// than changing the hash, so every other stream's placement is untouched.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShardMap {
+    /// Number of logs the stream namespace is partitioned across (≥ 1).
+    pub num_logs: u32,
+    /// Explicit placements overriding the hash, sorted by stream id.
+    pub overrides: Vec<(StreamId, u32)>,
+}
+
+impl ShardMap {
+    /// The identity map: everything on log 0.
+    pub fn single() -> Self {
+        Self { num_logs: 1, overrides: Vec::new() }
+    }
+
+    /// A plain hash partition over `num_logs` logs with no overrides.
+    pub fn hashed(num_logs: u32) -> Self {
+        assert!(num_logs >= 1, "shard map needs at least one log");
+        Self { num_logs, overrides: Vec::new() }
+    }
+
+    /// The log hosting `stream`. Total: defined for every stream id.
+    pub fn log_of(&self, stream: StreamId) -> u32 {
+        if let Ok(i) = self.overrides.binary_search_by_key(&stream, |&(s, _)| s) {
+            return self.overrides[i].1.min(self.num_logs.saturating_sub(1));
+        }
+        (shard_hash(stream) % self.num_logs.max(1) as u64) as u32
+    }
+
+    /// This map with `stream` pinned to `log` (replacing any existing
+    /// override for the stream).
+    pub fn with_override(&self, stream: StreamId, log: u32) -> ShardMap {
+        let mut overrides = self.overrides.clone();
+        match overrides.binary_search_by_key(&stream, |&(s, _)| s) {
+            Ok(i) => overrides[i].1 = log,
+            Err(i) => overrides.insert(i, (stream, log)),
+        }
+        ShardMap { num_logs: self.num_logs, overrides }
+    }
+}
+
+impl Encode for ShardMap {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.num_logs);
+        w.put_varint(self.overrides.len() as u64);
+        for &(stream, log) in &self.overrides {
+            w.put_u32(stream);
+            w.put_u32(log);
+        }
+    }
+}
+
+impl Decode for ShardMap {
+    fn decode(r: &mut Reader<'_>) -> tango_wire::Result<Self> {
+        let num_logs = r.get_u32()?;
+        let n = r.get_len(1 << 20)?;
+        let mut overrides = Vec::with_capacity(n);
+        for _ in 0..n {
+            overrides.push((r.get_u32()?, r.get_u32()?));
+        }
+        Ok(Self { num_logs, overrides })
+    }
+}
+
+/// The epoch-stamped cluster layout (§2.2), generalized to a sharded log:
+/// N independent logs (each with its own replica sets, sequencer, and
+/// sealing epoch) plus the [`ShardMap`] assigning streams to logs.
+///
+/// Client-facing offsets are *composite*: the top 8 bits carry the log id,
+/// the low 56 bits the raw offset within that log (see [`crate::compose`]).
+/// Log 0's composite offsets equal its raw offsets, so a single-log
+/// projection behaves exactly like the pre-sharding layout.
+///
+/// `epoch` is the global configuration epoch — the metalog position this
+/// projection was decided at. It advances on *every* reconfiguration.
+/// Requests to a log's nodes are stamped with that log's `LogLayout::epoch`,
+/// which only advances when that log itself is sealed, so reconfiguring one
+/// log never invalidates tokens or connections of the others.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Projection {
+    /// The global configuration epoch (metalog position). Monotonic across
+    /// all reconfigurations of any log.
+    pub epoch: Epoch,
+    /// The independent logs, indexed by log id.
+    pub logs: Vec<LogLayout>,
+    /// Stream → log placement.
+    pub shard: ShardMap,
+    /// Address book for every node referenced above.
+    pub nodes: Vec<NodeInfo>,
+}
+
+impl Projection {
+    /// A single-log projection: the pre-sharding layout shape. The log's
+    /// epoch starts equal to the global epoch.
+    pub fn single(
+        epoch: Epoch,
+        replica_sets: Vec<Vec<NodeId>>,
+        sequencer: NodeId,
+        nodes: Vec<NodeInfo>,
+    ) -> Self {
+        Self {
+            epoch,
+            logs: vec![LogLayout { epoch, replica_sets, sequencer }],
+            shard: ShardMap::single(),
+            nodes,
+        }
+    }
+
+    /// The number of logs.
+    pub fn num_logs(&self) -> u32 {
+        self.logs.len() as u32
+    }
+
+    /// The layout of log `log`.
+    pub fn log(&self, log: u32) -> &LogLayout {
+        &self.logs[log as usize]
+    }
+
+    /// The layout of the log hosting composite offset `offset`.
+    pub fn log_for_offset(&self, offset: LogOffset) -> &LogLayout {
+        self.log(log_of_offset(offset))
+    }
+
+    /// The log hosting `stream` under the shard map.
+    pub fn log_of_stream(&self, stream: StreamId) -> u32 {
+        self.shard.log_of(stream).min(self.num_logs().saturating_sub(1))
+    }
+
+    /// The epoch stamped on requests to log `log`'s nodes.
+    pub fn epoch_of_log(&self, log: u32) -> Epoch {
+        self.logs[log as usize].epoch
+    }
+
+    /// The sequencer of log `log`.
+    pub fn sequencer_of(&self, log: u32) -> NodeId {
+        self.logs[log as usize].sequencer
+    }
+
+    /// Total number of replica sets across all logs. Global set indices
+    /// (used by the read path to group offsets into per-chain batches)
+    /// enumerate log 0's sets first, then log 1's, and so on.
+    pub fn num_sets(&self) -> u64 {
+        self.logs.iter().map(|l| l.num_sets()).sum()
+    }
+
+    /// The first global set index belonging to log `log`.
+    pub fn set_base(&self, log: u32) -> usize {
+        self.logs[..log as usize].iter().map(|l| l.replica_sets.len()).sum()
+    }
+
+    /// The log owning global set index `set`.
+    pub fn log_of_set(&self, set: usize) -> u32 {
+        let mut base = 0;
+        for (log, l) in self.logs.iter().enumerate() {
+            if set < base + l.replica_sets.len() {
+                return log as u32;
+            }
+            base += l.replica_sets.len();
+        }
+        panic!("global set index {set} out of range");
+    }
+
+    /// The chain (head first) of global set index `set`.
+    pub fn replica_set(&self, set: usize) -> &[NodeId] {
+        let log = self.log_of_set(set);
+        &self.logs[log as usize].replica_sets[set - self.set_base(log)]
+    }
+
+    /// The epoch stamped on requests to global set `set`'s nodes.
+    pub fn epoch_of_set(&self, set: usize) -> Epoch {
+        self.epoch_of_log(self.log_of_set(set))
+    }
+
+    /// Maps a composite offset to its global replica set index and local
+    /// page address.
+    pub fn map(&self, offset: LogOffset) -> (usize, u64) {
+        let log = log_of_offset(offset);
+        let (set, local) = self.log(log).map(raw_of_offset(offset));
+        (self.set_base(log) + set, local)
+    }
+
+    /// The chain (head-first node ids) responsible for composite `offset`.
+    pub fn chain_for(&self, offset: LogOffset) -> &[NodeId] {
+        self.log_for_offset(offset).chain_for(raw_of_offset(offset))
+    }
+
+    /// Inverse of [`Projection::map`]: the composite offset stored by
+    /// global set `set` at local address `local`.
+    pub fn unmap(&self, set: usize, local: u64) -> LogOffset {
+        let log = self.log_of_set(set);
+        compose(log, self.logs[log as usize].unmap(set - self.set_base(log), local))
+    }
+
+    /// Given each of log `log`'s sets' local tails, the log's raw tail.
+    pub fn log_tail_from_local(&self, log: u32, local_tails: &[u64]) -> LogOffset {
+        self.logs[log as usize].tail_from_local(local_tails)
+    }
+
+    /// Single-log compatibility: the global tail of log 0 from its local
+    /// tails (callers on multi-log projections use `log_tail_from_local`).
+    pub fn global_tail_from_local(&self, local_tails: &[u64]) -> LogOffset {
+        self.log_tail_from_local(0, local_tails)
+    }
+
+    /// For a prefix trim of composite offsets below `horizon` *within the
+    /// horizon's own log*, the local horizon for that log's set `set`
+    /// (a per-log set index).
+    pub fn local_trim_horizon_in_log(&self, log: u32, set: usize, horizon: LogOffset) -> u64 {
+        self.logs[log as usize].local_trim_horizon(set, raw_of_offset(horizon))
+    }
+
+    /// Looks up the address of a node.
+    pub fn addr_of(&self, id: NodeId) -> Option<&str> {
+        self.nodes.iter().find(|n| n.id == id).map(|n| n.addr.as_str())
+    }
+
+    /// The projection after splicing `replacement` into every chain
+    /// position held by `dead`, at the next global epoch. Only the logs
+    /// that actually contained `dead` get their per-log epoch bumped (they
+    /// are the ones that must be sealed for the splice). `dead` leaves the
+    /// address book; `replacement` joins it. The striping function is
+    /// untouched, so every offset keeps its (set, local) mapping — only the
+    /// node serving `dead`'s position changes.
+    pub fn with_replaced_node(&self, dead: NodeId, replacement: &NodeInfo) -> Projection {
+        let logs = self
+            .logs
+            .iter()
+            .map(|l| {
+                let affected = l.replica_sets.iter().flatten().any(|&n| n == dead);
+                LogLayout {
+                    epoch: if affected { l.epoch + 1 } else { l.epoch },
+                    replica_sets: l
+                        .replica_sets
+                        .iter()
+                        .map(|set| {
+                            set.iter()
+                                .map(|&n| if n == dead { replacement.id } else { n })
+                                .collect()
+                        })
+                        .collect(),
+                    sequencer: l.sequencer,
+                }
+            })
+            .collect();
+        let mut nodes: Vec<NodeInfo> =
+            self.nodes.iter().filter(|n| n.id != dead).cloned().collect();
+        if nodes.iter().all(|n| n.id != replacement.id) {
+            nodes.push(replacement.clone());
+        }
+        Projection { epoch: self.epoch + 1, logs, shard: self.shard.clone(), nodes }
+    }
+
+    /// All distinct storage node ids across all logs (excluding
+    /// sequencers).
+    pub fn storage_nodes(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> =
+            self.logs.iter().flat_map(|l| l.replica_sets.iter().flatten().copied()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The storage node ids of log `log` only.
+    pub fn storage_nodes_of(&self, log: u32) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> =
+            self.logs[log as usize].replica_sets.iter().flatten().copied().collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl Encode for Projection {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.epoch);
+        w.put_varint(self.logs.len() as u64);
+        for log in &self.logs {
+            log.encode(w);
+        }
+        self.shard.encode(w);
+        self.nodes.encode(w);
+    }
+}
+
+impl Decode for Projection {
+    fn decode(r: &mut Reader<'_>) -> tango_wire::Result<Self> {
+        let epoch = r.get_u64()?;
+        let nlogs = r.get_len(1 << 8)?;
+        let mut logs = Vec::with_capacity(nlogs);
+        for _ in 0..nlogs {
+            logs.push(LogLayout::decode(r)?);
+        }
+        let shard = ShardMap::decode(r)?;
         let nodes = Vec::<NodeInfo>::decode(r)?;
-        Ok(Self { epoch, replica_sets, sequencer, nodes })
+        Ok(Self { epoch, logs, shard, nodes })
     }
 }
 
@@ -183,7 +465,29 @@ mod tests {
             replica_sets.push(set);
         }
         nodes.push(NodeInfo { id: 1000, addr: "seq".into() });
-        Projection { epoch: 1, replica_sets, sequencer: 1000, nodes }
+        Projection::single(1, replica_sets, 1000, nodes)
+    }
+
+    fn sharded(nlogs: usize, nsets: usize, repl: usize) -> Projection {
+        let mut logs = Vec::new();
+        let mut nodes = Vec::new();
+        let mut next = 0u32;
+        for l in 0..nlogs {
+            let mut replica_sets = Vec::new();
+            for _ in 0..nsets {
+                let mut set = Vec::new();
+                for _ in 0..repl {
+                    set.push(next);
+                    nodes.push(NodeInfo { id: next, addr: format!("node-{next}") });
+                    next += 1;
+                }
+                replica_sets.push(set);
+            }
+            let seq = 1000 + l as u32;
+            nodes.push(NodeInfo { id: seq, addr: format!("seq-{l}") });
+            logs.push(LogLayout { epoch: 1, replica_sets, sequencer: seq });
+        }
+        Projection { epoch: 1, logs, shard: ShardMap::hashed(nlogs as u32), nodes }
     }
 
     #[test]
@@ -197,6 +501,26 @@ mod tests {
         for o in 0..100 {
             let (s, l) = p.map(o);
             assert_eq!(p.unmap(s, l), o);
+        }
+    }
+
+    #[test]
+    fn composite_mapping_per_log() {
+        let p = sharded(3, 2, 2);
+        assert_eq!(p.num_sets(), 6);
+        // Log 1's raw offset 5 lives in its set 5 % 2 = 1 (global set 3).
+        let off = compose(1, 5);
+        assert_eq!(p.map(off), (3, 2));
+        assert_eq!(p.unmap(3, 2), off);
+        // Every composite offset round-trips through (set, local).
+        for log in 0..3u32 {
+            for raw in 0..50u64 {
+                let off = compose(log, raw);
+                let (s, l) = p.map(off);
+                assert_eq!(p.unmap(s, l), off);
+                assert_eq!(p.log_of_set(s), log);
+                assert_eq!(p.chain_for(off), p.replica_set(s));
+            }
         }
     }
 
@@ -216,12 +540,12 @@ mod tests {
         let p = proj(3, 1);
         // horizon 7: offsets 0..6. set0 holds 0,3,6 -> keep from local 3;
         // set1 holds 1,4 -> 2; set2 holds 2,5 -> 2.
-        assert_eq!(p.local_trim_horizon(0, 7), 3);
-        assert_eq!(p.local_trim_horizon(1, 7), 2);
-        assert_eq!(p.local_trim_horizon(2, 7), 2);
-        assert_eq!(p.local_trim_horizon(0, 0), 0);
-        assert_eq!(p.local_trim_horizon(2, 2), 0);
-        assert_eq!(p.local_trim_horizon(2, 3), 1);
+        assert_eq!(p.local_trim_horizon_in_log(0, 0, 7), 3);
+        assert_eq!(p.local_trim_horizon_in_log(0, 1, 7), 2);
+        assert_eq!(p.local_trim_horizon_in_log(0, 2, 7), 2);
+        assert_eq!(p.local_trim_horizon_in_log(0, 0, 0), 0);
+        assert_eq!(p.local_trim_horizon_in_log(0, 2, 2), 0);
+        assert_eq!(p.local_trim_horizon_in_log(0, 2, 3), 1);
     }
 
     #[test]
@@ -230,5 +554,52 @@ mod tests {
         let bytes = tango_wire::encode_to_vec(&p);
         let back: Projection = tango_wire::decode_from_slice(&bytes).unwrap();
         assert_eq!(back, p);
+
+        let mut p = sharded(4, 2, 2);
+        p.shard = p.shard.with_override(7, 2).with_override(3, 0);
+        let bytes = tango_wire::encode_to_vec(&p);
+        let back: Projection = tango_wire::decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn shard_map_total_and_deterministic() {
+        let m = ShardMap::hashed(4);
+        for s in 0..10_000u32 {
+            let log = m.log_of(s);
+            assert!(log < 4);
+            assert_eq!(log, m.log_of(s), "deterministic");
+        }
+        // Single log maps everything to 0.
+        let one = ShardMap::single();
+        for s in 0..1000u32 {
+            assert_eq!(one.log_of(s), 0);
+        }
+    }
+
+    #[test]
+    fn shard_override_pins_only_that_stream() {
+        let m = ShardMap::hashed(4);
+        let pinned = m.with_override(42, 3);
+        assert_eq!(pinned.log_of(42), 3);
+        for s in 0..1000u32 {
+            if s != 42 {
+                assert_eq!(pinned.log_of(s), m.log_of(s));
+            }
+        }
+    }
+
+    #[test]
+    fn replace_node_bumps_only_owning_log_epoch() {
+        let p = sharded(2, 2, 2);
+        // Node 1 lives in log 0.
+        let next = p.with_replaced_node(1, &NodeInfo { id: 9000, addr: "fresh".into() });
+        assert_eq!(next.epoch, p.epoch + 1);
+        assert_eq!(next.logs[0].epoch, p.logs[0].epoch + 1);
+        assert_eq!(next.logs[1].epoch, p.logs[1].epoch);
+        assert!(next.logs[0].replica_sets.iter().flatten().any(|&n| n == 9000));
+        assert!(next.logs[0].replica_sets.iter().flatten().all(|&n| n != 1));
+        assert!(next.addr_of(1).is_none());
+        assert_eq!(next.addr_of(9000), Some("fresh"));
     }
 }

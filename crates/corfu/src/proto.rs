@@ -217,6 +217,18 @@ pub enum SequencerRequest {
         /// Per-stream last-K issued offsets (most recent first).
         streams: Vec<(StreamId, Vec<LogOffset>)>,
     },
+    /// Merge one stream's backpointer window into this (live) sequencer.
+    /// Used when a stream is remapped to a different log: the new log's
+    /// sequencer adopts the stream's last-K composite offsets from the old
+    /// log so backpointer chains stay connected across the move.
+    AdoptStream {
+        /// The client's epoch (for this sequencer's log).
+        epoch: Epoch,
+        /// The stream being adopted.
+        stream: StreamId,
+        /// The stream's last-K issued composite offsets, most recent first.
+        backpointers: Vec<LogOffset>,
+    },
 }
 
 /// Responses from the sequencer.
@@ -576,6 +588,12 @@ impl Encode for SequencerRequest {
                     put_offsets(w, offs);
                 }
             }
+            SequencerRequest::AdoptStream { epoch, stream, backpointers } => {
+                w.put_u8(6);
+                w.put_u64(*epoch);
+                w.put_u32(*stream);
+                put_offsets(w, backpointers);
+            }
         }
     }
 }
@@ -602,6 +620,11 @@ impl Decode for SequencerRequest {
                 epoch: r.get_u64()?,
                 streams: get_streams(r)?,
                 count: r.get_u32()?,
+            }),
+            6 => Ok(SequencerRequest::AdoptStream {
+                epoch: r.get_u64()?,
+                stream: r.get_u32()?,
+                backpointers: get_offsets(r)?,
             }),
             tag => Err(WireError::InvalidTag { what: "SequencerRequest", tag: tag as u64 }),
         }
@@ -833,6 +856,11 @@ mod tests {
                 epoch: 4,
                 tail: 77,
                 streams: vec![(1, vec![70, 60]), (9, vec![])],
+            },
+            SequencerRequest::AdoptStream {
+                epoch: 6,
+                stream: 12,
+                backpointers: vec![(1u64 << 56) | 4, (1u64 << 56) | 1, 9],
             },
         ];
         for m in msgs {

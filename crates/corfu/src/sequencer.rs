@@ -10,7 +10,7 @@ use tango_wire::{decode_from_slice, encode_to_vec, Decode, Encode, Reader, Write
 
 use crate::metrics::SequencerMetrics;
 use crate::proto::{SequencerRequest, SequencerResponse};
-use crate::{Epoch, LogOffset, StreamId};
+use crate::{compose, Epoch, LogOffset, StreamId};
 
 /// Snapshot of sequencer state, used by reconfiguration to bootstrap a
 /// replacement.
@@ -69,9 +69,19 @@ pub const MAX_TOKEN_BATCH: u32 = 1024;
 /// `NextBatch` grants `count` consecutive tokens in one round trip (§5's
 /// sequencer batching); each token's backpointers are computed exactly as if
 /// the batch had been `count` separate `Next` calls.
+///
+/// In a sharded deployment each log has its own sequencer, created with
+/// [`SequencerServer::new_for_log`]. The tail counter and token offsets
+/// stay *raw* (within-log), but the per-stream backpointers are stored and
+/// returned as *composite* offsets (log id in the high bits): backpointer
+/// chains are followed by readers, whose addressing is composite, and a
+/// stream remapped to another log can carry its chain along verbatim via
+/// `AdoptStream`. For log 0 composite equals raw, so single-log
+/// deployments are unchanged.
 pub struct SequencerServer {
     inner: Mutex<Inner>,
     k: usize,
+    log_id: u32,
     metrics: SequencerMetrics,
 }
 
@@ -83,8 +93,15 @@ struct Inner {
 }
 
 impl SequencerServer {
-    /// Creates a fresh sequencer at epoch 0 with `k` backpointers per stream.
+    /// Creates a fresh sequencer at epoch 0 with `k` backpointers per
+    /// stream, serving log 0.
     pub fn new(k: usize) -> Self {
+        Self::new_for_log(k, 0)
+    }
+
+    /// Creates a fresh sequencer for log `log_id` of a sharded deployment.
+    /// Issued offsets stay raw; backpointers are composed with `log_id`.
+    pub fn new_for_log(k: usize, log_id: u32) -> Self {
         assert!(k >= 1, "at least one backpointer per stream is required");
         Self {
             inner: Mutex::new(Inner {
@@ -94,6 +111,7 @@ impl SequencerServer {
                 tokens_issued: 0,
             }),
             k,
+            log_id,
             metrics: SequencerMetrics::default(),
         }
     }
@@ -134,11 +152,12 @@ impl SequencerServer {
                 let offset = inner.tail;
                 inner.tail += 1;
                 inner.tokens_issued += 1;
+                let composite = compose(self.log_id, offset);
                 let mut backpointers = Vec::with_capacity(streams.len());
                 for stream in streams {
                     let entry = inner.streams.entry(stream).or_default();
                     backpointers.push(entry.iter().copied().collect());
-                    entry.push_front(offset);
+                    entry.push_front(composite);
                     entry.truncate(self.k);
                 }
                 self.metrics.tokens_granted.inc();
@@ -154,12 +173,12 @@ impl SequencerServer {
                 inner.tokens_issued += count;
                 let mut tokens = Vec::with_capacity(count as usize);
                 for i in 0..count {
-                    let offset = start + i;
+                    let composite = compose(self.log_id, start + i);
                     let mut backpointers = Vec::with_capacity(streams.len());
                     for &stream in &streams {
                         let entry = inner.streams.entry(stream).or_default();
                         backpointers.push(entry.iter().copied().collect());
-                        entry.push_front(offset);
+                        entry.push_front(composite);
                         entry.truncate(self.k);
                     }
                     tokens.push(backpointers);
@@ -215,6 +234,27 @@ impl SequencerServer {
                     .into_iter()
                     .map(|(id, offs)| (id, offs.into_iter().take(self.k).collect()))
                     .collect();
+                SequencerResponse::Ok
+            }
+            SequencerRequest::AdoptStream { epoch, stream, backpointers } => {
+                if epoch != inner.epoch {
+                    return SequencerResponse::ErrSealed { epoch: inner.epoch };
+                }
+                // Merge: the adopted window is newest. Both logs are sealed
+                // while the override is installed, so everything issued for
+                // the stream since it last left this log lives in the source
+                // log — any local leftover window (from a remap cycle that
+                // brought the stream back) is strictly older and fills in
+                // behind the adopted offsets.
+                let entry = inner.streams.entry(stream).or_default();
+                let mut merged: VecDeque<LogOffset> = backpointers.iter().copied().collect();
+                for &b in entry.iter() {
+                    if !merged.contains(&b) {
+                        merged.push_back(b);
+                    }
+                }
+                merged.truncate(self.k);
+                *entry = merged;
                 SequencerResponse::Ok
             }
         }
@@ -374,6 +414,73 @@ mod tests {
         assert_eq!(
             s.process(SequencerRequest::Next { epoch: 3, streams: vec![] }),
             SequencerResponse::Token { offset: 0, backpointers: vec![] }
+        );
+    }
+
+    #[test]
+    fn sharded_sequencer_composes_backpointers() {
+        let s = SequencerServer::new_for_log(4, 2);
+        // Offsets are raw; backpointers carry the log id in the high bits.
+        match s.process(SequencerRequest::Next { epoch: 0, streams: vec![7] }) {
+            SequencerResponse::Token { offset, backpointers } => {
+                assert_eq!(offset, 0);
+                assert_eq!(backpointers, vec![vec![]]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match s.process(SequencerRequest::Next { epoch: 0, streams: vec![7] }) {
+            SequencerResponse::Token { offset, backpointers } => {
+                assert_eq!(offset, 1);
+                assert_eq!(backpointers, vec![vec![compose(2, 0)]]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adopt_stream_merges_window() {
+        let s = SequencerServer::new_for_log(3, 1);
+        // Adopt a window from another log (composite offsets of log 0).
+        let resp = s.process(SequencerRequest::AdoptStream {
+            epoch: 0,
+            stream: 9,
+            backpointers: vec![40, 30, 20, 10],
+        });
+        assert_eq!(resp, SequencerResponse::Ok);
+        match s.process(SequencerRequest::Query { epoch: 0, streams: vec![9] }) {
+            SequencerResponse::TailInfo { backpointers, .. } => {
+                // Truncated to K=3, order preserved (most recent first).
+                assert_eq!(backpointers, vec![vec![40, 30, 20]]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // New tokens in this log stack in front of the adopted window.
+        s.process(SequencerRequest::Next { epoch: 0, streams: vec![9] });
+        match s.process(SequencerRequest::Query { epoch: 0, streams: vec![9] }) {
+            SequencerResponse::TailInfo { backpointers, .. } => {
+                assert_eq!(backpointers, vec![vec![compose(1, 0), 40, 30]]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A later adoption (the stream coming back from another log) is
+        // newer than any local leftover window: adopted offsets lead, the
+        // stale local ones fill in behind.
+        let resp = s.process(SequencerRequest::AdoptStream {
+            epoch: 0,
+            stream: 9,
+            backpointers: vec![99, 98],
+        });
+        assert_eq!(resp, SequencerResponse::Ok);
+        match s.process(SequencerRequest::Query { epoch: 0, streams: vec![9] }) {
+            SequencerResponse::TailInfo { backpointers, .. } => {
+                assert_eq!(backpointers, vec![vec![99, 98, compose(1, 0)]]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Wrong epoch is rejected.
+        assert_eq!(
+            s.process(SequencerRequest::AdoptStream { epoch: 5, stream: 9, backpointers: vec![] }),
+            SequencerResponse::ErrSealed { epoch: 0 }
         );
     }
 

@@ -98,6 +98,7 @@ fn scenario(seed: u64) -> Vec<TraceEvent> {
     // page. (Offsets never acked may be holes; they are absent from both.)
     let chain = outcome
         .projection
+        .log(0)
         .replica_sets
         .iter()
         .find(|set| set.contains(&info.id))

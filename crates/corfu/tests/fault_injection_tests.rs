@@ -83,7 +83,7 @@ fn sequencer_outage_is_retried() {
     base.append(Bytes::from_static(b"ok")).unwrap();
 
     let proj = base.projection();
-    let seq_addr = proj.addr_of(proj.sequencer).unwrap().to_owned();
+    let seq_addr = proj.addr_of(proj.sequencer_of(0)).unwrap().to_owned();
     let handler_restore = {
         // Keep a strong reference to restore after the kill.
         cluster.sequencer().clone()

@@ -13,7 +13,7 @@ use proptest::prelude::*;
 fn candidate(base: &Projection, racer: u32) -> Projection {
     let mut p = base.clone();
     p.epoch = base.epoch + 1;
-    let seq = p.sequencer;
+    let seq = p.sequencer_of(0);
     if let Some(node) = p.nodes.iter_mut().find(|n| n.id == seq) {
         node.addr = format!("sequencer-candidate-{racer}");
     }

@@ -1,7 +1,8 @@
-//! Property tests for the projection's deterministic offset mapping (§2.2)
-//! and its behavior across storage-node replacement.
+//! Property tests for the projection's deterministic offset mapping (§2.2),
+//! its behavior across storage-node replacement, and the shard map that
+//! partitions the stream namespace across logs.
 
-use corfu::{NodeInfo, Projection};
+use corfu::{LogLayout, NodeInfo, Projection, ShardMap};
 use proptest::prelude::*;
 
 /// A projection with `nsets` replica sets of `repl` nodes each, ids
@@ -20,17 +21,19 @@ fn projection(nsets: usize, repl: usize) -> Projection {
         replica_sets.push(set);
     }
     nodes.push(NodeInfo { id: 1000, addr: "seq".into() });
-    Projection { epoch: 7, replica_sets, sequencer: 1000, nodes }
+    Projection::single(7, replica_sets, 1000, nodes)
 }
 
 proptest! {
     #[test]
-    fn map_unmap_roundtrip(nsets in 1usize..9, repl in 1usize..4, offset in any::<u64>()) {
+    // Offsets range over the raw (in-log) space: the top byte of a
+    // composite offset selects the log, and these projections have one.
+    fn map_unmap_roundtrip(nsets in 1usize..9, repl in 1usize..4, offset in 0u64..(1 << corfu::LOG_SHIFT)) {
         let p = projection(nsets, repl);
         let (set, local) = p.map(offset);
         prop_assert!(set < nsets);
         prop_assert_eq!(p.unmap(set, local), offset);
-        prop_assert_eq!(p.chain_for(offset), &p.replica_sets[set][..]);
+        prop_assert_eq!(p.chain_for(offset), &p.log(0).replica_sets[set][..]);
     }
 
     #[test]
@@ -65,7 +68,7 @@ proptest! {
             // Brute force: count the global offsets below the horizon that
             // this set stores; they are exactly the local addresses trimmed.
             let brute = (0..horizon).filter(|&o| p.map(o).0 == set).count() as u64;
-            prop_assert_eq!(p.local_trim_horizon(set, horizon), brute);
+            prop_assert_eq!(p.local_trim_horizon_in_log(0, set, horizon), brute);
         }
     }
 
@@ -74,7 +77,7 @@ proptest! {
         nsets in 1usize..7,
         repl in 1usize..4,
         dead_raw in any::<u32>(),
-        offsets in proptest::collection::vec(any::<u64>(), 1..32),
+        offsets in proptest::collection::vec(0u64..(1 << corfu::LOG_SHIFT), 1..32),
     ) {
         let p = projection(nsets, repl);
         let dead = dead_raw % (nsets * repl) as u32;
@@ -83,13 +86,13 @@ proptest! {
 
         prop_assert_eq!(q.epoch, p.epoch + 1);
         prop_assert_eq!(q.num_sets(), p.num_sets());
-        prop_assert_eq!(q.sequencer, p.sequencer);
+        prop_assert_eq!(q.sequencer_of(0), p.sequencer_of(0));
         // The dead node is gone from chains and the address book; the
         // replacement holds exactly its old chain positions.
-        prop_assert!(q.replica_sets.iter().all(|set| !set.contains(&dead)));
+        prop_assert!(q.log(0).replica_sets.iter().all(|set| !set.contains(&dead)));
         prop_assert!(q.addr_of(dead).is_none());
         prop_assert!(q.addr_of(replacement.id).is_some());
-        for (old_set, new_set) in p.replica_sets.iter().zip(&q.replica_sets) {
+        for (old_set, new_set) in p.log(0).replica_sets.iter().zip(&q.log(0).replica_sets) {
             prop_assert_eq!(old_set.len(), new_set.len());
             for (&old_node, &new_node) in old_set.iter().zip(new_set) {
                 let expect = if old_node == dead { replacement.id } else { old_node };
@@ -111,5 +114,120 @@ proptest! {
         let q = p.with_replaced_node(dead, &NodeInfo { id: 20_000, addr: "replacement".into() });
         let bytes = tango_wire::encode_to_vec(&q);
         prop_assert_eq!(tango_wire::decode_from_slice::<Projection>(&bytes).unwrap(), q);
+    }
+}
+
+/// A sharded projection: `num_logs` logs, one replica set of `repl` nodes
+/// each, sequencer ids 1000 + log, hash-partitioned shard map.
+fn sharded_projection(num_logs: u32, repl: usize) -> Projection {
+    let mut logs = Vec::new();
+    let mut nodes = Vec::new();
+    let mut next = 0u32;
+    for log in 0..num_logs {
+        let mut set = Vec::new();
+        for _ in 0..repl {
+            set.push(next);
+            nodes.push(NodeInfo { id: next, addr: format!("node-{next}") });
+            next += 1;
+        }
+        let sequencer = 1000 + log;
+        nodes.push(NodeInfo { id: sequencer, addr: format!("seq-{log}") });
+        logs.push(LogLayout { epoch: 0, replica_sets: vec![set], sequencer });
+    }
+    Projection { epoch: 0, logs, shard: ShardMap::hashed(num_logs), nodes }
+}
+
+proptest! {
+    // The shard map is total: every stream id — the entire u32 space, with
+    // or without overrides — lands on a valid log.
+    #[test]
+    fn shard_map_is_total(
+        num_logs in 1u32..16,
+        streams in proptest::collection::vec(any::<u32>(), 1..64),
+        overrides in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..8),
+    ) {
+        let mut map = ShardMap::hashed(num_logs);
+        for (stream, log) in overrides {
+            // Overrides may name any log id; placement still clamps into
+            // range (a remap race can leave an override for a log count
+            // that a later projection shrank).
+            map = map.with_override(stream, log);
+        }
+        for stream in streams {
+            prop_assert!(map.log_of(stream) < num_logs);
+        }
+    }
+
+    // Placement is a pure function of the map's encoded fields: a map
+    // rebuilt from its wire form — i.e. by another process — places every
+    // stream identically. No hidden state survives encoding.
+    #[test]
+    fn shard_map_is_deterministic_across_the_wire(
+        num_logs in 1u32..16,
+        pins in proptest::collection::vec((any::<u32>(), 0u32..16), 0..6),
+        streams in proptest::collection::vec(any::<u32>(), 1..64),
+    ) {
+        let mut map = ShardMap::hashed(num_logs);
+        for &(stream, log) in &pins {
+            map = map.with_override(stream, log % num_logs);
+        }
+        let decoded: ShardMap =
+            tango_wire::decode_from_slice(&tango_wire::encode_to_vec(&map)).unwrap();
+        prop_assert_eq!(&decoded, &map);
+        for stream in streams {
+            prop_assert_eq!(decoded.log_of(stream), map.log_of(stream));
+        }
+    }
+
+    // Replacing a storage node inside one log never moves a stream: the
+    // shard map rides into the new projection untouched, so recovery
+    // cannot silently re-home anyone's data.
+    #[test]
+    fn replacement_is_stable_for_the_shard_map(
+        num_logs in 1u32..6,
+        repl in 1usize..4,
+        dead_raw in any::<u32>(),
+        streams in proptest::collection::vec(any::<u32>(), 1..64),
+    ) {
+        let p = sharded_projection(num_logs, repl);
+        let dead = dead_raw % (num_logs * repl as u32);
+        let q = p.with_replaced_node(dead, &NodeInfo { id: 20_000, addr: "replacement".into() });
+        prop_assert_eq!(&q.shard, &p.shard);
+        for stream in streams {
+            prop_assert_eq!(q.log_of_stream(stream), p.log_of_stream(stream));
+        }
+        // Only the dead node's log changed epoch; the others still accept
+        // their outstanding tokens.
+        let dead_log = (dead / repl as u32) as usize;
+        for (idx, (old, new)) in p.logs.iter().zip(&q.logs).enumerate() {
+            if idx == dead_log {
+                prop_assert_eq!(new.epoch, old.epoch + 1);
+            } else {
+                prop_assert_eq!(new.epoch, old.epoch);
+            }
+        }
+    }
+
+    // An override pins exactly one stream; every other stream's placement
+    // is untouched (the hash itself never changes).
+    #[test]
+    fn override_pins_only_that_stream(
+        num_logs in 2u32..8,
+        pinned in any::<u32>(),
+        to_log in 0u32..8,
+        streams in proptest::collection::vec(any::<u32>(), 1..64),
+    ) {
+        let base = ShardMap::hashed(num_logs);
+        let to_log = to_log % num_logs;
+        let mapped = base.with_override(pinned, to_log);
+        prop_assert_eq!(mapped.log_of(pinned), to_log);
+        for stream in streams {
+            if stream != pinned {
+                prop_assert_eq!(mapped.log_of(stream), base.log_of(stream));
+            }
+        }
+        // Re-pinning replaces the override rather than accumulating.
+        let again = mapped.with_override(pinned, to_log);
+        prop_assert_eq!(again.overrides.len(), mapped.overrides.len());
     }
 }

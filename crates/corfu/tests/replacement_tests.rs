@@ -46,8 +46,8 @@ fn replacement_preserves_log_contents() {
     assert!(outcome.pages_copied > 0, "the rebuild must move pages");
     assert!(outcome.bytes_copied > 0);
     assert_eq!(outcome.projection.epoch, 1);
-    assert!(outcome.projection.replica_sets.iter().any(|set| set.contains(&info.id)));
-    assert!(outcome.projection.replica_sets.iter().all(|set| !set.contains(&0)));
+    assert!(outcome.projection.log(0).replica_sets.iter().any(|set| set.contains(&info.id)));
+    assert!(outcome.projection.log(0).replica_sets.iter().all(|set| !set.contains(&0)));
 
     // Every kind of page reads back exactly as before the failure.
     let reader = cluster.client().unwrap();
@@ -112,7 +112,7 @@ fn tcp_cluster_replacement_end_to_end() {
     let info = cluster.spawn_replacement_storage().unwrap();
     let outcome = replace_storage_node(&client, 2, info.clone()).unwrap();
     assert!(outcome.pages_copied > 0);
-    assert!(outcome.projection.replica_sets.iter().any(|set| set.contains(&info.id)));
+    assert!(outcome.projection.log(0).replica_sets.iter().any(|set| set.contains(&info.id)));
 
     let post = client.append(Bytes::from_static(b"tcp-after")).unwrap();
     entries.push((post, Bytes::from_static(b"tcp-after")));
@@ -237,7 +237,7 @@ fn concurrent_replacements_converge_on_one_winner() {
         }
     }
     // The installed chain holds exactly one of the two candidates.
-    let chain = &installed.replica_sets[0];
+    let chain = &installed.log(0).replica_sets[0];
     assert_eq!(chain.iter().filter(|n| candidates.contains(n)).count(), 1);
     assert!(!chain.contains(&0));
 

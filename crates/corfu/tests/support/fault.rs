@@ -227,18 +227,22 @@ fn classify(node: NodeId, request: &[u8]) -> String {
             },
         )
     } else if is_seq {
-        (
-            "seq",
-            match tag {
-                0 => "next",
-                1 => "query",
-                2 => "seal",
-                3 => "bootstrap",
-                4 => "dump",
-                5 => "next_batch",
-                _ => "other",
-            },
-        )
+        let op = match tag {
+            0 => "next",
+            1 => "query",
+            2 => "seal",
+            3 => "bootstrap",
+            4 => "dump",
+            5 => "next_batch",
+            6 => "adopt_stream",
+            _ => "other",
+        };
+        // Sequencer ids encode their log: initial ids are BASE + log,
+        // replacements BASE + gen*100 + log, so `(id - BASE) % 100`
+        // recovers the log either way. Log 0 keeps the bare `seq.*`
+        // names so existing fault schedules hit unchanged.
+        let log = (node - SEQUENCER_BASE_ID) % 100;
+        return if log == 0 { format!("seq.{op}") } else { format!("shard{log}.seq.{op}") };
     } else {
         (
             "storage",

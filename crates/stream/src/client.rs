@@ -1,8 +1,11 @@
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use corfu::{CorfuClient, CorfuError, EntryEnvelope, LogOffset, ReadOutcome, StreamId};
+use corfu::{
+    compose, log_of_offset, CorfuClient, CorfuError, EntryEnvelope, LogOffset, ReadOutcome,
+    StreamId,
+};
 use parking_lot::Mutex;
 use tango_metrics::{Counter, Histogram, Registry, SpanKind, Tracer};
 
@@ -343,18 +346,34 @@ impl StreamClient {
             } else {
                 self.corfu.read_many(&addrs)?
             };
-            let mut cache = self.cache.lock();
-            for (&(idx, off), outcome) in chunk.iter().zip(outcomes) {
-                out[idx] = match outcome {
-                    ReadOutcome::Data(bytes) => {
-                        let entry = Arc::new(EntryEnvelope::decode(&bytes, off)?);
-                        cache.insert(off, Arc::clone(&entry));
-                        Some(entry)
-                    }
-                    ReadOutcome::Junk | ReadOutcome::Trimmed => None,
-                    ReadOutcome::Unwritten if !wait => None,
-                    ReadOutcome::Unwritten => return Err(CorfuError::Unwritten { offset: off }),
-                };
+            // Cross-log bodies (link whose home is elsewhere) need a read
+            // of their anchor to resolve commit/abort; collect them and
+            // resolve outside the cache lock.
+            let mut linked: Vec<(usize, LogOffset, Arc<EntryEnvelope>)> = Vec::new();
+            {
+                let mut cache = self.cache.lock();
+                for (&(idx, off), outcome) in chunk.iter().zip(outcomes) {
+                    out[idx] = match outcome {
+                        ReadOutcome::Data(bytes) => {
+                            let entry = Arc::new(EntryEnvelope::decode(&bytes, off)?);
+                            if entry.link.as_ref().is_none_or(|l| l.home == off) {
+                                cache.insert(off, Arc::clone(&entry));
+                                Some(entry)
+                            } else {
+                                linked.push((idx, off, entry));
+                                None
+                            }
+                        }
+                        ReadOutcome::Junk | ReadOutcome::Trimmed => None,
+                        ReadOutcome::Unwritten if !wait => None,
+                        ReadOutcome::Unwritten => {
+                            return Err(CorfuError::Unwritten { offset: off })
+                        }
+                    };
+                }
+            }
+            for (idx, off, entry) in linked {
+                out[idx] = self.resolve_link(off, entry, wait)?;
             }
         }
         Ok(out)
@@ -370,12 +389,59 @@ impl StreamClient {
         match outcome {
             ReadOutcome::Data(bytes) => {
                 let entry = Arc::new(EntryEnvelope::decode(&bytes, offset)?);
-                self.cache.lock().insert(offset, Arc::clone(&entry));
-                Ok(Some(entry))
+                if entry.link.as_ref().is_none_or(|l| l.home == offset) {
+                    self.cache.lock().insert(offset, Arc::clone(&entry));
+                    Ok(Some(entry))
+                } else {
+                    self.resolve_link(offset, entry, wait)
+                }
             }
             ReadOutcome::Junk | ReadOutcome::Trimmed => Ok(None),
             ReadOutcome::Unwritten if !wait => Ok(None),
             ReadOutcome::Unwritten => Err(CorfuError::Unwritten { offset }),
+        }
+    }
+
+    /// Resolves a cross-log append body against its anchor (§"Sharded
+    /// log"). The body at `offset` carries a link whose `home` is in
+    /// another log: the append committed iff the home slot holds a data
+    /// entry carrying the *same* link (the anchor is written last, so its
+    /// write-once success is the atomic commit point). A junk-filled or
+    /// foreign home means the append's token was lost after this body
+    /// landed: the body is permanently dead and reads as absent, exactly
+    /// like junk.
+    ///
+    /// Committed bodies are cached; an undecided body (`wait == false` and
+    /// the home still unwritten) is not, so a later read re-resolves it.
+    fn resolve_link(
+        &self,
+        offset: LogOffset,
+        entry: Arc<EntryEnvelope>,
+        wait: bool,
+    ) -> corfu::Result<Option<Arc<EntryEnvelope>>> {
+        let link = entry.link.as_ref().expect("caller checked the link");
+        let outcome =
+            if wait { self.corfu.wait_read(link.home)? } else { self.corfu.read(link.home)? };
+        match outcome {
+            ReadOutcome::Data(bytes) => {
+                let home = Arc::new(EntryEnvelope::decode(&bytes, link.home)?);
+                if home.link.as_ref() == Some(link) {
+                    let mut cache = self.cache.lock();
+                    cache.insert(link.home, home);
+                    cache.insert(offset, Arc::clone(&entry));
+                    Ok(Some(entry))
+                } else {
+                    // The home slot went to someone else: this body's
+                    // append aborted.
+                    Ok(None)
+                }
+            }
+            // Junk home: the appender's home token was lost and the slot
+            // was patched — aborted. Trimmed home: the decision is gone,
+            // which can only happen after the whole append's prefix was
+            // checkpointed; the body is below any live read.
+            ReadOutcome::Junk | ReadOutcome::Trimmed => Ok(None),
+            ReadOutcome::Unwritten => Ok(None),
         }
     }
 
@@ -384,52 +450,70 @@ impl StreamClient {
     /// reconnects with known state. Falls back to a backward linear scan
     /// when junk breaks the backpointer chain.
     ///
+    /// Reconnection is a *membership* check, not a numeric floor: once a
+    /// stream has been remapped between logs, composite offsets no longer
+    /// sort in stream order (a stream returning to a lower-numbered log
+    /// gets numerically smaller offsets for newer entries). A known
+    /// offset's older chain was walked when it was first learned, so
+    /// touching any known offset ends the walk — regardless of where the
+    /// offsets sort.
+    ///
     /// Each stride fetches its whole backpointer window in one bulk read
     /// (the window's entries are due for playback anyway, so the batch
     /// doubles as a cache warmer), and no cursor lock is held across any
-    /// of the network reads: the floor is snapshotted up front and the
-    /// discoveries re-validated against the live cursor at the end.
+    /// of the network reads: the known set is snapshotted up front and the
+    /// discoveries merged into the live cursor at the end.
     fn learn(
         &self,
         stream: StreamId,
         tail: LogOffset,
         seq_backs: &[LogOffset],
     ) -> corfu::Result<()> {
-        let floor = {
+        let known: Vec<LogOffset> = {
             let mut cursors = self.cursors.lock();
-            cursors.entry(stream).or_insert_with(|| StreamCursor::new(stream)).max_known()
+            cursors.entry(stream).or_insert_with(|| StreamCursor::new(stream)).offsets().to_vec()
         };
-        let beyond = |off: LogOffset| floor.map(|f| off > f).unwrap_or(true);
+        let is_known = |off: LogOffset| known.binary_search(&off).is_ok();
 
         let mut discovered: Vec<LogOffset> =
-            seq_backs.iter().copied().filter(|&o| o != u64::MAX && beyond(o)).collect();
+            seq_backs.iter().copied().filter(|&o| o != u64::MAX && !is_known(o)).collect();
         // Entries fetched while striding/scanning backward (the walk).
         let mut walked = 0u64;
 
-        // Walk backward from the oldest entry the sequencer told us about.
-        // Backpointer lists are contiguous most-recent-first windows, so if
-        // any reported offset is at or below `floor`, everything newer is
-        // already in `discovered` and the chain has reconnected.
-        let reconnected_at_seq = seq_backs.iter().any(|&o| o != u64::MAX && !beyond(o));
+        let reconnected_at_seq = seq_backs.iter().any(|&o| o != u64::MAX && is_known(o));
         if !discovered.is_empty() && !reconnected_at_seq {
-            // The window whose oldest entry drives the next stride.
-            let mut window = discovered.clone();
+            // Windows are most-recent-first in *stream order*, so each
+            // stride anchors on the window's last element — its
+            // stream-oldest entry. The anchor set guards termination (a
+            // monotonically decreasing offset cannot, across a remap).
+            let mut window: Vec<LogOffset> = discovered.clone();
+            let mut anchors: HashSet<LogOffset> = HashSet::new();
             loop {
-                window.sort_unstable();
-                window.dedup();
-                let oldest = window[0];
+                let oldest = *window.last().expect("window is non-empty");
+                if !anchors.insert(oldest) {
+                    // Defensive: never re-stride an anchor.
+                    break;
+                }
                 // NOTE: the bulk fetch may block while writers finish.
                 let fetched = self.fetch_many(&window, true)?;
                 walked += window.len() as u64;
-                let header = match fetched[0].as_ref() {
+                let header = match fetched.last().expect("one result per offset") {
                     // Junk broke the chain — and a member entry written
                     // without its header cannot happen with our client, but
-                    // be defensive: linear backward scan (§5), batched.
+                    // be defensive: linear backward scan (§5), batched,
+                    // over the anchor's own log segment.
                     None => None,
                     Some(entry) => entry.header_for(stream).cloned(),
                 };
                 let Some(header) = header else {
-                    let lo = floor.map(|f| f + 1).unwrap_or(0);
+                    let log = log_of_offset(oldest);
+                    let lo = known
+                        .iter()
+                        .rev()
+                        .copied()
+                        .find(|&o| log_of_offset(o) == log)
+                        .map(|o| o + 1)
+                        .unwrap_or_else(|| compose(log, 0));
                     walked += self.scan_backward(stream, lo, oldest, &mut discovered)?;
                     break;
                 };
@@ -437,23 +521,15 @@ impl StreamClient {
                     .backpointers
                     .iter()
                     .copied()
-                    .filter(|&o| o != u64::MAX && beyond(o))
+                    .filter(|&o| o != u64::MAX && !is_known(o))
                     .collect();
                 let at_stream_start = header.backpointers.is_empty()
                     || header.backpointers.iter().all(|&o| o == u64::MAX);
-                let reconnected = header.backpointers.iter().any(|&o| o != u64::MAX && !beyond(o));
-                if at_stream_start || reconnected || older.is_empty() {
-                    discovered.extend(older);
-                    break;
-                }
-                let new_oldest = *older.iter().min().expect("non-empty");
+                let reconnected = header.backpointers.iter().any(|&o| o != u64::MAX && is_known(o));
                 discovered.extend(older.iter().copied());
-                if new_oldest >= oldest {
-                    // Defensive: no progress; avoid an infinite loop.
+                if at_stream_start || reconnected || older.is_empty() {
                     break;
                 }
-                // Backpointers all point strictly below `oldest`, so the
-                // next window is entirely unfetched.
                 window = older;
             }
         }
@@ -462,9 +538,7 @@ impl StreamClient {
         let mut cursors = self.cursors.lock();
         let cursor = cursors.entry(stream).or_insert_with(|| StreamCursor::new(stream));
         // A concurrent sync of the same stream may have integrated part of
-        // the walk already; keep only what is still news to the cursor.
-        let live_floor = cursor.max_known();
-        discovered.retain(|&o| live_floor.map(|f| o > f).unwrap_or(true));
+        // the walk already; `extend` merges and drops duplicates.
         cursor.extend(discovered, tail);
         self.metrics.backpointer_walk.record(walked);
         Ok(())

@@ -59,18 +59,43 @@ impl StreamCursor {
         }
     }
 
-    /// Integrates newly discovered offsets (any order, must all exceed
-    /// `max_known`) and advances the synced tail.
+    /// Integrates newly discovered offsets (any order; duplicates of
+    /// already-known offsets are dropped) and advances the synced tail.
+    ///
+    /// Discoveries may sort *below* the known suffix: a stream remapped
+    /// back to a lower-numbered log gets numerically smaller offsets for
+    /// newer entries. Those are merged into the membership list — keeping
+    /// the list complete for `offsets`/`seek`/fresh replays — but the
+    /// iterator never rewinds below its consumed watermark: offsets
+    /// inserted at or below the last delivered offset are not delivered
+    /// by this cursor, while insertions between the watermark and the
+    /// next pending entry are.
     pub fn extend(&mut self, mut discovered: Vec<LogOffset>, tail: LogOffset) {
         discovered.sort_unstable();
         discovered.dedup();
-        if let Some(&max) = self.offsets.last() {
-            debug_assert!(
-                discovered.first().map(|&d| d > max).unwrap_or(true),
-                "discovered offsets must be beyond the known suffix"
-            );
+        let watermark = self.next.checked_sub(1).map(|i| self.offsets[i]);
+        let mut merged = Vec::with_capacity(self.offsets.len() + discovered.len());
+        let mut a = self.offsets.iter().copied().peekable();
+        let mut b = discovered.into_iter().peekable();
+        loop {
+            let next = match (a.peek(), b.peek()) {
+                (Some(&x), Some(&y)) if x <= y => {
+                    if x == y {
+                        b.next();
+                    }
+                    a.next()
+                }
+                (Some(_), Some(_)) | (None, Some(_)) => b.next(),
+                (Some(_), None) => a.next(),
+                (None, None) => break,
+            };
+            merged.extend(next);
         }
-        self.offsets.extend(discovered);
+        self.offsets = merged;
+        self.next = match watermark {
+            Some(w) => self.offsets.partition_point(|&o| o <= w),
+            None => 0,
+        };
         self.synced_tail = self.synced_tail.max(tail);
     }
 
@@ -123,6 +148,27 @@ mod tests {
         assert_eq!(c.advance(), Some(12));
         assert_eq!(c.advance(), None);
         assert_eq!(c.synced_tail(), 13);
+    }
+
+    #[test]
+    fn extend_merges_below_the_known_suffix_without_rewinding() {
+        let mut c = StreamCursor::new(1);
+        c.extend(vec![10, 20], 30);
+        assert_eq!(c.advance(), Some(10));
+        // A remapped-back stream discovers offsets below the suffix: they
+        // join the membership list, the iterator position is preserved.
+        c.extend(vec![5, 15, 25], 30);
+        assert_eq!(c.offsets(), &[5, 10, 15, 20, 25]);
+        assert_eq!(c.advance(), Some(15), "position stays at the old next entry");
+        assert_eq!(c.advance(), Some(20));
+        assert_eq!(c.advance(), Some(25));
+        // Fully consumed, then a below-max discovery arrives: skipped, not
+        // rewound to; later above-max discoveries still deliver.
+        c.extend(vec![1], 30);
+        assert_eq!(c.peek(), None);
+        c.extend(vec![40], 41);
+        assert_eq!(c.advance(), Some(40));
+        assert_eq!(c.offsets(), &[1, 5, 10, 15, 20, 25, 40]);
     }
 
     #[test]
