@@ -7,10 +7,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use corfu::{log_of_offset, CorfuClient, CrossLogLink, StreamId};
+use corfu::{log_of_offset, raw_of_offset, CorfuClient, CrossLogLink, StreamId};
 use corfu_stream::StreamClient;
 use parking_lot::Mutex;
-use tango_metrics::{Counter, Histogram, Registry};
+use tango_metrics::{log_scoped, Counter, Gauge, Histogram, Registry};
 use tango_wire::{decode_from_slice, encode_to_vec};
 
 use crate::directory::{DirectoryOp, DirectoryState};
@@ -67,6 +67,13 @@ struct RuntimeMetrics {
     tx_abort: Counter,
     checkpoints: Counter,
     trims: Counter,
+    /// Backing registry for the lazily bound per-log applied gauges.
+    registry: Registry,
+    /// Per-log playback watermark gauges (`tango.applied_offset`,
+    /// log-scoped): the highest *raw* offset this runtime has played in
+    /// each log. The health plane subtracts this from the sequencer's
+    /// `corfu.seq.tail` to compute apply lag.
+    applied: Arc<Mutex<HashMap<u32, Gauge>>>,
 }
 
 impl RuntimeMetrics {
@@ -79,6 +86,25 @@ impl RuntimeMetrics {
             tx_abort: registry.counter("tango.tx_abort"),
             checkpoints: registry.counter("tango.checkpoints"),
             trims: registry.counter("tango.trims"),
+            registry: registry.clone(),
+            applied: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Raises log `log`'s applied watermark to `raw` (gauges only move
+    /// forward; playback can visit logs out of composite order).
+    fn record_applied(&self, log: u32, raw: LogOffset) {
+        let gauge = {
+            let mut map = self.applied.lock();
+            map.entry(log)
+                .or_insert_with(|| {
+                    self.registry
+                        .gauge(&log_scoped(tango_metrics::health::GAUGE_APPLIED, log as u64))
+                })
+                .clone()
+        };
+        if gauge.get() < raw as i64 {
+            gauge.set(raw as i64);
         }
     }
 }
@@ -425,8 +451,16 @@ impl TangoRuntime {
                 self.stream.seek(oid, off + 1);
             }
             play.position = play.position.max(off + 1);
+            self.metrics.record_applied(log_of_offset(off), raw_of_offset(off) + 1);
         }
         play.position = play.position.max(target);
+        if target > 0 {
+            // `target` is usually the tail: everything below it in its own
+            // log has been processed (delivered or skipped as non-member),
+            // so the watermark advances even when no hosted stream had
+            // entries there.
+            self.metrics.record_applied(log_of_offset(target), raw_of_offset(target));
+        }
         Ok(())
     }
 

@@ -22,7 +22,7 @@ use tango_wire::{decode_from_slice, encode_to_vec};
 
 use crate::entry::{CrossLogLink, EntryEnvelope, StreamHeader};
 use crate::layout::LayoutClient;
-use crate::metrics::ClientMetrics;
+use crate::metrics::{ClientLogMetrics, ClientMetrics};
 use crate::proto::{
     PageOutcome, SequencerRequest, SequencerResponse, StorageRequest, StorageResponse, WriteKind,
 };
@@ -247,6 +247,7 @@ pub struct CorfuClient {
     opts: ClientOptions,
     registry: Registry,
     metrics: ClientMetrics,
+    log_metrics: Arc<RwLock<HashMap<u32, ClientLogMetrics>>>,
 }
 
 impl CorfuClient {
@@ -286,7 +287,22 @@ impl CorfuClient {
             opts,
             registry,
             metrics,
+            log_metrics: Arc::new(RwLock::new(HashMap::new())),
         })
+    }
+
+    /// The per-log instrument bundle for `log`, bound lazily on first use
+    /// so the shard count never has to be declared up front. Cached: the
+    /// registry's registration lock is only taken the first time a log is
+    /// seen.
+    fn log_metrics(&self, log: u32) -> ClientLogMetrics {
+        if let Some(m) = self.log_metrics.read().get(&log) {
+            return m.clone();
+        }
+        let mut map = self.log_metrics.write();
+        map.entry(log)
+            .or_insert_with(|| ClientLogMetrics::for_log(&self.registry, log as u64))
+            .clone()
     }
 
     /// The metrics registry this client records into. Snapshot it to
@@ -804,7 +820,10 @@ impl CorfuClient {
             let envelope = EntryEnvelope { headers, payload: payload.clone(), link: link.clone() };
             let body = envelope.encode(token.offset)?;
             match self.write_at(token.offset, &body) {
-                Ok(()) => return Ok((token.offset, envelope)),
+                Ok(()) => {
+                    self.log_metrics(log).appends.inc();
+                    return Ok((token.offset, envelope));
+                }
                 Err(CorfuError::TokenLost { .. }) => {
                     self.metrics.tokens_lost.inc();
                     continue;
@@ -845,13 +864,18 @@ impl CorfuClient {
             parts.sort_unstable();
             let home = parts[0];
             let link = CrossLogLink { home, parts };
-            // (3) Non-home bodies first, (4) home anchor last.
+            // (3) Non-home bodies first, (4) home anchor last. Each part
+            // gets its own child span under the append's root trace, so a
+            // sampled multiappend shows up as one trace whose children
+            // cover every participating log.
+            let home_log = log_of_offset(home);
             let mut anchor = None;
             for pass in [false, true] {
-                for ((_, streams), token) in groups.iter().zip(&tokens) {
+                for ((log, streams), token) in groups.iter().zip(&tokens) {
                     if (token.offset == home) != pass {
                         continue;
                     }
+                    let part_span = self.metrics.tracer.child(SpanKind::ClientAppend);
                     let headers = streams
                         .iter()
                         .zip(token.backpointers.iter())
@@ -868,6 +892,8 @@ impl CorfuClient {
                     let body = envelope.encode(token.offset)?;
                     match self.write_at(token.offset, &body) {
                         Ok(()) => {
+                            drop(part_span);
+                            self.log_metrics(*log).appends.inc();
                             if pass {
                                 anchor = Some(envelope);
                             }
@@ -878,12 +904,25 @@ impl CorfuClient {
                             // bodies already written resolve aborted. Start
                             // over with fresh tokens in every log.
                             self.metrics.tokens_lost.inc();
+                            self.metrics.events.emit(
+                                tango_metrics::EventKind::CrossLogDecision,
+                                self.projection().epoch_of_log(home_log),
+                                home_log as u64,
+                                0,
+                            );
                             continue 'attempt;
                         }
                         Err(e) => return Err(e),
                     }
                 }
             }
+            // The home write landed: the multiappend is committed.
+            self.metrics.events.emit(
+                tango_metrics::EventKind::CrossLogDecision,
+                self.projection().epoch_of_log(home_log),
+                home_log as u64,
+                1,
+            );
             return Ok((home, anchor.expect("home group written on pass 2")));
         }
         Err(CorfuError::RetriesExhausted { what: "append" })
@@ -984,9 +1023,15 @@ impl CorfuClient {
     /// Patches the hole at `offset` with junk (§3.2). If a writer got there
     /// first, completes and returns the existing value instead.
     pub fn fill(&self, offset: LogOffset) -> Result<ReadOutcome> {
-        self.with_epoch_retry("fill", || {
+        let log = log_of_offset(offset);
+        let log_metrics = self.log_metrics(log);
+        // The backlog gauge brackets the whole chase, retries included —
+        // the health plane reads a sustained non-zero value as readers
+        // stuck behind slow or dead writers.
+        self.metrics.hole_backlog.add(1);
+        let result = self.with_epoch_retry("fill", || {
             let proj = self.projection();
-            let epoch = proj.epoch_of_log(log_of_offset(offset));
+            let epoch = proj.epoch_of_log(log);
             let (_, local) = proj.map(offset);
             let chain = proj.chain_for(offset).to_vec();
             let head = chain[0];
@@ -998,7 +1043,14 @@ impl CorfuClient {
             };
             match self.storage_call(head, &req)? {
                 StorageResponse::Ok => {
-                    self.metrics.hole_fills.inc();
+                    log_metrics.hole_fills.inc();
+                    self.metrics.junk_forced.inc();
+                    self.metrics.events.emit(
+                        tango_metrics::EventKind::JunkForced,
+                        epoch,
+                        log as u64,
+                        local,
+                    );
                     for &node in &chain[1..] {
                         let req = StorageRequest::Write {
                             epoch,
@@ -1022,6 +1074,12 @@ impl CorfuClient {
                 }
                 StorageResponse::ErrAlreadyWritten => {
                     // A writer won; complete its chain and return the value.
+                    self.metrics.events.emit(
+                        tango_metrics::EventKind::HoleFilled,
+                        epoch,
+                        log as u64,
+                        local,
+                    );
                     if chain.len() == 1 {
                         self.read(offset)
                     } else {
@@ -1034,7 +1092,9 @@ impl CorfuClient {
                 }
                 other => Err(CorfuError::Storage(format!("fill at {offset} failed: {other:?}"))),
             }
-        })
+        });
+        self.metrics.hole_backlog.add(-1);
+        result
     }
 
     /// Reads `offset`, waiting for an in-flight writer and finally patching

@@ -13,7 +13,7 @@ use bytes::Bytes;
 use parking_lot::RwLock;
 use tango_flash::FlashUnit;
 use tango_meta::{Dial, MetaClient, MetaNode, ReplicaInfo};
-use tango_metrics::{ClusterSnapshot, Registry};
+use tango_metrics::{ClusterHealth, ClusterSnapshot, HealthPolicy, Registry};
 use tango_rpc::{
     fetch_snapshot, ClientConn, ConnMetrics, HttpScrapeServer, RpcError, RpcHandler, TcpConn,
     TcpServer,
@@ -261,6 +261,12 @@ impl LocalCluster {
         cluster
     }
 
+    /// Health verdict over the shared registry (every scrape target is
+    /// in-process, so nothing is ever unreachable here).
+    pub fn cluster_health(&self) -> ClusterHealth {
+        ClusterHealth::evaluate(&self.cluster_snapshot(), &[], &HealthPolicy::default())
+    }
+
     /// Creates a new client connected to the cluster.
     pub fn client(&self) -> Result<CorfuClient> {
         self.client_with_metrics(self.metrics.clone())
@@ -497,6 +503,11 @@ pub struct TcpCluster {
     storage_generation: std::sync::atomic::AtomicU32,
     layout_generation: std::sync::atomic::AtomicU32,
     metrics: Registry,
+    /// Names of killed nodes still on the monitoring target list; they
+    /// count as unreachable in [`TcpCluster::cluster_health`] until
+    /// [`TcpCluster::retire_scrape_target`] (the "operator updated the
+    /// target list" step) removes them.
+    dead_targets: parking_lot::Mutex<Vec<String>>,
 }
 
 impl TcpCluster {
@@ -580,6 +591,7 @@ impl TcpCluster {
             storage_generation: std::sync::atomic::AtomicU32::new(0),
             layout_generation: std::sync::atomic::AtomicU32::new(0),
             metrics,
+            dead_targets: parking_lot::Mutex::new(Vec::new()),
         })
     }
 
@@ -624,6 +636,35 @@ impl TcpCluster {
         cluster
     }
 
+    /// Scrapes the cluster and evaluates [`ClusterHealth`]: live targets
+    /// that fail to answer and killed-but-not-retired nodes both count as
+    /// unreachable, so a fault window reads as `degraded` (or `unhealthy`
+    /// once a metalog majority is gone) until repair *and* target-list
+    /// cleanup bring it back to `ok`.
+    pub fn cluster_health(&self) -> ClusterHealth {
+        self.cluster_health_with(&HealthPolicy::default())
+    }
+
+    /// [`TcpCluster::cluster_health`] under an explicit policy.
+    pub fn cluster_health_with(&self, policy: &HealthPolicy) -> ClusterHealth {
+        let mut cluster = ClusterSnapshot::new();
+        let mut unreachable: Vec<String> = self.dead_targets.lock().clone();
+        for (name, addr) in self.scrape_targets() {
+            match fetch_snapshot(&addr, std::time::Duration::from_secs(2)) {
+                Ok(snap) => cluster.insert(name, snap),
+                Err(_) => unreachable.push(name),
+            }
+        }
+        cluster.insert("clients", self.metrics.snapshot());
+        ClusterHealth::evaluate(&cluster, &unreachable, policy)
+    }
+
+    /// Drops `name` from the dead-target list after its replacement is in
+    /// service — the monitoring analogue of updating the target list.
+    pub fn retire_scrape_target(&self, name: &str) {
+        self.dead_targets.lock().retain(|n| n != name);
+    }
+
     /// Direct access to one storage node's registry (for assertions that
     /// would otherwise need an HTTP round trip). `None` for unknown or
     /// killed nodes.
@@ -644,8 +685,12 @@ impl TcpCluster {
 
     /// Kills the storage node `id`: its TCP listener and scrape endpoint
     /// shut down and open connections drop, so subsequent calls to it fail.
+    /// The node stays on the monitoring target list (unreachable) until
+    /// [`TcpCluster::retire_scrape_target`].
     pub fn kill_storage_node(&self, id: NodeId) {
-        self.storage_servers.lock().remove(&id);
+        if let Some(node) = self.storage_servers.lock().remove(&id) {
+            self.dead_targets.lock().push(node.name.clone());
+        }
     }
 
     /// Spawns a fresh, empty storage server on an ephemeral port (with its
@@ -711,7 +756,9 @@ impl TcpCluster {
     /// endpoint shut down and open connections drop. Membership is
     /// untouched — quorum clients ride through on the survivors.
     pub fn kill_layout_replica(&self, id: NodeId) {
-        self.layout_servers.lock().remove(&id);
+        if let Some(node) = self.layout_servers.lock().remove(&id) {
+            self.dead_targets.lock().push(node.name.clone());
+        }
     }
 
     /// Replaces the crashed metalog replica `dead`: spawns a fresh node on
@@ -741,6 +788,9 @@ impl TcpCluster {
         client.install_peers(new_set.clone())?;
         *self.layout_replicas.lock() = new_set;
         self.layout_servers.lock().insert(id, node);
+        // The replacement is serving: the dead replica leaves the
+        // monitoring target list along with the membership.
+        self.retire_scrape_target(&format!("layout-{dead}"));
         Ok(info)
     }
 }

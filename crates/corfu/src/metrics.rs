@@ -6,7 +6,7 @@
 //! bind every component to one shared [`Registry`] so a single snapshot
 //! covers the whole deployment.
 
-use tango_metrics::{Counter, Histogram, Registry, Sampler, Tracer};
+use tango_metrics::{log_scoped, Counter, Events, Gauge, Histogram, Registry, Sampler, Tracer};
 
 /// Client-side instruments (`corfu.client.*`).
 ///
@@ -44,12 +44,21 @@ pub struct ClientMetrics {
     pub seal_retries: Counter,
     /// Append tokens lost to a racing hole-filler.
     pub tokens_lost: Counter,
+    /// Holes currently being chased by this client (raised when a fill
+    /// starts, lowered when it resolves). The health plane reads this as
+    /// `corfu.client.hole_backlog`.
+    pub hole_backlog: Gauge,
+    /// Fills that actually forced junk into the log (as opposed to
+    /// discovering the slow writer won).
+    pub junk_forced: Counter,
     /// Gate pacing the latency histograms above. The client's root trace
     /// spans share the same gate, so one sampling decision covers both
     /// the latency timer and the span (see `CorfuClient::append_streams`).
     pub sampler: Sampler,
     /// Span recorder for client root spans.
     pub tracer: Tracer,
+    /// Control-plane event journal (hole fills, cross-log decisions).
+    pub events: Events,
 }
 
 impl ClientMetrics {
@@ -68,13 +77,45 @@ impl ClientMetrics {
             read_batches: registry.counter("corfu.client.read_batches"),
             seal_retries: registry.counter("corfu.client.seal_retries"),
             tokens_lost: registry.counter("corfu.client.tokens_lost"),
+            hole_backlog: registry.gauge(tango_metrics::health::GAUGE_HOLE_BACKLOG),
+            junk_forced: registry.counter(tango_metrics::health::COUNTER_JUNK_FORCED),
             sampler: Sampler::default(),
             tracer: registry.tracer(),
+            events: registry.events(),
+        }
+    }
+}
+
+/// Per-log client instruments for a sharded deployment: the hot counters
+/// that are worth telling apart by shard. Log 0 keeps the historical
+/// bare names (see [`log_scoped`]) — `corfu.client.hole_fills` for log 0
+/// is the *same cell* as [`ClientMetrics::hole_fills`] — so single-log
+/// snapshots stay byte-identical to pre-sharding output.
+#[derive(Clone, Default)]
+pub struct ClientLogMetrics {
+    /// Appends committed to this log (counting each part of a cross-log
+    /// multiappend against the log it landed in).
+    pub appends: Counter,
+    /// Holes this client patched in this log.
+    pub hole_fills: Counter,
+}
+
+impl ClientLogMetrics {
+    /// Binds the log-scoped `corfu.client.*` names in `registry`.
+    pub fn for_log(registry: &Registry, log: u64) -> Self {
+        Self {
+            appends: registry.counter(&log_scoped("corfu.client.appends", log)),
+            hole_fills: registry.counter(&log_scoped("corfu.client.hole_fills", log)),
         }
     }
 }
 
 /// Sequencer-side instruments (`corfu.seq.*`).
+///
+/// Binding with [`SequencerMetrics::for_log`] scopes every name to the
+/// sequencer's log, so the shards of a sharded deployment are tellable
+/// apart even when several sequencers share one registry. Log 0 keeps
+/// the historical bare names.
 #[derive(Clone, Default)]
 pub struct SequencerMetrics {
     /// Tokens granted, counting every token inside a batch (`Next` and
@@ -87,20 +128,41 @@ pub struct SequencerMetrics {
     pub backpointer_lookups: Counter,
     /// Seals accepted.
     pub seals: Counter,
+    /// Remapped-stream windows adopted from another log.
+    pub adoptions: Counter,
+    /// The highest raw offset granted (`corfu.seq.tail`, log-scoped).
+    /// The health plane compares it against the runtime applied
+    /// watermark to compute apply lag.
+    pub tail: Gauge,
+    /// This sequencer's current epoch (`tango.epoch`, log-scoped). The
+    /// health plane flags divergence across nodes.
+    pub epoch: Gauge,
     /// Span recorder for sequencer-side child spans: grants and queries
     /// record under the caller's trace when one arrives with the request.
     pub tracer: Tracer,
+    /// Control-plane event journal (seals, stream adoptions).
+    pub events: Events,
 }
 
 impl SequencerMetrics {
-    /// Binds the `corfu.seq.*` names in `registry`.
+    /// Binds the log-0 `corfu.seq.*` names in `registry`.
     pub fn from_registry(registry: &Registry) -> Self {
+        Self::for_log(registry, 0)
+    }
+
+    /// Binds the `corfu.seq.*` names scoped to `log` in `registry`.
+    pub fn for_log(registry: &Registry, log: u64) -> Self {
         Self {
-            tokens_granted: registry.counter("corfu.seq.tokens_granted"),
-            batches_granted: registry.counter("corfu.seq.batches_granted"),
-            backpointer_lookups: registry.counter("corfu.seq.backpointer_lookups"),
-            seals: registry.counter("corfu.seq.seals"),
+            tokens_granted: registry.counter(&log_scoped("corfu.seq.tokens_granted", log)),
+            batches_granted: registry.counter(&log_scoped("corfu.seq.batches_granted", log)),
+            backpointer_lookups: registry
+                .counter(&log_scoped("corfu.seq.backpointer_lookups", log)),
+            seals: registry.counter(&log_scoped("corfu.seq.seals", log)),
+            adoptions: registry.counter(&log_scoped("corfu.seq.adoptions", log)),
+            tail: registry.gauge(&log_scoped(tango_metrics::health::GAUGE_SEQ_TAIL, log)),
+            epoch: registry.gauge(&log_scoped(tango_metrics::health::GAUGE_EPOCH, log)),
             tracer: registry.tracer(),
+            events: registry.events(),
         }
     }
 }
@@ -175,6 +237,10 @@ pub struct ReconfigMetrics {
     pub rebuild_pages: Histogram,
     /// Payload bytes copied to a replacement node per rebuild.
     pub rebuild_bytes: Histogram,
+    /// Control-plane event journal (seals, projection installs, remaps,
+    /// replica replacements) — the flight recorder of the coordinating
+    /// client.
+    pub events: Events,
 }
 
 impl ReconfigMetrics {
@@ -188,6 +254,7 @@ impl ReconfigMetrics {
             races_lost: registry.counter("corfu.reconfig.races_lost"),
             rebuild_pages: registry.histogram("corfu.reconfig.rebuild_pages"),
             rebuild_bytes: registry.histogram("corfu.reconfig.rebuild_bytes"),
+            events: registry.events(),
         }
     }
 }

@@ -155,6 +155,10 @@ pub fn replace_sequencer_in_log(
     }
 
     let recovered_tail = layout.tail_from_local(&local_tails);
+    // The coordinator journals the seal: the old sequencer is usually dead
+    // (that is why it is being replaced), so its own journal never records
+    // this epoch's seal.
+    metrics.events.emit(tango_metrics::EventKind::Sealed, log_epoch, log as u64, recovered_tail);
 
     // 3. Rebuild backpointer state by backward scan at the new epoch.
     let (stream_state, entries_scanned) =
@@ -183,6 +187,12 @@ pub fn replace_sequencer_in_log(
     }
     client.refresh_layout()?;
     metrics.seq_replacements.inc();
+    metrics.events.emit(
+        tango_metrics::EventKind::ProjectionInstalled,
+        new_proj.epoch,
+        log as u64,
+        new_seq.id as u64,
+    );
     Ok(ReconfigOutcome {
         projection: new_proj,
         recovered_tail: compose(log, recovered_tail),
@@ -364,6 +374,18 @@ pub fn replace_storage_node(
     metrics.storage_replacements.inc();
     metrics.rebuild_pages.record(pages_copied);
     metrics.rebuild_bytes.record(bytes_copied);
+    metrics.events.emit(
+        tango_metrics::EventKind::ReplicaReplaced,
+        new_proj.epoch,
+        log as u64,
+        replacement.id as u64,
+    );
+    metrics.events.emit(
+        tango_metrics::EventKind::ProjectionInstalled,
+        new_proj.epoch,
+        log as u64,
+        dead as u64,
+    );
     Ok(RebuildOutcome {
         projection: new_proj,
         pages_copied,
@@ -625,6 +647,7 @@ pub fn bump_epoch(client: &CorfuClient) -> Result<(Epoch, LogOffset)> {
     }
     client.refresh_layout()?;
     metrics.epoch_bumps.inc();
+    metrics.events.emit(tango_metrics::EventKind::ProjectionInstalled, old.epoch + 1, 0, tail);
     Ok((old.epoch + 1, tail))
 }
 
@@ -679,7 +702,15 @@ pub fn seal_log(client: &CorfuClient, log: u32) -> Result<(Epoch, LogOffset)> {
     }
     client.refresh_layout()?;
     metrics.epoch_bumps.inc();
-    Ok((old.epoch + 1, compose(log, layout.tail_from_local(&local_tails))))
+    let sealed_tail = layout.tail_from_local(&local_tails);
+    metrics.events.emit(tango_metrics::EventKind::Sealed, new_epoch, log as u64, sealed_tail);
+    metrics.events.emit(
+        tango_metrics::EventKind::ProjectionInstalled,
+        old.epoch + 1,
+        log as u64,
+        sealed_tail,
+    );
+    Ok((old.epoch + 1, compose(log, sealed_tail)))
 }
 
 /// Moves `stream` to `to_log`: seals the source and target logs, hands the
@@ -800,5 +831,11 @@ pub fn remap_stream(client: &CorfuClient, stream: StreamId, to_log: u32) -> Resu
     }
     client.refresh_layout()?;
     metrics.stream_remaps.inc();
+    metrics.events.emit(
+        tango_metrics::EventKind::ShardRemapped,
+        new_proj.epoch,
+        to_log as u64,
+        stream as u64,
+    );
     Ok(new_proj)
 }

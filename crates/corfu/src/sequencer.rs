@@ -117,8 +117,11 @@ impl SequencerServer {
     }
 
     /// Records `corfu.seq.*` metrics into `registry` (off by default).
+    /// Names are scoped to this sequencer's log (log 0 keeps the bare
+    /// names), so shard sequencers sharing one registry stay tellable
+    /// apart.
     pub fn with_metrics(mut self, registry: &Registry) -> Self {
-        self.metrics = SequencerMetrics::from_registry(registry);
+        self.metrics = SequencerMetrics::for_log(registry, self.log_id as u64);
         self
     }
 
@@ -161,6 +164,7 @@ impl SequencerServer {
                     entry.truncate(self.k);
                 }
                 self.metrics.tokens_granted.inc();
+                self.metrics.tail.set(inner.tail as i64);
                 SequencerResponse::Token { offset, backpointers }
             }
             SequencerRequest::NextBatch { epoch, streams, count } => {
@@ -185,6 +189,7 @@ impl SequencerServer {
                 }
                 self.metrics.tokens_granted.add(count);
                 self.metrics.batches_granted.inc();
+                self.metrics.tail.set(inner.tail as i64);
                 SequencerResponse::TokenBatch { start, tokens }
             }
             SequencerRequest::Query { epoch, streams } => {
@@ -210,6 +215,13 @@ impl SequencerServer {
                 }
                 inner.epoch = epoch;
                 self.metrics.seals.inc();
+                self.metrics.epoch.set(epoch as i64);
+                self.metrics.events.emit(
+                    tango_metrics::EventKind::Sealed,
+                    epoch,
+                    self.log_id as u64,
+                    inner.tail,
+                );
                 SequencerResponse::Ok
             }
             SequencerRequest::Dump { epoch } => {
@@ -234,6 +246,8 @@ impl SequencerServer {
                     .into_iter()
                     .map(|(id, offs)| (id, offs.into_iter().take(self.k).collect()))
                     .collect();
+                self.metrics.epoch.set(epoch as i64);
+                self.metrics.tail.set(tail as i64);
                 SequencerResponse::Ok
             }
             SequencerRequest::AdoptStream { epoch, stream, backpointers } => {
@@ -255,6 +269,13 @@ impl SequencerServer {
                 }
                 merged.truncate(self.k);
                 *entry = merged;
+                self.metrics.adoptions.inc();
+                self.metrics.events.emit(
+                    tango_metrics::EventKind::StreamAdopted,
+                    epoch,
+                    self.log_id as u64,
+                    stream as u64,
+                );
                 SequencerResponse::Ok
             }
         }

@@ -216,9 +216,17 @@ impl MetaClient {
         let rtts_before = self.metrics.quorum_rtts.get();
         let outcome = self.with_quorum_retry(|| self.propose_round(pos, &record))?;
         self.metrics.round_trips_per_op.record(self.metrics.quorum_rtts.get() - rtts_before);
+        // The journal records what the quorum decided at this position:
+        // detail 1 = our record installed, 0 = an incumbent won arbitration.
         match &outcome {
-            None => self.metrics.installs.inc(),
-            Some(_) => self.metrics.conflicts.inc(),
+            None => {
+                self.metrics.installs.inc();
+                self.metrics.events.emit(tango_metrics::EventKind::ProjectionInstalled, pos, 0, 1);
+            }
+            Some(_) => {
+                self.metrics.conflicts.inc();
+                self.metrics.events.emit(tango_metrics::EventKind::ProjectionInstalled, pos, 0, 0);
+            }
         }
         Ok(outcome)
     }
@@ -322,6 +330,7 @@ impl MetaClient {
         // proposers and other repairers.
         let value = written.iter().min_by_key(|(idx, _)| *idx).expect("non-empty").1.clone();
         let mut acks = written.iter().filter(|(_, r)| *r == value).count();
+        let mut repaired = 0u64;
         for &idx in &unwritten {
             if acks >= needed {
                 break;
@@ -331,11 +340,15 @@ impl MetaClient {
             {
                 Ok(MetaResponse::Ok) => {
                     self.metrics.catchup_reads.inc();
+                    repaired += 1;
                     acks += 1;
                 }
                 Ok(MetaResponse::AlreadyWritten(existing)) if existing == value => acks += 1,
                 _ => {}
             }
+        }
+        if repaired > 0 {
+            self.metrics.events.emit(tango_metrics::EventKind::QuorumRepair, pos, 0, repaired);
         }
         if acks >= needed {
             self.metrics.reads.inc();
@@ -407,6 +420,9 @@ impl MetaClient {
                     return Err(MetaError::Protocol(format!("catch-up write answered {other:?}")))
                 }
             }
+        }
+        if copied > 0 {
+            self.metrics.events.emit(tango_metrics::EventKind::QuorumRepair, latest, 0, copied);
         }
         Ok(copied)
     }

@@ -1,6 +1,6 @@
 //! Instrument bundles for the metalog (`meta.*`).
 
-use tango_metrics::{Counter, Histogram, Registry};
+use tango_metrics::{Counter, Events, Histogram, Registry};
 
 /// Client-side metalog instruments (`meta.*`). Control-plane traffic is
 /// cold, so every observation is exact (no sampling).
@@ -27,6 +27,8 @@ pub struct MetaMetrics {
     pub catchup_reads: Counter,
     /// Replica round trips needed per quorum operation.
     pub round_trips_per_op: Histogram,
+    /// Control-plane event journal (quorum repairs, decided proposals).
+    pub events: Events,
 }
 
 impl MetaMetrics {
@@ -42,6 +44,7 @@ impl MetaMetrics {
             retries: registry.counter("meta.retries"),
             catchup_reads: registry.counter("meta.catchup_reads"),
             round_trips_per_op: registry.histogram("meta.round_trips_per_op"),
+            events: registry.events(),
         }
     }
 }

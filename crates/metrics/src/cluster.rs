@@ -10,7 +10,35 @@
 use std::collections::BTreeMap;
 
 use crate::snapshot::json_string;
-use crate::Snapshot;
+use crate::{EventRecord, Snapshot};
+
+/// One event in the merged cluster timeline: a node name plus the event
+/// it journalled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEntry {
+    /// The node whose journal recorded the event.
+    pub node: String,
+    /// The recorded event.
+    pub event: EventRecord,
+}
+
+impl TimelineEntry {
+    /// Renders the causal fields only — epoch, node, node sequence,
+    /// kind, log, detail. Timestamps and trace ids are deliberately
+    /// excluded so the rendering of a seeded chaos schedule is
+    /// byte-identical across replays.
+    pub fn to_causal_text(&self) -> String {
+        format!(
+            "epoch={} node={} seq={} kind={} log={} detail={}",
+            self.event.epoch,
+            self.node,
+            self.event.node_seq,
+            self.event.kind.name(),
+            self.event.log,
+            self.event.detail,
+        )
+    }
+}
 
 /// Per-node snapshots plus a merged cluster view.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -65,6 +93,45 @@ impl ClusterSnapshot {
     /// depend on node order.
     pub fn merged(&self) -> Snapshot {
         self.nodes.values().fold(Snapshot::default(), |acc, s| acc.merged_with(s))
+    }
+
+    /// The merged cluster timeline: every node's journalled events,
+    /// causally ordered by `(epoch, node, node_seq)`. The order uses no
+    /// clocks — a node's own events keep their emission order (the node
+    /// sequence), cross-node events are grouped by the protocol epoch
+    /// they happened under — so the timeline of a seeded chaos schedule
+    /// is identical across replays. Because the aggregator is a keyed
+    /// map, building the timeline is as idempotent and associative as
+    /// [`ClusterSnapshot::merge`] itself.
+    pub fn timeline(&self) -> Vec<TimelineEntry> {
+        let mut out: Vec<TimelineEntry> = self
+            .nodes
+            .iter()
+            .flat_map(|(node, snap)| {
+                snap.events
+                    .iter()
+                    .map(move |event| TimelineEntry { node: node.clone(), event: event.clone() })
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            (a.event.epoch, &a.node, a.event.node_seq).cmp(&(
+                b.event.epoch,
+                &b.node,
+                b.event.node_seq,
+            ))
+        });
+        out
+    }
+
+    /// The replay-stable text rendering of [`ClusterSnapshot::timeline`]
+    /// (one [`TimelineEntry::to_causal_text`] line per event).
+    pub fn timeline_text(&self) -> String {
+        let mut out = String::new();
+        for entry in self.timeline() {
+            out.push_str(&entry.to_causal_text());
+            out.push('\n');
+        }
+        out
     }
 
     /// JSON rendering: the merged view plus the per-node breakdown.
@@ -149,6 +216,46 @@ mod tests {
         let mut twice = left.clone();
         twice.merge(&left);
         assert_eq!(twice, left);
+    }
+
+    #[test]
+    fn timeline_orders_by_epoch_then_node_then_sequence() {
+        use crate::EventKind;
+        let seq0 = {
+            let r = Registry::new();
+            r.events().emit(EventKind::Sealed, 2, 0, 10);
+            r.events().emit(EventKind::StreamAdopted, 3, 0, 5);
+            r.snapshot()
+        };
+        let client = {
+            let r = Registry::new();
+            r.events().emit(EventKind::HoleFilled, 2, 0, 4);
+            r.events().emit(EventKind::ProjectionInstalled, 3, 0, 1);
+            r.snapshot()
+        };
+        let mut cs = ClusterSnapshot::new();
+        cs.insert("seq-0", seq0);
+        cs.insert("clients", client);
+
+        let lines: Vec<String> = cs.timeline().iter().map(TimelineEntry::to_causal_text).collect();
+        assert_eq!(
+            lines,
+            vec![
+                "epoch=2 node=clients seq=1 kind=hole_filled log=0 detail=4",
+                "epoch=2 node=seq-0 seq=1 kind=sealed log=0 detail=10",
+                "epoch=3 node=clients seq=2 kind=projection_installed log=0 detail=1",
+                "epoch=3 node=seq-0 seq=2 kind=stream_adopted log=0 detail=5",
+            ]
+        );
+        assert_eq!(cs.timeline_text().lines().count(), 4);
+
+        // Rendering is insensitive to insertion order (keyed map) and to
+        // re-insertion of the same scrape.
+        let mut again = ClusterSnapshot::new();
+        again.insert("clients", cs.node("clients").unwrap().clone());
+        again.insert("seq-0", cs.node("seq-0").unwrap().clone());
+        again.insert("clients", cs.node("clients").unwrap().clone());
+        assert_eq!(again.timeline_text(), cs.timeline_text());
     }
 
     #[test]

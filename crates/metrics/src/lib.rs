@@ -38,12 +38,33 @@
 //! ```
 
 mod cluster;
+pub mod events;
+pub mod health;
+mod ring;
 mod snapshot;
 pub mod trace;
 
-pub use cluster::ClusterSnapshot;
+pub use cluster::{ClusterSnapshot, TimelineEntry};
+pub use events::{events_to_json, EventKind, EventRecord, Events};
+pub use health::{ClusterHealth, HealthPolicy, HealthReason, HealthReport, HealthStatus};
 pub use snapshot::{HistogramSnapshot, Snapshot, SnapshotDecodeError};
 pub use trace::{spans_to_json, Span, SpanKind, SpanRecord, TraceConfig, TraceContext, Tracer};
+
+/// Scopes an instrument name to a log (shard): log 0 keeps the bare name
+/// so single-log clusters stay byte-compatible with historical output,
+/// other logs get a `.log{N}` suffix.
+///
+/// ```
+/// assert_eq!(tango_metrics::log_scoped("corfu.seq.tail", 0), "corfu.seq.tail");
+/// assert_eq!(tango_metrics::log_scoped("corfu.seq.tail", 2), "corfu.seq.tail.log2");
+/// ```
+pub fn log_scoped(name: &str, log: u64) -> String {
+    if log == 0 {
+        name.to_string()
+    } else {
+        format!("{name}.log{log}")
+    }
+}
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -313,6 +334,7 @@ struct RegistryInner {
     gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
     histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
     tracer: Arc<trace::TracerInner>,
+    events: Arc<events::EventJournalInner>,
 }
 
 /// A named collection of instruments.
@@ -340,6 +362,7 @@ impl Registry {
                 gauges: Mutex::new(BTreeMap::new()),
                 histograms: Mutex::new(BTreeMap::new()),
                 tracer: Arc::new(trace::TracerInner::new(&cfg)),
+                events: Arc::new(events::EventJournalInner::new(cfg.event_capacity)),
             })),
         }
     }
@@ -406,6 +429,18 @@ impl Registry {
         self.tracer().slow_spans()
     }
 
+    /// The control-plane event journal of this registry. Handles from a
+    /// disabled registry are inert.
+    pub fn events(&self) -> Events {
+        Events { inner: self.inner.as_ref().map(|i| Arc::clone(&i.events)) }
+    }
+
+    /// All stable events currently in the journal, in node-sequence
+    /// order.
+    pub fn event_records(&self) -> Vec<EventRecord> {
+        self.events().records()
+    }
+
     /// Captures the current value of every instrument without blocking
     /// writers (individual values are atomic; the set is scanned under
     /// the registration lock, which records never take).
@@ -425,6 +460,10 @@ impl Registry {
             "trace.spans_recorded".to_string(),
             inner.tracer.spans_recorded.load(Ordering::Relaxed),
         ));
+        counters.push((
+            "events.recorded".to_string(),
+            inner.events.events_recorded.load(Ordering::Relaxed),
+        ));
         counters.sort_by(|a, b| a.0.cmp(&b.0));
         let gauges = Self::lock_map(&inner.gauges)
             .iter()
@@ -442,7 +481,7 @@ impl Registry {
                 }
             })
             .collect();
-        Snapshot { counters, gauges, histograms }
+        Snapshot { counters, gauges, histograms, events: inner.events.records() }
     }
 }
 

@@ -1,0 +1,72 @@
+//! The seqlock ring shared by the span rings and the event journal.
+//!
+//! Each slot is a seqlock made of plain `AtomicU64`s: 0 = never written,
+//! odd = write in progress, `2*pos + 2` = the slot holds the record pushed
+//! at head position `pos`. Writers claim a slot with one `fetch_add` on
+//! the head and a CAS on the slot's sequence word; readers skip slots
+//! whose sequence word is odd or changed while reading. Under extreme
+//! overrun a record can be dropped, never torn — every access is atomic.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+struct Slot<const WORDS: usize> {
+    seq: AtomicU64,
+    data: [AtomicU64; WORDS],
+}
+
+/// Bounded lock-free MPMC ring of `WORDS`-word records (overwrites oldest).
+pub(crate) struct SeqlockRing<const WORDS: usize> {
+    slots: Box<[Slot<WORDS>]>,
+    head: AtomicU64,
+    mask: u64,
+}
+
+impl<const WORDS: usize> SeqlockRing<WORDS> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(2);
+        let slots = (0..cap)
+            .map(|_| Slot { seq: AtomicU64::new(0), data: [const { AtomicU64::new(0) }; WORDS] })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self { slots, head: AtomicU64::new(0), mask: (cap - 1) as u64 }
+    }
+
+    pub(crate) fn push(&self, words: &[u64; WORDS]) {
+        let pos = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(pos & self.mask) as usize];
+        let seq = slot.seq.load(Ordering::Acquire);
+        if seq & 1 == 1 {
+            // A lapped writer is still mid-write in this slot; dropping
+            // this record is better than tearing that one.
+            return;
+        }
+        let claim = pos.wrapping_mul(2).wrapping_add(1);
+        if slot.seq.compare_exchange(seq, claim, Ordering::AcqRel, Ordering::Relaxed).is_err() {
+            return;
+        }
+        for (cell, w) in slot.data.iter().zip(words) {
+            cell.store(*w, Ordering::Relaxed);
+        }
+        slot.seq.store(claim.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Every stable record currently in the ring, in slot order.
+    /// Concurrent writers may overwrite slots mid-scan; such slots are
+    /// skipped, never misread. Callers sort by a record field.
+    pub(crate) fn snapshot(&self) -> Vec<[u64; WORDS]> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let before = slot.seq.load(Ordering::Acquire);
+            if before == 0 || before & 1 == 1 {
+                continue;
+            }
+            let words: [u64; WORDS] = std::array::from_fn(|i| slot.data[i].load(Ordering::Relaxed));
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != before {
+                continue;
+            }
+            out.push(words);
+        }
+        out
+    }
+}

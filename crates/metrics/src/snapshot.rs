@@ -3,6 +3,7 @@
 use std::fmt::Write as _;
 
 use crate::bucket_upper_bound;
+use crate::events::{events_to_json, EventRecord, EVENT_WORDS};
 
 /// The state of one histogram at snapshot time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,6 +93,9 @@ pub struct Snapshot {
     pub gauges: Vec<(String, i64)>,
     /// Histograms, sorted by name.
     pub histograms: Vec<HistogramSnapshot>,
+    /// Control-plane events from the node's journal, in node-sequence
+    /// order (empty when decoded from a v1 body).
+    pub events: Vec<EventRecord>,
 }
 
 impl Snapshot {
@@ -201,7 +205,9 @@ impl Snapshot {
             }
             out.push_str("]}");
         }
-        out.push_str("}}");
+        out.push_str("},\"events\":");
+        out.push_str(&events_to_json(&self.events));
+        out.push('}');
         out
     }
 
@@ -282,7 +288,14 @@ impl Snapshot {
                 (None, None) => unreachable!(),
             }
         }
-        Snapshot { counters, gauges, histograms }
+
+        // Events merge as a bag union in the canonical clock-free order,
+        // which keeps the pairwise merge commutative and associative.
+        let mut events: Vec<EventRecord> =
+            self.events.iter().chain(other.events.iter()).cloned().collect();
+        events.sort_by_key(|e| e.causal_key());
+
+        Snapshot { counters, gauges, histograms, events }
     }
 
     /// Encodes the snapshot into the self-describing binary form served
@@ -314,6 +327,13 @@ impl Snapshot {
             out.extend_from_slice(&(h.buckets.len() as u32).to_le_bytes());
             for b in &h.buckets {
                 out.extend_from_slice(&b.to_le_bytes());
+            }
+        }
+        // v2: the event journal rides along as fixed-width word records.
+        out.extend_from_slice(&(self.events.len() as u32).to_le_bytes());
+        for e in &self.events {
+            for w in e.to_words() {
+                out.extend_from_slice(&w.to_le_bytes());
             }
         }
         out
@@ -352,7 +372,8 @@ impl Snapshot {
         if c.u32()? != SNAPSHOT_MAGIC {
             return Err(SnapshotDecodeError::BadMagic);
         }
-        if c.take(1)?[0] != SNAPSHOT_VERSION {
+        let version = c.take(1)?[0];
+        if version == 0 || version > SNAPSHOT_VERSION {
             return Err(SnapshotDecodeError::BadVersion);
         }
 
@@ -383,12 +404,25 @@ impl Snapshot {
             }
             histograms.push(HistogramSnapshot { name, sum, buckets });
         }
-        Ok(Snapshot { counters, gauges, histograms })
+        // v1 bodies (from older nodes) simply have no event section.
+        let mut events = Vec::new();
+        if version >= 2 {
+            let n = c.u32()? as usize;
+            events.reserve(n.min(4096));
+            for _ in 0..n {
+                let mut words = [0u64; EVENT_WORDS];
+                for w in words.iter_mut() {
+                    *w = c.u64()?;
+                }
+                events.push(EventRecord::from_words(&words));
+            }
+        }
+        Ok(Snapshot { counters, gauges, histograms, events })
     }
 }
 
 const SNAPSHOT_MAGIC: u32 = 0x544D_5301; // "TMS" + format version tag
-const SNAPSHOT_VERSION: u8 = 1;
+const SNAPSHOT_VERSION: u8 = 2;
 
 /// Why [`Snapshot::from_bytes`] rejected a body.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -554,10 +588,28 @@ mod tests {
         h.record(0);
         h.record(12345);
         h.record(u64::MAX);
+        r.events().emit(crate::EventKind::Sealed, 3, 1, 99);
+        r.events().emit(crate::EventKind::HoleFilled, 3, 0, 17);
         let snap = r.snapshot();
+        assert_eq!(snap.events.len(), 2);
         let bytes = snap.to_bytes();
         let back = Snapshot::from_bytes(&bytes).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn binary_decode_accepts_v1_bodies_without_events() {
+        let r = Registry::new();
+        r.counter("ops.total").add(7);
+        let snap = r.snapshot();
+        // A v1 body is the v2 encoding minus the trailing event section,
+        // with the version byte set back to 1.
+        let mut bytes = snap.to_bytes();
+        bytes.truncate(bytes.len() - 4); // empty event section = one u32 count
+        bytes[4] = 1;
+        let back = Snapshot::from_bytes(&bytes).unwrap();
+        assert!(back.events.is_empty());
+        assert_eq!(back.counter("ops.total"), 7);
     }
 
     #[test]

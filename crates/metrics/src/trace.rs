@@ -30,11 +30,26 @@
 
 use std::cell::Cell;
 use std::marker::PhantomData;
-use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::ring::SeqlockRing;
 use crate::Sampler;
+
+/// Environment variable that overrides the slow-request threshold, in
+/// milliseconds. Read at registry construction and by
+/// [`Tracer::refresh_slow_threshold_from_env`] on live registries (the
+/// scrape server calls the latter per request, so exporting the variable
+/// and re-scraping reconfigures a running node).
+pub const SLOW_MS_ENV: &str = "TANGO_SLOW_MS";
+
+fn slow_threshold_from_env() -> Option<Duration> {
+    std::env::var(SLOW_MS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_millis)
+}
 
 /// The identity a request carries across component and process
 /// boundaries: which trace it belongs to and which span is the caller.
@@ -158,85 +173,46 @@ impl SpanRecord {
 
 const SPAN_WORDS: usize = 6;
 
-struct Slot {
-    /// Seqlock word: 0 = never written, odd = write in progress,
-    /// `2*pos + 2` = slot holds the record pushed at head position `pos`.
-    seq: AtomicU64,
-    data: [AtomicU64; SPAN_WORDS],
-}
-
 /// Bounded lock-free MPMC ring of [`SpanRecord`]s (overwrites oldest).
+/// The seqlock slot discipline lives in [`crate::ring::SeqlockRing`],
+/// shared with the event journal.
 pub(crate) struct SpanRing {
-    slots: Box<[Slot]>,
-    head: AtomicU64,
-    mask: u64,
+    ring: SeqlockRing<SPAN_WORDS>,
 }
 
 impl SpanRing {
     pub(crate) fn new(capacity: usize) -> Self {
-        let cap = capacity.next_power_of_two().max(2);
-        let slots = (0..cap)
-            .map(|_| Slot {
-                seq: AtomicU64::new(0),
-                data: [const { AtomicU64::new(0) }; SPAN_WORDS],
-            })
-            .collect::<Vec<_>>()
-            .into_boxed_slice();
-        Self { slots, head: AtomicU64::new(0), mask: (cap - 1) as u64 }
+        Self { ring: SeqlockRing::new(capacity) }
     }
 
     pub(crate) fn push(&self, rec: &SpanRecord) {
-        let pos = self.head.fetch_add(1, Ordering::Relaxed);
-        let slot = &self.slots[(pos & self.mask) as usize];
-        let seq = slot.seq.load(Ordering::Acquire);
-        if seq & 1 == 1 {
-            // A lapped writer is still mid-write in this slot; dropping
-            // this record is better than tearing that one.
-            return;
-        }
-        let claim = pos.wrapping_mul(2).wrapping_add(1);
-        if slot.seq.compare_exchange(seq, claim, Ordering::AcqRel, Ordering::Relaxed).is_err() {
-            return;
-        }
-        let words = [
+        self.ring.push(&[
             rec.trace_id,
             rec.span_id,
             rec.parent_span_id,
             rec.kind as u64,
             rec.start_ns,
             rec.duration_ns,
-        ];
-        for (cell, w) in slot.data.iter().zip(words) {
-            cell.store(w, Ordering::Relaxed);
-        }
-        slot.seq.store(claim.wrapping_add(1), Ordering::Release);
+        ]);
     }
 
     /// Every stable record currently in the ring, oldest first by start
     /// time. Concurrent writers may overwrite slots mid-scan; such slots
     /// are skipped, never misread.
     pub(crate) fn snapshot(&self) -> Vec<SpanRecord> {
-        let mut out = Vec::with_capacity(self.slots.len());
-        for slot in self.slots.iter() {
-            let before = slot.seq.load(Ordering::Acquire);
-            if before == 0 || before & 1 == 1 {
-                continue;
-            }
-            let words: [u64; SPAN_WORDS] =
-                std::array::from_fn(|i| slot.data[i].load(Ordering::Relaxed));
-            fence(Ordering::Acquire);
-            if slot.seq.load(Ordering::Relaxed) != before {
-                continue;
-            }
-            out.push(SpanRecord {
+        let mut out: Vec<SpanRecord> = self
+            .ring
+            .snapshot()
+            .iter()
+            .map(|words| SpanRecord {
                 trace_id: words[0],
                 span_id: words[1],
                 parent_span_id: words[2],
                 kind: SpanKind::from_u64(words[3]),
                 start_ns: words[4],
                 duration_ns: words[5],
-            });
-        }
+            })
+            .collect();
         out.sort_by_key(|r| r.start_ns);
         out
     }
@@ -256,15 +232,19 @@ pub struct TraceConfig {
     pub ring_capacity: usize,
     /// Capacity of the slow-request ring.
     pub slow_capacity: usize,
+    /// Capacity of the control-plane event journal (see
+    /// [`crate::events`]).
+    pub event_capacity: usize,
 }
 
 impl Default for TraceConfig {
     fn default() -> Self {
         Self {
             sample_one_in: 16,
-            slow_threshold: Duration::from_millis(10),
+            slow_threshold: slow_threshold_from_env().unwrap_or(Duration::from_millis(10)),
             ring_capacity: 1024,
             slow_capacity: 128,
+            event_capacity: 1024,
         }
     }
 }
@@ -402,6 +382,23 @@ impl Tracer {
                 .slow_threshold_ns
                 .store(threshold.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
         }
+    }
+
+    /// The currently effective slow-request threshold (`None` when the
+    /// tracer is disabled).
+    pub fn slow_threshold(&self) -> Option<Duration> {
+        self.inner
+            .as_ref()
+            .map(|i| Duration::from_nanos(i.slow_threshold_ns.load(Ordering::Relaxed)))
+    }
+
+    /// Re-reads [`SLOW_MS_ENV`] and applies it to this live tracer.
+    /// Returns the applied threshold, or `None` when the variable is
+    /// unset/unparsable (the current threshold is then left unchanged).
+    pub fn refresh_slow_threshold_from_env(&self) -> Option<Duration> {
+        let threshold = slow_threshold_from_env()?;
+        self.set_slow_threshold(threshold);
+        Some(threshold)
     }
 
     /// All stable spans currently in the ring, oldest first.
@@ -654,6 +651,35 @@ mod tests {
             t.root(SpanKind::ClientRead).finish();
         }
         assert_eq!(t.spans().len(), 4);
+    }
+
+    #[test]
+    fn slow_threshold_env_applies_to_live_registry() {
+        // This test sets TANGO_SLOW_MS briefly; every other test that
+        // cares about the threshold passes an explicit value, so the
+        // transient override is harmless.
+        let r = Registry::with_trace(TraceConfig {
+            slow_threshold: Duration::from_millis(250),
+            ..TraceConfig::default()
+        });
+        let t = r.tracer();
+        assert_eq!(t.slow_threshold(), Some(Duration::from_millis(250)));
+
+        std::env::set_var(SLOW_MS_ENV, "0");
+        let applied = t.refresh_slow_threshold_from_env();
+        std::env::remove_var(SLOW_MS_ENV);
+        assert_eq!(applied, Some(Duration::from_millis(0)));
+        assert_eq!(t.slow_threshold(), Some(Duration::from_millis(0)));
+
+        // The changed threshold takes effect on the live registry: with a
+        // zero threshold every sampled root is a slow request.
+        t.root_forced(SpanKind::ClientAppend).finish();
+        assert_eq!(t.slow_spans().len(), 1);
+        assert_eq!(r.snapshot().counter("trace.slow_requests"), 1);
+
+        // Unset variable leaves the threshold unchanged.
+        assert_eq!(t.refresh_slow_threshold_from_env(), None);
+        assert_eq!(t.slow_threshold(), Some(Duration::from_millis(0)));
     }
 
     #[test]

@@ -1,16 +1,32 @@
 //! Property tests: `ClusterSnapshot` aggregation is associative and
-//! idempotent, and the merged view sums histogram buckets exactly.
+//! idempotent, the merged view sums histogram buckets exactly, and the
+//! merged timeline is insertion-order independent. Gauges use the
+//! log-scoped health names (`tango.applied_offset[.logN]`, ...) so the
+//! properties cover exactly the composite-offset instruments the sharded
+//! health plane reads.
 
 use proptest::prelude::*;
-use tango_metrics::{ClusterSnapshot, Registry, Snapshot};
+use tango_metrics::health::{GAUGE_APPLIED, GAUGE_SEQ_TAIL};
+use tango_metrics::{log_scoped, ClusterSnapshot, EventKind, Registry, Snapshot};
 
 /// Builds a snapshot from generated instrument values. Instrument names
 /// are drawn from a small pool so snapshots overlap (the interesting
-/// case for merging).
-fn build_snapshot(counters: &[(u8, u64)], hists: &[(u8, Vec<u64>)]) -> Snapshot {
+/// case for merging); gauges land under per-log scoped health names and
+/// events in the journal.
+fn build_snapshot(
+    counters: &[(u8, u64)],
+    gauges: &[(u8, i64)],
+    hists: &[(u8, Vec<u64>)],
+    events: &[(u8, u64)],
+) -> Snapshot {
     let r = Registry::new();
     for (name, v) in counters {
         r.counter(&format!("c{}", name % 4)).add(*v);
+    }
+    for (log, v) in gauges {
+        // Log 0 exercises the bare-name alias, higher logs the suffix.
+        let base = if log % 2 == 0 { GAUGE_APPLIED } else { GAUGE_SEQ_TAIL };
+        r.gauge(&log_scoped(base, (log % 3) as u64)).add(*v);
     }
     for (name, samples) in hists {
         let h = r.histogram(&format!("h{}", name % 3));
@@ -18,18 +34,25 @@ fn build_snapshot(counters: &[(u8, u64)], hists: &[(u8, Vec<u64>)]) -> Snapshot 
             h.record(*s);
         }
     }
+    for (log, detail) in events {
+        r.events().emit(EventKind::Sealed, detail % 5, (log % 3) as u64, *detail);
+    }
     r.snapshot()
 }
 
 fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
     (
         proptest::collection::vec((any::<u8>(), 0u64..1_000_000), 0..8),
+        proptest::collection::vec((any::<u8>(), -1_000i64..1_000_000), 0..6),
         proptest::collection::vec(
             (any::<u8>(), proptest::collection::vec(any::<u64>(), 0..16)),
             0..4,
         ),
+        proptest::collection::vec((any::<u8>(), any::<u64>()), 0..6),
     )
-        .prop_map(|(counters, hists)| build_snapshot(&counters, &hists))
+        .prop_map(|(counters, gauges, hists, events)| {
+            build_snapshot(&counters, &gauges, &hists, &events)
+        })
 }
 
 fn one_node(name: String, snap: Snapshot) -> ClusterSnapshot {
@@ -82,6 +105,24 @@ proptest! {
         ba.insert("node-a", b);
         ba.insert("node-b", a);
         prop_assert_eq!(ab.merged(), ba.merged());
+    }
+
+    #[test]
+    fn timeline_is_insertion_order_independent(a in arb_snapshot(), b in arb_snapshot()) {
+        let mut ab = ClusterSnapshot::new();
+        ab.insert("node-a", a.clone());
+        ab.insert("node-b", b.clone());
+        let mut ba = ClusterSnapshot::new();
+        ba.insert("node-b", b.clone());
+        ba.insert("node-a", a.clone());
+        // Re-inserting the same scrape never duplicates events.
+        ba.insert("node-a", a.clone());
+        prop_assert_eq!(ab.timeline_text(), ba.timeline_text());
+        prop_assert_eq!(
+            ab.timeline().len(),
+            a.events.len() + b.events.len(),
+            "the merged timeline carries every journalled event exactly once"
+        );
     }
 
     #[test]

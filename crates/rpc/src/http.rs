@@ -6,9 +6,17 @@
 //! * `GET /metrics` — human-readable text snapshot (also served at `/`)
 //! * `GET /metrics.json` — JSON snapshot
 //! * `GET /spans.json` — recorded trace spans plus the slow-request log
+//! * `GET /events.json` — this node's structured control-plane event
+//!   journal (the flight recorder)
+//! * `GET /healthz` — this node's health verdict (`ok` / `degraded` /
+//!   `unhealthy`) with machine-readable reasons; `unhealthy` answers 503
 //! * `GET /snapshot.bin` — the binary snapshot encoding
 //!   ([`Snapshot::to_bytes`]), which is what the cluster aggregator
-//!   fetches so nothing ever needs to *parse* JSON
+//!   fetches so nothing ever needs to *parse* JSON (events ride along)
+//!
+//! Each request re-reads `TANGO_SLOW_MS` into the registry's tracer, so
+//! the slow-request threshold can be retuned on a live process between
+//! scrapes.
 //!
 //! The implementation is intentionally tiny: `GET` only, one request per
 //! connection (`Connection: close`), no keep-alive, no chunking. Requests
@@ -26,7 +34,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel;
-use tango_metrics::{spans_to_json, Registry, Snapshot};
+use tango_metrics::{
+    events_to_json, spans_to_json, HealthPolicy, HealthReport, Registry, Snapshot,
+};
 
 use crate::{Result, RpcError};
 
@@ -186,6 +196,9 @@ fn serve_request(stream: TcpStream, registry: &Registry) {
         return;
     }
     let path = path.split('?').next().unwrap_or(path);
+    // A live process can be retuned between scrapes: the slow-request
+    // threshold follows TANGO_SLOW_MS without a restart.
+    registry.tracer().refresh_slow_threshold_from_env();
     let (status, content_type, body): (u16, &str, Vec<u8>) = match path {
         "/" | "/metrics" => {
             (200, "text/plain; charset=utf-8", registry.snapshot().to_text().into_bytes())
@@ -199,6 +212,16 @@ fn serve_request(stream: TcpStream, registry: &Registry) {
                 spans_to_json(&registry.slow_spans()),
             );
             (200, "application/json", body.into_bytes())
+        }
+        "/events.json" => {
+            let body = format!("{{\"events\":{}}}", events_to_json(&registry.event_records()));
+            (200, "application/json", body.into_bytes())
+        }
+        "/healthz" => {
+            let report = HealthReport::evaluate(&registry.snapshot(), &HealthPolicy::default());
+            let status =
+                if report.status == tango_metrics::HealthStatus::Unhealthy { 503 } else { 200 };
+            (status, "application/json", report.to_json().into_bytes())
         }
         _ => (404, "text/plain", b"not found".to_vec()),
     };
@@ -215,6 +238,7 @@ fn write_response(
         200 => "OK",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        503 => "Service Unavailable",
         _ => "Error",
     };
     let head = format!(
@@ -338,6 +362,68 @@ mod tests {
         // Query strings are ignored for routing.
         let (status, _) = http_get(&addr, "/metrics?x=1", t).unwrap();
         assert_eq!(status, 200);
+    }
+
+    #[test]
+    fn serves_events_and_healthz() {
+        let registry = test_registry();
+        registry.events().emit(tango_metrics::EventKind::Sealed, 3, 1, 42);
+        let server = HttpScrapeServer::spawn("127.0.0.1:0", registry).unwrap();
+        let addr = server.local_addr().to_string();
+        let t = Duration::from_secs(2);
+
+        let (status, body) = http_get(&addr, "/events.json", t).unwrap();
+        assert_eq!(status, 200);
+        let text = String::from_utf8_lossy(&body);
+        assert!(text.starts_with("{\"events\":["), "{text}");
+        assert!(text.contains("\"kind\":\"sealed\""), "{text}");
+
+        let (status, body) = http_get(&addr, "/healthz", t).unwrap();
+        assert_eq!(status, 200);
+        let text = String::from_utf8_lossy(&body);
+        assert!(text.starts_with("{\"status\":\"ok\""), "{text}");
+    }
+
+    #[test]
+    fn unhealthy_healthz_answers_503() {
+        let registry = Registry::new();
+        let policy = HealthPolicy::default();
+        registry
+            .gauge(tango_metrics::health::GAUGE_HOLE_BACKLOG)
+            .set(policy.max_hole_backlog * 4 + 1);
+        let server = HttpScrapeServer::spawn("127.0.0.1:0", registry).unwrap();
+        let addr = server.local_addr().to_string();
+
+        let (status, body) = http_get(&addr, "/healthz", Duration::from_secs(2)).unwrap();
+        assert_eq!(status, 503);
+        let text = String::from_utf8_lossy(&body);
+        assert!(text.starts_with("{\"status\":\"unhealthy\""), "{text}");
+        assert!(text.contains("hole_backlog"), "{text}");
+    }
+
+    #[test]
+    fn scrape_applies_tango_slow_ms_to_the_live_registry() {
+        let registry = Registry::new();
+        let server = HttpScrapeServer::spawn("127.0.0.1:0", registry.clone()).unwrap();
+        let addr = server.local_addr().to_string();
+        let t = Duration::from_secs(2);
+        let before = registry.tracer().slow_threshold().unwrap();
+
+        std::env::set_var(tango_metrics::trace::SLOW_MS_ENV, "1234");
+        let (status, _) = http_get(&addr, "/metrics", t).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(
+            registry.tracer().slow_threshold(),
+            Some(Duration::from_millis(1234)),
+            "a scrape must re-read the env var into the live tracer"
+        );
+
+        // Unset leaves the last applied threshold in place.
+        std::env::remove_var(tango_metrics::trace::SLOW_MS_ENV);
+        let (status, _) = http_get(&addr, "/metrics", t).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(registry.tracer().slow_threshold(), Some(Duration::from_millis(1234)));
+        assert_ne!(before, Duration::from_millis(1234), "default differs from the test value");
     }
 
     #[test]

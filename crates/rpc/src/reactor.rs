@@ -36,7 +36,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use parking_lot::Mutex;
-use tango_metrics::{Counter, Gauge, TraceContext};
+use tango_metrics::{Counter, EventKind, Events, Gauge, TraceContext};
 
 use crate::frame::{write_frame_traced, Frame, FrameAssembler, HEADER_LEN, TRACE_EXT_LEN};
 use crate::{Result, RpcError};
@@ -311,6 +311,10 @@ pub(crate) struct ListenerConfig {
     pub dropped: Counter,
     /// Currently registered server-side connections (`rpc.server_conns`).
     pub connections: Gauge,
+    /// Event journal: each accept-time drop is recorded as a
+    /// `ConnDropped` event (detail 0 = over the cap, 1 = registration
+    /// failure) so the flight recorder shows *when* churn happened.
+    pub events: Events,
 }
 
 struct Inner {
@@ -519,11 +523,13 @@ fn accept_ready(inner: &Arc<Inner>, cfg: &ListenerConfig, accept_errors: &mut u3
                     // Close explicitly and account for it — a silently
                     // vanished connection is undebuggable at 10K peers.
                     cfg.dropped.inc();
+                    cfg.events.emit(EventKind::ConnDropped, 0, 0, 0);
                     drop(stream);
                     continue;
                 }
                 if register(inner, stream, Arc::clone(&cfg.sink)).is_err() {
                     cfg.dropped.inc();
+                    cfg.events.emit(EventKind::ConnDropped, 0, 0, 1);
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
@@ -634,6 +640,7 @@ mod tests {
                 max_conns: 16,
                 dropped: Counter::default(),
                 connections: Gauge::default(),
+                events: Events::default(),
             }),
         )
         .unwrap();

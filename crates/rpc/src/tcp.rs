@@ -37,7 +37,7 @@ use std::time::Duration;
 
 use crossbeam::channel;
 use parking_lot::Mutex;
-use tango_metrics::{trace, Counter, Gauge, Histogram, Registry, TraceContext};
+use tango_metrics::{trace, Counter, Events, Gauge, Histogram, Registry, TraceContext};
 
 use crate::frame::Frame;
 use crate::reactor::{self, ListenerConfig, Reactor, Sink};
@@ -60,6 +60,8 @@ pub struct ServerMetrics {
     pub accepts_dropped: Counter,
     /// Connections currently registered with the server's reactor.
     pub connections: Gauge,
+    /// Event journal; accept-time drops land as `ConnDropped` records.
+    pub events: Events,
 }
 
 impl ServerMetrics {
@@ -68,6 +70,7 @@ impl ServerMetrics {
         Self {
             accepts_dropped: registry.counter("rpc.accepts_dropped"),
             connections: registry.gauge("rpc.server_conns"),
+            events: registry.events(),
         }
     }
 
@@ -181,6 +184,7 @@ impl TcpServer {
                 max_conns: options.max_conns,
                 dropped: options.metrics.accepts_dropped,
                 connections: options.metrics.connections,
+                events: options.metrics.events,
             }),
         )?;
         Ok(Self { addr: local, reactor: Some(reactor), workers })

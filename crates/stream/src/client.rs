@@ -7,7 +7,7 @@ use corfu::{
     StreamId,
 };
 use parking_lot::Mutex;
-use tango_metrics::{Counter, Histogram, Registry, SpanKind, Tracer};
+use tango_metrics::{Counter, Events, Histogram, Registry, SpanKind, Tracer};
 
 use crate::cache::EntryCache;
 use crate::cursor::StreamCursor;
@@ -44,6 +44,7 @@ struct StreamMetrics {
     cache_hits: Counter,
     cache_misses: Counter,
     tracer: Tracer,
+    events: Events,
 }
 
 impl StreamMetrics {
@@ -55,6 +56,7 @@ impl StreamMetrics {
             cache_hits: registry.counter("stream.cache_hits"),
             cache_misses: registry.counter("stream.cache_misses"),
             tracer: registry.tracer(),
+            events: registry.events(),
         }
     }
 }
@@ -477,6 +479,21 @@ impl StreamClient {
 
         let mut discovered: Vec<LogOffset> =
             seq_backs.iter().copied().filter(|&o| o != u64::MAX && !is_known(o)).collect();
+        // The playback side of a remap: fresh discoveries landing in a
+        // different log than anything the cursor knew means this stream's
+        // home moved (or its entries span logs). Journalled so a cluster
+        // timeline shows readers reacting to the remap, not just the
+        // coordinator performing it.
+        if let (Some(&newest), Some(&prev)) = (discovered.first(), known.last()) {
+            if log_of_offset(newest) != log_of_offset(prev) {
+                self.metrics.events.emit(
+                    tango_metrics::EventKind::ShardRemapped,
+                    self.corfu.epoch(),
+                    log_of_offset(newest) as u64,
+                    stream as u64,
+                );
+            }
+        }
         // Entries fetched while striding/scanning backward (the walk).
         let mut walked = 0u64;
 

@@ -1,0 +1,212 @@
+//! The `tangoctl` inspector: scrape live nodes, render cluster status,
+//! health, and the merged control-plane timeline.
+//!
+//! Everything here is pure rendering over [`ClusterSnapshot`] /
+//! [`ClusterHealth`] so tests can drive it without sockets; the binary in
+//! `src/bin/tangoctl.rs` is a thin argv-and-scrape shell around it. The
+//! timeline rendering delegates to [`ClusterSnapshot::timeline_text`],
+//! whose causal ordering (epoch, node, node sequence — no clocks) makes
+//! `tangoctl timeline` byte-identical across replays of a seeded chaos
+//! schedule.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use tango_metrics::health::{GAUGE_APPLIED, GAUGE_EPOCH, GAUGE_SEQ_TAIL};
+use tango_metrics::{log_scoped, ClusterHealth, ClusterSnapshot, HealthPolicy, HealthStatus};
+use tango_rpc::fetch_snapshot;
+
+/// One node to scrape: a display name plus its HTTP scrape address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrapeTarget {
+    /// Display name used in renderings (`name=` prefix, or the address).
+    pub name: String,
+    /// `host:port` of the node's scrape endpoint.
+    pub addr: String,
+}
+
+/// Parses `name=host:port` (or bare `host:port`, which names the node
+/// after its address) target arguments.
+pub fn parse_targets(args: &[String]) -> Vec<ScrapeTarget> {
+    args.iter()
+        .map(|arg| match arg.split_once('=') {
+            Some((name, addr)) => ScrapeTarget { name: name.to_string(), addr: addr.to_string() },
+            None => ScrapeTarget { name: arg.clone(), addr: arg.clone() },
+        })
+        .collect()
+}
+
+/// Scrapes every target's `/snapshot.bin`. Nodes that do not answer
+/// within `timeout` land in the returned unreachable list instead of
+/// wedging the scrape.
+pub fn scrape(targets: &[ScrapeTarget], timeout: Duration) -> (ClusterSnapshot, Vec<String>) {
+    let mut cluster = ClusterSnapshot::new();
+    let mut unreachable = Vec::new();
+    for t in targets {
+        match fetch_snapshot(&t.addr, timeout) {
+            Ok(snap) => cluster.insert(t.name.clone(), snap),
+            Err(_) => unreachable.push(t.name.clone()),
+        }
+    }
+    (cluster, unreachable)
+}
+
+/// `name` is `base` scoped to some log (see [`log_scoped`]): returns the
+/// log, with the bare `base` meaning log 0.
+fn scoped_log(name: &str, base: &str) -> Option<u64> {
+    if name == base {
+        return Some(0);
+    }
+    name.strip_prefix(base)?.strip_prefix(".log")?.parse().ok()
+}
+
+/// `tangoctl status`: a per-log shard table (epoch, sequencer tail,
+/// applied watermark, lag — each the max across nodes publishing that
+/// gauge) followed by a per-node summary.
+pub fn render_status(cluster: &ClusterSnapshot, unreachable: &[String]) -> String {
+    let mut out = format!(
+        "cluster: {} node(s) scraped, {} unreachable\n\n",
+        cluster.len(),
+        unreachable.len()
+    );
+
+    // Every log any node publishes a scoped gauge for.
+    let merged = cluster.merged();
+    let mut logs: BTreeSet<u64> = BTreeSet::new();
+    for (name, _) in &merged.gauges {
+        for base in [GAUGE_SEQ_TAIL, GAUGE_APPLIED, GAUGE_EPOCH] {
+            if let Some(log) = scoped_log(name, base) {
+                logs.insert(log);
+            }
+        }
+    }
+
+    out.push_str("LOG  EPOCH  SEQ-TAIL  APPLIED  LAG\n");
+    for log in &logs {
+        let max_gauge = |base: &str| -> i64 {
+            let scoped = log_scoped(base, *log);
+            cluster.nodes().map(|(_, s)| s.gauge(&scoped)).max().unwrap_or(0)
+        };
+        let epoch = max_gauge(GAUGE_EPOCH);
+        let tail = max_gauge(GAUGE_SEQ_TAIL);
+        let applied = max_gauge(GAUGE_APPLIED);
+        out.push_str(&format!(
+            "{:<4} {:<6} {:<9} {:<8} {}\n",
+            log,
+            epoch,
+            tail,
+            applied,
+            (tail - applied).max(0)
+        ));
+    }
+
+    out.push_str("\nNODE                 CONNS  DROPS  EVENTS\n");
+    for (name, snap) in cluster.nodes() {
+        out.push_str(&format!(
+            "{:<20} {:<6} {:<6} {}\n",
+            name,
+            snap.gauge("rpc.server_conns"),
+            snap.counter("rpc.accepts_dropped"),
+            snap.events.len()
+        ));
+    }
+    for name in unreachable {
+        out.push_str(&format!("{name:<20} unreachable\n"));
+    }
+    out
+}
+
+/// `tangoctl health`: the cluster verdict, each tripped reason, and a
+/// per-node status line. Returns the rendering plus the verdict (the
+/// binary maps it to an exit code: ok=0, degraded=1, unhealthy=2).
+pub fn render_health(
+    cluster: &ClusterSnapshot,
+    unreachable: &[String],
+    policy: &HealthPolicy,
+) -> (String, HealthStatus) {
+    let health = ClusterHealth::evaluate(cluster, unreachable, policy);
+    let mut out = format!("cluster: {}\n", health.status.name());
+    for reason in &health.reasons {
+        out.push_str(&format!("  [{}] {}: {}\n", reason.status.name(), reason.code, reason.detail));
+    }
+    for (name, report) in &health.nodes {
+        out.push_str(&format!("node {name}: {}\n", report.status.name()));
+        for reason in &report.reasons {
+            out.push_str(&format!(
+                "  [{}] {}: {}\n",
+                reason.status.name(),
+                reason.code,
+                reason.detail
+            ));
+        }
+    }
+    (out, health.status)
+}
+
+/// `tangoctl timeline`: the merged causally-ordered control-plane
+/// timeline. Replay-stable by construction (no timestamps).
+pub fn render_timeline(cluster: &ClusterSnapshot) -> String {
+    cluster.timeline_text()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_metrics::{EventKind, Registry};
+
+    #[test]
+    fn parse_targets_accepts_named_and_bare() {
+        let targets =
+            parse_targets(&["seq=127.0.0.1:9001".to_string(), "127.0.0.1:9002".to_string()]);
+        assert_eq!(targets[0].name, "seq");
+        assert_eq!(targets[0].addr, "127.0.0.1:9001");
+        assert_eq!(targets[1].name, "127.0.0.1:9002");
+        assert_eq!(targets[1].addr, "127.0.0.1:9002");
+    }
+
+    #[test]
+    fn status_renders_per_log_and_per_node_tables() {
+        let seq = {
+            let r = Registry::new();
+            r.gauge(&log_scoped(GAUGE_SEQ_TAIL, 1)).set(500);
+            r.gauge(&log_scoped(GAUGE_EPOCH, 1)).set(2);
+            r.snapshot()
+        };
+        let client = {
+            let r = Registry::new();
+            r.gauge(&log_scoped(GAUGE_APPLIED, 1)).set(480);
+            r.events().emit(EventKind::Sealed, 2, 1, 500);
+            r.snapshot()
+        };
+        let mut cs = ClusterSnapshot::new();
+        cs.insert("sequencer-1", seq);
+        cs.insert("clients", client);
+        let text = render_status(&cs, &["storage-9".to_string()]);
+        assert!(text.contains("2 node(s) scraped, 1 unreachable"), "{text}");
+        assert!(text.contains("1    2      500       480      20"), "{text}");
+        assert!(text.contains("storage-9"), "{text}");
+        assert!(text.contains("clients"), "{text}");
+    }
+
+    #[test]
+    fn health_maps_verdicts_and_lists_reasons() {
+        let cs = ClusterSnapshot::new();
+        let (text, status) = render_health(&cs, &[], &HealthPolicy::default());
+        assert_eq!(status, HealthStatus::Ok);
+        assert!(text.starts_with("cluster: ok"), "{text}");
+
+        let (text, status) =
+            render_health(&cs, &["storage-1".to_string()], &HealthPolicy::default());
+        assert_eq!(status, HealthStatus::Degraded);
+        assert!(text.contains("[degraded] unreachable"), "{text}");
+    }
+
+    #[test]
+    fn timeline_is_causal_text() {
+        let r = Registry::new();
+        r.events().emit(EventKind::Sealed, 3, 0, 42);
+        let mut cs = ClusterSnapshot::new();
+        cs.insert("seq", r.snapshot());
+        assert_eq!(render_timeline(&cs), "epoch=3 node=seq seq=1 kind=sealed log=0 detail=42\n");
+    }
+}

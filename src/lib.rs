@@ -1,1 +1,3 @@
 //! Shared helpers for the workspace integration tests and examples.
+
+pub mod inspector;
