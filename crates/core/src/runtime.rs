@@ -121,6 +121,10 @@ struct Playback {
     position: LogOffset,
     /// Latest checkpoint record seen per object.
     last_checkpoint: HashMap<Oid, LogOffset>,
+    /// The `as_of` position of each object's latest checkpoint: everything
+    /// below it is captured by that checkpoint, so the log prefix under
+    /// `min` of these floors is safe to reclaim (§3.2 garbage collection).
+    checkpoint_floor: HashMap<Oid, LogOffset>,
 }
 
 /// The Tango runtime (§3): one per client process. All views it hosts are
@@ -166,6 +170,7 @@ impl TangoRuntime {
                 speculative: HashMap::new(),
                 position: 0,
                 last_checkpoint: HashMap::new(),
+                checkpoint_floor: HashMap::new(),
             }),
             dir_state,
             metrics,
@@ -187,6 +192,7 @@ impl TangoRuntime {
             let mut play = self.play.lock();
             play.versions.record_write(DIRECTORY_OID, None, off);
             play.last_checkpoint.insert(DIRECTORY_OID, off);
+            play.checkpoint_floor.insert(DIRECTORY_OID, as_of);
         }
         Ok(())
     }
@@ -304,6 +310,7 @@ impl TangoRuntime {
             // at the checkpoint record's position.
             play.versions.record_write(oid, None, ckpt_off);
             play.last_checkpoint.insert(oid, ckpt_off);
+            play.checkpoint_floor.insert(oid, as_of);
         }
         Ok(view)
     }
@@ -486,9 +493,13 @@ impl TangoRuntime {
             LogRecord::Speculative { txid, updates } => {
                 play.speculative.entry(txid).or_default().insert(off, updates);
             }
-            LogRecord::Checkpoint { oid, .. } => {
+            LogRecord::Checkpoint { oid, as_of, .. } => {
                 let slot = play.last_checkpoint.entry(oid).or_insert(0);
-                *slot = (*slot).max(off);
+                if off >= *slot {
+                    *slot = off;
+                    let floor = play.checkpoint_floor.entry(oid).or_insert(0);
+                    *floor = (*floor).max(as_of);
+                }
             }
             LogRecord::Decision { txid, committed, .. } => {
                 play.decided.entry(txid).or_insert(committed);
@@ -1028,7 +1039,10 @@ impl TangoRuntime {
         let off = self.stream.multiappend(&[oid], Bytes::from(encode_to_vec(&record)))?;
         drop(play);
         self.metrics.checkpoints.inc();
-        self.play.lock().last_checkpoint.insert(oid, off);
+        let mut play = self.play.lock();
+        play.last_checkpoint.insert(oid, off);
+        let floor = play.checkpoint_floor.entry(oid).or_insert(0);
+        *floor = (*floor).max(as_of);
         Ok(off)
     }
 
@@ -1046,6 +1060,59 @@ impl TangoRuntime {
     pub fn compact(&self) -> Result<LogOffset> {
         self.sync()?;
         let horizon = self.dir_state.lock().trim_horizon();
+        if horizon > 0 {
+            self.corfu().trim_prefix(horizon)?;
+            self.metrics.trims.inc();
+            for oid in self.hosted_streams() {
+                self.stream.forget_below(oid, horizon);
+            }
+        }
+        Ok(horizon)
+    }
+
+    /// The checkpoint-driven trim driver (§3.2): checkpoints every hosted
+    /// object that supports it (the directory included), then prefix-trims
+    /// the log below the oldest checkpoint floor via
+    /// [`TangoRuntime::trim_to_checkpoints`]. This is the one call a
+    /// steady-state writer needs to keep storage occupancy bounded.
+    pub fn checkpoint_and_trim(&self) -> Result<LogOffset> {
+        self.sync()?;
+        for oid in self.hosted_streams() {
+            match self.checkpoint(oid) {
+                Ok(_) => {}
+                // An object with no checkpoint support simply pins the
+                // horizon (trim_to_checkpoints returns 0 below).
+                Err(TangoError::CheckpointUnsupported { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.trim_to_checkpoints()
+    }
+
+    /// Prefix-trims the shared log below the minimum checkpoint floor
+    /// across every hosted object, returning the horizon used. Returns 0
+    /// (and trims nothing) while any hosted object has never checkpointed:
+    /// the prefix only becomes garbage once *everyone* has a restore point.
+    ///
+    /// Unlike [`TangoRuntime::compact`] this needs no directory `forget`
+    /// bookkeeping — the checkpoints themselves prove the prefix is dead.
+    /// In a sharded deployment the minimum is a composite offset, so one
+    /// call trims only the oldest log's prefix; repeated calls converge.
+    pub fn trim_to_checkpoints(&self) -> Result<LogOffset> {
+        let horizon = {
+            let play = self.play.lock();
+            let mut horizon = LogOffset::MAX;
+            for oid in play.objects.keys() {
+                match play.checkpoint_floor.get(oid) {
+                    Some(&floor) => horizon = horizon.min(floor),
+                    None => return Ok(0),
+                }
+            }
+            if horizon == LogOffset::MAX {
+                return Ok(0);
+            }
+            horizon
+        };
         if horizon > 0 {
             self.corfu().trim_prefix(horizon)?;
             self.metrics.trims.inc();

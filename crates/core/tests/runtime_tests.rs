@@ -365,6 +365,96 @@ fn checkpoint_restore_and_compact() {
 }
 
 #[test]
+fn checkpoint_and_trim_driver_bounds_the_log() {
+    let cluster = cluster();
+    let rt = runtime(&cluster);
+    let oid = rt.create_or_open("churn").unwrap();
+    let reg = rt.register_object(oid, Register::default(), ObjectOptions::default()).unwrap();
+
+    // Steady-state churn: write a burst, run the driver, repeat. The
+    // horizon must chase the tail so the live window stays bounded.
+    let mut horizons = Vec::new();
+    let mut value = 0i64;
+    for _ in 0..5 {
+        for _ in 0..20 {
+            value += 1;
+            reg.update(None, value.to_le_bytes().to_vec()).unwrap();
+        }
+        reg.query(None, |_| ()).unwrap();
+        horizons.push(rt.checkpoint_and_trim().unwrap());
+    }
+    assert!(horizons.windows(2).all(|w| w[0] <= w[1]), "horizon regressed: {horizons:?}");
+    let last = *horizons.last().unwrap();
+    assert!(last > 0, "driver never trimmed: {horizons:?}");
+
+    // The trimmed prefix is physically gone, and the live window is small:
+    // one burst plus the checkpoint records, not the whole history.
+    let client = cluster.client().unwrap();
+    assert_eq!(client.read(0).unwrap(), corfu::ReadOutcome::Trimmed);
+    let tail = client.check_tail_slow().unwrap();
+    assert!(tail - last < 40, "live window {} too wide (tail {tail}, horizon {last})", tail - last);
+
+    // A fresh runtime restores from checkpoints alone.
+    let rt2 = runtime(&cluster);
+    let reg2 = rt2
+        .register_object_from_checkpoint(oid, Register::default(), ObjectOptions::default())
+        .unwrap();
+    assert_eq!(reg2.query(None, |r| r.0).unwrap(), value);
+}
+
+#[test]
+fn restore_races_with_advancing_trim_horizon() {
+    // Fresh runtimes restore from checkpoints *while* the writer keeps
+    // checkpointing and trimming underneath them. Restores must always
+    // succeed (the stream layer tolerates the moving horizon) and the
+    // restored values must be monotone per reader.
+    let cluster = cluster();
+    let rt = runtime(&cluster);
+    let oid = rt.create_or_open("race").unwrap();
+    let reg = rt.register_object(oid, Register::default(), ObjectOptions::default()).unwrap();
+    reg.update(None, 0i64.to_le_bytes().to_vec()).unwrap();
+    reg.query(None, |_| ()).unwrap();
+    // Seed a restore point before the readers start.
+    rt.checkpoint_and_trim().unwrap();
+
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| {
+                let mut last = 0i64;
+                for _ in 0..12 {
+                    let rt2 = runtime(&cluster);
+                    let reg2 = rt2
+                        .register_object_from_checkpoint(
+                            oid,
+                            Register::default(),
+                            ObjectOptions::default(),
+                        )
+                        .unwrap();
+                    let v = reg2.query(None, |r| r.0).unwrap();
+                    assert!(v >= last, "restored value went backwards: {v} < {last}");
+                    last = v;
+                }
+            });
+        }
+        // The writer churns and trims while the readers restore.
+        for v in 1..=120i64 {
+            reg.update(None, v.to_le_bytes().to_vec()).unwrap();
+            if v % 10 == 0 {
+                reg.query(None, |_| ()).unwrap();
+                rt.checkpoint_and_trim().unwrap();
+            }
+        }
+    });
+
+    // After the dust settles the final value restores cleanly.
+    let rt3 = runtime(&cluster);
+    let reg3 = rt3
+        .register_object_from_checkpoint(oid, Register::default(), ObjectOptions::default())
+        .unwrap();
+    assert_eq!(reg3.query(None, |r| r.0).unwrap(), 120);
+}
+
+#[test]
 fn directory_allocates_unique_oids_under_contention() {
     let cluster = cluster();
     let mut handles = Vec::new();

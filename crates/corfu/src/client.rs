@@ -27,8 +27,8 @@ use crate::proto::{
     PageOutcome, SequencerRequest, SequencerResponse, StorageRequest, StorageResponse, WriteKind,
 };
 use crate::{
-    compose, log_of_offset, CorfuError, Epoch, LogOffset, NodeId, NodeInfo, Projection, Result,
-    StreamId,
+    compose, log_of_offset, raw_of_offset, CorfuError, Epoch, LogOffset, NodeId, NodeInfo,
+    Projection, Result, StreamId,
 };
 
 /// Workers in the lazily-spawned fan-out pool (see [`CallPool`]). The
@@ -1256,7 +1256,13 @@ impl CorfuClient {
     }
 
     /// Trims a single offset, marking it garbage-collectable.
+    ///
+    /// Random (per-address) trims are the expensive kind for flash — they
+    /// punch holes that only a later sequential prefix trim reclaims — so
+    /// they are counted separately (`corfu.client.random_trims`) from the
+    /// [`CorfuClient::trim_prefix`] path.
     pub fn trim(&self, offset: LogOffset) -> Result<()> {
+        self.log_metrics(log_of_offset(offset)).random_trims.inc();
         self.with_epoch_retry("trim", || {
             let proj = self.projection();
             let epoch = proj.epoch_of_log(log_of_offset(offset));
@@ -1283,6 +1289,8 @@ impl CorfuClient {
     /// horizon in log L only log L is trimmed; other logs keep their own
     /// horizons — callers garbage-collect per log.
     pub fn trim_prefix(&self, horizon: LogOffset) -> Result<()> {
+        let log = log_of_offset(horizon);
+        self.log_metrics(log).prefix_trim.set(raw_of_offset(horizon) as i64);
         self.with_epoch_retry("trim_prefix", || {
             let proj = self.projection();
             let log = log_of_offset(horizon);

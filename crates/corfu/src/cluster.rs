@@ -7,11 +7,12 @@
 //! registered for reconfiguration tests.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::RwLock;
-use tango_flash::FlashUnit;
+use tango_flash::{FlashUnit, TieredStore};
 use tango_meta::{Dial, MetaClient, MetaNode, ReplicaInfo};
 use tango_metrics::{ClusterHealth, ClusterSnapshot, HealthPolicy, Registry};
 use tango_rpc::{
@@ -21,6 +22,7 @@ use tango_rpc::{
 use tango_wire::encode_to_vec;
 
 use crate::client::{ClientOptions, ConnFactory, CorfuClient};
+use crate::compactor::{Compactor, CompactorConfig};
 use crate::layout::LayoutClient;
 use crate::projection::{LogLayout, ShardMap};
 use crate::sequencer::SequencerServer;
@@ -48,6 +50,47 @@ pub struct ClusterConfig {
     pub layout_replicas: usize,
     /// Client options handed to [`LocalCluster::client`].
     pub client_options: ClientOptions,
+    /// Page store each storage node runs on.
+    pub storage: StorageBackend,
+    /// When set, every storage node runs a background [`Compactor`] with
+    /// this cadence (horizon advance + cold migration + periodic scrub).
+    /// The harness owns the handles and stops them on drop.
+    pub compaction: Option<CompactorConfig>,
+}
+
+/// What a storage node keeps its pages on.
+#[derive(Debug, Clone, Default)]
+pub enum StorageBackend {
+    /// Volatile in-memory pages — the default, and the fastest for unit
+    /// tests. No tiering: every page is "hot" forever.
+    #[default]
+    InMemory,
+    /// A [`TieredStore`] per node under `root/node-<id>`: RAM hot tail,
+    /// segmented cold files, whole-segment reclamation below the trim
+    /// horizon. This is the backend the churn bench runs on.
+    Tiered {
+        /// Directory under which each node's store lives.
+        root: PathBuf,
+        /// Cold-tier segment size in pages.
+        pages_per_segment: u64,
+        /// Target number of hot (RAM) pages per node.
+        hot_capacity: usize,
+    },
+}
+
+impl StorageBackend {
+    fn build_unit(&self, node_id: NodeId, page_size: usize) -> Result<FlashUnit> {
+        match self {
+            StorageBackend::InMemory => Ok(FlashUnit::in_memory(page_size)),
+            StorageBackend::Tiered { root, pages_per_segment, hot_capacity } => {
+                let dir = root.join(format!("node-{node_id}"));
+                let store = TieredStore::open(&dir, page_size, *pages_per_segment, *hot_capacity)
+                    .map_err(|e| crate::CorfuError::Storage(e.to_string()))?;
+                FlashUnit::open(Box::new(store), page_size)
+                    .map_err(|e| crate::CorfuError::Storage(e.to_string()))
+            }
+        }
+    }
 }
 
 impl Default for ClusterConfig {
@@ -60,6 +103,8 @@ impl Default for ClusterConfig {
             k_backpointers: 4,
             layout_replicas: 3,
             client_options: ClientOptions::default(),
+            storage: StorageBackend::InMemory,
+            compaction: None,
         }
     }
 }
@@ -79,6 +124,21 @@ impl ClusterConfig {
     /// partitioned across them.
     pub fn sharded(num_logs: usize) -> Self {
         Self { num_logs, num_sets: 1, replication: 1, ..Self::default() }
+    }
+
+    /// Puts every storage node on a [`TieredStore`] under `root` and turns
+    /// the background compactor on — the configuration the churn bench and
+    /// the reclamation integration tests run.
+    pub fn with_tiered_storage(
+        mut self,
+        root: impl Into<PathBuf>,
+        pages_per_segment: u64,
+        hot_capacity: usize,
+    ) -> Self {
+        self.storage =
+            StorageBackend::Tiered { root: root.into(), pages_per_segment, hot_capacity };
+        self.compaction = Some(CompactorConfig::default());
+        self
     }
 }
 
@@ -140,6 +200,9 @@ pub struct LocalCluster {
     layout_replicas: parking_lot::Mutex<Vec<ReplicaInfo>>,
     sequencers: Vec<Arc<SequencerServer>>,
     storage: Vec<Arc<StorageServer>>,
+    /// Background compactors (one per storage node when enabled). Held so
+    /// they stop when the cluster drops.
+    compactors: parking_lot::Mutex<Vec<Compactor>>,
     sequencer_generation: std::sync::atomic::AtomicU32,
     storage_generation: std::sync::atomic::AtomicU32,
     layout_generation: std::sync::atomic::AtomicU32,
@@ -167,6 +230,7 @@ impl LocalCluster {
         let registry = HandlerRegistry::default();
         let metrics = Registry::new();
         let mut storage = Vec::new();
+        let mut compactors = Vec::new();
         let mut sequencers = Vec::new();
         let mut logs = Vec::new();
         let mut nodes = Vec::new();
@@ -177,10 +241,16 @@ impl LocalCluster {
             for _ in 0..config.num_sets {
                 let mut set = Vec::new();
                 for _ in 0..config.replication {
+                    let unit = config
+                        .storage
+                        .build_unit(next_id, config.page_size)
+                        .expect("open storage backend");
                     let server = Arc::new(
-                        StorageServer::new(FlashUnit::in_memory(config.page_size))
-                            .with_metrics(&metrics),
+                        StorageServer::new(unit).with_metrics_for_log(&metrics, log as u64),
                     );
+                    if let Some(cfg) = &config.compaction {
+                        compactors.push(Compactor::spawn(Arc::clone(&server), cfg.clone()));
+                    }
                     let addr = format!("storage-{next_id}");
                     registry.register(addr.clone(), Arc::clone(&server) as Arc<dyn RpcHandler>);
                     storage.push(server);
@@ -229,6 +299,7 @@ impl LocalCluster {
             layout_replicas: parking_lot::Mutex::new(layout_set),
             sequencers,
             storage,
+            compactors: parking_lot::Mutex::new(compactors),
             sequencer_generation: std::sync::atomic::AtomicU32::new(1),
             storage_generation: std::sync::atomic::AtomicU32::new(0),
             layout_generation: std::sync::atomic::AtomicU32::new(0),
@@ -387,10 +458,15 @@ impl LocalCluster {
         let gen = self.storage_generation.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         let id = STORAGE_REPLACEMENT_BASE_ID + gen;
         let addr = format!("storage-{id}");
-        let server = Arc::new(
-            StorageServer::new(FlashUnit::in_memory(self.config.page_size))
-                .with_metrics(&self.metrics),
-        );
+        let unit = self
+            .config
+            .storage
+            .build_unit(id, self.config.page_size)
+            .expect("open storage backend");
+        let server = Arc::new(StorageServer::new(unit).with_metrics(&self.metrics));
+        if let Some(cfg) = &self.config.compaction {
+            self.compactors.lock().push(Compactor::spawn(Arc::clone(&server), cfg.clone()));
+        }
         self.registry.register(addr.clone(), Arc::clone(&server) as Arc<dyn RpcHandler>);
         (NodeInfo { id, addr }, server)
     }
@@ -493,6 +569,12 @@ pub struct TcpCluster {
     /// Storage nodes by id; removing one drops it, which shuts the
     /// listener (and its scrape endpoint) down and disconnects clients.
     storage_servers: parking_lot::Mutex<HashMap<NodeId, TcpNode>>,
+    /// The storage servers behind the listeners, for direct assertions
+    /// (tier stats, compaction reports) without an RPC round trip.
+    storage_handles: parking_lot::Mutex<HashMap<NodeId, Arc<StorageServer>>>,
+    /// Per-node background compactors when [`ClusterConfig::compaction`]
+    /// is set; killing a node stops its compactor.
+    compactors: parking_lot::Mutex<HashMap<NodeId, Compactor>>,
     /// Metalog (layout) replicas by id, each with its own registry and
     /// scrape endpoint; removing one simulates a layout-replica crash.
     layout_servers: parking_lot::Mutex<HashMap<NodeId, TcpNode>>,
@@ -519,6 +601,8 @@ impl TcpCluster {
     pub fn spawn(config: ClusterConfig) -> Result<Self> {
         let metrics = Registry::new();
         let mut storage_servers = HashMap::new();
+        let mut storage_handles = HashMap::new();
+        let mut compactors = HashMap::new();
         let mut aux_servers = Vec::new();
         let mut logs = Vec::new();
         let mut nodes = Vec::new();
@@ -530,10 +614,16 @@ impl TcpCluster {
                 let mut set = Vec::new();
                 for _ in 0..config.replication {
                     let registry = Registry::new();
-                    let handler: Arc<dyn RpcHandler> = Arc::new(
-                        StorageServer::new(FlashUnit::in_memory(config.page_size))
-                            .with_metrics(&registry),
+                    let unit = config.storage.build_unit(next_id, config.page_size)?;
+                    let server = Arc::new(
+                        StorageServer::new(unit).with_metrics_for_log(&registry, log as u64),
                     );
+                    if let Some(cfg) = &config.compaction {
+                        compactors
+                            .insert(next_id, Compactor::spawn(Arc::clone(&server), cfg.clone()));
+                    }
+                    let handler: Arc<dyn RpcHandler> = Arc::clone(&server) as Arc<dyn RpcHandler>;
+                    storage_handles.insert(next_id, server);
                     let node = TcpNode::spawn(format!("storage-{next_id}"), handler, registry)?;
                     nodes
                         .push(NodeInfo { id: next_id, addr: node.server.local_addr().to_string() });
@@ -585,6 +675,8 @@ impl TcpCluster {
         Ok(Self {
             config,
             storage_servers: parking_lot::Mutex::new(storage_servers),
+            storage_handles: parking_lot::Mutex::new(storage_handles),
+            compactors: parking_lot::Mutex::new(compactors),
             layout_servers: parking_lot::Mutex::new(layout_servers),
             layout_replicas: parking_lot::Mutex::new(layout_set),
             aux_servers,
@@ -688,9 +780,22 @@ impl TcpCluster {
     /// The node stays on the monitoring target list (unreachable) until
     /// [`TcpCluster::retire_scrape_target`].
     pub fn kill_storage_node(&self, id: NodeId) {
+        // Stop the node's compactor first so no background pass runs on a
+        // "dead" unit, then drop the server handle — with a tiered backend
+        // that loses the RAM hot tail, exactly like a real crash.
+        if let Some(mut compactor) = self.compactors.lock().remove(&id) {
+            compactor.stop();
+        }
+        self.storage_handles.lock().remove(&id);
         if let Some(node) = self.storage_servers.lock().remove(&id) {
             self.dead_targets.lock().push(node.name.clone());
         }
+    }
+
+    /// Direct access to one storage node's server (for assertions on tier
+    /// stats or manual compaction). `None` for unknown or killed nodes.
+    pub fn storage_server(&self, id: NodeId) -> Option<Arc<StorageServer>> {
+        self.storage_handles.lock().get(&id).cloned()
     }
 
     /// Spawns a fresh, empty storage server on an ephemeral port (with its
@@ -700,11 +805,15 @@ impl TcpCluster {
         let gen = self.storage_generation.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         let id = STORAGE_REPLACEMENT_BASE_ID + gen;
         let registry = Registry::new();
-        let handler: Arc<dyn RpcHandler> = Arc::new(
-            StorageServer::new(FlashUnit::in_memory(self.config.page_size)).with_metrics(&registry),
-        );
+        let unit = self.config.storage.build_unit(id, self.config.page_size)?;
+        let server = Arc::new(StorageServer::new(unit).with_metrics(&registry));
+        if let Some(cfg) = &self.config.compaction {
+            self.compactors.lock().insert(id, Compactor::spawn(Arc::clone(&server), cfg.clone()));
+        }
+        let handler: Arc<dyn RpcHandler> = Arc::clone(&server) as Arc<dyn RpcHandler>;
         let node = TcpNode::spawn(format!("storage-{id}"), handler, registry)?;
         let info = NodeInfo { id, addr: node.server.local_addr().to_string() };
+        self.storage_handles.lock().insert(id, server);
         self.storage_servers.lock().insert(id, node);
         Ok(info)
     }

@@ -30,6 +30,7 @@
 
 mod client;
 pub mod cluster;
+pub mod compactor;
 mod entry;
 mod error;
 mod layout;
@@ -41,12 +42,13 @@ mod sequencer;
 mod storage;
 
 pub use client::{AppendOutcome, ClientOptions, ConnFactory, CorfuClient, ReadOutcome, Token};
+pub use compactor::{Compactor, CompactorConfig};
 pub use entry::{CrossLogLink, EntryEnvelope, StreamHeader};
 pub use error::CorfuError;
 pub use layout::{LayoutClient, LayoutServer};
 pub use projection::{LogLayout, NodeInfo, Projection, ShardMap};
 pub use sequencer::{SequencerServer, SequencerState, MAX_TOKEN_BATCH};
-pub use storage::{StorageServer, MAX_READ_BATCH};
+pub use storage::{CompactionReport, StorageServer, MAX_READ_BATCH};
 
 /// A reconfiguration epoch. All requests are epoch-stamped; sealed servers
 /// reject stale epochs.

@@ -6,6 +6,7 @@
 //! bind every component to one shared [`Registry`] so a single snapshot
 //! covers the whole deployment.
 
+use tango_metrics::health::{GAUGE_OCCUPANCY, GAUGE_TRIM_HORIZON};
 use tango_metrics::{log_scoped, Counter, Events, Gauge, Histogram, Registry, Sampler, Tracer};
 
 /// Client-side instruments (`corfu.client.*`).
@@ -98,6 +99,13 @@ pub struct ClientLogMetrics {
     pub appends: Counter,
     /// Holes this client patched in this log.
     pub hole_fills: Counter,
+    /// Per-address trims this client issued against this log (hole
+    /// handling and explicit `trim` calls) — random trims, the kind that
+    /// wears flash (§2.2).
+    pub random_trims: Counter,
+    /// The highest prefix-trim horizon (raw, within-log offset) this
+    /// client has driven for this log.
+    pub prefix_trim: Gauge,
 }
 
 impl ClientLogMetrics {
@@ -106,6 +114,8 @@ impl ClientLogMetrics {
         Self {
             appends: registry.counter(&log_scoped("corfu.client.appends", log)),
             hole_fills: registry.counter(&log_scoped("corfu.client.hole_fills", log)),
+            random_trims: registry.counter(&log_scoped("corfu.client.random_trims", log)),
+            prefix_trim: registry.gauge(&log_scoped("corfu.client.prefix_trim", log)),
         }
     }
 }
@@ -169,6 +179,12 @@ impl SequencerMetrics {
 
 /// Storage-node instruments (`corfu.storage.*`), shared by every node bound
 /// to the same registry.
+///
+/// The request counters keep their historical bare names even in sharded
+/// deployments (every node bound to one registry aggregates); the trim
+/// accounting and the occupancy/tiering family added for the reclamation
+/// loop are log-scoped via [`log_scoped`] so `/metrics` tells the shards
+/// apart (log 0 keeps bare names).
 #[derive(Clone, Default)]
 pub struct StorageMetrics {
     /// Successful page reads (any outcome: data, junk, unwritten, trimmed).
@@ -191,15 +207,53 @@ pub struct StorageMetrics {
     /// histograms this decomposes storage latency into queue wait vs.
     /// device service time.
     pub queue_wait_ns: Histogram,
+    /// Per-address trims accepted (`corfu.storage.random_trims`,
+    /// log-scoped) — the expensive kind of reclamation on flash (§2.2).
+    pub random_trims: Counter,
+    /// `TrimPrefix` requests accepted (log-scoped).
+    pub prefix_trims: Counter,
+    /// Pages released by sequential prefix trims
+    /// (`corfu.storage.prefix_trimmed_pages`, log-scoped).
+    pub prefix_trimmed_pages: Counter,
+    /// Live (untrimmed) pages on the unit ([`GAUGE_OCCUPANCY`],
+    /// log-scoped). The health plane compares this against
+    /// `HealthPolicy::max_occupancy`.
+    pub occupancy: Gauge,
+    /// The unit's prefix-trim horizon ([`GAUGE_TRIM_HORIZON`], log-scoped).
+    pub trim_horizon: Gauge,
+    /// Live pages resident in the hot (RAM) tier (log-scoped).
+    pub hot_pages: Gauge,
+    /// Live pages resident in the cold (file) tier (log-scoped).
+    pub cold_pages: Gauge,
+    /// Migration passes that moved pages hot → cold (log-scoped).
+    pub migrations: Counter,
+    /// Pages migrated hot → cold (log-scoped).
+    pub migrated_pages: Counter,
+    /// Live pages released by tiered reclamation (log-scoped).
+    pub reclaimed_pages: Counter,
+    /// Whole segment files reclaimed below the horizon (log-scoped).
+    pub reclaimed_segments: Counter,
+    /// Pages whose checksums the scrub pass verified (log-scoped).
+    pub scrubbed_pages: Counter,
+    /// Scrub checksum failures (log-scoped). Any nonzero value is bit rot.
+    pub scrub_errors: Counter,
     /// Gate pacing `queue_wait_ns`.
     pub sampler: Sampler,
     /// Span recorder for storage-side child spans.
     pub tracer: Tracer,
+    /// Control-plane event journal (segment reclaims, cold migrations).
+    pub events: Events,
 }
 
 impl StorageMetrics {
-    /// Binds the `corfu.storage.*` names in `registry`.
+    /// Binds the `corfu.storage.*` names in `registry`, scoped to log 0.
     pub fn from_registry(registry: &Registry) -> Self {
+        Self::for_log(registry, 0)
+    }
+
+    /// Binds the `corfu.storage.*` names in `registry`, with the trim and
+    /// occupancy family scoped to `log`.
+    pub fn for_log(registry: &Registry, log: u64) -> Self {
         Self {
             reads: registry.counter("corfu.storage.reads"),
             writes: registry.counter("corfu.storage.writes"),
@@ -209,8 +263,24 @@ impl StorageMetrics {
             copy_chunks: registry.counter("corfu.storage.copy_chunks"),
             read_batch: registry.histogram("corfu.storage.read_batch"),
             queue_wait_ns: registry.histogram("flash.queue_wait_ns"),
+            random_trims: registry.counter(&log_scoped("corfu.storage.random_trims", log)),
+            prefix_trims: registry.counter(&log_scoped("corfu.storage.prefix_trims", log)),
+            prefix_trimmed_pages: registry
+                .counter(&log_scoped("corfu.storage.prefix_trimmed_pages", log)),
+            occupancy: registry.gauge(&log_scoped(GAUGE_OCCUPANCY, log)),
+            trim_horizon: registry.gauge(&log_scoped(GAUGE_TRIM_HORIZON, log)),
+            hot_pages: registry.gauge(&log_scoped("corfu.storage.hot_pages", log)),
+            cold_pages: registry.gauge(&log_scoped("corfu.storage.cold_pages", log)),
+            migrations: registry.counter(&log_scoped("corfu.storage.migrations", log)),
+            migrated_pages: registry.counter(&log_scoped("corfu.storage.migrated_pages", log)),
+            reclaimed_pages: registry.counter(&log_scoped("corfu.storage.reclaimed_pages", log)),
+            reclaimed_segments: registry
+                .counter(&log_scoped("corfu.storage.reclaimed_segments", log)),
+            scrubbed_pages: registry.counter(&log_scoped("corfu.storage.scrubbed_pages", log)),
+            scrub_errors: registry.counter(&log_scoped("corfu.storage.scrub_errors", log)),
             sampler: Sampler::default(),
             tracer: registry.tracer(),
+            events: registry.events(),
         }
     }
 }

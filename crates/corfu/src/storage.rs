@@ -1,8 +1,8 @@
 //! The storage server: an epoch gate in front of a [`FlashUnit`].
 
 use parking_lot::Mutex;
-use tango_flash::{FlashError, FlashMetrics, FlashUnit, PageRead};
-use tango_metrics::{Registry, SpanKind};
+use tango_flash::{FlashError, FlashMetrics, FlashUnit, PageRead, ScrubReport, TierStats};
+use tango_metrics::{EventKind, Registry, SpanKind};
 use tango_rpc::RpcHandler;
 use tango_wire::{decode_from_slice, encode_to_vec};
 
@@ -31,18 +31,53 @@ pub const MAX_READ_BATCH: usize = 1024;
 pub struct StorageServer {
     inner: Mutex<Inner>,
     metrics: StorageMetrics,
+    /// The log (shard) this node serves, for flight-recorder events.
+    log: u64,
 }
 
 struct Inner {
     unit: FlashUnit,
     epoch: Epoch,
+    /// Tier/wear values already folded into the monotone metrics counters;
+    /// publication adds only the delta since the last publish.
+    published: PublishedBaseline,
+}
+
+#[derive(Default)]
+struct PublishedBaseline {
+    random_trims: u64,
+    prefix_trimmed_pages: u64,
+    migrations: u64,
+    migrated_pages: u64,
+    reclaimed_pages: u64,
+    reclaimed_segments: u64,
+}
+
+/// What one compaction pass accomplished (see
+/// [`StorageServer::compact_once`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// The prefix-trim horizon after the pass.
+    pub trim_horizon: u64,
+    /// Pages migrated hot → cold by this pass.
+    pub migrated_pages: u64,
+    /// Whole segments reclaimed by this pass.
+    pub reclaimed_segments: u64,
+    /// Live (untrimmed) pages occupying the unit after the pass.
+    pub occupancy: u64,
+    /// The CRC scrub outcome, when the pass scrubbed.
+    pub scrub: Option<ScrubReport>,
 }
 
 impl StorageServer {
     /// Wraps a flash unit. The server adopts the unit's persisted epoch.
     pub fn new(unit: FlashUnit) -> Self {
         let epoch = unit.epoch();
-        Self { inner: Mutex::new(Inner { unit, epoch }), metrics: StorageMetrics::default() }
+        Self {
+            inner: Mutex::new(Inner { unit, epoch, published: PublishedBaseline::default() }),
+            metrics: StorageMetrics::default(),
+            log: 0,
+        }
     }
 
     /// Records `corfu.storage.*` and `flash.*` metrics into `registry`
@@ -51,6 +86,16 @@ impl StorageServer {
     pub fn with_metrics(mut self, registry: &Registry) -> Self {
         self.metrics = StorageMetrics::from_registry(registry);
         self.inner.get_mut().unit.set_metrics(FlashMetrics::from_registry(registry));
+        self
+    }
+
+    /// Like [`StorageServer::with_metrics`], but scopes the trim/occupancy
+    /// family and flight-recorder events to `log` — for sharded
+    /// deployments where one node serves one log of the stripe.
+    pub fn with_metrics_for_log(mut self, registry: &Registry, log: u64) -> Self {
+        self.metrics = StorageMetrics::for_log(registry, log);
+        self.inner.get_mut().unit.set_metrics(FlashMetrics::from_registry(registry));
+        self.log = log;
         self
     }
 
@@ -68,6 +113,106 @@ impl StorageServer {
     /// Wear statistics from the underlying unit.
     pub fn stats(&self) -> tango_flash::WearStats {
         self.inner.lock().unit.stats()
+    }
+
+    /// Hot/cold occupancy and migration accounting from the underlying
+    /// unit (all zeros over single-tier stores).
+    pub fn tier_stats(&self) -> TierStats {
+        self.inner.lock().unit.tier_stats()
+    }
+
+    /// Live (untrimmed) pages currently occupying the unit.
+    pub fn occupancy(&self) -> u64 {
+        self.inner.lock().unit.live_pages()
+    }
+
+    /// The unit's prefix-trim horizon.
+    pub fn trim_horizon(&self) -> u64 {
+        self.inner.lock().unit.prefix_trim()
+    }
+
+    /// One compaction pass, the unit of work the background
+    /// [`crate::compactor::Compactor`] repeats: convert accumulated
+    /// contiguous trim marks into a sequential prefix trim, migrate hot
+    /// pages past the tier's capacity into cold segments, optionally
+    /// verify cold-tier CRCs, and publish occupancy/tiering metrics and
+    /// flight-recorder events.
+    ///
+    /// Each step runs under the unit lock (requests queue behind it, which
+    /// the `flash.queue_wait_ns` histogram makes visible), but the pass is
+    /// deliberately incremental so the lock is never held across the whole
+    /// device.
+    pub fn compact_once(&self, scrub: bool) -> CompactionReport {
+        let mut inner = self.inner.lock();
+        let horizon =
+            inner.unit.advance_trim_horizon().unwrap_or_else(|_| inner.unit.prefix_trim());
+        let migrated = inner.unit.migrate_cold().unwrap_or(0);
+        let scrub_report = if scrub {
+            let report = inner.unit.scrub().unwrap_or_default();
+            self.metrics.scrubbed_pages.add(report.pages_checked);
+            self.metrics.scrub_errors.add(report.errors);
+            Some(report)
+        } else {
+            None
+        };
+        let reclaimed_segments = self.publish(&mut inner);
+        CompactionReport {
+            trim_horizon: horizon,
+            migrated_pages: migrated,
+            reclaimed_segments,
+            occupancy: inner.unit.live_pages(),
+            scrub: scrub_report,
+        }
+    }
+
+    /// Folds the unit's monotone wear/tier counters into the metrics
+    /// registry (delta since the last publish), refreshes the occupancy
+    /// gauges, and emits flight-recorder events for reclamation and
+    /// migration. Returns the segments reclaimed since the last publish.
+    fn publish(&self, inner: &mut Inner) -> u64 {
+        let wear = inner.unit.stats();
+        let tier = inner.unit.tier_stats();
+        let base = &mut inner.published;
+
+        self.metrics.random_trims.add(wear.random_trims - base.random_trims);
+        self.metrics
+            .prefix_trimmed_pages
+            .add(wear.prefix_trimmed_pages - base.prefix_trimmed_pages);
+        self.metrics.migrations.add(tier.migrations - base.migrations);
+        self.metrics.migrated_pages.add(tier.migrated_pages - base.migrated_pages);
+        self.metrics.reclaimed_pages.add(tier.reclaimed_pages - base.reclaimed_pages);
+        let reclaimed_segments = tier.reclaimed_segments - base.reclaimed_segments;
+        self.metrics.reclaimed_segments.add(reclaimed_segments);
+
+        if tier.migrated_pages > base.migrated_pages {
+            self.metrics.events.emit(
+                EventKind::ColdMigration,
+                inner.epoch,
+                self.log,
+                tier.migrated_pages - base.migrated_pages,
+            );
+        }
+        if reclaimed_segments > 0 {
+            self.metrics.events.emit(
+                EventKind::SegmentReclaimed,
+                inner.epoch,
+                self.log,
+                reclaimed_segments,
+            );
+        }
+
+        base.random_trims = wear.random_trims;
+        base.prefix_trimmed_pages = wear.prefix_trimmed_pages;
+        base.migrations = tier.migrations;
+        base.migrated_pages = tier.migrated_pages;
+        base.reclaimed_pages = tier.reclaimed_pages;
+        base.reclaimed_segments = tier.reclaimed_segments;
+
+        self.metrics.occupancy.set(inner.unit.live_pages() as i64);
+        self.metrics.trim_horizon.set(inner.unit.prefix_trim() as i64);
+        self.metrics.hot_pages.set(tier.hot_pages as i64);
+        self.metrics.cold_pages.set(tier.cold_pages as i64);
+        reclaimed_segments
     }
 
     /// Processes a decoded request (also used directly by unit tests).
@@ -154,6 +299,7 @@ impl StorageServer {
                 match inner.unit.trim(addr) {
                     Ok(()) => {
                         self.metrics.trims.inc();
+                        self.publish(&mut inner);
                         StorageResponse::Ok
                     }
                     Err(e) => Inner::flash_error(e),
@@ -166,6 +312,8 @@ impl StorageServer {
                 match inner.unit.trim_prefix(horizon) {
                     Ok(()) => {
                         self.metrics.trims.inc();
+                        self.metrics.prefix_trims.inc();
+                        self.publish(&mut inner);
                         StorageResponse::Ok
                     }
                     Err(e) => Inner::flash_error(e),

@@ -24,7 +24,7 @@ use std::path::{Path, PathBuf};
 use bytes::Bytes;
 use tango_wire::crc32c;
 
-use crate::store::{PageKind, PageStore, ScannedPage, ScannedState};
+use crate::store::{PageKind, PageStore, ScannedPage, ScannedState, ScrubReport};
 use crate::{FlashError, PageAddr, Result};
 
 const SLOT_MAGIC: u32 = 0xC0_4F_5E_01;
@@ -151,6 +151,45 @@ impl FileStore {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
             Err(e) => Err(e.into()),
         }
+    }
+
+    /// The number of page slots per segment file.
+    pub fn pages_per_segment(&self) -> u64 {
+        self.pages_per_segment
+    }
+
+    /// Lists the ids of segment files currently on disk, ascending.
+    pub fn segment_ids(&self) -> Result<Vec<u64>> {
+        let mut seg_ids = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(rest) = name.strip_prefix("seg-").and_then(|r| r.strip_suffix(".dat")) {
+                if let Ok(id) = rest.parse::<u64>() {
+                    seg_ids.push(id);
+                }
+            }
+        }
+        seg_ids.sort_unstable();
+        Ok(seg_ids)
+    }
+
+    /// Deletes every segment file whose entire address range falls strictly
+    /// below `horizon`, returning the reclaimed segment ids. The caller must
+    /// have persisted a prefix-trim horizon at or above `horizon` first, so
+    /// a crash between the meta write and the unlinks recovers cleanly (the
+    /// scan ignores addresses below the horizon either way).
+    pub fn remove_segments_below(&mut self, horizon: PageAddr) -> Result<Vec<u64>> {
+        let mut removed = Vec::new();
+        for seg in self.segment_ids()? {
+            let seg_end = (seg + 1).saturating_mul(self.pages_per_segment);
+            if seg_end <= horizon {
+                self.segments.remove(&seg);
+                fs::remove_file(self.segment_path(seg))?;
+                removed.push(seg);
+            }
+        }
+        Ok(removed)
     }
 
     fn decode_meta(bytes: &[u8]) -> Result<(u32, u64, u64, u64, u64)> {
@@ -308,6 +347,38 @@ impl PageStore for FileStore {
             file.sync_data()?;
         }
         Ok(())
+    }
+
+    fn scrub(&self) -> Result<ScrubReport> {
+        let mut report = ScrubReport::default();
+        for seg in self.segment_ids()? {
+            let Some(file) = self.segment_readonly(seg)? else { continue };
+            for slot in 0..self.pages_per_segment {
+                let addr = seg * self.pages_per_segment + slot;
+                let off = slot * self.slot_size();
+                let mut header = [0u8; HEADER_LEN];
+                if file.read_exact_at(&mut header, off).is_err() {
+                    continue;
+                }
+                let Some((state, len, crc, _)) = Self::decode_header(&header, Some(addr)) else {
+                    // Torn write: header never committed, slot is unwritten.
+                    continue;
+                };
+                if state != STATE_DATA {
+                    continue;
+                }
+                report.pages_checked += 1;
+                let mut payload = vec![0u8; len as usize];
+                if file.read_exact_at(&mut payload, off + HEADER_LEN as u64).is_err()
+                    || crc32c(&payload) != crc
+                {
+                    // The header committed (written after the payload), so a
+                    // failing payload CRC is bit rot, not an in-flight write.
+                    report.errors += 1;
+                }
+            }
+        }
+        Ok(report)
     }
 }
 

@@ -10,10 +10,12 @@
 //!   `write`/`read`/`trim`/`trim_prefix`/`seal` and wear accounting. Pages can
 //!   hold data or *junk* (the fill value used to patch holes left by crashed
 //!   clients).
-//! * [`PageStore`] — the persistence backend trait, with two implementations:
-//!   [`MemStore`] (RAM, used by tests and the in-process cluster) and
-//!   [`FileStore`] (segmented slot files with CRC-checked headers and
-//!   crash recovery by scanning).
+//! * [`PageStore`] — the persistence backend trait, with three
+//!   implementations: [`MemStore`] (RAM, used by tests and the in-process
+//!   cluster), [`FileStore`] (segmented slot files with CRC-checked headers
+//!   and crash recovery by scanning), and [`TieredStore`] (hot tail in RAM,
+//!   cold sealed ranges migrated into segment files, with whole-segment
+//!   reclamation below the prefix-trim horizon).
 //!
 //! We do not have the paper's Intel X25-V SSDs; `FileStore` over a local
 //! filesystem is the substitution. It preserves the semantics that matter to
@@ -26,13 +28,15 @@ mod file;
 mod mem;
 mod metrics;
 mod store;
+mod tiered;
 mod unit;
 
 pub use error::FlashError;
 pub use file::FileStore;
 pub use mem::MemStore;
 pub use metrics::FlashMetrics;
-pub use store::{PageKind, PageRead, PageStore, ScannedPage};
+pub use store::{PageKind, PageRead, PageStore, ScannedPage, ScrubReport, TierStats};
+pub use tiered::TieredStore;
 pub use unit::{FlashUnit, WearStats};
 
 /// A page address in the unit's 64-bit write-once address space.

@@ -53,6 +53,38 @@ pub enum ScannedState {
     Trimmed,
 }
 
+/// Occupancy and migration accounting for tiered stores.
+///
+/// Flat (all zeros) for single-tier stores; [`crate::TieredStore`] reports
+/// its hot/cold split, migration traffic, and whole-segment reclamation here.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TierStats {
+    /// Live pages resident in the hot (RAM) tier.
+    pub hot_pages: u64,
+    /// Live pages resident in the cold (segmented file) tier.
+    pub cold_pages: u64,
+    /// Segment files currently backing the cold tier.
+    pub cold_segments: u64,
+    /// Migration passes that moved at least one page hot → cold.
+    pub migrations: u64,
+    /// Total pages migrated hot → cold.
+    pub migrated_pages: u64,
+    /// Whole segment files reclaimed below the prefix-trim horizon.
+    pub reclaimed_segments: u64,
+    /// Live pages released by prefix-trim reclamation.
+    pub reclaimed_pages: u64,
+}
+
+/// The outcome of a CRC scrub pass over a store.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Slots whose checksums were verified.
+    pub pages_checked: u64,
+    /// Slots whose header validated but whose payload failed its CRC —
+    /// bit rot, not a torn write (headers are written after payloads).
+    pub errors: u64,
+}
+
 /// Persistence backend for a [`crate::FlashUnit`].
 ///
 /// The store is a dumb slot device: write-once enforcement, sealing, and trim
@@ -82,4 +114,34 @@ pub trait PageStore: Send {
 
     /// Flushes buffered state to stable storage.
     fn sync(&mut self) -> Result<()>;
+
+    /// Applies a sequential prefix trim: releases every consumed address in
+    /// `addrs` (each strictly below `horizon`) and persists the new horizon.
+    ///
+    /// The default marks each slot individually and then persists metadata;
+    /// tiered stores override this to reclaim whole segments instead of
+    /// touching every slot.
+    fn trim_prefix(&mut self, epoch: u64, horizon: PageAddr, addrs: &[PageAddr]) -> Result<()> {
+        for &addr in addrs {
+            self.mark_trimmed(addr)?;
+        }
+        self.put_meta(epoch, horizon)
+    }
+
+    /// Migrates cold pages toward stable storage, returning how many pages
+    /// moved. A no-op for single-tier stores.
+    fn migrate_cold(&mut self) -> Result<u64> {
+        Ok(0)
+    }
+
+    /// Verifies stored checksums, returning what was checked and how many
+    /// slots failed. Single-tier RAM stores have nothing to verify.
+    fn scrub(&self) -> Result<ScrubReport> {
+        Ok(ScrubReport::default())
+    }
+
+    /// Occupancy/migration accounting; all zeros for single-tier stores.
+    fn tier_stats(&self) -> TierStats {
+        TierStats::default()
+    }
 }

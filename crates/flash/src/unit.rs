@@ -1,6 +1,6 @@
 use std::collections::BTreeMap;
 
-use crate::store::{PageKind, PageRead, PageStore, ScannedState};
+use crate::store::{PageKind, PageRead, PageStore, ScannedState, ScrubReport, TierStats};
 use crate::{FlashError, FlashMetrics, PageAddr, Result};
 
 /// Wear and usage accounting for a flash unit.
@@ -53,6 +53,8 @@ pub struct FlashUnit {
     local_tail: PageAddr,
     epoch: u64,
     page_size: usize,
+    /// Live (data or junk, not trimmed) pages currently occupying the unit.
+    live_pages: u64,
     stats: WearStats,
     metrics: FlashMetrics,
 }
@@ -75,6 +77,7 @@ impl FlashUnit {
                 index.insert(page.addr, state);
             }
         }
+        let live_pages = index.values().filter(|s| !matches!(s, SlotState::Trimmed)).count() as u64;
         Ok(Self {
             store,
             index,
@@ -82,6 +85,7 @@ impl FlashUnit {
             local_tail,
             epoch,
             page_size,
+            live_pages,
             stats: WearStats::default(),
             metrics: FlashMetrics::default(),
         })
@@ -121,6 +125,45 @@ impl FlashUnit {
         self.stats
     }
 
+    /// Live (data or junk, not yet trimmed) pages currently occupying the
+    /// unit: the occupancy number the compactor exports and the churn bench
+    /// proves bounded.
+    pub fn live_pages(&self) -> u64 {
+        self.live_pages
+    }
+
+    /// Hot/cold occupancy and migration accounting from the backing store
+    /// (all zeros over single-tier stores).
+    pub fn tier_stats(&self) -> TierStats {
+        self.store.tier_stats()
+    }
+
+    /// Asks the backing store to migrate cold pages toward stable storage,
+    /// returning how many pages moved.
+    pub fn migrate_cold(&mut self) -> Result<u64> {
+        self.store.migrate_cold()
+    }
+
+    /// Verifies stored checksums in the backing store.
+    pub fn scrub(&self) -> Result<ScrubReport> {
+        self.store.scrub()
+    }
+
+    /// Advances the prefix-trim horizon over any contiguous run of
+    /// individually trimmed slots sitting just above it, converting
+    /// accumulated random trims into a sequential trim (the cheap kind).
+    /// Returns the horizon after the pass.
+    pub fn advance_trim_horizon(&mut self) -> Result<PageAddr> {
+        let mut horizon = self.prefix_trim;
+        while matches!(self.index.get(&horizon), Some(SlotState::Trimmed)) {
+            horizon += 1;
+        }
+        if horizon > self.prefix_trim {
+            self.trim_prefix(horizon)?;
+        }
+        Ok(self.prefix_trim)
+    }
+
     /// Installs service-time instruments (`flash.*`). Until this is
     /// called every histogram handle is a disabled no-op.
     pub fn set_metrics(&mut self, metrics: FlashMetrics) {
@@ -155,6 +198,7 @@ impl FlashUnit {
         }
         self.index.insert(addr, SlotState::Data);
         self.local_tail = self.local_tail.max(addr + 1);
+        self.live_pages += 1;
         self.stats.data_writes += 1;
         self.stats.bytes_written += data.len() as u64;
         timer.stop();
@@ -172,6 +216,7 @@ impl FlashUnit {
         }
         self.index.insert(addr, SlotState::Junk);
         self.local_tail = self.local_tail.max(addr + 1);
+        self.live_pages += 1;
         self.stats.junk_writes += 1;
         timer.stop();
         Ok(())
@@ -245,7 +290,9 @@ impl FlashUnit {
             timer.discard();
             return Err(e);
         }
-        self.index.insert(addr, SlotState::Trimmed);
+        if !matches!(self.index.insert(addr, SlotState::Trimmed), Some(SlotState::Trimmed) | None) {
+            self.live_pages -= 1;
+        }
         self.local_tail = self.local_tail.max(addr + 1);
         self.stats.random_trims += 1;
         timer.stop();
@@ -261,22 +308,20 @@ impl FlashUnit {
         }
         let timer = self.metrics.trim_service_ns.start_sampled(&self.metrics.sampler);
         let removed: Vec<PageAddr> = self.index.range(..horizon).map(|(&addr, _)| addr).collect();
-        for addr in &removed {
-            if let Err(e) = self.store.mark_trimmed(*addr) {
-                timer.discard();
-                return Err(e);
-            }
-        }
-        self.stats.prefix_trimmed_pages += removed.len() as u64;
-        for addr in removed {
-            self.index.remove(&addr);
-        }
-        self.prefix_trim = horizon;
-        self.local_tail = self.local_tail.max(horizon);
-        if let Err(e) = self.store.put_meta(self.epoch, self.prefix_trim) {
+        // One bulk call so tiered stores can reclaim whole segments instead
+        // of marking every slot.
+        if let Err(e) = self.store.trim_prefix(self.epoch, horizon, &removed) {
             timer.discard();
             return Err(e);
         }
+        self.stats.prefix_trimmed_pages += removed.len() as u64;
+        for addr in removed {
+            if !matches!(self.index.remove(&addr), Some(SlotState::Trimmed) | None) {
+                self.live_pages -= 1;
+            }
+        }
+        self.prefix_trim = horizon;
+        self.local_tail = self.local_tail.max(horizon);
         timer.stop();
         Ok(())
     }
@@ -384,6 +429,46 @@ mod tests {
         // Lower horizon is a no-op.
         u.trim_prefix(2).unwrap();
         assert_eq!(u.local_tail(), 10);
+    }
+
+    #[test]
+    fn occupancy_counts_live_pages() {
+        let mut u = unit();
+        for addr in 0..6 {
+            u.write(addr, b"x").unwrap();
+        }
+        u.fill(6).unwrap();
+        assert_eq!(u.live_pages(), 7);
+        u.trim(3).unwrap();
+        assert_eq!(u.live_pages(), 6);
+        // Trimming a trimmed or unwritten address changes nothing.
+        u.trim(3).unwrap();
+        u.trim(100).unwrap();
+        assert_eq!(u.live_pages(), 6);
+        u.trim_prefix(5).unwrap();
+        // 0,1,2,4 were live below the horizon; 3 was already trimmed.
+        assert_eq!(u.live_pages(), 2);
+    }
+
+    #[test]
+    fn advance_trim_horizon_converts_contiguous_random_trims() {
+        let mut u = unit();
+        for addr in 0..6 {
+            u.write(addr, b"x").unwrap();
+        }
+        u.trim(0).unwrap();
+        u.trim(1).unwrap();
+        u.trim(4).unwrap(); // not contiguous with the prefix
+        assert_eq!(u.advance_trim_horizon().unwrap(), 2);
+        assert_eq!(u.prefix_trim(), 2);
+        // 2 and 3 are still live, so the horizon cannot pass them.
+        assert_eq!(u.advance_trim_horizon().unwrap(), 2);
+        u.trim(2).unwrap();
+        u.trim(3).unwrap();
+        // Now 2..=4 are all marked: the horizon jumps over the whole run.
+        assert_eq!(u.advance_trim_horizon().unwrap(), 5);
+        assert_eq!(u.read(4).unwrap(), PageRead::Trimmed);
+        assert_eq!(u.read(5).unwrap(), PageRead::Data(bytes::Bytes::from_static(b"x")));
     }
 
     #[test]

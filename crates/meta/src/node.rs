@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
+use tango_flash::{FlashUnit, PageRead};
 use tango_metrics::Registry;
 use tango_rpc::RpcHandler;
 use tango_wire::{decode_from_slice, encode_to_vec};
@@ -17,8 +18,17 @@ use crate::Position;
 /// the incumbent — the same arbitration rule the data plane's flash units
 /// enforce, which is what lets the layout service dogfood the CORFU
 /// discipline.
+///
+/// By default records live only in RAM (tests, in-process clusters). A
+/// replica built with [`MetaNode::with_storage`] writes every record
+/// through to a [`FlashUnit`] before acknowledging, and recovers its full
+/// history from that unit on restart — the flash discipline is literally
+/// the same one the data plane uses, metalog positions mapping one-to-one
+/// onto page addresses.
 pub struct MetaNode {
     records: Mutex<BTreeMap<Position, Bytes>>,
+    /// Durable backing store; writes go here before the RAM index.
+    storage: Option<Mutex<FlashUnit>>,
     peers: Mutex<Vec<ReplicaInfo>>,
     metrics: MetaNodeMetrics,
 }
@@ -34,9 +44,30 @@ impl MetaNode {
     pub fn new() -> Self {
         Self {
             records: Mutex::new(BTreeMap::new()),
+            storage: None,
             peers: Mutex::new(Vec::new()),
             metrics: MetaNodeMetrics::default(),
         }
+    }
+
+    /// A replica persisting records onto `unit`, recovering every record
+    /// already on it. Positions map directly to page addresses, so the
+    /// unit's page size bounds the record size. Junk and trimmed pages are
+    /// skipped: a metalog never trims, but a unit recycled from the data
+    /// plane may carry them.
+    pub fn with_storage(mut unit: FlashUnit) -> tango_flash::Result<Self> {
+        let mut records = BTreeMap::new();
+        for addr in 0..unit.local_tail() {
+            if let PageRead::Data(bytes) = unit.read(addr)? {
+                records.insert(addr, bytes);
+            }
+        }
+        Ok(Self {
+            records: Mutex::new(records),
+            storage: Some(Mutex::new(unit)),
+            peers: Mutex::new(Vec::new()),
+            metrics: MetaNodeMetrics::default(),
+        })
     }
 
     /// Binds this replica's `meta.node.*` instruments in `registry`.
@@ -53,6 +84,9 @@ impl MetaNode {
         let mut records = self.records.lock();
         match records.get(&0) {
             None => {
+                if let Some(storage) = &self.storage {
+                    storage.lock().write(0, &record).expect("persist genesis record");
+                }
                 records.insert(0, record);
             }
             Some(existing) => assert_eq!(existing, &record, "conflicting bootstrap record"),
@@ -88,6 +122,13 @@ impl MetaNode {
                 let mut records = self.records.lock();
                 match records.get(&pos) {
                     None => {
+                        // Durability before acknowledgement: the record
+                        // must be on flash before any quorum counts it.
+                        if let Some(storage) = &self.storage {
+                            if let Err(e) = storage.lock().write(pos, &record) {
+                                return MetaResponse::ErrStorage { reason: e.to_string() };
+                            }
+                        }
                         records.insert(pos, record);
                         self.metrics.writes.inc();
                         MetaResponse::Ok
@@ -171,5 +212,40 @@ mod tests {
         node.bootstrap(Bytes::from_static(b"genesis"));
         node.bootstrap(Bytes::from_static(b"genesis"));
         assert_eq!(node.tail(), 1);
+    }
+
+    #[test]
+    fn flash_backed_node_recovers_records_after_restart() {
+        let dir = std::env::temp_dir().join(format!("tango-meta-node-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let open_unit = || {
+            let store = tango_flash::FileStore::open(&dir, 1024, 16).unwrap();
+            FlashUnit::open(Box::new(store), 1024).unwrap()
+        };
+        {
+            let node = MetaNode::with_storage(open_unit()).unwrap();
+            node.bootstrap(Bytes::from_static(b"genesis"));
+            for pos in 1..5u64 {
+                let record = Bytes::from(format!("projection-{pos}"));
+                assert_eq!(node.process(MetaRequest::Write { pos, record }), MetaResponse::Ok);
+            }
+            assert_eq!(node.tail(), 5);
+        }
+        // "Restart": a fresh node over the same files sees the full
+        // history, and write-once arbitration still holds across it.
+        let node = MetaNode::with_storage(open_unit()).unwrap();
+        assert_eq!(node.tail(), 5);
+        node.bootstrap(Bytes::from_static(b"genesis")); // idempotent, not a rewrite
+        for pos in 1..5u64 {
+            assert_eq!(
+                node.process(MetaRequest::Read { pos }),
+                MetaResponse::Record(Bytes::from(format!("projection-{pos}")))
+            );
+        }
+        assert_eq!(
+            node.process(MetaRequest::Write { pos: 2, record: Bytes::from_static(b"usurper") }),
+            MetaResponse::AlreadyWritten(Bytes::from_static(b"projection-2"))
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -77,6 +77,12 @@ pub enum MetaResponse {
         /// What the decoder rejected.
         reason: String,
     },
+    /// The replica's durable store failed the operation. Quorum clients
+    /// treat this like an unreachable replica and fail over.
+    ErrStorage {
+        /// What the store reported.
+        reason: String,
+    },
 }
 
 impl Encode for MetaRequest {
@@ -142,6 +148,10 @@ impl Encode for MetaResponse {
                 w.put_u8(6);
                 w.put_str(reason);
             }
+            MetaResponse::ErrStorage { reason } => {
+                w.put_u8(7);
+                w.put_str(reason);
+            }
         }
     }
 }
@@ -156,6 +166,7 @@ impl Decode for MetaResponse {
             4 => Ok(MetaResponse::Tail(r.get_u64()?)),
             5 => Ok(MetaResponse::Peers(Vec::<ReplicaInfo>::decode(r)?)),
             6 => Ok(MetaResponse::ErrMalformed { reason: r.get_str()?.to_owned() }),
+            7 => Ok(MetaResponse::ErrStorage { reason: r.get_str()?.to_owned() }),
             tag => Err(WireError::InvalidTag { what: "MetaResponse", tag: tag as u64 }),
         }
     }
@@ -192,6 +203,7 @@ mod tests {
             MetaResponse::Tail(42),
             MetaResponse::Peers(vec![ReplicaInfo { id: 1, addr: "a".into() }]),
             MetaResponse::ErrMalformed { reason: "invalid tag 9".into() },
+            MetaResponse::ErrStorage { reason: "page 3 CRC mismatch".into() },
         ];
         for m in resps {
             let bytes = encode_to_vec(&m);

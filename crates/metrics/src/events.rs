@@ -59,6 +59,12 @@ pub enum EventKind {
     ConnDropped = 9,
     /// Anything else.
     Other = 10,
+    /// A storage node reclaimed whole cold segments below the prefix-trim
+    /// horizon; `detail` is the number of segments released.
+    SegmentReclaimed = 11,
+    /// A storage node migrated hot pages into the cold tier; `detail` is
+    /// the number of pages moved.
+    ColdMigration = 12,
 }
 
 impl EventKind {
@@ -76,6 +82,8 @@ impl EventKind {
             EventKind::ReplicaReplaced => "replica_replaced",
             EventKind::ConnDropped => "conn_dropped",
             EventKind::Other => "other",
+            EventKind::SegmentReclaimed => "segment_reclaimed",
+            EventKind::ColdMigration => "cold_migration",
         }
     }
 
@@ -91,6 +99,8 @@ impl EventKind {
             7 => EventKind::QuorumRepair,
             8 => EventKind::ReplicaReplaced,
             9 => EventKind::ConnDropped,
+            11 => EventKind::SegmentReclaimed,
+            12 => EventKind::ColdMigration,
             _ => EventKind::Other,
         }
     }

@@ -36,6 +36,12 @@ pub const GAUGE_HOLE_BACKLOG: &str = "corfu.client.hole_backlog";
 pub const COUNTER_JUNK_FORCED: &str = "corfu.client.junk_forced";
 /// Transport accept-drop counter.
 pub const COUNTER_ACCEPT_DROPS: &str = "rpc.accepts_dropped";
+/// Storage occupancy gauge (log-scoped): live (untrimmed) pages on a
+/// storage node. Published by the node's compactor; a node whose log keeps
+/// growing past the policy bound has a broken checkpoint/trim loop.
+pub const GAUGE_OCCUPANCY: &str = "corfu.storage.occupancy";
+/// Storage prefix-trim horizon gauge (log-scoped).
+pub const GAUGE_TRIM_HORIZON: &str = "corfu.storage.trim_horizon";
 
 /// The three-level health verdict. `Ord` ranks severity, so the overall
 /// status of a report is the max of its reasons' statuses.
@@ -95,6 +101,10 @@ pub struct HealthPolicy {
     pub max_epoch_divergence: i64,
     /// Lifetime accept drops before the transport is degraded.
     pub max_accept_drops: u64,
+    /// Live pages a storage node may hold before it is degraded — an
+    /// occupancy still climbing past this means checkpoints are not
+    /// trimming the log.
+    pub max_occupancy: i64,
 }
 
 impl Default for HealthPolicy {
@@ -104,6 +114,7 @@ impl Default for HealthPolicy {
             max_hole_backlog: 8,
             max_epoch_divergence: 1,
             max_accept_drops: 128,
+            max_occupancy: 1 << 20,
         }
     }
 }
@@ -157,6 +168,18 @@ impl HealthReport {
                 status: HealthStatus::Degraded,
                 detail: format!("{drops} connections dropped (max {})", policy.max_accept_drops),
             });
+        }
+
+        // Storage occupancy: published per log by the node's compactor.
+        for (name, pages) in &snap.gauges {
+            let Some(log) = scoped_log(name, GAUGE_OCCUPANCY) else { continue };
+            if *pages > policy.max_occupancy {
+                reasons.push(HealthReason {
+                    code: "occupancy".into(),
+                    status: HealthStatus::Degraded,
+                    detail: format!("log {log}: {pages} live pages (max {})", policy.max_occupancy),
+                });
+            }
         }
 
         // Apply lag is node-local only when one registry carries both
@@ -367,6 +390,21 @@ mod tests {
         backlog.set(policy.max_hole_backlog * 4 + 1);
         let report = HealthReport::evaluate(&r.snapshot(), &policy);
         assert_eq!(report.status, HealthStatus::Unhealthy);
+    }
+
+    #[test]
+    fn storage_occupancy_past_policy_degrades() {
+        let policy = HealthPolicy { max_occupancy: 1000, ..HealthPolicy::default() };
+        let r = Registry::new();
+        r.gauge(&log_scoped(GAUGE_OCCUPANCY, 1)).set(999);
+        let report = HealthReport::evaluate(&r.snapshot(), &policy);
+        assert_eq!(report.status, HealthStatus::Ok);
+
+        r.gauge(&log_scoped(GAUGE_OCCUPANCY, 1)).set(1001);
+        let report = HealthReport::evaluate(&r.snapshot(), &policy);
+        assert_eq!(report.status, HealthStatus::Degraded);
+        assert_eq!(report.reasons[0].code, "occupancy");
+        assert!(report.reasons[0].detail.contains("log 1"), "{:?}", report.reasons);
     }
 
     #[test]

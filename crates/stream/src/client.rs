@@ -76,6 +76,11 @@ pub struct StreamClient {
     /// Decoded-entry cache. Lookups and inserts bracket the (lock-free)
     /// network fetches.
     cache: Mutex<EntryCache>,
+    /// Lowest possibly-live composite offset per log, raised by
+    /// [`StreamClient::forget_below`] after checkpoint-driven trims.
+    /// Backpointer walks and linear-scan fallbacks never descend below it:
+    /// everything underneath is reclaimed and would read as `Trimmed`.
+    trim_floor: Mutex<HashMap<u32, LogOffset>>,
     metrics: StreamMetrics,
 }
 
@@ -93,6 +98,7 @@ impl StreamClient {
             corfu,
             cursors: Mutex::new(HashMap::new()),
             cache: Mutex::new(EntryCache::new(config.cache_capacity)),
+            trim_floor: Mutex::new(HashMap::new()),
             config,
             metrics,
         }
@@ -280,12 +286,23 @@ impl StreamClient {
     }
 
     /// Forgets stream membership and cached entries below `horizon`
-    /// (called after a checkpoint makes the prefix collectable).
+    /// (called after a checkpoint makes the prefix collectable), and
+    /// raises the horizon's log's trim floor so later backpointer walks
+    /// and scan fallbacks stop there instead of reading reclaimed slots.
     pub fn forget_below(&self, stream: StreamId, horizon: LogOffset) {
         if let Some(c) = self.cursors.lock().get_mut(&stream) {
             c.forget_below(horizon);
         }
         self.cache.lock().evict_below(horizon);
+        let mut floors = self.trim_floor.lock();
+        let slot = floors.entry(log_of_offset(horizon)).or_insert(horizon);
+        *slot = (*slot).max(horizon);
+    }
+
+    /// The lowest composite offset of `log` that may still hold live data
+    /// (`compose(log, 0)` until a trim is observed). Walks clamp here.
+    pub fn trim_floor(&self, log: u32) -> LogOffset {
+        self.trim_floor.lock().get(&log).copied().unwrap_or_else(|| compose(log, 0))
     }
 
     /// Cache (hits, misses), read from the same `stream.cache_hits` /
@@ -477,8 +494,15 @@ impl StreamClient {
         };
         let is_known = |off: LogOffset| known.binary_search(&off).is_ok();
 
-        let mut discovered: Vec<LogOffset> =
-            seq_backs.iter().copied().filter(|&o| o != u64::MAX && !is_known(o)).collect();
+        // Offsets below a log's trim floor are reclaimed — a stale
+        // sequencer backpointer landing there must not seed a walk into
+        // trimmed territory.
+        let above_floor = |off: LogOffset| off >= self.trim_floor(log_of_offset(off));
+        let mut discovered: Vec<LogOffset> = seq_backs
+            .iter()
+            .copied()
+            .filter(|&o| o != u64::MAX && !is_known(o) && above_floor(o))
+            .collect();
         // The playback side of a remap: fresh discoveries landing in a
         // different log than anything the cursor knew means this stream's
         // home moved (or its entries span logs). Journalled so a cluster
@@ -524,13 +548,16 @@ impl StreamClient {
                 };
                 let Some(header) = header else {
                     let log = log_of_offset(oldest);
+                    // Scan down to the newest known member in this log, or
+                    // to the log's trim floor — never into reclaimed slots.
                     let lo = known
                         .iter()
                         .rev()
                         .copied()
                         .find(|&o| log_of_offset(o) == log)
                         .map(|o| o + 1)
-                        .unwrap_or_else(|| compose(log, 0));
+                        .unwrap_or_else(|| compose(log, 0))
+                        .max(self.trim_floor(log));
                     walked += self.scan_backward(stream, lo, oldest, &mut discovered)?;
                     break;
                 };
@@ -538,7 +565,7 @@ impl StreamClient {
                     .backpointers
                     .iter()
                     .copied()
-                    .filter(|&o| o != u64::MAX && !is_known(o))
+                    .filter(|&o| o != u64::MAX && !is_known(o) && above_floor(o))
                     .collect();
                 let at_stream_start = header.backpointers.is_empty()
                     || header.backpointers.iter().all(|&o| o == u64::MAX);

@@ -5,6 +5,7 @@
 //! tangoctl status   [name=]host:port ...   shard table + per-node summary
 //! tangoctl health   [name=]host:port ...   verdict; exit 0=ok 1=degraded 2=unhealthy
 //! tangoctl timeline [name=]host:port ...   merged causal control-plane timeline
+//! tangoctl storage  [name=]host:port ...   occupancy, trim horizon, tier split, scrub
 //! ```
 //!
 //! Targets are scrape addresses (`HttpScrapeServer`), one per node; a
@@ -18,7 +19,7 @@ use std::time::Duration;
 use tango_metrics::{HealthPolicy, HealthStatus};
 use tango_repro::inspector;
 
-const USAGE: &str = "usage: tangoctl <status|health|timeline> [name=]host:port ...";
+const USAGE: &str = "usage: tangoctl <status|health|timeline|storage> [name=]host:port ...";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,6 +50,10 @@ fn main() -> ExitCode {
         }
         "timeline" => {
             print!("{}", inspector::render_timeline(&cluster));
+            ExitCode::SUCCESS
+        }
+        "storage" => {
+            print!("{}", inspector::render_storage(&cluster, &unreachable));
             ExitCode::SUCCESS
         }
         other => {
